@@ -1,0 +1,87 @@
+// Figure 1: DNS resolvers identified in the weekly scans — ALL / NOERROR /
+// REFUSED / SERVFAIL series across the 55-week study window.
+//
+// Paper anchors: 26.8M NOERROR at the start, 17.8M at the end (-33.6%);
+// REFUSED stable; SERVFAIL fluctuating between ~0.63M and ~2.14M.
+#include <unordered_set>
+
+#include "analysis/weekly.h"
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace dnswild;
+  bench::heading("Figure 1", "weekly resolver counts by status code");
+  auto world = bench::build_world(bench::scale_from(argc, argv, 20000));
+
+  analysis::WeeklyCampaignConfig config;
+  config.weeks = 55;
+  config.track_churn = false;  // Fig. 2 has its own bench
+  config.scan.scanner_ip = world.scanner_ip;
+  config.scan.zone = world.scan_zone;
+  config.scan.blacklist = &world.blacklist;
+  config.scan.seed = 1;
+  config.universe = world.universe;
+
+  const auto result = analysis::run_weekly_campaign(*world.world, config);
+
+  util::Table table({"Week", "Date", "ALL", "NOERROR", "REFUSED", "SERVFAIL",
+                     "Multi-homed"},
+                    {util::Align::kRight, util::Align::kLeft,
+                     util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight});
+  for (const auto& point : result.series) {
+    table.add_row({std::to_string(point.week), point.date,
+                   util::with_commas(point.all),
+                   util::with_commas(point.noerror),
+                   util::with_commas(point.refused),
+                   util::with_commas(point.servfail),
+                   util::with_commas(point.multihomed)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const auto& first = result.series.front();
+  const auto& last = result.series.back();
+  std::printf("NOERROR decline: %s -> %s (%.1f%% of start; paper: 26.8M -> "
+              "17.8M = 66.4%%)\n",
+              util::with_commas(first.noerror).c_str(),
+              util::with_commas(last.noerror).c_str(),
+              100.0 * static_cast<double>(last.noerror) /
+                  static_cast<double>(first.noerror));
+  std::uint64_t servfail_min = first.servfail, servfail_max = first.servfail;
+  for (const auto& point : result.series) {
+    servfail_min = std::min(servfail_min, point.servfail);
+    servfail_max = std::max(servfail_max, point.servfail);
+  }
+  std::printf("SERVFAIL fluctuation: %s .. %s (paper: 633,393 .. "
+              "2,141,539)\n",
+              util::with_commas(servfail_min).c_str(),
+              util::with_commas(servfail_max).c_str());
+  std::printf("Weekly multi-homed responders: %s .. (paper: 630k-750k "
+              "per week)\n",
+              util::with_commas(result.series.front().multihomed).c_str());
+
+  // Scan verification (§2.2): repeat the final scan from a secondary host
+  // in another /8; resolvers visible only there sit behind networks that
+  // blocked the primary scanner.
+  {
+    scan::Ipv4ScanConfig verification = config.scan;
+    verification.scanner_ip = world.verification_scanner_ip;
+    verification.seed = 99;
+    scan::Ipv4Scanner scanner(*world.world, verification);
+    const auto summary = scanner.scan(world.universe);
+    std::unordered_set<net::Ipv4> weekly(result.last_scan_noerror.begin(),
+                                         result.last_scan_noerror.end());
+    std::uint64_t hidden = 0;
+    for (const net::Ipv4 ip : summary.noerror_targets) {
+      if (weekly.find(ip) == weekly.end()) ++hidden;
+    }
+    std::printf("Verification scan from a second /8: %s NOERROR resolvers "
+                "missed by the weekly scan = %.2f%% (paper: 145,304 "
+                "< 1%% of all identified resolvers)\n",
+                util::with_commas(hidden).c_str(),
+                100.0 * static_cast<double>(hidden) /
+                    static_cast<double>(summary.noerror));
+  }
+  return 0;
+}

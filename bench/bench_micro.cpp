@@ -1,0 +1,192 @@
+// Engineering micro-benchmarks (google-benchmark): throughput of the hot
+// paths — wire codec, scan-order permutation, clustering distances (incl.
+// the banded-vs-full edit distance ablation from DESIGN.md §5), HAC
+// scaling, HTML feature extraction, and end-to-end resolver query handling.
+#include <benchmark/benchmark.h>
+
+#include "cluster/distance.h"
+#include "cluster/hac.h"
+#include "dns/encoding0x20.h"
+#include "dns/message.h"
+#include "http/factory.h"
+#include "http/html.h"
+#include "net/lfsr.h"
+#include "resolver/resolver.h"
+#include "scan/encoding.h"
+#include "scan/permute.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dnswild;
+
+dns::Message sample_response() {
+  dns::Message message = dns::Message::make_query(
+      0x1234, dns::Name::must_parse("www.facebook.com"), dns::RType::kA);
+  message.header.qr = true;
+  for (int i = 0; i < 4; ++i) {
+    message.answers.push_back(dns::ResourceRecord::a(
+        dns::Name::must_parse("www.facebook.com"),
+        net::Ipv4(31, 13, 92, static_cast<std::uint8_t>(i)), 60));
+  }
+  return message;
+}
+
+void BM_MessageEncode(benchmark::State& state) {
+  const dns::Message message = sample_response();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(message.encode());
+  }
+}
+BENCHMARK(BM_MessageEncode);
+
+void BM_MessageDecode(benchmark::State& state) {
+  const auto wire = sample_response().encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::Message::decode(wire));
+  }
+}
+BENCHMARK(BM_MessageDecode);
+
+void BM_ResolverIdEncodeDecode(benchmark::State& state) {
+  const dns::Name domain = dns::Name::must_parse("facebook.com");
+  std::uint32_t id = 0;
+  for (auto _ : state) {
+    const auto encoded = scan::encode_resolver_id(id++ & scan::kMaxResolverId,
+                                                  domain, 40000);
+    dns::Message response;
+    response.header.qr = true;
+    response.header.id = encoded.txid;
+    response.questions.push_back(
+        dns::Question{encoded.name, dns::RType::kA, dns::RClass::kIN});
+    benchmark::DoNotOptimize(
+        scan::decode_resolver_id(response, encoded.src_port, 40000));
+  }
+}
+BENCHMARK(BM_ResolverIdEncodeDecode);
+
+void BM_Lfsr32(benchmark::State& state) {
+  net::Lfsr32 lfsr(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lfsr.next());
+  }
+}
+BENCHMARK(BM_Lfsr32);
+
+void BM_UniversePermutation(benchmark::State& state) {
+  // Ablation: LFSR permutation order vs linear sweep cost per address.
+  const std::vector<net::Cidr> universe = {
+      net::Cidr(net::Ipv4(1, 0, 0, 0), 16)};
+  scan::UniversePermutation permutation(universe, 7);
+  net::Ipv4 ip;
+  for (auto _ : state) {
+    if (!permutation.next(ip)) {
+      state.PauseTiming();
+      permutation = scan::UniversePermutation(universe, 7);
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(ip);
+  }
+}
+BENCHMARK(BM_UniversePermutation);
+
+void BM_EditDistanceFull(benchmark::State& state) {
+  const std::string a(static_cast<std::size_t>(state.range(0)), 'a');
+  std::string b = a;
+  for (std::size_t i = 0; i < b.size(); i += 7) b[i] = 'b';
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::edit_distance(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EditDistanceFull)->Range(64, 2048)->Complexity();
+
+void BM_EditDistanceBanded(benchmark::State& state) {
+  const std::string a(static_cast<std::size_t>(state.range(0)), 'a');
+  std::string b = a;
+  for (std::size_t i = 0; i < b.size(); i += 7) b[i] = 'b';
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::edit_distance_banded(a, b, 64));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EditDistanceBanded)->Range(64, 2048)->Complexity();
+
+void BM_PageFeatureExtraction(benchmark::State& state) {
+  const std::string html = http::legit_site(
+      "news.example", http::SiteCategory::kAlexa, 0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(http::extract_features(html));
+  }
+}
+BENCHMARK(BM_PageFeatureExtraction);
+
+void BM_PageDistance(benchmark::State& state) {
+  const auto a = http::extract_features(http::legit_site(
+      "a.example", http::SiteCategory::kBanking, 0, 1));
+  const auto b = http::extract_features(http::censorship_page("TR", 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::page_distance(a, b));
+  }
+}
+BENCHMARK(BM_PageDistance);
+
+void BM_HacAverageLinkage(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  std::vector<double> matrix(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      matrix[i * n + j] = matrix[j * n + i] = rng.uniform();
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::hac_average_linkage(
+        n, [&matrix, n](std::size_t i, std::size_t j) {
+          return matrix[i * n + j];
+        }));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HacAverageLinkage)->Range(32, 512)->Complexity();
+
+void BM_ResolverQueryHandling(benchmark::State& state) {
+  resolver::AuthRegistry registry;
+  registry.add_domain("good.example", {net::Ipv4(5, 5, 5, 5)}, 300);
+  net::SimClock clock;
+  resolver::ResolverConfig config;
+  config.registry = &registry;
+  config.clock = &clock;
+  config.seed = 1;
+  resolver::OpenResolverService service(config);
+
+  net::UdpPacket packet;
+  packet.src = net::Ipv4(9, 9, 9, 9);
+  packet.src_port = 4000;
+  packet.dst = net::Ipv4(1, 2, 3, 4);
+  packet.dst_port = 53;
+  packet.payload = dns::Message::make_query(
+                       7, dns::Name::must_parse("good.example"),
+                       dns::RType::kA)
+                       .encode();
+  for (auto _ : state) {
+    std::vector<net::UdpReply> replies;
+    service.handle(packet, replies);
+    benchmark::DoNotOptimize(replies);
+  }
+}
+BENCHMARK(BM_ResolverQueryHandling);
+
+void BM_Case0x20Encoding(benchmark::State& state) {
+  const dns::Name domain = dns::Name::must_parse("facebook.com");
+  std::uint32_t bits = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dns::encode_case_bits(domain, bits++ & 0x1ff, 9));
+  }
+}
+BENCHMARK(BM_Case0x20Encoding);
+
+}  // namespace
+
+BENCHMARK_MAIN();

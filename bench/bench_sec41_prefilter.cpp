@@ -1,0 +1,85 @@
+// §4.1: DNS-based prefiltering yields + rule ablation.
+//
+// Paper: 85.8% (MX) to 93.2% (AV) of responses legitimate; 4.9-8.4% with
+// empty answer sections (highest for Malware); unexpected tuples 0.6%
+// (MX) to 4.4% (Malware), NX at 13.7%. Behavioural oddities: up to 15.1%
+// of suspicious resolvers return their own address for >= 1 domain; 8,194
+// return it for >= 75% of the sets; 50.4% return one answer set for > 1
+// domain; 4.4% a single static address for everything; 2.0% NS-only.
+#include "common.h"
+#include "core/report.h"
+
+int main(int argc, char** argv) {
+  using namespace dnswild;
+  bench::heading("Section 4.1", "prefiltering yields and rule ablation");
+  auto world = bench::build_world(bench::scale_from(argc, argv, 40000));
+  const auto population = bench::initial_scan(world, 1);
+  auto report = bench::run_pipeline(world, population.noerror_targets);
+
+  std::printf("Tuples: %s; unexpected from %s distinct suspicious "
+              "resolvers (paper: 86.7M unexpected, 19.2M resolvers)\n\n",
+              util::with_commas(report.prefilter_stats.tuples).c_str(),
+              util::with_commas(report.sec41.suspicious_resolvers).c_str());
+  std::printf("%s\n", core::render_prefilter(report).c_str());
+  std::printf("Paper bands: legitimate 85.8-93.2%%, no-answer 4.9-8.4%%,\n"
+              "unexpected 0.6-4.4%% (NX: 13.7%%)\n\n");
+
+  const auto& sec41 = report.sec41;
+  const double suspicious =
+      static_cast<double>(sec41.suspicious_resolvers);
+  std::printf("Self IP for >= 1 domain:        %s (%.1f%% of suspicious; "
+              "paper: up to 15.1%% per set)\n",
+              util::with_commas(sec41.self_ip_any).c_str(),
+              100.0 * static_cast<double>(sec41.self_ip_any) / suspicious);
+  std::printf("Self IP for >= 75%% of domains:  %s (paper: 8,194)\n",
+              util::with_commas(sec41.self_ip_everywhere).c_str());
+  std::printf("Same answer set for > 1 domain: %s (%.1f%%; paper: 50.4%%)\n",
+              util::with_commas(sec41.same_set_multi_domain).c_str(),
+              100.0 * static_cast<double>(sec41.same_set_multi_domain) /
+                  suspicious);
+  std::printf("Single static IP everywhere:    %s (%.1f%%; paper: 4.4%%)\n",
+              util::with_commas(sec41.static_single_ip).c_str(),
+              100.0 * static_cast<double>(sec41.static_single_ip) /
+                  suspicious);
+  std::printf("NS referrals only:              %s (paper: 2.0%%)\n\n",
+              util::with_commas(sec41.ns_only).c_str());
+
+  // Rule attribution + ablation (DESIGN.md §5).
+  const auto& stats = report.prefilter_stats;
+  std::printf("Accepted-by rule attribution: AS %s, rDNS %s, cert %s\n\n",
+              util::with_commas(stats.accepted_by_as).c_str(),
+              util::with_commas(stats.accepted_by_rdns).c_str(),
+              util::with_commas(stats.accepted_by_cert).c_str());
+
+  std::printf("Ablation (re-judging the same records):\n");
+  struct Variant {
+    const char* name;
+    bool as_rule, rdns_rule, cert_rule;
+  };
+  static constexpr Variant kVariants[] = {
+      {"AS only", true, false, false},
+      {"AS + rDNS", true, true, false},
+      {"AS + rDNS + cert (full)", true, true, true},
+      {"cert only", false, false, true},
+  };
+  util::Table table({"Rules", "Legitimate", "Unknown", "Unknown %"},
+                    {util::Align::kLeft, util::Align::kRight,
+                     util::Align::kRight, util::Align::kRight});
+  for (const auto& variant : kVariants) {
+    core::PrefilterConfig config;
+    config.use_as_rule = variant.as_rule;
+    config.use_rdns_rule = variant.rdns_rule;
+    config.use_cert_rule = variant.cert_rule;
+    core::Prefilter prefilter(*world.world, *world.registry, world.domains,
+                              world.vantage_ip, config);
+    prefilter.run(report.records, report.domains);
+    const auto& ablation = prefilter.stats();
+    table.add_row({variant.name, util::with_commas(ablation.legitimate),
+                   util::with_commas(ablation.unknown),
+                   util::pct1(100.0 *
+                              static_cast<double>(ablation.unknown) /
+                              static_cast<double>(ablation.tuples))});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,71 @@
+// §5 "DNS Authenticity": can DNSSEC defeat the Great Firewall's race?
+//
+// Paper's argument: a resolver (or stub) takes the first response matching
+// the open transaction, so an on-path injector wins even against signed
+// zones — UNLESS the client both validates and refuses to accept anything
+// unvalidated for domains it KNOWS are signed. With global deployment at
+// < 0.6% of .net domains (May 2015), that knowledge barely exists. This
+// bench sweeps deployment levels and measures the poisoning rate for a
+// naive first-response client vs a validating client, for the GFW-censored
+// social domains queried at Chinese resolvers.
+#include <algorithm>
+
+#include "common.h"
+#include "core/dnssec_study.h"
+
+int main(int argc, char** argv) {
+  using namespace dnswild;
+  bench::heading("Section 5", "DNSSEC vs on-path injection");
+  auto world = bench::build_world(bench::scale_from(argc, argv, 20000));
+  const auto population = bench::initial_scan(world, 1);
+
+  // Chinese resolvers: the population behind the injector.
+  std::vector<net::Ipv4> chinese;
+  for (const net::Ipv4 ip : population.noerror_targets) {
+    if (world.world->asdb().country_of(ip) == "CN") chinese.push_back(ip);
+  }
+  const std::vector<std::string> censored = {"facebook.com", "twitter.com",
+                                             "youtube.com"};
+  std::printf("Querying %zu censored domains at %zu Chinese resolvers\n\n",
+              censored.size(), chinese.size());
+
+  util::Table table({"DNSSEC deployment", "Queries", "Injected",
+                     "Naive poisoned %", "Validating poisoned %",
+                     "Validating unavailable %"},
+                    {util::Align::kLeft, util::Align::kRight,
+                     util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight, util::Align::kRight});
+
+  for (const double deployment : {0.006, 0.10, 0.50, 1.0}) {
+    // Re-mark the censored zones: a fraction `deployment` is signed.
+    util::Rng rng(static_cast<std::uint64_t>(deployment * 1000) + 7);
+    for (const auto& domain : censored) {
+      world.registry->set_dnssec(domain, rng.chance(deployment));
+    }
+    core::DnssecStudyConfig config;
+    config.client_ip = world.vantage_ip;
+    config.seed = 11;
+    const auto outcome = core::run_dnssec_experiment(
+        *world.world, *world.registry, chinese, censored, config);
+    const double queries = static_cast<double>(outcome.queries);
+    char label[32];
+    std::snprintf(label, sizeof label, "%.1f%%", 100.0 * deployment);
+    table.add_row({label, util::with_commas(outcome.queries),
+                   util::with_commas(outcome.injected),
+                   util::pct1(100.0 * outcome.naive_poison_rate()),
+                   util::pct1(100.0 * outcome.validating_poison_rate()),
+                   util::pct1(queries == 0
+                                  ? 0.0
+                                  : 100.0 *
+                                        static_cast<double>(
+                                            outcome.validating_unavailable) /
+                                        queries)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading: the naive client is poisoned at every deployment level (the\n"
+      "forgery wins the race); the validating client is only protected for\n"
+      "the signed+known fraction, and pays for it in availability when the\n"
+      "legitimate answer is suppressed — the paper's §5 argument.\n");
+  return 0;
+}

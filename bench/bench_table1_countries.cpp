@@ -1,0 +1,84 @@
+// Table 1: resolver fluctuation per country, Jan 31 2014 vs Feb 06 2015.
+//
+// Paper's Top-10 (start / end / fluctuation %): US 2.96M/2.54M -14.2,
+// CN 2.42M/2.10M -13.0, TR 1.44M/0.98M -32.2, VN 1.39M/1.04M -25.4,
+// MX 1.37M/1.18M -14.4, IN 1.27M/1.43M +12.7, TH 1.21M/0.56M -53.5,
+// IT 1.17M/0.72M -38.3, CO 1.06M/0.68M -36.2, TW 1.06M/0.45M -57.3.
+#include "analysis/fluctuation.h"
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace dnswild;
+  bench::heading("Table 1", "resolver fluctuation per country");
+  auto world = bench::build_world(bench::scale_from(argc, argv, 30000));
+
+  const auto first = bench::initial_scan(world, 1);
+  world.world->set_time_minutes(372 * 1440);  // Feb 06, 2015
+  const auto last = bench::initial_scan(world, 2);
+
+  const auto rows = analysis::fluctuation_by_country(
+      world.world->asdb(), first.noerror_targets, last.noerror_targets);
+
+  struct PaperRow {
+    const char* country;
+    double pct;
+  };
+  static constexpr PaperRow kPaper[] = {
+      {"US", -14.2}, {"CN", -13.0}, {"TR", -32.2}, {"VN", -25.4},
+      {"MX", -14.4}, {"IN", +12.7}, {"TH", -53.5}, {"IT", -38.3},
+      {"CO", -36.2}, {"TW", -57.3},
+  };
+
+  util::Table table({"Country", "Jan 31, 2014", "Feb 06, 2015",
+                     "Fluct. #", "Fluct. %", "Paper %"},
+                    {util::Align::kLeft, util::Align::kRight,
+                     util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight, util::Align::kRight});
+  std::uint64_t top10 = 0;
+  for (std::size_t i = 0; i < rows.size() && i < 10; ++i) {
+    const auto& row = rows[i];
+    top10 += row.first;
+    std::string paper = "-";
+    for (const auto& anchor : kPaper) {
+      if (row.key == anchor.country) paper = util::pct1(anchor.pct);
+    }
+    table.add_row({row.key, util::with_commas(row.first),
+                   util::with_commas(row.last),
+                   util::with_commas_signed(row.delta()),
+                   util::pct1(row.delta_pct()), paper});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Top-10 share of all resolvers: %.1f%% (paper: 49.1%%)\n",
+              100.0 * static_cast<double>(top10) /
+                  static_cast<double>(first.noerror));
+
+  // §2.3 case studies.
+  for (const auto& row : rows) {
+    if (row.key == "AR") {
+      std::printf("Argentina: %.1f%% (paper: -75.0%%)\n", row.delta_pct());
+    }
+    if (row.key == "GB") {
+      std::printf("Great Britain: %.1f%% (paper: -63.6%%)\n",
+                  row.delta_pct());
+    }
+    if (row.key == "MY") {
+      std::printf("Malaysia: %+.1f%% (paper: +59.7%%)\n", row.delta_pct());
+    }
+    if (row.key == "LB") {
+      std::printf("Lebanon: %+.1f%% (paper: +76.7%%)\n", row.delta_pct());
+    }
+  }
+
+  // AS-level drill-down (§2.3): the collapsing AR / KR providers.
+  const auto as_rows = analysis::fluctuation_by_as(
+      world.world->asdb(), first.noerror_targets, last.noerror_targets);
+  std::printf("\nLargest per-AS decreases (paper: an Argentinean provider "
+              "-97.8%%; a Korean ISP 434,567 -> 22):\n");
+  for (std::size_t i = 0; i < as_rows.size() && i < 5; ++i) {
+    const auto& row = as_rows[i];
+    std::printf("  AS%u %-22s %s  %s -> %s\n", row.asn, row.name.c_str(),
+                row.country.c_str(), util::with_commas(row.first).c_str(),
+                util::with_commas(row.last).c_str());
+  }
+  return 0;
+}

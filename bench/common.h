@@ -1,0 +1,67 @@
+// Shared scaffolding for the per-table/per-figure bench binaries.
+//
+// Every bench builds a calibrated world (scale overridable via argv[1] or
+// DNSWILD_SCALE), runs the campaign that produced the paper's table or
+// figure, and prints the measured rows next to the paper's values so the
+// shape can be compared directly (EXPERIMENTS.md records the comparison).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/pipeline.h"
+#include "scan/ipv4scan.h"
+#include "util/table.h"
+#include "worldgen/worldgen.h"
+
+namespace dnswild::bench {
+
+inline std::uint32_t scale_from(int argc, char** argv,
+                                std::uint32_t fallback) {
+  if (argc > 1) {
+    return static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 10));
+  }
+  if (const char* env = std::getenv("DNSWILD_SCALE")) {
+    return static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
+  }
+  return fallback;
+}
+
+inline worldgen::GeneratedWorld build_world(std::uint32_t resolvers,
+                                            std::uint64_t seed = 2015) {
+  worldgen::WorldGenConfig config;
+  config.resolver_count = resolvers;
+  config.seed = seed;
+  std::printf("# world: %u resolvers (paper: 26,820,486), seed %llu\n",
+              resolvers, static_cast<unsigned long long>(seed));
+  return worldgen::generate_world(config);
+}
+
+inline scan::Ipv4ScanSummary initial_scan(worldgen::GeneratedWorld& world,
+                                          std::uint64_t seed = 1) {
+  scan::Ipv4ScanConfig config;
+  config.scanner_ip = world.scanner_ip;
+  config.zone = world.scan_zone;
+  config.blacklist = &world.blacklist;
+  config.seed = seed;
+  scan::Ipv4Scanner scanner(*world.world, config);
+  return scanner.scan(world.universe);
+}
+
+inline core::StudyReport run_pipeline(worldgen::GeneratedWorld& world,
+                                      const std::vector<net::Ipv4>& resolvers,
+                                      std::uint64_t seed = 5) {
+  core::PipelineConfig config;
+  config.scanner_ip = world.scanner_ip;
+  config.vantage_ip = world.vantage_ip;
+  config.seed = seed;
+  core::Pipeline pipeline(*world.world, *world.registry, config);
+  return pipeline.run(resolvers, world.domains);
+}
+
+inline void heading(const char* id, const char* title) {
+  std::printf("\n==== %s: %s ====\n", id, title);
+}
+
+}  // namespace dnswild::bench

@@ -1,0 +1,74 @@
+// DNSSEC resilience check: the §5 discussion as a client-side tool.
+//
+// Given a world, this example asks: if I were a client behind each open
+// resolver, how often would a naive stub accept a forged answer for a
+// censored domain, and how much would strict DNSSEC validation actually
+// help at a given deployment level?
+//
+//   $ ./examples/dnssec_resilience [resolver_count] [deployment_pct]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/dnssec_study.h"
+#include "scan/ipv4scan.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "worldgen/worldgen.h"
+
+int main(int argc, char** argv) {
+  using namespace dnswild;
+
+  worldgen::WorldGenConfig config;
+  config.resolver_count = argc > 1 ? static_cast<std::uint32_t>(
+                                         std::strtoul(argv[1], nullptr, 10))
+                                   : 6000;
+  config.seed = 11;
+  const double deployment =
+      argc > 2 ? std::strtod(argv[2], nullptr) / 100.0 : 0.006;
+  auto generated = worldgen::generate_world(config);
+
+  scan::Ipv4ScanConfig scan_config;
+  scan_config.scanner_ip = generated.scanner_ip;
+  scan_config.zone = generated.scan_zone;
+  scan_config.blacklist = &generated.blacklist;
+  scan_config.seed = 1;
+  scan::Ipv4Scanner scanner(*generated.world, scan_config);
+  const auto population = scanner.scan(generated.universe);
+
+  const std::vector<std::string> censored = {"facebook.com", "twitter.com",
+                                             "youtube.com"};
+  util::Rng rng(99);
+  for (const auto& domain : censored) {
+    generated.registry->set_dnssec(domain, rng.chance(deployment));
+  }
+
+  core::DnssecStudyConfig study_config;
+  study_config.client_ip = generated.vantage_ip;
+  study_config.seed = 17;
+  const auto outcome = core::run_dnssec_experiment(
+      *generated.world, *generated.registry, population.noerror_targets,
+      censored, study_config);
+
+  std::printf("DNSSEC deployment level: %.1f%% of the censored set\n",
+              100.0 * deployment);
+  std::printf("Queries answered: %s; injected races observed: %s\n",
+              util::with_commas(outcome.queries).c_str(),
+              util::with_commas(outcome.injected).c_str());
+  std::printf("Naive client poisoned:      %.2f%%\n",
+              100.0 * outcome.naive_poison_rate());
+  std::printf("Validating client poisoned: %.2f%%\n",
+              100.0 * outcome.validating_poison_rate());
+  std::printf("Validating unavailable:     %.2f%% (signed domain, honest "
+              "answer suppressed)\n",
+              outcome.queries == 0
+                  ? 0.0
+                  : 100.0 *
+                        static_cast<double>(outcome.validating_unavailable) /
+                        static_cast<double>(outcome.queries));
+  std::printf("\nThe paper's §5 point: at the 2015 deployment level (<0.6%%) "
+              "a validating client is indistinguishable from a naive one; "
+              "re-run with a higher deployment%% to see protection traded "
+              "against availability.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "analysis/churn.h"
+
+namespace dnswild::analysis {
+
+RdnsChurnStats rdns_churn_stats(
+    const net::RdnsStore& rdns,
+    const std::vector<net::Ipv4>& disappeared_first_day) {
+  RdnsChurnStats stats;
+  stats.disappeared_first_day = disappeared_first_day.size();
+  for (const net::Ipv4 ip : disappeared_first_day) {
+    const auto name = rdns.lookup(ip);
+    if (!name) continue;
+    ++stats.with_rdns;
+    if (net::looks_dynamic(*name)) ++stats.dynamic_tokens;
+  }
+  stats.dynamic_fraction =
+      stats.with_rdns == 0
+          ? 0.0
+          : static_cast<double>(stats.dynamic_tokens) /
+                static_cast<double>(stats.with_rdns);
+  return stats;
+}
+
+std::vector<ChurnPoint> churn_curve(std::uint64_t initial_count,
+                                    const std::vector<double>& probe_days,
+                                    const std::vector<std::uint64_t>& alive) {
+  std::vector<ChurnPoint> curve;
+  const std::size_t points = std::min(probe_days.size(), alive.size());
+  curve.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    ChurnPoint point;
+    point.age_days = probe_days[i];
+    point.alive = alive[i];
+    point.alive_fraction =
+        initial_count == 0
+            ? 0.0
+            : static_cast<double>(alive[i]) /
+                  static_cast<double>(initial_count);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace dnswild::analysis

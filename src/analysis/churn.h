@@ -1,0 +1,41 @@
+// IP-address churn of resolvers (§2.5, Fig. 2).
+//
+// Tracks how many of the resolvers discovered in the first scan still
+// answer DNS at the same address in later probes: the weekly survival
+// curve, the finer-grained first-day measurement, and the rDNS-token
+// analysis attributing fast churn to dynamic broadband pools.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/rdns.h"
+#include "net/world.h"
+
+namespace dnswild::analysis {
+
+struct ChurnPoint {
+  double age_days = 0.0;
+  std::uint64_t alive = 0;   // initial resolvers still answering NOERROR
+  double alive_fraction = 0.0;
+};
+
+struct RdnsChurnStats {
+  std::uint64_t disappeared_first_day = 0;
+  std::uint64_t with_rdns = 0;
+  std::uint64_t dynamic_tokens = 0;  // rDNS names with dynamic-pool tokens
+  double dynamic_fraction = 0.0;
+};
+
+// For resolvers that vanished within the first probe interval, checks their
+// rDNS records for dynamic-assignment tokens (§2.5 finds >= 67.4%).
+RdnsChurnStats rdns_churn_stats(
+    const net::RdnsStore& rdns,
+    const std::vector<net::Ipv4>& disappeared_first_day);
+
+// Builds the churn curve from per-probe survivor counts.
+std::vector<ChurnPoint> churn_curve(std::uint64_t initial_count,
+                                    const std::vector<double>& probe_days,
+                                    const std::vector<std::uint64_t>& alive);
+
+}  // namespace dnswild::analysis

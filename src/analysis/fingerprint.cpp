@@ -1,0 +1,167 @@
+#include "analysis/fingerprint.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/strings.h"
+
+namespace dnswild::analysis {
+
+using resolver::HardwareClass;
+using resolver::OsClass;
+
+DeviceFingerprinter::DeviceFingerprinter() {
+  // Ordered most-specific first. Hardware-attributing rules; OS may remain
+  // unknown and be filled by the OS-only rules below.
+  const FingerprintRule kRules[] = {
+      // Routers / modems / gateways.
+      {{"zyxel"}, HardwareClass::kRouter, OsClass::kZynos, "ZyXEL router"},
+      {{"zynos"}, HardwareClass::kRouter, OsClass::kZynos, "ZyNOS device"},
+      {{"td-w8901"}, HardwareClass::kRouter, OsClass::kLinux, "ADSL2+ modem"},
+      {{"adsl2+ modem router"},
+       HardwareClass::kRouter,
+       OsClass::kLinux,
+       "ADSL2+ modem"},
+      {{"busybox", "router login"},
+       HardwareClass::kRouter,
+       OsClass::kLinux,
+       "BusyBox gateway"},
+      {{"mikrotik"}, HardwareClass::kRouter, OsClass::kRouterOs,
+       "MikroTik router"},
+      {{"smartware"}, HardwareClass::kRouter, OsClass::kSmartWare,
+       "SmartWare gateway"},
+
+      // Cameras / DVRs (before generic embedded tokens).
+      {{"netsurveillance"}, HardwareClass::kCamera, OsClass::kLinux,
+       "IP camera"},
+      {{"ip camera"}, HardwareClass::kCamera, OsClass::kLinux, "IP camera"},
+      {{"dvrdvs"}, HardwareClass::kCamera, OsClass::kLinux, "camera/DVR"},
+      // The example token from §2.4: a Linux DVR on PowerPC.
+      {{"dm500plus login"}, HardwareClass::kDvr, OsClass::kLinux,
+       "DM500+ DVR"},
+
+      // NAS / DSLAM / firewalls.
+      {{"nas web station"}, HardwareClass::kNas, OsClass::kLinux,
+       "NAS appliance"},
+      {{"nas ftp server"}, HardwareClass::kNas, OsClass::kLinux,
+       "NAS appliance"},
+      {{"dslam"}, HardwareClass::kDslam, OsClass::kUnknown, "DSLAM"},
+      {{"firewall configuration console"},
+       HardwareClass::kFirewall,
+       OsClass::kUnix,
+       "BSD firewall"},
+      {{"gateway firewall"}, HardwareClass::kFirewall, OsClass::kCentOs,
+       "CentOS firewall"},
+
+      // Embedded devices.
+      {{"lantronix"}, HardwareClass::kEmbedded, OsClass::kUnix,
+       "serial-to-LAN converter"},
+      {{"raspbian"}, HardwareClass::kEmbedded, OsClass::kLinux,
+       "Raspberry Pi"},
+      {{"raspberrypi"}, HardwareClass::kEmbedded, OsClass::kLinux,
+       "Raspberry Pi"},
+      {{"threadx"}, HardwareClass::kEmbedded, OsClass::kOther,
+       "RTOS device"},
+      {{"4.4bsd-lite embedded"},
+       HardwareClass::kEmbedded,
+       OsClass::kUnix,
+       "embedded Unix"},
+      {{"goahead-webs"}, HardwareClass::kEmbedded, OsClass::kUnknown,
+       "GoAhead embedded server"},
+      {{"rompager"}, HardwareClass::kEmbedded, OsClass::kUnknown,
+       "RomPager embedded server"},
+      {{"micro_httpd"}, HardwareClass::kEmbedded, OsClass::kUnknown,
+       "embedded web server"},
+
+      // OS-only evidence (hardware remains unknown).
+      {{"microsoft-iis"}, HardwareClass::kUnknown, OsClass::kWindows,
+       "Windows host"},
+      {{"microsoft ftp"}, HardwareClass::kUnknown, OsClass::kWindows,
+       "Windows host"},
+      {{"centos"}, HardwareClass::kUnknown, OsClass::kCentOs, "CentOS host"},
+      {{"ubuntu"}, HardwareClass::kUnknown, OsClass::kLinux, "Linux host"},
+      {{"debian"}, HardwareClass::kUnknown, OsClass::kLinux, "Linux host"},
+      {{"busybox"}, HardwareClass::kUnknown, OsClass::kLinux, "Linux host"},
+      {{"sunos"}, HardwareClass::kUnknown, OsClass::kUnix, "SunOS host"},
+      {{"freebsd"}, HardwareClass::kUnknown, OsClass::kUnix, "FreeBSD host"},
+  };
+  for (const auto& rule : kRules) rules_.push_back(rule);
+}
+
+void DeviceFingerprinter::add_rule(FingerprintRule rule) {
+  rules_.push_back(std::move(rule));
+}
+
+Fingerprint DeviceFingerprinter::classify(std::string_view banner_text) const {
+  Fingerprint out;
+  for (const FingerprintRule& rule : rules_) {
+    bool all = true;
+    for (const auto& token : rule.tokens) {
+      if (!util::icontains(banner_text, token)) {
+        all = false;
+        break;
+      }
+    }
+    if (!all) continue;
+    if (out.label.empty()) {
+      out.hardware = rule.hardware;
+      out.os = rule.os;
+      out.label = rule.label;
+      if (out.os != OsClass::kUnknown) return out;
+      continue;  // hardware matched; keep looking for OS evidence
+    }
+    if (out.os == OsClass::kUnknown && rule.os != OsClass::kUnknown) {
+      out.os = rule.os;
+      return out;
+    }
+  }
+  return out;
+}
+
+DeviceFingerprinter::Report DeviceFingerprinter::summarize(
+    const std::vector<scan::BannerResult>& scan) const {
+  Report report;
+  std::map<std::string, std::uint64_t> hardware_counts;
+  std::map<std::string, std::uint64_t> os_counts;
+  for (const auto& result : scan) {
+    if (!result.any_tcp_payload) {
+      ++report.no_tcp_payload;
+      continue;
+    }
+    ++report.tcp_responsive;
+    const Fingerprint fp = classify(result.combined);
+    // Table 4 groups NAS/DSLAM and small clusters under "Others".
+    HardwareClass hardware = fp.hardware;
+    if (hardware == HardwareClass::kNas || hardware == HardwareClass::kDslam) {
+      hardware = HardwareClass::kOther;
+    }
+    ++hardware_counts[std::string(
+        resolver::hardware_class_name(hardware))];
+    ++os_counts[std::string(resolver::os_class_name(fp.os))];
+  }
+
+  const auto to_rows = [&report](const std::map<std::string, std::uint64_t>&
+                                     counts) {
+    std::vector<Row> rows;
+    for (const auto& [key, count] : counts) {
+      Row row;
+      row.key = key;
+      row.count = count;
+      row.share = report.tcp_responsive == 0
+                      ? 0.0
+                      : static_cast<double>(count) /
+                            static_cast<double>(report.tcp_responsive);
+      rows.push_back(std::move(row));
+    }
+    std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+      if (a.count != b.count) return a.count > b.count;
+      return a.key < b.key;
+    });
+    return rows;
+  };
+  report.hardware = to_rows(hardware_counts);
+  report.os = to_rows(os_counts);
+  return report;
+}
+
+}  // namespace dnswild::analysis

@@ -1,0 +1,65 @@
+// Banner-token device fingerprinting (§2.4, Table 4).
+//
+// The paper compiles 2,245 hand-written regular expressions from aggregated
+// banner corpora; this engine implements the same mechanism with a
+// representative token rule set: ordered case-insensitive token matches
+// that attribute a hardware class, an OS class, and a label (e.g. the
+// paper's example "dm500plus login" -> Linux DVR on PowerPC). Rules are
+// data, so callers can extend the set at runtime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "resolver/device.h"
+#include "scan/banner_scan.h"
+
+namespace dnswild::analysis {
+
+struct FingerprintRule {
+  // All tokens must occur (case-insensitive) in the combined banner text.
+  std::vector<std::string> tokens;
+  resolver::HardwareClass hardware = resolver::HardwareClass::kUnknown;
+  resolver::OsClass os = resolver::OsClass::kUnknown;
+  std::string label;
+};
+
+struct Fingerprint {
+  resolver::HardwareClass hardware = resolver::HardwareClass::kUnknown;
+  resolver::OsClass os = resolver::OsClass::kUnknown;
+  std::string label;  // empty when nothing matched
+};
+
+class DeviceFingerprinter {
+ public:
+  // Loads the built-in rule set.
+  DeviceFingerprinter();
+
+  void add_rule(FingerprintRule rule);
+  std::size_t rule_count() const noexcept { return rules_.size(); }
+
+  // First matching rule wins for the hardware class; OS falls back to
+  // OS-only rules when the winning rule leaves it unknown.
+  Fingerprint classify(std::string_view banner_text) const;
+
+  struct Row {
+    std::string key;
+    std::uint64_t count = 0;
+    double share = 0.0;  // of TCP-responsive resolvers
+  };
+  struct Report {
+    std::uint64_t tcp_responsive = 0;
+    std::uint64_t no_tcp_payload = 0;
+    std::vector<Row> hardware;  // per hardware class, sorted desc
+    std::vector<Row> os;        // per OS class, sorted desc
+  };
+
+  Report summarize(const std::vector<scan::BannerResult>& scan) const;
+
+ private:
+  std::vector<FingerprintRule> rules_;
+};
+
+}  // namespace dnswild::analysis

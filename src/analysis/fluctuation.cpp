@@ -1,0 +1,104 @@
+#include "analysis/fluctuation.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "net/countries.h"
+
+namespace dnswild::analysis {
+
+namespace {
+
+std::vector<FluctuationRow> group(
+    const std::vector<net::Ipv4>& first_scan,
+    const std::vector<net::Ipv4>& last_scan,
+    const std::function<std::string(net::Ipv4)>& key_of) {
+  std::unordered_map<std::string, FluctuationRow> rows;
+  for (const net::Ipv4 ip : first_scan) {
+    auto& row = rows[key_of(ip)];
+    ++row.first;
+  }
+  for (const net::Ipv4 ip : last_scan) {
+    auto& row = rows[key_of(ip)];
+    ++row.last;
+  }
+  std::vector<FluctuationRow> out;
+  out.reserve(rows.size());
+  for (auto& [key, row] : rows) {
+    row.key = key;
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FluctuationRow& a, const FluctuationRow& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.key < b.key;
+            });
+  return out;
+}
+
+}  // namespace
+
+std::vector<FluctuationRow> fluctuation_by_country(
+    const net::AsDb& asdb, const std::vector<net::Ipv4>& first_scan,
+    const std::vector<net::Ipv4>& last_scan) {
+  return group(first_scan, last_scan, [&asdb](net::Ipv4 ip) {
+    const auto country = asdb.country_of(ip);
+    return country.empty() ? std::string("??") : std::string(country);
+  });
+}
+
+std::vector<FluctuationRow> fluctuation_by_rir(
+    const net::AsDb& asdb, const std::vector<net::Ipv4>& first_scan,
+    const std::vector<net::Ipv4>& last_scan) {
+  return group(first_scan, last_scan, [&asdb](net::Ipv4 ip) {
+    return std::string(net::rir_name(asdb.rir_of_ip(ip)));
+  });
+}
+
+std::vector<AsFluctuationRow> fluctuation_by_as(
+    const net::AsDb& asdb, const std::vector<net::Ipv4>& first_scan,
+    const std::vector<net::Ipv4>& last_scan) {
+  std::unordered_map<std::uint32_t, AsFluctuationRow> rows;
+  const auto account = [&](const std::vector<net::Ipv4>& scan, bool is_first) {
+    for (const net::Ipv4 ip : scan) {
+      const auto asn = asdb.lookup_asn(ip);
+      if (!asn) continue;
+      auto& row = rows[*asn];
+      if (row.name.empty()) {
+        row.asn = *asn;
+        if (const net::AsInfo* info = asdb.find_as(*asn)) {
+          row.name = info->name;
+          row.country = info->country;
+        }
+      }
+      if (is_first) {
+        ++row.first;
+      } else {
+        ++row.last;
+      }
+    }
+  };
+  account(first_scan, true);
+  account(last_scan, false);
+  std::vector<AsFluctuationRow> out;
+  out.reserve(rows.size());
+  for (auto& [asn, row] : rows) out.push_back(std::move(row));
+  std::sort(out.begin(), out.end(),
+            [](const AsFluctuationRow& a, const AsFluctuationRow& b) {
+              const auto drop_a = static_cast<std::int64_t>(a.first) -
+                                  static_cast<std::int64_t>(a.last);
+              const auto drop_b = static_cast<std::int64_t>(b.first) -
+                                  static_cast<std::int64_t>(b.last);
+              if (drop_a != drop_b) return drop_a > drop_b;
+              return a.asn < b.asn;
+            });
+  return out;
+}
+
+std::vector<FluctuationRow> country_histogram(
+    const net::AsDb& asdb, const std::vector<net::Ipv4>& resolvers) {
+  return fluctuation_by_country(asdb, resolvers, {});
+}
+
+}  // namespace dnswild::analysis

@@ -1,0 +1,58 @@
+// Geographic and registry fluctuation statistics (§2.3, Tables 1–2).
+//
+// Groups resolver populations from two scans by GeoIP country or RIR and
+// computes the per-group fluctuation, plus the AS-level drill-down the
+// paper uses to attribute disappearances.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/asdb.h"
+#include "net/ip.h"
+
+namespace dnswild::analysis {
+
+struct FluctuationRow {
+  std::string key;  // country code or RIR name
+  std::uint64_t first = 0;
+  std::uint64_t last = 0;
+
+  std::int64_t delta() const noexcept {
+    return static_cast<std::int64_t>(last) - static_cast<std::int64_t>(first);
+  }
+  double delta_pct() const noexcept {
+    return first == 0 ? 0.0
+                      : 100.0 * static_cast<double>(delta()) /
+                            static_cast<double>(first);
+  }
+};
+
+// Rows sorted by `first` descending (the paper's Top-N ordering).
+std::vector<FluctuationRow> fluctuation_by_country(
+    const net::AsDb& asdb, const std::vector<net::Ipv4>& first_scan,
+    const std::vector<net::Ipv4>& last_scan);
+
+std::vector<FluctuationRow> fluctuation_by_rir(
+    const net::AsDb& asdb, const std::vector<net::Ipv4>& first_scan,
+    const std::vector<net::Ipv4>& last_scan);
+
+struct AsFluctuationRow {
+  std::uint32_t asn = 0;
+  std::string name;
+  std::string country;
+  std::uint64_t first = 0;
+  std::uint64_t last = 0;
+};
+
+// AS-level drill-down, sorted by absolute decrease descending.
+std::vector<AsFluctuationRow> fluctuation_by_as(
+    const net::AsDb& asdb, const std::vector<net::Ipv4>& first_scan,
+    const std::vector<net::Ipv4>& last_scan);
+
+// Country histogram of one resolver list (Fig. 4 panels).
+std::vector<FluctuationRow> country_histogram(
+    const net::AsDb& asdb, const std::vector<net::Ipv4>& resolvers);
+
+}  // namespace dnswild::analysis

@@ -1,0 +1,92 @@
+#include "analysis/popularity.h"
+
+#include <algorithm>
+
+namespace dnswild::analysis {
+
+PopularityEstimate estimate_popularity(
+    const std::vector<const scan::SnoopSeries*>& series,
+    std::uint32_t tld_ttl_seconds) {
+  PopularityEstimate estimate;
+  const std::int64_t ttl = tld_ttl_seconds;
+
+  double gap_sum = 0.0;
+  int gaps = 0;
+  for (const scan::SnoopSeries* entry : series) {
+    std::int64_t prev_cached_at = 0;
+    bool have_prev = false;
+    for (const auto& sample : entry->samples) {
+      if (!sample.responded || !sample.cached) continue;
+      if (sample.remaining_ttl > tld_ttl_seconds) continue;  // foreign TTL
+      const std::int64_t now = std::int64_t{sample.minute} * 60;
+      const std::int64_t cached_at =
+          now - (ttl - std::int64_t{sample.remaining_ttl});
+      if (have_prev && cached_at > prev_cached_at + 30) {
+        const std::int64_t gap = cached_at - (prev_cached_at + ttl);
+        if (gap >= 0) {  // re-added after expiry: a clean client-driven gap
+          gap_sum += static_cast<double>(gap);
+          ++gaps;
+        }
+      }
+      prev_cached_at = cached_at;
+      have_prev = true;
+    }
+  }
+  estimate.refresh_samples = gaps;
+  if (gaps > 0) {
+    // Exp(λ) gaps: λ^ = 1 / mean(gap). A zero mean (instant re-adds) is
+    // clamped to the sampling resolution.
+    const double mean_gap_seconds = std::max(1.0, gap_sum /
+                                                      static_cast<double>(gaps));
+    estimate.requests_per_hour = 3600.0 / mean_gap_seconds;
+  }
+  return estimate;
+}
+
+std::string_view popularity_bucket_name(PopularityBucket bucket) noexcept {
+  switch (bucket) {
+    case PopularityBucket::kUnobservable: return "unobservable";
+    case PopularityBucket::kLight: return "< 1 req/h";
+    case PopularityBucket::kModerate: return "1-60 req/h";
+    case PopularityBucket::kBusy: return "> 60 req/h";
+  }
+  return "?";
+}
+
+PopularityBucket bucket_of(const PopularityEstimate& estimate) noexcept {
+  if (estimate.refresh_samples == 0) return PopularityBucket::kUnobservable;
+  if (estimate.requests_per_hour < 1.0) return PopularityBucket::kLight;
+  if (estimate.requests_per_hour <= 60.0) return PopularityBucket::kModerate;
+  return PopularityBucket::kBusy;
+}
+
+PopularityReport summarize_popularity(
+    const std::vector<scan::SnoopSeries>& all_series,
+    std::uint32_t resolver_count, std::uint32_t tld_ttl_seconds) {
+  std::vector<std::vector<const scan::SnoopSeries*>> grouped(resolver_count);
+  for (const auto& series : all_series) {
+    if (series.resolver_index < resolver_count) {
+      grouped[series.resolver_index].push_back(&series);
+    }
+  }
+
+  PopularityReport report;
+  report.resolvers = resolver_count;
+  std::vector<double> rates;
+  for (const auto& group : grouped) {
+    const PopularityEstimate estimate =
+        estimate_popularity(group, tld_ttl_seconds);
+    ++report.per_bucket[static_cast<int>(bucket_of(estimate))];
+    if (estimate.refresh_samples > 0) {
+      rates.push_back(estimate.requests_per_hour);
+    }
+  }
+  if (!rates.empty()) {
+    std::nth_element(rates.begin(), rates.begin() + rates.size() / 2,
+                     rates.end());
+    report.median_requests_per_hour = rates[rates.size() / 2];
+  }
+  return report;
+}
+
+}  // namespace dnswild::analysis

@@ -1,0 +1,56 @@
+// Resolver popularity estimation from cache-snooping timelines.
+//
+// §2.6 closes by suggesting a finer-grained follow-up: use the time gap
+// between a TLD entry expiring and being re-added to approximate how busy
+// a resolver's client population is (Rajab et al., "Peeking Through the
+// Cloud"). If client requests for a TLD arrive as a Poisson process with
+// rate λ, the expiry→re-add gap is Exp(λ); averaging observed gaps across
+// TLDs yields a per-resolver request-rate estimate.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "scan/snoop_probe.h"
+
+namespace dnswild::analysis {
+
+struct PopularityEstimate {
+  // Mean client request rate for the snooped TLD set, in requests/hour.
+  // 0 when no refresh gap was observable.
+  double requests_per_hour = 0.0;
+  int refresh_samples = 0;  // gaps the estimate is based on
+};
+
+// Estimates one resolver's popularity from its per-TLD snoop series.
+// `tld_ttl_seconds` is the true zone TTL (public knowledge), which makes
+// expiry times and re-add instants exactly recoverable from sampled
+// remaining-TTL values.
+PopularityEstimate estimate_popularity(
+    const std::vector<const scan::SnoopSeries*>& series,
+    std::uint32_t tld_ttl_seconds);
+
+// Population buckets, following the spirit of the paper's "frequently
+// used" (≤ 5 s re-add ≈ busy) vs "in use" split.
+enum class PopularityBucket {
+  kUnobservable,  // no gap seen in the window
+  kLight,         // < 1 request/hour
+  kModerate,      // 1 .. 60 requests/hour
+  kBusy,          // > 60 requests/hour (sub-minute re-adds)
+};
+
+std::string_view popularity_bucket_name(PopularityBucket bucket) noexcept;
+PopularityBucket bucket_of(const PopularityEstimate& estimate) noexcept;
+
+struct PopularityReport {
+  std::uint64_t resolvers = 0;
+  std::uint64_t per_bucket[4] = {};
+  double median_requests_per_hour = 0.0;  // over observable resolvers
+};
+
+PopularityReport summarize_popularity(
+    const std::vector<scan::SnoopSeries>& all_series,
+    std::uint32_t resolver_count, std::uint32_t tld_ttl_seconds);
+
+}  // namespace dnswild::analysis

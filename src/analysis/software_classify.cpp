@@ -1,0 +1,185 @@
+#include "analysis/software_classify.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace dnswild::analysis {
+
+namespace {
+
+bool is_error(dns::RCode rcode) {
+  return rcode == dns::RCode::kRefused || rcode == dns::RCode::kServFail;
+}
+
+// Extracts a dotted version number starting at `pos` ("9.8.2-P1" -> 9.8.2).
+std::optional<std::string> take_version(std::string_view text,
+                                        std::size_t pos) {
+  while (pos < text.size() &&
+         !util::is_digit_ascii(text[pos])) {
+    ++pos;
+  }
+  std::size_t end = pos;
+  bool seen_dot = false;
+  while (end < text.size() &&
+         (util::is_digit_ascii(text[end]) || text[end] == '.')) {
+    if (text[end] == '.') seen_dot = true;
+    ++end;
+  }
+  if (end == pos || !seen_dot) return std::nullopt;
+  // Trim a trailing dot ("9.8." -> "9.8").
+  if (text[end - 1] == '.') --end;
+  return std::string(text.substr(pos, end - pos));
+}
+
+}  // namespace
+
+std::optional<ParsedVersion> parse_version_banner(std::string_view banner) {
+  struct Pattern {
+    std::string_view token;
+    std::string_view canonical;
+  };
+  static constexpr Pattern kPatterns[] = {
+      {"bind", "BIND"},
+      {"named", "BIND"},
+      {"dnsmasq", "Dnsmasq"},
+      {"unbound", "Unbound"},
+      {"powerdns", "PowerDNS"},
+      {"pdns", "PowerDNS"},
+      {"microsoft dns", "Microsoft DNS"},
+      {"nominum", "Nominum Vantio"},
+      {"vantio", "Nominum Vantio"},
+      {"zywall", "ZyWALL DNS"},
+  };
+  const std::string lowered = util::lower(banner);
+  for (const Pattern& pattern : kPatterns) {
+    const std::size_t hit = lowered.find(pattern.token);
+    if (hit == std::string::npos) continue;
+    const auto version =
+        take_version(lowered, hit + pattern.token.size());
+    if (!version) continue;
+    return ParsedVersion{std::string(pattern.canonical), *version};
+  }
+  // Bare "9.8.2"-style responses are BIND's default format when only the
+  // version number was configured; require a dotted triple to avoid
+  // swallowing arbitrary hidden strings.
+  const auto bare = take_version(lowered, 0);
+  if (bare && std::count(bare->begin(), bare->end(), '.') >= 2 &&
+      lowered.size() <= bare->size() + 2) {
+    return ParsedVersion{"BIND", *bare};
+  }
+  return std::nullopt;
+}
+
+ChaosClassification classify_chaos(const scan::ChaosResult& result) {
+  ChaosClassification out;
+  if (!result.responded) return out;
+  const bool bind_error = is_error(result.rcode_bind);
+  const bool server_error = is_error(result.rcode_server);
+  if (bind_error && server_error) {
+    out.cls = ChaosClass::kErrorBoth;
+    return out;
+  }
+  for (const auto& banner : {result.version_bind, result.version_server}) {
+    if (!banner) continue;
+    if (auto parsed = parse_version_banner(*banner)) {
+      out.cls = ChaosClass::kRevealing;
+      out.parsed = std::move(parsed);
+      return out;
+    }
+  }
+  const bool any_banner =
+      (result.version_bind && !result.version_bind->empty()) ||
+      (result.version_server && !result.version_server->empty());
+  out.cls = any_banner ? ChaosClass::kHiddenString : ChaosClass::kNoVersion;
+  return out;
+}
+
+SoftwareReport summarize_software(const std::vector<scan::ChaosResult>& scan,
+                                  std::size_t top_n) {
+  SoftwareReport report;
+  std::unordered_map<std::string, std::uint64_t> version_counts;
+  std::uint64_t bind_total = 0;
+  std::uint64_t dos_total = 0;
+  std::uint64_t bypass_total = 0;
+
+  const auto& catalog = resolver::software_catalog();
+  const auto catalog_entry =
+      [&catalog](const ParsedVersion& parsed) -> const resolver::SoftwareProfile* {
+    for (const auto& profile : catalog) {
+      if (util::iequals(profile.name, parsed.software) &&
+          profile.version == parsed.version) {
+        return &profile;
+      }
+    }
+    return nullptr;
+  };
+
+  for (const auto& result : scan) {
+    const ChaosClassification cls = classify_chaos(result);
+    switch (cls.cls) {
+      case ChaosClass::kUnresponsive: continue;
+      case ChaosClass::kErrorBoth: ++report.error_both; break;
+      case ChaosClass::kNoVersion: ++report.no_version; break;
+      case ChaosClass::kHiddenString: ++report.hidden; break;
+      case ChaosClass::kRevealing: {
+        ++report.revealing;
+        const std::string key =
+            cls.parsed->software + " " + cls.parsed->version;
+        ++version_counts[key];
+        if (cls.parsed->software == "BIND") ++bind_total;
+        if (const auto* profile = catalog_entry(*cls.parsed)) {
+          if (profile->vulnerable_dos) ++dos_total;
+          if (profile->vulnerable_bypass) ++bypass_total;
+        }
+        break;
+      }
+    }
+    ++report.responded;
+  }
+
+  std::vector<SoftwareRow> rows;
+  rows.reserve(version_counts.size());
+  for (const auto& [key, count] : version_counts) {
+    SoftwareRow row;
+    row.software = key;
+    row.count = count;
+    row.share_of_revealing =
+        report.revealing == 0
+            ? 0.0
+            : static_cast<double>(count) /
+                  static_cast<double>(report.revealing);
+    // Annotate from the catalog when the version is known.
+    for (const auto& profile : catalog) {
+      if (profile.banner() == key) {
+        row.released = profile.released;
+        row.deprecated = profile.deprecated;
+        row.cves = profile.cves;
+        break;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const SoftwareRow& a, const SoftwareRow& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.software < b.software;
+            });
+  if (rows.size() > top_n) rows.resize(top_n);
+  report.top = std::move(rows);
+
+  if (report.revealing > 0) {
+    report.bind_share_of_revealing =
+        static_cast<double>(bind_total) /
+        static_cast<double>(report.revealing);
+    report.vulnerable_dos_share =
+        static_cast<double>(dos_total) / static_cast<double>(report.revealing);
+    report.vulnerable_bypass_share =
+        static_cast<double>(bypass_total) /
+        static_cast<double>(report.revealing);
+  }
+  return report;
+}
+
+}  // namespace dnswild::analysis

@@ -1,0 +1,70 @@
+// CHAOS response classification (§2.4, Table 3).
+//
+// Buckets version-scan results the way the paper reports them: error for
+// both probes, NOERROR without version, operator-hidden strings, and
+// version-revealing — the last parsed into (software, version) and matched
+// against the vulnerability catalog.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "resolver/software.h"
+#include "scan/chaos_scan.h"
+
+namespace dnswild::analysis {
+
+enum class ChaosClass {
+  kErrorBoth,      // REFUSED/SERVFAIL for both probes (42.7%)
+  kNoVersion,      // NOERROR but empty version in both (4.6%)
+  kHiddenString,   // arbitrary operator string (18.8%)
+  kRevealing,      // usable software/version info (33.9%)
+  kUnresponsive,   // no response at all
+};
+
+struct ParsedVersion {
+  std::string software;  // canonical name ("BIND", "Dnsmasq", ...)
+  std::string version;
+};
+
+// Parses a version banner ("BIND 9.8.2", "dnsmasq-2.40", "Microsoft DNS
+// 6.1.7601 (1DB14556)", "unbound 1.4.22", "PowerDNS Recursor 3.5.3", ...).
+// nullopt when the string carries no recognizable software name+version.
+std::optional<ParsedVersion> parse_version_banner(std::string_view banner);
+
+struct ChaosClassification {
+  ChaosClass cls = ChaosClass::kUnresponsive;
+  std::optional<ParsedVersion> parsed;
+};
+
+ChaosClassification classify_chaos(const scan::ChaosResult& result);
+
+struct SoftwareRow {
+  std::string software;  // "BIND 9.8.2"
+  std::uint64_t count = 0;
+  double share_of_revealing = 0.0;
+  std::string released;
+  std::string deprecated;
+  std::string cves;
+};
+
+struct SoftwareReport {
+  std::uint64_t responded = 0;
+  std::uint64_t error_both = 0;
+  std::uint64_t no_version = 0;
+  std::uint64_t hidden = 0;
+  std::uint64_t revealing = 0;
+  std::vector<SoftwareRow> top;  // sorted by count descending
+  double bind_share_of_revealing = 0.0;
+  double vulnerable_dos_share = 0.0;     // of revealing resolvers
+  double vulnerable_bypass_share = 0.0;  // of revealing resolvers
+};
+
+// Aggregates a full CHAOS scan into the Table 3 report. `top_n` limits the
+// per-version rows (the paper shows 10).
+SoftwareReport summarize_software(const std::vector<scan::ChaosResult>& scan,
+                                  std::size_t top_n = 10);
+
+}  // namespace dnswild::analysis

@@ -1,0 +1,170 @@
+#include "analysis/utilization.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace dnswild::analysis {
+
+std::string_view utilization_class_name(UtilizationClass cls) noexcept {
+  switch (cls) {
+    case UtilizationClass::kUnreachable: return "unreachable";
+    case UtilizationClass::kEmptyResponses: return "empty responses";
+    case UtilizationClass::kSingleResponse: return "single response";
+    case UtilizationClass::kStaticTtl: return "static TTL";
+    case UtilizationClass::kZeroTtl: return "TTL zero";
+    case UtilizationClass::kFrequentlyUsed: return "frequently used (<=5s)";
+    case UtilizationClass::kActivelyUsed: return "actively used";
+    case UtilizationClass::kTtlReset: return "TTL reset / LB group";
+    case UtilizationClass::kDecreasingOnly: return "decreasing, no expiry";
+    case UtilizationClass::kInconclusive: return "inconclusive";
+  }
+  return "?";
+}
+
+namespace {
+
+struct TldVerdict {
+  bool any_response = false;
+  bool any_cached = false;
+  bool single_then_silent = false;
+  bool static_ttl = false;
+  bool zero_ttl = false;
+  bool refreshed = false;       // re-added after an expiry
+  bool fast_refresh = false;    // gap <= threshold
+  bool reset_ahead = false;     // re-added before its expiry
+  bool decreasing_only = false; // monotone decrease, no expiry seen
+};
+
+TldVerdict judge_tld(const scan::SnoopSeries& series,
+                     const UtilizationConfig& config) {
+  TldVerdict verdict;
+  const auto& samples = series.samples;
+  const std::int64_t ttl = config.tld_ttl_seconds;
+
+  int responded = 0;
+  int cached = 0;
+  bool all_same_ttl = true;
+  bool all_zero = true;
+  std::uint32_t first_ttl = 0;
+  bool have_first = false;
+  bool monotone = true;
+
+  // Previous cached observation, as absolute seconds.
+  std::int64_t prev_time = 0;
+  std::int64_t prev_cached_at = 0;
+  bool have_prev = false;
+
+  for (const auto& sample : samples) {
+    if (!sample.responded) continue;
+    ++responded;
+    if (!sample.cached) continue;
+    ++cached;
+    if (!have_first) {
+      first_ttl = sample.remaining_ttl;
+      have_first = true;
+    } else if (sample.remaining_ttl != first_ttl) {
+      all_same_ttl = false;
+    }
+    if (sample.remaining_ttl != 0) all_zero = false;
+
+    const std::int64_t now = std::int64_t{sample.minute} * 60;
+    const std::int64_t cached_at =
+        now - (ttl - std::int64_t{sample.remaining_ttl});
+    if (have_prev) {
+      const std::int64_t elapsed = now - prev_time;
+      // Same cache entry would have remaining = prev_remaining - elapsed.
+      if (cached_at > prev_cached_at + 30) {  // 30 s tolerance: re-added
+        const std::int64_t prev_expiry = prev_cached_at + ttl;
+        const std::int64_t gap = cached_at - prev_expiry;
+        if (gap >= 0) {
+          verdict.refreshed = true;
+          if (gap <= config.fast_refresh_seconds) verdict.fast_refresh = true;
+        } else {
+          verdict.reset_ahead = true;
+        }
+        monotone = false;
+      }
+      (void)elapsed;
+    }
+    prev_time = now;
+    prev_cached_at = cached_at;
+    have_prev = true;
+  }
+
+  verdict.any_response = responded > 0;
+  verdict.any_cached = cached > 0;
+  verdict.single_then_silent = responded == 1 && samples.size() > 1;
+  verdict.static_ttl = cached >= 2 && all_same_ttl && first_ttl != 0;
+  verdict.zero_ttl = cached >= 1 && all_zero;
+  verdict.decreasing_only =
+      cached >= 2 && monotone && !verdict.refreshed && !verdict.reset_ahead &&
+      !all_same_ttl;
+  return verdict;
+}
+
+}  // namespace
+
+UtilizationClass classify_utilization(
+    const std::vector<const scan::SnoopSeries*>& series,
+    const UtilizationConfig& config) {
+  int tlds_responding = 0;
+  int tlds_cached = 0;
+  int tlds_refreshed = 0;
+  int tlds_fast = 0;
+  int tlds_reset = 0;
+  int tlds_single = 0;
+  int tlds_static = 0;
+  int tlds_zero = 0;
+  int tlds_decreasing = 0;
+
+  for (const scan::SnoopSeries* entry : series) {
+    const TldVerdict verdict = judge_tld(*entry, config);
+    if (verdict.any_response) ++tlds_responding;
+    if (verdict.any_cached) ++tlds_cached;
+    if (verdict.refreshed) ++tlds_refreshed;
+    if (verdict.fast_refresh) ++tlds_fast;
+    if (verdict.reset_ahead) ++tlds_reset;
+    if (verdict.single_then_silent) ++tlds_single;
+    if (verdict.static_ttl) ++tlds_static;
+    if (verdict.zero_ttl) ++tlds_zero;
+    if (verdict.decreasing_only) ++tlds_decreasing;
+  }
+
+  if (tlds_responding == 0) return UtilizationClass::kUnreachable;
+  if (tlds_cached == 0) return UtilizationClass::kEmptyResponses;
+  if (tlds_single == tlds_responding && tlds_single > 0) {
+    return UtilizationClass::kSingleResponse;
+  }
+  if (tlds_zero == tlds_cached) return UtilizationClass::kZeroTtl;
+  if (tlds_static == tlds_cached) return UtilizationClass::kStaticTtl;
+  if (tlds_refreshed >= config.min_refreshed_tlds) {
+    return tlds_fast > 0 ? UtilizationClass::kFrequentlyUsed
+                         : UtilizationClass::kActivelyUsed;
+  }
+  if (tlds_reset > 0) return UtilizationClass::kTtlReset;
+  if (tlds_decreasing > 0) return UtilizationClass::kDecreasingOnly;
+  return UtilizationClass::kInconclusive;
+}
+
+UtilizationReport summarize_utilization(
+    const std::vector<scan::SnoopSeries>& all_series,
+    std::uint32_t resolver_count, const UtilizationConfig& config) {
+  // Group by resolver index.
+  std::vector<std::vector<const scan::SnoopSeries*>> grouped(resolver_count);
+  for (const auto& series : all_series) {
+    if (series.resolver_index < resolver_count) {
+      grouped[series.resolver_index].push_back(&series);
+    }
+  }
+
+  UtilizationReport report;
+  report.total = resolver_count;
+  for (const auto& group : grouped) {
+    const UtilizationClass cls = classify_utilization(group, config);
+    ++report.per_class[static_cast<int>(cls)];
+    if (cls != UtilizationClass::kUnreachable) ++report.responded_any;
+  }
+  return report;
+}
+
+}  // namespace dnswild::analysis

@@ -1,0 +1,66 @@
+// Resolver utilization classification from cache-snooping timelines (§2.6).
+//
+// Consumes the hourly TTL samples the SnoopProber collected and sorts each
+// resolver into the paper's behaviour classes: unreachable, empty
+// responses, single-response-then-silence, static/zero TTLs, actively used
+// (>= 3 TLDs re-added after expiry; "frequently used" when at least one
+// re-add happened within 5 s), TTL-resetting / load-balanced groups, and
+// caches whose entries decrease but never expire inside the window.
+//
+// Knowing the true zone TTL (public information — the TLDs' NS TTLs) makes
+// refresh-gap recovery exact: an entry observed with remaining TTL r at
+// time t was cached at t - (ttl - r).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "scan/snoop_probe.h"
+
+namespace dnswild::analysis {
+
+enum class UtilizationClass {
+  kUnreachable,      // never answered a snoop query
+  kEmptyResponses,   // answered, but never with NS records (empty answers)
+  kSingleResponse,   // one answer per TLD, then silence
+  kStaticTtl,        // constant non-zero TTL on every sample
+  kZeroTtl,          // TTL always zero
+  kFrequentlyUsed,   // >= 3 TLDs refreshed, at least one within 5 s
+  kActivelyUsed,     // >= 3 TLDs refreshed (slower re-adds)
+  kTtlReset,         // TTL reset ahead of expiry / load-balanced group
+  kDecreasingOnly,   // decreasing TTL, no expiry observable in the window
+  kInconclusive,
+};
+
+std::string_view utilization_class_name(UtilizationClass cls) noexcept;
+
+struct UtilizationConfig {
+  std::uint32_t tld_ttl_seconds = 21600;  // true zone TTL
+  int fast_refresh_seconds = 5;           // §2.6 threshold
+  int min_refreshed_tlds = 3;             // §2.6 "in use" threshold
+};
+
+// Classifies one resolver from its per-TLD series (all series must belong
+// to the same resolver).
+UtilizationClass classify_utilization(
+    const std::vector<const scan::SnoopSeries*>& series,
+    const UtilizationConfig& config);
+
+struct UtilizationReport {
+  std::uint64_t total = 0;
+  std::uint64_t responded_any = 0;  // >= 1 snoop response (83.2% in §2.6)
+  std::uint64_t per_class[10] = {};
+
+  std::uint64_t in_use() const noexcept {
+    return per_class[static_cast<int>(UtilizationClass::kFrequentlyUsed)] +
+           per_class[static_cast<int>(UtilizationClass::kActivelyUsed)];
+  }
+};
+
+// Groups the prober's output by resolver and classifies each.
+UtilizationReport summarize_utilization(
+    const std::vector<scan::SnoopSeries>& all_series,
+    std::uint32_t resolver_count, const UtilizationConfig& config);
+
+}  // namespace dnswild::analysis

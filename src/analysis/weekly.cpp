@@ -1,0 +1,74 @@
+#include "analysis/weekly.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace dnswild::analysis {
+
+WeeklyCampaignResult run_weekly_campaign(net::World& world,
+                                         const WeeklyCampaignConfig& config) {
+  WeeklyCampaignResult result;
+  const std::int64_t start_minute = world.clock().minutes();
+
+  // Alive = still answering NOERROR at the same address (§2.5).
+  const auto probe_alive = [&world, &config](
+                               const std::vector<net::Ipv4>& targets) {
+    scan::Ipv4Scanner prober(world, config.scan);
+    const auto summary = prober.probe_targets(targets);
+    std::unordered_set<net::Ipv4> alive(summary.noerror_targets.begin(),
+                                        summary.noerror_targets.end());
+    return alive;
+  };
+
+  for (int week = 0; week < config.weeks; ++week) {
+    // Daily churn probes inside the first week, BEFORE advancing to the
+    // week-1 scan (time is monotonic).
+    if (config.track_churn && week == 1 &&
+        !result.first_scan_noerror.empty()) {
+      for (int day = 1; day < 7; ++day) {
+        world.set_time_minutes(start_minute + (std::int64_t{day}) * 1440);
+        const auto alive = probe_alive(result.first_scan_noerror);
+        result.churn_age_days.push_back(static_cast<double>(day));
+        result.churn_alive.push_back(alive.size());
+        if (day == 1) {
+          for (const net::Ipv4 ip : result.first_scan_noerror) {
+            if (alive.find(ip) == alive.end()) {
+              result.disappeared_first_day.push_back(ip);
+            }
+          }
+        }
+      }
+    }
+    world.set_time_minutes(start_minute + std::int64_t{week} * 7 * 1440);
+
+    scan::Ipv4Scanner scanner(world, config.scan);
+    const auto summary = scanner.scan(config.universe);
+
+    WeeklyPoint point;
+    point.week = week;
+    point.date = world.clock().date().to_string();
+    point.all = summary.responses;
+    point.noerror = summary.noerror;
+    point.refused = summary.refused;
+    point.servfail = summary.servfail;
+    point.multihomed = summary.multihomed;
+    result.series.push_back(point);
+
+    if (week == 0) {
+      result.first_scan_noerror = summary.noerror_targets;
+    }
+    if (week == config.weeks - 1) {
+      result.last_scan_noerror = summary.noerror_targets;
+    }
+
+    // Weekly churn point: how many of the initial resolvers still answer.
+    if (config.track_churn && week > 0) {
+      const auto alive = probe_alive(result.first_scan_noerror);
+      result.churn_age_days.push_back(static_cast<double>(week) * 7.0);
+      result.churn_alive.push_back(alive.size());
+    }
+  }
+  return result;
+}
+
+}  // namespace dnswild::analysis

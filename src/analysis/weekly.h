@@ -1,0 +1,55 @@
+// Weekly scan campaign (§2.2, Fig. 1; §2.5, Fig. 2).
+//
+// Runs the 55-week scanning schedule against a world: one Internet-wide
+// scan per week (spread over ~8 hours of simulated time), recording the
+// per-status series for Fig. 1, re-probing the first week's resolver
+// population for the churn curve of Fig. 2 (with daily probes during the
+// first week, which is where >40% of the churn happens), and keeping the
+// scan populations the follow-up campaigns (fluctuation tables, software /
+// device fingerprinting) start from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/world.h"
+#include "scan/blacklist.h"
+#include "scan/ipv4scan.h"
+
+namespace dnswild::analysis {
+
+struct WeeklyPoint {
+  int week = 0;
+  std::string date;  // "2014/01/31"
+  std::uint64_t all = 0;
+  std::uint64_t noerror = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t servfail = 0;
+  std::uint64_t multihomed = 0;
+};
+
+struct WeeklyCampaignConfig {
+  int weeks = 55;
+  scan::Ipv4ScanConfig scan;
+  std::vector<net::Cidr> universe;
+  // When true, the initial population is probed daily for the first week
+  // and weekly afterwards (Fig. 2 needs the day-1 point).
+  bool track_churn = true;
+};
+
+struct WeeklyCampaignResult {
+  std::vector<WeeklyPoint> series;                   // Fig. 1
+  std::vector<net::Ipv4> first_scan_noerror;         // initial population
+  std::vector<net::Ipv4> last_scan_noerror;          // final population
+  // Churn probes of the initial population: (age_days, alive_count).
+  std::vector<double> churn_age_days;
+  std::vector<std::uint64_t> churn_alive;
+  // Initial resolvers gone by the first daily probe (rDNS analysis, §2.5).
+  std::vector<net::Ipv4> disappeared_first_day;
+};
+
+WeeklyCampaignResult run_weekly_campaign(net::World& world,
+                                         const WeeklyCampaignConfig& config);
+
+}  // namespace dnswild::analysis

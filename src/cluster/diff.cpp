@@ -1,0 +1,87 @@
+#include "cluster/diff.h"
+
+#include <algorithm>
+
+#include "cluster/distance.h"
+
+namespace dnswild::cluster {
+
+std::size_t TagDelta::total_changes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [tag, count] : added) total += static_cast<std::size_t>(count);
+  for (const auto& [tag, count] : removed) {
+    total += static_cast<std::size_t>(count);
+  }
+  return total;
+}
+
+TagDelta tag_diff(const std::vector<std::uint16_t>& reference,
+                  const std::vector<std::uint16_t>& unknown) {
+  // Hunt–Szymanski would be faster on huge inputs; plain DP LCS is fine for
+  // page-sized tag sequences and is exact.
+  const std::size_t n = reference.size();
+  const std::size_t m = unknown.size();
+  std::vector<std::uint32_t> dp((n + 1) * (m + 1), 0);
+  const auto at = [&](std::size_t i, std::size_t j) -> std::uint32_t& {
+    return dp[i * (m + 1) + j];
+  };
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      at(i, j) = reference[i - 1] == unknown[j - 1]
+                     ? at(i - 1, j - 1) + 1
+                     : std::max(at(i - 1, j), at(i, j - 1));
+    }
+  }
+  // Backtrack: unmatched reference tags were removed, unmatched unknown
+  // tags were added.
+  TagDelta delta;
+  std::size_t i = n, j = m;
+  while (i > 0 && j > 0) {
+    if (reference[i - 1] == unknown[j - 1]) {
+      --i;
+      --j;
+    } else if (at(i - 1, j) >= at(i, j - 1)) {
+      delta.removed[reference[i - 1]] += 1;
+      --i;
+    } else {
+      delta.added[unknown[j - 1]] += 1;
+      --j;
+    }
+  }
+  while (i > 0) delta.removed[reference[--i]] += 1;
+  while (j > 0) delta.added[unknown[--j]] += 1;
+  return delta;
+}
+
+double delta_distance(const TagDelta& a, const TagDelta& b) {
+  return (jaccard_multiset(a.added, b.added) +
+          jaccard_multiset(a.removed, b.removed)) /
+         2.0;
+}
+
+std::size_t most_similar_reference(
+    const http::PageFeatures& unknown,
+    const std::vector<http::PageFeatures>& references) {
+  std::size_t best = 0;
+  double best_distance = 2.0;
+  for (std::size_t i = 0; i < references.size(); ++i) {
+    const double d = page_distance(unknown, references[i]);
+    if (d < best_distance) {
+      best_distance = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<int> cluster_deltas(const std::vector<TagDelta>& deltas,
+                                double cut_threshold) {
+  if (deltas.empty()) return {};
+  const auto dendrogram = hac_average_linkage(
+      deltas.size(), [&deltas](std::size_t i, std::size_t j) {
+        return delta_distance(deltas[i], deltas[j]);
+      });
+  return dendrogram.cut(cut_threshold);
+}
+
+}  // namespace dnswild::cluster

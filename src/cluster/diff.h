@@ -1,0 +1,52 @@
+// Fine-grained clustering: finding small page modifications (§3.6).
+//
+// The coarse clustering tolerates structural noise, which hides the very
+// thing the study hunts in its second pass: small, possibly malicious edits
+// (e.g. an injected <script>) to an otherwise-known page. This module
+// mirrors the paper's approach: diff the unknown response against the most
+// similar ground-truth representation (LCS over the tag sequences, the
+// structural analogue of the `diff` utility), extract the multisets of
+// added and removed tags, and cluster responses by Jaccard distance over
+// those tag deltas.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/hac.h"
+#include "http/html.h"
+
+namespace dnswild::cluster {
+
+struct TagDelta {
+  std::unordered_map<std::uint16_t, int> added;
+  std::unordered_map<std::uint16_t, int> removed;
+
+  std::size_t total_changes() const noexcept;
+  bool empty() const noexcept { return added.empty() && removed.empty(); }
+};
+
+// Structural diff between an unknown page and a reference: tags present in
+// `unknown` but not matched in `reference` are "added", and vice versa.
+// Computed from the LCS of the two opening-tag sequences.
+TagDelta tag_diff(const std::vector<std::uint16_t>& reference,
+                  const std::vector<std::uint16_t>& unknown);
+
+// Distance between two deltas: mean of the Jaccard multiset distances of
+// the added and removed sets.
+double delta_distance(const TagDelta& a, const TagDelta& b);
+
+// Index of the ground-truth representation most similar to `unknown`
+// (§3.6: "we select the ground truth with the highest similarity").
+std::size_t most_similar_reference(
+    const http::PageFeatures& unknown,
+    const std::vector<http::PageFeatures>& references);
+
+// Clusters deltas with average-linkage HAC at the given cut; returns a
+// label per delta.
+std::vector<int> cluster_deltas(const std::vector<TagDelta>& deltas,
+                                double cut_threshold);
+
+}  // namespace dnswild::cluster

@@ -1,0 +1,181 @@
+#include "cluster/distance.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace dnswild::cluster {
+
+namespace {
+
+template <typename Seq>
+std::size_t levenshtein(const Seq& a, const Seq& b) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0) return m;
+  if (m == 0) return n;
+  // Two-row DP over the shorter sequence for cache friendliness.
+  if (m > n) return levenshtein(b, a);
+  std::vector<std::size_t> row(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) row[j] = j;
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::size_t above = row[j];
+      const std::size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      row[j] = std::min({above + 1, row[j - 1] + 1, diagonal + cost});
+      diagonal = above;
+    }
+  }
+  return row[m];
+}
+
+}  // namespace
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  return levenshtein(a, b);
+}
+
+std::size_t edit_distance(const std::vector<std::uint16_t>& a,
+                          const std::vector<std::uint16_t>& b) {
+  return levenshtein(a, b);
+}
+
+std::size_t edit_distance_banded(std::string_view a, std::string_view b,
+                                 std::size_t band) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  const std::size_t size_gap = n > m ? n - m : m - n;
+  if (size_gap > band) return band + 1;
+  if (n == 0) return m;
+  if (m == 0) return n;
+
+  constexpr std::size_t kInfinity = static_cast<std::size_t>(-1) / 2;
+  std::vector<std::size_t> row(m + 1, kInfinity);
+  std::vector<std::size_t> next(m + 1, kInfinity);
+  for (std::size_t j = 0; j <= std::min(m, band); ++j) row[j] = j;
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(next.begin(), next.end(), kInfinity);
+    const std::size_t lo = i > band ? i - band : 0;
+    const std::size_t hi = std::min(m, i + band);
+    if (lo == 0) next[0] = i;
+    for (std::size_t j = std::max<std::size_t>(lo, 1); j <= hi; ++j) {
+      const std::size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      std::size_t best = row[j - 1] + cost;  // diagonal
+      if (row[j] != kInfinity) best = std::min(best, row[j] + 1);
+      if (next[j - 1] != kInfinity) best = std::min(best, next[j - 1] + 1);
+      next[j] = best;
+    }
+    row.swap(next);
+    // Early out: the whole band exceeded the threshold.
+    bool alive = false;
+    for (std::size_t j = lo; j <= hi; ++j) {
+      if (row[j] <= band) {
+        alive = true;
+        break;
+      }
+    }
+    if (!alive) return band + 1;
+  }
+  return std::min(row[m], band + 1);
+}
+
+double edit_distance_norm(std::string_view a, std::string_view b) {
+  const std::size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 0.0;
+  return static_cast<double>(edit_distance(a, b)) /
+         static_cast<double>(longest);
+}
+
+double edit_distance_norm(const std::vector<std::uint16_t>& a,
+                          const std::vector<std::uint16_t>& b) {
+  const std::size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 0.0;
+  return static_cast<double>(edit_distance(a, b)) /
+         static_cast<double>(longest);
+}
+
+double jaccard_multiset(const std::unordered_map<std::uint16_t, int>& a,
+                        const std::unordered_map<std::uint16_t, int>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  long long intersection = 0;
+  long long union_size = 0;
+  for (const auto& [key, count_a] : a) {
+    const auto it = b.find(key);
+    const int count_b = it == b.end() ? 0 : it->second;
+    intersection += std::min(count_a, count_b);
+    union_size += std::max(count_a, count_b);
+  }
+  for (const auto& [key, count_b] : b) {
+    if (a.find(key) == a.end()) union_size += count_b;
+  }
+  if (union_size == 0) return 0.0;
+  return 1.0 - static_cast<double>(intersection) /
+                   static_cast<double>(union_size);
+}
+
+double jaccard_sorted(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  std::size_t intersection = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++intersection;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const std::size_t union_size = a.size() + b.size() - intersection;
+  return 1.0 - static_cast<double>(intersection) /
+                   static_cast<double>(union_size);
+}
+
+PageDistanceBreakdown page_distance_breakdown(
+    const http::PageFeatures& a, const http::PageFeatures& b,
+    const PageDistanceOptions& options) {
+  PageDistanceBreakdown out;
+
+  const std::size_t longest = std::max(a.body_length, b.body_length);
+  out.length = longest == 0
+                   ? 0.0
+                   : static_cast<double>(
+                         std::max(a.body_length, b.body_length) -
+                         std::min(a.body_length, b.body_length)) /
+                         static_cast<double>(longest);
+
+  out.tag_multiset = jaccard_multiset(a.tag_counts, b.tag_counts);
+
+  const auto clip_seq = [&options](const std::vector<std::uint16_t>& seq) {
+    if (seq.size() <= options.max_edit_length) return seq;
+    return std::vector<std::uint16_t>(
+        seq.begin(),
+        seq.begin() + static_cast<std::ptrdiff_t>(options.max_edit_length));
+  };
+  out.tag_sequence =
+      edit_distance_norm(clip_seq(a.tag_sequence), clip_seq(b.tag_sequence));
+
+  const auto clip_text = [&options](const std::string& text) {
+    return std::string_view(text).substr(
+        0, std::min(text.size(), options.max_edit_length));
+  };
+  out.title = edit_distance_norm(clip_text(a.title), clip_text(b.title));
+  out.scripts =
+      edit_distance_norm(clip_text(a.scripts), clip_text(b.scripts));
+
+  out.resources = jaccard_sorted(a.resources, b.resources);
+  out.links = jaccard_sorted(a.links, b.links);
+  return out;
+}
+
+double page_distance(const http::PageFeatures& a, const http::PageFeatures& b,
+                     const PageDistanceOptions& options) {
+  return page_distance_breakdown(a, b, options).combined();
+}
+
+}  // namespace dnswild::cluster

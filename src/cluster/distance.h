@@ -1,0 +1,80 @@
+// Distance primitives and the paper's seven-feature page distance (§3.6).
+//
+// The coarse-grained clustering compares HTTP responses with a custom
+// distance built from seven normalized, equally-weighted features:
+//   1. body length difference,
+//   2. Jaccard distance over the HTML tag multiset,
+//   3. edit distance over the opening-tag sequence (2-byte tag ids),
+//   4. edit distance over the <title> text,
+//   5. edit distance over concatenated JavaScript,
+//   6. Jaccard distance over embedded resources (src= values),
+//   7. Jaccard distance over outgoing links (href= values).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "http/html.h"
+
+namespace dnswild::cluster {
+
+// Classic Levenshtein distance, O(|a|*|b|) time, O(min) space.
+std::size_t edit_distance(std::string_view a, std::string_view b);
+std::size_t edit_distance(const std::vector<std::uint16_t>& a,
+                          const std::vector<std::uint16_t>& b);
+
+// Banded Levenshtein: exact when the true distance is <= band, otherwise
+// returns a value > band (clamped). Used as a fast path for long inputs.
+std::size_t edit_distance_banded(std::string_view a, std::string_view b,
+                                 std::size_t band);
+
+// Normalized edit distance in [0, 1]: distance / max(|a|, |b|); 0 for two
+// empty inputs.
+double edit_distance_norm(std::string_view a, std::string_view b);
+double edit_distance_norm(const std::vector<std::uint16_t>& a,
+                          const std::vector<std::uint16_t>& b);
+
+// Jaccard distance for multisets: 1 - |A ∩ B| / |A ∪ B| with multiplicity
+// (intersection takes min counts, union max counts). 0 for two empty sets.
+double jaccard_multiset(const std::unordered_map<std::uint16_t, int>& a,
+                        const std::unordered_map<std::uint16_t, int>& b);
+
+// Jaccard distance for plain sets represented as sorted unique vectors.
+double jaccard_sorted(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b);
+
+struct PageDistanceOptions {
+  // Cap on edit-distance inputs; longer inputs are compared on prefixes of
+  // this length (keeps the O(n^2) features bounded on pathological pages).
+  std::size_t max_edit_length = 4096;
+};
+
+// The combined seven-feature distance in [0, 1] (equal weights).
+double page_distance(const http::PageFeatures& a, const http::PageFeatures& b,
+                     const PageDistanceOptions& options = {});
+
+// Individual feature values, exposed for tests and the ablation bench.
+struct PageDistanceBreakdown {
+  double length = 0;
+  double tag_multiset = 0;
+  double tag_sequence = 0;
+  double title = 0;
+  double scripts = 0;
+  double resources = 0;
+  double links = 0;
+
+  double combined() const noexcept {
+    return (length + tag_multiset + tag_sequence + title + scripts +
+            resources + links) /
+           7.0;
+  }
+};
+
+PageDistanceBreakdown page_distance_breakdown(
+    const http::PageFeatures& a, const http::PageFeatures& b,
+    const PageDistanceOptions& options = {});
+
+}  // namespace dnswild::cluster

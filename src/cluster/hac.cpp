@@ -1,0 +1,193 @@
+#include "cluster/hac.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace dnswild::cluster {
+
+Dendrogram::Dendrogram(std::size_t leaf_count, std::vector<Merge> merges)
+    : leaf_count_(leaf_count), merges_(std::move(merges)) {
+  std::stable_sort(merges_.begin(), merges_.end(),
+                   [](const Merge& a, const Merge& b) {
+                     return a.distance < b.distance;
+                   });
+  // Renumber parents so that sorted order keeps parents valid: after the
+  // sort the k-th merge gets parent id leaf_count_ + k, and references to
+  // old parent ids are remapped.
+  std::vector<int> remap(leaf_count_ + merges_.size());
+  std::iota(remap.begin(), remap.end(), 0);
+  std::vector<Merge> renumbered = merges_;
+  // Build old-parent -> new-parent map in sorted order.
+  for (std::size_t k = 0; k < merges_.size(); ++k) {
+    remap[static_cast<std::size_t>(merges_[k].parent)] =
+        static_cast<int>(leaf_count_ + k);
+  }
+  for (std::size_t k = 0; k < renumbered.size(); ++k) {
+    renumbered[k].left = remap[static_cast<std::size_t>(merges_[k].left)];
+    renumbered[k].right = remap[static_cast<std::size_t>(merges_[k].right)];
+    renumbered[k].parent = static_cast<int>(leaf_count_ + k);
+  }
+  merges_ = std::move(renumbered);
+}
+
+std::vector<int> Dendrogram::cut(double threshold) const {
+  // Union-find over leaves; apply merges at or below the threshold.
+  std::vector<int> parent(leaf_count_ + merges_.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  const std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  for (const Merge& merge : merges_) {
+    if (merge.distance > threshold) break;
+    const int a = find(merge.left);
+    const int b = find(merge.right);
+    parent[static_cast<std::size_t>(a)] = merge.parent;
+    parent[static_cast<std::size_t>(b)] = merge.parent;
+  }
+  std::vector<int> labels(leaf_count_);
+  std::vector<int> compact(leaf_count_ + merges_.size(), -1);
+  int next_label = 0;
+  for (std::size_t leaf = 0; leaf < leaf_count_; ++leaf) {
+    const int root = find(static_cast<int>(leaf));
+    if (compact[static_cast<std::size_t>(root)] == -1) {
+      compact[static_cast<std::size_t>(root)] = next_label++;
+    }
+    labels[leaf] = compact[static_cast<std::size_t>(root)];
+  }
+  return labels;
+}
+
+std::size_t Dendrogram::cluster_count(double threshold) const {
+  const auto labels = cut(threshold);
+  return labels.empty()
+             ? 0
+             : static_cast<std::size_t>(
+                   *std::max_element(labels.begin(), labels.end())) +
+                   1;
+}
+
+std::string Dendrogram::to_text(
+    const std::vector<std::string>& leaf_names) const {
+  std::string out;
+  for (const Merge& merge : merges_) {
+    const auto name = [&](int node) -> std::string {
+      if (node < static_cast<int>(leaf_count_)) {
+        if (static_cast<std::size_t>(node) < leaf_names.size()) {
+          return leaf_names[static_cast<std::size_t>(node)];
+        }
+        return "leaf:" + std::to_string(node);
+      }
+      return "node:" + std::to_string(node);
+    };
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.4f", merge.distance);
+    out += name(merge.parent) + " = " + name(merge.left) + " + " +
+           name(merge.right) + " @ " + buffer + "\n";
+  }
+  return out;
+}
+
+Dendrogram hac_average_linkage(std::size_t n, const DistanceFn& distance,
+                               std::size_t max_items) {
+  if (n == 0) throw std::invalid_argument("hac: empty input");
+  if (n > max_items) {
+    throw std::length_error("hac: too many items for a materialized matrix");
+  }
+  if (n == 1) return Dendrogram(1, {});
+
+  // Materialize the symmetric matrix.
+  std::vector<double> matrix(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = distance(i, j);
+      matrix[i * n + j] = d;
+      matrix[j * n + i] = d;
+    }
+  }
+
+  std::vector<bool> active(n, true);
+  std::vector<std::size_t> sizes(n, 1);
+  std::vector<int> node_id(n);
+  std::iota(node_id.begin(), node_id.end(), 0);
+  std::vector<Merge> merges;
+  merges.reserve(n - 1);
+  int next_parent = static_cast<int>(n);
+
+  // Nearest-neighbour chain.
+  std::vector<std::size_t> chain;
+  chain.reserve(n);
+  std::size_t remaining = n;
+
+  // Nearest active neighbour of `a`. Ties are broken toward `prev` (the
+  // previous chain element, n when absent): without this, equal distances —
+  // common with duplicated page content — can cycle the chain forever.
+  const auto nearest = [&](std::size_t a, std::size_t prev) {
+    double best = 0.0;
+    std::size_t best_index = n;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!active[k] || k == a) continue;
+      const double d = matrix[a * n + k];
+      if (best_index == n || d < best) {
+        best = d;
+        best_index = k;
+      }
+    }
+    if (prev < n && active[prev] && prev != a &&
+        matrix[a * n + prev] == best) {
+      return prev;
+    }
+    return best_index;
+  };
+
+  while (remaining > 1) {
+    if (chain.empty()) {
+      for (std::size_t k = 0; k < n; ++k) {
+        if (active[k]) {
+          chain.push_back(k);
+          break;
+        }
+      }
+    }
+    while (true) {
+      const std::size_t tip = chain.back();
+      const std::size_t prev = chain.size() >= 2 ? chain[chain.size() - 2] : n;
+      const std::size_t next = nearest(tip, prev);
+      if (chain.size() >= 2 && next == chain[chain.size() - 2]) {
+        // Reciprocal nearest neighbours: merge tip and next.
+        const std::size_t a = tip;
+        const std::size_t b = next;
+        const double d = matrix[a * n + b];
+        merges.push_back(Merge{node_id[a], node_id[b], next_parent, d});
+        // Lance–Williams average-linkage update into slot a.
+        const double wa = static_cast<double>(sizes[a]);
+        const double wb = static_cast<double>(sizes[b]);
+        for (std::size_t k = 0; k < n; ++k) {
+          if (!active[k] || k == a || k == b) continue;
+          const double updated =
+              (wa * matrix[a * n + k] + wb * matrix[b * n + k]) / (wa + wb);
+          matrix[a * n + k] = updated;
+          matrix[k * n + a] = updated;
+        }
+        active[b] = false;
+        sizes[a] += sizes[b];
+        node_id[a] = next_parent;
+        ++next_parent;
+        --remaining;
+        chain.pop_back();
+        chain.pop_back();
+        break;
+      }
+      chain.push_back(next);
+    }
+  }
+  return Dendrogram(n, std::move(merges));
+}
+
+}  // namespace dnswild::cluster

@@ -1,0 +1,58 @@
+// Agglomerative hierarchical clustering with average linkage (§3.6).
+//
+// Implemented with the nearest-neighbour-chain algorithm over a
+// Lance–Williams update, which is exact for average linkage (a reducible
+// linkage) and runs in O(n^2) time / O(n^2) memory on a materialized
+// distance matrix. The study clusters deduplicated page representations,
+// so n stays in the hundreds-to-thousands range.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dnswild::cluster {
+
+// One agglomeration step: clusters `left` and `right` merged into `parent`
+// at the given average-linkage distance. Leaves are 0..n-1; parents are
+// numbered n, n+1, ... in merge order.
+struct Merge {
+  int left = 0;
+  int right = 0;
+  int parent = 0;
+  double distance = 0.0;
+};
+
+class Dendrogram {
+ public:
+  Dendrogram(std::size_t leaf_count, std::vector<Merge> merges);
+
+  std::size_t leaf_count() const noexcept { return leaf_count_; }
+  const std::vector<Merge>& merges() const noexcept { return merges_; }
+
+  // Flat clustering: cut every merge with distance <= threshold. Returns a
+  // label per leaf; labels are compact and ordered by first occurrence.
+  std::vector<int> cut(double threshold) const;
+
+  // Number of clusters a given cut produces.
+  std::size_t cluster_count(double threshold) const;
+
+  // Multi-line text rendering of the merge tree (for analyst inspection,
+  // the "dendrograms" the paper mentions).
+  std::string to_text(const std::vector<std::string>& leaf_names = {}) const;
+
+ private:
+  std::size_t leaf_count_;
+  std::vector<Merge> merges_;  // sorted by merge distance ascending
+};
+
+// Pairwise distance callback over item indices; must be symmetric with zero
+// diagonal.
+using DistanceFn = std::function<double(std::size_t, std::size_t)>;
+
+// Exact average-linkage HAC. Throws std::invalid_argument for n == 0 and
+// std::length_error when the n x n matrix would exceed `max_items`^2.
+Dendrogram hac_average_linkage(std::size_t n, const DistanceFn& distance,
+                               std::size_t max_items = 20000);
+
+}  // namespace dnswild::cluster

@@ -1,0 +1,121 @@
+#include "core/acquisition.h"
+
+#include "dns/message.h"
+#include "util/rng.h"
+
+namespace dnswild::core {
+
+Acquisition::Acquisition(net::World& world,
+                         const resolver::AuthRegistry& registry,
+                         net::Ipv4 client_ip)
+    : world_(world),
+      registry_(registry),
+      client_ip_(client_ip),
+      fetcher_(world, client_ip) {}
+
+std::optional<net::Ipv4> Acquisition::resolve_at(net::Ipv4 resolver,
+                                                 const std::string& host) {
+  const auto name = dns::Name::parse(host);
+  if (!name) return std::nullopt;
+  dns::Message query =
+      dns::Message::make_query(next_txid_++, *name, dns::RType::kA);
+  net::UdpPacket packet;
+  packet.src = client_ip_;
+  packet.src_port = 50000;
+  packet.dst = resolver;
+  packet.dst_port = 53;
+  packet.payload = query.encode();
+  for (const net::UdpReply& reply : world_.send_udp(packet)) {
+    const auto response = dns::Message::decode(reply.packet.payload);
+    if (!response || !response->header.qr ||
+        response->header.id != query.header.id) {
+      continue;
+    }
+    const auto ips = response->answer_ips();
+    if (!ips.empty()) return ips.front();
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+AcquiredPage Acquisition::fetch_one(const scan::TupleRecord& record,
+                                    std::size_t record_index,
+                                    const StudyDomain& domain,
+                                    net::Ipv4 resolver) {
+  AcquiredPage page;
+  page.record_index = record_index;
+  if (record.ips.empty()) return page;
+  page.ip = record.ips.front();
+  page.lan_ip = net::is_lan(page.ip);
+  const auto ip_as = world_.asdb().lookup_asn(page.ip);
+  const auto resolver_as = world_.asdb().lookup_asn(resolver);
+  page.same_as_as_resolver = ip_as && resolver_as && *ip_as == *resolver_as;
+
+  if (domain.is_mx_host) {
+    for (const std::uint16_t port : {std::uint16_t{25}, std::uint16_t{110},
+                                     std::uint16_t{143}}) {
+      if (const auto banner = fetcher_.banner(page.ip, port)) {
+        page.mail_banners.emplace_back(port, *banner);
+        page.connected = true;
+      }
+    }
+  }
+
+  const http::FetchResult fetched = fetcher_.fetch_page(
+      page.ip, domain.name, [this, resolver](const std::string& host) {
+        // §3.5: new (sub-)domains are resolved at the suspicious resolver.
+        return resolve_at(resolver, host);
+      });
+  page.connected = page.connected || fetched.connected;
+  page.status = fetched.status;
+  page.body = fetched.body;
+  page.body_hash = util::fnv1a(page.body);
+  return page;
+}
+
+std::vector<AcquiredPage> Acquisition::fetch_unknown(
+    const std::vector<scan::TupleRecord>& records,
+    const std::vector<TupleVerdict>& verdicts,
+    const std::vector<StudyDomain>& domains,
+    const std::vector<net::Ipv4>& resolvers) {
+  std::vector<AcquiredPage> pages;
+  for (std::size_t i = 0; i < records.size() && i < verdicts.size(); ++i) {
+    if (verdicts[i] != TupleVerdict::kUnknown) continue;
+    const scan::TupleRecord& record = records[i];
+    const StudyDomain& domain = domains.at(record.domain_index);
+    const net::Ipv4 resolver = resolvers.at(record.resolver_id);
+    pages.push_back(fetch_one(record, i, domain, resolver));
+  }
+  return pages;
+}
+
+std::vector<GroundTruthPage> Acquisition::fetch_ground_truth(
+    const std::vector<StudyDomain>& domains, std::string_view region) {
+  std::vector<GroundTruthPage> out;
+  for (const StudyDomain& domain_ref : domains) {
+    const StudyDomain* domain = &domain_ref;
+    if (!domain->exists) continue;
+    const auto answer = registry_.resolve_a(domain->name, region);
+    if (answer.rcode != dns::RCode::kNoError || answer.ips.empty()) continue;
+    GroundTruthPage gt;
+    gt.domain = domain->name;
+    gt.ip = answer.ips.front();
+    if (domain->is_mx_host) {
+      for (const std::uint16_t port : {std::uint16_t{25}, std::uint16_t{110},
+                                       std::uint16_t{143}}) {
+        if (const auto banner = fetcher_.banner(gt.ip, port)) {
+          gt.mail_banners.emplace_back(port, *banner);
+        }
+      }
+    }
+    const auto response = fetcher_.get(gt.ip, domain->name);
+    if (response) {
+      gt.body = response->body;
+      gt.features = http::extract_features(gt.body);
+    }
+    out.push_back(std::move(gt));
+  }
+  return out;
+}
+
+}  // namespace dnswild::core

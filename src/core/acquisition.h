@@ -1,0 +1,84 @@
+// Data acquisition for unexpected DNS responses (§3.5).
+//
+// For every (domain ◦ ip ◦ resolver) tuple the prefilter could not accept,
+// fetch the HTTP content a real client would get: connect to the returned
+// address with the original domain in the Host header, follow redirects and
+// frames at most twice (resolving any new names at the suspicious resolver
+// itself), and — for the MX set — collect IMAP/POP3/SMTP banners. Also
+// acquires the ground-truth representations from the legitimate addresses,
+// which the fine-grained diff clustering compares against.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/domains.h"
+#include "core/prefilter.h"
+#include "http/fetch.h"
+#include "http/html.h"
+#include "net/world.h"
+#include "resolver/authns.h"
+#include "scan/domain_scan.h"
+
+namespace dnswild::core {
+
+struct AcquiredPage {
+  std::size_t record_index = 0;  // into the tuple-record vector
+  net::Ipv4 ip{};                // address the content came from
+  bool connected = false;
+  int status = 0;
+  std::string body;
+  std::uint64_t body_hash = 0;
+  // Context the §4.2 "no HTTP data" breakdown uses.
+  bool lan_ip = false;
+  bool same_as_as_resolver = false;
+  // Mail banners for MX-set tuples (port -> banner).
+  std::vector<std::pair<std::uint16_t, std::string>> mail_banners;
+};
+
+struct GroundTruthPage {
+  std::string domain;
+  net::Ipv4 ip{};
+  std::string body;
+  http::PageFeatures features;
+  std::vector<std::pair<std::uint16_t, std::string>> mail_banners;
+};
+
+class Acquisition {
+ public:
+  Acquisition(net::World& world, const resolver::AuthRegistry& registry,
+              net::Ipv4 client_ip);
+
+  // Fetches content for every record whose verdict is kUnknown. `resolvers`
+  // maps resolver_id -> address (the scan's input list).
+  std::vector<AcquiredPage> fetch_unknown(
+      const std::vector<scan::TupleRecord>& records,
+      const std::vector<TupleVerdict>& verdicts,
+      const std::vector<StudyDomain>& domains,
+      const std::vector<net::Ipv4>& resolvers);
+
+  // Ground-truth content per domain, from our own trusted resolutions.
+  std::vector<GroundTruthPage> fetch_ground_truth(
+      const std::vector<StudyDomain>& domains,
+      std::string_view region = "DE");
+
+  // Resolves `host` at a (suspicious) resolver, as a client would.
+  std::optional<net::Ipv4> resolve_at(net::Ipv4 resolver,
+                                      const std::string& host);
+
+ private:
+  AcquiredPage fetch_one(const scan::TupleRecord& record,
+                         std::size_t record_index, const StudyDomain& domain,
+                         net::Ipv4 resolver);
+
+  net::World& world_;
+  const resolver::AuthRegistry& registry_;
+  net::Ipv4 client_ip_;
+  http::Fetcher fetcher_;
+  std::uint16_t next_txid_ = 1;
+};
+
+}  // namespace dnswild::core

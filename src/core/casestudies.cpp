@@ -1,0 +1,315 @@
+#include "core/casestudies.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cluster/distance.h"
+#include "http/fetch.h"
+#include "util/strings.h"
+
+namespace dnswild::core {
+
+namespace {
+
+std::vector<std::pair<std::string, std::uint64_t>> sorted_counts(
+    const std::unordered_map<std::string, std::uint64_t>& counts) {
+  std::vector<std::pair<std::string, std::uint64_t>> out(counts.begin(),
+                                                         counts.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+std::string country_of(const StudyData& data, net::Ipv4 ip) {
+  const auto country = data.asdb->country_of(ip);
+  return country.empty() ? std::string("??") : std::string(country);
+}
+
+}  // namespace
+
+CensorshipReport censorship_report(const StudyData& data) {
+  CensorshipReport report;
+  std::unordered_set<net::Ipv4> landing;
+  std::unordered_set<std::string> countries;
+
+  // Landing-page inventory requires served content: injected answers carry
+  // arbitrary addresses, not landing pages (§4.2).
+  std::unordered_map<std::size_t, bool> record_has_content;
+  for (const auto& page : *data.pages) {
+    record_has_content[page.record_index] = !page.body.empty();
+  }
+  std::unordered_map<std::string, std::unordered_set<std::uint32_t>>
+      censoring_resolvers_by_country;
+  std::unordered_map<std::string, std::unordered_set<std::uint32_t>>
+      censoring_all;
+  std::unordered_map<std::string, std::unordered_set<std::uint32_t>>
+      responding_all;
+
+  // Tuple-level pass for compliance denominators.
+  for (const auto& record : *data.records) {
+    if (!record.responded) continue;
+    const net::Ipv4 resolver = data.resolvers->at(record.resolver_id);
+    responding_all[country_of(data, resolver)].insert(record.resolver_id);
+  }
+
+  for (const auto& tuple : data.classification->tuples) {
+    if (tuple.label != Label::kCensorship) continue;
+    ++report.censorship_tuples;
+    const auto& record = data.records->at(tuple.record_index);
+    if (record.dual_response) ++report.dual_response_tuples;
+    const net::Ipv4 resolver = data.resolvers->at(record.resolver_id);
+    const std::string resolver_country = country_of(data, resolver);
+    censoring_resolvers_by_country[resolver_country].insert(
+        record.resolver_id);
+    censoring_all[resolver_country].insert(record.resolver_id);
+    // Landing inventory only for content-backed censorship (the injected
+    // random addresses are not landing pages).
+    const auto content = record_has_content.find(tuple.record_index);
+    if (!record.dual_response && !record.ips.empty() &&
+        content != record_has_content.end() && content->second) {
+      const net::Ipv4 landing_ip = record.ips.front();
+      landing.insert(landing_ip);
+      countries.insert(country_of(data, landing_ip));
+    }
+  }
+
+  report.landing_ips.assign(landing.begin(), landing.end());
+  std::sort(report.landing_ips.begin(), report.landing_ips.end());
+  report.landing_countries.assign(countries.begin(), countries.end());
+  std::sort(report.landing_countries.begin(), report.landing_countries.end());
+
+  std::unordered_map<std::string, std::uint64_t> by_country;
+  for (const auto& [country, ids] : censoring_resolvers_by_country) {
+    by_country[country] = ids.size();
+  }
+  report.censoring_by_country = sorted_counts(by_country);
+
+  for (const auto& [country, responding] : responding_all) {
+    CountryCompliance row;
+    row.country = country;
+    row.responding = responding.size();
+    const auto censoring = censoring_all.find(country);
+    row.censoring =
+        censoring == censoring_all.end() ? 0 : censoring->second.size();
+    if (row.censoring > 0) report.compliance.push_back(std::move(row));
+  }
+  std::sort(report.compliance.begin(), report.compliance.end(),
+            [](const CountryCompliance& a, const CountryCompliance& b) {
+              return a.censoring > b.censoring;
+            });
+  return report;
+}
+
+GeoHistogram geo_histogram(const StudyData& data,
+                           const std::vector<std::string>& domain_names) {
+  GeoHistogram histogram;
+  std::unordered_set<std::uint16_t> domain_indexes;
+  for (std::uint16_t i = 0; i < data.domains->size(); ++i) {
+    const StudyDomain* domain = &(*data.domains)[i];
+    if (std::find(domain_names.begin(), domain_names.end(), domain->name) !=
+        domain_names.end()) {
+      domain_indexes.insert(i);
+    }
+  }
+
+  std::unordered_map<std::string, std::unordered_set<std::uint32_t>> all;
+  std::unordered_map<std::string, std::unordered_set<std::uint32_t>>
+      unexpected;
+  for (std::size_t i = 0; i < data.records->size(); ++i) {
+    const auto& record = (*data.records)[i];
+    if (domain_indexes.count(record.domain_index) == 0) continue;
+    if (!record.responded) continue;
+    const net::Ipv4 resolver = data.resolvers->at(record.resolver_id);
+    const std::string country = country_of(data, resolver);
+    all[country].insert(record.resolver_id);
+    if (i < data.verdicts->size() &&
+        (*data.verdicts)[i] == TupleVerdict::kUnknown) {
+      unexpected[country].insert(record.resolver_id);
+    }
+  }
+  std::unordered_map<std::string, std::uint64_t> all_counts;
+  std::unordered_map<std::string, std::uint64_t> unexpected_counts;
+  for (const auto& [country, ids] : all) all_counts[country] = ids.size();
+  for (const auto& [country, ids] : unexpected) {
+    unexpected_counts[country] = ids.size();
+  }
+  histogram.all = sorted_counts(all_counts);
+  histogram.unexpected = sorted_counts(unexpected_counts);
+  return histogram;
+}
+
+CaseStudyReport case_study_report(const StudyData& data, net::World& world,
+                                  net::Ipv4 vantage_ip) {
+  CaseStudyReport report;
+  http::Fetcher fetcher(world, vantage_ip);
+
+  // Ground truth indexed by domain for similarity checks.
+  std::unordered_map<std::string, const GroundTruthPage*> gt_by_domain;
+  for (const auto& gt : *data.ground_truth) gt_by_domain[gt.domain] = &gt;
+
+  // --- per-IP aggregation across tuples ---------------------------------
+  struct IpAggregate {
+    std::unordered_set<std::uint16_t> domain_indexes;
+    std::unordered_set<std::uint32_t> resolver_ids;
+    std::uint64_t pages_similar_to_gt = 0;
+    std::uint64_t pages_with_content = 0;
+  };
+  std::unordered_map<net::Ipv4, IpAggregate> per_ip;
+
+  std::unordered_set<std::uint32_t> ad_tamper_resolvers;
+  std::unordered_set<net::Ipv4> ad_tamper_ips;
+  std::unordered_set<std::uint32_t> ad_blank_resolvers;
+  std::unordered_set<net::Ipv4> ad_blank_ips;
+  std::unordered_set<std::uint32_t> search_ads_resolvers;
+  std::unordered_set<net::Ipv4> phishing_ips;
+  std::unordered_set<std::uint32_t> phishing_resolvers;
+  std::unordered_set<net::Ipv4> paypal_ips;
+  std::unordered_set<std::uint32_t> paypal_resolvers;
+  std::unordered_set<net::Ipv4> malware_ips;
+  std::unordered_set<std::uint32_t> malware_resolvers;
+  std::unordered_set<std::uint32_t> mx_suspicious;
+  std::unordered_set<std::uint32_t> mail_listening_resolvers;
+  std::unordered_set<net::Ipv4> mail_ips;
+  std::unordered_set<std::uint32_t> mail_matching;
+
+  for (const auto& page : *data.pages) {
+    const auto& record = data.records->at(page.record_index);
+    const StudyDomain& domain = data.domains->at(record.domain_index);
+    if (record.ips.empty()) continue;
+    const net::Ipv4 ip = record.ips.front();
+
+    IpAggregate& aggregate = per_ip[ip];
+    aggregate.domain_indexes.insert(record.domain_index);
+    aggregate.resolver_ids.insert(record.resolver_id);
+
+    const GroundTruthPage* gt = nullptr;
+    const auto gt_it = gt_by_domain.find(domain.name);
+    if (gt_it != gt_by_domain.end()) gt = gt_it->second;
+
+    if (!page.body.empty()) {
+      ++aggregate.pages_with_content;
+      if (gt != nullptr && !gt->body.empty()) {
+        const auto features = http::extract_features(page.body);
+        if (cluster::page_distance(features, gt->features) < 0.15) {
+          ++aggregate.pages_similar_to_gt;
+        }
+      }
+    }
+
+    // Ad manipulation: the injected material carries foreign ad-network
+    // references; blanked slots keep the layout but drop the ad script.
+    if (util::icontains(page.body, "adnet-rewrite") ||
+        util::icontains(page.body, "document.write('<img")) {
+      if (util::icontains(page.body, "results for")) {
+        search_ads_resolvers.insert(record.resolver_id);
+      } else {
+        ad_tamper_resolvers.insert(record.resolver_id);
+        ad_tamper_ips.insert(ip);
+      }
+    }
+    if (util::icontains(page.body, "blocked-empty")) {
+      ad_blank_resolvers.insert(record.resolver_id);
+      ad_blank_ips.insert(ip);
+    }
+
+    // Phishing: credential form posting to a .php endpoint on a page that
+    // is NOT the legitimate representation.
+    const bool has_php_post = util::icontains(page.body, ".php\"") &&
+                              util::icontains(page.body, "method=\"post\"") &&
+                              util::icontains(page.body, "type=\"password\"");
+    if (has_php_post) {
+      bool similar_to_gt = false;
+      if (gt != nullptr && !gt->body.empty()) {
+        similar_to_gt = cluster::page_distance(
+                            http::extract_features(page.body), gt->features) <
+                        0.15;
+      }
+      if (!similar_to_gt) {
+        phishing_ips.insert(ip);
+        phishing_resolvers.insert(record.resolver_id);
+        if (domain.name == "paypal.com") {
+          paypal_ips.insert(ip);
+          paypal_resolvers.insert(record.resolver_id);
+        }
+      }
+    }
+
+    // Malware-update redirects.
+    if (util::icontains(page.body, "is out of date!") &&
+        util::icontains(page.body, "install update")) {
+      malware_ips.insert(ip);
+      malware_resolvers.insert(record.resolver_id);
+    }
+
+    // Mail interception (MX set).
+    if (domain.is_mx_host) {
+      mx_suspicious.insert(record.resolver_id);
+      if (!page.mail_banners.empty()) {
+        mail_listening_resolvers.insert(record.resolver_id);
+        mail_ips.insert(ip);
+        if (gt != nullptr) {
+          for (const auto& [port, banner] : page.mail_banners) {
+            for (const auto& [gt_port, gt_banner] : gt->mail_banners) {
+              if (port == gt_port && banner == gt_banner) {
+                mail_matching.insert(record.resolver_id);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // --- transparent proxies ------------------------------------------------
+  for (const auto& [ip, aggregate] : per_ip) {
+    // Proxy signature: one address serving the *original* content for many
+    // distinct domains.
+    if (aggregate.domain_indexes.size() < 5) continue;
+    if (aggregate.pages_with_content == 0 ||
+        aggregate.pages_similar_to_gt * 10 <
+            aggregate.pages_with_content * 8) {  // >= 80% GT-similar
+      continue;
+    }
+    // TLS classification: does the proxy complete a handshake with a valid
+    // certificate for one of the proxied domains?
+    bool tls = false;
+    for (const std::uint16_t domain_index : aggregate.domain_indexes) {
+      const StudyDomain& domain = data.domains->at(domain_index);
+      const auto cert = fetcher.tls_certificate(
+          ip, std::optional<std::string>(domain.name));
+      if (cert && cert->matches_host(domain.name)) {
+        tls = true;
+        break;
+      }
+    }
+    if (tls) {
+      ++report.proxy_ips_tls;
+      report.proxy_resolvers_tls += aggregate.resolver_ids.size();
+    } else {
+      ++report.proxy_ips_http_only;
+      report.proxy_resolvers_http_only += aggregate.resolver_ids.size();
+    }
+  }
+
+  report.ad_tamper_resolvers = ad_tamper_resolvers.size();
+  report.ad_tamper_ips = ad_tamper_ips.size();
+  report.ad_blanking_resolvers = ad_blank_resolvers.size();
+  report.ad_blanking_ips = ad_blank_ips.size();
+  report.search_with_ads_resolvers = search_ads_resolvers.size();
+  report.phishing_ips = phishing_ips.size();
+  report.phishing_resolvers = phishing_resolvers.size();
+  report.paypal_phish_ips = paypal_ips.size();
+  report.paypal_phish_resolvers = paypal_resolvers.size();
+  report.malware_ips = malware_ips.size();
+  report.malware_resolvers = malware_resolvers.size();
+  report.mx_suspicious_resolvers = mx_suspicious.size();
+  report.mail_listening_resolvers = mail_listening_resolvers.size();
+  report.mail_listening_ips = mail_ips.size();
+  report.mail_matching_banner_resolvers = mail_matching.size();
+  return report;
+}
+
+}  // namespace dnswild::core

@@ -1,0 +1,100 @@
+// Censorship drill-down and the §4.3 case studies.
+//
+// Runs the finer analyses on top of the classification: censorship landing
+// inventory and per-country compliance (§4.2), ad redirection / injection /
+// blanking, transparent proxies (TLS-passthrough vs HTTP-only), phishing
+// kits (PayPal and banking mimics), mail interception, and malware-update
+// redirects (§4.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/classify.h"
+#include "core/domains.h"
+#include "net/world.h"
+
+namespace dnswild::core {
+
+// Everything the detectors need, bundled so call sites stay readable.
+struct StudyData {
+  const std::vector<net::Ipv4>* resolvers = nullptr;
+  const std::vector<scan::TupleRecord>* records = nullptr;
+  const std::vector<TupleVerdict>* verdicts = nullptr;
+  const std::vector<AcquiredPage>* pages = nullptr;
+  const ClassificationResult* classification = nullptr;
+  const std::vector<GroundTruthPage>* ground_truth = nullptr;
+  const std::vector<StudyDomain>* domains = nullptr;
+  const net::AsDb* asdb = nullptr;
+};
+
+struct CountryCompliance {
+  std::string country;
+  std::uint64_t censoring = 0;   // resolvers returning censor answers
+  std::uint64_t responding = 0;  // resolvers answering for those domains
+  double fraction() const noexcept {
+    return responding == 0 ? 0.0
+                           : static_cast<double>(censoring) /
+                                 static_cast<double>(responding);
+  }
+};
+
+struct CensorshipReport {
+  std::uint64_t censorship_tuples = 0;
+  std::uint64_t dual_response_tuples = 0;  // GFW-style injection races
+  std::vector<net::Ipv4> landing_ips;      // unique landing-page addresses
+  std::vector<std::string> landing_countries;  // unique, sorted
+  // Resolvers (unique) that returned censor answers, per country, sorted
+  // descending.
+  std::vector<std::pair<std::string, std::uint64_t>> censoring_by_country;
+  std::vector<CountryCompliance> compliance;  // per country, all domains
+};
+
+CensorshipReport censorship_report(const StudyData& data);
+
+// Country histogram (Fig. 4): resolvers answering the given domains at all
+// vs. resolvers whose answers were unexpected.
+struct GeoHistogram {
+  std::vector<std::pair<std::string, std::uint64_t>> all;
+  std::vector<std::pair<std::string, std::uint64_t>> unexpected;
+};
+GeoHistogram geo_histogram(const StudyData& data,
+                           const std::vector<std::string>& domain_names);
+
+struct CaseStudyReport {
+  // Ad manipulation (§4.3).
+  std::uint64_t ad_tamper_resolvers = 0;
+  std::size_t ad_tamper_ips = 0;
+  std::uint64_t ad_blanking_resolvers = 0;
+  std::size_t ad_blanking_ips = 0;
+  std::uint64_t search_with_ads_resolvers = 0;
+
+  // Transparent proxies.
+  std::size_t proxy_ips_tls = 0;
+  std::size_t proxy_ips_http_only = 0;
+  std::uint64_t proxy_resolvers_tls = 0;
+  std::uint64_t proxy_resolvers_http_only = 0;
+
+  // Phishing.
+  std::size_t phishing_ips = 0;
+  std::uint64_t phishing_resolvers = 0;
+  std::size_t paypal_phish_ips = 0;
+  std::uint64_t paypal_phish_resolvers = 0;
+
+  // Mail interception.
+  std::uint64_t mx_suspicious_resolvers = 0;
+  std::uint64_t mail_listening_resolvers = 0;  // redirected to live mail IPs
+  std::size_t mail_listening_ips = 0;
+  std::uint64_t mail_matching_banner_resolvers = 0;
+
+  // Malware-update redirects.
+  std::size_t malware_ips = 0;
+  std::uint64_t malware_resolvers = 0;
+};
+
+// `world` is needed for the proxies' TLS handshake checks.
+CaseStudyReport case_study_report(const StudyData& data, net::World& world,
+                                  net::Ipv4 vantage_ip);
+
+}  // namespace dnswild::core

@@ -1,0 +1,149 @@
+#include "core/classify.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "cluster/distance.h"
+#include "http/html.h"
+#include "util/strings.h"
+
+namespace dnswild::core {
+
+std::string_view label_name(Label label) noexcept {
+  switch (label) {
+    case Label::kBlocking: return "Blocking";
+    case Label::kCensorship: return "Censorship";
+    case Label::kHttpError: return "HTTP Error";
+    case Label::kLogin: return "Login";
+    case Label::kMisc: return "Misc.";
+    case Label::kParking: return "Parking";
+    case Label::kSearch: return "Search";
+    case Label::kUnclassified: return "Unclassified";
+  }
+  return "?";
+}
+
+Label label_page(int status, std::string_view body) {
+  // Censorship outranks the HTTP status: some landing pages use 403.
+  if (util::icontains(body, "blocked by the order of")) {
+    return Label::kCensorship;
+  }
+  if (status >= 400) return Label::kHttpError;
+  if (util::icontains(body, "unsuitable content") ||
+      util::icontains(body, "blocked by your internet provider") ||
+      util::icontains(body, "malware distribution domain") ||
+      util::icontains(body, "block-notice")) {
+    return Label::kBlocking;
+  }
+  if (util::icontains(body, "domain may be for sale") ||
+      util::icontains(body, "parked domain")) {
+    return Label::kParking;
+  }
+  if (util::icontains(body, "results for") &&
+      util::icontains(body, "name=\"q\"")) {
+    return Label::kSearch;
+  }
+  if (util::icontains(body, "type=\"password\"")) {
+    // Router logins, captive portals, webmail — and phishing kits, which
+    // Table 5 also files under content categories; the §4.3 detectors make
+    // the finer call.
+    return Label::kLogin;
+  }
+  if (body.empty()) return Label::kUnclassified;
+  return Label::kMisc;
+}
+
+ClassificationResult classify_responses(
+    const std::vector<scan::TupleRecord>& records,
+    const std::vector<AcquiredPage>& pages, const ClassifierConfig& config,
+    const std::vector<char>* onpath_injected) {
+  ClassificationResult result;
+
+  // Deduplicate bodies: the same landing page is served to millions of
+  // tuples, so the clustering runs on unique representations only.
+  std::unordered_map<std::uint64_t, std::size_t> unique_index;
+  std::vector<const AcquiredPage*> exemplars;
+  std::vector<std::size_t> page_to_unique(pages.size());
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    const AcquiredPage& page = pages[i];
+    const auto [it, inserted] =
+        unique_index.emplace(page.body_hash, exemplars.size());
+    if (inserted) exemplars.push_back(&page);
+    page_to_unique[i] = it->second;
+  }
+  result.unique_pages = exemplars.size();
+
+  // Coarse clustering over unique pages.
+  std::vector<int> unique_cluster(exemplars.size(), 0);
+  if (exemplars.size() > 1 && exemplars.size() <= config.max_unique) {
+    std::vector<http::PageFeatures> features;
+    features.reserve(exemplars.size());
+    for (const AcquiredPage* page : exemplars) {
+      features.push_back(http::extract_features(page->body));
+    }
+    const auto dendrogram = cluster::hac_average_linkage(
+        exemplars.size(), [&features](std::size_t a, std::size_t b) {
+          return cluster::page_distance(features[a], features[b]);
+        });
+    unique_cluster = dendrogram.cut(config.coarse_cut);
+  }
+  result.clusters =
+      unique_cluster.empty()
+          ? 0
+          : static_cast<std::size_t>(*std::max_element(
+                unique_cluster.begin(), unique_cluster.end())) +
+                1;
+
+  // Label each cluster from its largest exemplar (most content to judge).
+  std::vector<Label> cluster_label(result.clusters, Label::kUnclassified);
+  std::vector<std::size_t> cluster_best(result.clusters, 0);
+  std::vector<bool> cluster_seen(result.clusters, false);
+  for (std::size_t u = 0; u < exemplars.size(); ++u) {
+    const auto c = static_cast<std::size_t>(unique_cluster[u]);
+    if (!cluster_seen[c] ||
+        exemplars[u]->body.size() > exemplars[cluster_best[c]]->body.size()) {
+      cluster_best[c] = u;
+      cluster_seen[c] = true;
+    }
+  }
+  for (std::size_t c = 0; c < result.clusters; ++c) {
+    const AcquiredPage* exemplar = exemplars[cluster_best[c]];
+    cluster_label[c] = label_page(exemplar->status, exemplar->body);
+  }
+
+  // Propagate to tuples; DNS-layer injection evidence wins over content.
+  std::size_t content_bearing = 0;
+  std::size_t labeled = 0;
+  result.tuples.reserve(pages.size());
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    const AcquiredPage& page = pages[i];
+    ClassifiedTuple tuple;
+    tuple.record_index = page.record_index;
+    const scan::TupleRecord& record = records.at(page.record_index);
+    const bool injected =
+        onpath_injected != nullptr &&
+        page.record_index < onpath_injected->size() &&
+        (*onpath_injected)[page.record_index] != 0;
+    if (record.dual_response || injected) {
+      tuple.label = Label::kCensorship;  // injected race / verified (§4.2)
+    } else if (!page.body.empty() || page.status != 0) {
+      const auto c = static_cast<std::size_t>(
+          unique_cluster[page_to_unique[i]]);
+      tuple.cluster = static_cast<int>(c);
+      tuple.label = cluster_label[c];
+    }
+    if (!page.body.empty() || page.status != 0) {
+      ++content_bearing;
+      if (tuple.label != Label::kUnclassified) ++labeled;
+    }
+    result.tuples.push_back(tuple);
+  }
+  result.labeled_fraction =
+      content_bearing == 0
+          ? 0.0
+          : static_cast<double>(labeled) /
+                static_cast<double>(content_bearing);
+  return result;
+}
+
+}  // namespace dnswild::core

@@ -1,0 +1,70 @@
+// HTTP response classification (§3.6, §4.2, Table 5).
+//
+// Deduplicates acquired pages by body, clusters the unique representations
+// with the seven-feature HAC (coarse step), labels each cluster from its
+// exemplar (encoding the paper's manual cluster labels as content rules),
+// and propagates labels back to every tuple. Tuples whose DNS layer already
+// proves injection (dual responses, §4.2) are labeled Censorship before any
+// content is consulted — the forged Chinese answers mostly serve no HTTP.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/hac.h"
+#include "core/acquisition.h"
+#include "core/domains.h"
+#include "scan/domain_scan.h"
+
+namespace dnswild::core {
+
+enum class Label {
+  kBlocking,
+  kCensorship,
+  kHttpError,
+  kLogin,
+  kMisc,
+  kParking,
+  kSearch,
+  kUnclassified,  // no HTTP payload and no DNS-layer signal
+};
+inline constexpr int kLabelCount = 8;
+
+std::string_view label_name(Label label) noexcept;
+
+// Content-rule labeling of a single page (the encoded analyst judgment).
+Label label_page(int status, std::string_view body);
+
+struct ClassifiedTuple {
+  std::size_t record_index = 0;
+  Label label = Label::kUnclassified;
+  int cluster = -1;  // coarse cluster id; -1 when content was absent
+};
+
+struct ClassifierConfig {
+  double coarse_cut = 0.25;      // HAC cut threshold for the coarse step
+  std::size_t max_unique = 6000; // safety bound for the distance matrix
+};
+
+struct ClassificationResult {
+  std::vector<ClassifiedTuple> tuples;
+  std::size_t unique_pages = 0;
+  std::size_t clusters = 0;
+  // Fraction of content-bearing tuples that received a label (the paper
+  // classifies 97.6–99.9%).
+  double labeled_fraction = 0.0;
+};
+
+// `records` and `verdicts` are the full scan output; `pages` are the
+// acquisition results for the kUnknown subset. `onpath_injected`, when
+// given, flags records (by index) whose answers were proven to be on-path
+// injections by the §4.2 verification experiment; those are labeled
+// Censorship regardless of content.
+ClassificationResult classify_responses(
+    const std::vector<scan::TupleRecord>& records,
+    const std::vector<AcquiredPage>& pages,
+    const ClassifierConfig& config = {},
+    const std::vector<char>* onpath_injected = nullptr);
+
+}  // namespace dnswild::core

@@ -1,0 +1,93 @@
+#include "core/dnssec_study.h"
+
+#include <algorithm>
+
+#include "dns/message.h"
+#include "util/rng.h"
+
+namespace dnswild::core {
+
+namespace {
+
+bool any_legitimate(const std::vector<net::Ipv4>& answer,
+                    const std::vector<net::Ipv4>& legitimate) {
+  for (const net::Ipv4 ip : answer) {
+    if (std::binary_search(legitimate.begin(), legitimate.end(), ip)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+DnssecOutcome run_dnssec_experiment(
+    net::World& world, const resolver::AuthRegistry& registry,
+    const std::vector<net::Ipv4>& resolvers,
+    const std::vector<std::string>& domains,
+    const DnssecStudyConfig& config) {
+  DnssecOutcome outcome;
+  util::Rng rng(config.seed);
+
+  for (const std::string& domain : domains) {
+    const auto name = dns::Name::parse(domain);
+    if (!name) continue;
+    const std::vector<net::Ipv4> legitimate = registry.all_views(domain);
+    const bool signed_zone = registry.dnssec_enabled(domain);
+
+    for (const net::Ipv4 resolver : resolvers) {
+      dns::Message query = dns::Message::make_query(
+          static_cast<std::uint16_t>(rng.next()), *name, dns::RType::kA);
+      net::UdpPacket packet;
+      packet.src = config.client_ip;
+      packet.src_port = 52000;
+      packet.dst = resolver;
+      packet.dst_port = 53;
+      packet.payload = query.encode();
+
+      // Replies arrive in latency order; an injected forgery precedes the
+      // legitimate answer (§4.2).
+      std::vector<dns::Message> responses;
+      for (const auto& reply : world.send_udp(packet)) {
+        auto response = dns::Message::decode(reply.packet.payload);
+        if (response && response->header.qr &&
+            response->header.id == query.header.id) {
+          responses.push_back(*std::move(response));
+        }
+      }
+      if (responses.empty()) continue;
+      ++outcome.queries;
+      if (responses.size() > 1) ++outcome.injected;
+
+      const auto poisoned = [&](const dns::Message& accepted) {
+        const auto ips = accepted.answer_ips();
+        return !ips.empty() && !any_legitimate(ips, legitimate);
+      };
+
+      // Naive client: first response wins the open transaction.
+      if (poisoned(responses.front())) ++outcome.naive_poisoned;
+
+      if (!signed_zone) {
+        // Without deployment knowledge there is nothing to insist on (§5
+        // precondition ii): the validating client degrades to naive.
+        if (poisoned(responses.front())) {
+          ++outcome.validating_fallback_poisoned;
+        }
+        continue;
+      }
+      // Validating client: drop everything unvalidated, accept the first
+      // AD-carrying response, however late it arrives.
+      const auto validated = std::find_if(
+          responses.begin(), responses.end(),
+          [](const dns::Message& response) { return response.header.ad; });
+      if (validated == responses.end()) {
+        ++outcome.validating_unavailable;
+      } else if (poisoned(*validated)) {
+        ++outcome.validating_poisoned;
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace dnswild::core

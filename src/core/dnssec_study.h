@@ -1,0 +1,70 @@
+// DNSSEC client-strategy experiment (§5 "DNS Authenticity").
+//
+// The paper argues that DNSSEC only defeats injectors like the Great
+// Firewall if the client (i) drops unvalidated responses and waits for a
+// correctly signed one, and (ii) KNOWS the domain deploys DNSSEC — since
+// the injected forgery typically arrives first and a resolver uses the
+// first response matching the open transaction. This module turns that
+// argument into a measurement: it queries domains at resolvers behind an
+// injector and compares a naive first-response client against a validating
+// client, across DNSSEC deployment levels (global deployment was < 0.6%
+// of .net domains in May 2015, §5).
+//
+// The AD header bit stands in for "the signature chain validated": forged
+// responses can never carry it because an off-path injector cannot produce
+// valid RRSIGs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/world.h"
+#include "resolver/authns.h"
+
+namespace dnswild::core {
+
+struct DnssecStudyConfig {
+  net::Ipv4 client_ip;
+  std::uint64_t seed = 0;
+};
+
+struct DnssecOutcome {
+  std::uint64_t queries = 0;    // (resolver, domain) pairs with >= 1 reply
+  std::uint64_t injected = 0;   // pairs where multiple answers raced
+
+  // Naive client: accepts the first response (standard stub behaviour).
+  std::uint64_t naive_poisoned = 0;
+
+  // Validating client with deployment knowledge (§5 precondition ii):
+  // waits for an AD-bit response when the domain is known-signed.
+  std::uint64_t validating_poisoned = 0;
+  // Signed domain, but no validated response ever arrived: the attack is
+  // blocked at the cost of availability.
+  std::uint64_t validating_unavailable = 0;
+  // Unsigned domain: the validating client degrades to naive behaviour.
+  std::uint64_t validating_fallback_poisoned = 0;
+
+  double naive_poison_rate() const noexcept {
+    return queries == 0 ? 0.0
+                        : static_cast<double>(naive_poisoned) /
+                              static_cast<double>(queries);
+  }
+  double validating_poison_rate() const noexcept {
+    return queries == 0
+               ? 0.0
+               : static_cast<double>(validating_poisoned +
+                                     validating_fallback_poisoned) /
+                     static_cast<double>(queries);
+  }
+};
+
+// Queries every domain at every resolver once. An accepted answer counts
+// as poisoned when none of its addresses appear in any legitimate view of
+// the domain (the registry's regional answer sets).
+DnssecOutcome run_dnssec_experiment(
+    net::World& world, const resolver::AuthRegistry& registry,
+    const std::vector<net::Ipv4>& resolvers,
+    const std::vector<std::string>& domains, const DnssecStudyConfig& config);
+
+}  // namespace dnswild::core

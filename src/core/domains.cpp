@@ -1,0 +1,165 @@
+#include "core/domains.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace dnswild::core {
+
+DomainSet DomainSet::study_set() {
+  DomainSet set;
+  set.ground_truth_ = "groundtruth.dnswild-study.example";
+  auto& d = set.domains_;
+
+  const auto add = [&d](std::string name, SiteCategory category,
+                        bool exists = true, bool mx = false) {
+    d.push_back(StudyDomain{std::move(name), category, exists, mx});
+  };
+
+  // Ads: 9 domains of ad providers.
+  for (const char* name :
+       {"ads.doubleclick.com", "adserver.adtech.example", "ad.yieldmanager.com",
+        "pagead2.googlesyndication.com", "adnxs.com", "openx.example",
+        "zedo.com", "advertising.com", "atdmt.com"}) {
+    add(name, SiteCategory::kAds);
+  }
+  // Adult: 4 (Alexa-ranked adult content).
+  for (const char* name : {"youporn.com", "adultfinder.com", "xvideos.com",
+                           "pornhub.com"}) {
+    add(name, SiteCategory::kAdult);
+  }
+  // Alexa: Top-20 ranked domains.
+  for (const char* name :
+       {"google.com", "facebook.com", "youtube.com", "yahoo.com", "baidu.com",
+        "wikipedia.org", "twitter.com", "qq.com", "amazon.com", "live.com",
+        "taobao.com", "linkedin.com", "sina.com.cn", "weibo.com", "ebay.com",
+        "yandex.ru", "vk.com", "hao123.com", "bing.com", "blogspot.com"}) {
+    add(name, SiteCategory::kAlexa);
+  }
+  // Antivirus: 15 AV web pages and update servers.
+  for (const char* name :
+       {"avira.com", "update.avira.com", "kaspersky.com",
+        "update.kaspersky.com", "symantec.com", "liveupdate.symantec.com",
+        "mcafee.com", "update.mcafee.com", "avast.com", "update.avast.com",
+        "bitdefender.com", "eset.com", "f-secure.com", "trendmicro.com",
+        "update.drweb.com"}) {
+    add(name, SiteCategory::kAntivirus);
+  }
+  // Banking: 20 banking / payment sites.
+  for (const char* name :
+       {"paypal.com", "alipay.com", "chase.com", "bankofamerica.com",
+        "wellsfargo.com", "citibank.com", "hsbc.com", "barclays.co.uk",
+        "santander.com", "deutsche-bank.de", "bnpparibas.com", "ing.com",
+        "unicredit.it", "intesasanpaolo.it", "sberbank.ru", "icbc.com.cn",
+        "itau.com.br", "visa.com", "mastercard.com", "americanexpress.com"}) {
+    add(name, SiteCategory::kBanking);
+  }
+  // Dating: 3.
+  for (const char* name : {"match.com", "okcupid.com", "eharmony.com"}) {
+    add(name, SiteCategory::kDating);
+  }
+  // Filesharing: 5.
+  for (const char* name : {"kickass.to", "thepiratebay.se", "torrentz.eu",
+                           "extratorrent.cc", "1337x.to"}) {
+    add(name, SiteCategory::kFilesharing);
+  }
+  // Gambling: 4.
+  for (const char* name : {"bet-at-home.com", "bet365.com", "pokerstars.com",
+                           "williamhill.com"}) {
+    add(name, SiteCategory::kGambling);
+  }
+  // Malware: 13 blacklisted domains.
+  for (const char* name :
+       {"irc.zief.pl", "ytrewq.cn", "qwerty-update.cn", "zeus-panel.ru",
+        "citadel-cnc.su", "dropzone-443.net", "malkit.example",
+        "exploit-pack.example", "fake-av-scan.example", "locker-pay.example",
+        "spy-eye-cnc.net", "torpig-gw.com", "conficker-seed.info"}) {
+    add(name, SiteCategory::kMalware);
+  }
+  // MX: 13 mail hosts of 6 providers (IMAP/POP3/SMTP).
+  for (const char* name :
+       {"imap.aim.com", "smtp.aim.com", "imap.gmail.com", "pop.gmail.com",
+        "smtp.gmail.com", "imap.mail.me.com", "smtp.mail.me.com",
+        "imap-mail.outlook.com", "smtp-mail.outlook.com", "imap.mail.yahoo.com",
+        "smtp.mail.yahoo.com", "imap.yandex.ru", "smtp.yandex.ru"}) {
+    add(name, SiteCategory::kMail, true, true);
+  }
+  // NX: 8 non-existent + 5 NX subdomains of popular domains + 8 typos.
+  for (const char* name :
+       {"qzxkjwv.example", "nbgrwq.example", "xkcdqwe.example",
+        "zzyprw.example", "qqwjkl.example", "mmzpqr.example",
+        "vvbnqw.example", "ttyqzx.example",
+        "rswkllf.twitter.com", "qpzmwn.facebook.com", "xkvbnm.google.com",
+        "zzkkww.amazon.com", "qwpmzx.wikipedia.org",
+        "amason.com", "ghoogle.com", "wikipeida.com", "facebok.com",
+        "twiter.com", "youtub.com", "payapl.com", "ebey.com"}) {
+    add(name, SiteCategory::kNx, /*exists=*/false);
+  }
+  // Tracking: 5 user-tracking libraries.
+  for (const char* name :
+       {"bluecava.com", "threatmetrix.com", "scorecardresearch.com",
+        "quantserve.com", "addthis.com"}) {
+    add(name, SiteCategory::kTracking);
+  }
+  // Miscellaneous: 6 update servers, 3 intelligence agencies, 3 OAuth,
+  // 11 individual domains (= 23, completing the 155).
+  for (const char* name :
+       {"update.adobe.com", "get.adobe.com", "windowsupdate.com",
+        "update.microsoft.com", "swscan.apple.com", "download.oracle.com",
+        "nsa.gov", "gchq.gov.uk", "mossad.gov.il",
+        "oauth.amazon.com", "accounts.google.com", "api.twitter.com",
+        "rotten.com", "wikileaks.org", "torproject.org", "archive.org",
+        "craigslist.org", "reddit.com", "imgur.com", "stackoverflow.com",
+        "github.com", "netflix.com", "spotify.com"}) {
+    add(name, SiteCategory::kMisc);
+  }
+  return set;
+}
+
+std::vector<const StudyDomain*> DomainSet::in_category(
+    SiteCategory category) const {
+  std::vector<const StudyDomain*> out;
+  for (const auto& domain : domains_) {
+    if (domain.category == category) out.push_back(&domain);
+  }
+  return out;
+}
+
+std::vector<std::string> DomainSet::names_in_category(
+    SiteCategory category) const {
+  std::vector<std::string> out;
+  for (const auto& domain : domains_) {
+    if (domain.category == category) out.push_back(domain.name);
+  }
+  return out;
+}
+
+const StudyDomain* DomainSet::find(std::string_view name) const noexcept {
+  for (const auto& domain : domains_) {
+    if (domain.name == name) return &domain;
+  }
+  return nullptr;
+}
+
+const std::vector<SiteCategory>& DomainSet::table5_categories() {
+  static const std::vector<SiteCategory> kOrder = {
+      SiteCategory::kAds,        SiteCategory::kAdult,
+      SiteCategory::kAlexa,      SiteCategory::kAntivirus,
+      SiteCategory::kBanking,    SiteCategory::kDating,
+      SiteCategory::kFilesharing, SiteCategory::kGambling,
+      SiteCategory::kGroundTruth, SiteCategory::kMalware,
+      SiteCategory::kMisc,       SiteCategory::kMail,
+      SiteCategory::kNx,         SiteCategory::kTracking,
+  };
+  return kOrder;
+}
+
+const std::vector<std::string>& snoop_tlds() {
+  static const std::vector<std::string> kTlds = {
+      "br", "cn", "co.uk", "com", "de", "fr", "in",  "info",
+      "it", "jp", "net",   "nl",  "org", "pl", "ru",
+  };
+  return kTlds;
+}
+
+}  // namespace dnswild::core

@@ -1,0 +1,49 @@
+// The study's domain set (§3.2): 155 domain names in 13 categories, plus
+// the ground-truth domain whose AuthNSes the authors operate. Category
+// membership drives scanning (one campaign per set), worldgen (which sites
+// exist, which get censored or phished), and the Table 5 columns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "http/factory.h"
+
+namespace dnswild::core {
+
+using http::SiteCategory;
+
+struct StudyDomain {
+  std::string name;           // FQDN, lower-case
+  SiteCategory category = SiteCategory::kMisc;
+  bool exists = true;         // NX entries do not resolve legitimately
+  bool is_mx_host = false;    // mail host: banner acquisition instead of HTTP
+};
+
+class DomainSet {
+ public:
+  // Builds the full 155-domain study set + ground-truth domain.
+  static DomainSet study_set();
+
+  const std::vector<StudyDomain>& all() const noexcept { return domains_; }
+  std::vector<const StudyDomain*> in_category(SiteCategory category) const;
+  std::vector<std::string> names_in_category(SiteCategory category) const;
+
+  const StudyDomain* find(std::string_view name) const noexcept;
+  const std::string& ground_truth() const noexcept { return ground_truth_; }
+
+  // The categories in Table 5 column order.
+  static const std::vector<SiteCategory>& table5_categories();
+
+  std::size_t size() const noexcept { return domains_.size(); }
+
+ private:
+  std::vector<StudyDomain> domains_;
+  std::string ground_truth_;
+};
+
+// The 15 TLDs probed by the cache-snooping campaign (§2.6).
+const std::vector<std::string>& snoop_tlds();
+
+}  // namespace dnswild::core

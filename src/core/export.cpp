@@ -1,0 +1,97 @@
+#include "core/export.h"
+
+#include <cstdio>
+
+namespace dnswild::core {
+
+namespace {
+
+std::string number(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.4f", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string csv_quote(std::string_view field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string table5_csv(const StudyReport& report) {
+  std::string out = "label,category,avg_pct,max_pct\n";
+  const auto& categories = DomainSet::table5_categories();
+  for (int l = 0; l < kLabelCount; ++l) {
+    const auto label = static_cast<Label>(l);
+    if (label == Label::kUnclassified) continue;
+    for (std::size_t c = 0; c < categories.size(); ++c) {
+      const Table5Cell& cell =
+          report.table5.columns[c][static_cast<std::size_t>(l)];
+      out += csv_quote(label_name(label));
+      out += ',';
+      out += csv_quote(http::site_category_name(categories[c]));
+      out += ',';
+      out += number(cell.avg_pct);
+      out += ',';
+      out += number(cell.max_pct);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string prefilter_csv(const StudyReport& report) {
+  std::string out =
+      "category,tuples,legitimate_pct,no_answer_pct,unknown_pct\n";
+  for (const auto& row : report.prefilter_by_category) {
+    out += csv_quote(http::site_category_name(row.category));
+    out += ',';
+    out += std::to_string(row.tuples);
+    out += ',';
+    out += number(row.legitimate_pct);
+    out += ',';
+    out += number(row.no_answer_pct);
+    out += ',';
+    out += number(row.unknown_pct);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string compliance_csv(const StudyReport& report) {
+  std::string out = "country,censoring,responding,coverage_pct\n";
+  for (const auto& row : report.censorship.compliance) {
+    out += csv_quote(row.country);
+    out += ',';
+    out += std::to_string(row.censoring);
+    out += ',';
+    out += std::to_string(row.responding);
+    out += ',';
+    out += number(100.0 * row.fraction());
+    out += '\n';
+  }
+  return out;
+}
+
+std::string social_geo_csv(const StudyReport& report) {
+  std::string out = "panel,country,resolvers\n";
+  for (const auto& [country, count] : report.social_geo.all) {
+    out += "all," + csv_quote(country) + ',' + std::to_string(count) + '\n';
+  }
+  for (const auto& [country, count] : report.social_geo.unexpected) {
+    out += "unexpected," + csv_quote(country) + ',' +
+           std::to_string(count) + '\n';
+  }
+  return out;
+}
+
+}  // namespace dnswild::core

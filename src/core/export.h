@@ -1,0 +1,30 @@
+// Machine-readable exports of StudyReport sections.
+//
+// The text tables in core/report.h mirror the paper; these CSV emitters
+// exist for downstream analysis (plotting the reproduced figures, diffing
+// runs across seeds/scales). Fields are RFC-4180 quoted where needed.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace dnswild::core {
+
+// One row per (label, category): label,category,avg_pct,max_pct.
+std::string table5_csv(const StudyReport& report);
+
+// One row per category: category,tuples,legitimate_pct,no_answer_pct,
+// unknown_pct.
+std::string prefilter_csv(const StudyReport& report);
+
+// One row per country: country,censoring,responding,coverage_pct.
+std::string compliance_csv(const StudyReport& report);
+
+// One row per country and panel: panel(all|unexpected),country,resolvers.
+std::string social_geo_csv(const StudyReport& report);
+
+// RFC-4180 field quoting (used by the emitters; exposed for reuse).
+std::string csv_quote(std::string_view field);
+
+}  // namespace dnswild::core

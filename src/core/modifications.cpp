@@ -1,0 +1,130 @@
+#include "core/modifications.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cluster/diff.h"
+#include "cluster/distance.h"
+#include "http/html.h"
+
+namespace dnswild::core {
+
+namespace {
+
+std::vector<std::string> tag_multiset_names(
+    const std::unordered_map<std::uint16_t, int>& tags) {
+  std::vector<std::string> names;
+  for (const auto& [tag, count] : tags) {
+    std::string name(http::tag_name(tag));
+    if (count > 1) name += " x" + std::to_string(count);
+    names.push_back(std::move(name));
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace
+
+ModificationReport find_modifications(const StudyData& data,
+                                      const ModificationConfig& config) {
+  ModificationReport report;
+
+  // Ground truth by domain.
+  std::unordered_map<std::string, const GroundTruthPage*> gt_by_domain;
+  for (const auto& gt : *data.ground_truth) {
+    if (!gt.body.empty()) gt_by_domain[gt.domain] = &gt;
+  }
+
+  // Deduplicate by (domain, body): the same modified representation is
+  // served to many tuples; diff it once and multiply the counts.
+  struct UniquePage {
+    cluster::TagDelta delta;
+    std::uint64_t tuples = 0;
+    std::unordered_set<std::uint32_t> resolvers;
+    std::string domain;
+    bool qualifies = false;
+  };
+  std::unordered_map<std::string, UniquePage> unique_pages;
+
+  for (const auto& page : *data.pages) {
+    if (page.body.empty()) continue;
+    const auto& record = data.records->at(page.record_index);
+    const StudyDomain& domain = data.domains->at(record.domain_index);
+    const auto gt_it = gt_by_domain.find(domain.name);
+    if (gt_it == gt_by_domain.end()) continue;
+
+    const std::string key =
+        domain.name + "#" + std::to_string(page.body_hash);
+    auto [it, inserted] = unique_pages.try_emplace(key);
+    UniquePage& unique = it->second;
+    if (inserted) {
+      const auto features = http::extract_features(page.body);
+      const GroundTruthPage& gt = *gt_it->second;
+      ++report.compared_pages;
+      if (cluster::page_distance(features, gt.features) <=
+          config.gt_distance_threshold) {
+        cluster::TagDelta delta = cluster::tag_diff(
+            gt.features.tag_sequence, features.tag_sequence);
+        if (!delta.empty() &&
+            delta.total_changes() <= config.max_changes) {
+          unique.qualifies = true;
+          unique.delta = std::move(delta);
+          unique.domain = domain.name;
+        }
+      }
+    } else if (unique.qualifies) {
+      // compared_pages counts unique representations only.
+    }
+    if (unique.qualifies) {
+      ++unique.tuples;
+      unique.resolvers.insert(record.resolver_id);
+    }
+  }
+
+  // Cluster the qualifying deltas.
+  std::vector<const UniquePage*> qualifying;
+  for (const auto& [key, unique] : unique_pages) {
+    if (unique.qualifies) qualifying.push_back(&unique);
+  }
+  report.modified_pages = qualifying.size();
+  if (qualifying.empty()) return report;
+
+  std::vector<cluster::TagDelta> deltas;
+  deltas.reserve(qualifying.size());
+  for (const UniquePage* unique : qualifying) {
+    deltas.push_back(unique->delta);
+  }
+  const auto labels = cluster::cluster_deltas(deltas, config.delta_cut);
+
+  const int cluster_count =
+      labels.empty() ? 0
+                     : *std::max_element(labels.begin(), labels.end()) + 1;
+  std::vector<ModificationCluster> clusters(
+      static_cast<std::size_t>(cluster_count));
+  std::vector<std::unordered_set<std::uint32_t>> cluster_resolvers(
+      static_cast<std::size_t>(cluster_count));
+  for (std::size_t i = 0; i < qualifying.size(); ++i) {
+    const auto c = static_cast<std::size_t>(labels[i]);
+    ModificationCluster& out = clusters[c];
+    if (out.tuples == 0) {
+      out.added = tag_multiset_names(qualifying[i]->delta.added);
+      out.removed = tag_multiset_names(qualifying[i]->delta.removed);
+      out.example_domain = qualifying[i]->domain;
+    }
+    out.tuples += qualifying[i]->tuples;
+    cluster_resolvers[c].insert(qualifying[i]->resolvers.begin(),
+                                qualifying[i]->resolvers.end());
+  }
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    clusters[c].resolvers = cluster_resolvers[c].size();
+  }
+  std::sort(clusters.begin(), clusters.end(),
+            [](const ModificationCluster& a, const ModificationCluster& b) {
+              return a.tuples > b.tuples;
+            });
+  report.clusters = std::move(clusters);
+  return report;
+}
+
+}  // namespace dnswild::core

@@ -1,0 +1,49 @@
+// Fine-grained page-modification analysis (§3.6, second clustering stage).
+//
+// The coarse clustering groups whole page classes; this pass hunts the
+// cases where an adversary serves a *known* page with a small edit — an
+// injected <script>, an added banner <img>, a stripped ad slot. For every
+// unknown response that still resembles its domain's ground truth, the tag
+// sequences are diffed (LCS), and the resulting add/remove multisets are
+// clustered by Jaccard distance so one injection campaign surfaces as one
+// cluster regardless of which pages it touched.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/casestudies.h"
+
+namespace dnswild::core {
+
+struct ModificationCluster {
+  // Representative delta, as tag names with multiplicities ("script",
+  // "img x2", ...).
+  std::vector<std::string> added;
+  std::vector<std::string> removed;
+  std::uint64_t tuples = 0;     // tuples carrying this modification
+  std::uint64_t resolvers = 0;  // distinct resolvers serving it
+  std::string example_domain;   // one affected domain
+};
+
+struct ModificationConfig {
+  // A page qualifies when it is this close to its ground truth (the
+  // modification must be small for the diff to be meaningful).
+  double gt_distance_threshold = 0.28;
+  // Deltas larger than this are whole-page rewrites, not modifications.
+  std::size_t max_changes = 25;
+  // HAC cut over delta Jaccard distance.
+  double delta_cut = 0.30;
+};
+
+struct ModificationReport {
+  std::uint64_t compared_pages = 0;  // unknown pages with usable GT
+  std::uint64_t modified_pages = 0;  // pages with a small non-empty delta
+  std::vector<ModificationCluster> clusters;  // sorted by tuple count desc
+};
+
+ModificationReport find_modifications(const StudyData& data,
+                                      const ModificationConfig& config = {});
+
+}  // namespace dnswild::core

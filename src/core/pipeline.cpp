@@ -1,0 +1,295 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "scan/domain_scan.h"
+
+namespace dnswild::core {
+
+StudyData StudyReport::view() const {
+  StudyData data;
+  data.resolvers = &resolvers;
+  data.records = &records;
+  data.verdicts = &verdicts;
+  data.pages = &pages;
+  data.classification = &classification;
+  data.ground_truth = &ground_truth;
+  data.domains = &domains;
+  data.asdb = asdb;
+  return data;
+}
+
+Pipeline::Pipeline(net::World& world, const resolver::AuthRegistry& registry,
+                   PipelineConfig config)
+    : world_(world), registry_(registry), config_(std::move(config)) {}
+
+StudyReport Pipeline::run(const std::vector<net::Ipv4>& resolvers,
+                          const DomainSet& domains) {
+  StudyReport report;
+  report.resolvers = resolvers;
+  report.domains = domains.all();
+
+  // ❷ Domain scan: all study domains (ground truth appended last).
+  std::vector<std::string> names;
+  names.reserve(report.domains.size() + 1);
+  for (const StudyDomain& domain : report.domains) {
+    names.push_back(domain.name);
+  }
+  report.domains.push_back(StudyDomain{domains.ground_truth(),
+                                       SiteCategory::kGroundTruth, true,
+                                       false});
+  names.push_back(domains.ground_truth());
+
+  scan::DomainScanConfig scan_config;
+  scan_config.scanner_ip = config_.scanner_ip;
+  scan_config.seed = config_.seed ^ 0xd05ca9ULL;
+  scan_config.spread_over_hours = config_.scan_spread_hours;
+  scan::DomainScanner scanner(world_, scan_config);
+  report.records = scanner.scan(resolvers, names);
+
+  // ❸ Prefiltering.
+  Prefilter prefilter(world_, registry_, domains, config_.vantage_ip,
+                      config_.prefilter);
+  report.verdicts = prefilter.run(report.records, report.domains);
+  report.prefilter_stats = prefilter.stats();
+
+  // Per-category yields (§4.1).
+  {
+    std::map<SiteCategory, CategoryPrefilterRow> rows;
+    for (std::size_t i = 0; i < report.records.size(); ++i) {
+      const auto& record = report.records[i];
+      const StudyDomain& domain = report.domains.at(record.domain_index);
+      auto& row = rows[domain.category];
+      row.category = domain.category;
+      if (report.verdicts[i] == TupleVerdict::kUnresponsive) continue;
+      ++row.tuples;
+      switch (report.verdicts[i]) {
+        case TupleVerdict::kLegitimate: row.legitimate_pct += 1; break;
+        case TupleVerdict::kNoAnswer: row.no_answer_pct += 1; break;
+        case TupleVerdict::kUnknown: row.unknown_pct += 1; break;
+        case TupleVerdict::kUnresponsive: break;
+      }
+    }
+    for (auto& [category, row] : rows) {
+      if (row.tuples == 0) continue;
+      const double total = static_cast<double>(row.tuples);
+      row.legitimate_pct = 100.0 * row.legitimate_pct / total;
+      row.no_answer_pct = 100.0 * row.no_answer_pct / total;
+      row.unknown_pct = 100.0 * row.unknown_pct / total;
+      report.prefilter_by_category.push_back(row);
+    }
+  }
+
+  // ❹ Acquisition: ground truth first, then the unknown tuples.
+  Acquisition acquisition(world_, registry_, config_.vantage_ip);
+  report.ground_truth = acquisition.fetch_ground_truth(report.domains);
+  report.pages = acquisition.fetch_unknown(report.records, report.verdicts,
+                                           report.domains, resolvers);
+  {
+    std::uint64_t with_payload = 0;
+    for (const auto& page : report.pages) {
+      if (!page.body.empty()) ++with_payload;
+    }
+    report.http_payload_fraction =
+        report.pages.empty()
+            ? 0.0
+            : static_cast<double>(with_payload) /
+                  static_cast<double>(report.pages.size());
+  }
+
+  // §4.2 verification experiment for content-less forged answers.
+  const std::vector<char> injected = detect_onpath_injection(report);
+
+  // ❺/❻ Clustering and labeling.
+  report.classification = classify_responses(
+      report.records, report.pages, config_.classifier, &injected);
+
+  compute_sec41(report);
+  compute_table5(report, domains);
+
+  report.asdb = &world_.asdb();
+  const StudyData data = report.view();
+  report.censorship = censorship_report(data);
+  report.cases = case_study_report(data, world_, config_.vantage_ip);
+  report.modifications = find_modifications(data);
+  report.social_geo = geo_histogram(
+      data, {"facebook.com", "twitter.com", "youtube.com"});
+  return report;
+}
+
+std::vector<char> Pipeline::detect_onpath_injection(
+    const StudyReport& report) {
+  std::vector<char> flags(report.records.size(), 0);
+  std::unordered_set<net::Ipv4> known_resolvers(report.resolvers.begin(),
+                                                report.resolvers.end());
+
+  // Which records need verification: unknown verdict, no dual response, no
+  // routable content expected (the acquisition stage found nothing).
+  std::vector<bool> has_content(report.records.size(), false);
+  for (const auto& page : report.pages) {
+    if (!page.body.empty()) has_content[page.record_index] = true;
+  }
+
+  util::Rng rng(config_.seed ^ 0x0f20a7ULL);
+  // One experiment per (resolver /16, domain): probe three addresses that
+  // are not known resolvers; two or more answers prove injection.
+  std::unordered_map<std::uint64_t, bool> verified;
+
+  for (std::size_t i = 0; i < report.records.size(); ++i) {
+    if (report.verdicts[i] != TupleVerdict::kUnknown) continue;
+    const auto& record = report.records[i];
+    if (record.dual_response) {
+      flags[i] = 1;  // injection already proven by the race
+      continue;
+    }
+    if (has_content[i] || record.ips.empty()) continue;
+
+    const net::Ipv4 resolver = report.resolvers.at(record.resolver_id);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(resolver.value() >> 8) << 16) |
+        record.domain_index;
+    auto cached = verified.find(key);
+    if (cached == verified.end()) {
+      const std::string& domain =
+          report.domains.at(record.domain_index).name;
+      const auto name = dns::Name::parse(domain);
+      int answers = 0;
+      for (int attempt = 0; attempt < 3 && name; ++attempt) {
+        // Random host part in the resolver's /16.
+        // Stay inside the resolver's /24 so the probe crosses the same
+        // monitored link (pools are always at least that large).
+        net::Ipv4 probe_target(
+            (resolver.value() & 0xffffff00u) |
+            static_cast<std::uint32_t>(rng.below(0x100)));
+        if (known_resolvers.count(probe_target) != 0) continue;
+        dns::Message query = dns::Message::make_query(
+            static_cast<std::uint16_t>(rng.next()), *name, dns::RType::kA);
+        net::UdpPacket packet;
+        packet.src = config_.vantage_ip;
+        packet.src_port = 51000;
+        packet.dst = probe_target;
+        packet.dst_port = 53;
+        packet.payload = query.encode();
+        for (const auto& reply : world_.send_udp(packet)) {
+          const auto response = dns::Message::decode(reply.packet.payload);
+          if (response && response->header.qr &&
+              response->header.id == query.header.id &&
+              !response->answer_ips().empty()) {
+            ++answers;
+            break;
+          }
+        }
+      }
+      cached = verified.emplace(key, answers >= 2).first;
+    }
+    flags[i] = cached->second ? 1 : 0;
+  }
+  return flags;
+}
+
+void Pipeline::compute_sec41(StudyReport& report) const {
+  struct PerResolver {
+    std::uint32_t unknown_tuples = 0;
+    std::uint32_t answered = 0;
+    std::uint32_t self_ip = 0;
+    std::uint32_t ns_only = 0;
+    std::map<std::vector<net::Ipv4>, std::uint32_t> answer_sets;
+  };
+  std::unordered_map<std::uint32_t, PerResolver> per_resolver;
+
+  for (std::size_t i = 0; i < report.records.size(); ++i) {
+    const auto& record = report.records[i];
+    if (!record.responded) continue;
+    PerResolver& state = per_resolver[record.resolver_id];
+    ++state.answered;
+    if (report.verdicts[i] == TupleVerdict::kUnknown) ++state.unknown_tuples;
+    if (record.ns_only) ++state.ns_only;
+    if (!record.ips.empty()) {
+      ++state.answer_sets[record.ips];
+      const net::Ipv4 resolver_ip = report.resolvers.at(record.resolver_id);
+      if (std::find(record.ips.begin(), record.ips.end(), resolver_ip) !=
+          record.ips.end()) {
+        ++state.self_ip;
+      }
+    }
+  }
+
+  Sec41Stats& stats = report.sec41;
+  for (const auto& [resolver_id, state] : per_resolver) {
+    // NS-only resolvers never produce unknown tuples (their answers are
+    // empty), so they are counted before the suspicion gate.
+    if (state.ns_only == state.answered && state.ns_only > 0) {
+      ++stats.ns_only;
+    }
+    if (state.unknown_tuples == 0) continue;
+    ++stats.suspicious_resolvers;
+    if (state.self_ip > 0) ++stats.self_ip_any;
+    if (state.answered > 0 &&
+        state.self_ip * 4 >= state.answered * 3) {  // >= 75%
+      ++stats.self_ip_everywhere;
+    }
+    bool same_set_multi = false;
+    bool single_static = state.answer_sets.size() == 1 && state.answered > 1;
+    for (const auto& [ips, count] : state.answer_sets) {
+      if (count > 1) same_set_multi = true;
+    }
+    if (single_static) {
+      const auto& only = state.answer_sets.begin()->first;
+      if (only.size() == 1 &&
+          state.answer_sets.begin()->second == state.answered) {
+        ++stats.static_single_ip;
+      }
+    }
+    if (same_set_multi) ++stats.same_set_multi_domain;
+  }
+}
+
+void Pipeline::compute_table5(StudyReport& report,
+                              const DomainSet& domains) const {
+  const auto& categories = DomainSet::table5_categories();
+  report.table5.columns.assign(categories.size(), {});
+
+  // Per (domain_index): suspicious resolver sets and per-label sets.
+  const std::size_t domain_count = report.domains.size();
+  std::vector<std::unordered_set<std::uint32_t>> suspicious(domain_count);
+  std::vector<std::array<std::unordered_set<std::uint32_t>, kLabelCount>>
+      labeled(domain_count);
+
+  for (std::size_t i = 0; i < report.records.size(); ++i) {
+    if (report.verdicts[i] != TupleVerdict::kUnknown) continue;
+    const auto& record = report.records[i];
+    suspicious[record.domain_index].insert(record.resolver_id);
+  }
+  for (const auto& tuple : report.classification.tuples) {
+    const auto& record = report.records.at(tuple.record_index);
+    labeled[record.domain_index][static_cast<int>(tuple.label)].insert(
+        record.resolver_id);
+  }
+
+  (void)domains;
+  for (std::size_t c = 0; c < categories.size(); ++c) {
+    for (int l = 0; l < kLabelCount; ++l) {
+      double sum = 0.0;
+      double max_value = 0.0;
+      int counted_domains = 0;
+      for (std::size_t d = 0; d < domain_count; ++d) {
+        if (report.domains[d].category != categories[c]) continue;
+        if (suspicious[d].empty()) continue;
+        const double pct = 100.0 *
+                           static_cast<double>(labeled[d][l].size()) /
+                           static_cast<double>(suspicious[d].size());
+        sum += pct;
+        max_value = std::max(max_value, pct);
+        ++counted_domains;
+      }
+      Table5Cell& cell = report.table5.columns[c][static_cast<std::size_t>(l)];
+      cell.avg_pct = counted_domains == 0 ? 0.0 : sum / counted_domains;
+      cell.max_pct = max_value;
+    }
+  }
+}
+
+}  // namespace dnswild::core

@@ -1,0 +1,115 @@
+// End-to-end manipulation study (Fig. 3's processing chain).
+//
+// Orchestrates the six stages: ❶ the resolver population comes in from an
+// Internet-wide scan, ❷ the domain scan queries the 155-domain set (plus
+// ground truth) at every resolver, ❸ prefiltering sorts out legitimate
+// tuples, ❹ acquisition fetches content for the unknown remainder, ❺/❻
+// clustering and labeling classify it, and the drill-down reports (§4.1,
+// §4.2, Table 5, Fig. 4, §4.3) are computed from the labeled tuples.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/acquisition.h"
+#include "core/casestudies.h"
+#include "core/classify.h"
+#include "core/domains.h"
+#include "core/modifications.h"
+#include "core/prefilter.h"
+#include "net/world.h"
+#include "resolver/authns.h"
+
+namespace dnswild::core {
+
+struct PipelineConfig {
+  net::Ipv4 scanner_ip;                      // domain-scan source
+  net::Ipv4 vantage_ip;                      // HTTP/TLS acquisition source
+  std::uint64_t seed = 0;
+  double scan_spread_hours = 0.0;            // world-clock advance per scan
+  PrefilterConfig prefilter;
+  ClassifierConfig classifier;
+};
+
+// Per-category prefiltering yields (§4.1).
+struct CategoryPrefilterRow {
+  SiteCategory category = SiteCategory::kMisc;
+  std::uint64_t tuples = 0;
+  double legitimate_pct = 0.0;
+  double no_answer_pct = 0.0;
+  double unknown_pct = 0.0;
+};
+
+// Table 5: avg / max share of suspicious resolvers per label per category.
+struct Table5Cell {
+  double avg_pct = 0.0;
+  double max_pct = 0.0;
+};
+struct Table5 {
+  // [label][category-order-index] per DomainSet::table5_categories().
+  std::vector<std::array<Table5Cell, kLabelCount>> columns;
+};
+
+// Behavioural oddities of §4.1.
+struct Sec41Stats {
+  std::uint64_t suspicious_resolvers = 0;  // >= 1 unknown tuple
+  std::uint64_t self_ip_any = 0;           // own address for >= 1 domain
+  std::uint64_t self_ip_everywhere = 0;    // own address for >= 75% of set
+  std::uint64_t same_set_multi_domain = 0; // same answer set for > 1 domain
+  std::uint64_t static_single_ip = 0;      // one address for every domain
+  std::uint64_t ns_only = 0;               // NS referrals only
+};
+
+struct StudyReport {
+  std::vector<net::Ipv4> resolvers;
+  std::vector<StudyDomain> domains;  // domain_index order (GT appended)
+  std::vector<scan::TupleRecord> records;
+  std::vector<TupleVerdict> verdicts;
+  std::vector<AcquiredPage> pages;
+  std::vector<GroundTruthPage> ground_truth;
+  ClassificationResult classification;
+
+  PrefilterStats prefilter_stats;
+  std::vector<CategoryPrefilterRow> prefilter_by_category;
+  Sec41Stats sec41;
+  Table5 table5;
+  double http_payload_fraction = 0.0;  // of unknown tuples (88.9% in §4.2)
+  CensorshipReport censorship;
+  CaseStudyReport cases;
+  GeoHistogram social_geo;  // Facebook + Twitter + YouTube (Fig. 4)
+  ModificationReport modifications;  // fine-grained diffs (§3.6)
+
+  // Set by Pipeline::run; must outlive the report (the world's AsDb does).
+  const net::AsDb* asdb = nullptr;
+
+  StudyData view() const;
+};
+
+class Pipeline {
+ public:
+  Pipeline(net::World& world, const resolver::AuthRegistry& registry,
+           PipelineConfig config);
+
+  // Runs the full chain for the given open-resolver population.
+  StudyReport run(const std::vector<net::Ipv4>& resolvers,
+                  const DomainSet& domains);
+
+ private:
+  // The §4.2 verification experiment: for suspicious answers without
+  // content, probe addresses in the resolver's /16 that are NOT known
+  // resolvers with the same query; answers arriving anyway prove an
+  // on-path injector (the Great-Firewall signature). Returns one flag per
+  // record.
+  std::vector<char> detect_onpath_injection(const StudyReport& report);
+
+  void compute_sec41(StudyReport& report) const;
+  void compute_table5(StudyReport& report, const DomainSet& domains) const;
+
+  net::World& world_;
+  const resolver::AuthRegistry& registry_;
+  PipelineConfig config_;
+};
+
+}  // namespace dnswild::core

@@ -1,0 +1,150 @@
+#include "core/prefilter.h"
+
+#include "util/strings.h"
+
+namespace dnswild::core {
+
+Prefilter::Prefilter(net::World& world,
+                     const resolver::AuthRegistry& registry,
+                     const DomainSet& domains, net::Ipv4 vantage_ip,
+                     PrefilterConfig config)
+    : world_(world),
+      registry_(registry),
+      domains_(domains),
+      fetcher_(world, vantage_ip),
+      config_(std::move(config)) {}
+
+const std::unordered_set<std::uint32_t>& Prefilter::trusted_as_set(
+    const std::string& domain) {
+  const auto cached = as_cache_.find(domain);
+  if (cached != as_cache_.end()) return cached->second;
+  std::unordered_set<std::uint32_t> as_set;
+  // Resolve at our own (trusted) resolvers from each vantage region: CDN
+  // zones answer differently per region, so multiple views widen the
+  // whitelist the way the paper's distributed trusted lookups do.
+  for (const auto& region : config_.trusted_regions) {
+    const auto answer = registry_.resolve_a(domain, region);
+    if (answer.rcode != dns::RCode::kNoError) continue;
+    for (const net::Ipv4 ip : answer.ips) {
+      if (const auto asn = world_.asdb().lookup_asn(ip)) as_set.insert(*asn);
+    }
+  }
+  return as_cache_.emplace(domain, std::move(as_set)).first->second;
+}
+
+bool Prefilter::accept_ip(net::Ipv4 ip, const StudyDomain& domain) {
+  const std::string cache_key = domain.name + "|" + ip.to_string();
+  const auto cached = ip_verdict_cache_.find(cache_key);
+  if (cached != ip_verdict_cache_.end()) return cached->second;
+
+  bool accepted = false;
+
+  // Rule (i): AS match against trusted resolutions.
+  if (config_.use_as_rule) {
+    const auto& as_set = trusted_as_set(domain.name);
+    if (const auto asn = world_.asdb().lookup_asn(ip)) {
+      if (as_set.count(*asn) != 0) {
+        accepted = true;
+        ++stats_.accepted_by_as;
+      }
+    }
+  }
+
+  // Rule (ii): rDNS resembles the domain and forward-confirms.
+  if (!accepted && config_.use_rdns_rule) {
+    if (const auto rdns_name = world_.rdns().lookup(ip)) {
+      const bool resembles =
+          util::icontains(*rdns_name, domain.name);
+      if (resembles) {
+        const auto forward = registry_.resolve_a(*rdns_name);
+        if (forward.rcode == dns::RCode::kNoError) {
+          for (const net::Ipv4 confirmed : forward.ips) {
+            if (confirmed == ip) {
+              accepted = true;
+              ++stats_.accepted_by_rdns;
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Rule (iii): the paired SNI / non-SNI handshakes of §3.4. Acceptance
+  // needs BOTH a matching SNI certificate and a valid default (non-SNI)
+  // certificate: genuine origins and CDN edges always present a default,
+  // while an SNI-keyed TLS relay cannot route a handshake without SNI —
+  // which is what keeps transparent TLS proxies (§4.3) out of the
+  // legitimate set.
+  if (!accepted && config_.use_cert_rule) {
+    const auto sni_cert =
+        fetcher_.tls_certificate(ip, std::optional<std::string>(domain.name));
+    if (sni_cert && sni_cert->matches_host(domain.name)) {
+      const auto default_cert = fetcher_.tls_certificate(ip, std::nullopt);
+      if (default_cert && default_cert->valid_chain) {
+        accepted = true;
+        ++stats_.accepted_by_cert;
+      }
+    } else {
+      const auto default_cert = fetcher_.tls_certificate(ip, std::nullopt);
+      if (default_cert && default_cert->valid_chain &&
+          !default_cert->self_signed) {
+        for (const auto& cdn_name : config_.cdn_common_names) {
+          if (util::iequals(default_cert->common_name, cdn_name)) {
+            accepted = true;
+            ++stats_.accepted_by_cert;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  ip_verdict_cache_.emplace(cache_key, accepted);
+  return accepted;
+}
+
+TupleVerdict Prefilter::judge(const scan::TupleRecord& record,
+                              const StudyDomain& domain) {
+  if (!record.responded) return TupleVerdict::kUnresponsive;
+
+  if (!domain.exists) {
+    // NXDOMAIN or an empty NOERROR is the honest outcome for NX names.
+    if (record.rcode == dns::RCode::kNxDomain ||
+        (record.rcode == dns::RCode::kNoError && record.ips.empty())) {
+      return TupleVerdict::kLegitimate;
+    }
+    if (record.rcode != dns::RCode::kNoError) return TupleVerdict::kNoAnswer;
+    return TupleVerdict::kUnknown;  // an NX name got an address: monetization
+  }
+
+  if (record.rcode != dns::RCode::kNoError) return TupleVerdict::kNoAnswer;
+  if (record.ips.empty()) return TupleVerdict::kNoAnswer;
+
+  for (const net::Ipv4 ip : record.ips) {
+    if (!accept_ip(ip, domain)) return TupleVerdict::kUnknown;
+  }
+  return TupleVerdict::kLegitimate;
+}
+
+std::vector<TupleVerdict> Prefilter::run(
+    const std::vector<scan::TupleRecord>& records,
+    const std::vector<StudyDomain>& domains) {
+  std::vector<TupleVerdict> verdicts;
+  verdicts.reserve(records.size());
+  for (const auto& record : records) {
+    const StudyDomain& domain = domains.at(record.domain_index);
+    const TupleVerdict verdict = judge(record, domain);
+    ++stats_.tuples;
+    switch (verdict) {
+      case TupleVerdict::kLegitimate: ++stats_.legitimate; break;
+      case TupleVerdict::kNoAnswer: ++stats_.no_answer; break;
+      case TupleVerdict::kUnknown: ++stats_.unknown; break;
+      case TupleVerdict::kUnresponsive: ++stats_.unresponsive; break;
+    }
+    verdicts.push_back(verdict);
+  }
+  return verdicts;
+}
+
+}  // namespace dnswild::core

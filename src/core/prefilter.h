@@ -1,0 +1,101 @@
+// DNS-based prefiltering (§3.4).
+//
+// Reduces billions of (domain ◦ ip ◦ resolver) tuples to the suspicious
+// remainder. A returned address is legitimate when any rule accepts it:
+//   (i)  it lies in one of the ASes the trusted resolvers' answers for the
+//        domain lie in,
+//   (ii) its rDNS name resembles the queried domain AND forward-confirms
+//        (an A lookup of the rDNS name yields the address — only the
+//        domain owner can arrange that),
+//   (iii) the HTTPS certificate it serves for the domain is valid (paired
+//        SNI / non-SNI handshakes; for the largest CDNs a valid non-SNI
+//        certificate with a known common name also accepts).
+// The rules deliberately err toward NOT filtering: a bogus answer must
+// never be hidden, while an unfiltered legitimate answer is caught later by
+// the content analysis.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/domains.h"
+#include "http/fetch.h"
+#include "net/world.h"
+#include "resolver/authns.h"
+#include "scan/domain_scan.h"
+
+namespace dnswild::core {
+
+enum class TupleVerdict {
+  kLegitimate,   // all answer addresses accepted
+  kNoAnswer,     // empty answer section or error rcode (counted separately)
+  kUnknown,      // at least one unexplained address: candidate for analysis
+  kUnresponsive, // no response arrived at all
+};
+
+struct PrefilterConfig {
+  // Rule toggles, exposed for the §3.4 ablation bench.
+  bool use_as_rule = true;
+  bool use_rdns_rule = true;
+  bool use_cert_rule = true;
+  // Regions whose trusted-resolver views seed the AS whitelist.
+  std::vector<std::string> trusted_regions = {"DE", "US"};
+  // Non-SNI common names accepted for the largest CDN providers.
+  std::vector<std::string> cdn_common_names = {"*.edge.globalcdn.example"};
+};
+
+struct PrefilterStats {
+  std::uint64_t tuples = 0;
+  std::uint64_t legitimate = 0;
+  std::uint64_t no_answer = 0;
+  std::uint64_t unknown = 0;
+  std::uint64_t unresponsive = 0;
+  // Rule attribution for accepted addresses (ablation).
+  std::uint64_t accepted_by_as = 0;
+  std::uint64_t accepted_by_rdns = 0;
+  std::uint64_t accepted_by_cert = 0;
+};
+
+class Prefilter {
+ public:
+  Prefilter(net::World& world, const resolver::AuthRegistry& registry,
+            const DomainSet& domains, net::Ipv4 vantage_ip,
+            PrefilterConfig config = {});
+
+  // Verdict for one scan record. `domain` must be the entry the record's
+  // domain_index refers to.
+  TupleVerdict judge(const scan::TupleRecord& record,
+                     const StudyDomain& domain);
+
+  // Bulk pass: verdict per record, stats accumulated.
+  std::vector<TupleVerdict> run(const std::vector<scan::TupleRecord>& records,
+                                const std::vector<StudyDomain>& domains);
+
+  const PrefilterStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+ private:
+  // AS numbers seen in trusted resolutions of `domain` (cached).
+  const std::unordered_set<std::uint32_t>& trusted_as_set(
+      const std::string& domain);
+  bool accept_ip(net::Ipv4 ip, const StudyDomain& domain);
+
+  net::World& world_;
+  const resolver::AuthRegistry& registry_;
+  const DomainSet& domains_;
+  http::Fetcher fetcher_;
+  PrefilterConfig config_;
+  PrefilterStats stats_;
+
+  std::unordered_map<std::string, std::unordered_set<std::uint32_t>>
+      as_cache_;
+  // (domain, ip) -> accepted, memoized across tuples (the same address is
+  // returned by many resolvers).
+  std::unordered_map<std::string, bool> ip_verdict_cache_;
+};
+
+}  // namespace dnswild::core

@@ -1,0 +1,186 @@
+#include "core/report.h"
+
+#include "util/table.h"
+
+namespace dnswild::core {
+
+using util::Table;
+
+std::string render_table5(const StudyReport& report) {
+  const auto& categories = DomainSet::table5_categories();
+  std::vector<std::string> headers = {"Label"};
+  std::vector<util::Align> aligns = {util::Align::kLeft};
+  for (const SiteCategory category : categories) {
+    headers.emplace_back(http::site_category_name(category));
+    aligns.push_back(util::Align::kRight);
+  }
+  Table table(std::move(headers), std::move(aligns));
+
+  static constexpr Label kRowOrder[] = {
+      Label::kBlocking, Label::kCensorship, Label::kHttpError,
+      Label::kLogin,    Label::kMisc,       Label::kParking,
+      Label::kSearch,
+  };
+  for (const Label label : kRowOrder) {
+    std::vector<std::string> row = {std::string(label_name(label))};
+    for (std::size_t c = 0; c < categories.size(); ++c) {
+      const Table5Cell& cell =
+          report.table5.columns[c][static_cast<std::size_t>(label)];
+      row.push_back(util::pct1(cell.avg_pct) + " (" +
+                    util::pct1(cell.max_pct) + ")");
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+std::string render_prefilter(const StudyReport& report) {
+  Table table({"Category", "Tuples", "Legitimate %", "No answer %",
+               "Unknown %"},
+              {util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+               util::Align::kRight, util::Align::kRight});
+  for (const auto& row : report.prefilter_by_category) {
+    table.add_row({std::string(http::site_category_name(row.category)),
+                   util::with_commas(row.tuples),
+                   util::pct1(row.legitimate_pct),
+                   util::pct1(row.no_answer_pct),
+                   util::pct1(row.unknown_pct)});
+  }
+  return table.render();
+}
+
+namespace {
+
+std::string render_histogram(
+    const std::vector<std::pair<std::string, std::uint64_t>>& counts,
+    std::string_view title) {
+  std::uint64_t total = 0;
+  for (const auto& [key, count] : counts) total += count;
+  Table table({std::string(title), "Resolvers", "%"},
+              {util::Align::kLeft, util::Align::kRight, util::Align::kRight});
+  std::size_t shown = 0;
+  std::uint64_t shown_total = 0;
+  for (const auto& [key, count] : counts) {
+    if (shown++ >= 12) break;
+    shown_total += count;
+    table.add_row({key, util::with_commas(count),
+                   util::pct1(total == 0 ? 0.0
+                                         : 100.0 * static_cast<double>(count) /
+                                               static_cast<double>(total))});
+  }
+  if (total > shown_total) {
+    table.add_row({"Others", util::with_commas(total - shown_total),
+                   util::pct1(100.0 * static_cast<double>(total - shown_total) /
+                              static_cast<double>(total))});
+  }
+  return table.render();
+}
+
+}  // namespace
+
+std::string render_social_geo(const StudyReport& report) {
+  std::string out = "(a) All responses\n";
+  out += render_histogram(report.social_geo.all, "Country");
+  out += "\n(b) Unexpected responses\n";
+  out += render_histogram(report.social_geo.unexpected, "Country");
+  return out;
+}
+
+std::string render_censorship(const StudyReport& report) {
+  const auto& censorship = report.censorship;
+  std::string out;
+  out += "Censorship tuples:        " +
+         util::with_commas(censorship.censorship_tuples) + "\n";
+  out += "Dual-response (injected): " +
+         util::with_commas(censorship.dual_response_tuples) + "\n";
+  out += "Landing-page IPs:         " +
+         util::with_commas(censorship.landing_ips.size()) + "\n";
+  out += "Countries with landings:  " +
+         util::with_commas(censorship.landing_countries.size()) + "\n\n";
+  out += render_histogram(censorship.censoring_by_country,
+                          "Censoring resolvers by country");
+  out += "\nPer-country compliance (censoring / responding resolvers):\n";
+  Table table({"Country", "Censoring", "Responding", "Coverage %"},
+              {util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+               util::Align::kRight});
+  for (const auto& row : censorship.compliance) {
+    table.add_row({row.country, util::with_commas(row.censoring),
+                   util::with_commas(row.responding),
+                   util::frac_pct1(row.fraction())});
+  }
+  out += table.render();
+  return out;
+}
+
+std::string render_case_studies(const StudyReport& report) {
+  const CaseStudyReport& cases = report.cases;
+  Table table({"Case study", "Resolvers", "IPs"},
+              {util::Align::kLeft, util::Align::kRight, util::Align::kRight});
+  table.add_row({"Ad redirect / injection",
+                 util::with_commas(cases.ad_tamper_resolvers),
+                 util::with_commas(cases.ad_tamper_ips)});
+  table.add_row({"Ad blanking (placeholders)",
+                 util::with_commas(cases.ad_blanking_resolvers),
+                 util::with_commas(cases.ad_blanking_ips)});
+  table.add_row({"Search pages w/ injected ads",
+                 util::with_commas(cases.search_with_ads_resolvers), "-"});
+  table.add_row({"Transparent proxy (TLS passthrough)",
+                 util::with_commas(cases.proxy_resolvers_tls),
+                 util::with_commas(cases.proxy_ips_tls)});
+  table.add_row({"Transparent proxy (HTTP only)",
+                 util::with_commas(cases.proxy_resolvers_http_only),
+                 util::with_commas(cases.proxy_ips_http_only)});
+  table.add_row({"Phishing (all)",
+                 util::with_commas(cases.phishing_resolvers),
+                 util::with_commas(cases.phishing_ips)});
+  table.add_row({"Phishing (PayPal kit)",
+                 util::with_commas(cases.paypal_phish_resolvers),
+                 util::with_commas(cases.paypal_phish_ips)});
+  table.add_row({"MX set: suspicious resolvers",
+                 util::with_commas(cases.mx_suspicious_resolvers), "-"});
+  table.add_row({"MX redirects to live mail IPs",
+                 util::with_commas(cases.mail_listening_resolvers),
+                 util::with_commas(cases.mail_listening_ips)});
+  table.add_row({"MX with matching legit banner",
+                 util::with_commas(cases.mail_matching_banner_resolvers),
+                 "-"});
+  table.add_row({"Malware update redirects",
+                 util::with_commas(cases.malware_resolvers),
+                 util::with_commas(cases.malware_ips)});
+  return table.render();
+}
+
+std::string render_modifications(const StudyReport& report) {
+  const ModificationReport& modifications = report.modifications;
+  std::string out;
+  out += "Unique GT-comparable pages: " +
+         util::with_commas(modifications.compared_pages) +
+         "; small modifications: " +
+         util::with_commas(modifications.modified_pages) + "\n";
+  Table table({"Added tags", "Removed tags", "Tuples", "Resolvers",
+               "Example domain"},
+              {util::Align::kLeft, util::Align::kLeft, util::Align::kRight,
+               util::Align::kRight, util::Align::kLeft});
+  std::size_t shown = 0;
+  for (const auto& cluster : modifications.clusters) {
+    if (shown++ >= 10) break;
+    std::string added, removed;
+    for (const auto& tag : cluster.added) {
+      if (!added.empty()) added += ", ";
+      added += tag;
+    }
+    for (const auto& tag : cluster.removed) {
+      if (!removed.empty()) removed += ", ";
+      removed += tag;
+    }
+    table.add_row({added.empty() ? "-" : added,
+                   removed.empty() ? "-" : removed,
+                   util::with_commas(cluster.tuples),
+                   util::with_commas(cluster.resolvers),
+                   cluster.example_domain});
+  }
+  out += table.render();
+  return out;
+}
+
+}  // namespace dnswild::core

@@ -1,0 +1,30 @@
+// Rendering helpers: turn StudyReport sections into the text tables the
+// paper prints, used by bench binaries and the examples.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace dnswild::core {
+
+// Table 5 layout: one row per label, one column per category, each cell
+// "avg (max)" in percent.
+std::string render_table5(const StudyReport& report);
+
+// §4.1 prefiltering yield table.
+std::string render_prefilter(const StudyReport& report);
+
+// Fig. 4-style country distribution for the social-network domains.
+std::string render_social_geo(const StudyReport& report);
+
+// §4.2 censorship summary + compliance.
+std::string render_censorship(const StudyReport& report);
+
+// §4.3 case studies.
+std::string render_case_studies(const StudyReport& report);
+
+// Fine-grained modification clusters (§3.6 second stage).
+std::string render_modifications(const StudyReport& report);
+
+}  // namespace dnswild::core

@@ -1,0 +1,27 @@
+#include "dns/chaos.h"
+
+namespace dnswild::dns {
+
+Name version_bind_name() { return Name::must_parse("version.bind"); }
+
+Name version_server_name() { return Name::must_parse("version.server"); }
+
+Message make_version_query(std::uint16_t id, const Name& probe_name) {
+  return Message::make_query(id, probe_name, RType::kTXT, RClass::kCH,
+                             /*rd=*/false);
+}
+
+std::optional<std::string> extract_version(const Message& response) {
+  if (response.header.rcode != RCode::kNoError) return std::nullopt;
+  for (const auto& rr : response.answers) {
+    if (rr.rtype != RType::kTXT) continue;
+    const auto* txt = std::get_if<TxtData>(&rr.rdata);
+    if (!txt || txt->empty()) continue;
+    std::string joined;
+    for (const auto& chunk : *txt) joined += chunk;
+    if (!joined.empty()) return joined;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dnswild::dns

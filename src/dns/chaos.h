@@ -1,0 +1,27 @@
+// CHAOS-class version fingerprinting (§2.4).
+//
+// BIND and most other DNS servers answer TXT queries for the pseudo-names
+// version.bind / version.server in class CH with their software version
+// string (unless an operator overrides or refuses it). The paper classifies
+// 19.9 M resolvers this way.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "dns/message.h"
+
+namespace dnswild::dns {
+
+// The two probe names the paper sends.
+Name version_bind_name();
+Name version_server_name();
+
+Message make_version_query(std::uint16_t id, const Name& probe_name);
+
+// Extracts the version string from a CHAOS TXT response: the first TXT
+// answer string, joined if split into chunks. nullopt when the response has
+// an error rcode or no TXT answer.
+std::optional<std::string> extract_version(const Message& response);
+
+}  // namespace dnswild::dns

@@ -1,0 +1,71 @@
+#include "dns/encoding0x20.h"
+
+#include "util/strings.h"
+
+namespace dnswild::dns {
+
+std::size_t letter_capacity(const Name& name) noexcept {
+  std::size_t count = 0;
+  for (const auto& label : name.labels()) {
+    for (char c : label) {
+      if (util::is_alpha_ascii(c)) ++count;
+    }
+  }
+  return count;
+}
+
+Name randomize_case(const Name& name, util::Rng& rng) {
+  std::vector<std::string> labels = name.labels();
+  for (auto& label : labels) {
+    for (char& c : label) {
+      if (!util::is_alpha_ascii(c)) continue;
+      c = rng.chance(0.5) ? util::to_upper_ascii(c) : util::to_lower_ascii(c);
+    }
+  }
+  return Name(std::move(labels));
+}
+
+std::optional<Name> encode_case_bits(const Name& name, std::uint32_t bits,
+                                     unsigned bit_count) {
+  if (letter_capacity(name) < bit_count) return std::nullopt;
+  std::vector<std::string> labels = name.labels();
+  unsigned index = 0;
+  for (auto& label : labels) {
+    for (char& c : label) {
+      if (!util::is_alpha_ascii(c)) continue;
+      const bool upper = index < bit_count && ((bits >> index) & 1u) != 0;
+      c = upper ? util::to_upper_ascii(c) : util::to_lower_ascii(c);
+      ++index;
+    }
+  }
+  return Name(std::move(labels));
+}
+
+std::optional<std::uint32_t> decode_case_bits(const Name& name,
+                                              unsigned bit_count) noexcept {
+  if (letter_capacity(name) < bit_count) return std::nullopt;
+  std::uint32_t bits = 0;
+  unsigned index = 0;
+  for (const auto& label : name.labels()) {
+    for (char c : label) {
+      if (!util::is_alpha_ascii(c)) continue;
+      if (index >= bit_count) return bits;
+      if (c >= 'A' && c <= 'Z') bits |= 1u << index;
+      ++index;
+    }
+  }
+  return bits;
+}
+
+bool case_echo_matches(const Name& query_name,
+                       const Name& response_name) noexcept {
+  const auto& a = query_name.labels();
+  const auto& b = response_name.labels();
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;  // exact octet comparison, case included
+  }
+  return true;
+}
+
+}  // namespace dnswild::dns

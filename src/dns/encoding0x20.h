@@ -1,0 +1,41 @@
+// 0x20 encoding (Dagon et al., CCS 2008).
+//
+// DNS servers echo the question name byte-for-byte, so the case of each
+// ASCII letter is a covert, forgery-resistant channel. The paper uses it in
+// two ways (§3.3): randomized case as an anti-spoofing check, and 9 bits of
+// the 25-bit resolver identifier stored in the case pattern of the queried
+// domain as redundancy for the transaction-ID/source-port encoding.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "dns/name.h"
+#include "util/rng.h"
+
+namespace dnswild::dns {
+
+// Number of ASCII letters (case carriers) in the name.
+std::size_t letter_capacity(const Name& name) noexcept;
+
+// Re-cases the letters of `name` using random bits from `rng`.
+Name randomize_case(const Name& name, util::Rng& rng);
+
+// Stores the low `bit_count` bits of `bits` into the case of the first
+// `bit_count` letters (LSB first; uppercase = 1). Remaining letters are
+// forced lowercase. Returns nullopt if the name has fewer letters than
+// bit_count.
+std::optional<Name> encode_case_bits(const Name& name, std::uint32_t bits,
+                                     unsigned bit_count);
+
+// Extracts `bit_count` case bits (LSB first). Returns nullopt when the name
+// has fewer letters than bit_count.
+std::optional<std::uint32_t> decode_case_bits(const Name& name,
+                                              unsigned bit_count) noexcept;
+
+// True when `response_name` is a faithful octet-case echo of `query_name`.
+// A mismatch indicates an off-path forgery that guessed the name's case.
+bool case_echo_matches(const Name& query_name,
+                       const Name& response_name) noexcept;
+
+}  // namespace dnswild::dns

@@ -1,0 +1,348 @@
+#include "dns/message.h"
+
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace dnswild::dns {
+
+namespace {
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void bytes(const std::uint8_t* data, std::size_t size) {
+    out_.insert(out_.end(), data, data + size);
+  }
+
+  // Emits a name, compressing against previously emitted names. Pointers
+  // must target offsets < 2^14; beyond that we emit uncompressed.
+  void name(const Name& value) {
+    const auto& labels = value.labels();
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      const std::string key = util::lower(util::join(
+          std::vector<std::string>(labels.begin() + static_cast<std::ptrdiff_t>(i),
+                                   labels.end()),
+          "."));
+      const auto hit = offsets_.find(key);
+      if (hit != offsets_.end() && hit->second < 0x4000) {
+        u16(static_cast<std::uint16_t>(0xc000 | hit->second));
+        return;
+      }
+      if (out_.size() < 0x4000) offsets_.emplace(key, out_.size());
+      u8(static_cast<std::uint8_t>(labels[i].size()));
+      bytes(reinterpret_cast<const std::uint8_t*>(labels[i].data()),
+            labels[i].size());
+    }
+    u8(0);
+  }
+
+  std::size_t size() const noexcept { return out_.size(); }
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    out_[offset] = static_cast<std::uint8_t>(v >> 8);
+    out_[offset + 1] = static_cast<std::uint8_t>(v);
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+  std::unordered_map<std::string, std::size_t> offsets_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& wire) : wire_(wire) {}
+
+  bool u8(std::uint8_t& v) {
+    if (pos_ >= wire_.size()) return false;
+    v = wire_[pos_++];
+    return true;
+  }
+  bool u16(std::uint16_t& v) {
+    std::uint8_t hi = 0, lo = 0;
+    if (!u8(hi) || !u8(lo)) return false;
+    v = static_cast<std::uint16_t>((hi << 8) | lo);
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    std::uint16_t hi = 0, lo = 0;
+    if (!u16(hi) || !u16(lo)) return false;
+    v = (static_cast<std::uint32_t>(hi) << 16) | lo;
+    return true;
+  }
+  bool name(Name& out) {
+    auto decoded = Name::decode(wire_, pos_);
+    if (!decoded) return false;
+    out = *std::move(decoded);
+    return true;
+  }
+  bool skip(std::size_t count) {
+    if (pos_ + count > wire_.size()) return false;
+    pos_ += count;
+    return true;
+  }
+  std::size_t pos() const noexcept { return pos_; }
+  const std::vector<std::uint8_t>& wire() const noexcept { return wire_; }
+
+ private:
+  const std::vector<std::uint8_t>& wire_;
+  std::size_t pos_ = 0;
+};
+
+void encode_record(Writer& w, const ResourceRecord& rr) {
+  w.name(rr.name);
+  w.u16(static_cast<std::uint16_t>(rr.rtype));
+  w.u16(static_cast<std::uint16_t>(rr.rclass));
+  w.u32(rr.ttl);
+  std::vector<std::uint8_t> rdata;
+  // RDATA is built in a scratch buffer: compression inside RDATA would need
+  // final offsets, so names in RDATA are emitted uncompressed (legal and
+  // what most implementations do for non-well-known types).
+  if (const auto* ip = std::get_if<net::Ipv4>(&rr.rdata)) {
+    rdata = {static_cast<std::uint8_t>(ip->value() >> 24),
+             static_cast<std::uint8_t>(ip->value() >> 16),
+             static_cast<std::uint8_t>(ip->value() >> 8),
+             static_cast<std::uint8_t>(ip->value())};
+  } else if (const auto* target = std::get_if<Name>(&rr.rdata)) {
+    target->encode(rdata);
+  } else if (const auto* txt = std::get_if<TxtData>(&rr.rdata)) {
+    for (const auto& chunk : *txt) {
+      rdata.push_back(static_cast<std::uint8_t>(chunk.size()));
+      rdata.insert(rdata.end(), chunk.begin(), chunk.end());
+    }
+  } else if (const auto* soa = std::get_if<SoaData>(&rr.rdata)) {
+    soa->mname.encode(rdata);
+    soa->rname.encode(rdata);
+    for (std::uint32_t v : {soa->serial, soa->refresh, soa->retry,
+                            soa->expire, soa->minimum}) {
+      rdata.push_back(static_cast<std::uint8_t>(v >> 24));
+      rdata.push_back(static_cast<std::uint8_t>(v >> 16));
+      rdata.push_back(static_cast<std::uint8_t>(v >> 8));
+      rdata.push_back(static_cast<std::uint8_t>(v));
+    }
+  } else if (const auto* mx = std::get_if<MxData>(&rr.rdata)) {
+    rdata.push_back(static_cast<std::uint8_t>(mx->preference >> 8));
+    rdata.push_back(static_cast<std::uint8_t>(mx->preference));
+    mx->exchange.encode(rdata);
+  } else if (const auto* raw = std::get_if<RawData>(&rr.rdata)) {
+    rdata = *raw;
+  }
+  w.u16(static_cast<std::uint16_t>(rdata.size()));
+  w.bytes(rdata.data(), rdata.size());
+}
+
+bool decode_record(Reader& r, ResourceRecord& rr) {
+  if (!r.name(rr.name)) return false;
+  std::uint16_t rtype = 0, rclass = 0, rdlen = 0;
+  std::uint32_t ttl = 0;
+  if (!r.u16(rtype) || !r.u16(rclass) || !r.u32(ttl) || !r.u16(rdlen)) {
+    return false;
+  }
+  rr.rtype = static_cast<RType>(rtype);
+  rr.rclass = static_cast<RClass>(rclass);
+  rr.ttl = ttl;
+  const std::size_t rdata_end = r.pos() + rdlen;
+  if (rdata_end > r.wire().size()) return false;
+
+  switch (rr.rtype) {
+    case RType::kA: {
+      if (rdlen != 4) return false;
+      std::uint32_t v = 0;
+      if (!r.u32(v)) return false;
+      rr.rdata = net::Ipv4(v);
+      return true;
+    }
+    case RType::kNS:
+    case RType::kCNAME:
+    case RType::kPTR: {
+      Name target;
+      if (!r.name(target) || r.pos() != rdata_end) return false;
+      rr.rdata = std::move(target);
+      return true;
+    }
+    case RType::kTXT: {
+      TxtData txt;
+      while (r.pos() < rdata_end) {
+        std::uint8_t len = 0;
+        if (!r.u8(len) || r.pos() + len > rdata_end) return false;
+        txt.emplace_back(r.wire().begin() + static_cast<std::ptrdiff_t>(r.pos()),
+                         r.wire().begin() +
+                             static_cast<std::ptrdiff_t>(r.pos() + len));
+        if (!r.skip(len)) return false;
+      }
+      rr.rdata = std::move(txt);
+      return true;
+    }
+    case RType::kSOA: {
+      SoaData soa;
+      if (!r.name(soa.mname) || !r.name(soa.rname) || !r.u32(soa.serial) ||
+          !r.u32(soa.refresh) || !r.u32(soa.retry) || !r.u32(soa.expire) ||
+          !r.u32(soa.minimum) || r.pos() != rdata_end) {
+        return false;
+      }
+      rr.rdata = std::move(soa);
+      return true;
+    }
+    case RType::kMX: {
+      MxData mx;
+      if (!r.u16(mx.preference) || !r.name(mx.exchange) ||
+          r.pos() != rdata_end) {
+        return false;
+      }
+      rr.rdata = std::move(mx);
+      return true;
+    }
+    default: {
+      RawData raw(r.wire().begin() + static_cast<std::ptrdiff_t>(r.pos()),
+                  r.wire().begin() + static_cast<std::ptrdiff_t>(rdata_end));
+      if (!r.skip(rdlen)) return false;
+      rr.rdata = std::move(raw);
+      return true;
+    }
+  }
+}
+
+}  // namespace
+
+ResourceRecord ResourceRecord::a(Name name, net::Ipv4 ip, std::uint32_t ttl) {
+  return ResourceRecord{std::move(name), RType::kA, RClass::kIN, ttl, ip};
+}
+
+ResourceRecord ResourceRecord::ns(Name name, Name target, std::uint32_t ttl) {
+  return ResourceRecord{std::move(name), RType::kNS, RClass::kIN, ttl,
+                        std::move(target)};
+}
+
+ResourceRecord ResourceRecord::cname(Name name, Name target,
+                                     std::uint32_t ttl) {
+  return ResourceRecord{std::move(name), RType::kCNAME, RClass::kIN, ttl,
+                        std::move(target)};
+}
+
+ResourceRecord ResourceRecord::ptr(Name name, Name target, std::uint32_t ttl) {
+  return ResourceRecord{std::move(name), RType::kPTR, RClass::kIN, ttl,
+                        std::move(target)};
+}
+
+ResourceRecord ResourceRecord::txt(Name name, TxtData strings,
+                                   std::uint32_t ttl, RClass rclass) {
+  return ResourceRecord{std::move(name), RType::kTXT, rclass, ttl,
+                        std::move(strings)};
+}
+
+std::vector<net::Ipv4> Message::answer_ips() const {
+  std::vector<net::Ipv4> ips;
+  for (const auto& rr : answers) {
+    if (rr.rtype == RType::kA) {
+      if (const auto* ip = std::get_if<net::Ipv4>(&rr.rdata)) {
+        ips.push_back(*ip);
+      }
+    }
+  }
+  return ips;
+}
+
+std::vector<std::uint8_t> Message::encode() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(128);
+  Writer w(out);
+  w.u16(header.id);
+  std::uint16_t flags = 0;
+  if (header.qr) flags |= 0x8000;
+  flags |= static_cast<std::uint16_t>(
+      (static_cast<unsigned>(header.opcode) & 0xf) << 11);
+  if (header.aa) flags |= 0x0400;
+  if (header.tc) flags |= 0x0200;
+  if (header.rd) flags |= 0x0100;
+  if (header.ra) flags |= 0x0080;
+  if (header.ad) flags |= 0x0020;
+  flags |= static_cast<std::uint16_t>(static_cast<unsigned>(header.rcode) &
+                                      0xf);
+  w.u16(flags);
+  w.u16(static_cast<std::uint16_t>(questions.size()));
+  w.u16(static_cast<std::uint16_t>(answers.size()));
+  w.u16(static_cast<std::uint16_t>(authorities.size()));
+  w.u16(static_cast<std::uint16_t>(additionals.size()));
+  for (const auto& q : questions) {
+    w.name(q.name);
+    w.u16(static_cast<std::uint16_t>(q.qtype));
+    w.u16(static_cast<std::uint16_t>(q.qclass));
+  }
+  for (const auto& rr : answers) encode_record(w, rr);
+  for (const auto& rr : authorities) encode_record(w, rr);
+  for (const auto& rr : additionals) encode_record(w, rr);
+  return out;
+}
+
+std::optional<Message> Message::decode(const std::vector<std::uint8_t>& wire) {
+  Reader r(wire);
+  Message msg;
+  std::uint16_t flags = 0, qd = 0, an = 0, ns = 0, ar = 0;
+  if (!r.u16(msg.header.id) || !r.u16(flags) || !r.u16(qd) || !r.u16(an) ||
+      !r.u16(ns) || !r.u16(ar)) {
+    return std::nullopt;
+  }
+  msg.header.qr = (flags & 0x8000) != 0;
+  msg.header.opcode = static_cast<Opcode>((flags >> 11) & 0xf);
+  msg.header.aa = (flags & 0x0400) != 0;
+  msg.header.tc = (flags & 0x0200) != 0;
+  msg.header.rd = (flags & 0x0100) != 0;
+  msg.header.ra = (flags & 0x0080) != 0;
+  msg.header.ad = (flags & 0x0020) != 0;
+  msg.header.rcode = static_cast<RCode>(flags & 0xf);
+
+  for (unsigned i = 0; i < qd; ++i) {
+    Question q;
+    std::uint16_t qtype = 0, qclass = 0;
+    if (!r.name(q.name) || !r.u16(qtype) || !r.u16(qclass)) {
+      return std::nullopt;
+    }
+    q.qtype = static_cast<RType>(qtype);
+    q.qclass = static_cast<RClass>(qclass);
+    msg.questions.push_back(std::move(q));
+  }
+  const auto read_section = [&r](unsigned count,
+                                 std::vector<ResourceRecord>& out) {
+    for (unsigned i = 0; i < count; ++i) {
+      ResourceRecord rr;
+      if (!decode_record(r, rr)) return false;
+      out.push_back(std::move(rr));
+    }
+    return true;
+  };
+  if (!read_section(an, msg.answers) || !read_section(ns, msg.authorities) ||
+      !read_section(ar, msg.additionals)) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+Message Message::make_query(std::uint16_t id, Name name, RType rtype,
+                            RClass rclass, bool rd) {
+  Message msg;
+  msg.header.id = id;
+  msg.header.rd = rd;
+  msg.questions.push_back(Question{std::move(name), rtype, rclass});
+  return msg;
+}
+
+Message Message::make_response(const Message& query, RCode rcode) {
+  Message msg;
+  msg.header = query.header;
+  msg.header.qr = true;
+  msg.header.ra = true;
+  msg.header.rcode = rcode;
+  msg.questions = query.questions;
+  return msg;
+}
+
+}  // namespace dnswild::dns

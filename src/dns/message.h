@@ -1,0 +1,106 @@
+// DNS message model and wire codec (RFC 1035 §4).
+//
+// Supports the record types the study exercises: A (resolution scans), NS
+// (cache snooping, recursion-denied referrals), CNAME (CDN chains), PTR
+// (rDNS), TXT (CHAOS version.bind), SOA, MX, and raw RDATA passthrough for
+// anything else. Serialization applies name compression for answer owner
+// names; parsing accepts arbitrary compression.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/types.h"
+#include "net/ip.h"
+
+namespace dnswild::dns {
+
+struct Header {
+  std::uint16_t id = 0;
+  bool qr = false;  // response flag
+  Opcode opcode = Opcode::kQuery;
+  bool aa = false;  // authoritative answer
+  bool tc = false;  // truncated
+  bool rd = false;  // recursion desired
+  bool ra = false;  // recursion available
+  // Authenticated Data (RFC 4035): set by validating resolvers when the
+  // answer verified under DNSSEC. The §5 experiment keys on it.
+  bool ad = false;
+  RCode rcode = RCode::kNoError;
+};
+
+struct Question {
+  Name name;
+  RType qtype = RType::kA;
+  RClass qclass = RClass::kIN;
+};
+
+struct SoaData {
+  Name mname;
+  Name rname;
+  std::uint32_t serial = 0;
+  std::uint32_t refresh = 0;
+  std::uint32_t retry = 0;
+  std::uint32_t expire = 0;
+  std::uint32_t minimum = 0;
+};
+
+struct MxData {
+  std::uint16_t preference = 0;
+  Name exchange;
+};
+
+// TXT RDATA: one or more character strings.
+using TxtData = std::vector<std::string>;
+// Fallback for unsupported types: raw RDATA bytes.
+using RawData = std::vector<std::uint8_t>;
+
+using RData =
+    std::variant<net::Ipv4,  // A
+                 Name,       // NS / CNAME / PTR
+                 TxtData, SoaData, MxData, RawData>;
+
+struct ResourceRecord {
+  Name name;
+  RType rtype = RType::kA;
+  RClass rclass = RClass::kIN;
+  std::uint32_t ttl = 0;
+  RData rdata;
+
+  static ResourceRecord a(Name name, net::Ipv4 ip, std::uint32_t ttl);
+  static ResourceRecord ns(Name name, Name target, std::uint32_t ttl);
+  static ResourceRecord cname(Name name, Name target, std::uint32_t ttl);
+  static ResourceRecord ptr(Name name, Name target, std::uint32_t ttl);
+  static ResourceRecord txt(Name name, TxtData strings, std::uint32_t ttl,
+                            RClass rclass = RClass::kIN);
+};
+
+struct Message {
+  Header header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authorities;
+  std::vector<ResourceRecord> additionals;
+
+  // Convenience accessors used throughout the pipeline.
+  const Question* question() const noexcept {
+    return questions.empty() ? nullptr : &questions.front();
+  }
+  // All A-record addresses in the answer section.
+  std::vector<net::Ipv4> answer_ips() const;
+
+  std::vector<std::uint8_t> encode() const;
+  static std::optional<Message> decode(const std::vector<std::uint8_t>& wire);
+
+  // Builds a standard recursive query.
+  static Message make_query(std::uint16_t id, Name name, RType rtype,
+                            RClass rclass = RClass::kIN, bool rd = true);
+  // Builds a response skeleton echoing id and question.
+  static Message make_response(const Message& query, RCode rcode);
+};
+
+}  // namespace dnswild::dns

@@ -1,0 +1,136 @@
+#include "dns/name.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace dnswild::dns {
+
+namespace {
+
+constexpr std::size_t kMaxLabel = 63;
+constexpr std::size_t kMaxWire = 255;
+
+// Wire length of a name: one length octet per label + label bytes + root.
+std::size_t wire_length(const std::vector<std::string>& labels) noexcept {
+  std::size_t total = 1;
+  for (const auto& label : labels) total += 1 + label.size();
+  return total;
+}
+
+}  // namespace
+
+Name::Name(std::vector<std::string> labels) : labels_(std::move(labels)) {}
+
+std::optional<Name> Name::parse(std::string_view text) {
+  if (text == "." || text.empty()) return Name{};
+  if (text.back() == '.') text.remove_suffix(1);
+  std::vector<std::string> labels;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find('.', begin);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view label = text.substr(begin, end - begin);
+    if (label.empty() || label.size() > kMaxLabel) return std::nullopt;
+    labels.emplace_back(label);
+    begin = end + 1;
+    if (end == text.size()) break;
+  }
+  if (wire_length(labels) > kMaxWire) return std::nullopt;
+  return Name(std::move(labels));
+}
+
+Name Name::must_parse(std::string_view text) {
+  auto name = parse(text);
+  if (!name) {
+    std::fprintf(stderr, "Name::must_parse: invalid name '%.*s'\n",
+                 static_cast<int>(text.size()), text.data());
+    std::abort();
+  }
+  return *std::move(name);
+}
+
+std::string Name::to_string() const {
+  return util::join(labels_, ".");
+}
+
+std::string Name::lower() const { return util::lower(to_string()); }
+
+bool Name::equals(const Name& other) const noexcept {
+  if (labels_.size() != other.labels_.size()) return false;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (!util::iequals(labels_[i], other.labels_[i])) return false;
+  }
+  return true;
+}
+
+bool Name::is_subdomain_of(const Name& zone) const noexcept {
+  if (zone.labels_.size() > labels_.size()) return false;
+  const std::size_t skip = labels_.size() - zone.labels_.size();
+  for (std::size_t i = 0; i < zone.labels_.size(); ++i) {
+    if (!util::iequals(labels_[skip + i], zone.labels_[i])) return false;
+  }
+  return true;
+}
+
+Name Name::parent(std::size_t count) const {
+  if (count >= labels_.size()) return Name{};
+  return Name(std::vector<std::string>(labels_.begin() + count, labels_.end()));
+}
+
+Name Name::concat(const Name& suffix) const {
+  std::vector<std::string> labels = labels_;
+  labels.insert(labels.end(), suffix.labels_.begin(), suffix.labels_.end());
+  return Name(std::move(labels));
+}
+
+void Name::encode(std::vector<std::uint8_t>& out) const {
+  for (const auto& label : labels_) {
+    out.push_back(static_cast<std::uint8_t>(label.size()));
+    out.insert(out.end(), label.begin(), label.end());
+  }
+  out.push_back(0);
+}
+
+std::optional<Name> Name::decode(const std::vector<std::uint8_t>& wire,
+                                 std::size_t& offset) {
+  std::vector<std::string> labels;
+  std::size_t pos = offset;
+  std::optional<std::size_t> end_of_name;  // set after the first pointer
+  int jumps = 0;
+  std::size_t total = 1;
+
+  while (true) {
+    if (pos >= wire.size()) return std::nullopt;
+    const std::uint8_t len = wire[pos];
+    if ((len & 0xc0) == 0xc0) {  // compression pointer
+      if (pos + 1 >= wire.size()) return std::nullopt;
+      if (++jumps > 64) return std::nullopt;  // loop guard
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3f) << 8) | wire[pos + 1];
+      if (!end_of_name) end_of_name = pos + 2;
+      if (target >= pos) return std::nullopt;  // only backward pointers
+      pos = target;
+      continue;
+    }
+    if ((len & 0xc0) != 0) return std::nullopt;  // reserved label types
+    if (len == 0) {
+      ++pos;
+      break;
+    }
+    if (pos + 1 + len > wire.size()) return std::nullopt;
+    total += 1 + len;
+    if (total > kMaxWire) return std::nullopt;
+    labels.emplace_back(wire.begin() + static_cast<std::ptrdiff_t>(pos) + 1,
+                        wire.begin() + static_cast<std::ptrdiff_t>(pos) + 1 +
+                            len);
+    pos += 1 + static_cast<std::size_t>(len);
+  }
+  offset = end_of_name.value_or(pos);
+  return Name(std::move(labels));
+}
+
+bool operator==(const Name& a, const Name& b) noexcept { return a.equals(b); }
+
+}  // namespace dnswild::dns

@@ -1,0 +1,67 @@
+// Domain names.
+//
+// Names are stored as a sequence of labels with their original octet case
+// preserved — required for 0x20 encoding (Dagon et al.'s forgery-resistance
+// trick the paper reuses to carry resolver-ID bits, §3.3). Comparisons are
+// ASCII-case-insensitive per RFC 4343. Wire encoding follows RFC 1035
+// §3.1; parsing supports compression pointers with loop protection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnswild::dns {
+
+class Name {
+ public:
+  Name() = default;
+  explicit Name(std::vector<std::string> labels);
+
+  // Parses dotted presentation format ("www.Example.com", trailing dot
+  // optional, case preserved). Returns nullopt for invalid names: empty
+  // labels, labels over 63 octets, or total wire length over 255.
+  static std::optional<Name> parse(std::string_view text);
+
+  // Like parse() but terminates the program on invalid input; for literals.
+  static Name must_parse(std::string_view text);
+
+  bool empty() const noexcept { return labels_.empty(); }  // the root
+  std::size_t label_count() const noexcept { return labels_.size(); }
+  const std::vector<std::string>& labels() const noexcept { return labels_; }
+
+  // Presentation form without trailing dot ("" for the root).
+  std::string to_string() const;
+  // Lower-cased presentation form; canonical key for maps.
+  std::string lower() const;
+
+  // Case-insensitive comparison (RFC 4343).
+  bool equals(const Name& other) const noexcept;
+  // True when this name equals `zone` or is underneath it. The root is an
+  // ancestor of everything.
+  bool is_subdomain_of(const Name& zone) const noexcept;
+
+  // Name with the first `count` labels removed (count > label_count()
+  // yields the root).
+  Name parent(std::size_t count = 1) const;
+  // child.concat(parent): prepends labels of this in front of `suffix`.
+  Name concat(const Name& suffix) const;
+
+  // --- wire format ------------------------------------------------------
+  void encode(std::vector<std::uint8_t>& out) const;
+
+  // Decodes a (possibly compressed) name starting at `offset` inside the
+  // full message `wire`. Advances `offset` past the name's in-place bytes.
+  // Returns nullopt on truncation, bad pointers, or pointer loops.
+  static std::optional<Name> decode(const std::vector<std::uint8_t>& wire,
+                                    std::size_t& offset);
+
+ private:
+  std::vector<std::string> labels_;
+};
+
+bool operator==(const Name& a, const Name& b) noexcept;
+
+}  // namespace dnswild::dns

@@ -1,0 +1,32 @@
+#include "dns/types.h"
+
+namespace dnswild::dns {
+
+std::string_view rcode_name(RCode rcode) noexcept {
+  switch (rcode) {
+    case RCode::kNoError: return "NOERROR";
+    case RCode::kFormErr: return "FORMERR";
+    case RCode::kServFail: return "SERVFAIL";
+    case RCode::kNxDomain: return "NXDOMAIN";
+    case RCode::kNotImp: return "NOTIMP";
+    case RCode::kRefused: return "REFUSED";
+  }
+  return "UNKNOWN";
+}
+
+std::string_view rtype_name(RType rtype) noexcept {
+  switch (rtype) {
+    case RType::kA: return "A";
+    case RType::kNS: return "NS";
+    case RType::kCNAME: return "CNAME";
+    case RType::kSOA: return "SOA";
+    case RType::kPTR: return "PTR";
+    case RType::kMX: return "MX";
+    case RType::kTXT: return "TXT";
+    case RType::kAAAA: return "AAAA";
+    case RType::kANY: return "ANY";
+  }
+  return "TYPE?";
+}
+
+}  // namespace dnswild::dns

@@ -1,0 +1,45 @@
+// DNS protocol enumerations (RFC 1035 / RFC 5395 subsets used by the study).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace dnswild::dns {
+
+enum class RCode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+enum class Opcode : std::uint8_t {
+  kQuery = 0,
+  kIQuery = 1,
+  kStatus = 2,
+};
+
+enum class RType : std::uint16_t {
+  kA = 1,
+  kNS = 2,
+  kCNAME = 5,
+  kSOA = 6,
+  kPTR = 12,
+  kMX = 15,
+  kTXT = 16,
+  kAAAA = 28,
+  kANY = 255,
+};
+
+enum class RClass : std::uint16_t {
+  kIN = 1,
+  kCH = 3,  // CHAOS, used for version.bind fingerprinting (§2.4)
+  kANY = 255,
+};
+
+std::string_view rcode_name(RCode rcode) noexcept;
+std::string_view rtype_name(RType rtype) noexcept;
+
+}  // namespace dnswild::dns

@@ -1,0 +1,452 @@
+#include "http/factory.h"
+
+#include <vector>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace dnswild::http {
+
+namespace {
+
+using util::Rng;
+
+// Deterministic token like "a3f09c" for ids/session markers.
+std::string token(Rng& rng, std::size_t length = 8) {
+  static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out += kAlphabet[rng.below(sizeof kAlphabet - 1)];
+  }
+  return out;
+}
+
+std::string page(std::string_view title, std::string_view head_extra,
+                 std::string_view body) {
+  std::string out = "<!DOCTYPE html>\n<html>\n<head>\n<title>";
+  out += title;
+  out += "</title>\n";
+  out += head_extra;
+  out += "</head>\n<body>\n";
+  out += body;
+  out += "\n</body>\n</html>\n";
+  return out;
+}
+
+std::string nav_links(std::string_view domain, Rng& rng, int count) {
+  static constexpr std::string_view kSections[] = {
+      "about", "contact", "news",    "products", "help",
+      "terms", "privacy", "careers", "blog",     "support",
+  };
+  std::string out = "<ul class=\"nav\">\n";
+  for (int i = 0; i < count; ++i) {
+    const auto section = kSections[rng.below(std::size(kSections))];
+    out += "<li><a href=\"http://";
+    out += domain;
+    out += "/";
+    out += section;
+    out += "\">";
+    out += section;
+    out += "</a></li>\n";
+  }
+  out += "</ul>\n";
+  return out;
+}
+
+}  // namespace
+
+std::string_view site_category_name(SiteCategory category) noexcept {
+  switch (category) {
+    case SiteCategory::kAds: return "Ads";
+    case SiteCategory::kAdult: return "Adult";
+    case SiteCategory::kAlexa: return "Alexa";
+    case SiteCategory::kAntivirus: return "Antivirus";
+    case SiteCategory::kBanking: return "Banking";
+    case SiteCategory::kDating: return "Dating";
+    case SiteCategory::kFilesharing: return "Filesharing";
+    case SiteCategory::kGambling: return "Gambling";
+    case SiteCategory::kMalware: return "Malware";
+    case SiteCategory::kMail: return "MX";
+    case SiteCategory::kNx: return "NX";
+    case SiteCategory::kTracking: return "Tracking";
+    case SiteCategory::kMisc: return "Misc";
+    case SiteCategory::kGroundTruth: return "GroundTr.";
+  }
+  return "?";
+}
+
+std::string legit_site(std::string_view domain, SiteCategory category,
+                       std::uint64_t variant, std::uint64_t dynamic_nonce) {
+  Rng layout(util::fnv1a(domain) ^ util::mix64(variant));
+  Rng dyn(util::fnv1a(domain) ^ util::mix64(dynamic_nonce) ^ 0x5eedULL);
+
+  std::string head = "<meta charset=\"utf-8\">\n<link rel=\"stylesheet\" "
+                     "href=\"http://" +
+                     std::string(domain) + "/static/site-" +
+                     token(layout, 4) + ".css\">\n";
+  std::string body;
+  body += "<!-- generated " + token(dyn, 12) + " -->\n";
+  body += "<div id=\"header\"><h1>" + std::string(domain) + "</h1></div>\n";
+  body += nav_links(domain, layout, 4 + static_cast<int>(layout.below(4)));
+
+  switch (category) {
+    case SiteCategory::kBanking:
+      body += "<div class=\"login-box\"><h2>Online banking login</h2>\n"
+              "<form action=\"https://" + std::string(domain) +
+              "/auth\" method=\"post\">\n"
+              "<input type=\"text\" name=\"user\">\n"
+              "<input type=\"password\" name=\"pass\">\n"
+              "<input type=\"submit\" value=\"Sign in\">\n</form></div>\n"
+              "<p>Your security is our priority. Sessions are protected "
+              "with TLS.</p>\n";
+      break;
+    case SiteCategory::kAds:
+    case SiteCategory::kTracking:
+      body += "<script src=\"http://" + std::string(domain) +
+              "/js/delivery-" + token(layout, 4) +
+              ".js\"></script>\n<div class=\"slot\" id=\"slot-" +
+              token(dyn, 4) + "\"></div>\n";
+      break;
+    case SiteCategory::kAntivirus:
+      body += "<div class=\"update\"><h2>Definition updates</h2>\n"
+              "<a href=\"http://" + std::string(domain) +
+              "/updates/latest.cvd\">Download signature package</a>\n"
+              "<p>Engine version " + std::to_string(10 + layout.below(5)) +
+              "." + std::to_string(layout.below(10)) + " released.</p></div>\n";
+      break;
+    case SiteCategory::kDating:
+      body += "<div class=\"hero\"><h2>Meet people near you</h2>\n"
+              "<form action=\"/join\" method=\"post\">"
+              "<input type=\"text\" name=\"email\">"
+              "<input type=\"submit\" value=\"Join free\"></form></div>\n";
+      break;
+    case SiteCategory::kGambling:
+      body += "<div class=\"odds\"><h2>Today's odds</h2><table>\n";
+      for (int i = 0; i < 4; ++i) {
+        body += "<tr><td>match-" + token(dyn, 3) + "</td><td>" +
+                std::to_string(1 + dyn.below(5)) + "." +
+                std::to_string(dyn.below(100)) + "</td></tr>\n";
+      }
+      body += "</table></div>\n";
+      break;
+    case SiteCategory::kFilesharing:
+      body += "<div class=\"torrents\"><h2>Top torrents</h2><ol>\n";
+      for (int i = 0; i < 5; ++i) {
+        body += "<li><a href=\"magnet:?xt=urn:btih:" + token(dyn, 20) +
+                "\">release-" + token(dyn, 6) + "</a></li>\n";
+      }
+      body += "</ol></div>\n";
+      break;
+    case SiteCategory::kAdult:
+      body += "<div class=\"gallery\">\n";
+      for (int i = 0; i < 6; ++i) {
+        body += "<img src=\"http://cdn." + std::string(domain) + "/thumb/" +
+                token(layout, 6) + ".jpg\" alt=\"preview\">\n";
+      }
+      body += "</div>\n";
+      break;
+    case SiteCategory::kMalware:
+      // Blacklisted domains typically serve bare directory indexes or C2
+      // check-in endpoints; keep them structurally thin.
+      body = "<pre>index of /\n" + token(dyn, 16) + "\n</pre>\n";
+      return page("Index of /", "", body);
+    case SiteCategory::kAlexa:
+    case SiteCategory::kMisc:
+    case SiteCategory::kMail:
+    case SiteCategory::kNx:
+    case SiteCategory::kGroundTruth:
+      body += "<div class=\"content\"><h2>Welcome</h2>\n";
+      for (int i = 0; i < 3 + static_cast<int>(layout.below(3)); ++i) {
+        body += "<p>Story " + token(dyn, 5) +
+                ": updates from our newsroom, item id " + token(dyn, 7) +
+                ".</p>\n";
+      }
+      body += "</div>\n";
+      break;
+  }
+  body += "<div id=\"footer\"><a href=\"http://" + std::string(domain) +
+          "/imprint\">Imprint</a> &middot; &copy; " + std::string(domain) +
+          "</div>\n";
+  std::string title = std::string(domain) + " - " +
+                      std::string(site_category_name(category));
+  return page(title, head, body);
+}
+
+std::string error_page(int status, std::uint64_t server_flavor) {
+  switch (server_flavor % 4) {
+    case 0:  // nginx style
+      return "<html>\n<head><title>" + std::to_string(status) +
+             "</title></head>\n<body bgcolor=\"white\">\n<center><h1>" +
+             std::to_string(status) +
+             "</h1></center>\n<hr><center>nginx/1.4.7</center>\n</body>\n"
+             "</html>\n";
+    case 1:  // apache style
+      return "<!DOCTYPE HTML PUBLIC \"-//IETF//DTD HTML 2.0//EN\">\n<html>"
+             "<head>\n<title>" + std::to_string(status) +
+             " Error</title>\n</head><body>\n<h1>Error</h1>\n<p>The "
+             "requested URL was not found on this server.</p>\n<hr>\n"
+             "<address>Apache/2.2.22 (Debian) Server</address>\n</body>"
+             "</html>\n";
+    case 2:  // IIS style
+      return "<html><head><title>" + std::to_string(status) +
+             " - File or directory not found.</title></head>\n<body>"
+             "<div id=\"content\"><div class=\"content-container\">"
+             "<h3>HTTP Error " + std::to_string(status) +
+             "</h3><p>Internet Information Services (IIS)</p></div></div>"
+             "</body></html>\n";
+    default:  // embedded server style
+      return "<html><head><title>Error</title></head><body><h2>" +
+             std::to_string(status) +
+             " error</h2><p>RomPager server: invalid request.</p></body>"
+             "</html>\n";
+  }
+}
+
+std::string router_login(std::uint64_t brand, std::uint64_t variant) {
+  Rng rng(util::mix64(brand * 977 + variant));
+  if (brand % 2 == 0) {
+    // "Manufacturer A" — ZyNOS-style web configurator.
+    return page(
+        "ZyXEL Web Configurator",
+        "<meta name=\"generator\" content=\"RomPager\">\n",
+        "<div class=\"login\">\n<h2>Welcome to the Web Configurator</h2>\n"
+        "<form action=\"/Forms/rpAuth_1\" method=\"post\">\n"
+        "<p>Password: <input type=\"password\" name=\"LoginPassword\"></p>\n"
+        "<input type=\"submit\" value=\"Login\">\n</form>\n"
+        "<p class=\"fw\">ZyNOS firmware version V3.40(ANS." +
+            std::to_string(rng.below(9)) + ")</p>\n</div>");
+  }
+  // "Manufacturer B" — TP-style modem login.
+  return page(
+      "TD-W8901 Login", "",
+      "<div id=\"login\">\n<h2>ADSL2+ Modem Router</h2>\n"
+      "<form action=\"/cgi-bin/login\" method=\"post\">\n"
+      "<p>Username: <input type=\"text\" name=\"username\"></p>\n"
+      "<p>Password: <input type=\"password\" name=\"password\"></p>\n"
+      "<input type=\"submit\" value=\"OK\">\n</form>\n"
+      "<p class=\"fw\">Firmware: " +
+          std::to_string(2 + rng.below(5)) + "." +
+          std::to_string(rng.below(20)) + " GoAhead-Webs</p>\n</div>");
+}
+
+std::string camera_login(std::uint64_t variant) {
+  Rng rng(util::mix64(variant ^ 0xcafeULL));
+  return page("NETSurveillance WEB", "",
+              "<div class=\"cam-login\">\n<h2>IP Camera</h2>\n"
+              "<form action=\"/login.cgi\" method=\"post\">\n"
+              "<input type=\"text\" name=\"user\">\n"
+              "<input type=\"password\" name=\"pwd\">\n"
+              "<input type=\"submit\" value=\"Login\">\n</form>\n"
+              "<p>DVR/NVR web service build " +
+                  token(rng, 6) + "</p>\n</div>");
+}
+
+std::string captive_portal(std::uint64_t operator_kind,
+                           std::uint64_t variant) {
+  Rng rng(util::mix64(operator_kind * 31 + variant));
+  std::string_view operator_name;
+  switch (operator_kind % 3) {
+    case 0: operator_name = "Municipal Broadband Portal"; break;
+    case 1: operator_name = "Grand Plaza Hotel Guest WiFi"; break;
+    default: operator_name = "Campus Network Access"; break;
+  }
+  return page(
+      operator_name, "",
+      "<div class=\"portal\">\n<h1>" + std::string(operator_name) +
+          "</h1>\n<p>Please sign in to access the network.</p>\n"
+          "<form action=\"/portal/auth?session=" +
+          token(rng, 10) +
+          "\" method=\"post\">\n"
+          "<input type=\"text\" name=\"account\">\n"
+          "<input type=\"password\" name=\"secret\">\n"
+          "<input type=\"submit\" value=\"Connect\">\n</form>\n"
+          "<p class=\"terms\">By connecting you accept the acceptable-use "
+          "policy.</p>\n</div>");
+}
+
+std::string webmail_login(std::uint64_t variant) {
+  Rng rng(util::mix64(variant ^ 0x3a11ULL));
+  return page("Webmail Login", "",
+              "<div class=\"webmail\">\n<h2>Webmail</h2>\n"
+              "<form action=\"/mail/login\" method=\"post\">\n"
+              "<input type=\"text\" name=\"address\">\n"
+              "<input type=\"password\" name=\"password\">\n"
+              "<input type=\"submit\" value=\"Sign in\">\n</form>\n"
+              "<p>Roundcube build " + token(rng, 5) + "</p>\n</div>");
+}
+
+std::string censorship_page(std::string_view country_code,
+                            std::uint64_t authority_variant) {
+  Rng rng(util::fnv1a(country_code) ^ util::mix64(authority_variant));
+  const bool court = rng.chance(0.5);
+  std::string body =
+      "<div class=\"blocked\">\n<img src=\"/static/emblem-" +
+      std::string(country_code) +
+      ".png\" alt=\"state emblem\">\n<h1>Access to this website has been "
+      "restricted</h1>\n<p>This website has been blocked by the order of "
+      "the " +
+      std::string(country_code) +
+      (court ? " court" : " telecommunications authority") +
+      " pursuant to decision no. " + std::to_string(1000 + rng.below(9000)) +
+      "/" + std::to_string(2013 + rng.below(3)) +
+      ".</p>\n<p>If you believe this decision is erroneous, contact the "
+      "national information office.</p>\n</div>";
+  return page("Restricted - " + std::string(country_code), "", body);
+}
+
+std::string blocking_page(std::uint64_t provider_kind, std::uint64_t variant,
+                          std::string_view blocked_domain) {
+  Rng rng(util::mix64(provider_kind * 131 + variant));
+  std::string_view provider;
+  std::string_view reason;
+  switch (provider_kind % 3) {
+    case 0:
+      provider = "SafeHome Parental Control";
+      reason = "is categorized as unsuitable content";
+      break;
+    case 1:
+      provider = "ISP SecureNet Shield";
+      reason = "has been blocked by your Internet provider's security service";
+      break;
+    default:
+      provider = "SinkholeWatch Security";
+      reason = "is a known malware distribution domain and has been blocked";
+      break;
+  }
+  return page(
+      std::string(provider) + " - Blocked", "",
+      "<div class=\"block-notice\">\n<h1>" + std::string(provider) +
+          "</h1>\n<p>The domain <b>" + std::string(blocked_domain) + "</b> " +
+          std::string(reason) + ".</p>\n<p>Reference: " + token(rng, 8) +
+          "</p>\n<a href=\"http://support.blockpage.example/unblock\">Request "
+          "a review</a>\n</div>");
+}
+
+std::string parking_page(std::string_view domain, std::uint64_t provider) {
+  Rng rng(util::fnv1a(domain) ^ util::mix64(provider * 7));
+  std::string body = "<div class=\"parked\">\n<h1>" + std::string(domain) +
+                     "</h1>\n<p>This domain may be for sale. Buy this domain "
+                     "now!</p>\n<ul class=\"related\">\n";
+  static constexpr std::string_view kTopics[] = {
+      "Insurance Quotes", "Cheap Flights",   "Online Degrees",
+      "Credit Repair",    "Web Hosting",     "Luxury Watches",
+      "Car Rentals",      "Diet Plans",
+  };
+  for (int i = 0; i < 6; ++i) {
+    const auto topic = kTopics[rng.below(std::size(kTopics))];
+    body += "<li><a href=\"http://feed.parking-provider" +
+            std::to_string(provider % 3 + 1) + ".example/click?kw=" +
+            token(rng, 6) + "\">" + std::string(topic) + "</a></li>\n";
+  }
+  body += "</ul>\n<p class=\"small\">Provided by parking-provider" +
+          std::to_string(provider % 3 + 1) + ".example</p>\n</div>";
+  return page(std::string(domain) + " - parked domain", "", body);
+}
+
+std::string search_page(std::uint64_t provider, std::string_view query,
+                        bool with_injected_ads) {
+  Rng rng(util::mix64(provider * 1013) ^ util::fnv1a(query));
+  std::string body =
+      "<div class=\"search\">\n<form action=\"/find\" method=\"get\">\n"
+      "<input type=\"text\" name=\"q\" value=\"" +
+      std::string(query) +
+      "\">\n<input type=\"submit\" value=\"Search\">\n</form>\n";
+  if (with_injected_ads) {
+    body += "<div class=\"ads-top\"><a href=\"http://clk.adnet-rewrite"
+            ".example/buy?id=" + token(rng, 7) +
+            "\"><img src=\"http://clk.adnet-rewrite.example/banner" +
+            std::to_string(rng.below(4)) + ".gif\"></a></div>\n";
+  }
+  body += "<h2>Results for \"" + std::string(query) + "\"</h2>\n<ol>\n";
+  for (int i = 0; i < 8; ++i) {
+    body += "<li><a href=\"http://result-" + token(rng, 5) +
+            ".example/page\">Did you mean " + std::string(query) + "? Result " +
+            std::to_string(i + 1) + "</a></li>\n";
+  }
+  body += "</ol>\n</div>";
+  return page("Search: " + std::string(query), "", body);
+}
+
+std::string phishing_paypal(std::uint64_t variant) {
+  Rng rng(util::mix64(variant ^ 0x9a1ULL));
+  std::string body = "<div class=\"pp\">\n";
+  // The kit reproduces the target site as 46 image tiles (§4.3).
+  for (int i = 0; i < 46; ++i) {
+    body += "<img src=\"images/pp_" + std::to_string(i) +
+            ".gif\" border=\"0\">\n";
+  }
+  body += "<form action=\"werudlogin.php\" method=\"post\" name=\"login\">\n"
+          "<input type=\"text\" name=\"login_email\">\n"
+          "<input type=\"password\" name=\"login_password\">\n"
+          "<input type=\"submit\" value=\"Log In\">\n"
+          "<input type=\"hidden\" name=\"browser_name\" value=\"" +
+          token(rng, 6) + "\">\n</form>\n</div>";
+  return page("PayPal - Welcome", "", body);
+}
+
+std::string phishing_bank_it(std::uint64_t variant) {
+  Rng rng(util::mix64(variant ^ 0xba2c4ULL));
+  return page(
+      "Banca Online - Accesso", "",
+      "<div class=\"banca\">\n<img src=\"img/logo_banca.png\">\n"
+      "<h2>Area Clienti</h2>\n"
+      "<form action=\"verifica" + std::to_string(rng.below(10)) +
+          ".php\" method=\"post\">\n"
+          "<p>Codice titolare: <input type=\"text\" name=\"codice\"></p>\n"
+          "<p>PIN: <input type=\"password\" name=\"pin\"></p>\n"
+          "<input type=\"submit\" value=\"Accedi\">\n</form>\n"
+          "<p class=\"note\">Per la tua sicurezza verifica i tuoi dati.</p>\n"
+          "</div>");
+}
+
+std::string malware_update_page(bool flash, std::uint64_t variant) {
+  Rng rng(util::mix64(variant ^ 0xf1a5ULL));
+  const std::string product = flash ? "Adobe Flash Player" : "Java Runtime";
+  const std::string file = flash ? "flash_update_setup.exe"
+                                 : "java_update_installer.exe";
+  return page(
+      product + " Update", "",
+      "<div class=\"update-page\">\n<img src=\"logo_" +
+          std::string(flash ? "flash" : "java") +
+          ".png\">\n<h1>Your " + product +
+          " is out of date!</h1>\n<p>A critical security update is required "
+          "to continue. Install the update now.</p>\n"
+          "<a class=\"btn\" href=\"download/" + file + "?tk=" +
+          token(rng, 10) +
+          "\">Install update</a>\n<p class=\"fine\">By clicking you agree to "
+          "the license terms.</p>\n</div>");
+}
+
+std::string tamper_ads(std::string_view original_html, AdTamper mode,
+                       std::uint64_t variant) {
+  Rng rng(util::mix64(variant ^ 0xadULL));
+  std::string html(original_html);
+  switch (mode) {
+    case AdTamper::kInjectBanner: {
+      const std::string banner =
+          "<div class=\"inj\"><a href=\"http://clk.adnet-rewrite.example/"
+          "go?id=" + token(rng, 8) +
+          "\"><img src=\"http://clk.adnet-rewrite.example/b" +
+          std::to_string(rng.below(8)) + ".gif\"></a></div>\n</body>";
+      return util::replace_all(html, "</body>", banner);
+    }
+    case AdTamper::kSuspiciousJs: {
+      const std::string script =
+          "<script>var _0x" + token(rng, 4) +
+          "=['\\x68\\x74\\x74\\x70'];(function(){document.write('<img "
+          "src=http://sj." + token(rng, 5) +
+          ".example/p.gif>');})();</script>\n</body>";
+      return util::replace_all(html, "</body>", script);
+    }
+    case AdTamper::kEmptyPlaceholder: {
+      // Blank every ad slot: scripts from the ad domain become empty divs.
+      std::string out = util::replace_all(
+          html, "<div class=\"slot\"", "<div class=\"slot blocked-empty\"");
+      return util::replace_all(out, "/js/delivery", "/js/noop");
+    }
+  }
+  return html;
+}
+
+}  // namespace dnswild::http

@@ -1,0 +1,95 @@
+// Generators for every class of web content the study encounters.
+//
+// These pages substitute for the live Internet's content corpus (DESIGN.md
+// §2): legitimate sites per category, server error pages, router/camera
+// login pages, captive portals, censorship landing pages, blocking pages,
+// parking lots, search portals, phishing kits (including the PayPal page
+// §4.3 describes: 46 <img> tags plus a POST form to a .php), malware
+// "update" pages, and ad-injection rewrites. Every generator is a pure
+// function of its parameters, so a given simulated server always serves the
+// same bytes; `variant` seeds intra-class structural diversity and
+// `dynamic_nonce` adds the per-fetch churn real dynamic pages exhibit
+// (which the clustering features must tolerate, §3.6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dnswild::http {
+
+enum class SiteCategory {
+  kAds,
+  kAdult,
+  kAlexa,
+  kAntivirus,
+  kBanking,
+  kDating,
+  kFilesharing,
+  kGambling,
+  kMalware,
+  kMail,
+  kNx,
+  kTracking,
+  kMisc,
+  kGroundTruth,
+};
+
+std::string_view site_category_name(SiteCategory category) noexcept;
+
+// --- legitimate content --------------------------------------------------
+
+// The canonical representation of `domain`, with category-typical structure
+// and mild per-fetch dynamics. Different variants of the same domain model
+// CDN edge / A-B differences.
+std::string legit_site(std::string_view domain, SiteCategory category,
+                       std::uint64_t variant, std::uint64_t dynamic_nonce);
+
+// --- benign redirection targets -------------------------------------------
+
+std::string error_page(int status, std::uint64_t server_flavor);
+std::string router_login(std::uint64_t brand, std::uint64_t variant);
+std::string camera_login(std::uint64_t variant);
+std::string captive_portal(std::uint64_t operator_kind, std::uint64_t variant);
+std::string webmail_login(std::uint64_t variant);
+
+// --- policy pages ----------------------------------------------------------
+
+// Landing page of a national censorship system. Carries the "blocked by the
+// order of ... court/authority" fragment the labeler keys on (§4.2).
+std::string censorship_page(std::string_view country_code,
+                            std::uint64_t authority_variant);
+
+// Landing page of a parental-control / ISP-security / AV blocking product.
+std::string blocking_page(std::uint64_t provider_kind, std::uint64_t variant,
+                          std::string_view blocked_domain);
+
+// --- monetization ------------------------------------------------------------
+
+std::string parking_page(std::string_view domain, std::uint64_t provider);
+std::string search_page(std::uint64_t provider, std::string_view query,
+                        bool with_injected_ads);
+
+// --- malicious content -------------------------------------------------------
+
+// PayPal phishing kit: body of 46 <img> tiles reproducing the site plus an
+// HTML form POSTing credentials to a .php endpoint (§4.3).
+std::string phishing_paypal(std::uint64_t variant);
+// Mimicry of an Italian banking site (two hosts in the paper: BR and RU).
+std::string phishing_bank_it(std::uint64_t variant);
+// Fake Adobe Flash / Java update page linking a malicious executable.
+std::string malware_update_page(bool flash, std::uint64_t variant);
+
+// --- ad manipulation ----------------------------------------------------------
+
+enum class AdTamper {
+  kInjectBanner,     // banners inserted into the HTML content
+  kSuspiciousJs,     // foreign JavaScript added
+  kEmptyPlaceholder, // ad slots blanked out (ad blocking, §4.3)
+};
+
+// Rewrites a legitimate page with the requested ad manipulation.
+std::string tamper_ads(std::string_view original_html, AdTamper mode,
+                       std::uint64_t variant);
+
+}  // namespace dnswild::http

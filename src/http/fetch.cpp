@@ -1,0 +1,152 @@
+#include "http/fetch.h"
+
+#include "http/html.h"
+#include "util/strings.h"
+
+namespace dnswild::http {
+
+std::optional<Url> parse_url(std::string_view text, const Url* base) {
+  Url url;
+  if (util::starts_with(text, "http://")) {
+    text.remove_prefix(7);
+    url.scheme = "http";
+  } else if (util::starts_with(text, "https://")) {
+    text.remove_prefix(8);
+    url.scheme = "https";
+  } else if (base != nullptr) {
+    // Relative reference.
+    url = *base;
+    if (text.empty()) return url;
+    if (text.front() == '/') {
+      url.path = std::string(text);
+    } else {
+      const std::size_t dir = url.path.rfind('/');
+      url.path = url.path.substr(0, dir + 1) + std::string(text);
+    }
+    return url;
+  } else {
+    return std::nullopt;
+  }
+  const std::size_t slash = text.find('/');
+  url.host = std::string(text.substr(0, slash));
+  url.path = slash == std::string_view::npos
+                 ? "/"
+                 : std::string(text.substr(slash));
+  // Strip an explicit port; the simulation serves HTTP on 80 / HTTPS on 443.
+  const std::size_t colon = url.host.find(':');
+  if (colon != std::string::npos) url.host.resize(colon);
+  if (url.host.empty()) return std::nullopt;
+  return url;
+}
+
+std::optional<HttpResponse> Fetcher::get(net::Ipv4 ip, std::string_view host,
+                                         std::string_view path) {
+  net::TcpService* service = world_.connect_tcp(client_ip_, ip, 80);
+  if (service == nullptr) return std::nullopt;
+  HttpRequest request;
+  request.host = std::string(host);
+  request.path = std::string(path);
+  const std::string raw = service->respond(request.serialize());
+  if (raw.empty()) return std::nullopt;
+  return HttpResponse::parse(raw);
+}
+
+FetchResult Fetcher::fetch_page(net::Ipv4 ip, std::string host,
+                                const ResolveFn& resolve) {
+  FetchResult result;
+  Url current{"http", std::move(host), "/"};
+  net::Ipv4 current_ip = ip;
+
+  for (int hop = 0; hop <= 2; ++hop) {
+    net::TcpService* service = world_.connect_tcp(client_ip_, current_ip, 80);
+    if (service == nullptr) return result;
+    result.connected = true;
+
+    HttpRequest request;
+    request.host = current.host;
+    request.path = current.path;
+    auto response = HttpResponse::parse(service->respond(request.serialize()));
+    if (!response) return result;
+    result.response = std::move(response);
+    result.status = result.response->status;
+    result.final_host = current.host;
+    result.body = result.response->body;
+    result.hops = hop;
+    if (hop == 2) break;  // §3.5: follow redirections two times at most
+
+    // Pick the next hop: Location header, meta refresh, or first frame.
+    std::string target;
+    bool framed = false;
+    if (result.response->is_redirect()) {
+      if (const auto* location = result.response->header("Location")) {
+        target = *location;
+      }
+    }
+    if (target.empty()) {
+      target = meta_refresh_target(result.response->body);
+    }
+    if (target.empty()) {
+      const auto frames = iframe_sources(result.response->body);
+      if (!frames.empty()) {
+        target = frames.front();
+        framed = true;
+      }
+    }
+    if (target.empty()) break;
+
+    const auto next = parse_url(target, &current);
+    if (!next) break;
+    if (!util::iequals(next->host, current.host)) {
+      // New (sub-)domain: §3.5 resolves it at the resolver under test.
+      const auto next_ip = resolve ? resolve(next->host) : std::nullopt;
+      if (!next_ip) break;
+      current_ip = *next_ip;
+    }
+    if (framed) {
+      // Frames embed content rather than replace it; fetch the frame and
+      // append so the cluster features see the composite document.
+      net::TcpService* frame_service =
+          world_.connect_tcp(client_ip_, current_ip, 80);
+      if (frame_service != nullptr) {
+        HttpRequest frame_request;
+        frame_request.host = next->host;
+        frame_request.path = next->path;
+        if (auto frame_response = HttpResponse::parse(
+                frame_service->respond(frame_request.serialize()))) {
+          result.body += frame_response->body;
+          result.hops = hop + 1;
+        }
+      }
+      break;
+    }
+    current = *next;
+  }
+  return result;
+}
+
+std::optional<net::Certificate> Fetcher::tls_certificate(
+    net::Ipv4 ip, const std::optional<std::string>& sni) {
+  net::TcpService* service = world_.connect_tcp(client_ip_, ip, 443);
+  if (service == nullptr) return std::nullopt;
+  const net::Certificate* cert = service->certificate(sni);
+  if (cert == nullptr) return std::nullopt;
+  return *cert;
+}
+
+std::optional<std::string> Fetcher::banner(net::Ipv4 ip, std::uint16_t port) {
+  net::TcpService* service = world_.connect_tcp(client_ip_, ip, port);
+  if (service == nullptr) return std::nullopt;
+  std::string greeting = service->greeting();
+  if (greeting.empty()) {
+    // HTTP-style services need a request to reveal themselves; send a probe
+    // and keep whatever came back (the fingerprinting engine scans bodies
+    // and headers alike, §2.4).
+    HttpRequest probe;
+    probe.host = ip.to_string();
+    greeting = service->respond(probe.serialize());
+  }
+  if (greeting.empty()) return std::nullopt;
+  return greeting;
+}
+
+}  // namespace dnswild::http

@@ -1,0 +1,72 @@
+// Client-side data acquisition (§3.5).
+//
+// Mimics the study's crawler: issues HTTP requests against the IP addresses
+// a resolver returned while presenting the original domain in the Host
+// header, follows redirections and frames at most twice (re-resolving new
+// (sub)domains at the same suspicious resolver via a caller-supplied
+// callback), performs paired SNI / non-SNI TLS handshakes for the
+// certificate prefilter rule (§3.4), and grabs mail banners for the MX set.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "http/page.h"
+#include "net/world.h"
+
+namespace dnswild::http {
+
+struct Url {
+  std::string scheme = "http";
+  std::string host;
+  std::string path = "/";
+};
+
+// Parses absolute http(s) URLs; relative references resolve against `base`.
+std::optional<Url> parse_url(std::string_view text,
+                             const Url* base = nullptr);
+
+// Resolves a hostname to an address the way the study does during
+// acquisition: at the same resolver that produced the tuple under test.
+using ResolveFn =
+    std::function<std::optional<net::Ipv4>(const std::string& host)>;
+
+struct FetchResult {
+  bool connected = false;              // TCP connect succeeded
+  std::optional<HttpResponse> response;  // last response received
+  std::string body;                    // final body (frames appended)
+  std::string final_host;              // host after redirects
+  int status = 0;
+  int hops = 0;  // redirect/frame hops taken (max 2)
+};
+
+class Fetcher {
+ public:
+  Fetcher(net::World& world, net::Ipv4 client_ip)
+      : world_(world), client_ip_(client_ip) {}
+
+  // Single GET of `path` at ip, Host: host.
+  std::optional<HttpResponse> get(net::Ipv4 ip, std::string_view host,
+                                  std::string_view path = "/");
+
+  // Full page acquisition with redirect/meta-refresh/iframe following
+  // (two hops at most, per §3.5). New hosts are resolved via `resolve`;
+  // same-host targets reuse `ip`.
+  FetchResult fetch_page(net::Ipv4 ip, std::string host,
+                         const ResolveFn& resolve);
+
+  // TLS handshake on :443; nullopt when the port is closed or not TLS.
+  std::optional<net::Certificate> tls_certificate(
+      net::Ipv4 ip, const std::optional<std::string>& sni);
+
+  // Connect-time banner on an arbitrary port (FTP/SSH/Telnet/mail).
+  std::optional<std::string> banner(net::Ipv4 ip, std::uint16_t port);
+
+ private:
+  net::World& world_;
+  net::Ipv4 client_ip_;
+};
+
+}  // namespace dnswild::http

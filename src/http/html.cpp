@@ -1,0 +1,213 @@
+#include "http/html.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace dnswild::http {
+
+namespace {
+
+struct TagRegistry {
+  std::unordered_map<std::string, std::uint16_t> ids;
+  std::vector<std::string> names;
+};
+
+TagRegistry& registry() {
+  static TagRegistry instance;
+  return instance;
+}
+
+}  // namespace
+
+std::uint16_t tag_id(std::string_view name) {
+  auto& reg = registry();
+  const std::string key = util::lower(name);
+  const auto it = reg.ids.find(key);
+  if (it != reg.ids.end()) return it->second;
+  const auto id = static_cast<std::uint16_t>(reg.names.size());
+  reg.ids.emplace(key, id);
+  reg.names.push_back(key);
+  return id;
+}
+
+std::string_view tag_name(std::uint16_t id) {
+  const auto& names = registry().names;
+  return id < names.size() ? std::string_view(names[id])
+                           : std::string_view("?");
+}
+
+const std::string* TagToken::attr(std::string_view key) const noexcept {
+  for (const auto& [name, value] : attrs) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::vector<TagToken> tokenize(std::string_view html) {
+  std::vector<TagToken> tokens;
+  std::size_t pos = 0;
+  while (pos < html.size()) {
+    const std::size_t open = html.find('<', pos);
+    if (open == std::string_view::npos) break;
+    if (html.substr(open, 4) == "<!--") {
+      const std::size_t end = html.find("-->", open + 4);
+      pos = end == std::string_view::npos ? html.size() : end + 3;
+      continue;
+    }
+    std::size_t cursor = open + 1;
+    TagToken token;
+    if (cursor < html.size() && html[cursor] == '/') {
+      token.closing = true;
+      ++cursor;
+    }
+    // Tag name.
+    const std::size_t name_start = cursor;
+    while (cursor < html.size() &&
+           (util::is_alpha_ascii(html[cursor]) ||
+            util::is_digit_ascii(html[cursor]) || html[cursor] == '!')) {
+      ++cursor;
+    }
+    if (cursor == name_start) {  // "<" not starting a tag
+      pos = open + 1;
+      continue;
+    }
+    token.name = util::lower(html.substr(name_start, cursor - name_start));
+
+    // Attributes until '>'.
+    while (cursor < html.size() && html[cursor] != '>') {
+      while (cursor < html.size() &&
+             (html[cursor] == ' ' || html[cursor] == '\t' ||
+              html[cursor] == '\n' || html[cursor] == '\r' ||
+              html[cursor] == '/')) {
+        ++cursor;
+      }
+      if (cursor >= html.size() || html[cursor] == '>') break;
+      const std::size_t attr_start = cursor;
+      while (cursor < html.size() && html[cursor] != '=' &&
+             html[cursor] != '>' && html[cursor] != ' ' &&
+             html[cursor] != '\t' && html[cursor] != '\n' &&
+             html[cursor] != '/') {
+        ++cursor;
+      }
+      std::string attr_name =
+          util::lower(html.substr(attr_start, cursor - attr_start));
+      std::string attr_value;
+      if (cursor < html.size() && html[cursor] == '=') {
+        ++cursor;
+        if (cursor < html.size() &&
+            (html[cursor] == '"' || html[cursor] == '\'')) {
+          const char quote = html[cursor];
+          const std::size_t value_start = ++cursor;
+          const std::size_t value_end = html.find(quote, value_start);
+          if (value_end == std::string_view::npos) {
+            attr_value = std::string(html.substr(value_start));
+            cursor = html.size();
+          } else {
+            attr_value =
+                std::string(html.substr(value_start, value_end - value_start));
+            cursor = value_end + 1;
+          }
+        } else {
+          const std::size_t value_start = cursor;
+          while (cursor < html.size() && html[cursor] != ' ' &&
+                 html[cursor] != '>' && html[cursor] != '\t' &&
+                 html[cursor] != '\n') {
+            ++cursor;
+          }
+          attr_value =
+              std::string(html.substr(value_start, cursor - value_start));
+        }
+      }
+      if (!attr_name.empty()) {
+        token.attrs.emplace_back(std::move(attr_name), std::move(attr_value));
+      }
+    }
+    if (cursor < html.size()) ++cursor;  // consume '>'
+    pos = cursor;
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+PageFeatures extract_features(std::string_view html) {
+  PageFeatures features;
+  features.body_length = html.size();
+
+  for (const TagToken& token : tokenize(html)) {
+    if (token.closing) continue;
+    features.tag_sequence.push_back(tag_id(token.name));
+    features.tag_counts[tag_id(token.name)] += 1;
+    if (const auto* src = token.attr("src")) {
+      if (!src->empty()) features.resources.push_back(*src);
+    }
+    if (const auto* href = token.attr("href")) {
+      if (!href->empty()) features.links.push_back(*href);
+    }
+  }
+
+  // Title and script bodies come from a lower-cased raw-text scan.
+  {
+    std::size_t start = 0;
+    const std::string lowered = util::lower(html);
+    const std::size_t open = lowered.find("<title");
+    if (open != std::string::npos) {
+      start = lowered.find('>', open);
+      const std::size_t close = lowered.find("</title", open);
+      if (start != std::string::npos && close != std::string::npos &&
+          close > start) {
+        features.title =
+            std::string(util::trim(html.substr(start + 1, close - start - 1)));
+      }
+    }
+    // Inline scripts: concatenate every <script>...</script> body.
+    std::size_t cursor = 0;
+    while (true) {
+      const std::size_t script_open = lowered.find("<script", cursor);
+      if (script_open == std::string::npos) break;
+      const std::size_t body_start = lowered.find('>', script_open);
+      if (body_start == std::string::npos) break;
+      const std::size_t script_close = lowered.find("</script", body_start);
+      if (script_close == std::string::npos) break;
+      features.scripts.append(
+          html.substr(body_start + 1, script_close - body_start - 1));
+      cursor = script_close + 8;
+    }
+  }
+
+  const auto sort_unique = [](std::vector<std::string>& values) {
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+  };
+  sort_unique(features.resources);
+  sort_unique(features.links);
+  return features;
+}
+
+std::vector<std::string> iframe_sources(std::string_view html) {
+  std::vector<std::string> sources;
+  for (const TagToken& token : tokenize(html)) {
+    if (token.closing) continue;
+    if (token.name != "iframe" && token.name != "frame") continue;
+    if (const auto* src = token.attr("src")) {
+      if (!src->empty()) sources.push_back(*src);
+    }
+  }
+  return sources;
+}
+
+std::string meta_refresh_target(std::string_view html) {
+  for (const TagToken& token : tokenize(html)) {
+    if (token.closing || token.name != "meta") continue;
+    const auto* equiv = token.attr("http-equiv");
+    if (!equiv || !util::iequals(*equiv, "refresh")) continue;
+    const auto* content = token.attr("content");
+    if (!content) continue;
+    const std::size_t url_pos = util::lower(*content).find("url=");
+    if (url_pos == std::string::npos) continue;
+    return std::string(util::trim(std::string_view(*content).substr(url_pos + 4)));
+  }
+  return {};
+}
+
+}  // namespace dnswild::http

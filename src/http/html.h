@@ -1,0 +1,56 @@
+// Minimal HTML tokenizer and the page features the clustering step uses.
+//
+// §3.6 defines seven normalized distance features over HTTP bodies: body
+// length, tag multiset (Jaccard), opening-tag sequence (edit distance over
+// 2-byte tag identifiers), <title> text, concatenated JavaScript, embedded
+// resources (src= values) and outgoing links (href= values). This tokenizer
+// extracts exactly those signals; it is not a general HTML parser, but it
+// handles attributes in single/double/no quotes, comments, and case
+// variance, which is all the generated and real-world-style corpus needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dnswild::http {
+
+// Process-wide interning of tag names to dense 16-bit identifiers (the
+// paper's "2-byte-long identifier" normalization). Single-threaded.
+std::uint16_t tag_id(std::string_view tag_name);
+std::string_view tag_name(std::uint16_t id);
+
+struct PageFeatures {
+  std::size_t body_length = 0;
+  std::vector<std::uint16_t> tag_sequence;          // opening tags, in order
+  std::unordered_map<std::uint16_t, int> tag_counts;  // multiset view
+  std::string title;
+  std::string scripts;                  // concatenated inline script bodies
+  std::vector<std::string> resources;   // sorted unique src= values
+  std::vector<std::string> links;       // sorted unique href= values
+};
+
+PageFeatures extract_features(std::string_view html);
+
+// Structural helpers reused by the fetcher and the fine-grained differ.
+struct TagToken {
+  std::string name;                                        // lower-cased
+  std::vector<std::pair<std::string, std::string>> attrs;  // name lower-cased
+  bool closing = false;
+
+  const std::string* attr(std::string_view key) const noexcept;
+};
+
+// All tags in document order (closing tags included, comments skipped).
+std::vector<TagToken> tokenize(std::string_view html);
+
+// Values of <iframe src=...> and <frame src=...> in the document (§3.5
+// follows frames like redirections).
+std::vector<std::string> iframe_sources(std::string_view html);
+
+// <meta http-equiv="refresh" content="0;url=..."> target, if any.
+std::string meta_refresh_target(std::string_view html);
+
+}  // namespace dnswild::http

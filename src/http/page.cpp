@@ -1,0 +1,154 @@
+#include "http/page.h"
+
+#include <charconv>
+
+#include "util/strings.h"
+
+namespace dnswild::http {
+
+std::string HttpRequest::serialize() const {
+  std::string out;
+  out += method;
+  out += ' ';
+  out += path;
+  out += " HTTP/1.1\r\nHost: ";
+  out += host;
+  out += "\r\nUser-Agent: ";
+  out += kUserAgent;
+  out += "\r\nAccept: text/html\r\nConnection: close\r\n\r\n";
+  return out;
+}
+
+std::optional<HttpRequest> HttpRequest::parse(std::string_view text) {
+  const std::size_t line_end = text.find("\r\n");
+  if (line_end == std::string_view::npos) return std::nullopt;
+  const auto parts = util::split(text.substr(0, line_end), ' ');
+  if (parts.size() != 3 || !util::starts_with(parts[2], "HTTP/")) {
+    return std::nullopt;
+  }
+  HttpRequest request;
+  request.method = parts[0];
+  request.path = parts[1];
+  std::size_t pos = line_end + 2;
+  while (pos < text.size()) {
+    const std::size_t next = text.find("\r\n", pos);
+    if (next == std::string_view::npos || next == pos) break;
+    const std::string_view line = text.substr(pos, next - pos);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string_view::npos &&
+        util::iequals(line.substr(0, colon), "host")) {
+      request.host = std::string(util::trim(line.substr(colon + 1)));
+    }
+    pos = next + 2;
+  }
+  return request;
+}
+
+const std::string* HttpResponse::header(std::string_view name) const noexcept {
+  for (const auto& [key, value] : headers) {
+    if (util::iequals(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+std::string HttpResponse::serialize() const {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + status_text +
+                    "\r\n";
+  bool has_content_type = false;
+  for (const auto& [key, value] : headers) {
+    out += key;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+    if (util::iequals(key, "content-type")) has_content_type = true;
+  }
+  if (!has_content_type) out += "Content-Type: text/html; charset=utf-8\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::optional<HttpResponse> HttpResponse::parse(std::string_view text) {
+  if (!util::starts_with(text, "HTTP/")) return std::nullopt;
+  const std::size_t line_end = text.find("\r\n");
+  if (line_end == std::string_view::npos) return std::nullopt;
+  const std::string_view status_line = text.substr(0, line_end);
+  const std::size_t first_space = status_line.find(' ');
+  if (first_space == std::string_view::npos) return std::nullopt;
+  HttpResponse response;
+  const std::string_view code_text =
+      status_line.substr(first_space + 1, 3);
+  const auto [ptr, ec] = std::from_chars(
+      code_text.data(), code_text.data() + code_text.size(), response.status);
+  if (ec != std::errc{} || ptr != code_text.data() + code_text.size()) {
+    return std::nullopt;
+  }
+  if (first_space + 5 <= status_line.size()) {
+    response.status_text = std::string(status_line.substr(first_space + 5));
+  }
+  std::size_t pos = line_end + 2;
+  while (pos < text.size()) {
+    const std::size_t next = text.find("\r\n", pos);
+    if (next == std::string_view::npos) return std::nullopt;  // truncated
+    if (next == pos) {  // blank line: body follows
+      response.body = std::string(text.substr(next + 2));
+      return response;
+    }
+    const std::string_view line = text.substr(pos, next - pos);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      response.headers.emplace_back(
+          std::string(line.substr(0, colon)),
+          std::string(util::trim(line.substr(colon + 1))));
+    }
+    pos = next + 2;
+  }
+  return response;  // header-only response without body separator
+}
+
+HttpResponse HttpResponse::ok(std::string body) {
+  HttpResponse response;
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse HttpResponse::redirect(std::string location, int status) {
+  HttpResponse response;
+  response.status = status;
+  response.status_text = std::string(status_text_for(status));
+  response.headers.emplace_back("Location", std::move(location));
+  response.body = "<html><head><title>Redirect</title></head>"
+                  "<body>Moved</body></html>";
+  return response;
+}
+
+HttpResponse HttpResponse::error(int status) {
+  HttpResponse response;
+  response.status = status;
+  response.status_text = std::string(status_text_for(status));
+  response.body = "<html><head><title>" + std::to_string(status) + " " +
+                  response.status_text +
+                  "</title></head><body><h1>" + std::to_string(status) + " " +
+                  response.status_text + "</h1></body></html>";
+  return response;
+}
+
+std::string_view status_text_for(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 301: return "Moved Permanently";
+    case 302: return "Found";
+    case 303: return "See Other";
+    case 307: return "Temporary Redirect";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 410: return "Gone";
+    case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace dnswild::http

@@ -1,0 +1,55 @@
+// HTTP/1.1 request/response text model.
+//
+// The acquisition step (§3.5) impersonates a Firefox 28.0 client and speaks
+// plain HTTP text to the simulated web servers; requests and responses are
+// real header/body byte strings so the analysis code paths (status
+// classification, redirect following, content clustering) work on the same
+// material they would against live servers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnswild::http {
+
+// The User-Agent the paper's crawler sends (§3.5).
+inline constexpr std::string_view kUserAgent =
+    "Mozilla/5.0 (X11; Linux x86_64; rv:28.0) Gecko/20100101 Firefox/28.0";
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string path = "/";
+  std::string host;
+
+  std::string serialize() const;
+  static std::optional<HttpRequest> parse(std::string_view text);
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string status_text = "OK";
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  // First header with the given (case-insensitive) name, or nullptr.
+  const std::string* header(std::string_view name) const noexcept;
+
+  bool is_redirect() const noexcept {
+    return status == 301 || status == 302 || status == 303 || status == 307;
+  }
+  bool is_error() const noexcept { return status >= 400; }
+
+  std::string serialize() const;
+  static std::optional<HttpResponse> parse(std::string_view text);
+
+  static HttpResponse ok(std::string body);
+  static HttpResponse redirect(std::string location, int status = 302);
+  static HttpResponse error(int status);
+};
+
+// Reason phrase for common status codes ("OK", "Not Found", ...).
+std::string_view status_text_for(int status) noexcept;
+
+}  // namespace dnswild::http

@@ -1,0 +1,72 @@
+#include "http/server.h"
+
+#include "util/strings.h"
+
+namespace dnswild::http {
+
+Handler serve_body(std::string body) {
+  return [body = std::move(body)](const HttpRequest&) {
+    return HttpResponse::ok(body);
+  };
+}
+
+Handler serve_response(HttpResponse response) {
+  return [response = std::move(response)](const HttpRequest&) {
+    return response;
+  };
+}
+
+void WebServer::add_vhost(std::string host, Handler handler,
+                          std::optional<net::Certificate> cert) {
+  vhosts_[util::lower(host)] = Vhost{std::move(handler), std::move(cert)};
+}
+
+void WebServer::set_default_handler(Handler handler) {
+  default_handler_ = std::move(handler);
+}
+
+void WebServer::set_default_certificate(net::Certificate cert) {
+  default_cert_ = std::move(cert);
+}
+
+std::string WebServer::respond(std::string_view request) {
+  const auto parsed = HttpRequest::parse(request);
+  if (!parsed) return HttpResponse::error(400).serialize();
+  const auto it = vhosts_.find(util::lower(parsed->host));
+  if (it != vhosts_.end()) return it->second.handler(*parsed).serialize();
+  if (default_handler_) return default_handler_(*parsed).serialize();
+  return HttpResponse::error(404).serialize();
+}
+
+const net::Certificate* WebServer::certificate(
+    const std::optional<std::string>& sni) const {
+  if (sni) {
+    const auto it = vhosts_.find(util::lower(*sni));
+    if (it != vhosts_.end() && it->second.cert) return &*it->second.cert;
+  }
+  return default_cert_ ? &*default_cert_ : nullptr;
+}
+
+ProxyServer::ProxyServer(ContentOracle content, CertOracle certs,
+                         bool tls_passthrough)
+    : content_(std::move(content)),
+      certs_(std::move(certs)),
+      tls_passthrough_(tls_passthrough) {}
+
+std::string ProxyServer::respond(std::string_view request) {
+  const auto parsed = HttpRequest::parse(request);
+  if (!parsed) return HttpResponse::error(400).serialize();
+  if (auto original = content_(*parsed)) return original->serialize();
+  return HttpResponse::error(502).serialize();
+}
+
+const net::Certificate* ProxyServer::certificate(
+    const std::optional<std::string>& sni) const {
+  if (!tls_passthrough_ || !sni) return nullptr;
+  auto cert = certs_(*sni);
+  if (!cert) return nullptr;
+  cert_buffer_ = *std::move(cert);
+  return &cert_buffer_;
+}
+
+}  // namespace dnswild::http

@@ -1,0 +1,90 @@
+// TCP services for simulated hosts: web servers (virtual-hosted, optionally
+// TLS), transparent HTTP(S) proxies, and greeting-banner services for the
+// protocols the device fingerprinting step connects to (FTP, SSH, Telnet)
+// and the MX analysis probes (SMTP, IMAP, POP3) — §2.4, §3.5, §4.3.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "http/page.h"
+#include "net/services.h"
+
+namespace dnswild::http {
+
+// Produces the response for one parsed request on a given virtual host.
+using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+// Convenience: handler serving a fixed body with status 200.
+Handler serve_body(std::string body);
+// Handler serving a fixed, fully-specified response.
+Handler serve_response(HttpResponse response);
+
+class WebServer : public net::TcpService {
+ public:
+  // Adds a virtual host (host matched case-insensitively, no port).
+  void add_vhost(std::string host, Handler handler,
+                 std::optional<net::Certificate> cert = std::nullopt);
+
+  // Handler used when no vhost matches (captive portals and router logins
+  // answer every Host the same way). Default: a 404 error page.
+  void set_default_handler(Handler handler);
+  // Certificate served without SNI or for unknown SNI; nullopt disables TLS
+  // for such handshakes.
+  void set_default_certificate(net::Certificate cert);
+
+  std::string respond(std::string_view request) override;
+  const net::Certificate* certificate(
+      const std::optional<std::string>& sni) const override;
+
+ private:
+  struct Vhost {
+    Handler handler;
+    std::optional<net::Certificate> cert;
+  };
+  std::unordered_map<std::string, Vhost> vhosts_;
+  Handler default_handler_;
+  std::optional<net::Certificate> default_cert_;
+};
+
+// Oracle giving the legitimate content of a (host, request) pair; used by
+// proxies to relay the original site (§4.3 "Transparent Proxies").
+using ContentOracle =
+    std::function<std::optional<HttpResponse>(const HttpRequest&)>;
+// Oracle giving the legitimate certificate of a host, if it serves TLS.
+using CertOracle =
+    std::function<std::optional<net::Certificate>(const std::string& host)>;
+
+class ProxyServer : public net::TcpService {
+ public:
+  // tls_passthrough: proxy forwards valid certificate material (the
+  // "proxies that support TLS and provide the original certificate" group);
+  // otherwise the proxy is HTTP-only and TLS handshakes fail.
+  ProxyServer(ContentOracle content, CertOracle certs, bool tls_passthrough);
+
+  std::string respond(std::string_view request) override;
+  const net::Certificate* certificate(
+      const std::optional<std::string>& sni) const override;
+
+ private:
+  ContentOracle content_;
+  CertOracle certs_;
+  bool tls_passthrough_;
+  mutable net::Certificate cert_buffer_;  // storage for the returned pointer
+};
+
+// Connect-time banner (FTP/SSH/Telnet/SMTP/IMAP/POP3). The fingerprinting
+// scanner reads only the greeting.
+class BannerService : public net::TcpService {
+ public:
+  explicit BannerService(std::string banner) : banner_(std::move(banner)) {}
+  std::string greeting() const override { return banner_; }
+
+ private:
+  std::string banner_;
+};
+
+}  // namespace dnswild::http

@@ -1,0 +1,95 @@
+#include "net/asdb.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace dnswild::net {
+
+std::string_view as_kind_name(AsKind kind) noexcept {
+  switch (kind) {
+    case AsKind::kBroadbandIsp: return "broadband";
+    case AsKind::kHosting: return "hosting";
+    case AsKind::kCdn: return "cdn";
+    case AsKind::kEnterprise: return "enterprise";
+    case AsKind::kMobile: return "mobile";
+  }
+  return "unknown";
+}
+
+const AsInfo& AsDb::add_as(AsInfo info) {
+  if (as_index(info.asn) != static_cast<std::size_t>(-1)) {
+    throw std::invalid_argument("duplicate ASN " + std::to_string(info.asn));
+  }
+  asn_index_.emplace(info.asn, as_list_.size());
+  as_list_.push_back(std::move(info));
+  return as_list_.back();
+}
+
+void AsDb::add_prefix(Cidr prefix, std::uint32_t asn) {
+  if (as_index(asn) == static_cast<std::size_t>(-1)) {
+    throw std::invalid_argument("unknown ASN " + std::to_string(asn));
+  }
+  const auto it = std::lower_bound(
+      routes_.begin(), routes_.end(), prefix.base(),
+      [](const Route& route, Ipv4 base) { return route.prefix.base() < base; });
+  // Overlap is possible only with the immediate neighbours in sorted order.
+  if (it != routes_.end() &&
+      (it->prefix.contains(prefix.base()) || prefix.contains(it->prefix.base()))) {
+    throw std::invalid_argument("overlapping prefix " + prefix.to_string());
+  }
+  if (it != routes_.begin()) {
+    const Route& prev = *(it - 1);
+    if (prev.prefix.contains(prefix.base()) ||
+        prefix.contains(prev.prefix.base())) {
+      throw std::invalid_argument("overlapping prefix " + prefix.to_string());
+    }
+  }
+  routes_.insert(it, Route{prefix, asn});
+}
+
+std::optional<std::uint32_t> AsDb::lookup_asn(Ipv4 ip) const noexcept {
+  auto it = std::upper_bound(
+      routes_.begin(), routes_.end(), ip,
+      [](Ipv4 addr, const Route& route) { return addr < route.prefix.base(); });
+  if (it == routes_.begin()) return std::nullopt;
+  --it;
+  if (!it->prefix.contains(ip)) return std::nullopt;
+  return it->asn;
+}
+
+const AsInfo* AsDb::lookup(Ipv4 ip) const noexcept {
+  const auto asn = lookup_asn(ip);
+  if (!asn) return nullptr;
+  return find_as(*asn);
+}
+
+const AsInfo* AsDb::find_as(std::uint32_t asn) const noexcept {
+  const std::size_t index = as_index(asn);
+  if (index == static_cast<std::size_t>(-1)) return nullptr;
+  return &as_list_[index];
+}
+
+std::string_view AsDb::country_of(Ipv4 ip) const noexcept {
+  const AsInfo* info = lookup(ip);
+  return info ? std::string_view(info->country) : std::string_view{};
+}
+
+Rir AsDb::rir_of_ip(Ipv4 ip) const noexcept {
+  return rir_of(country_of(ip));
+}
+
+std::vector<Cidr> AsDb::prefixes_of(std::uint32_t asn) const {
+  std::vector<Cidr> out;
+  for (const Route& route : routes_) {
+    if (route.asn == asn) out.push_back(route.prefix);
+  }
+  return out;
+}
+
+std::size_t AsDb::as_index(std::uint32_t asn) const noexcept {
+  const auto it = asn_index_.find(asn);
+  return it == asn_index_.end() ? static_cast<std::size_t>(-1) : it->second;
+}
+
+}  // namespace dnswild::net

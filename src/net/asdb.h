@@ -1,0 +1,80 @@
+// Autonomous System database: the simulation's stand-in for BGP routing
+// tables plus the GeoIP database.
+//
+// Each AS has a number, a display name, a country, a kind (broadband ISP,
+// hosting, CDN, ...), and owns a set of non-overlapping IPv4 prefixes.
+// Address -> AS lookup is a binary search over the sorted prefix table, the
+// same longest-prefix outcome as routing since prefixes never overlap.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "net/countries.h"
+#include "net/ip.h"
+
+namespace dnswild::net {
+
+enum class AsKind {
+  kBroadbandIsp,  // consumer telecommunication / broadband providers
+  kHosting,       // hosting and cloud companies
+  kCdn,           // content delivery networks
+  kEnterprise,    // business networks, universities, government
+  kMobile,        // cellular carriers
+};
+
+std::string_view as_kind_name(AsKind kind) noexcept;
+
+struct AsInfo {
+  std::uint32_t asn = 0;
+  std::string name;
+  std::string country;  // ISO code
+  AsKind kind = AsKind::kEnterprise;
+};
+
+class AsDb {
+ public:
+  // Registers an AS; asn must be unique. Returns the stored record.
+  const AsInfo& add_as(AsInfo info);
+
+  // Assigns a prefix to an AS. The prefix must not overlap any existing
+  // prefix and the AS must exist; violations throw std::invalid_argument.
+  void add_prefix(Cidr prefix, std::uint32_t asn);
+
+  // AS number owning the address, or nullopt for unrouted space.
+  std::optional<std::uint32_t> lookup_asn(Ipv4 ip) const noexcept;
+
+  // Full record for an address; nullopt for unrouted space.
+  const AsInfo* lookup(Ipv4 ip) const noexcept;
+  const AsInfo* find_as(std::uint32_t asn) const noexcept;
+
+  // GeoIP-style country of an address ("" when unrouted).
+  std::string_view country_of(Ipv4 ip) const noexcept;
+  Rir rir_of_ip(Ipv4 ip) const noexcept;
+
+  // All prefixes announced by an AS (in insertion order).
+  std::vector<Cidr> prefixes_of(std::uint32_t asn) const;
+
+  std::size_t as_count() const noexcept { return as_list_.size(); }
+  std::size_t prefix_count() const noexcept { return routes_.size(); }
+  const std::vector<AsInfo>& all_as() const noexcept { return as_list_; }
+
+ private:
+  struct Route {
+    Cidr prefix;
+    std::uint32_t asn;
+  };
+
+  // Index into as_list_ for an ASN, or npos.
+  std::size_t as_index(std::uint32_t asn) const noexcept;
+
+  std::vector<AsInfo> as_list_;
+  std::unordered_map<std::uint32_t, std::size_t> asn_index_;
+  std::vector<Route> routes_;  // kept sorted by prefix base address
+};
+
+}  // namespace dnswild::net

@@ -1,0 +1,40 @@
+#include "net/clock.h"
+
+#include <cstdio>
+
+namespace dnswild::net {
+
+std::string CivilDate::to_string() const {
+  char buffer[16];
+  std::snprintf(buffer, sizeof buffer, "%04d/%02d/%02d", year, month, day);
+  return buffer;
+}
+
+std::int64_t days_from_civil(CivilDate date) noexcept {
+  const int y = date.year - (date.month <= 2 ? 1 : 0);
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(date.month + (date.month > 2 ? -3 : 9)) +
+       2u) /
+          5u +
+      static_cast<unsigned>(date.day) - 1u;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+CivilDate civil_from_days(std::int64_t days) noexcept {
+  days += 719468;
+  const std::int64_t era = (days >= 0 ? days : days - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(days - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  return CivilDate{static_cast<int>(y + (m <= 2 ? 1 : 0)),
+                   static_cast<int>(m), static_cast<int>(d)};
+}
+
+}  // namespace dnswild::net

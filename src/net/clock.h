@@ -1,0 +1,52 @@
+// Simulated time.
+//
+// All campaigns run against a SimClock measured in minutes since the start
+// of the study (2014-01-31, the paper's first weekly scan). There is no
+// wall-clock anywhere in the library, which keeps every experiment
+// reproducible under a seed. Civil-date helpers convert simulated offsets to
+// the calendar labels the paper's figures use on their x-axes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dnswild::net {
+
+struct CivilDate {
+  int year = 0;
+  int month = 0;  // 1..12
+  int day = 0;    // 1..31
+
+  std::string to_string() const;  // "2014/01/31"
+};
+
+// Days since 1970-01-01 for a civil date (proleptic Gregorian). Implements
+// Howard Hinnant's days_from_civil algorithm.
+std::int64_t days_from_civil(CivilDate date) noexcept;
+
+// Inverse of days_from_civil.
+CivilDate civil_from_days(std::int64_t days) noexcept;
+
+class SimClock {
+ public:
+  // The calendar date of simulated minute zero (study start, §2.2).
+  static constexpr CivilDate kEpoch{2014, 1, 31};
+
+  std::int64_t minutes() const noexcept { return minutes_; }
+  double days() const noexcept { return static_cast<double>(minutes_) / 1440.0; }
+  std::int64_t whole_days() const noexcept { return minutes_ / 1440; }
+  std::int64_t weeks() const noexcept { return whole_days() / 7; }
+
+  void advance_minutes(std::int64_t delta) noexcept { minutes_ += delta; }
+  void advance_days(std::int64_t delta) noexcept { minutes_ += delta * 1440; }
+  void set_minutes(std::int64_t minutes) noexcept { minutes_ = minutes; }
+
+  CivilDate date() const noexcept {
+    return civil_from_days(days_from_civil(kEpoch) + whole_days());
+  }
+
+ private:
+  std::int64_t minutes_ = 0;
+};
+
+}  // namespace dnswild::net

@@ -1,0 +1,103 @@
+#include "net/countries.h"
+
+#include <algorithm>
+
+namespace dnswild::net {
+
+std::string_view rir_name(Rir rir) noexcept {
+  switch (rir) {
+    case Rir::kRipe: return "RIPE";
+    case Rir::kApnic: return "APNIC";
+    case Rir::kLacnic: return "LACNIC";
+    case Rir::kArin: return "ARIN";
+    case Rir::kAfrinic: return "AFRINIC";
+  }
+  return "UNKNOWN";
+}
+
+const std::vector<CountryInfo>& all_countries() {
+  static const std::vector<CountryInfo> kCountries = {
+      {"AE", "United Arab Emirates", Rir::kRipe},
+      {"AR", "Argentina", Rir::kLacnic},
+      {"AT", "Austria", Rir::kRipe},
+      {"AU", "Australia", Rir::kApnic},
+      {"BD", "Bangladesh", Rir::kApnic},
+      {"BE", "Belgium", Rir::kRipe},
+      {"BG", "Bulgaria", Rir::kRipe},
+      {"BR", "Brazil", Rir::kLacnic},
+      {"CA", "Canada", Rir::kArin},
+      {"CH", "Switzerland", Rir::kRipe},
+      {"CL", "Chile", Rir::kLacnic},
+      {"CN", "China", Rir::kApnic},
+      {"CO", "Colombia", Rir::kLacnic},
+      {"CZ", "Czechia", Rir::kRipe},
+      {"DE", "Germany", Rir::kRipe},
+      {"DZ", "Algeria", Rir::kAfrinic},
+      {"EC", "Ecuador", Rir::kLacnic},
+      {"EE", "Estonia", Rir::kRipe},
+      {"EG", "Egypt", Rir::kAfrinic},
+      {"ES", "Spain", Rir::kRipe},
+      {"FR", "France", Rir::kRipe},
+      {"GB", "Great Britain", Rir::kRipe},
+      {"GR", "Greece", Rir::kRipe},
+      {"HK", "Hong Kong", Rir::kApnic},
+      {"HU", "Hungary", Rir::kRipe},
+      {"ID", "Indonesia", Rir::kApnic},
+      {"IL", "Israel", Rir::kRipe},
+      {"IN", "India", Rir::kApnic},
+      {"IR", "Iran", Rir::kRipe},
+      {"IT", "Italy", Rir::kRipe},
+      {"JP", "Japan", Rir::kApnic},
+      {"KE", "Kenya", Rir::kAfrinic},
+      {"KR", "South Korea", Rir::kApnic},
+      {"KZ", "Kazakhstan", Rir::kRipe},
+      {"LB", "Lebanon", Rir::kRipe},
+      {"MA", "Morocco", Rir::kAfrinic},
+      {"MN", "Mongolia", Rir::kApnic},
+      {"MX", "Mexico", Rir::kLacnic},
+      {"MY", "Malaysia", Rir::kApnic},
+      {"NG", "Nigeria", Rir::kAfrinic},
+      {"NL", "Netherlands", Rir::kRipe},
+      {"NO", "Norway", Rir::kRipe},
+      {"NZ", "New Zealand", Rir::kApnic},
+      {"PE", "Peru", Rir::kLacnic},
+      {"PH", "Philippines", Rir::kApnic},
+      {"PK", "Pakistan", Rir::kApnic},
+      {"PL", "Poland", Rir::kRipe},
+      {"PT", "Portugal", Rir::kRipe},
+      {"RO", "Romania", Rir::kRipe},
+      {"RS", "Serbia", Rir::kRipe},
+      {"RU", "Russia", Rir::kRipe},
+      {"SA", "Saudi Arabia", Rir::kRipe},
+      {"SE", "Sweden", Rir::kRipe},
+      {"SG", "Singapore", Rir::kApnic},
+      {"TH", "Thailand", Rir::kApnic},
+      {"TN", "Tunisia", Rir::kAfrinic},
+      {"TR", "Turkey", Rir::kRipe},
+      {"TW", "Taiwan", Rir::kApnic},
+      {"UA", "Ukraine", Rir::kRipe},
+      {"US", "United States", Rir::kArin},
+      {"VE", "Venezuela", Rir::kLacnic},
+      {"VN", "Vietnam", Rir::kApnic},
+      {"ZA", "South Africa", Rir::kAfrinic},
+  };
+  return kCountries;
+}
+
+std::optional<CountryInfo> country_info(std::string_view code) noexcept {
+  const auto& table = all_countries();
+  const auto it = std::lower_bound(
+      table.begin(), table.end(), code,
+      [](const CountryInfo& info, std::string_view key) {
+        return info.code < key;
+      });
+  if (it == table.end() || it->code != code) return std::nullopt;
+  return *it;
+}
+
+Rir rir_of(std::string_view code) noexcept {
+  const auto info = country_info(code);
+  return info ? info->rir : Rir::kRipe;
+}
+
+}  // namespace dnswild::net

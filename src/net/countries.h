@@ -1,0 +1,35 @@
+// Country codes and their Regional Internet Registry assignment.
+//
+// Substitutes for the MaxMind GeoIP database the paper uses (§2.3): the
+// simulation only needs a consistent country -> RIR mapping and display
+// names for the countries that appear in the paper's tables and case
+// studies, plus enough extra countries to populate a realistic long tail.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace dnswild::net {
+
+enum class Rir { kRipe, kApnic, kLacnic, kArin, kAfrinic };
+
+std::string_view rir_name(Rir rir) noexcept;
+
+struct CountryInfo {
+  std::string_view code;  // ISO 3166-1 alpha-2
+  std::string_view name;
+  Rir rir;
+};
+
+// Full static table (sorted by code) of the countries known to the library.
+const std::vector<CountryInfo>& all_countries();
+
+// Lookup by ISO code; nullopt for unknown codes.
+std::optional<CountryInfo> country_info(std::string_view code) noexcept;
+
+// RIR for a country code; defaults to RIPE for unknown codes so lookups
+// always classify somewhere (mirrors GeoIP best-effort behaviour).
+Rir rir_of(std::string_view code) noexcept;
+
+}  // namespace dnswild::net

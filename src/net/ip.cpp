@@ -1,0 +1,88 @@
+#include "net/ip.h"
+
+#include <charconv>
+
+namespace dnswild::net {
+
+std::string Ipv4::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i != 0) out += '.';
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+std::optional<Ipv4> Ipv4::parse(std::string_view text) noexcept {
+  std::uint32_t value = 0;
+  const char* pos = text.data();
+  const char* const end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    unsigned octet = 0;
+    const auto [next, ec] = std::from_chars(pos, end, octet);
+    if (ec != std::errc{} || octet > 255 || next == pos) return std::nullopt;
+    value = (value << 8) | octet;
+    pos = next;
+    if (i < 3) {
+      if (pos == end || *pos != '.') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != end) return std::nullopt;
+  return Ipv4(value);
+}
+
+std::string Cidr::to_string() const {
+  return base_.to_string() + "/" + std::to_string(prefix_len_);
+}
+
+std::optional<Cidr> Cidr::parse(std::string_view text) noexcept {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto base = Ipv4::parse(text.substr(0, slash));
+  if (!base) return std::nullopt;
+  int len = -1;
+  const std::string_view tail = text.substr(slash + 1);
+  const auto [next, ec] =
+      std::from_chars(tail.data(), tail.data() + tail.size(), len);
+  if (ec != std::errc{} || next != tail.data() + tail.size() || len < 0 ||
+      len > 32) {
+    return std::nullopt;
+  }
+  return Cidr(*base, len);
+}
+
+bool is_reserved(Ipv4 ip) noexcept {
+  const std::uint32_t v = ip.value();
+  const auto in = [v](std::uint32_t base, int len) {
+    const std::uint32_t mask = len == 0 ? 0 : ~std::uint32_t{0} << (32 - len);
+    return (v & mask) == base;
+  };
+  return in(0x00000000, 8)     // 0.0.0.0/8
+         || in(0x0a000000, 8)  // 10/8
+         || in(0x64400000, 10)  // 100.64/10 CGN
+         || in(0x7f000000, 8)   // 127/8
+         || in(0xa9fe0000, 16)  // 169.254/16
+         || in(0xac100000, 12)  // 172.16/12
+         || in(0xc0000000, 24)  // 192.0.0/24
+         || in(0xc0000200, 24)  // 192.0.2/24 TEST-NET-1
+         || in(0xc0a80000, 16)  // 192.168/16
+         || in(0xc6120000, 15)  // 198.18/15 benchmarking
+         || in(0xc6336400, 24)  // 198.51.100/24 TEST-NET-2
+         || in(0xcb007100, 24)  // 203.0.113/24 TEST-NET-3
+         || in(0xe0000000, 4)   // 224/4 multicast
+         || in(0xf0000000, 4);  // 240/4 class E (incl. broadcast)
+}
+
+bool is_lan(Ipv4 ip) noexcept {
+  const std::uint32_t v = ip.value();
+  const auto in = [v](std::uint32_t base, int len) {
+    const std::uint32_t mask = len == 0 ? 0 : ~std::uint32_t{0} << (32 - len);
+    return (v & mask) == base;
+  };
+  return in(0x0a000000, 8) || in(0xac100000, 12) || in(0xc0a80000, 16) ||
+         in(0x7f000000, 8) || in(0xa9fe0000, 16);
+}
+
+}  // namespace dnswild::net

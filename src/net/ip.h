@@ -1,0 +1,99 @@
+// IPv4 addresses and CIDR prefixes.
+//
+// Addresses are a thin value wrapper over a host-order uint32 so they can be
+// used as map keys and iterated by the LFSR permutation. Special-range
+// checks mirror the exclusions the paper applies to Internet-wide scans
+// (private, loopback, link-local, multicast, reserved, broadcast).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dnswild::net {
+
+class Ipv4 {
+ public:
+  constexpr Ipv4() noexcept = default;
+  constexpr explicit Ipv4(std::uint32_t value) noexcept : value_(value) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                 std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+  constexpr std::uint8_t octet(int index) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - index)));
+  }
+
+  std::string to_string() const;
+
+  // Parses dotted-quad notation; nullopt on malformed input.
+  static std::optional<Ipv4> parse(std::string_view text) noexcept;
+
+  friend constexpr auto operator<=>(Ipv4, Ipv4) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+class Cidr {
+ public:
+  constexpr Cidr() noexcept = default;
+  // prefix_len in [0, 32]; host bits of `base` are ignored.
+  constexpr Cidr(Ipv4 base, int prefix_len) noexcept
+      : base_(Ipv4(prefix_len == 0 ? 0 : base.value() & mask(prefix_len))),
+        prefix_len_(prefix_len) {}
+
+  constexpr Ipv4 base() const noexcept { return base_; }
+  constexpr int prefix_len() const noexcept { return prefix_len_; }
+  constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - prefix_len_);
+  }
+
+  constexpr bool contains(Ipv4 ip) const noexcept {
+    if (prefix_len_ == 0) return true;
+    return (ip.value() & mask(prefix_len_)) == base_.value();
+  }
+
+  constexpr Ipv4 at(std::uint64_t offset) const noexcept {
+    return Ipv4(base_.value() + static_cast<std::uint32_t>(offset));
+  }
+
+  std::string to_string() const;
+
+  // Parses "a.b.c.d/len"; nullopt on malformed input.
+  static std::optional<Cidr> parse(std::string_view text) noexcept;
+
+  friend constexpr auto operator<=>(Cidr, Cidr) noexcept = default;
+
+ private:
+  static constexpr std::uint32_t mask(int prefix_len) noexcept {
+    return prefix_len == 0 ? 0
+                           : ~std::uint32_t{0} << (32 - prefix_len);
+  }
+
+  Ipv4 base_{};
+  int prefix_len_ = 0;
+};
+
+// True for addresses Internet-wide scans must skip: RFC 1918 private space,
+// loopback, link-local, 0.0.0.0/8, CGN 100.64/10, multicast and class E.
+bool is_reserved(Ipv4 ip) noexcept;
+
+// True for RFC 1918 + loopback + link-local (the "LAN IP" check used when
+// classifying resolver answers in §4.2).
+bool is_lan(Ipv4 ip) noexcept;
+
+}  // namespace dnswild::net
+
+template <>
+struct std::hash<dnswild::net::Ipv4> {
+  std::size_t operator()(dnswild::net::Ipv4 ip) const noexcept {
+    // Fibonacci mix so consecutive addresses spread across buckets.
+    return static_cast<std::size_t>(ip.value() * 0x9e3779b97f4a7c15ULL);
+  }
+};

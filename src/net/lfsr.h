@@ -1,0 +1,66 @@
+// Maximal-period 32-bit Galois LFSR.
+//
+// The paper's scanner (§2.2) uses an LFSR of order 2^32 - 1 to permute the
+// target address sequence so that any individual network only receives a
+// limited number of probes within a short time window. A Galois LFSR over a
+// primitive polynomial visits every non-zero 32-bit state exactly once per
+// period; we append state 0 at the end so the full IPv4 space is covered.
+#pragma once
+
+#include <cstdint>
+
+#include "net/ip.h"
+
+namespace dnswild::net {
+
+class Lfsr32 {
+ public:
+  // Primitive polynomial x^32 + x^22 + x^2 + x + 1 (taps 32,22,2,1).
+  static constexpr std::uint32_t kTaps = 0x80200003u;
+
+  // seed selects the starting point in the cycle; 0 is mapped to 1 because 0
+  // is a fixed point of the recurrence.
+  explicit constexpr Lfsr32(std::uint32_t seed = 1) noexcept
+      : state_(seed == 0 ? 1 : seed) {}
+
+  constexpr std::uint32_t state() const noexcept { return state_; }
+
+  constexpr std::uint32_t next() noexcept {
+    const std::uint32_t out = state_;
+    state_ = (state_ >> 1) ^ (-(state_ & 1u) & kTaps);
+    return out;
+  }
+
+ private:
+  std::uint32_t state_;
+};
+
+// Iterates the entire IPv4 space exactly once in LFSR order: the 2^32 - 1
+// non-zero states from the seed onward, then 0.0.0.0 as the final element.
+class Ipv4Permutation {
+ public:
+  explicit Ipv4Permutation(std::uint32_t seed = 1) noexcept
+      : lfsr_(seed), start_(lfsr_.state()) {}
+
+  // Returns false once the full space has been emitted.
+  bool next(Ipv4& out) noexcept {
+    if (done_) return false;
+    if (emit_zero_) {
+      out = Ipv4(0u);
+      emit_zero_ = false;
+      done_ = true;
+      return true;
+    }
+    out = Ipv4(lfsr_.next());
+    if (lfsr_.state() == start_) emit_zero_ = true;
+    return true;
+  }
+
+ private:
+  Lfsr32 lfsr_;
+  std::uint32_t start_;
+  bool emit_zero_ = false;
+  bool done_ = false;
+};
+
+}  // namespace dnswild::net

@@ -1,0 +1,61 @@
+#include "net/rdns.h"
+
+#include "util/strings.h"
+
+namespace dnswild::net {
+
+void RdnsStore::set(Ipv4 ip, std::string name) {
+  records_[ip] = std::move(name);
+}
+
+std::optional<std::string_view> RdnsStore::lookup(Ipv4 ip) const noexcept {
+  const auto it = records_.find(ip);
+  if (it == records_.end()) return std::nullopt;
+  return std::string_view(it->second);
+}
+
+bool looks_dynamic(std::string_view rdns_name) noexcept {
+  static constexpr std::string_view kTokens[] = {
+      "broadband", "dialup", "dynamic", "dyn-", ".dyn.", "dsl",
+      "pool",      "dhcp",   "cable",   "ppp",  "adsl",
+  };
+  for (const auto token : kTokens) {
+    if (dnswild::util::icontains(rdns_name, token)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+std::string dashed_ip(Ipv4 ip) {
+  std::string out;
+  for (int i = 0; i < 4; ++i) {
+    if (i != 0) out += '-';
+    out += std::to_string(ip.octet(i));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string synth_dynamic_rdns(Ipv4 ip, std::string_view isp_label,
+                               unsigned style) {
+  const std::string label(isp_label);
+  switch (style % 4) {
+    case 0:
+      return "dyn-" + dashed_ip(ip) + ".broadband." + label + ".example";
+    case 1:
+      return dashed_ip(ip) + ".dynamic.adsl." + label + ".example";
+    case 2:
+      return "host-" + dashed_ip(ip) + ".pool." + label + ".example";
+    default:
+      return "ppp-" + dashed_ip(ip) + ".dialup." + label + ".example";
+  }
+}
+
+std::string synth_static_rdns(Ipv4 ip, std::string_view isp_label) {
+  return "srv-" + dnswild::util::hex32(ip.value()) + "." +
+         std::string(isp_label) + ".example";
+}
+
+}  // namespace dnswild::net

@@ -1,0 +1,47 @@
+// Reverse-DNS store.
+//
+// The paper uses rDNS records twice: (i) to detect dynamic broadband
+// address pools via hostname tokens like "dynamic"/"dialup"/"broadband"
+// (§2.5), and (ii) as a prefiltering rule — an answer IP is legitimate when
+// its rDNS name resembles the queried domain AND the name forward-confirms
+// back to the same IP (§3.4). This store holds ip -> name mappings; forward
+// confirmation is answered by the authoritative registry in src/resolver.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "net/ip.h"
+
+namespace dnswild::net {
+
+class RdnsStore {
+ public:
+  void set(Ipv4 ip, std::string name);
+
+  // PTR-style lookup; nullopt when no record exists.
+  std::optional<std::string_view> lookup(Ipv4 ip) const noexcept;
+
+  std::size_t size() const noexcept { return records_.size(); }
+
+ private:
+  std::unordered_map<Ipv4, std::string> records_;
+};
+
+// True when the hostname carries a token indicating dynamic consumer
+// address assignment (the token list from §2.5: broadband, dialup, dynamic,
+// plus common provider spellings: dyn, dsl, pool, dhcp, cable, ppp).
+bool looks_dynamic(std::string_view rdns_name) noexcept;
+
+// Generates a plausible consumer-pool rDNS name for an address, e.g.
+// "dyn-203-0-113-7.broadband.isp-name.example". style selects between a few
+// provider naming schemes so the corpus is not uniform.
+std::string synth_dynamic_rdns(Ipv4 ip, std::string_view isp_label,
+                               unsigned style);
+
+// Static-server naming scheme, e.g. "srv-cafe0001.isp-name.example".
+std::string synth_static_rdns(Ipv4 ip, std::string_view isp_label);
+
+}  // namespace dnswild::net

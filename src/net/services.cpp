@@ -1,0 +1,31 @@
+#include "net/services.h"
+
+#include "util/strings.h"
+
+namespace dnswild::net {
+
+bool cert_name_matches(std::string_view pattern,
+                       std::string_view host) noexcept {
+  if (dnswild::util::iequals(pattern, host)) return true;
+  if (!dnswild::util::starts_with(pattern, "*.")) return false;
+  const std::string_view suffix = pattern.substr(1);  // ".example.com"
+  if (host.size() <= suffix.size()) return false;
+  if (!dnswild::util::iequals(host.substr(host.size() - suffix.size()),
+                              suffix)) {
+    return false;
+  }
+  // The wildcard must cover exactly one label: no '.' before the suffix.
+  const std::string_view head = host.substr(0, host.size() - suffix.size());
+  return head.find('.') == std::string_view::npos && !head.empty();
+}
+
+bool Certificate::matches_host(std::string_view host) const noexcept {
+  if (!valid_chain || self_signed) return false;
+  if (cert_name_matches(common_name, host)) return true;
+  for (const auto& san : subject_alt_names) {
+    if (cert_name_matches(san, host)) return true;
+  }
+  return false;
+}
+
+}  // namespace dnswild::net

@@ -1,0 +1,88 @@
+// Service interfaces hosts expose to the simulated network.
+//
+// The World is protocol-agnostic: UDP services consume and produce opaque
+// datagrams (DNS lives in src/dns and is parsed by the endpoints, never by
+// the network), and TCP services expose the two interactions the paper's
+// measurements need — a connect-time greeting (FTP/SSH/Telnet/SMTP/IMAP/
+// POP3 banners, §2.4) and a request/response exchange (HTTP, §3.5). TLS
+// services additionally serve a certificate, with and without SNI (§3.4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ip.h"
+
+namespace dnswild::net {
+
+struct UdpPacket {
+  Ipv4 src;
+  std::uint16_t src_port = 0;
+  Ipv4 dst;
+  std::uint16_t dst_port = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+// A reply datagram plus its simulated arrival latency, used to order
+// multiple responses to one probe (e.g. an on-path injector beating the
+// legitimate answer, §4.2).
+struct UdpReply {
+  UdpPacket packet;
+  int latency_ms = 0;
+};
+
+class UdpService {
+ public:
+  virtual ~UdpService() = default;
+
+  // Handles one inbound datagram; appends zero or more replies.
+  virtual void handle(const UdpPacket& request,
+                      std::vector<UdpReply>& replies) = 0;
+};
+
+// X.509-lite certificate model: just the fields the prefilter inspects.
+struct Certificate {
+  std::string common_name;
+  std::vector<std::string> subject_alt_names;
+  std::string issuer;
+  bool self_signed = false;
+  bool valid_chain = true;  // chains to a trusted root and is unexpired
+
+  // True when the certificate is acceptable for `host`: trusted chain and
+  // the host matches the CN or a SAN (single-label wildcards supported).
+  bool matches_host(std::string_view host) const noexcept;
+};
+
+class TcpService {
+ public:
+  virtual ~TcpService() = default;
+
+  // Bytes the server sends immediately after accept; empty for protocols
+  // where the client speaks first (HTTP).
+  virtual std::string greeting() const { return {}; }
+
+  // Response to one client request (for HTTP: the raw request text in,
+  // raw response out). Default: connection consumes input silently.
+  virtual std::string respond(std::string_view request) {
+    (void)request;
+    return {};
+  }
+
+  // Certificate served during a TLS handshake with the given SNI value
+  // (nullopt = no SNI extension). Returns nullptr when the port does not
+  // speak TLS, which the fetcher reports as a failed handshake.
+  virtual const Certificate* certificate(
+      const std::optional<std::string>& sni) const {
+    (void)sni;
+    return nullptr;
+  }
+};
+
+// Matches "name" against a certificate pattern, supporting a single leading
+// "*." wildcard label per RFC 6125 (wildcard covers exactly one label).
+bool cert_name_matches(std::string_view pattern, std::string_view host) noexcept;
+
+}  // namespace dnswild::net

@@ -1,0 +1,232 @@
+#include "net/world.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dnswild::net {
+
+World::World(std::uint64_t seed) : rng_(seed) {}
+
+HostId World::add_host(const HostConfig& config) {
+  const HostId id = static_cast<HostId>(hosts_.size());
+  Host host;
+  host.config = config;
+  host.seed = rng_.next();
+  hosts_.push_back(std::move(host));
+
+  Host& stored = hosts_.back();
+  if (config.attachment.dynamic) {
+    dynamic_hosts_.push_back(id);
+    stored.lease_end_day = config.active_from_day;
+    if (host_active(stored)) {
+      while (stored.lease_end_day <= day()) roll_lease(stored);
+      bind(id, stored.current_ip);
+    }
+  } else if (host_active(stored)) {
+    stored.current_ip = config.attachment.ip;
+    bind(id, stored.current_ip);
+  }
+  return id;
+}
+
+void World::set_udp_service(HostId host, std::uint16_t port,
+                            std::unique_ptr<UdpService> service) {
+  auto& slots = hosts_.at(host).udp;
+  for (auto& slot : slots) {
+    if (slot.first == port) {
+      slot.second = std::move(service);
+      return;
+    }
+  }
+  slots.emplace_back(port, std::move(service));
+}
+
+void World::set_tcp_service(HostId host, std::uint16_t port,
+                            std::unique_ptr<TcpService> service) {
+  auto& slots = hosts_.at(host).tcp;
+  for (auto& slot : slots) {
+    if (slot.first == port) {
+      slot.second = std::move(service);
+      return;
+    }
+  }
+  slots.emplace_back(port, std::move(service));
+}
+
+std::optional<Ipv4> World::address_of(HostId host) const noexcept {
+  const Host& record = hosts_[host];
+  if (!record.bound) return std::nullopt;
+  return record.current_ip;
+}
+
+HostId World::host_at(Ipv4 ip) const noexcept {
+  const auto it = bindings_.find(ip);
+  return it == bindings_.end() ? kNoHost : it->second;
+}
+
+void World::add_ingress_filter(IngressFilter filter) {
+  filters_.push_back(filter);
+}
+
+void World::add_injector(Injector injector) {
+  injectors_.push_back(std::move(injector));
+}
+
+void World::set_time_minutes(std::int64_t minutes) {
+  if (minutes < clock_.minutes()) {
+    throw std::logic_error("simulated time cannot move backwards");
+  }
+  clock_.set_minutes(minutes);
+  rebind_expired();
+}
+
+void World::advance_days(double days) {
+  set_time_minutes(clock_.minutes() +
+                   static_cast<std::int64_t>(std::llround(days * 1440.0)));
+}
+
+bool World::host_active(const Host& host) const noexcept {
+  const double now = day();
+  return now >= host.config.active_from_day &&
+         now < host.config.active_until_day;
+}
+
+void World::roll_lease(Host& host) {
+  const Attachment& at = host.config.attachment;
+  // Exponential lease duration via inverse CDF over a deterministic
+  // per-(host, lease) uniform, so schedules do not depend on call order.
+  std::uint64_t word = util::mix64(host.seed ^ (0x9e37u + host.lease_index));
+  const double u =
+      (static_cast<double>(word >> 11) + 0.5) * 0x1.0p-53;  // (0, 1)
+  const double duration = -at.mean_lease_days * std::log(u);
+  // Leases run back-to-back from the activation day, so a host's address
+  // at any instant is a pure function of (seed, time), independent of how
+  // the caller stepped the clock.
+  host.lease_end_day += duration;
+  const std::uint64_t slot =
+      util::mix64(host.seed ^ (0xbeefu + host.lease_index)) % at.pool.size();
+  host.current_ip = at.pool.at(slot);
+  ++host.lease_index;
+}
+
+void World::bind(HostId id, Ipv4 ip) {
+  // Pool collisions: the most recent lease wins; the displaced host becomes
+  // unreachable until its next lease roll, as with real DHCP races.
+  const auto it = bindings_.find(ip);
+  if (it != bindings_.end() && it->second != id) {
+    hosts_[it->second].bound = false;
+  }
+  bindings_[ip] = id;
+  Host& host = hosts_[id];
+  host.current_ip = ip;
+  host.bound = true;
+}
+
+void World::unbind(HostId id) {
+  Host& host = hosts_[id];
+  if (!host.bound) return;
+  const auto it = bindings_.find(host.current_ip);
+  if (it != bindings_.end() && it->second == id) bindings_.erase(it);
+  host.bound = false;
+}
+
+void World::rebind_expired() {
+  const double now = day();
+  for (const HostId id : dynamic_hosts_) {
+    Host& host = hosts_[id];
+    if (!host_active(host)) {
+      unbind(id);
+      continue;
+    }
+    if (host.bound && host.lease_end_day > now) continue;
+    unbind(id);
+    while (host.lease_end_day <= now) roll_lease(host);
+    bind(id, host.current_ip);
+  }
+  // Static hosts only change via their activity window.
+  for (HostId id = 0; id < hosts_.size(); ++id) {
+    Host& host = hosts_[id];
+    if (host.config.attachment.dynamic) continue;
+    const bool active = host_active(host);
+    if (active && !host.bound) {
+      host.current_ip = host.config.attachment.ip;
+      bind(id, host.current_ip);
+    } else if (!active && host.bound) {
+      unbind(id);
+    }
+  }
+}
+
+bool World::filtered(const UdpPacket& request) const noexcept {
+  const double now = day();
+  for (const IngressFilter& filter : filters_) {
+    if (filter.dst_port != request.dst_port) continue;
+    if (now < filter.active_from_day) continue;
+    if (!filter.network.contains(request.dst)) continue;
+    if (filter.only_src && *filter.only_src != request.src) continue;
+    return true;
+  }
+  return false;
+}
+
+std::vector<UdpReply> World::send_udp(const UdpPacket& request) {
+  ++udp_sent_;
+  std::vector<UdpReply> replies;
+
+  if (filtered(request)) {
+    ++udp_dropped_filtered_;
+    return replies;
+  }
+  if (loss_rate_ > 0.0 && rng_.chance(loss_rate_)) return replies;
+
+  // On-path observers see the datagram once it is in flight.
+  for (const Injector& injector : injectors_) injector(request, replies);
+
+  const HostId id = host_at(request.dst);
+  if (id != kNoHost) {
+    Host& host = hosts_[id];
+    for (auto& slot : host.udp) {
+      if (slot.first != request.dst_port || !slot.second) continue;
+      ++udp_delivered_;
+      std::vector<UdpReply> produced;
+      slot.second->handle(request, produced);
+      for (UdpReply& reply : produced) {
+        UdpPacket& pkt = reply.packet;
+        // Default-fill the reply 4-tuple; services override src to model
+        // multi-homed forwarders answering from another interface.
+        if (pkt.src == Ipv4{}) pkt.src = request.dst;
+        if (pkt.src_port == 0) pkt.src_port = request.dst_port;
+        if (pkt.dst == Ipv4{}) pkt.dst = request.src;
+        if (pkt.dst_port == 0) pkt.dst_port = request.src_port;
+        replies.push_back(std::move(reply));
+      }
+      break;
+    }
+  }
+
+  // Per-reply loss on the return path.
+  if (loss_rate_ > 0.0) {
+    std::erase_if(replies,
+                  [this](const UdpReply&) { return rng_.chance(loss_rate_); });
+  }
+  std::stable_sort(replies.begin(), replies.end(),
+                   [](const UdpReply& a, const UdpReply& b) {
+                     return a.latency_ms < b.latency_ms;
+                   });
+  return replies;
+}
+
+TcpService* World::connect_tcp(Ipv4 src, Ipv4 dst, std::uint16_t port) {
+  (void)src;
+  if (loss_rate_ > 0.0 && rng_.chance(loss_rate_)) return nullptr;
+  const HostId id = host_at(dst);
+  if (id == kNoHost) return nullptr;
+  Host& host = hosts_[id];
+  for (auto& slot : host.tcp) {
+    if (slot.first == port && slot.second) return slot.second.get();
+  }
+  return nullptr;
+}
+
+}  // namespace dnswild::net

@@ -1,0 +1,169 @@
+// The simulated Internet.
+//
+// World is the substitution for the live IPv4 network the paper scans (see
+// DESIGN.md §2): a population of hosts bound to IPv4 addresses, reachable
+// through an in-process datagram interface with seeded packet loss,
+// network-level ingress filtering, on-path response injection (the Great
+// Firewall model registers itself here), and DHCP-style address churn.
+//
+// The network is protocol-agnostic — payloads are opaque bytes; DNS and
+// HTTP live in the endpoints. All behaviour is deterministic under the
+// construction seed, and time only moves forward via set_time_minutes().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/asdb.h"
+#include "net/clock.h"
+#include "net/ip.h"
+#include "net/rdns.h"
+#include "net/services.h"
+#include "util/rng.h"
+
+namespace dnswild::net {
+
+using HostId = std::uint32_t;
+inline constexpr HostId kNoHost = std::numeric_limits<HostId>::max();
+
+// How a host is attached to the address space.
+struct Attachment {
+  // Static hosts keep `ip` forever. Dynamic hosts draw addresses from
+  // `pool` with exponentially distributed lease durations (mean
+  // `mean_lease_days`), starting from a deterministic per-host stream.
+  Ipv4 ip{};
+  bool dynamic = false;
+  Cidr pool{};
+  double mean_lease_days = 0.0;
+};
+
+struct HostConfig {
+  Attachment attachment;
+  // Simulated-day window during which the host exists at all. Hosts outside
+  // the window are unbound (used for decommissioned resolver populations).
+  double active_from_day = 0.0;
+  double active_until_day = std::numeric_limits<double>::infinity();
+};
+
+// Drops inbound UDP datagrams to `network` on `dst_port`, optionally only
+// those originating from `only_src` (models networks that blocked the
+// scanner specifically, §2.2 "scan verification") and only from
+// `active_from_day` on (networks that deployed filtering mid-study, §2.3).
+struct IngressFilter {
+  Cidr network;
+  std::uint16_t dst_port = 53;
+  std::optional<Ipv4> only_src;
+  double active_from_day = 0.0;
+};
+
+// On-path injector: observes every delivered datagram and may fabricate
+// replies that race the legitimate answer. Returning replies does not stop
+// delivery to the destination host.
+using Injector = std::function<void(const UdpPacket& request,
+                                    std::vector<UdpReply>& injected)>;
+
+class World {
+ public:
+  explicit World(std::uint64_t seed);
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  // --- population ------------------------------------------------------
+  HostId add_host(const HostConfig& config);
+  std::size_t host_count() const noexcept { return hosts_.size(); }
+
+  // Service registration; replaces any previous service on the port.
+  void set_udp_service(HostId host, std::uint16_t port,
+                       std::unique_ptr<UdpService> service);
+  void set_tcp_service(HostId host, std::uint16_t port,
+                       std::unique_ptr<TcpService> service);
+
+  // Current address of a host, or nullopt while unbound (inactive, or its
+  // pool slot was taken over after a lease change).
+  std::optional<Ipv4> address_of(HostId host) const noexcept;
+  // Host currently bound to an address, or kNoHost.
+  HostId host_at(Ipv4 ip) const noexcept;
+
+  // --- environment ------------------------------------------------------
+  AsDb& asdb() noexcept { return asdb_; }
+  const AsDb& asdb() const noexcept { return asdb_; }
+  RdnsStore& rdns() noexcept { return rdns_; }
+  const RdnsStore& rdns() const noexcept { return rdns_; }
+
+  void add_ingress_filter(IngressFilter filter);
+  void add_injector(Injector injector);
+  // Fraction of datagrams lost in each direction, in [0, 1).
+  void set_loss_rate(double rate) noexcept { loss_rate_ = rate; }
+
+  // --- time -------------------------------------------------------------
+  const SimClock& clock() const noexcept { return clock_; }
+  double day() const noexcept { return clock_.days(); }
+  // Advances simulated time (monotonic; going backwards throws) and
+  // re-binds dynamic hosts whose leases expired.
+  void set_time_minutes(std::int64_t minutes);
+  void advance_days(double days);
+
+  // --- traffic ----------------------------------------------------------
+  // Sends one datagram and returns every reply that made it back, sorted by
+  // arrival latency (injected replies may precede the real one). A filtered
+  // or lost request, an unbound destination, or a closed port yields no
+  // replies — indistinguishable to the sender, as on the real Internet.
+  std::vector<UdpReply> send_udp(const UdpPacket& request);
+
+  // Opens a TCP connection; returns the service speaking on that port or
+  // nullptr when the address is unbound / the port closed / the SYN lost.
+  TcpService* connect_tcp(Ipv4 src, Ipv4 dst, std::uint16_t port);
+
+  // --- statistics -------------------------------------------------------
+  std::uint64_t udp_sent() const noexcept { return udp_sent_; }
+  std::uint64_t udp_delivered() const noexcept { return udp_delivered_; }
+  std::uint64_t udp_dropped_filtered() const noexcept {
+    return udp_dropped_filtered_;
+  }
+
+ private:
+  struct Host {
+    HostConfig config;
+    Ipv4 current_ip{};
+    bool bound = false;
+    double lease_end_day = 0.0;
+    std::uint32_t lease_index = 0;
+    std::uint64_t seed = 0;
+    std::vector<std::pair<std::uint16_t, std::unique_ptr<UdpService>>> udp;
+    std::vector<std::pair<std::uint16_t, std::unique_ptr<TcpService>>> tcp;
+  };
+
+  bool host_active(const Host& host) const noexcept;
+  void rebind_expired();
+  void bind(HostId id, Ipv4 ip);
+  void unbind(HostId id);
+  // Draws the next lease (address + duration) for a dynamic host.
+  void roll_lease(Host& host);
+  bool filtered(const UdpPacket& request) const noexcept;
+
+  SimClock clock_;
+  util::Rng rng_;
+  double loss_rate_ = 0.0;
+
+  std::vector<Host> hosts_;
+  std::unordered_map<Ipv4, HostId> bindings_;
+  std::vector<HostId> dynamic_hosts_;
+
+  AsDb asdb_;
+  RdnsStore rdns_;
+  std::vector<IngressFilter> filters_;
+  std::vector<Injector> injectors_;
+
+  std::uint64_t udp_sent_ = 0;
+  std::uint64_t udp_delivered_ = 0;
+  std::uint64_t udp_dropped_filtered_ = 0;
+};
+
+}  // namespace dnswild::net

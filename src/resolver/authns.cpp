@@ -1,0 +1,170 @@
+#include "resolver/authns.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace dnswild::resolver {
+
+void AuthRegistry::add_domain(std::string_view fqdn,
+                              std::vector<net::Ipv4> ips, std::uint32_t ttl,
+                              bool wildcard) {
+  Zone zone;
+  zone.ips = std::move(ips);
+  zone.ttl = ttl;
+  zone.wildcard = wildcard;
+  zones_[util::lower(fqdn)] = std::move(zone);
+}
+
+void AuthRegistry::add_cdn_domain(
+    std::string_view fqdn, std::vector<net::Ipv4> default_ips,
+    std::unordered_map<std::string, std::vector<net::Ipv4>> regional,
+    std::uint32_t ttl) {
+  Zone zone;
+  zone.ips = std::move(default_ips);
+  zone.regional = std::move(regional);
+  zone.ttl = ttl;
+  zones_[util::lower(fqdn)] = std::move(zone);
+}
+
+void AuthRegistry::add_a_record(std::string_view fqdn, net::Ipv4 ip,
+                                std::uint32_t ttl) {
+  add_domain(fqdn, {ip}, ttl, /*wildcard=*/false);
+}
+
+void AuthRegistry::add_tld(std::string_view tld,
+                           std::vector<std::string> ns_names,
+                           std::uint32_t ttl) {
+  tlds_[util::lower(tld)] = TldInfo{std::move(ns_names), ttl};
+}
+
+void AuthRegistry::set_certificate(std::string_view fqdn,
+                                   net::Certificate cert) {
+  certs_[util::lower(fqdn)] = std::move(cert);
+}
+
+const AuthRegistry::Zone* AuthRegistry::find_zone(std::string_view fqdn,
+                                                  bool* exact) const {
+  std::string key = util::lower(fqdn);
+  const auto hit = zones_.find(key);
+  if (hit != zones_.end()) {
+    if (exact != nullptr) *exact = true;
+    return &hit->second;
+  }
+  if (exact != nullptr) *exact = false;
+  // Walk up the hierarchy looking for a wildcard ancestor.
+  std::size_t dot = key.find('.');
+  while (dot != std::string::npos) {
+    key.erase(0, dot + 1);
+    const auto ancestor = zones_.find(key);
+    if (ancestor != zones_.end()) {
+      return ancestor->second.wildcard ? &ancestor->second : nullptr;
+    }
+    dot = key.find('.');
+  }
+  return nullptr;
+}
+
+AuthAnswer AuthRegistry::resolve_a(std::string_view fqdn,
+                                   std::string_view region) const {
+  AuthAnswer answer;
+  std::string current(fqdn);
+  // RFC 1034 resolvers bound alias chains; 8 hops is generous.
+  for (int hop = 0; hop < 8; ++hop) {
+    bool exact = false;
+    const Zone* zone = find_zone(current, &exact);
+    if (zone == nullptr) {
+      answer.rcode = dns::RCode::kNxDomain;
+      answer.ips.clear();
+      return answer;
+    }
+    if (!zone->cname.empty()) {
+      answer.cname_chain.emplace_back(util::lower(current), zone->cname);
+      current = zone->cname;
+      continue;
+    }
+    answer.rcode = dns::RCode::kNoError;
+    answer.ttl = zone->ttl;
+    answer.dnssec = zone->dnssec;
+    if (!region.empty()) {
+      const auto regional = zone->regional.find(std::string(region));
+      if (regional != zone->regional.end()) {
+        answer.ips = regional->second;
+        return answer;
+      }
+    }
+    answer.ips = zone->ips;
+    return answer;
+  }
+  // Chain too long: treat as a broken delegation.
+  answer.rcode = dns::RCode::kServFail;
+  return answer;
+}
+
+void AuthRegistry::add_cname(std::string_view fqdn, std::string_view target,
+                             std::uint32_t ttl) {
+  Zone zone;
+  zone.cname = util::lower(target);
+  zone.ttl = ttl;
+  zones_[util::lower(fqdn)] = std::move(zone);
+}
+
+bool AuthRegistry::exists(std::string_view fqdn) const {
+  bool exact = false;
+  return find_zone(fqdn, &exact) != nullptr;
+}
+
+const AuthRegistry::TldInfo* AuthRegistry::tld(std::string_view name) const {
+  const auto it = tlds_.find(util::lower(name));
+  return it == tlds_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> AuthRegistry::all_tlds() const {
+  std::vector<std::string> names;
+  names.reserve(tlds_.size());
+  for (const auto& [name, info] : tlds_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void AuthRegistry::set_dnssec(std::string_view fqdn, bool enabled) {
+  const auto it = zones_.find(util::lower(fqdn));
+  if (it != zones_.end()) it->second.dnssec = enabled;
+}
+
+bool AuthRegistry::dnssec_enabled(std::string_view fqdn) const {
+  bool exact = false;
+  const Zone* zone = find_zone(fqdn, &exact);
+  return zone != nullptr && zone->dnssec;
+}
+
+std::vector<net::Ipv4> AuthRegistry::all_views(std::string_view fqdn) const {
+  bool exact = false;
+  const Zone* zone = find_zone(fqdn, &exact);
+  if (zone == nullptr) return {};
+  std::vector<net::Ipv4> ips = zone->ips;
+  for (const auto& [region, regional_ips] : zone->regional) {
+    ips.insert(ips.end(), regional_ips.begin(), regional_ips.end());
+  }
+  std::sort(ips.begin(), ips.end());
+  ips.erase(std::unique(ips.begin(), ips.end()), ips.end());
+  return ips;
+}
+
+std::optional<net::Certificate> AuthRegistry::certificate(
+    std::string_view fqdn) const {
+  const auto it = certs_.find(util::lower(fqdn));
+  if (it != certs_.end()) return it->second;
+  // Wildcard certificates registered for the parent domain.
+  const std::size_t dot = fqdn.find('.');
+  if (dot != std::string_view::npos) {
+    const auto parent = certs_.find(util::lower(fqdn.substr(dot + 1)));
+    if (parent != certs_.end() &&
+        parent->second.matches_host(fqdn)) {
+      return parent->second;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace dnswild::resolver

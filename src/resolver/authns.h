@@ -1,0 +1,114 @@
+// Authoritative DNS registry: the simulation's ground-truth name space.
+//
+// Holds every zone the study touches — the 155 scanned domains (with CDN
+// domains answering region-dependently across multiple ASes, the effect
+// that makes prefiltering hard, §3.4), the ground-truth domain the authors
+// operate themselves, the wildcard scan domain whose subdomains encode
+// probe targets (§2.2), TLD NS records for cache snooping (§2.6), and
+// forward records for rDNS names. Honest resolvers consult this registry;
+// so does the prefilter's trusted resolver.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/message.h"
+#include "dns/types.h"
+#include "net/ip.h"
+#include "net/services.h"
+
+namespace dnswild::resolver {
+
+struct AuthAnswer {
+  dns::RCode rcode = dns::RCode::kNxDomain;
+  std::vector<net::Ipv4> ips;
+  std::uint32_t ttl = 0;
+  // Zone is DNSSEC-signed; a validating resolver can set the AD bit (§5).
+  bool dnssec = false;
+  // CNAME chain walked to reach the answer, as (owner, target) pairs in
+  // resolution order — how CDN-hosted domains resolve in practice (§3.4).
+  std::vector<std::pair<std::string, std::string>> cname_chain;
+};
+
+class AuthRegistry {
+ public:
+  // Plain zone: fixed answer set for the apex (and, when `wildcard`,
+  // any name beneath it).
+  void add_domain(std::string_view fqdn, std::vector<net::Ipv4> ips,
+                  std::uint32_t ttl = 300, bool wildcard = false);
+
+  // CDN zone: answers depend on the querying resolver's region (country
+  // code); `regional` overrides the default answer set per region.
+  void add_cdn_domain(
+      std::string_view fqdn, std::vector<net::Ipv4> default_ips,
+      std::unordered_map<std::string, std::vector<net::Ipv4>> regional,
+      std::uint32_t ttl = 60);
+
+  // Single additional A record (used for rDNS forward confirmation).
+  void add_a_record(std::string_view fqdn, net::Ipv4 ip,
+                    std::uint32_t ttl = 3600);
+
+  // Aliases fqdn to `target`; resolution follows chains up to depth 8 and
+  // reports them in AuthAnswer::cname_chain.
+  void add_cname(std::string_view fqdn, std::string_view target,
+                 std::uint32_t ttl = 300);
+
+  // TLD with NS records (cache-snooping targets).
+  void add_tld(std::string_view tld, std::vector<std::string> ns_names,
+               std::uint32_t ttl);
+
+  // Legitimate TLS certificate for a host (CN/SANs already filled).
+  void set_certificate(std::string_view fqdn, net::Certificate cert);
+
+  // Marks a zone as DNSSEC-signed (§5: global deployment was < 0.6% of
+  // .net domains in May 2015; the experiment sweeps this).
+  void set_dnssec(std::string_view fqdn, bool enabled);
+  bool dnssec_enabled(std::string_view fqdn) const;
+
+  // Union of every view's answer set (default + all regional views); the
+  // ground truth for "is this address a legitimate answer anywhere".
+  std::vector<net::Ipv4> all_views(std::string_view fqdn) const;
+
+  // --- lookups ----------------------------------------------------------
+  // Recursive-resolution outcome for an A query from a resolver located in
+  // `region` ("" = default view).
+  AuthAnswer resolve_a(std::string_view fqdn,
+                       std::string_view region = {}) const;
+
+  bool exists(std::string_view fqdn) const;
+
+  struct TldInfo {
+    std::vector<std::string> ns_names;
+    std::uint32_t ttl = 0;
+  };
+  const TldInfo* tld(std::string_view name) const;
+  std::vector<std::string> all_tlds() const;
+
+  // Certificate the legitimate origin of `fqdn` serves, if any.
+  std::optional<net::Certificate> certificate(std::string_view fqdn) const;
+
+  std::size_t zone_count() const noexcept { return zones_.size(); }
+
+ private:
+  struct Zone {
+    std::vector<net::Ipv4> ips;
+    std::unordered_map<std::string, std::vector<net::Ipv4>> regional;
+    std::uint32_t ttl = 300;
+    bool wildcard = false;
+    bool dnssec = false;
+    std::string cname;  // non-empty: alias instead of an address set
+  };
+
+  // Key: lower-case fqdn. Wildcard zones also match descendants.
+  const Zone* find_zone(std::string_view fqdn, bool* exact) const;
+
+  std::unordered_map<std::string, Zone> zones_;
+  std::unordered_map<std::string, TldInfo> tlds_;
+  std::unordered_map<std::string, net::Certificate> certs_;
+};
+
+}  // namespace dnswild::resolver

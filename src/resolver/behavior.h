@@ -1,0 +1,62 @@
+// Resolver response policies: how an open resolver answers A queries.
+//
+// The study's taxonomy of manipulation (§3–4) reduces, at the DNS layer, to
+// "which IP set does the resolver return for which domains". A behaviour is
+// a base policy plus an ordered list of domain-matched overrides; what the
+// forged addresses *serve* (censorship page, proxy, phishing kit, ...) is a
+// property of the hosts at those addresses, configured by worldgen.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/ip.h"
+
+namespace dnswild::resolver {
+
+enum class BasePolicy {
+  kHonest,       // strictly follow the hierarchy (via the AuthRegistry)
+  kRefuseAll,    // REFUSED to every query (closed resolver facade)
+  kServFailAll,  // SERVFAIL to every query
+  kEmptyAll,     // NOERROR with empty answer sections
+  kNsOnlyAll,    // return NS referrals only: recursion effectively denied
+  kStaticIpAll,  // one static IP regardless of the queried name (§4.1)
+  kIgnoreAll,    // never reply
+};
+
+enum class OverrideAction {
+  kForgeIps,      // answer with the configured address set
+  kForgeRandomIp, // answer with a per-query pseudo-random address (GFW-style)
+  kSelfIp,        // answer with the resolver's own address (§4.1, 8,194 hosts)
+  kEmptyAnswer,   // NOERROR, no answers
+  kNxDomain,
+  kRefused,
+  kServFail,
+  kIgnore,        // drop the query silently
+};
+
+struct Override {
+  // Matching: lower-case FQDNs matched exactly; `match_suffixes` matches
+  // the name or any subdomain; `match_nonexistent` fires for names the
+  // registry cannot resolve (NXDOMAIN monetization, §4.2 "Search");
+  // `match_all` fires for every name.
+  std::vector<std::string> domains;
+  std::vector<std::string> match_suffixes;
+  bool match_nonexistent = false;
+  bool match_all = false;
+
+  OverrideAction action = OverrideAction::kForgeIps;
+  std::vector<net::Ipv4> ips;
+  std::uint32_t forged_ttl = 600;
+};
+
+struct Behavior {
+  BasePolicy base = BasePolicy::kHonest;
+  std::vector<net::Ipv4> static_ips;  // for kStaticIpAll
+  std::vector<Override> overrides;    // first match wins
+  // Fraction of queries silently dropped (flaky devices, rate limiting).
+  double drop_rate = 0.0;
+};
+
+}  // namespace dnswild::resolver

@@ -1,0 +1,69 @@
+#include "resolver/cache.h"
+
+namespace dnswild::resolver {
+
+void DnsCache::touch(const std::string& key, Slot& slot) {
+  lru_.erase(slot.recency);
+  lru_.push_front(key);
+  slot.recency = lru_.begin();
+}
+
+void DnsCache::put(const std::string& key, Entry entry,
+                   std::int64_t now_seconds) {
+  const std::int64_t expires_at =
+      now_seconds + static_cast<std::int64_t>(entry.original_ttl);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.entry = std::move(entry);
+    it->second.expires_at = expires_at;
+    touch(key, it->second);
+    return;
+  }
+  while (entries_.size() >= capacity_ && !lru_.empty()) {
+    const std::string& victim = lru_.back();
+    entries_.erase(victim);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(key);
+  Slot slot;
+  slot.entry = std::move(entry);
+  slot.expires_at = expires_at;
+  slot.recency = lru_.begin();
+  entries_.emplace(key, std::move(slot));
+}
+
+std::optional<DnsCache::Hit> DnsCache::get(const std::string& key,
+                                           std::int64_t now_seconds) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  if (it->second.expires_at <= now_seconds) {
+    lru_.erase(it->second.recency);
+    entries_.erase(it);
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  touch(key, it->second);
+  Hit hit;
+  hit.entry = it->second.entry;
+  hit.remaining_ttl =
+      static_cast<std::uint32_t>(it->second.expires_at - now_seconds);
+  return hit;
+}
+
+void DnsCache::purge_expired(std::int64_t now_seconds) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.expires_at <= now_seconds) {
+      lru_.erase(it->second.recency);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace dnswild::resolver

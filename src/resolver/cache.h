@@ -1,0 +1,71 @@
+// Resolver-side DNS cache with TTL decay and bounded capacity.
+//
+// Recursive resolvers answer repeated questions from cache with the
+// remaining TTL — the very property both the paper's cache-snooping study
+// (§2.6) and its anti-caching probe construction (§2.2: every probe embeds
+// a random label "to avoid caching") depend on. OpenResolverService uses
+// this cache for honest A resolutions; scanner probes bypass it naturally
+// because their random prefixes never repeat.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip.h"
+
+namespace dnswild::resolver {
+
+class DnsCache {
+ public:
+  explicit DnsCache(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  struct Entry {
+    std::vector<net::Ipv4> ips;
+    std::uint32_t original_ttl = 0;
+    bool dnssec = false;
+  };
+
+  struct Hit {
+    Entry entry;
+    std::uint32_t remaining_ttl = 0;
+  };
+
+  // Inserts/overwrites; expires_at = now + ttl. Evicts the least recently
+  // used entry when over capacity.
+  void put(const std::string& key, Entry entry, std::int64_t now_seconds);
+
+  // Fresh entry with its remaining TTL, or nullopt (miss or expired).
+  // A hit refreshes recency.
+  std::optional<Hit> get(const std::string& key, std::int64_t now_seconds);
+
+  // Drops every expired entry (hits do this lazily per key).
+  void purge_expired(std::int64_t now_seconds);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+
+ private:
+  struct Slot {
+    Entry entry;
+    std::int64_t expires_at = 0;
+    std::list<std::string>::iterator recency;  // position in lru_
+  };
+
+  void touch(const std::string& key, Slot& slot);
+
+  std::size_t capacity_;
+  std::unordered_map<std::string, Slot> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace dnswild::resolver

@@ -1,0 +1,150 @@
+#include "resolver/device.h"
+
+#include "http/factory.h"
+
+namespace dnswild::resolver {
+
+std::string_view hardware_class_name(HardwareClass hardware) noexcept {
+  switch (hardware) {
+    case HardwareClass::kRouter: return "Router";
+    case HardwareClass::kEmbedded: return "Embedded";
+    case HardwareClass::kFirewall: return "Firewall";
+    case HardwareClass::kCamera: return "Camera";
+    case HardwareClass::kDvr: return "DVR";
+    case HardwareClass::kNas: return "NAS";
+    case HardwareClass::kDslam: return "DSLAM";
+    case HardwareClass::kOther: return "Others";
+    case HardwareClass::kUnknown: return "Unknown";
+  }
+  return "?";
+}
+
+std::string_view os_class_name(OsClass os) noexcept {
+  switch (os) {
+    case OsClass::kLinux: return "Linux";
+    case OsClass::kZynos: return "ZyNOS";
+    case OsClass::kUnix: return "Unix";
+    case OsClass::kWindows: return "Windows";
+    case OsClass::kSmartWare: return "SmartWare";
+    case OsClass::kRouterOs: return "RouterOS";
+    case OsClass::kCentOs: return "CentOS";
+    case OsClass::kOther: return "Others";
+    case OsClass::kUnknown: return "Unknown";
+  }
+  return "?";
+}
+
+const std::vector<DeviceProfile>& device_catalog() {
+  static const std::vector<DeviceProfile>* kCatalog = [] {
+    auto* catalog = new std::vector<DeviceProfile>{
+        // --- routers / modems / gateways: 34.1% -------------------------
+        {"ZyXEL broadband router", HardwareClass::kRouter, OsClass::kZynos,
+         {{21, "220 ZyXEL FTP version 1.0 ready at router\r\n"},
+          {23, "ZyXEL router\r\nPassword: "},
+          {80, http::router_login(0, 0)}},
+         0.166},
+        {"ADSL2+ modem router", HardwareClass::kRouter, OsClass::kLinux,
+         {{23, "BusyBox v1.17.2 (2012-09-11) built-in shell (ash)\r\n"
+               "TD-W8901 login: "},
+          {80, http::router_login(1, 0)}},
+         0.060},
+        {"BusyBox home gateway", HardwareClass::kRouter, OsClass::kLinux,
+         {{23, "BusyBox v1.00 (2013.04.17-09:45+0000) Built-in shell (ash)\r\n"
+               "router login: "}},
+         0.053},
+        {"MikroTik router", HardwareClass::kRouter, OsClass::kRouterOs,
+         {{21, "220 router FTP server (MikroTik 5.25) ready\r\n"},
+          {23, "MikroTik v5.25\r\nLogin: "}},
+         0.026},
+        {"SmartWare VoIP gateway", HardwareClass::kRouter,
+         OsClass::kSmartWare,
+         {{23, "SmartWare R4.2 SN4112/JS/EUI login: "}},
+         0.036},
+
+        // --- embedded devices: 30.6% ------------------------------------
+        {"Serial-to-LAN converter", HardwareClass::kEmbedded, OsClass::kUnix,
+         {{23, "Lantronix UDS1100 Serial Server V6.5\r\nPress Enter for "
+               "Setup Mode "},
+          {80, "<html><head><title>Lantronix Web Manager</title></head>"
+               "<body>Device Server</body></html>"}},
+         0.090},
+        {"Embedded Unix controller", HardwareClass::kEmbedded, OsClass::kUnix,
+         {{23, "4.4BSD-Lite embedded console\r\ncontroller login: "}},
+         0.090},
+        {"Raspberry Pi board", HardwareClass::kEmbedded, OsClass::kLinux,
+         {{22, "SSH-2.0-OpenSSH_6.0p1 Raspbian-4+deb7u2\r\n"},
+          {80, "<html><head><title>raspberrypi control</title></head>"
+               "<body>GPIO panel</body></html>"}},
+         0.060},
+        {"RTOS automation device", HardwareClass::kEmbedded, OsClass::kOther,
+         {{80, "<html><head><title>Device Portal</title></head><body>"
+               "powered by ThreadX / micro_httpd</body></html>"}},
+         0.021},
+        {"GoAhead embedded server", HardwareClass::kEmbedded,
+         OsClass::kUnknown,
+         {{80, "<html><head><title>index</title></head><body>"
+               "<!-- GoAhead-Webs --></body></html>"}},
+         0.045},
+
+        // --- firewalls: 1.9% ---------------------------------------------
+        {"BSD firewall appliance", HardwareClass::kFirewall, OsClass::kUnix,
+         {{22, "SSH-2.0-OpenSSH_5.8p2 FreeBSD-20110503\r\n"},
+          {80, "<html><head><title>Firewall Configuration Console"
+               "</title></head><body>pf ruleset</body></html>"}},
+         0.014},
+        {"CentOS gateway firewall", HardwareClass::kFirewall,
+         OsClass::kCentOs,
+         {{22, "SSH-2.0-OpenSSH_5.3\r\n"},
+          {80, "<html><head><title>Gateway Firewall</title></head><body>"
+               "Apache/2.2.15 (CentOS) management UI</body></html>"}},
+         0.005},
+
+        // --- cameras: 1.8% -------------------------------------------------
+        {"IP camera", HardwareClass::kCamera, OsClass::kLinux,
+         {{23, "dvrdvs login: "}, {80, http::camera_login(0)}},
+         0.018},
+
+        // --- DVRs: 1.2% ---------------------------------------------------
+        {"PowerPC Linux DVR", HardwareClass::kDvr, OsClass::kLinux,
+         // The token the paper gives as its fingerprinting example (§2.4).
+         {{23, "dm500plus login: "}},
+         0.012},
+
+        // --- other identified devices: 1.1% -------------------------------
+        {"NAS appliance", HardwareClass::kNas, OsClass::kLinux,
+         {{21, "220 NAS FTP server ready.\r\n"},
+          {80, "<html><head><title>NAS Web Station</title></head><body>"
+               "DiskStation</body></html>"}},
+         0.007},
+        {"ISP DSLAM", HardwareClass::kDslam, OsClass::kUnknown,
+         {{23, "DSLAM_5.2 ADSL rack\r\nlogin: "}},
+         0.004},
+
+        // --- no identifying token (hardware unknown): 29.3% ---------------
+        {"Windows server", HardwareClass::kUnknown, OsClass::kWindows,
+         {{21, "220 Microsoft FTP Service\r\n"},
+          {80, "<html><head><title>Under Construction</title></head><body>"
+               "Served by Microsoft-IIS/7.5</body></html>"}},
+         0.050},
+        {"CentOS web host", HardwareClass::kUnknown, OsClass::kCentOs,
+         {{80, "<html><head><title>Apache HTTP Server Test Page</title>"
+               "</head><body>Apache/2.2.15 (CentOS)</body></html>"}},
+         0.012},
+        {"Ubuntu server", HardwareClass::kUnknown, OsClass::kLinux,
+         {{22, "SSH-2.0-OpenSSH_5.9p1 Debian-5ubuntu1.4\r\n"}},
+         0.022},
+        {"SunOS server", HardwareClass::kUnknown, OsClass::kUnix,
+         {{21, "220 ProFTPD Server (SunOS 5.10) ready.\r\n"}},
+         0.019},
+        {"Anonymous TCP host", HardwareClass::kUnknown, OsClass::kUnknown,
+         {{21, "220 FTP server ready.\r\n"},
+          {80, "<html><head><title>Welcome</title></head><body>"
+               "It works!</body></html>"}},
+         0.190},
+    };
+    return catalog;
+  }();
+  return *kCatalog;
+}
+
+}  // namespace dnswild::resolver

@@ -1,0 +1,75 @@
+#include "resolver/gfw.h"
+
+#include "dns/message.h"
+#include "util/strings.h"
+
+namespace dnswild::resolver {
+
+GfwInjector::GfwInjector(GfwConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+bool GfwInjector::in_scope(net::Ipv4 dst,
+                          const std::string& lower_name) const {
+  bool monitored = false;
+  for (const net::Cidr& prefix : config_.monitored_prefixes) {
+    if (prefix.contains(dst)) {
+      monitored = true;
+      break;
+    }
+  }
+  if (!monitored) return false;
+  for (const std::string& suffix : config_.censored_suffixes) {
+    if (lower_name == suffix ||
+        (lower_name.size() > suffix.size() &&
+         util::ends_with(lower_name, suffix) &&
+         lower_name[lower_name.size() - suffix.size() - 1] == '.')) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void GfwInjector::operator()(const net::UdpPacket& request,
+                             std::vector<net::UdpReply>& injected) {
+  if (request.dst_port != 53) return;
+  const auto query = dns::Message::decode(request.payload);
+  if (!query || query->header.qr || query->questions.empty()) return;
+  const dns::Question& question = query->questions.front();
+  if (question.qtype != dns::RType::kA ||
+      question.qclass != dns::RClass::kIN) {
+    return;
+  }
+  if (!in_scope(request.dst, question.name.lower())) return;
+
+  // Forge a NOERROR answer with an arbitrary address. The injector spoofs
+  // the probed destination as source, so the client cannot tell it apart
+  // from a genuine reply except by arrival order and content.
+  dns::Message forged = dns::Message::make_response(*query,
+                                                    dns::RCode::kNoError);
+  net::Ipv4 bogus;
+  do {
+    bogus = net::Ipv4(static_cast<std::uint32_t>(rng_.next()));
+  } while (net::is_reserved(bogus));
+  forged.answers.push_back(
+      dns::ResourceRecord::a(question.name, bogus, 300));
+
+  net::UdpReply reply;
+  reply.packet.src = request.dst;
+  reply.packet.src_port = request.dst_port;
+  reply.packet.dst = request.src;
+  reply.packet.dst_port = request.src_port;
+  reply.packet.payload = forged.encode();
+  reply.latency_ms = config_.injected_latency_ms;
+  injected.push_back(std::move(reply));
+  ++injected_count_;
+}
+
+void install_gfw(net::World& world, std::shared_ptr<GfwInjector> injector) {
+  world.add_injector(
+      [injector](const net::UdpPacket& request,
+                 std::vector<net::UdpReply>& replies) {
+        (*injector)(request, replies);
+      });
+}
+
+}  // namespace dnswild::resolver

@@ -1,0 +1,56 @@
+// Great-Firewall-style on-path DNS injection (§4.2, §5).
+//
+// The GFW does not modify resolver answers: it watches DNS queries crossing
+// monitored links and injects a forged response that (likely) arrives ahead
+// of the legitimate one. The paper detects exactly this signature — two
+// responses for one query, the forged first — and also observes that *any*
+// address inside monitored ranges appears to "answer" censored queries.
+// GfwInjector implements both effects as a net::World injector hook.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "net/ip.h"
+#include "net/services.h"
+#include "net/world.h"
+#include "util/rng.h"
+
+namespace dnswild::resolver {
+
+struct GfwConfig {
+  // Links the firewall observes: queries *to* these prefixes are in scope.
+  std::vector<net::Cidr> monitored_prefixes;
+  // Lower-case FQDNs whose queries trigger injection; subdomains included.
+  std::vector<std::string> censored_suffixes;
+  // Latency of the forged reply; must beat typical resolver latency.
+  int injected_latency_ms = 4;
+  std::uint64_t seed = 0;
+};
+
+class GfwInjector {
+ public:
+  explicit GfwInjector(GfwConfig config);
+
+  // net::Injector entry point.
+  void operator()(const net::UdpPacket& request,
+                  std::vector<net::UdpReply>& injected);
+
+  // True when the (destination, queried name) pair is in scope.
+  bool in_scope(net::Ipv4 dst, const std::string& lower_name) const;
+
+  std::uint64_t injected_count() const noexcept { return injected_count_; }
+
+ private:
+  GfwConfig config_;
+  util::Rng rng_;
+  std::uint64_t injected_count_ = 0;
+};
+
+// Registers the injector on a world (the world stores a copy by value via
+// std::function; statistics live in the shared state behind this wrapper).
+void install_gfw(net::World& world, std::shared_ptr<GfwInjector> injector);
+
+}  // namespace dnswild::resolver

@@ -1,0 +1,277 @@
+#include "resolver/resolver.h"
+
+#include "dns/chaos.h"
+#include "util/strings.h"
+
+namespace dnswild::resolver {
+
+OpenResolverService::OpenResolverService(ResolverConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      cache_(config_.cache_capacity == 0 ? 1 : config_.cache_capacity) {}
+
+const Override* OpenResolverService::match_override(
+    const std::string& lower_name) const {
+  for (const Override& override : config_.behavior.overrides) {
+    if (override.match_all) return &override;
+    for (const auto& domain : override.domains) {
+      if (domain == lower_name) return &override;
+    }
+    for (const auto& suffix : override.match_suffixes) {
+      if (lower_name == suffix ||
+          (lower_name.size() > suffix.size() &&
+           util::ends_with(lower_name, suffix) &&
+           lower_name[lower_name.size() - suffix.size() - 1] == '.')) {
+        return &override;
+      }
+    }
+    if (override.match_nonexistent &&
+        !config_.registry->exists(lower_name)) {
+      return &override;
+    }
+  }
+  return nullptr;
+}
+
+void OpenResolverService::emit(const dns::Message& response,
+                               const net::UdpPacket& request,
+                               std::vector<net::UdpReply>& replies,
+                               int latency_ms) {
+  net::UdpReply reply;
+  reply.packet.payload = response.encode();
+  reply.latency_ms = latency_ms;
+  if (config_.reply_src) reply.packet.src = *config_.reply_src;
+  if (config_.mangle_reply_port) {
+    // Some devices answer from a fresh ephemeral port (§3.3).
+    reply.packet.dst = request.src;
+    reply.packet.dst_port =
+        static_cast<std::uint16_t>(33000 + (request.src_port % 4096));
+  }
+  replies.push_back(std::move(reply));
+}
+
+std::optional<dns::Message> OpenResolverService::answer_a_query(
+    const dns::Message& query, const net::UdpPacket& packet) {
+  const dns::Question& question = query.questions.front();
+  const std::string lower_name = question.name.lower();
+  const Behavior& behavior = config_.behavior;
+
+  const auto forged = [&](const std::vector<net::Ipv4>& ips,
+                          std::uint32_t ttl) {
+    dns::Message response = dns::Message::make_response(query, dns::RCode::kNoError);
+    for (const net::Ipv4 ip : ips) {
+      response.answers.push_back(
+          dns::ResourceRecord::a(question.name, ip, ttl));
+    }
+    return response;
+  };
+
+  // Overrides take precedence over the base policy: a censoring resolver is
+  // honest for everything outside its blocklist.
+  if (const Override* override = match_override(lower_name)) {
+    switch (override->action) {
+      case OverrideAction::kForgeIps:
+        return forged(override->ips, override->forged_ttl);
+      case OverrideAction::kForgeRandomIp: {
+        // GFW-style: a fresh bogus address per query, outside reserved
+        // space so it looks superficially plausible.
+        net::Ipv4 bogus;
+        do {
+          bogus = net::Ipv4(static_cast<std::uint32_t>(rng_.next()));
+        } while (net::is_reserved(bogus));
+        return forged({bogus}, override->forged_ttl);
+      }
+      case OverrideAction::kSelfIp:
+        return forged({packet.dst}, override->forged_ttl);
+      case OverrideAction::kEmptyAnswer:
+        return dns::Message::make_response(query, dns::RCode::kNoError);
+      case OverrideAction::kNxDomain:
+        return dns::Message::make_response(query, dns::RCode::kNxDomain);
+      case OverrideAction::kRefused:
+        return dns::Message::make_response(query, dns::RCode::kRefused);
+      case OverrideAction::kServFail:
+        return dns::Message::make_response(query, dns::RCode::kServFail);
+      case OverrideAction::kIgnore:
+        return std::nullopt;
+    }
+  }
+
+  switch (behavior.base) {
+    case BasePolicy::kIgnoreAll:
+      return std::nullopt;
+    case BasePolicy::kRefuseAll:
+      return dns::Message::make_response(query, dns::RCode::kRefused);
+    case BasePolicy::kServFailAll:
+      return dns::Message::make_response(query, dns::RCode::kServFail);
+    case BasePolicy::kEmptyAll:
+      return dns::Message::make_response(query, dns::RCode::kNoError);
+    case BasePolicy::kStaticIpAll:
+      return forged(behavior.static_ips, 600);
+    case BasePolicy::kNsOnlyAll: {
+      // Recursion denied: hand back a referral instead of an answer.
+      dns::Message response =
+          dns::Message::make_response(query, dns::RCode::kNoError);
+      response.header.ra = false;
+      const std::string tld_text =
+          question.name.empty()
+              ? std::string{}
+              : question.name.labels().back();
+      response.authorities.push_back(dns::ResourceRecord::ns(
+          dns::Name::must_parse(tld_text.empty() ? "." : tld_text),
+          dns::Name::must_parse("a.root-servers.example"), 172800));
+      return response;
+    }
+    case BasePolicy::kHonest: {
+      const std::int64_t now_seconds = config_.clock->minutes() * 60;
+      if (config_.cache_capacity > 0) {
+        if (auto hit = cache_.get(lower_name, now_seconds)) {
+          dns::Message response = forged(hit->entry.ips, hit->remaining_ttl);
+          response.header.ad =
+              hit->entry.dnssec && config_.validates_dnssec;
+          return response;
+        }
+      }
+      const AuthAnswer answer =
+          config_.registry->resolve_a(lower_name, config_.region);
+      if (answer.rcode != dns::RCode::kNoError) {
+        return dns::Message::make_response(query, answer.rcode);
+      }
+      if (config_.cache_capacity > 0 && answer.ttl > 0) {
+        cache_.put(lower_name,
+                   DnsCache::Entry{answer.ips, answer.ttl, answer.dnssec},
+                   now_seconds);
+      }
+      dns::Message response =
+          dns::Message::make_response(query, dns::RCode::kNoError);
+      // CNAME chain first (CDN-style answers), then the A records owned by
+      // the chain's tail.
+      for (const auto& [owner, target] : answer.cname_chain) {
+        const auto owner_name = dns::Name::parse(owner);
+        const auto target_name = dns::Name::parse(target);
+        if (owner_name && target_name) {
+          response.answers.push_back(dns::ResourceRecord::cname(
+              *owner_name, *target_name, answer.ttl));
+        }
+      }
+      dns::Name a_owner = question.name;
+      if (!answer.cname_chain.empty()) {
+        if (auto tail = dns::Name::parse(answer.cname_chain.back().second)) {
+          a_owner = *std::move(tail);
+        }
+      }
+      for (const net::Ipv4 ip : answer.ips) {
+        response.answers.push_back(
+            dns::ResourceRecord::a(a_owner, ip, answer.ttl));
+      }
+      response.header.ad = answer.dnssec && config_.validates_dnssec;
+      return response;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<dns::Message> OpenResolverService::answer_chaos(
+    const dns::Message& query) {
+  const dns::Question& question = query.questions.front();
+  const std::string lower_name = question.name.lower();
+  const bool version_probe =
+      lower_name == "version.bind" || lower_name == "version.server";
+  if (!version_probe) {
+    return dns::Message::make_response(query, dns::RCode::kNotImp);
+  }
+  switch (config_.chaos) {
+    case ChaosBehavior::kRefused:
+      return dns::Message::make_response(query, dns::RCode::kRefused);
+    case ChaosBehavior::kServFail:
+      return dns::Message::make_response(query, dns::RCode::kServFail);
+    case ChaosBehavior::kNoErrorEmpty:
+      return dns::Message::make_response(query, dns::RCode::kNoError);
+    case ChaosBehavior::kHiddenString:
+    case ChaosBehavior::kRevealVersion: {
+      dns::Message response =
+          dns::Message::make_response(query, dns::RCode::kNoError);
+      response.answers.push_back(dns::ResourceRecord::txt(
+          question.name, {config_.version_banner}, 0, dns::RClass::kCH));
+      return response;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<dns::Message> OpenResolverService::answer_ns_snoop(
+    const dns::Message& query) {
+  const dns::Question& question = query.questions.front();
+  const std::string tld = question.name.lower();
+  const AuthRegistry::TldInfo* info = config_.registry->tld(tld);
+  if (info == nullptr) {
+    return dns::Message::make_response(query, dns::RCode::kNxDomain);
+  }
+  const int seen = snoop_counts_[tld]++;
+  const std::int64_t now_seconds = config_.clock->minutes() * 60;
+  const SnoopModel::Sample sample =
+      config_.snoop.sample(tld, now_seconds, config_.seed, seen);
+  if (!sample.respond) return std::nullopt;
+  dns::Message response =
+      dns::Message::make_response(query, dns::RCode::kNoError);
+  if (sample.cached) {
+    for (const auto& ns_name : info->ns_names) {
+      response.answers.push_back(dns::ResourceRecord::ns(
+          question.name, dns::Name::must_parse(ns_name),
+          sample.remaining_ttl));
+    }
+  }
+  return response;
+}
+
+void OpenResolverService::handle(const net::UdpPacket& request,
+                                 std::vector<net::UdpReply>& replies) {
+  const auto query = dns::Message::decode(request.payload);
+  if (!query || query->header.qr || query->questions.empty()) return;
+  if (config_.behavior.drop_rate > 0.0 &&
+      rng_.chance(config_.behavior.drop_rate)) {
+    return;
+  }
+
+  const dns::Question& question = query->questions.front();
+  std::optional<dns::Message> response;
+  if (question.qclass == dns::RClass::kCH &&
+      question.qtype == dns::RType::kTXT) {
+    response = answer_chaos(*query);
+  } else if (question.qclass == dns::RClass::kIN &&
+             question.qtype == dns::RType::kNS && !query->header.rd) {
+    response = answer_ns_snoop(*query);
+  } else if (question.qclass == dns::RClass::kIN &&
+             question.qtype == dns::RType::kA) {
+    response = answer_a_query(*query, request);
+  } else {
+    response = dns::Message::make_response(*query, dns::RCode::kNotImp);
+  }
+  if (!response) return;
+
+  const int latency =
+      config_.base_latency_ms + static_cast<int>(rng_.below(25));
+  emit(*response, request, replies, latency);
+}
+
+ForwarderService::ForwarderService(net::UdpService* backend,
+                                   net::Ipv4 backend_address,
+                                   int extra_latency_ms)
+    : backend_(backend),
+      backend_address_(backend_address),
+      extra_latency_ms_(extra_latency_ms) {}
+
+void ForwarderService::handle(const net::UdpPacket& request,
+                              std::vector<net::UdpReply>& replies) {
+  if (backend_ == nullptr) return;
+  std::vector<net::UdpReply> backend_replies;
+  backend_->handle(request, backend_replies);
+  for (net::UdpReply& reply : backend_replies) {
+    // The answer leaves through the recursive backend's interface, so the
+    // prober sees a source address it never probed.
+    reply.packet.src = backend_address_;
+    reply.latency_ms += extra_latency_ms_;
+    replies.push_back(std::move(reply));
+  }
+}
+
+}  // namespace dnswild::resolver

@@ -1,0 +1,109 @@
+// The open DNS resolver endpoint.
+//
+// One OpenResolverService instance is the UDP:53 service of one simulated
+// host. It answers:
+//   * IN A queries through its Behavior (honest recursion against the
+//     AuthRegistry, or any of the manipulation policies of §3-4),
+//   * CH TXT version.bind / version.server per its software profile (§2.4),
+//   * non-recursive IN NS queries from its SnoopModel (§2.6).
+// Responses faithfully echo the question octets (0x20 case included) the
+// way real resolvers do, which is what makes the scanner's case-encoded
+// resolver IDs recoverable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "dns/message.h"
+#include "net/clock.h"
+#include "net/services.h"
+#include "resolver/authns.h"
+#include "resolver/behavior.h"
+#include "resolver/cache.h"
+#include "resolver/snoop.h"
+#include "resolver/software.h"
+#include "util/rng.h"
+
+namespace dnswild::resolver {
+
+struct ResolverConfig {
+  const AuthRegistry* registry = nullptr;  // required
+  const net::SimClock* clock = nullptr;    // required
+  std::uint64_t seed = 0;
+
+  Behavior behavior;
+
+  // CHAOS fingerprinting surface.
+  ChaosBehavior chaos = ChaosBehavior::kRefused;
+  std::string version_banner;  // for kRevealVersion / kHiddenString
+
+  SnoopModel snoop;
+
+  // Country code used for region-dependent (CDN) resolution.
+  std::string region;
+
+  // Reply-source override: DNS proxies / multi-homed hosts answer from a
+  // different address than the probe target (§2.2, 630-750k per week).
+  std::optional<net::Ipv4> reply_src;
+  // A small population answers from a different source *port*; the scanner
+  // must then fall back to the 0x20 bits to recover its ID (§3.3).
+  bool mangle_reply_port = false;
+
+  // Resolver validates DNSSEC and sets the AD bit on signed answers (§5).
+  bool validates_dnssec = true;
+
+  // Answer-cache capacity for honest resolutions; 0 disables caching.
+  std::size_t cache_capacity = 4096;
+
+  int base_latency_ms = 30;
+};
+
+class OpenResolverService : public net::UdpService {
+ public:
+  explicit OpenResolverService(ResolverConfig config);
+
+  void handle(const net::UdpPacket& request,
+              std::vector<net::UdpReply>& replies) override;
+
+  const ResolverConfig& config() const noexcept { return config_; }
+
+ private:
+  std::optional<dns::Message> answer_a_query(const dns::Message& query,
+                                             const net::UdpPacket& packet);
+  std::optional<dns::Message> answer_chaos(const dns::Message& query);
+  std::optional<dns::Message> answer_ns_snoop(const dns::Message& query);
+
+  // Applies the first matching override, if any.
+  const Override* match_override(const std::string& lower_name) const;
+
+  void emit(const dns::Message& response, const net::UdpPacket& request,
+            std::vector<net::UdpReply>& replies, int latency_ms);
+
+  ResolverConfig config_;
+  util::Rng rng_;
+  DnsCache cache_;
+  std::unordered_map<std::string, int> snoop_counts_;  // per-TLD queries seen
+};
+
+// DNS proxy in front of a backend resolver: forwards queries and answers
+// from the backend's address (the multi-homed signature the weekly scans
+// observe). The backend service is owned elsewhere (usually by the backend
+// host registered in the World).
+class ForwarderService : public net::UdpService {
+ public:
+  ForwarderService(net::UdpService* backend, net::Ipv4 backend_address,
+                   int extra_latency_ms = 15);
+
+  void handle(const net::UdpPacket& request,
+              std::vector<net::UdpReply>& replies) override;
+
+ private:
+  net::UdpService* backend_;
+  net::Ipv4 backend_address_;
+  int extra_latency_ms_;
+};
+
+}  // namespace dnswild::resolver

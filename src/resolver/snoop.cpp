@@ -1,0 +1,101 @@
+#include "resolver/snoop.h"
+
+#include "util/rng.h"
+
+namespace dnswild::resolver {
+
+namespace {
+
+std::uint64_t tld_key(std::string_view tld, std::uint64_t host_seed) {
+  return util::mix64(host_seed ^ util::fnv1a(tld));
+}
+
+}  // namespace
+
+std::uint32_t SnoopModel::refresh_gap(std::string_view tld,
+                                      std::uint64_t host_seed) const {
+  const std::uint64_t word = tld_key(tld, host_seed);
+  switch (profile) {
+    case SnoopProfile::kActiveFast:
+      return static_cast<std::uint32_t>(word % 5) + 1;  // 1..5 s (§2.6)
+    case SnoopProfile::kActiveSlow:
+      // 10 minutes .. 4 hours.
+      return 600 + static_cast<std::uint32_t>(word % (4 * 3600 - 600));
+    default:
+      return 0;
+  }
+}
+
+SnoopModel::Sample SnoopModel::sample(std::string_view tld,
+                                      std::int64_t t_seconds,
+                                      std::uint64_t host_seed,
+                                      int queries_seen_for_tld) const {
+  const std::uint64_t word = tld_key(tld, host_seed);
+  Sample out;
+  switch (profile) {
+    case SnoopProfile::kNoCache:
+      out.respond = true;
+      return out;  // empty answer section
+    case SnoopProfile::kSingleThenSilent:
+      if (queries_seen_for_tld > 0) return out;  // silence
+      out.respond = true;
+      out.cached = true;
+      out.remaining_ttl = static_cast<std::uint32_t>(word % tld_ttl);
+      return out;
+    case SnoopProfile::kStaticTtl:
+      out.respond = true;
+      out.cached = true;
+      out.remaining_ttl = tld_ttl;  // never moves
+      return out;
+    case SnoopProfile::kZeroTtl:
+      out.respond = true;
+      out.cached = true;
+      out.remaining_ttl = 0;
+      return out;
+    case SnoopProfile::kTtlReset: {
+      // Load-balanced group / proactive refresher: every sample lands on a
+      // different cache, so the remaining TTL jumps around well above zero.
+      out.respond = true;
+      out.cached = true;
+      const std::uint64_t jitter =
+          util::mix64(word ^ static_cast<std::uint64_t>(queries_seen_for_tld));
+      out.remaining_ttl =
+          tld_ttl / 2 + static_cast<std::uint32_t>(jitter % (tld_ttl / 2));
+      return out;
+    }
+    case SnoopProfile::kActiveLongTtl: {
+      // One-week effective TTL: decreasing across the whole window. The
+      // phase leaves headroom so a 36-hour campaign starting near t=0 never
+      // observes the wrap (campaigns starting later may, which matches the
+      // paper's fuzziness about this 4% group).
+      const std::uint32_t long_ttl = 7 * 24 * 3600;
+      const std::uint32_t phase =
+          static_cast<std::uint32_t>(word % (long_ttl - 40 * 3600));
+      const std::uint64_t position =
+          (static_cast<std::uint64_t>(t_seconds) + phase) % long_ttl;
+      out.respond = true;
+      out.cached = true;
+      out.remaining_ttl = long_ttl - static_cast<std::uint32_t>(position);
+      return out;
+    }
+    case SnoopProfile::kActiveFast:
+    case SnoopProfile::kActiveSlow: {
+      // Periodic timeline: cached for tld_ttl seconds, expired for `gap`
+      // seconds until a client request re-adds it.
+      const std::uint32_t gap = refresh_gap(tld, host_seed);
+      const std::uint64_t period = static_cast<std::uint64_t>(tld_ttl) + gap;
+      const std::uint64_t phase = word % period;
+      const std::uint64_t position =
+          (static_cast<std::uint64_t>(t_seconds) + phase) % period;
+      out.respond = true;
+      if (position < tld_ttl) {
+        out.cached = true;
+        out.remaining_ttl = tld_ttl - static_cast<std::uint32_t>(position);
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace dnswild::resolver

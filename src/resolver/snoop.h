@@ -1,0 +1,54 @@
+// Cache-snooping response models (§2.6).
+//
+// The study probes each resolver's cache with non-recursive NS queries for
+// 15 TLDs, hourly for 36 hours, and classifies utilization from the TTL
+// timelines. Rather than simulating millions of independent client
+// populations, each resolver carries a SnoopModel: a deterministic cache
+// timeline parameterized per (resolver, TLD) that reproduces the behaviour
+// classes the paper reports — active caches refreshed quickly or slowly
+// after expiry, empty caches, single-response hosts, static/zero TTLs,
+// long-TTL caches that never expire in the window, and TTL-resetting
+// load-balanced groups.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace dnswild::resolver {
+
+enum class SnoopProfile {
+  kNoCache,          // NOERROR with empty answer to every snoop (7.3%)
+  kSingleThenSilent, // one response per TLD, then silence (3.3%)
+  kStaticTtl,        // same TTL value on every sample
+  kZeroTtl,          // TTL always 0
+  kActiveFast,       // client re-adds entry within 5 s of expiry (38.7%)
+  kActiveSlow,       // re-added minutes-to-hours after expiry
+  kActiveLongTtl,    // decreasing TTL, but no expiry inside the window (4.0%)
+  kTtlReset,         // TTL reset ahead of expiry / load-balanced group (19.6%)
+};
+
+struct SnoopModel {
+  SnoopProfile profile = SnoopProfile::kNoCache;
+  std::uint32_t tld_ttl = 21600;  // seconds the TLD NS set stays cached
+
+  struct Sample {
+    bool respond = false;   // a DNS response is sent at all
+    bool cached = false;    // the answer section carries the NS records
+    std::uint32_t remaining_ttl = 0;
+  };
+
+  // Cache state for `tld` at absolute simulated second `t`. `host_seed`
+  // personalizes phases/gaps; `queries_seen_for_tld` is the number of
+  // earlier snoop queries for this TLD at this resolver (drives
+  // kSingleThenSilent and per-query jitter).
+  Sample sample(std::string_view tld, std::int64_t t_seconds,
+                std::uint64_t host_seed, int queries_seen_for_tld) const;
+
+  // True refresh gap (seconds between expiry and client-driven re-add) the
+  // model uses for this (resolver, TLD); exposed for tests.
+  std::uint32_t refresh_gap(std::string_view tld,
+                            std::uint64_t host_seed) const;
+};
+
+}  // namespace dnswild::resolver

@@ -1,0 +1,72 @@
+#include "resolver/software.h"
+
+namespace dnswild::resolver {
+
+const std::vector<SoftwareProfile>& software_catalog() {
+  // Shares are the Table 3 percentages of the version-revealing population;
+  // the remainder is distributed over a tail of further BIND releases (so
+  // BIND sums to the paper's 60.2%) and assorted other software.
+  static const std::vector<SoftwareProfile> kCatalog = {
+      {"BIND", "9.8.2", "Apr 2012", "May 2012",
+       "IP Bypass, DoS, Mem. Corr./Leak.", 0.198, true, true},
+      {"BIND", "9.3.6", "Nov 2008", "Jan 2009", "DoS", 0.089, true, false},
+      {"BIND", "9.7.3", "Feb 2012", "Nov 2012", "Mem. Overfl., DoS", 0.057,
+       true, false},
+      {"BIND", "9.9.5", "Feb 2014", "Sep 2014", "DoS", 0.052, true, false},
+      {"Unbound", "1.4.22", "Mar 2014", "Nov 2014", "Mem. Overfl., DoS",
+       0.048, true, false},
+      {"Dnsmasq", "2.40", "Aug 2007", "Feb 2008", "RCE, DoS", 0.046, true,
+       false},
+      {"BIND", "9.8.4", "Oct 2012", "May 2013", "IP Bypass, DoS", 0.039,
+       true, true},
+      {"PowerDNS", "3.5.3", "Sep 2013", "Jun 2014", "Mem. Overfl.", 0.032,
+       false, false},
+      {"Dnsmasq", "2.52", "Jan 2010", "Jun 2010", "DoS", 0.029, true, false},
+      {"Microsoft DNS", "6.1.7601", "Jun 2011", "Aug 2011", "DoS", 0.025,
+       true, false},
+      // Aggregated tail: many further releases, each below the Table 3
+      // top-10 cutoff. BIND's tail brings it to the paper's 60.2% total.
+      {"BIND", "9.6.2", "Dec 2009", "", "DoS", 0.022, true, false},
+      {"BIND", "9.5.1", "Jan 2009", "Jul 2009", "DoS", 0.022, true, false},
+      {"BIND", "9.4.2", "Nov 2007", "Jun 2008", "DoS", 0.022, true, false},
+      {"BIND", "9.8.1", "Sep 2011", "Apr 2012", "DoS", 0.022, true, false},
+      {"BIND", "9.7.0", "Feb 2010", "Sep 2010", "DoS", 0.024, true, false},
+      {"BIND", "9.3.4", "Jan 2007", "Jul 2007", "DoS", 0.024, true, false},
+      {"BIND", "9.2.4", "Nov 2004", "Jan 2005", "DoS", 0.023, true, false},
+      // Non-BIND tail.
+      {"Dnsmasq", "2.62", "Apr 2012", "", "DoS", 0.024, true, false},
+      {"Dnsmasq", "2.45", "Jul 2008", "Nov 2008", "DoS", 0.024, true, false},
+      {"Dnsmasq", "2.55", "Jun 2010", "Apr 2012", "DoS", 0.022, true, false},
+      {"Unbound", "1.4.20", "May 2013", "Mar 2014", "DoS", 0.024, true,
+       false},
+      {"Unbound", "1.4.16", "May 2012", "Dec 2012", "DoS", 0.022, true,
+       false},
+      {"PowerDNS", "3.6.1", "Aug 2014", "", "", 0.022, false, false},
+      {"PowerDNS", "3.3", "Jul 2013", "Jun 2014", "", 0.020, false, false},
+      {"Nominum Vantio", "5.4.1", "Mar 2013", "", "", 0.020, false, false},
+      {"ZyWALL DNS", "1.0", "Jan 2010", "", "DoS", 0.020, true, false},
+      {"Microsoft DNS", "6.0.6002", "Apr 2009", "Jul 2011", "DoS", 0.020,
+       true, false},
+  };
+  return kCatalog;
+}
+
+ChaosPopulationMix chaos_population_mix() noexcept { return {}; }
+
+const std::vector<std::string>& hidden_version_strings() {
+  static const std::vector<std::string> kStrings = {
+      "none",
+      "unknown",
+      "Make my day",
+      "get lost",
+      "DNS server",
+      "[secured]",
+      "contact admin@localhost",
+      "no version for you",
+      "surely you must be joking",
+      "not disclosed",
+  };
+  return kStrings;
+}
+
+}  // namespace dnswild::resolver

@@ -1,0 +1,61 @@
+// DNS server software catalog (§2.4, Table 3).
+//
+// Each profile describes one software/version the CHAOS fingerprinting scan
+// observes in the wild, with its release/deprecation dates and the CVE
+// classes the paper's Table 3 lists. The population shares reported by the
+// paper drive worldgen sampling, so the reproduced Table 3 matches in
+// shape. Profiles also define how the server answers version.bind /
+// version.server probes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnswild::resolver {
+
+// How a resolver responds to CHAOS TXT version queries.
+enum class ChaosBehavior {
+  kRevealVersion,   // answers with the real version string
+  kHiddenString,    // operator-overridden banner ("none of your business")
+  kNoErrorEmpty,    // NOERROR with an empty answer section
+  kRefused,
+  kServFail,
+};
+
+struct SoftwareProfile {
+  std::string name;        // "BIND", "Unbound", ...
+  std::string version;     // "9.8.2"
+  std::string released;    // "Apr 2012" (presentation only)
+  std::string deprecated;  // "May 2012" or "" when still maintained then
+  std::string cves;        // CVE classes, e.g. "IP Bypass, DoS"
+  // Share among the version-revealing population (fraction of the 6,753,748
+  // resolvers with version information; Table 3).
+  double reveal_share = 0.0;
+  bool vulnerable_dos = false;
+  bool vulnerable_bypass = false;
+
+  std::string banner() const { return name + " " + version; }
+};
+
+// The Table 3 Top-10 rows plus an aggregated tail of further BIND versions
+// (BIND totals 60.2% of the revealing population, §2.4).
+const std::vector<SoftwareProfile>& software_catalog();
+
+// Fractions of the CHAOS-responding population per behaviour (§2.4):
+// 42.7% error for both probes, 4.6% NOERROR without version, 18.8% hidden
+// strings, 33.9% revealing.
+struct ChaosPopulationMix {
+  double refused_or_servfail = 0.427;
+  double noerror_empty = 0.046;
+  double hidden_string = 0.188;
+  double revealing = 0.339;
+};
+
+ChaosPopulationMix chaos_population_mix() noexcept;
+
+// Sample texts operators hide their version behind.
+const std::vector<std::string>& hidden_version_strings();
+
+}  // namespace dnswild::resolver

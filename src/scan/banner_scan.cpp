@@ -1,0 +1,29 @@
+#include "scan/banner_scan.h"
+
+namespace dnswild::scan {
+
+BannerResult BannerScanner::probe(net::Ipv4 resolver) {
+  BannerResult result;
+  result.resolver = resolver;
+  static constexpr std::uint16_t kPorts[] = {21, 22, 23, 80, 443};
+  for (const std::uint16_t port : kPorts) {
+    const auto payload = fetcher_.banner(resolver, port);
+    if (!payload) continue;
+    result.any_tcp_payload = true;
+    result.combined += *payload;
+    result.combined += '\n';
+  }
+  return result;
+}
+
+std::vector<BannerResult> BannerScanner::scan(
+    const std::vector<net::Ipv4>& resolvers) {
+  std::vector<BannerResult> results;
+  results.reserve(resolvers.size());
+  for (const net::Ipv4 resolver : resolvers) {
+    results.push_back(probe(resolver));
+  }
+  return results;
+}
+
+}  // namespace dnswild::scan

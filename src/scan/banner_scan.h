@@ -1,0 +1,35 @@
+// TCP banner collection for device fingerprinting (§2.4).
+//
+// Connects to FTP(21), SSH(22), Telnet(23), HTTP(80), and HTTPS(443) on
+// each resolver and aggregates whatever payload comes back; the analysis
+// module matches device tokens against the combined text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "http/fetch.h"
+#include "net/world.h"
+
+namespace dnswild::scan {
+
+struct BannerResult {
+  net::Ipv4 resolver;
+  bool any_tcp_payload = false;
+  std::string combined;  // payloads of all responsive ports, concatenated
+};
+
+class BannerScanner {
+ public:
+  BannerScanner(net::World& world, net::Ipv4 scanner_ip)
+      : fetcher_(world, scanner_ip) {}
+
+  BannerResult probe(net::Ipv4 resolver);
+  std::vector<BannerResult> scan(const std::vector<net::Ipv4>& resolvers);
+
+ private:
+  http::Fetcher fetcher_;
+};
+
+}  // namespace dnswild::scan

@@ -1,0 +1,21 @@
+#include "scan/blacklist.h"
+
+#include <algorithm>
+
+namespace dnswild::scan {
+
+bool Blacklist::contains(net::Ipv4 ip) const noexcept {
+  for (const net::Cidr& range : ranges_) {
+    if (range.contains(ip)) return true;
+  }
+  return std::find(addresses_.begin(), addresses_.end(), ip) !=
+         addresses_.end();
+}
+
+std::uint64_t Blacklist::address_space() const noexcept {
+  std::uint64_t total = addresses_.size();
+  for (const net::Cidr& range : ranges_) total += range.size();
+  return total;
+}
+
+}  // namespace dnswild::scan

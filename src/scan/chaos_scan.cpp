@@ -1,0 +1,51 @@
+#include "scan/chaos_scan.h"
+
+#include "dns/chaos.h"
+#include "dns/message.h"
+
+namespace dnswild::scan {
+
+ChaosResult ChaosScanner::probe(net::Ipv4 resolver) {
+  ChaosResult result;
+  result.resolver = resolver;
+
+  const auto ask = [&](const dns::Name& probe_name,
+                       std::optional<std::string>& version_out,
+                       dns::RCode& rcode_out) {
+    const dns::Message query = dns::make_version_query(
+        static_cast<std::uint16_t>(rng_.next()), probe_name);
+    net::UdpPacket packet;
+    packet.src = scanner_ip_;
+    packet.src_port = 42000;
+    packet.dst = resolver;
+    packet.dst_port = 53;
+    packet.payload = query.encode();
+    for (const net::UdpReply& reply : world_.send_udp(packet)) {
+      const auto response = dns::Message::decode(reply.packet.payload);
+      if (!response || !response->header.qr ||
+          response->header.id != query.header.id) {
+        continue;
+      }
+      result.responded = true;
+      rcode_out = response->header.rcode;
+      version_out = dns::extract_version(*response);
+      return;
+    }
+  };
+
+  ask(dns::version_bind_name(), result.version_bind, result.rcode_bind);
+  ask(dns::version_server_name(), result.version_server, result.rcode_server);
+  return result;
+}
+
+std::vector<ChaosResult> ChaosScanner::scan(
+    const std::vector<net::Ipv4>& resolvers) {
+  std::vector<ChaosResult> results;
+  results.reserve(resolvers.size());
+  for (const net::Ipv4 resolver : resolvers) {
+    results.push_back(probe(resolver));
+  }
+  return results;
+}
+
+}  // namespace dnswild::scan

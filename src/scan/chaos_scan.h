@@ -1,0 +1,42 @@
+// CHAOS version fingerprinting scan (§2.4).
+//
+// Sends version.bind and version.server TXT/CH queries to each known
+// resolver and records both answers, feeding the software classifier
+// (Table 3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/types.h"
+#include "net/world.h"
+#include "util/rng.h"
+
+namespace dnswild::scan {
+
+struct ChaosResult {
+  net::Ipv4 resolver;
+  bool responded = false;
+  std::optional<std::string> version_bind;
+  std::optional<std::string> version_server;
+  dns::RCode rcode_bind = dns::RCode::kServFail;
+  dns::RCode rcode_server = dns::RCode::kServFail;
+};
+
+class ChaosScanner {
+ public:
+  ChaosScanner(net::World& world, net::Ipv4 scanner_ip, std::uint64_t seed)
+      : world_(world), scanner_ip_(scanner_ip), rng_(seed) {}
+
+  ChaosResult probe(net::Ipv4 resolver);
+  std::vector<ChaosResult> scan(const std::vector<net::Ipv4>& resolvers);
+
+ private:
+  net::World& world_;
+  net::Ipv4 scanner_ip_;
+  util::Rng rng_;
+};
+
+}  // namespace dnswild::scan

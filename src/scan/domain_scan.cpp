@@ -1,0 +1,90 @@
+#include "scan/domain_scan.h"
+
+#include <stdexcept>
+
+#include "dns/message.h"
+
+namespace dnswild::scan {
+
+TupleRecord DomainScanner::probe(net::Ipv4 resolver,
+                                 std::uint32_t resolver_id,
+                                 const std::string& domain,
+                                 std::uint16_t domain_index) {
+  TupleRecord record;
+  record.resolver_id = resolver_id;
+  record.domain_index = domain_index;
+
+  const auto parsed = dns::Name::parse(domain);
+  if (!parsed) throw std::invalid_argument("bad domain: " + domain);
+  const EncodedQuery encoded =
+      encode_resolver_id(resolver_id, *parsed, config_.base_port);
+
+  dns::Message query =
+      dns::Message::make_query(encoded.txid, encoded.name, dns::RType::kA);
+  net::UdpPacket packet;
+  packet.src = config_.scanner_ip;
+  packet.src_port = encoded.src_port;
+  packet.dst = resolver;
+  packet.dst_port = 53;
+  packet.payload = query.encode();
+
+  for (const net::UdpReply& reply : world_.send_udp(packet)) {
+    const auto response = dns::Message::decode(reply.packet.payload);
+    if (!response || !response->header.qr) continue;
+    const auto decoded = decode_resolver_id(
+        *response, reply.packet.dst_port, config_.base_port);
+    if (!decoded || decoded->resolver_id != resolver_id) continue;
+
+    if (!record.responded) {
+      record.responded = true;
+      record.case_fallback = decoded->used_case_fallback;
+      record.rcode = response->header.rcode;
+      record.ips = response->answer_ips();
+      if (record.rcode == dns::RCode::kNoError && record.ips.empty()) {
+        for (const auto& rr : response->authorities) {
+          if (rr.rtype == dns::RType::kNS) {
+            record.ns_only = true;
+            break;
+          }
+        }
+      }
+    } else {
+      // A second matching response. Only flag it when the content differs;
+      // retransmissions of identical data are not an injection signature.
+      const auto ips = response->answer_ips();
+      if (ips != record.ips || response->header.rcode != record.rcode) {
+        record.dual_response = true;
+        record.second_ips = ips;
+      }
+    }
+  }
+  return record;
+}
+
+std::vector<TupleRecord> DomainScanner::scan(
+    const std::vector<net::Ipv4>& resolvers,
+    const std::vector<std::string>& domains) {
+  if (resolvers.size() > kMaxResolverId + 1) {
+    throw std::length_error("resolver list exceeds the 25-bit ID space");
+  }
+  std::vector<TupleRecord> records;
+  records.reserve(resolvers.size() * domains.size());
+
+  const std::uint64_t total = resolvers.size() * domains.size();
+  const std::uint64_t chunk = total > 1000 ? total / 64 : 0;
+  std::uint64_t sent = 0;
+
+  // Iterate resolver-major so each resolver sees its queries spaced out.
+  for (std::uint16_t d = 0; d < domains.size(); ++d) {
+    for (std::uint32_t r = 0; r < resolvers.size(); ++r) {
+      records.push_back(probe(resolvers[r], r, domains[d], d));
+      if (chunk != 0 && config_.spread_over_hours > 0.0 &&
+          ++sent % chunk == 0) {
+        world_.advance_days(config_.spread_over_hours / 24.0 / 64.0);
+      }
+    }
+  }
+  return records;
+}
+
+}  // namespace dnswild::scan

@@ -1,0 +1,69 @@
+// Domain-set scanning (§3.3).
+//
+// Queries every domain of a category set at every previously-identified
+// open resolver, carrying the 25-bit resolver identifier in TXID + source
+// port + 0x20 case bits so responses can be attributed even when the
+// reply's source address or port differs from the probe's. Dual responses
+// to a single query (an on-path injector racing the resolver) are recorded
+// with both answer sets — the censorship analysis keys on them (§4.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/types.h"
+#include "net/world.h"
+#include "scan/encoding.h"
+#include "util/rng.h"
+
+namespace dnswild::scan {
+
+struct DomainScanConfig {
+  net::Ipv4 scanner_ip;
+  std::uint16_t base_port = 40000;  // 2^9 source ports from here (§3.3)
+  std::uint64_t seed = 0;
+  // When > 0, the world clock advances across the scan (IP churn during
+  // multi-day domain scans is why the paper sees 19.2M distinct suspicious
+  // resolver addresses, §4.1).
+  double spread_over_hours = 0.0;
+};
+
+struct TupleRecord {
+  std::uint32_t resolver_id = 0;  // index into the scanned resolver list
+  std::uint16_t domain_index = 0;
+  bool responded = false;
+  bool case_fallback = false;  // ID recovered from 0x20 bits (mangled port)
+  dns::RCode rcode = dns::RCode::kServFail;
+  std::vector<net::Ipv4> ips;  // first response's answer set
+  // NOERROR with an empty answer but NS records in the authority section:
+  // the resolver effectively denies recursion (§4.1 finds 2.0%).
+  bool ns_only = false;
+
+  // Second response racing the first with *different* content: the GFW
+  // signature (first forged, second legitimate, §4.2).
+  bool dual_response = false;
+  std::vector<net::Ipv4> second_ips;
+};
+
+class DomainScanner {
+ public:
+  DomainScanner(net::World& world, DomainScanConfig config)
+      : world_(world), config_(config), rng_(config.seed) {}
+
+  // One record per (resolver, domain) probe, in probe order. resolvers[i]
+  // gets resolver_id i; ids must fit the 25-bit scheme.
+  std::vector<TupleRecord> scan(const std::vector<net::Ipv4>& resolvers,
+                                const std::vector<std::string>& domains);
+
+  // Single probe, exposed for tests.
+  TupleRecord probe(net::Ipv4 resolver, std::uint32_t resolver_id,
+                    const std::string& domain, std::uint16_t domain_index);
+
+ private:
+  net::World& world_;
+  DomainScanConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace dnswild::scan

@@ -1,0 +1,70 @@
+#include "scan/encoding.h"
+
+#include "util/strings.h"
+
+namespace dnswild::scan {
+
+dns::Name make_probe_name(std::string_view random_prefix, net::Ipv4 target,
+                          const dns::Name& zone) {
+  std::vector<std::string> labels;
+  labels.emplace_back(random_prefix);
+  labels.push_back(util::hex32(target.value()));
+  return dns::Name(std::move(labels)).concat(zone);
+}
+
+std::optional<net::Ipv4> target_from_probe_name(const dns::Name& name) {
+  // Scheme: <prefix>.<hex-ip>.<zone...>: the hex label is the second one.
+  const auto& labels = name.labels();
+  if (labels.size() < 3) return std::nullopt;
+  const auto value = util::parse_hex32(util::lower(labels[1]));
+  if (!value) return std::nullopt;
+  return net::Ipv4(*value);
+}
+
+EncodedQuery encode_resolver_id(std::uint32_t resolver_id,
+                                const dns::Name& domain,
+                                std::uint16_t base_port) {
+  EncodedQuery out;
+  out.txid = static_cast<std::uint16_t>(resolver_id & 0xffff);
+  const std::uint32_t high = resolver_id >> kTxidBits;  // 9 bits
+  out.src_port = static_cast<std::uint16_t>(base_port + high);
+  const unsigned capacity =
+      static_cast<unsigned>(dns::letter_capacity(domain));
+  out.case_bits_used = capacity < kPortBits ? capacity : kPortBits;
+  if (auto encoded =
+          dns::encode_case_bits(domain, high, out.case_bits_used)) {
+    out.name = *std::move(encoded);
+  } else {
+    out.name = domain;
+    out.case_bits_used = 0;
+  }
+  return out;
+}
+
+std::optional<DecodedId> decode_resolver_id(const dns::Message& response,
+                                            std::uint16_t reply_dst_port,
+                                            std::uint16_t base_port) {
+  if (response.questions.empty()) return std::nullopt;
+  DecodedId out;
+  const std::uint16_t txid = response.header.id;
+
+  std::optional<std::uint32_t> high;
+  if (reply_dst_port >= base_port &&
+      reply_dst_port < base_port + (1u << kPortBits)) {
+    high = static_cast<std::uint32_t>(reply_dst_port - base_port);
+  } else {
+    // Port channel mangled by the resolver: fall back to the 0x20 bits of
+    // the echoed question name.
+    const dns::Name& echoed = response.questions.front().name;
+    const unsigned capacity =
+        static_cast<unsigned>(dns::letter_capacity(echoed));
+    const unsigned bits = capacity < kPortBits ? capacity : kPortBits;
+    high = dns::decode_case_bits(echoed, bits);
+    out.used_case_fallback = true;
+  }
+  if (!high) return std::nullopt;
+  out.resolver_id = (*high << kTxidBits) | txid;
+  return out;
+}
+
+}  // namespace dnswild::scan

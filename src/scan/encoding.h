@@ -1,0 +1,70 @@
+// Probe-encoding schemes (§2.2, §3.3).
+//
+// Internet-wide scan: every probe queries prefix.<hex-ip>.<zone>, where
+// <hex-ip> is the target address — the response's echoed question reveals
+// which host a reply belongs to even when it arrives from a different
+// source address (multi-homed hosts / DNS proxies).
+//
+// Domain scan: the domain set is fixed, so the target resolver is encoded
+// as a 25-bit identifier ( ceil(log2(20M)) ): 16 bits in the DNS
+// transaction ID, 9 bits in the UDP source port, and — as redundancy
+// against devices that answer to a different port — the same 9 bits in the
+// 0x20 case pattern of the queried name.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "dns/encoding0x20.h"
+#include "dns/message.h"
+#include "net/ip.h"
+
+namespace dnswild::scan {
+
+// --- hex-IP scheme (Internet-wide scans) ---------------------------------
+
+// "kx7f2a.c0a80001.<zone>" — prefix is a caller-supplied cache-busting
+// token, then the target address in hex.
+dns::Name make_probe_name(std::string_view random_prefix, net::Ipv4 target,
+                          const dns::Name& zone);
+
+// Recovers the target address from an echoed probe name; nullopt when the
+// name does not follow the scheme.
+std::optional<net::Ipv4> target_from_probe_name(const dns::Name& name);
+
+// --- 25-bit resolver-ID scheme (domain scans) ------------------------------
+
+inline constexpr unsigned kIdBits = 25;
+inline constexpr unsigned kTxidBits = 16;
+inline constexpr unsigned kPortBits = 9;
+inline constexpr std::uint32_t kMaxResolverId = (1u << kIdBits) - 1;
+
+struct EncodedQuery {
+  std::uint16_t txid = 0;
+  std::uint16_t src_port = 0;
+  dns::Name name;  // case-encoded copy of the queried domain
+  unsigned case_bits_used = 0;
+};
+
+// Splits `resolver_id` across TXID, source port (base_port + high bits) and
+// the name's case pattern. Names with fewer than 9 letters carry as many
+// case bits as they can (the port channel stays complete).
+EncodedQuery encode_resolver_id(std::uint32_t resolver_id,
+                                const dns::Name& domain,
+                                std::uint16_t base_port);
+
+struct DecodedId {
+  std::uint32_t resolver_id = 0;
+  bool used_case_fallback = false;  // port channel was unusable
+};
+
+// Recovers the resolver ID from a response: TXID gives the low 16 bits; the
+// destination port gives the high 9 when it lies in the scanner's port
+// window, otherwise the echoed name's case bits are used (§3.3 redundancy).
+std::optional<DecodedId> decode_resolver_id(const dns::Message& response,
+                                            std::uint16_t reply_dst_port,
+                                            std::uint16_t base_port);
+
+}  // namespace dnswild::scan

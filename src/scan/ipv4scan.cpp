@@ -1,0 +1,106 @@
+#include "scan/ipv4scan.h"
+
+#include "scan/encoding.h"
+#include "scan/permute.h"
+#include "util/strings.h"
+
+namespace dnswild::scan {
+
+Ipv4Scanner::Ipv4Scanner(net::World& world, Ipv4ScanConfig config)
+    : world_(world), config_(std::move(config)), rng_(config_.seed) {}
+
+void Ipv4Scanner::probe_one(net::Ipv4 target, Ipv4ScanSummary& summary) {
+  ++summary.probed;
+
+  // Random label prefix defeats caching along the path (§2.2).
+  const std::string prefix = "p" + util::hex32(
+      static_cast<std::uint32_t>(rng_.next()));
+  const dns::Name probe_name =
+      make_probe_name(prefix, target, config_.zone);
+  dns::Message query = dns::Message::make_query(
+      static_cast<std::uint16_t>(rng_.next()), probe_name, dns::RType::kA);
+
+  net::UdpPacket packet;
+  packet.src = config_.scanner_ip;
+  packet.src_port = config_.src_port;
+  packet.dst = target;
+  packet.dst_port = 53;
+  packet.payload = query.encode();
+
+  std::vector<net::UdpReply> replies = world_.send_udp(packet);
+  for (int attempt = 0; replies.empty() && attempt < config_.retries;
+       ++attempt) {
+    replies = world_.send_udp(packet);
+  }
+  for (const net::UdpReply& reply : replies) {
+    const auto response = dns::Message::decode(reply.packet.payload);
+    if (!response || !response->header.qr) continue;
+    if (response->header.id != query.header.id) continue;  // stray datagram
+    if (response->questions.empty()) continue;
+    // Recover the probed host from the echoed name: authoritative even when
+    // the reply's source address differs (multi-homed hosts, proxies).
+    const auto echoed_target =
+        target_from_probe_name(response->questions.front().name);
+    if (!echoed_target || *echoed_target != target) continue;
+
+    ++summary.responses;
+    if (reply.packet.src != target) ++summary.multihomed;
+    const dns::RCode rcode = response->header.rcode;
+    summary.responders.emplace_back(target, rcode);
+    switch (rcode) {
+      case dns::RCode::kNoError:
+        ++summary.noerror;
+        summary.noerror_targets.push_back(target);
+        break;
+      case dns::RCode::kRefused: ++summary.refused; break;
+      case dns::RCode::kServFail: ++summary.servfail; break;
+      case dns::RCode::kNxDomain: ++summary.nxdomain; break;
+      default: ++summary.other_rcode; break;
+    }
+    break;  // first matching response decides the status for this target
+  }
+}
+
+Ipv4ScanSummary Ipv4Scanner::scan(const std::vector<net::Cidr>& universe) {
+  Ipv4ScanSummary summary;
+  UniversePermutation permutation(
+      universe, static_cast<std::uint32_t>(rng_.next()));
+  const std::uint64_t total = permutation.size();
+  // Clock advancement cadence: chunked so churn unfolds across the scan.
+  const std::uint64_t chunk = total > 1000 ? total / 64 : 0;
+  std::uint64_t since_advance = 0;
+
+  net::Ipv4 target;
+  while (permutation.next(target)) {
+    if (net::is_reserved(target)) {
+      ++summary.skipped_reserved;
+      continue;
+    }
+    if (config_.blacklist != nullptr && config_.blacklist->contains(target)) {
+      ++summary.skipped_blacklist;
+      continue;
+    }
+    probe_one(target, summary);
+    if (chunk != 0 && config_.spread_over_hours > 0.0 &&
+        ++since_advance >= chunk) {
+      since_advance = 0;
+      world_.advance_days(config_.spread_over_hours / 24.0 / 64.0);
+    }
+  }
+  return summary;
+}
+
+Ipv4ScanSummary Ipv4Scanner::probe_targets(
+    const std::vector<net::Ipv4>& targets) {
+  Ipv4ScanSummary summary;
+  for (const net::Ipv4 target : targets) {
+    if (config_.blacklist != nullptr && config_.blacklist->contains(target)) {
+      ++summary.skipped_blacklist;
+      continue;
+    }
+    probe_one(target, summary);
+  }
+  return summary;
+}
+
+}  // namespace dnswild::scan

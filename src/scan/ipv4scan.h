@@ -1,0 +1,78 @@
+// Internet-wide DNS resolver enumeration (§2.2).
+//
+// Walks the routed universe in LFSR order, sends one A probe for
+// prefix.<hex-ip>.<zone> to each address (skipping reserved space and the
+// blacklist), and tallies responses by status code. NOERROR counts every
+// host that set that flag regardless of the answer content, matching the
+// paper's accounting. Multi-homed hosts — replies whose source differs
+// from the probed target — are recovered through the hex-IP encoding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/message.h"
+#include "dns/name.h"
+#include "net/world.h"
+#include "scan/blacklist.h"
+#include "util/rng.h"
+
+namespace dnswild::scan {
+
+struct Ipv4ScanConfig {
+  net::Ipv4 scanner_ip;
+  std::uint16_t src_port = 41000;
+  dns::Name zone;  // wildcard zone under the scanners' control
+  const Blacklist* blacklist = nullptr;
+  std::uint64_t seed = 0;
+  // Virtual probe rate; when spread_over_hours > 0 the scan advances the
+  // world clock so churn happens *during* the scan, as in reality.
+  double spread_over_hours = 0.0;
+  // Retransmissions per silent target. The paper tunes its send rate for
+  // low loss instead of retrying (§5); retries exist for lossy-world
+  // experiments and the loss-ablation microbenchmark.
+  int retries = 0;
+};
+
+struct Ipv4ScanSummary {
+  std::uint64_t probed = 0;
+  std::uint64_t skipped_reserved = 0;
+  std::uint64_t skipped_blacklist = 0;
+  std::uint64_t responses = 0;
+
+  std::uint64_t noerror = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t servfail = 0;
+  std::uint64_t nxdomain = 0;
+  std::uint64_t other_rcode = 0;
+  std::uint64_t multihomed = 0;  // responder address != probed target
+
+  // Targets that answered NOERROR (the "open resolver" population handed to
+  // the follow-up campaigns).
+  std::vector<net::Ipv4> noerror_targets;
+  // All responding targets with their status code.
+  std::vector<std::pair<net::Ipv4, dns::RCode>> responders;
+};
+
+class Ipv4Scanner {
+ public:
+  Ipv4Scanner(net::World& world, Ipv4ScanConfig config);
+
+  // Scans the union of `universe` (non-overlapping prefixes).
+  Ipv4ScanSummary scan(const std::vector<net::Cidr>& universe);
+
+  // Probes an explicit target list (re-probing known resolvers; used by the
+  // churn study §2.5 and the verification scan).
+  Ipv4ScanSummary probe_targets(const std::vector<net::Ipv4>& targets);
+
+ private:
+  void probe_one(net::Ipv4 target, Ipv4ScanSummary& summary);
+
+  net::World& world_;
+  Ipv4ScanConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace dnswild::scan

@@ -1,0 +1,122 @@
+#include "scan/permute.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dnswild::scan {
+
+std::uint32_t GenericLfsr::taps_for_order(unsigned order) {
+  // Maximal-length Fibonacci tap positions (XAPP052 / standard tables),
+  // encoded as a mask with bit (p-1) set for each tapped position p.
+  static constexpr std::uint32_t kTaps[33] = {
+      0, 0,
+      (1u << 1) | (1u << 0),                          // 2: 2,1
+      (1u << 2) | (1u << 1),                          // 3: 3,2
+      (1u << 3) | (1u << 2),                          // 4: 4,3
+      (1u << 4) | (1u << 2),                          // 5: 5,3
+      (1u << 5) | (1u << 4),                          // 6: 6,5
+      (1u << 6) | (1u << 5),                          // 7: 7,6
+      (1u << 7) | (1u << 5) | (1u << 4) | (1u << 3),  // 8: 8,6,5,4
+      (1u << 8) | (1u << 4),                          // 9: 9,5
+      (1u << 9) | (1u << 6),                          // 10: 10,7
+      (1u << 10) | (1u << 8),                         // 11: 11,9
+      (1u << 11) | (1u << 5) | (1u << 3) | (1u << 0),   // 12: 12,6,4,1
+      (1u << 12) | (1u << 3) | (1u << 2) | (1u << 0),   // 13: 13,4,3,1
+      (1u << 13) | (1u << 4) | (1u << 2) | (1u << 0),   // 14: 14,5,3,1
+      (1u << 14) | (1u << 13),                          // 15: 15,14
+      (1u << 15) | (1u << 14) | (1u << 12) | (1u << 3), // 16: 16,15,13,4
+      (1u << 16) | (1u << 13),                          // 17: 17,14
+      (1u << 17) | (1u << 10),                          // 18: 18,11
+      (1u << 18) | (1u << 5) | (1u << 1) | (1u << 0),   // 19: 19,6,2,1
+      (1u << 19) | (1u << 16),                          // 20: 20,17
+      (1u << 20) | (1u << 18),                          // 21: 21,19
+      (1u << 21) | (1u << 20),                          // 22: 22,21
+      (1u << 22) | (1u << 17),                          // 23: 23,18
+      (1u << 23) | (1u << 22) | (1u << 21) | (1u << 16),  // 24: 24,23,22,17
+      (1u << 24) | (1u << 21),                            // 25: 25,22
+      (1u << 25) | (1u << 5) | (1u << 1) | (1u << 0),     // 26: 26,6,2,1
+      (1u << 26) | (1u << 4) | (1u << 1) | (1u << 0),     // 27: 27,5,2,1
+      (1u << 27) | (1u << 24),                            // 28: 28,25
+      (1u << 28) | (1u << 26),                            // 29: 29,27
+      (1u << 29) | (1u << 5) | (1u << 3) | (1u << 0),     // 30: 30,6,4,1
+      (1u << 30) | (1u << 27),                            // 31: 31,28
+      (1u << 31) | (1u << 21) | (1u << 1) | (1u << 0),    // 32: 32,22,2,1
+  };
+  if (order < 2 || order > 32) {
+    throw std::invalid_argument("GenericLfsr: order must be in [2, 32]");
+  }
+  return kTaps[order];
+}
+
+GenericLfsr::GenericLfsr(unsigned order, std::uint32_t seed)
+    : order_(order),
+      mask_(order == 32 ? ~std::uint32_t{0} : (1u << order) - 1),
+      taps_(taps_for_order(order)),
+      state_((seed & mask_) == 0 ? 1 : (seed & mask_)) {}
+
+std::uint32_t GenericLfsr::next() noexcept {
+  const std::uint32_t out = state_;
+  const std::uint32_t feedback =
+      static_cast<std::uint32_t>(__builtin_popcount(state_ & taps_) & 1);
+  state_ = ((state_ << 1) | feedback) & mask_;
+  return out;
+}
+
+IndexPermutation::IndexPermutation(std::uint64_t count, std::uint32_t seed)
+    : count_(count),
+      lfsr_(
+          [count] {
+            unsigned order = 2;
+            // Smallest order with 2^order - 1 >= count (so indices
+            // 0..count-1 are all reachable as state-1).
+            while (order < 32 &&
+                   ((std::uint64_t{1} << order) - 1) < count) {
+              ++order;
+            }
+            return order;
+          }(),
+          seed),
+      start_(lfsr_.state()) {
+  if (count_ == 0) done_ = true;
+}
+
+bool IndexPermutation::next(std::uint64_t& out) noexcept {
+  while (!done_) {
+    const std::uint64_t candidate = static_cast<std::uint64_t>(lfsr_.next()) - 1;
+    if (lfsr_.state() == start_) done_ = true;  // full period consumed
+    if (candidate < count_) {
+      ++emitted_;
+      out = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+UniversePermutation::UniversePermutation(std::vector<net::Cidr> prefixes,
+                                         std::uint32_t seed)
+    : prefixes_(std::move(prefixes)),
+      offsets_(),
+      total_([this] {
+        std::uint64_t total = 0;
+        offsets_.reserve(prefixes_.size());
+        for (const net::Cidr& prefix : prefixes_) {
+          offsets_.push_back(total);
+          total += prefix.size();
+        }
+        return total;
+      }()),
+      permutation_(total_, seed) {}
+
+bool UniversePermutation::next(net::Ipv4& out) noexcept {
+  std::uint64_t index = 0;
+  if (!permutation_.next(index)) return false;
+  // Binary search the prefix containing this flat index.
+  const auto it =
+      std::upper_bound(offsets_.begin(), offsets_.end(), index) - 1;
+  const std::size_t slot = static_cast<std::size_t>(it - offsets_.begin());
+  out = prefixes_[slot].at(index - *it);
+  return true;
+}
+
+}  // namespace dnswild::scan

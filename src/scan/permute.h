@@ -1,0 +1,67 @@
+// Scan-order permutations over arbitrary universes.
+//
+// Real Internet-wide scans permute all of IPv4 with a 32-bit LFSR (§2.2,
+// net::Lfsr32). Simulated universes are smaller, so campaigns permute the
+// routed address space with the smallest maximal-period LFSR that covers
+// it, preserving the property the paper relies on: consecutive probes land
+// in unrelated networks, spreading load.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ip.h"
+
+namespace dnswild::scan {
+
+// Fibonacci LFSR of configurable order (2..32) using known primitive-
+// polynomial tap sets, so every order yields the full 2^n - 1 period.
+class GenericLfsr {
+ public:
+  GenericLfsr(unsigned order, std::uint32_t seed);
+
+  std::uint32_t next() noexcept;
+  std::uint32_t state() const noexcept { return state_; }
+  unsigned order() const noexcept { return order_; }
+
+  // Tap mask (bit i-1 set when bit position i is tapped) for an order.
+  static std::uint32_t taps_for_order(unsigned order);
+
+ private:
+  unsigned order_;
+  std::uint32_t mask_;
+  std::uint32_t taps_;
+  std::uint32_t state_;
+};
+
+// Emits every index in [0, count) exactly once, in LFSR order.
+class IndexPermutation {
+ public:
+  IndexPermutation(std::uint64_t count, std::uint32_t seed);
+
+  bool next(std::uint64_t& out) noexcept;
+
+ private:
+  std::uint64_t count_;
+  GenericLfsr lfsr_;
+  std::uint32_t start_;
+  std::uint64_t emitted_ = 0;
+  bool done_ = false;
+};
+
+// Permuted iteration over the union of (non-overlapping) prefixes.
+class UniversePermutation {
+ public:
+  UniversePermutation(std::vector<net::Cidr> prefixes, std::uint32_t seed);
+
+  bool next(net::Ipv4& out) noexcept;
+  std::uint64_t size() const noexcept { return total_; }
+
+ private:
+  std::vector<net::Cidr> prefixes_;
+  std::vector<std::uint64_t> offsets_;  // cumulative start index per prefix
+  std::uint64_t total_ = 0;
+  IndexPermutation permutation_;
+};
+
+}  // namespace dnswild::scan

@@ -1,0 +1,77 @@
+#include "scan/snoop_probe.h"
+
+#include "dns/message.h"
+
+namespace dnswild::scan {
+
+SnoopSample SnoopProber::probe_once(net::Ipv4 resolver, const std::string& tld,
+                                    std::int32_t minute) {
+  SnoopSample sample;
+  sample.minute = minute;
+
+  const auto name = dns::Name::parse(tld);
+  if (!name) return sample;
+  // RD=0: inspect the cache without triggering recursion (§2.6).
+  dns::Message query = dns::Message::make_query(
+      static_cast<std::uint16_t>(rng_.next()), *name, dns::RType::kNS,
+      dns::RClass::kIN, /*rd=*/false);
+  net::UdpPacket packet;
+  packet.src = config_.scanner_ip;
+  packet.src_port = 43000;
+  packet.dst = resolver;
+  packet.dst_port = 53;
+  packet.payload = query.encode();
+
+  for (const net::UdpReply& reply : world_.send_udp(packet)) {
+    const auto response = dns::Message::decode(reply.packet.payload);
+    if (!response || !response->header.qr ||
+        response->header.id != query.header.id) {
+      continue;
+    }
+    sample.responded = true;
+    for (const auto& rr : response->answers) {
+      if (rr.rtype == dns::RType::kNS) {
+        sample.cached = true;
+        sample.remaining_ttl = rr.ttl;
+        break;
+      }
+    }
+    break;
+  }
+  return sample;
+}
+
+std::vector<SnoopSeries> SnoopProber::run(
+    const std::vector<net::Ipv4>& resolvers,
+    const std::vector<std::string>& tlds) {
+  std::vector<SnoopSeries> series;
+  series.reserve(resolvers.size() * tlds.size());
+  for (std::uint32_t r = 0; r < resolvers.size(); ++r) {
+    for (std::uint16_t t = 0; t < tlds.size(); ++t) {
+      SnoopSeries entry;
+      entry.resolver_index = r;
+      entry.tld_index = t;
+      entry.samples.reserve(
+          static_cast<std::size_t>(config_.duration_hours * 60 /
+                                   config_.interval_minutes) +
+          1);
+      series.push_back(std::move(entry));
+    }
+  }
+
+  const std::int64_t start_minute = world_.clock().minutes();
+  for (std::int32_t minute = 0; minute <= config_.duration_hours * 60;
+       minute += config_.interval_minutes) {
+    world_.set_time_minutes(start_minute + minute);
+    std::size_t slot = 0;
+    for (std::uint32_t r = 0; r < resolvers.size(); ++r) {
+      for (std::uint16_t t = 0; t < tlds.size(); ++t, ++slot) {
+        series[slot].samples.push_back(
+            probe_once(resolvers[r], tlds[t], minute));
+      }
+    }
+  }
+  return series;
+}
+
+}  // namespace dnswild::scan

@@ -1,0 +1,57 @@
+// Cache-snooping campaign (§2.6).
+//
+// Sends non-recursive NS queries for 15 TLDs to each resolver every 60
+// simulated minutes for 36 hours and records the TTL timelines the
+// utilization classifier consumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/world.h"
+#include "util/rng.h"
+
+namespace dnswild::scan {
+
+struct SnoopSample {
+  std::int32_t minute = 0;       // sample time, minutes from campaign start
+  bool responded = false;
+  bool cached = false;           // NS records present in the answer
+  std::uint32_t remaining_ttl = 0;
+};
+
+// Timeline of one (resolver, TLD) pair across the campaign.
+struct SnoopSeries {
+  std::uint32_t resolver_index = 0;
+  std::uint16_t tld_index = 0;
+  std::vector<SnoopSample> samples;
+};
+
+struct SnoopCampaignConfig {
+  net::Ipv4 scanner_ip;
+  std::uint64_t seed = 0;
+  int interval_minutes = 60;  // hourly (§2.6)
+  int duration_hours = 36;
+};
+
+class SnoopProber {
+ public:
+  SnoopProber(net::World& world, SnoopCampaignConfig config)
+      : world_(world), config_(config), rng_(config.seed) {}
+
+  // Runs the full campaign; advances the world clock as it goes. Returns
+  // one series per (resolver, tld), resolver-major.
+  std::vector<SnoopSeries> run(const std::vector<net::Ipv4>& resolvers,
+                               const std::vector<std::string>& tlds);
+
+ private:
+  SnoopSample probe_once(net::Ipv4 resolver, const std::string& tld,
+                         std::int32_t minute);
+
+  net::World& world_;
+  SnoopCampaignConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace dnswild::scan

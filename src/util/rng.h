@@ -1,0 +1,83 @@
+// Deterministic random number generation for the whole simulation.
+//
+// Every campaign in dnswild is seeded explicitly; there is no global RNG and
+// no wall-clock entropy anywhere in the library. Rng wraps xoshiro256**
+// seeded through splitmix64, following the reference implementations by
+// Blackman & Vigna. fork() derives independent per-subsystem streams so that
+// adding draws in one module does not perturb any other module's sequence.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+namespace dnswild::util {
+
+// splitmix64 step; used for seeding and for cheap stateless mixing.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+// One-shot mix of a value (stateless convenience).
+std::uint64_t mix64(std::uint64_t value) noexcept;
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0) noexcept;
+
+  // UniformRandomBitGenerator interface so Rng works with <algorithm>.
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept;
+
+  // Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  // multiply-shift rejection method to avoid modulo bias.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept;
+
+  // Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  // True with probability p (clamped to [0, 1]).
+  bool chance(double p) noexcept;
+
+  // Index drawn proportionally to the non-negative weights. Returns
+  // weights.size() if all weights are zero or the vector is empty.
+  std::size_t weighted(const std::vector<double>& weights) noexcept;
+
+  // Derive an independent child stream. Tag keeps sibling forks distinct;
+  // the same (parent state, tag) pair always yields the same child.
+  Rng fork(std::uint64_t tag) noexcept;
+  Rng fork(std::string_view tag) noexcept;
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[below(i)]);
+    }
+  }
+
+  // Pick a uniformly random element. Requires a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) noexcept {
+    return items[below(items.size())];
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+// Stable 64-bit hash of a string (FNV-1a), for tagging forks and content.
+std::uint64_t fnv1a(std::string_view text) noexcept;
+
+}  // namespace dnswild::util

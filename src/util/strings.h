@@ -1,0 +1,60 @@
+// Small ASCII string helpers shared across modules.
+//
+// DNS names, banner tokens, and HTML are all treated as byte strings with
+// ASCII case rules (per RFC 4343 DNS comparisons are ASCII-case-insensitive),
+// so these helpers deliberately avoid locale-dependent <cctype> behaviour.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnswild::util {
+
+constexpr char to_lower_ascii(char c) noexcept {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+constexpr char to_upper_ascii(char c) noexcept {
+  return (c >= 'a' && c <= 'z') ? static_cast<char>(c - 'a' + 'A') : c;
+}
+
+constexpr bool is_digit_ascii(char c) noexcept { return c >= '0' && c <= '9'; }
+
+constexpr bool is_alpha_ascii(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+
+std::string lower(std::string_view text);
+std::string upper(std::string_view text);
+
+// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b) noexcept;
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+bool ends_with(std::string_view text, std::string_view suffix) noexcept;
+
+// Case-insensitive substring search; npos-free: returns true/false.
+bool icontains(std::string_view haystack, std::string_view needle) noexcept;
+
+// Split on a single separator character. Keeps empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text) noexcept;
+
+// Lower-case hexadecimal rendering of a 32-bit value, zero-padded to 8 chars.
+std::string hex32(std::uint32_t value);
+
+// Parse 8 hex characters into a 32-bit value; nullopt on malformed input.
+std::optional<std::uint32_t> parse_hex32(std::string_view text) noexcept;
+
+// Replace every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to);
+
+}  // namespace dnswild::util

@@ -1,0 +1,84 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dnswild::util {
+
+Table::Table(std::vector<std::string> headers, std::vector<Align> aligns)
+    : headers_(std::move(headers)), aligns_(std::move(aligns)) {
+  aligns_.resize(headers_.size(), Align::kLeft);
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto emit_row = [&](const std::vector<std::string>& row,
+                            std::string& out) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c != 0) out += "  ";
+        static const std::string kEmpty;
+      const std::string& cell = c < row.size() ? row[c] : kEmpty;
+      const std::size_t pad = widths[c] - cell.size();
+      if (aligns_[c] == Align::kRight) out.append(pad, ' ');
+      out += cell;
+      if (aligns_[c] == Align::kLeft && c + 1 != headers_.size()) {
+        out.append(pad, ' ');
+      }
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(headers_, out);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) out += "  ";
+    out.append(widths[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string with_commas_signed(std::int64_t value) {
+  if (value < 0) {
+    return "-" + with_commas(static_cast<std::uint64_t>(-value));
+  }
+  return "+" + with_commas(static_cast<std::uint64_t>(value));
+}
+
+std::string pct1(double fraction_times_100) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.1f", fraction_times_100);
+  return buffer;
+}
+
+std::string frac_pct1(double fraction) { return pct1(fraction * 100.0); }
+
+}  // namespace dnswild::util

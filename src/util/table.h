@@ -1,0 +1,43 @@
+// Plain-text table rendering used by the bench binaries to print the same
+// rows the paper's tables report. Columns are auto-sized; numeric columns can
+// be right-aligned. Also hosts small numeric formatting helpers (percentages,
+// thousands separators) shared by the reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dnswild::util {
+
+enum class Align { kLeft, kRight };
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers,
+                 std::vector<Align> aligns = {});
+
+  // Appends a row; missing cells render empty, extra cells are dropped.
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with a header underline and two-space column gaps.
+  std::string render() const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// "12,345,678"
+std::string with_commas(std::uint64_t value);
+// Signed variant: "-421,371" / "+161,808" (explicit sign, as in Table 1).
+std::string with_commas_signed(std::int64_t value);
+// "12.3" with one decimal, as the paper prints percentages.
+std::string pct1(double fraction_times_100);
+// fraction in [0,1] -> "12.3"
+std::string frac_pct1(double fraction);
+
+}  // namespace dnswild::util

@@ -1,0 +1,1325 @@
+#include "worldgen/worldgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "http/factory.h"
+#include "http/server.h"
+#include "resolver/device.h"
+#include "resolver/resolver.h"
+#include "resolver/software.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace dnswild::worldgen {
+
+namespace {
+
+using core::SiteCategory;
+using http::HttpRequest;
+using http::HttpResponse;
+using net::Cidr;
+using net::Ipv4;
+using util::Rng;
+
+// ---------------------------------------------------------------------------
+// Address-space allocation
+// ---------------------------------------------------------------------------
+
+class PrefixAllocator {
+ public:
+  // Carves aligned, non-overlapping prefixes out of the unicast space,
+  // skipping the reserved ranges an Internet-wide scan excludes.
+  Cidr allocate(std::uint64_t min_size) {
+    std::uint64_t size = 1;
+    int prefix_len = 32;
+    while (size < min_size && prefix_len > 0) {
+      size <<= 1;
+      --prefix_len;
+    }
+    while (true) {
+      // Align the cursor to the block size.
+      cursor_ = (cursor_ + size - 1) / size * size;
+      const Cidr candidate(Ipv4(static_cast<std::uint32_t>(cursor_)),
+                           prefix_len);
+      if (cursor_ + size > 0xffffffffULL) {
+        throw std::runtime_error("worldgen: IPv4 space exhausted");
+      }
+      if (!overlaps_reserved(candidate)) {
+        cursor_ += size;
+        return candidate;
+      }
+      cursor_ += size;  // step past and retry
+    }
+  }
+
+ private:
+  static bool overlaps_reserved(const Cidr& range) {
+    static const Cidr kReserved[] = {
+        *Cidr::parse("0.0.0.0/8"),      *Cidr::parse("10.0.0.0/8"),
+        *Cidr::parse("100.64.0.0/10"),  *Cidr::parse("127.0.0.0/8"),
+        *Cidr::parse("169.254.0.0/16"), *Cidr::parse("172.16.0.0/12"),
+        *Cidr::parse("192.0.0.0/24"),   *Cidr::parse("192.0.2.0/24"),
+        *Cidr::parse("192.168.0.0/16"), *Cidr::parse("198.18.0.0/15"),
+        *Cidr::parse("198.51.100.0/24"), *Cidr::parse("203.0.113.0/24"),
+        *Cidr::parse("224.0.0.0/4"),    *Cidr::parse("240.0.0.0/4"),
+    };
+    for (const Cidr& reserved : kReserved) {
+      if (reserved.contains(range.base()) ||
+          range.contains(reserved.base())) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::uint64_t cursor_ = 0x01000000;  // 1.0.0.0
+};
+
+// ---------------------------------------------------------------------------
+// Simple TCP building blocks
+// ---------------------------------------------------------------------------
+
+// Serves the same generated response to every request and host.
+class AnyHostServer : public net::TcpService {
+ public:
+  using Generator = std::function<HttpResponse(const HttpRequest&)>;
+  explicit AnyHostServer(Generator generator,
+                         std::optional<net::Certificate> cert = std::nullopt)
+      : generator_(std::move(generator)), cert_(std::move(cert)) {}
+
+  std::string respond(std::string_view request) override {
+    const auto parsed = HttpRequest::parse(request);
+    if (!parsed) return HttpResponse::error(400).serialize();
+    return generator_(*parsed).serialize();
+  }
+
+  const net::Certificate* certificate(
+      const std::optional<std::string>& sni) const override {
+    (void)sni;
+    return cert_ ? &*cert_ : nullptr;
+  }
+
+ private:
+  Generator generator_;
+  std::optional<net::Certificate> cert_;
+};
+
+net::Certificate legit_cert(const std::string& domain) {
+  net::Certificate cert;
+  cert.common_name = domain;
+  cert.subject_alt_names = {"www." + domain, domain};
+  cert.issuer = "TrustSign Root CA";
+  return cert;
+}
+
+// ---------------------------------------------------------------------------
+// Country plan (Tables 1–2 + §2.3 case studies)
+// ---------------------------------------------------------------------------
+
+const std::vector<CountryPlan>& builtin_country_plan() {
+  static const std::vector<CountryPlan> kPlan = {
+      // Table 1 anchors (start shares of 26.8M; end counts / start counts).
+      {"US", 0.1104, 0.858}, {"CN", 0.0902, 0.870}, {"TR", 0.0537, 0.678},
+      {"VN", 0.0520, 0.746}, {"MX", 0.0512, 0.856}, {"IN", 0.0474, 1.127},
+      {"TH", 0.0453, 0.465}, {"IT", 0.0437, 0.617}, {"CO", 0.0396, 0.638},
+      {"TW", 0.0396, 0.427},
+      // §2.3 case studies.
+      {"AR", 0.0290, 0.250}, {"GB", 0.0210, 0.364}, {"MY", 0.0100, 1.597},
+      {"LB", 0.0035, 1.767}, {"KR", 0.0260, 0.350},
+      // Long tail with typical decline (global end total ≈ 66%).
+      {"BR", 0.0250, 0.550}, {"RU", 0.0240, 0.570}, {"ID", 0.0330, 0.550},
+      {"IR", 0.0300, 0.760}, {"EG", 0.0200, 0.920}, {"PL", 0.0180, 0.480},
+      {"DZ", 0.0150, 0.920}, {"JP", 0.0120, 0.600}, {"DE", 0.0120, 0.480},
+      {"FR", 0.0100, 0.480}, {"ES", 0.0090, 0.480}, {"UA", 0.0090, 0.480},
+      {"RO", 0.0080, 0.550}, {"GR", 0.0070, 0.550}, {"BE", 0.0055, 0.550},
+      {"MN", 0.0042, 0.600}, {"EE", 0.0040, 0.550}, {"CZ", 0.0040, 0.550},
+      {"HU", 0.0040, 0.550}, {"BG", 0.0040, 0.550}, {"RS", 0.0035, 0.550},
+      {"PH", 0.0060, 0.450}, {"PK", 0.0060, 0.450}, {"BD", 0.0050, 0.450},
+      {"SA", 0.0045, 0.550}, {"NG", 0.0040, 0.900}, {"KE", 0.0035, 0.900},
+      {"ZA", 0.0040, 0.900}, {"MA", 0.0035, 0.900}, {"TN", 0.0028, 0.900},
+      {"CL", 0.0045, 0.550}, {"PE", 0.0040, 0.500}, {"VE", 0.0040, 0.450},
+      {"EC", 0.0035, 0.500}, {"CA", 0.0050, 0.700}, {"AU", 0.0042, 0.650},
+      {"NL", 0.0042, 0.600}, {"SE", 0.0035, 0.600}, {"NO", 0.0026, 0.600},
+      {"CH", 0.0026, 0.600}, {"AT", 0.0026, 0.600}, {"PT", 0.0035, 0.550},
+      {"HK", 0.0035, 0.550}, {"SG", 0.0026, 0.650}, {"NZ", 0.0018, 0.650},
+      {"AE", 0.0028, 0.600}, {"IL", 0.0026, 0.600}, {"KZ", 0.0035, 0.550},
+  };
+  return kPlan;
+}
+
+// Censorship plan: country -> (compliance, censored domains, landing owner).
+struct CensorRule {
+  double compliance = 1.0;
+  std::vector<std::string> domains;
+  std::string landing_country;  // whose landing pages are returned
+};
+
+std::map<std::string, std::vector<CensorRule>> censor_plan() {
+  const std::vector<std::string> social = {"facebook.com", "twitter.com",
+                                           "youtube.com"};
+  const std::vector<std::string> adult = {"youporn.com", "adultfinder.com",
+                                          "xvideos.com", "pornhub.com"};
+  const std::vector<std::string> dating = {"match.com", "okcupid.com",
+                                           "eharmony.com"};
+  const std::vector<std::string> gambling = {"bet-at-home.com", "bet365.com",
+                                             "pokerstars.com",
+                                             "williamhill.com"};
+  const std::vector<std::string> filesharing = {
+      "kickass.to", "thepiratebay.se", "torrentz.eu", "extratorrent.cc",
+      "1337x.to"};
+  const auto join = [](std::initializer_list<std::vector<std::string>> sets) {
+    std::vector<std::string> out;
+    for (const auto& set : sets) out.insert(out.end(), set.begin(), set.end());
+    return out;
+  };
+
+  std::map<std::string, std::vector<CensorRule>> plan;
+  // Iran: near-complete coverage of the social set (805,559 resolvers =
+  // ~all of Iran, §4.2); adult/dating censored by a smaller share.
+  plan["IR"] = {{0.97, social, "IR"}, {0.22, adult, "IR"}};
+  // Indonesia: per-domain coverage anchors (91.6% for one adult domain,
+  // 29.3% of the youporn redirects, 88.5% for blogspot; §4.2).
+  plan["ID"] = {
+      {0.916, {"adultfinder.com", "blogspot.com", "rotten.com"}, "ID"},
+      {0.287, {"youporn.com", "bet-at-home.com"}, "ID"}};
+  // Turkey: 52.9% of the 696,777 youporn redirects -> ~38% of TR resolvers.
+  plan["TR"] = {{0.38, join({adult, {"rotten.com"}}), "TR"}};
+  // Malaysia: 8.4% of the youporn redirects -> ~22% of MY resolvers.
+  plan["MY"] = {{0.22, adult, "MY"}};
+  plan["MN"] = {{0.789, adult, "MN"}};
+  plan["GR"] = {{0.839, {"bet-at-home.com", "bet365.com"}, "GR"}};
+  plan["BE"] = {{0.786, {"bet-at-home.com", "bet365.com"}, "BE"}};
+  plan["IT"] = {{0.693, {"bet-at-home.com", "bet365.com", "pokerstars.com"}, "IT"},
+                {0.35, {"kickass.to", "thepiratebay.se"}, "IT"}};
+  plan["RU"] = {{0.22, gambling, "RU"},
+                {0.45, {"kickass.to", "thepiratebay.se"}, "RU"}};
+  // Estonia answers with addresses assigned to *Russian* censorship (§6).
+  plan["EE"] = {{0.569, gambling, "RU"}};
+  // Additional censoring countries (the paper reports 34 with landings).
+  plan["VN"] = {{0.10, social, "VN"}};
+  plan["TH"] = {{0.12, join({adult, gambling}), "TH"}};
+  plan["PK"] = {{0.40, join({adult, {"youtube.com"}}), "PK"}};
+  plan["SA"] = {{0.30, join({adult, dating, gambling}), "SA"}};
+  plan["AE"] = {{0.35, join({adult, dating}), "AE"}};
+  plan["EG"] = {{0.30, adult, "EG"}};
+  plan["DZ"] = {{0.30, adult, "DZ"}};
+  plan["MA"] = {{0.30, adult, "MA"}};
+  plan["TN"] = {{0.20, adult, "TN"}};
+  plan["KZ"] = {{0.20, social, "KZ"}};
+  plan["UA"] = {{0.10, {"thepiratebay.se"}, "UA"}};
+  plan["IN"] = {{0.08, {"thepiratebay.se", "kickass.to"}, "IN"}};
+  plan["BD"] = {{0.40, adult, "BD"}};
+  plan["PH"] = {{0.20, adult, "PH"}};
+  plan["BR"] = {{0.06, {"thepiratebay.se"}, "BR"}};
+  plan["CO"] = {{0.10, adult, "CO"}};
+  plan["MX"] = {{0.08, adult, "MX"}};
+  plan["VE"] = {{0.30, social, "VE"}};
+  plan["PE"] = {{0.10, adult, "PE"}};
+  plan["RO"] = {{0.15, gambling, "RO"}};
+  plan["RS"] = {{0.15, gambling, "RS"}};
+  plan["BG"] = {{0.15, gambling, "BG"}};
+  plan["HU"] = {{0.20, gambling, "HU"}};
+  plan["CZ"] = {{0.15, gambling, "CZ"}};
+  plan["NG"] = {{0.15, adult, "NG"}};
+  plan["KE"] = {{0.15, adult, "KE"}};
+  return plan;
+}
+
+// Landing-page IPs per censoring country (≈ 299 total across 34 countries,
+// §4.2); larger censorship systems operate more entry points.
+int landing_count_for(const std::string& country) {
+  static const std::map<std::string, int> kCounts = {
+      {"IR", 24}, {"ID", 22}, {"TR", 20}, {"RU", 18}, {"IT", 14},
+      {"SA", 12}, {"TH", 12}, {"PK", 10}, {"VN", 10}, {"MY", 10},
+      {"KZ", 8},  {"GR", 8},  {"BE", 8},  {"MN", 6},  {"AE", 8},
+      {"EG", 6},  {"DZ", 6},  {"MA", 6},  {"TN", 4},  {"UA", 6},
+      {"IN", 8},  {"BD", 6},  {"PH", 6},  {"BR", 8},  {"CO", 4},
+      {"MX", 4},  {"VE", 6},  {"PE", 4},  {"RO", 4},  {"RS", 4},
+      {"BG", 4},  {"HU", 4},  {"CZ", 4},  {"NG", 4},  {"KE", 3},
+  };
+  const auto it = kCounts.find(country);
+  return it == kCounts.end() ? 0 : it->second;
+}
+
+// Generic (country-independent) manipulator taxonomy.
+enum class Manip {
+  kNone,
+  kStaticError,    // one static IP -> error pages
+  kStaticLogin,    // one static IP -> router login
+  kStaticParking,  // one static IP -> parking
+  kStaticMisc,     // one static IP -> personal page
+  kSelfIpAll,      // own address for everything
+  kSelfIpSome,     // own address for one category
+  kLanForge,       // RFC1918 addresses (captive portals)
+  kNsOnly,         // NS referrals only: recursion denied (§4.1, 2.0%)
+  kNxSearch,       // NX names -> search portal
+  kNxParking,
+  kNxError,
+  kNxLogin,
+  kNxMisc,
+  kProxyHttp,
+  kProxyTls,
+  kAdTamper,
+  kAdBlank,
+  kSearchAds,
+  kPhishPaypal,
+  kPhishBank,
+  kMalwareUpdate,
+  kMailIntercept,
+  kMalwareBlocking,   // security products sinkholing malware domains
+  kMalwareEmpty,      // AV DNS protection: NXDOMAIN/empty for malware names
+  kMalwareSearch,     // malware domains -> search portals (§4.2 Search)
+  kMalwareError,      // malware domains -> dead/error hosting
+  kParentalBlocking,  // parental control blocking dating/adult
+  kMalwareParking,    // re-registered malware domains -> parking
+  kEmptyAnswers,      // NOERROR with empty answers for every name (§4.1)
+};
+
+struct ManipPlanEntry {
+  Manip kind;
+  double paper_count;  // resolvers in the paper (scaled by population)
+  bool floored;        // apply the case-study floor at small scale
+};
+
+const std::vector<ManipPlanEntry>& manip_plan() {
+  // Paper-reported resolver counts (of 26.8M initial / 19.2M suspicious)
+  // for each behaviour; percentages converted to absolute counts.
+  // The generic (every-domain) manipulators sum to ~0.6% of the population
+  // so the MX / ground-truth categories land at the paper's unexpected
+  // rates; the label mix inside follows Table 5's GroundTr. column
+  // (Error 55 : Login 16 : Parking 23 : Misc 5). NX monetizers sum to
+  // ~13% (NX unexpected = 13.7%) split per the NX column. Category-
+  // specific populations reproduce the Malware / Dating / MX columns.
+  static const std::vector<ManipPlanEntry> kPlan = {
+      {Manip::kStaticError, 66000, false},
+      {Manip::kStaticLogin, 20000, false},
+      {Manip::kStaticParking, 28000, false},
+      {Manip::kStaticMisc, 6000, false},
+      {Manip::kSelfIpAll, 8194, true},
+      {Manip::kSelfIpSome, 30000, false},
+      {Manip::kLanForge, 25000, false},
+      {Manip::kNsOnly, 380000, false},
+      {Manip::kEmptyAnswers, 1470000, false},
+      {Manip::kNxSearch, 1200000, false},
+      {Manip::kNxParking, 780000, false},
+      {Manip::kNxError, 830000, false},
+      {Manip::kNxLogin, 97000, false},
+      {Manip::kNxMisc, 290000, false},
+      {Manip::kProxyHttp, 10179, true},
+      {Manip::kProxyTls, 99, true},
+      {Manip::kAdTamper, 281, true},
+      {Manip::kAdBlank, 14, true},
+      {Manip::kSearchAds, 7, true},
+      {Manip::kPhishPaypal, 176, true},
+      {Manip::kPhishBank, 331, true},
+      {Manip::kMalwareUpdate, 228, true},
+      {Manip::kMailIntercept, 100000, true},
+      {Manip::kMalwareBlocking, 150000, false},
+      {Manip::kMalwareEmpty, 600000, false},
+      {Manip::kMalwareSearch, 330000, false},
+      {Manip::kMalwareError, 200000, false},
+      {Manip::kParentalBlocking, 40000, false},
+      {Manip::kMalwareParking, 550000, false},
+  };
+  return kPlan;
+}
+
+}  // namespace
+
+const std::vector<CountryPlan>& default_country_plan() {
+  return builtin_country_plan();
+}
+
+// ---------------------------------------------------------------------------
+// generate_world
+// ---------------------------------------------------------------------------
+
+GeneratedWorld generate_world(const WorldGenConfig& config) {
+  GeneratedWorld out;
+  out.world = std::make_unique<net::World>(config.seed);
+  out.registry = std::make_unique<resolver::AuthRegistry>();
+  out.domains = core::DomainSet::study_set();
+
+  net::World& world = *out.world;
+  resolver::AuthRegistry& registry = *out.registry;
+  Rng rng(util::mix64(config.seed) ^ 0x90a7ULL);
+  PrefixAllocator allocator;
+  std::uint32_t next_asn = 64500;
+
+  const auto new_as = [&](std::string name, std::string country,
+                          net::AsKind kind, std::uint64_t size) {
+    const std::uint32_t asn = next_asn++;
+    world.asdb().add_as(net::AsInfo{asn, std::move(name), std::move(country),
+                                    kind});
+    const Cidr prefix = allocator.allocate(size);
+    world.asdb().add_prefix(prefix, asn);
+    out.universe.push_back(prefix);
+    return prefix;
+  };
+
+  // --- scanner / vantage infrastructure ---------------------------------
+  const Cidr scanner_net =
+      new_as("DNSWILD-RESEARCH", "DE", net::AsKind::kEnterprise, 256);
+  out.scanner_ip = scanner_net.at(1);
+  out.vantage_ip = scanner_net.at(2);
+  const Ipv4 scan_web_ip = scanner_net.at(3);
+  const Cidr scanner2_net =
+      new_as("DNSWILD-RESEARCH-2", "DE", net::AsKind::kEnterprise, 256);
+  out.verification_scanner_ip = scanner2_net.at(1);
+
+  out.scan_zone = dns::Name::must_parse("probe.dnswild-study.example");
+  registry.add_domain("probe.dnswild-study.example", {scan_web_ip}, 60,
+                      /*wildcard=*/true);
+  world.rdns().set(out.scanner_ip, "scanner.dnswild-study.example");
+  registry.add_a_record("scanner.dnswild-study.example", out.scanner_ip);
+
+  // --- hosting for the study domains -------------------------------------
+  // One CDN with regional views plus per-domain origin hosting.
+  const Cidr cdn_us = new_as("GlobalCDN US", "US", net::AsKind::kCdn, 64);
+  const Cidr cdn_eu = new_as("GlobalCDN EU", "DE", net::AsKind::kCdn, 64);
+  const Cidr cdn_as = new_as("GlobalCDN APAC", "SG", net::AsKind::kCdn, 64);
+  // Off-net CDN caches embedded inside ISP networks (the Akamai effect the
+  // prefilter's certificate rule exists for, §3.4).
+  const Cidr cdn_offnet = new_as("GlobalCDN OffNet", "BR",
+                                 net::AsKind::kCdn, 64);
+
+  net::Certificate cdn_default_cert;
+  cdn_default_cert.common_name = "*.edge.globalcdn.example";
+  cdn_default_cert.issuer = "TrustSign Root CA";
+
+  std::uint32_t hosting_counter = 0;
+  const auto host_static_web = [&](Ipv4 ip,
+                                   std::unique_ptr<net::TcpService> web,
+                                   std::unique_ptr<net::TcpService> tls =
+                                       nullptr) {
+    net::HostConfig host_config;
+    host_config.attachment.ip = ip;
+    const net::HostId id = world.add_host(host_config);
+    if (tls) {
+      world.set_tcp_service(id, 443, std::move(tls));
+    }
+    world.set_tcp_service(id, 80, std::move(web));
+    return id;
+  };
+
+  // Content oracle: the canonical representation of any study domain.
+  const auto legit_response = [&, domains = out.domains](
+                                  const HttpRequest& request,
+                                  std::uint64_t nonce) -> std::optional<HttpResponse> {
+    const core::StudyDomain* domain = domains.find(request.host);
+    if (domain == nullptr || !domain->exists) return std::nullopt;
+    return HttpResponse::ok(http::legit_site(domain->name, domain->category,
+                                             /*variant=*/0, nonce));
+  };
+
+  std::unordered_map<std::string, int> domain_host_count;
+  const auto add_origin = [&](const core::StudyDomain& domain, Cidr net_range,
+                              int count, bool on_cdn) {
+    std::vector<Ipv4> ips;
+    for (int i = 0; i < count; ++i) {
+      const Ipv4 ip = net_range.at(16 + (hosting_counter++ % 40));
+      ips.push_back(ip);
+      auto cert = legit_cert(domain.name);
+      auto server = std::make_unique<http::WebServer>();
+      const std::string name = domain.name;
+      std::uint64_t nonce_seed = util::fnv1a(domain.name);
+      server->add_vhost(
+          domain.name,
+          [name, category = domain.category,
+           nonce = nonce_seed](const HttpRequest&) mutable {
+            return HttpResponse::ok(
+                http::legit_site(name, category, 0, nonce++));
+          },
+          cert);
+      if (on_cdn) server->set_default_certificate(cdn_default_cert);
+      net::HostConfig host_config;
+      host_config.attachment.ip = ip;
+      const net::HostId id = world.add_host(host_config);
+      // The same service object answers both plain and TLS connections.
+      world.set_tcp_service(id, 80, std::move(server));
+      auto tls_server = std::make_unique<http::WebServer>();
+      tls_server->add_vhost(
+          domain.name,
+          [name, category = domain.category,
+           nonce = nonce_seed](const HttpRequest&) mutable {
+            return HttpResponse::ok(
+                http::legit_site(name, category, 0, nonce++));
+          },
+          cert);
+      // Real servers present a default certificate without SNI — the CDN
+      // provider cert on edges, the host cert on origins. (TLS relays
+      // cannot, which rule iii of the prefilter exploits.)
+      tls_server->set_default_certificate(
+          on_cdn ? cdn_default_cert : std::move(cert));
+      world.set_tcp_service(id, 443, std::move(tls_server));
+
+      // Mail hosts also speak SMTP/POP3/IMAP.
+      if (domain.is_mx_host) {
+        const std::string provider = domain.name;
+        world.set_tcp_service(id, 25, std::make_unique<http::BannerService>(
+            "220 " + provider + " ESMTP ready\r\n"));
+        world.set_tcp_service(id, 110, std::make_unique<http::BannerService>(
+            "+OK " + provider + " POP3 service\r\n"));
+        world.set_tcp_service(id, 143, std::make_unique<http::BannerService>(
+            "* OK " + provider + " IMAP4rev1 at your service\r\n"));
+      }
+
+      // rDNS forward-confirmation material (§3.4 rule ii).
+      const std::string rdns_name =
+          "host" + std::to_string(domain_host_count[domain.name]++) + "." +
+          domain.name;
+      world.rdns().set(ip, rdns_name);
+      registry.add_a_record(rdns_name, ip);
+    }
+    return ips;
+  };
+
+  {
+    // Per-domain hosting ASes; one fresh AS per ~6 domains.
+    Cidr current_hosting{};
+    int domains_in_as = 0;
+    int hosting_index = 0;
+    for (const core::StudyDomain& domain : out.domains.all()) {
+      if (!domain.exists) continue;
+      const bool cdn_hosted =
+          !domain.is_mx_host &&
+          (domain.category == SiteCategory::kAlexa ||
+           domain.category == SiteCategory::kAds ||
+           domain.category == SiteCategory::kAntivirus) &&
+          (hosting_index % 2 == 0);
+      if (domains_in_as == 0) {
+        current_hosting = new_as("Hosting-" + std::to_string(hosting_index),
+                                 hosting_index % 3 == 0   ? "US"
+                                 : hosting_index % 3 == 1 ? "DE"
+                                                          : "SG",
+                                 net::AsKind::kHosting, 64);
+        domains_in_as = 6;
+      }
+      --domains_in_as;
+      ++hosting_index;
+
+      if (cdn_hosted) {
+        // CDN zone: regional answers spanning several ASes + off-net.
+        const auto us_ips = add_origin(domain, cdn_us, 1, true);
+        const auto eu_ips = add_origin(domain, cdn_eu, 1, true);
+        const auto as_ips = add_origin(domain, cdn_as, 1, true);
+        const auto off_ips = add_origin(domain, cdn_offnet, 1, true);
+        std::unordered_map<std::string, std::vector<Ipv4>> regional;
+        regional["US"] = us_ips;
+        regional["DE"] = eu_ips;
+        regional["FR"] = eu_ips;
+        regional["GB"] = eu_ips;
+        regional["SG"] = as_ips;
+        regional["CN"] = as_ips;
+        regional["JP"] = as_ips;
+        regional["BR"] = off_ips;  // off-net edge: AS the prefilter's
+        regional["CO"] = off_ips;  // trusted views never see (§3.4)
+        regional["MX"] = off_ips;
+        // CDN customers alias into the provider's edge zone; resolutions
+        // walk the CNAME chain the way real CDN answers do.
+        std::string edge_label = domain.name;
+        for (char& c : edge_label) {
+          if (c == '.') c = '-';
+        }
+        const std::string edge = edge_label + ".edge.globalcdn.example";
+        registry.add_cname(domain.name, edge);
+        registry.add_cdn_domain(edge, us_ips, std::move(regional), 60);
+      } else {
+        const auto ips = add_origin(domain, current_hosting,
+                                    1 + (hosting_index % 2), false);
+        registry.add_domain(domain.name, ips, 300);
+      }
+      registry.set_certificate(domain.name, legit_cert(domain.name));
+    }
+    // Ground-truth domain under our own AS.
+    const Ipv4 gt_ip = scanner_net.at(10);
+    core::StudyDomain gt{out.domains.ground_truth(),
+                         SiteCategory::kGroundTruth, true, false};
+    registry.add_domain(gt.name, {gt_ip}, 300);
+    auto gt_server = std::make_unique<http::WebServer>();
+    gt_server->add_vhost(gt.name, http::serve_body(http::legit_site(
+                                      gt.name, gt.category, 0, 7)),
+                         legit_cert(gt.name));
+    host_static_web(gt_ip, std::move(gt_server));
+    world.rdns().set(gt_ip, "host0." + gt.name);
+    registry.add_a_record("host0." + gt.name, gt_ip);
+  }
+
+  // TLDs for cache snooping (§2.6).
+  for (const std::string& tld : core::snoop_tlds()) {
+    registry.add_tld(tld, {"a.nic." + tld, "b.nic." + tld}, 172800);
+  }
+
+  // --- manipulation target infrastructure --------------------------------
+  const Cidr target_net =
+      new_as("MixedTargets", "US", net::AsKind::kHosting, 512);
+  std::uint32_t target_cursor = 4;
+  const auto next_target_ip = [&] { return target_net.at(target_cursor++); };
+
+  const auto make_targets = [&](int count,
+                                AnyHostServer::Generator generator) {
+    std::vector<Ipv4> ips;
+    for (int i = 0; i < count; ++i) {
+      const Ipv4 ip = next_target_ip();
+      host_static_web(ip, std::make_unique<AnyHostServer>(generator));
+      ips.push_back(ip);
+    }
+    return ips;
+  };
+
+  const auto error_targets = make_targets(6, [flavor = 0](
+                                                 const HttpRequest&) mutable {
+    static constexpr int kCodes[] = {403, 404, 404, 410, 500, 503};
+    ++flavor;
+    HttpResponse response = HttpResponse::error(kCodes[flavor % 6]);
+    response.body = http::error_page(kCodes[flavor % 6],
+                                     static_cast<std::uint64_t>(flavor));
+    return response;
+  });
+  const auto login_targets = make_targets(4, [](const HttpRequest& request) {
+    return HttpResponse::ok(
+        http::router_login(util::fnv1a(request.host) % 2, 1));
+  });
+  const auto portal_targets = make_targets(3, [](const HttpRequest& request) {
+    return HttpResponse::ok(
+        http::captive_portal(util::fnv1a(request.host) % 3, 2));
+  });
+  std::vector<Ipv4> parking_targets;
+  for (int i = 0; i < 5; ++i) {
+    const Ipv4 ip = next_target_ip();
+    const net::HostId id = host_static_web(
+        ip, std::make_unique<AnyHostServer>([](const HttpRequest& request) {
+          return HttpResponse::ok(
+              http::parking_page(request.host, util::fnv1a(request.host) % 3));
+        }));
+    // Parking providers run catch-all mail to monetize traffic, which is
+    // what makes "64.7% of MX-suspicious resolvers point at listening mail
+    // hosts" (§4.3) reproducible.
+    world.set_tcp_service(id, 25, std::make_unique<http::BannerService>(
+        "220 mx.parking-provider" + std::to_string(i % 3 + 1) +
+        ".example ESMTP catch-all\r\n"));
+    parking_targets.push_back(ip);
+  }
+  const auto search_targets = make_targets(4, [](const HttpRequest& request) {
+    return HttpResponse::ok(http::search_page(1, request.host, false));
+  });
+  const auto misc_targets = make_targets(3, [](const HttpRequest&) {
+    return HttpResponse::ok(http::legit_site(
+        "personal-homepage.example", SiteCategory::kMisc, 3, 11));
+  });
+  const auto blocking_targets =
+      make_targets(5, [](const HttpRequest& request) {
+        return HttpResponse::ok(http::blocking_page(
+            util::fnv1a(request.host) % 3, 1, request.host));
+      });
+  const auto ad_tamper_targets = make_targets(4, [legit_response, i = 0](
+                                                  const HttpRequest& request) mutable {
+    ++i;
+    const auto base = legit_response(request, 31);
+    const std::string original =
+        base ? base->body
+             : http::legit_site(request.host, SiteCategory::kAds, 0, 31);
+    return HttpResponse::ok(http::tamper_ads(
+        original,
+        i % 2 == 0 ? http::AdTamper::kInjectBanner
+                   : http::AdTamper::kSuspiciousJs,
+        static_cast<std::uint64_t>(i)));
+  });
+  const auto ad_blank_targets =
+      make_targets(7, [legit_response](const HttpRequest& request) {
+        const auto base = legit_response(request, 32);
+        const std::string original =
+            base ? base->body
+                 : http::legit_site(request.host, SiteCategory::kAds, 0, 32);
+        return HttpResponse::ok(
+            http::tamper_ads(original, http::AdTamper::kEmptyPlaceholder, 5));
+      });
+  const auto search_ads_targets =
+      make_targets(2, [](const HttpRequest& request) {
+        return HttpResponse::ok(http::search_page(2, request.host, true));
+      });
+  const auto malware_targets = make_targets(
+      30, [counter = 0](const HttpRequest&) mutable {
+        ++counter;
+        return HttpResponse::ok(
+            http::malware_update_page(counter % 2 == 0,
+                                      static_cast<std::uint64_t>(counter)));
+      });
+
+  // Phishing hosts: 16 PayPal kits (3 with self-signed TLS) + 2 bank mimics
+  // + a tail of generic kits (39 total, §4.3).
+  std::vector<Ipv4> paypal_targets;
+  for (int i = 0; i < 16; ++i) {
+    const Ipv4 ip = next_target_ip();
+    auto server = std::make_unique<AnyHostServer>(
+        [i](const HttpRequest&) {
+          return HttpResponse::ok(
+              http::phishing_paypal(static_cast<std::uint64_t>(i)));
+        },
+        i < 3 ? std::optional<net::Certificate>([&] {
+          net::Certificate cert;
+          cert.common_name = "paypal.com";
+          cert.self_signed = true;
+          cert.valid_chain = false;
+          return cert;
+        }())
+              : std::nullopt);
+    host_static_web(ip, std::move(server));
+    paypal_targets.push_back(ip);
+  }
+  std::vector<Ipv4> bank_phish_targets;
+  {
+    // First server in a Brazilian network, second in Russia (§4.3).
+    const Cidr br_net = new_as("BR-Hosting", "BR", net::AsKind::kHosting, 32);
+    const Cidr ru_net = new_as("RU-Hosting", "RU", net::AsKind::kHosting, 32);
+    for (const Cidr net_range : {br_net, ru_net}) {
+      const Ipv4 ip = net_range.at(5);
+      host_static_web(ip, std::make_unique<AnyHostServer>(
+                              [](const HttpRequest&) {
+                                return HttpResponse::ok(
+                                    http::phishing_bank_it(1));
+                              }));
+      bank_phish_targets.push_back(ip);
+    }
+  }
+
+  // Transparent proxies: 10 HTTP-only + 10 TLS-passthrough (§4.3).
+  std::vector<Ipv4> proxy_http_targets;
+  std::vector<Ipv4> proxy_tls_targets;
+  {
+    const http::ContentOracle oracle =
+        [legit_response](const HttpRequest& request) {
+          return legit_response(request, 47);
+        };
+    // `registry` lives in the returned GeneratedWorld, so capturing the
+    // pointer is safe for the world's lifetime.
+    const http::CertOracle certs =
+        [registry_ptr = &registry](const std::string& host) {
+          return registry_ptr->certificate(host);
+        };
+    for (int i = 0; i < 10; ++i) {
+      const Ipv4 ip = next_target_ip();
+      net::HostConfig host_config;
+      host_config.attachment.ip = ip;
+      const net::HostId id = world.add_host(host_config);
+      world.set_tcp_service(
+          id, 80, std::make_unique<http::ProxyServer>(oracle, certs, false));
+      // Transparent proxies relay mail ports as well (the §4.3 mail study
+      // finds most suspicious MX answers point at listening mail hosts).
+      world.set_tcp_service(id, 25, std::make_unique<http::BannerService>(
+          "220 relay" + std::to_string(i) + ".example ESMTP\r\n"));
+      world.set_tcp_service(id, 143, std::make_unique<http::BannerService>(
+          "* OK IMAP4 relay ready\r\n"));
+      proxy_http_targets.push_back(ip);
+    }
+    for (int i = 0; i < 10; ++i) {
+      const Ipv4 ip = next_target_ip();
+      net::HostConfig host_config;
+      host_config.attachment.ip = ip;
+      const net::HostId id = world.add_host(host_config);
+      auto proxy = std::make_unique<http::ProxyServer>(oracle, certs, true);
+      world.set_tcp_service(id, 443, std::make_unique<http::ProxyServer>(
+                                          oracle, certs, true));
+      world.set_tcp_service(id, 80, std::move(proxy));
+      proxy_tls_targets.push_back(ip);
+    }
+  }
+
+  // Mail interceptors: hosts listening on mail ports; some mimic the
+  // legitimate banner exactly (§4.3 Gmail/Yandex case).
+  std::vector<Ipv4> mail_intercept_targets;
+  for (int i = 0; i < 12; ++i) {
+    const Ipv4 ip = next_target_ip();
+    net::HostConfig host_config;
+    host_config.attachment.ip = ip;
+    const net::HostId id = world.add_host(host_config);
+    const bool mimic = i < 3;
+    const std::string smtp_banner =
+        mimic ? "220 smtp.gmail.com ESMTP ready\r\n"
+              : "220 mail-gw" + std::to_string(i) + ".example ESMTP\r\n";
+    world.set_tcp_service(id, 25,
+                          std::make_unique<http::BannerService>(smtp_banner));
+    world.set_tcp_service(id, 110, std::make_unique<http::BannerService>(
+                                       "+OK POP3 gateway ready\r\n"));
+    world.set_tcp_service(id, 143, std::make_unique<http::BannerService>(
+                                       "* OK IMAP4 gateway ready\r\n"));
+    mail_intercept_targets.push_back(ip);
+  }
+
+  // Censorship landing pages per country.
+  std::map<std::string, std::vector<Ipv4>> landing_ips;
+  for (const auto& [country, rules] : censor_plan()) {
+    for (const CensorRule& rule : rules) {
+      auto& ips = landing_ips[rule.landing_country];
+      if (!ips.empty()) continue;  // already built for this owner
+      const int count = std::max(2, landing_count_for(rule.landing_country));
+      const Cidr net_range = new_as("Censor-" + rule.landing_country,
+                                    rule.landing_country,
+                                    net::AsKind::kEnterprise, 64);
+      for (int i = 0; i < count; ++i) {
+        const Ipv4 ip = net_range.at(static_cast<std::uint64_t>(4 + i));
+        const std::string owner = rule.landing_country;
+        host_static_web(ip, std::make_unique<AnyHostServer>(
+                                [owner, i](const HttpRequest&) {
+                                  return HttpResponse::ok(
+                                      http::censorship_page(
+                                          owner,
+                                          static_cast<std::uint64_t>(i)));
+                                }));
+        ips.push_back(ip);
+      }
+    }
+  }
+
+  // --- the Great Firewall -------------------------------------------------
+  std::vector<Cidr> cn_prefixes;  // filled as CN ASes are allocated
+
+  // --- resolver population ------------------------------------------------
+  const auto plan = default_country_plan();
+  double share_total = 0.0;
+  for (const CountryPlan& entry : plan) share_total += entry.start_share;
+
+  const double scale =
+      static_cast<double>(config.resolver_count) / 26800000.0;
+  const auto scaled_count = [&](double paper_count, bool floored) {
+    const auto scaled =
+        static_cast<std::uint32_t>(std::llround(paper_count * scale));
+    if (floored && scaled < config.case_study_floor) {
+      return config.case_study_floor;
+    }
+    return scaled;
+  };
+
+  // Build the weighted manipulator lottery (count-based).
+  std::vector<std::pair<Manip, std::uint32_t>> manip_counts;
+  std::uint64_t manip_total = 0;
+  for (const ManipPlanEntry& entry : manip_plan()) {
+    const std::uint32_t count = scaled_count(entry.paper_count, entry.floored);
+    if (count == 0) continue;
+    manip_counts.emplace_back(entry.kind, count);
+    manip_total += count;
+  }
+  out.planned_generic_manipulators = static_cast<std::uint32_t>(manip_total);
+
+  // Flattened assignment queue, shuffled across the whole population.
+  std::vector<Manip> manip_queue;
+  manip_queue.reserve(config.resolver_count);
+  for (const auto& [kind, count] : manip_counts) {
+    for (std::uint32_t i = 0; i < count && manip_queue.size() <
+             config.resolver_count; ++i) {
+      manip_queue.push_back(kind);
+    }
+  }
+  while (manip_queue.size() < config.resolver_count) {
+    manip_queue.push_back(Manip::kNone);
+  }
+  rng.shuffle(manip_queue);
+
+  // Software / chaos assignment weights.
+  const resolver::ChaosPopulationMix chaos_mix =
+      resolver::chaos_population_mix();
+  const auto& catalog = resolver::software_catalog();
+  std::vector<double> software_weights;
+  for (const auto& profile : catalog) {
+    software_weights.push_back(profile.reveal_share);
+  }
+
+  // Snoop profile mix (§2.6).
+  const std::vector<std::pair<resolver::SnoopProfile, double>> snoop_mix = {
+      {resolver::SnoopProfile::kNoCache, 0.073},
+      {resolver::SnoopProfile::kSingleThenSilent, 0.033},
+      {resolver::SnoopProfile::kStaticTtl, 0.020},
+      {resolver::SnoopProfile::kZeroTtl, 0.020},
+      {resolver::SnoopProfile::kActiveFast, 0.387},
+      {resolver::SnoopProfile::kActiveSlow, 0.229},
+      {resolver::SnoopProfile::kActiveLongTtl, 0.040},
+      {resolver::SnoopProfile::kTtlReset, 0.196},
+  };
+  std::vector<double> snoop_weights;
+  for (const auto& [profile, weight] : snoop_mix) {
+    snoop_weights.push_back(weight);
+  }
+
+  // Device mix (Table 4) applied to the TCP-responsive fraction.
+  const auto& devices = resolver::device_catalog();
+  std::vector<double> device_weights;
+  for (const auto& device : devices) device_weights.push_back(device.share);
+
+  const auto plan_censor = censor_plan();
+  const std::vector<std::string> gfw_domains = {
+      "facebook.com", "twitter.com", "youtube.com", "wikileaks.org"};
+
+  std::uint32_t resolver_index = 0;
+  std::uint32_t filters_installed = 0;
+
+  for (const CountryPlan& country : plan) {
+    const auto country_count = static_cast<std::uint32_t>(std::llround(
+        config.resolver_count * country.start_share / share_total));
+    if (country_count == 0) continue;
+
+    // ASes: one dominant broadband ISP + smaller networks (§2.3: at least
+    // 20 of the Top 25 networks are broadband providers).
+    struct CountryAs {
+      Cidr pool;
+      double weight;
+    };
+    std::vector<CountryAs> country_ases;
+    const int as_count = country_count > 200 ? 4 : 2;
+    for (int a = 0; a < as_count; ++a) {
+      const double weight = a == 0 ? 0.55 : 0.45 / (as_count - 1);
+      const auto pool_size = static_cast<std::uint64_t>(std::llround(
+          std::max(64.0, country_count * weight * config.pool_factor)));
+      const Cidr pool = new_as(
+          country.code + (a == 0 ? " Broadband" : " Net-" + std::to_string(a)),
+          country.code,
+          a == 0 ? net::AsKind::kBroadbandIsp : net::AsKind::kEnterprise,
+          pool_size);
+      country_ases.push_back(CountryAs{pool, weight});
+      if (country.code == "CN") cn_prefixes.push_back(pool);
+    }
+
+    // Growth countries add later-activating hosts; declining countries
+    // decommission a share across the study window.
+    double decline =
+        country.end_factor < 1.0 ? 1.0 - country.end_factor : 0.0;
+    const auto extra = static_cast<std::uint32_t>(
+        country.end_factor > 1.0
+            ? std::llround(country_count * (country.end_factor - 1.0))
+            : 0);
+
+    // One "collapsing network" mechanism per special country (§2.3): the
+    // Argentinean provider loses 97.8% of its resolvers; a Korean ISP all
+    // but 22; a few networks only block the primary scanner.
+    const bool collapse_as0 =
+        country.code == "AR" || country.code == "KR";
+    const bool scanner_blocked_as0 =
+        (country.code == "TH" || country.code == "TW" ||
+         country.code == "GB") &&
+        filters_installed < 21;
+
+    if (scanner_blocked_as0) {
+      // One sub-network of the big ISP blocks the primary scanner (the
+      // paper's verification scan finds 145,304 such NOERROR resolvers —
+      // < 1% of the population, so the blocked ranges must be small).
+      net::IngressFilter filter;
+      filter.network = net::Cidr(
+          country_ases[0].pool.base(),
+          std::min(32, country_ases[0].pool.prefix_len() + 3));
+      filter.only_src = out.scanner_ip;
+      filter.active_from_day = 60.0 + 40.0 * (filters_installed % 5);
+      world.add_ingress_filter(filter);
+      ++filters_installed;
+      // Visible end count = (1 - blocked share) * survival; keep Table 1.
+      decline = 1.0 - std::min(1.0, country.end_factor / 0.93);
+    }
+    if (collapse_as0) {
+      // AS0 collapses to ~2.2% (the §2.3 Argentinean/Korean providers); the
+      // remaining networks make up the rest of the Table 1 factor.
+      decline = 1.0 - std::clamp(
+                          (country.end_factor - 0.55 * 0.022) / 0.45, 0.0,
+                          1.0);
+    }
+
+    const auto rules_it = plan_censor.find(country.code);
+
+    for (std::uint32_t k = 0; k < country_count + extra; ++k) {
+      const bool is_extra = k >= country_count;
+      // Pick the AS.
+      std::vector<double> as_weights;
+      for (const auto& as_entry : country_ases) {
+        as_weights.push_back(as_entry.weight);
+      }
+      const std::size_t as_index = rng.weighted(as_weights);
+      const CountryAs& as_entry = country_ases[as_index];
+
+      net::HostConfig host_config;
+      // Churn class mixture (Fig. 2 calibration; see DESIGN.md §5).
+      const std::size_t churn_class =
+          rng.weighted({0.45, 0.436, 0.094, 0.02});
+      if (churn_class == 3) {
+        host_config.attachment.ip =
+            as_entry.pool.at(rng.below(as_entry.pool.size() - 8) + 4);
+      } else {
+        host_config.attachment.dynamic = true;
+        host_config.attachment.pool = as_entry.pool;
+        host_config.attachment.mean_lease_days =
+            churn_class == 0 ? 0.4 : churn_class == 1 ? 40.0 : 300.0;
+      }
+      if (is_extra) {
+        host_config.active_from_day = 5.0 + rng.uniform() * 370.0;
+      }
+      const bool decommissioned =
+          collapse_as0 && as_index == 0 ? rng.chance(0.978)
+                                        : rng.chance(decline);
+      if (decommissioned) {
+        host_config.active_until_day = 5.0 + rng.uniform() * 370.0;
+      }
+
+      const net::HostId host_id = world.add_host(host_config);
+
+      // rDNS for the initially-bound address (churn analysis, §2.5).
+      if (const auto address = world.address_of(host_id)) {
+        if (host_config.attachment.dynamic &&
+            host_config.attachment.mean_lease_days < 2.0) {
+          const double draw = rng.uniform();
+          if (draw < 0.75) {
+            world.rdns().set(*address,
+                             net::synth_dynamic_rdns(
+                                 *address, util::lower(country.code) + "-isp",
+                                 static_cast<unsigned>(rng.next() % 4)));
+          } else if (draw < 0.85) {
+            world.rdns().set(*address,
+                             net::synth_static_rdns(
+                                 *address, util::lower(country.code) + "-isp"));
+          }
+        }
+      }
+
+      // --- resolver service -------------------------------------------
+      resolver::ResolverConfig resolver_config;
+      resolver_config.registry = &registry;
+      resolver_config.clock = &world.clock();
+      resolver_config.seed = rng.next();
+      resolver_config.region = country.code;
+      resolver_config.behavior.drop_rate = 0.01;
+
+      // CHAOS surface (Table 3 mix).
+      {
+        const double draw = rng.uniform();
+        if (draw < chaos_mix.refused_or_servfail) {
+          resolver_config.chaos = rng.chance(0.5)
+                                      ? resolver::ChaosBehavior::kRefused
+                                      : resolver::ChaosBehavior::kServFail;
+        } else if (draw <
+                   chaos_mix.refused_or_servfail + chaos_mix.noerror_empty) {
+          resolver_config.chaos = resolver::ChaosBehavior::kNoErrorEmpty;
+        } else if (draw < chaos_mix.refused_or_servfail +
+                              chaos_mix.noerror_empty +
+                              chaos_mix.hidden_string) {
+          resolver_config.chaos = resolver::ChaosBehavior::kHiddenString;
+          resolver_config.version_banner =
+              rng.pick(resolver::hidden_version_strings());
+        } else {
+          resolver_config.chaos = resolver::ChaosBehavior::kRevealVersion;
+          const std::size_t software = rng.weighted(software_weights);
+          resolver_config.version_banner =
+              software < catalog.size() ? catalog[software].banner()
+                                        : catalog.front().banner();
+        }
+      }
+
+      // Snoop profile (§2.6).
+      {
+        const std::size_t pick = rng.weighted(snoop_weights);
+        resolver_config.snoop.profile =
+            snoop_mix[pick < snoop_mix.size() ? pick : 0].first;
+        resolver_config.snoop.tld_ttl = 21600;
+      }
+
+      // Multi-homed forwarders & port manglers (§2.2, §3.3).
+      if (rng.chance(0.028)) {
+        resolver_config.reply_src =
+            as_entry.pool.at(rng.below(as_entry.pool.size() - 8) + 4);
+      }
+      if (rng.chance(0.015)) resolver_config.mangle_reply_port = true;
+
+      // Country censorship (§4.2).
+      if (rules_it != plan_censor.end()) {
+        for (const CensorRule& rule : rules_it->second) {
+          if (!rng.chance(rule.compliance)) continue;
+          resolver::Override censor;
+          // Each resolver enforces its own subset of the blocklist (real
+          // deployments lag updates), diversifying per-domain coverage.
+          for (const auto& name : rule.domains) {
+            if (rng.chance(0.85)) censor.domains.push_back(name);
+          }
+          if (censor.domains.empty()) censor.domains = {rule.domains[0]};
+          censor.action = resolver::OverrideAction::kForgeIps;
+          const auto& ips = landing_ips[rule.landing_country];
+          censor.ips = {ips[rng.below(ips.size())]};
+          censor.forged_ttl = 300;
+          resolver_config.behavior.overrides.push_back(std::move(censor));
+          ++out.planned_censors;
+        }
+      }
+      // GFW suppression: most Chinese resolvers never get their honest
+      // answer out for censored names; ~2.4% do (the dual-response group,
+      // §4.2).
+      if (country.code == "CN" && !rng.chance(0.024)) {
+        resolver::Override suppress;
+        suppress.match_suffixes = gfw_domains;
+        suppress.action = resolver::OverrideAction::kIgnore;
+        resolver_config.behavior.overrides.push_back(std::move(suppress));
+      }
+
+      // Generic manipulation (§4.1, §4.3).
+      const Manip manip = manip_queue[resolver_index % manip_queue.size()];
+      ++resolver_index;
+      const auto pick_ip = [&rng](const std::vector<Ipv4>& ips) {
+        return std::vector<Ipv4>{ips[rng.below(ips.size())]};
+      };
+      const auto add_match_all = [&](resolver::OverrideAction action,
+                                     std::vector<Ipv4> ips) {
+        resolver::Override override;
+        override.match_all = true;
+        override.action = action;
+        override.ips = std::move(ips);
+        resolver_config.behavior.overrides.push_back(std::move(override));
+      };
+      const auto add_nx = [&](std::vector<Ipv4> ips) {
+        resolver::Override override;
+        override.match_nonexistent = true;
+        override.action = resolver::OverrideAction::kForgeIps;
+        override.ips = std::move(ips);
+        resolver_config.behavior.overrides.push_back(std::move(override));
+      };
+      const auto add_domains = [&](std::vector<std::string> names,
+                                   std::vector<Ipv4> ips) {
+        resolver::Override override;
+        override.domains = std::move(names);
+        override.action = resolver::OverrideAction::kForgeIps;
+        override.ips = std::move(ips);
+        resolver_config.behavior.overrides.push_back(std::move(override));
+      };
+
+      bool force_router_device = false;
+      switch (manip) {
+        case Manip::kNone: break;
+        case Manip::kStaticError:
+          add_match_all(resolver::OverrideAction::kForgeIps,
+                        pick_ip(error_targets));
+          break;
+        case Manip::kStaticLogin:
+          add_match_all(resolver::OverrideAction::kForgeIps,
+                        pick_ip(login_targets));
+          break;
+        case Manip::kStaticParking:
+          add_match_all(resolver::OverrideAction::kForgeIps,
+                        pick_ip(parking_targets));
+          break;
+        case Manip::kStaticMisc:
+          add_match_all(resolver::OverrideAction::kForgeIps,
+                        pick_ip(misc_targets));
+          break;
+        case Manip::kSelfIpAll:
+          add_match_all(resolver::OverrideAction::kSelfIp, {});
+          force_router_device = true;
+          break;
+        case Manip::kSelfIpSome: {
+          resolver::Override override;
+          override.domains =
+              out.domains.names_in_category(SiteCategory::kTracking);
+          override.action = resolver::OverrideAction::kSelfIp;
+          resolver_config.behavior.overrides.push_back(std::move(override));
+          force_router_device = true;
+          break;
+        }
+        case Manip::kLanForge:
+          add_match_all(resolver::OverrideAction::kForgeIps,
+                        {Ipv4(192, 168, 1, 1)});
+          break;
+        case Manip::kNsOnly:
+          resolver_config.behavior.base = resolver::BasePolicy::kNsOnlyAll;
+          break;
+        case Manip::kNxSearch: add_nx(pick_ip(search_targets)); break;
+        case Manip::kNxParking: add_nx(pick_ip(parking_targets)); break;
+        case Manip::kNxError: add_nx(pick_ip(error_targets)); break;
+        case Manip::kNxLogin: add_nx(pick_ip(portal_targets)); break;
+        case Manip::kNxMisc: add_nx(pick_ip(misc_targets)); break;
+        case Manip::kProxyHttp:
+          add_match_all(resolver::OverrideAction::kForgeIps,
+                        pick_ip(proxy_http_targets));
+          break;
+        case Manip::kProxyTls:
+          add_match_all(resolver::OverrideAction::kForgeIps,
+                        pick_ip(proxy_tls_targets));
+          break;
+        case Manip::kAdTamper:
+          add_domains(out.domains.names_in_category(SiteCategory::kAds),
+                      pick_ip(ad_tamper_targets));
+          break;
+        case Manip::kAdBlank:
+          add_domains(out.domains.names_in_category(SiteCategory::kAds),
+                      pick_ip(ad_blank_targets));
+          break;
+        case Manip::kSearchAds:
+          add_nx(pick_ip(search_ads_targets));
+          break;
+        case Manip::kPhishPaypal:
+          add_domains({"paypal.com"}, pick_ip(paypal_targets));
+          break;
+        case Manip::kPhishBank:
+          add_domains({"intesasanpaolo.it", "unicredit.it"},
+                      pick_ip(bank_phish_targets));
+          break;
+        case Manip::kMalwareUpdate:
+          add_domains({"update.adobe.com", "get.adobe.com",
+                       "download.oracle.com"},
+                      pick_ip(malware_targets));
+          break;
+        case Manip::kMailIntercept:
+          add_domains(out.domains.names_in_category(SiteCategory::kMail),
+                      pick_ip(mail_intercept_targets));
+          break;
+        case Manip::kEmptyAnswers:
+          add_match_all(resolver::OverrideAction::kEmptyAnswer, {});
+          break;
+        case Manip::kMalwareEmpty: {
+          resolver::Override override;
+          override.domains =
+              out.domains.names_in_category(SiteCategory::kMalware);
+          override.action = rng.chance(0.5)
+                                ? resolver::OverrideAction::kNxDomain
+                                : resolver::OverrideAction::kEmptyAnswer;
+          resolver_config.behavior.overrides.push_back(std::move(override));
+          break;
+        }
+        case Manip::kMalwareSearch: {
+          // "six out of 13 malware domains" redirect to search (§4.2).
+          auto malware = out.domains.names_in_category(SiteCategory::kMalware);
+          malware.resize(6);
+          add_domains(std::move(malware), pick_ip(search_targets));
+          break;
+        }
+        case Manip::kMalwareError: {
+          auto malware = out.domains.names_in_category(SiteCategory::kMalware);
+          std::vector<std::string> subset;
+          for (const auto& name : malware) {
+            if (rng.chance(0.6)) subset.push_back(name);
+          }
+          if (subset.empty()) subset.push_back(malware.front());
+          add_domains(std::move(subset), pick_ip(error_targets));
+          break;
+        }
+        case Manip::kMalwareBlocking: {
+          auto malware = out.domains.names_in_category(SiteCategory::kMalware);
+          // Every blocker covers irc.zief.pl; the rest of the list varies
+          // (drives the 21.4% max vs 9.0% avg split in Table 5).
+          std::vector<std::string> blocked = {"irc.zief.pl"};
+          for (const auto& name : malware) {
+            if (name != "irc.zief.pl" && rng.chance(0.35)) {
+              blocked.push_back(name);
+            }
+          }
+          add_domains(std::move(blocked), pick_ip(blocking_targets));
+          break;
+        }
+        case Manip::kParentalBlocking: {
+          std::vector<std::string> blocked = {"okcupid.com"};
+          for (const auto& name :
+               out.domains.names_in_category(SiteCategory::kAdult)) {
+            if (rng.chance(0.5)) blocked.push_back(name);
+          }
+          add_domains(std::move(blocked), pick_ip(blocking_targets));
+          break;
+        }
+        case Manip::kMalwareParking: {
+          // Re-registered blacklisted domains + torproject (§4.2 Parking).
+          std::vector<std::string> parked = {"ytrewq.cn", "qwerty-update.cn"};
+          if (rng.chance(0.3)) parked.push_back("torproject.org");
+          add_domains(std::move(parked), pick_ip(parking_targets));
+          break;
+        }
+      }
+
+      world.set_udp_service(
+          host_id, 53,
+          std::make_unique<resolver::OpenResolverService>(resolver_config));
+
+      // Device TCP surface (Table 4): 26.3% expose a scannable service.
+      if (config.with_devices &&
+          (force_router_device || rng.chance(resolver::kTcpResponsiveShare))) {
+        const std::size_t device_index =
+            force_router_device ? 0 : rng.weighted(device_weights);
+        const resolver::DeviceProfile& device =
+            devices[device_index < devices.size() ? device_index : 0];
+        for (const auto& [port, banner] : device.banners) {
+          if (port == 80) {
+            world.set_tcp_service(
+                host_id, 80,
+                std::make_unique<AnyHostServer>(
+                    [body = banner](const HttpRequest&) {
+                      return HttpResponse::ok(body);
+                    }));
+          } else {
+            world.set_tcp_service(host_id, port,
+                                  std::make_unique<http::BannerService>(
+                                      banner));
+          }
+        }
+      }
+
+      ++out.planned_noerror;
+    }
+  }
+
+  // REFUSED / SERVFAIL populations (stable / fluctuating lines in Fig. 1).
+  {
+    const auto refused_count = static_cast<std::uint32_t>(
+        config.resolver_count * config.refused_ratio);
+    const auto servfail_count = static_cast<std::uint32_t>(
+        config.resolver_count * config.servfail_ratio);
+    const Cidr refused_net = new_as("ClosedResolvers", "US",
+                                    net::AsKind::kEnterprise,
+                                    std::max<std::uint64_t>(64, refused_count * 2));
+    const Cidr servfail_net = new_as("BrokenResolvers", "RU",
+                                     net::AsKind::kEnterprise,
+                                     std::max<std::uint64_t>(64, servfail_count * 2));
+    for (std::uint32_t i = 0; i < refused_count; ++i) {
+      net::HostConfig host_config;
+      host_config.attachment.ip = refused_net.at(4 + i);
+      const net::HostId id = world.add_host(host_config);
+      resolver::ResolverConfig rc;
+      rc.registry = &registry;
+      rc.clock = &world.clock();
+      rc.seed = rng.next();
+      rc.behavior.base = resolver::BasePolicy::kRefuseAll;
+      world.set_udp_service(
+          id, 53, std::make_unique<resolver::OpenResolverService>(rc));
+      ++out.planned_refused;
+    }
+    for (std::uint32_t i = 0; i < servfail_count; ++i) {
+      net::HostConfig host_config;
+      host_config.attachment.ip = servfail_net.at(4 + i);
+      const net::HostId id = world.add_host(host_config);
+      resolver::ResolverConfig rc;
+      rc.registry = &registry;
+      rc.clock = &world.clock();
+      rc.seed = rng.next();
+      rc.behavior.base = resolver::BasePolicy::kServFailAll;
+      // High drop rate makes the SERVFAIL line fluctuate week to week.
+      rc.behavior.drop_rate = 0.35;
+      world.set_udp_service(
+          id, 53, std::make_unique<resolver::OpenResolverService>(rc));
+      ++out.planned_servfail;
+    }
+  }
+
+  // The GFW watches every Chinese prefix (§4.2).
+  if (!cn_prefixes.empty()) {
+    resolver::GfwConfig gfw_config;
+    gfw_config.monitored_prefixes = cn_prefixes;
+    gfw_config.censored_suffixes = gfw_domains;
+    gfw_config.seed = rng.next();
+    out.gfw = std::make_shared<resolver::GfwInjector>(gfw_config);
+    resolver::install_gfw(world, out.gfw);
+  }
+
+  // Opt-out blacklist (208 ranges + 50 addresses in the paper; scaled).
+  {
+    const Cidr optout = new_as("OptOutNet", "US", net::AsKind::kEnterprise,
+                               1024);
+    out.blacklist.add_range(optout);
+    for (int i = 0; i < 5; ++i) {
+      out.blacklist.add_address(optout.at(static_cast<std::uint64_t>(i)));
+    }
+  }
+
+  world.set_loss_rate(config.loss_rate);
+  return out;
+}
+
+}  // namespace dnswild::worldgen

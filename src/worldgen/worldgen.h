@@ -1,0 +1,82 @@
+// World generation: builds a simulated Internet calibrated to the paper.
+//
+// This is where every population marginal the paper reports becomes a
+// sampling plan (DESIGN.md §2): country/AS/RIR weights and per-country
+// fluctuation (Tables 1–2), CHAOS software mix (Table 3), device mix
+// (Table 4), churn lease mixture (Fig. 2), cache-utilization profiles
+// (§2.6), status-code populations (Fig. 1), and the manipulation taxonomy —
+// national censorship (incl. the GFW on-path injector), blocking products,
+// static-/self-IP devices, NX monetizers, ad tamperers, transparent
+// proxies, phishing and malware hosts, and mail interceptors (§3–4).
+//
+// Everything scales down from the paper's 26.8M resolvers through
+// `resolver_count`; qualitative case-study populations whose paper counts
+// would round to zero at small scale are floored (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/domains.h"
+#include "dns/name.h"
+#include "net/world.h"
+#include "resolver/authns.h"
+#include "resolver/gfw.h"
+#include "scan/blacklist.h"
+
+namespace dnswild::worldgen {
+
+struct CountryPlan {
+  std::string code;
+  double start_share = 0.0;  // of the initial NOERROR population
+  double end_factor = 1.0;   // population multiplier after 55 weeks
+};
+
+// The built-in plan derived from Tables 1–2 and §2.3's case studies
+// (Argentina −75%, Great Britain −63.6%, Malaysia +59.7%, Lebanon +76.7%).
+const std::vector<CountryPlan>& default_country_plan();
+
+struct WorldGenConfig {
+  std::uint64_t seed = 1;
+  // Initial NOERROR resolver population (paper: 26,820,486).
+  std::uint32_t resolver_count = 20000;
+  // REFUSED / SERVFAIL populations relative to the NOERROR one (Fig. 1).
+  double refused_ratio = 0.085;
+  double servfail_ratio = 0.055;
+  // Dynamic-pool size multiplier (pool addresses per dynamic resolver).
+  double pool_factor = 8.0;
+  // Floor for scaled case-study populations that would otherwise vanish.
+  std::uint32_t case_study_floor = 8;
+  // Packet loss applied to the world.
+  double loss_rate = 0.0;
+  // Build TCP device services (Table 4) — skippable for DNS-only tests.
+  bool with_devices = true;
+};
+
+struct GeneratedWorld {
+  std::unique_ptr<net::World> world;
+  std::unique_ptr<resolver::AuthRegistry> registry;
+  std::shared_ptr<resolver::GfwInjector> gfw;
+
+  core::DomainSet domains;
+  std::vector<net::Cidr> universe;  // routed prefixes the scanner sweeps
+  scan::Blacklist blacklist;
+
+  net::Ipv4 scanner_ip{};
+  net::Ipv4 verification_scanner_ip{};  // secondary /8 vantage (§2.2)
+  net::Ipv4 vantage_ip{};               // HTTP/TLS acquisition client
+  dns::Name scan_zone;                  // wildcard probe zone
+
+  // Planning tallies, exposed for tests.
+  std::uint32_t planned_noerror = 0;
+  std::uint32_t planned_refused = 0;
+  std::uint32_t planned_servfail = 0;
+  std::uint32_t planned_censors = 0;
+  std::uint32_t planned_generic_manipulators = 0;
+};
+
+GeneratedWorld generate_world(const WorldGenConfig& config);
+
+}  // namespace dnswild::worldgen

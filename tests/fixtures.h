@@ -1,0 +1,46 @@
+// Shared test fixtures: a hand-built mini world with a handful of resolvers
+// whose behaviour is exactly known, so scanner/analysis tests can assert
+// precise outcomes (unlike the statistically-calibrated worldgen worlds).
+#pragma once
+
+#include <memory>
+
+#include "net/world.h"
+#include "resolver/authns.h"
+#include "resolver/resolver.h"
+
+namespace dnswild::test {
+
+struct MiniWorld {
+  std::unique_ptr<net::World> world;
+  std::unique_ptr<resolver::AuthRegistry> registry;
+  net::Ipv4 scanner_ip{9, 0, 0, 1};
+  dns::Name scan_zone = dns::Name::must_parse("probe.test.example");
+
+  net::HostId add_resolver(net::Ipv4 ip, resolver::ResolverConfig config) {
+    net::HostConfig host_config;
+    host_config.attachment.ip = ip;
+    const net::HostId id = world->add_host(host_config);
+    config.registry = registry.get();
+    config.clock = &world->clock();
+    world->set_udp_service(
+        id, 53,
+        std::make_unique<resolver::OpenResolverService>(std::move(config)));
+    return id;
+  }
+};
+
+inline MiniWorld make_mini_world(std::uint64_t seed = 1) {
+  MiniWorld mini;
+  mini.world = std::make_unique<net::World>(seed);
+  mini.registry = std::make_unique<resolver::AuthRegistry>();
+  // Wildcard scan zone (targets encoded in names, §2.2).
+  mini.registry->add_domain("probe.test.example", {net::Ipv4(9, 0, 0, 3)},
+                            60, /*wildcard=*/true);
+  mini.registry->add_domain("good.example", {net::Ipv4(5, 5, 5, 5)}, 300);
+  mini.registry->add_tld("com", {"a.gtld.example"}, 172800);
+  mini.registry->add_tld("de", {"a.nic.de"}, 172800);
+  return mini;
+}
+
+}  // namespace dnswild::test

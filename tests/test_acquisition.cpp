@@ -1,0 +1,143 @@
+#include "core/acquisition.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "http/server.h"
+
+namespace dnswild::core {
+namespace {
+
+using test::make_mini_world;
+using test::MiniWorld;
+
+class AcquisitionTest : public ::testing::Test {
+ protected:
+  AcquisitionTest() : mini_(make_mini_world()) {
+    // AS context for answer-address classification.
+    mini_.world->asdb().add_as({1, "ISP", "US", net::AsKind::kBroadbandIsp});
+    mini_.world->asdb().add_prefix(*net::Cidr::parse("1.0.0.0/24"), 1);
+    mini_.world->asdb().add_as({2, "Hosting", "DE", net::AsKind::kHosting});
+    mini_.world->asdb().add_prefix(*net::Cidr::parse("5.0.0.0/24"), 2);
+
+    // Web content at 5.0.0.5 for any Host.
+    net::HostConfig host_config;
+    host_config.attachment.ip = net::Ipv4(5, 0, 0, 5);
+    const net::HostId id = mini_.world->add_host(host_config);
+    auto server = std::make_unique<http::WebServer>();
+    server->set_default_handler(
+        http::serve_body("<html><title>target</title></html>"));
+    mini_.world->set_tcp_service(id, 80, std::move(server));
+
+    // Mail banners at 5.0.0.6.
+    net::HostConfig mail_config;
+    mail_config.attachment.ip = net::Ipv4(5, 0, 0, 6);
+    const net::HostId mail_id = mini_.world->add_host(mail_config);
+    mini_.world->set_tcp_service(
+        mail_id, 25,
+        std::make_unique<http::BannerService>("220 smtp ready\r\n"));
+
+    // A legit domain with hosting + content for ground truth.
+    mini_.registry->add_domain("site.example", {net::Ipv4(5, 0, 0, 5)}, 60);
+    // An honest resolver used by resolve_at.
+    resolver::ResolverConfig honest;
+    honest.seed = 1;
+    mini_.add_resolver(net::Ipv4(1, 0, 0, 10), honest);
+  }
+
+  MiniWorld mini_;
+};
+
+TEST_F(AcquisitionTest, ResolveAtQueriesTheResolver) {
+  Acquisition acquisition(*mini_.world, *mini_.registry,
+                          net::Ipv4(9, 0, 0, 2));
+  const auto ip =
+      acquisition.resolve_at(net::Ipv4(1, 0, 0, 10), "good.example");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(*ip, net::Ipv4(5, 5, 5, 5));
+  EXPECT_FALSE(acquisition.resolve_at(net::Ipv4(1, 0, 0, 10), "nope.example")
+                   .has_value());
+  EXPECT_FALSE(acquisition.resolve_at(net::Ipv4(1, 0, 0, 99), "good.example")
+                   .has_value());
+}
+
+TEST_F(AcquisitionTest, FetchUnknownOnlyTouchesUnknownVerdicts) {
+  std::vector<scan::TupleRecord> records(3);
+  for (auto& record : records) {
+    record.responded = true;
+    record.rcode = dns::RCode::kNoError;
+    record.ips = {net::Ipv4(5, 0, 0, 5)};
+    record.resolver_id = 0;
+    record.domain_index = 0;
+  }
+  const std::vector<TupleVerdict> verdicts = {TupleVerdict::kLegitimate,
+                                              TupleVerdict::kUnknown,
+                                              TupleVerdict::kNoAnswer};
+  std::vector<StudyDomain> domains = {
+      StudyDomain{"site.example", SiteCategory::kAlexa, true, false}};
+
+  Acquisition acquisition(*mini_.world, *mini_.registry,
+                          net::Ipv4(9, 0, 0, 2));
+  const auto pages = acquisition.fetch_unknown(records, verdicts, domains,
+                                               {net::Ipv4(1, 0, 0, 10)});
+  ASSERT_EQ(pages.size(), 1u);
+  EXPECT_EQ(pages[0].record_index, 1u);
+  EXPECT_TRUE(pages[0].connected);
+  EXPECT_NE(pages[0].body.find("target"), std::string::npos);
+  EXPECT_EQ(pages[0].body_hash, util::fnv1a(pages[0].body));
+}
+
+TEST_F(AcquisitionTest, LanAndSameAsClassification) {
+  std::vector<scan::TupleRecord> records(2);
+  records[0].responded = true;
+  records[0].ips = {net::Ipv4(192, 168, 1, 1)};  // LAN answer
+  records[1].responded = true;
+  records[1].ips = {net::Ipv4(1, 0, 0, 77)};  // same AS as the resolver
+  const std::vector<TupleVerdict> verdicts = {TupleVerdict::kUnknown,
+                                              TupleVerdict::kUnknown};
+  std::vector<StudyDomain> domains = {
+      StudyDomain{"site.example", SiteCategory::kAlexa, true, false}};
+  Acquisition acquisition(*mini_.world, *mini_.registry,
+                          net::Ipv4(9, 0, 0, 2));
+  const auto pages = acquisition.fetch_unknown(records, verdicts, domains,
+                                               {net::Ipv4(1, 0, 0, 10)});
+  ASSERT_EQ(pages.size(), 2u);
+  EXPECT_TRUE(pages[0].lan_ip);
+  EXPECT_FALSE(pages[0].connected);  // LAN space is unrouted in the world
+  EXPECT_TRUE(pages[1].same_as_as_resolver);
+}
+
+TEST_F(AcquisitionTest, MailBannersForMxTuples) {
+  std::vector<scan::TupleRecord> records(1);
+  records[0].responded = true;
+  records[0].ips = {net::Ipv4(5, 0, 0, 6)};
+  const std::vector<TupleVerdict> verdicts = {TupleVerdict::kUnknown};
+  std::vector<StudyDomain> domains = {
+      StudyDomain{"smtp.gmail.com", SiteCategory::kMail, true, true}};
+  Acquisition acquisition(*mini_.world, *mini_.registry,
+                          net::Ipv4(9, 0, 0, 2));
+  const auto pages = acquisition.fetch_unknown(records, verdicts, domains,
+                                               {net::Ipv4(1, 0, 0, 10)});
+  ASSERT_EQ(pages.size(), 1u);
+  ASSERT_EQ(pages[0].mail_banners.size(), 1u);
+  EXPECT_EQ(pages[0].mail_banners[0].first, 25);
+  EXPECT_EQ(pages[0].mail_banners[0].second, "220 smtp ready\r\n");
+  EXPECT_TRUE(pages[0].connected);
+}
+
+TEST_F(AcquisitionTest, GroundTruthFetch) {
+  std::vector<StudyDomain> domains = {
+      StudyDomain{"site.example", SiteCategory::kAlexa, true, false},
+      StudyDomain{"amason.com", SiteCategory::kNx, false, false}};
+  Acquisition acquisition(*mini_.world, *mini_.registry,
+                          net::Ipv4(9, 0, 0, 2));
+  const auto ground_truth = acquisition.fetch_ground_truth(domains);
+  ASSERT_EQ(ground_truth.size(), 1u);  // NX domains have no ground truth
+  EXPECT_EQ(ground_truth[0].domain, "site.example");
+  EXPECT_EQ(ground_truth[0].ip, net::Ipv4(5, 0, 0, 5));
+  EXPECT_FALSE(ground_truth[0].body.empty());
+  EXPECT_FALSE(ground_truth[0].features.tag_sequence.empty());
+}
+
+}  // namespace
+}  // namespace dnswild::core

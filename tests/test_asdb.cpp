@@ -1,0 +1,118 @@
+#include "net/asdb.h"
+
+#include <gtest/gtest.h>
+
+namespace dnswild::net {
+namespace {
+
+AsDb make_db() {
+  AsDb db;
+  db.add_as({64500, "Alpha Broadband", "US", AsKind::kBroadbandIsp});
+  db.add_as({64501, "Beta Hosting", "DE", AsKind::kHosting});
+  db.add_as({64502, "Gamma CDN", "SG", AsKind::kCdn});
+  db.add_prefix(*Cidr::parse("1.0.0.0/16"), 64500);
+  db.add_prefix(*Cidr::parse("1.1.0.0/16"), 64500);
+  db.add_prefix(*Cidr::parse("2.0.0.0/24"), 64501);
+  db.add_prefix(*Cidr::parse("3.3.3.0/24"), 64502);
+  return db;
+}
+
+TEST(AsDb, LookupInsidePrefixes) {
+  const AsDb db = make_db();
+  EXPECT_EQ(db.lookup_asn(Ipv4(1, 0, 5, 5)), 64500u);
+  EXPECT_EQ(db.lookup_asn(Ipv4(1, 1, 255, 255)), 64500u);
+  EXPECT_EQ(db.lookup_asn(Ipv4(2, 0, 0, 99)), 64501u);
+  EXPECT_EQ(db.lookup_asn(Ipv4(3, 3, 3, 1)), 64502u);
+}
+
+TEST(AsDb, LookupOutsideReturnsNothing) {
+  const AsDb db = make_db();
+  EXPECT_FALSE(db.lookup_asn(Ipv4(9, 9, 9, 9)).has_value());
+  EXPECT_FALSE(db.lookup_asn(Ipv4(1, 2, 0, 0)).has_value());
+  EXPECT_FALSE(db.lookup_asn(Ipv4(0, 255, 255, 255)).has_value());
+  EXPECT_EQ(db.lookup(Ipv4(9, 9, 9, 9)), nullptr);
+}
+
+TEST(AsDb, CountryAndRir) {
+  const AsDb db = make_db();
+  EXPECT_EQ(db.country_of(Ipv4(1, 0, 0, 1)), "US");
+  EXPECT_EQ(db.rir_of_ip(Ipv4(1, 0, 0, 1)), Rir::kArin);
+  EXPECT_EQ(db.country_of(Ipv4(2, 0, 0, 1)), "DE");
+  EXPECT_EQ(db.rir_of_ip(Ipv4(2, 0, 0, 1)), Rir::kRipe);
+  EXPECT_EQ(db.country_of(Ipv4(3, 3, 3, 3)), "SG");
+  EXPECT_EQ(db.rir_of_ip(Ipv4(3, 3, 3, 3)), Rir::kApnic);
+  EXPECT_TRUE(db.country_of(Ipv4(200, 0, 0, 1)).empty());
+}
+
+TEST(AsDb, DuplicateAsnRejected) {
+  AsDb db;
+  db.add_as({64500, "X", "US", AsKind::kHosting});
+  EXPECT_THROW(db.add_as({64500, "Y", "DE", AsKind::kHosting}),
+               std::invalid_argument);
+}
+
+TEST(AsDb, UnknownAsnPrefixRejected) {
+  AsDb db;
+  EXPECT_THROW(db.add_prefix(*Cidr::parse("1.0.0.0/24"), 99),
+               std::invalid_argument);
+}
+
+TEST(AsDb, OverlappingPrefixRejected) {
+  AsDb db = make_db();
+  EXPECT_THROW(db.add_prefix(*Cidr::parse("1.0.5.0/24"), 64501),
+               std::invalid_argument);
+  EXPECT_THROW(db.add_prefix(*Cidr::parse("1.0.0.0/8"), 64501),
+               std::invalid_argument);
+  // Adjacent, non-overlapping is fine.
+  EXPECT_NO_THROW(db.add_prefix(*Cidr::parse("2.0.1.0/24"), 64501));
+}
+
+TEST(AsDb, PrefixesOf) {
+  const AsDb db = make_db();
+  const auto prefixes = db.prefixes_of(64500);
+  EXPECT_EQ(prefixes.size(), 2u);
+  EXPECT_TRUE(db.prefixes_of(9999).empty());
+}
+
+TEST(AsDb, FindAs) {
+  const AsDb db = make_db();
+  const AsInfo* info = db.find_as(64501);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->name, "Beta Hosting");
+  EXPECT_EQ(db.find_as(1), nullptr);
+}
+
+TEST(Countries, TableIsSortedAndQueryable) {
+  const auto& table = all_countries();
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    EXPECT_LT(table[i - 1].code, table[i].code);
+  }
+  const auto cn = country_info("CN");
+  ASSERT_TRUE(cn.has_value());
+  EXPECT_EQ(cn->name, "China");
+  EXPECT_EQ(cn->rir, Rir::kApnic);
+  EXPECT_FALSE(country_info("XX").has_value());
+}
+
+TEST(Countries, RirAssignmentsMatchTable2Regions) {
+  EXPECT_EQ(rir_of("US"), Rir::kArin);
+  EXPECT_EQ(rir_of("DE"), Rir::kRipe);
+  EXPECT_EQ(rir_of("CN"), Rir::kApnic);
+  EXPECT_EQ(rir_of("BR"), Rir::kLacnic);
+  EXPECT_EQ(rir_of("EG"), Rir::kAfrinic);
+  // Unknown codes default to RIPE (GeoIP best-effort).
+  EXPECT_EQ(rir_of("??"), Rir::kRipe);
+}
+
+TEST(Countries, RirNames) {
+  EXPECT_EQ(rir_name(Rir::kRipe), "RIPE");
+  EXPECT_EQ(rir_name(Rir::kAfrinic), "AFRINIC");
+}
+
+TEST(AsKind, Names) {
+  EXPECT_EQ(as_kind_name(AsKind::kBroadbandIsp), "broadband");
+  EXPECT_EQ(as_kind_name(AsKind::kCdn), "cdn");
+}
+
+}  // namespace
+}  // namespace dnswild::net

@@ -1,0 +1,140 @@
+#include "resolver/authns.h"
+
+#include <gtest/gtest.h>
+
+namespace dnswild::resolver {
+namespace {
+
+TEST(AuthRegistry, PlainDomainResolution) {
+  AuthRegistry registry;
+  registry.add_domain("example.com", {net::Ipv4(1, 1, 1, 1)}, 300);
+  const auto answer = registry.resolve_a("example.com");
+  EXPECT_EQ(answer.rcode, dns::RCode::kNoError);
+  ASSERT_EQ(answer.ips.size(), 1u);
+  EXPECT_EQ(answer.ips[0], net::Ipv4(1, 1, 1, 1));
+  EXPECT_EQ(answer.ttl, 300u);
+}
+
+TEST(AuthRegistry, CaseInsensitiveLookup) {
+  AuthRegistry registry;
+  registry.add_domain("Example.COM", {net::Ipv4(1, 1, 1, 1)});
+  EXPECT_EQ(registry.resolve_a("EXAMPLE.com").rcode, dns::RCode::kNoError);
+  EXPECT_TRUE(registry.exists("example.Com"));
+}
+
+TEST(AuthRegistry, UnknownIsNxDomain) {
+  AuthRegistry registry;
+  registry.add_domain("example.com", {net::Ipv4(1, 1, 1, 1)});
+  EXPECT_EQ(registry.resolve_a("other.com").rcode, dns::RCode::kNxDomain);
+  // Subdomains of non-wildcard zones do not resolve.
+  EXPECT_EQ(registry.resolve_a("www.example.com").rcode,
+            dns::RCode::kNxDomain);
+  EXPECT_FALSE(registry.exists("www.example.com"));
+}
+
+TEST(AuthRegistry, WildcardZoneMatchesDescendants) {
+  AuthRegistry registry;
+  registry.add_domain("probe.study.example", {net::Ipv4(9, 9, 9, 9)}, 60,
+                      /*wildcard=*/true);
+  // The scan encodes targets as prefix.hex-ip.zone (§2.2).
+  EXPECT_EQ(registry.resolve_a("px7.c0a80101.probe.study.example").rcode,
+            dns::RCode::kNoError);
+  EXPECT_EQ(registry.resolve_a("probe.study.example").rcode,
+            dns::RCode::kNoError);
+  EXPECT_TRUE(registry.exists("deep.a.b.probe.study.example"));
+  EXPECT_EQ(registry.resolve_a("study.example").rcode,
+            dns::RCode::kNxDomain);
+}
+
+TEST(AuthRegistry, CdnRegionalViews) {
+  AuthRegistry registry;
+  registry.add_cdn_domain(
+      "cdn.example", {net::Ipv4(1, 0, 0, 1)},
+      {{"CN", {net::Ipv4(2, 0, 0, 1)}}, {"DE", {net::Ipv4(3, 0, 0, 1)}}}, 60);
+  EXPECT_EQ(registry.resolve_a("cdn.example", "CN").ips[0],
+            net::Ipv4(2, 0, 0, 1));
+  EXPECT_EQ(registry.resolve_a("cdn.example", "DE").ips[0],
+            net::Ipv4(3, 0, 0, 1));
+  // Unlisted regions fall back to the default view.
+  EXPECT_EQ(registry.resolve_a("cdn.example", "BR").ips[0],
+            net::Ipv4(1, 0, 0, 1));
+  EXPECT_EQ(registry.resolve_a("cdn.example").ips[0], net::Ipv4(1, 0, 0, 1));
+}
+
+TEST(AuthRegistry, Tlds) {
+  AuthRegistry registry;
+  registry.add_tld("com", {"a.gtld.example", "b.gtld.example"}, 172800);
+  registry.add_tld("de", {"a.nic.de"}, 86400);
+  const auto* com = registry.tld("COM");
+  ASSERT_NE(com, nullptr);
+  EXPECT_EQ(com->ns_names.size(), 2u);
+  EXPECT_EQ(com->ttl, 172800u);
+  EXPECT_EQ(registry.tld("org"), nullptr);
+  EXPECT_EQ(registry.all_tlds(), (std::vector<std::string>{"com", "de"}));
+}
+
+TEST(AuthRegistry, Certificates) {
+  AuthRegistry registry;
+  net::Certificate cert;
+  cert.common_name = "bank.example";
+  registry.set_certificate("bank.example", cert);
+  const auto fetched = registry.certificate("BANK.example");
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(fetched->common_name, "bank.example");
+  EXPECT_FALSE(registry.certificate("other.example").has_value());
+}
+
+TEST(AuthRegistry, WildcardCertificateCoversChildren) {
+  AuthRegistry registry;
+  net::Certificate cert;
+  cert.common_name = "*.cdn.example";
+  registry.set_certificate("cdn.example", cert);
+  const auto child = registry.certificate("edge1.cdn.example");
+  ASSERT_TRUE(child.has_value());
+  EXPECT_EQ(child->common_name, "*.cdn.example");
+  // Two labels below: wildcard covers one label only.
+  EXPECT_FALSE(registry.certificate("a.b.cdn.example").has_value());
+}
+
+TEST(AuthRegistry, CnameChainsFollowedToAddresses) {
+  AuthRegistry registry;
+  registry.add_cname("www.shop.example", "shop.example");
+  registry.add_cname("shop.example", "edge.cdn.example");
+  registry.add_cdn_domain("edge.cdn.example", {net::Ipv4(9, 0, 0, 1)},
+                          {{"CN", {net::Ipv4(9, 0, 0, 2)}}}, 60);
+  const auto answer = registry.resolve_a("www.shop.example");
+  EXPECT_EQ(answer.rcode, dns::RCode::kNoError);
+  ASSERT_EQ(answer.ips.size(), 1u);
+  EXPECT_EQ(answer.ips[0], net::Ipv4(9, 0, 0, 1));
+  ASSERT_EQ(answer.cname_chain.size(), 2u);
+  EXPECT_EQ(answer.cname_chain[0].first, "www.shop.example");
+  EXPECT_EQ(answer.cname_chain[0].second, "shop.example");
+  EXPECT_EQ(answer.cname_chain[1].second, "edge.cdn.example");
+  // Regional views still apply at the chain tail.
+  EXPECT_EQ(registry.resolve_a("www.shop.example", "CN").ips[0],
+            net::Ipv4(9, 0, 0, 2));
+}
+
+TEST(AuthRegistry, DanglingCnameIsNxDomain) {
+  AuthRegistry registry;
+  registry.add_cname("a.example", "missing.example");
+  EXPECT_EQ(registry.resolve_a("a.example").rcode, dns::RCode::kNxDomain);
+}
+
+TEST(AuthRegistry, CnameLoopIsServFail) {
+  AuthRegistry registry;
+  registry.add_cname("a.example", "b.example");
+  registry.add_cname("b.example", "a.example");
+  EXPECT_EQ(registry.resolve_a("a.example").rcode, dns::RCode::kServFail);
+}
+
+TEST(AuthRegistry, ARecordForForwardConfirmation) {
+  AuthRegistry registry;
+  registry.add_a_record("host3.avira.com", net::Ipv4(7, 7, 7, 7));
+  const auto answer = registry.resolve_a("host3.avira.com");
+  EXPECT_EQ(answer.rcode, dns::RCode::kNoError);
+  EXPECT_EQ(answer.ips[0], net::Ipv4(7, 7, 7, 7));
+}
+
+}  // namespace
+}  // namespace dnswild::resolver

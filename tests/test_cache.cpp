@@ -1,0 +1,128 @@
+#include "resolver/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+
+namespace dnswild::resolver {
+namespace {
+
+DnsCache::Entry entry(std::uint32_t ttl, net::Ipv4 ip = net::Ipv4(1, 1, 1, 1),
+                      bool dnssec = false) {
+  return DnsCache::Entry{{ip}, ttl, dnssec};
+}
+
+TEST(DnsCache, HitReturnsRemainingTtl) {
+  DnsCache cache;
+  cache.put("example.com", entry(300), 1000);
+  const auto at_insert = cache.get("example.com", 1000);
+  ASSERT_TRUE(at_insert.has_value());
+  EXPECT_EQ(at_insert->remaining_ttl, 300u);
+  const auto later = cache.get("example.com", 1100);
+  ASSERT_TRUE(later.has_value());
+  EXPECT_EQ(later->remaining_ttl, 200u);
+  EXPECT_EQ(later->entry.ips[0], net::Ipv4(1, 1, 1, 1));
+}
+
+TEST(DnsCache, ExpiryIsAMiss) {
+  DnsCache cache;
+  cache.put("example.com", entry(300), 1000);
+  EXPECT_FALSE(cache.get("example.com", 1300).has_value());
+  EXPECT_FALSE(cache.get("example.com", 2000).has_value());
+  EXPECT_EQ(cache.size(), 0u);  // expired entries removed on touch
+}
+
+TEST(DnsCache, MissOnUnknownKey) {
+  DnsCache cache;
+  EXPECT_FALSE(cache.get("nope", 0).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(DnsCache, OverwriteRefreshesTtl) {
+  DnsCache cache;
+  cache.put("example.com", entry(100), 1000);
+  cache.put("example.com", entry(500, net::Ipv4(2, 2, 2, 2)), 1050);
+  const auto hit = cache.get("example.com", 1100);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->remaining_ttl, 450u);
+  EXPECT_EQ(hit->entry.ips[0], net::Ipv4(2, 2, 2, 2));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DnsCache, LruEvictionAtCapacity) {
+  DnsCache cache(3);
+  cache.put("a", entry(1000), 0);
+  cache.put("b", entry(1000), 0);
+  cache.put("c", entry(1000), 0);
+  // Touch "a" so "b" becomes the LRU victim.
+  EXPECT_TRUE(cache.get("a", 1).has_value());
+  cache.put("d", entry(1000), 2);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.get("b", 3).has_value());
+  EXPECT_TRUE(cache.get("a", 3).has_value());
+  EXPECT_TRUE(cache.get("c", 3).has_value());
+  EXPECT_TRUE(cache.get("d", 3).has_value());
+}
+
+TEST(DnsCache, PurgeExpired) {
+  DnsCache cache;
+  cache.put("short", entry(10), 0);
+  cache.put("long", entry(1000), 0);
+  cache.purge_expired(500);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.get("long", 500).has_value());
+}
+
+TEST(DnsCache, ZeroTtlEntryExpiresImmediately) {
+  DnsCache cache;
+  cache.put("x", entry(0), 100);
+  EXPECT_FALSE(cache.get("x", 100).has_value());
+}
+
+TEST(DnsCache, CapacityOneChurnsSafely) {
+  DnsCache cache(1);
+  for (int i = 0; i < 100; ++i) {
+    cache.put("k" + std::to_string(i), entry(100), i);
+  }
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 99u);
+}
+
+// End-to-end: an honest resolver answers repeated queries from cache with
+// decreasing TTLs, and re-resolves after expiry.
+TEST(DnsCacheIntegration, ResolverServesDecreasingTtls) {
+  auto mini = test::make_mini_world();
+  resolver::ResolverConfig honest;
+  honest.seed = 1;
+  mini.add_resolver(net::Ipv4(1, 0, 0, 10), honest);
+
+  const auto ask = [&mini]() -> std::uint32_t {
+    dns::Message query = dns::Message::make_query(
+        7, dns::Name::must_parse("good.example"), dns::RType::kA);
+    net::UdpPacket packet;
+    packet.src = net::Ipv4(9, 0, 0, 2);
+    packet.src_port = 4000;
+    packet.dst = net::Ipv4(1, 0, 0, 10);
+    packet.dst_port = 53;
+    packet.payload = query.encode();
+    const auto replies = mini.world->send_udp(packet);
+    EXPECT_EQ(replies.size(), 1u);
+    const auto response = dns::Message::decode(replies[0].packet.payload);
+    EXPECT_TRUE(response.has_value());
+    return response->answers.at(0).ttl;
+  };
+
+  // good.example has TTL 300 s = 5 minutes.
+  EXPECT_EQ(ask(), 300u);
+  mini.world->set_time_minutes(2);
+  EXPECT_EQ(ask(), 180u);  // 2 minutes later: remaining TTL
+  mini.world->set_time_minutes(4);
+  EXPECT_EQ(ask(), 60u);
+  mini.world->set_time_minutes(6);  // past expiry: fresh resolution
+  EXPECT_EQ(ask(), 300u);
+}
+
+}  // namespace
+}  // namespace dnswild::resolver

@@ -1,0 +1,264 @@
+#include "core/casestudies.h"
+
+#include <gtest/gtest.h>
+
+#include "http/factory.h"
+#include "http/server.h"
+#include "util/rng.h"
+
+namespace dnswild::core {
+namespace {
+
+// Hand-assembled StudyData exercising each §4.2/§4.3 detector exactly once.
+class CaseStudiesTest : public ::testing::Test {
+ protected:
+  CaseStudiesTest() : world_(1) {
+    world_.asdb().add_as({1, "TR Telecom", "TR", net::AsKind::kBroadbandIsp});
+    world_.asdb().add_prefix(*net::Cidr::parse("1.0.0.0/24"), 1);
+    world_.asdb().add_as({2, "US Host", "US", net::AsKind::kHosting});
+    world_.asdb().add_prefix(*net::Cidr::parse("2.0.0.0/24"), 2);
+
+    resolvers_ = {net::Ipv4(1, 0, 0, 10), net::Ipv4(1, 0, 0, 11),
+                  net::Ipv4(2, 0, 0, 10)};
+
+    // Domains: several real sets so the proxy check can span many.
+    for (const char* name :
+         {"facebook.com", "paypal.com", "update.adobe.com",
+          "ads.doubleclick.com", "google.com", "amazon.com",
+          "wikipedia.org"}) {
+      domains_.push_back(StudyDomain{name, SiteCategory::kAlexa, true,
+                                     false});
+    }
+    domains_.push_back(
+        StudyDomain{"smtp.gmail.com", SiteCategory::kMail, true, true});
+
+    // Ground truth for every existing domain.
+    for (const auto& domain : domains_) {
+      GroundTruthPage gt;
+      gt.domain = domain.name;
+      gt.body = http::legit_site(domain.name, domain.category, 0, 47);
+      gt.features = http::extract_features(gt.body);
+      if (domain.is_mx_host) {
+        gt.mail_banners.emplace_back(25, "220 smtp.gmail.com ESMTP ready\r\n");
+      }
+      ground_truth_.push_back(std::move(gt));
+    }
+  }
+
+  // Adds a tuple + acquired page and classification entry.
+  void add_tuple(std::uint32_t resolver_id, std::uint16_t domain_index,
+                 net::Ipv4 answer_ip, std::string body, Label label,
+                 bool dual = false) {
+    scan::TupleRecord record;
+    record.resolver_id = resolver_id;
+    record.domain_index = domain_index;
+    record.responded = true;
+    record.rcode = dns::RCode::kNoError;
+    record.ips = {answer_ip};
+    record.dual_response = dual;
+    records_.push_back(std::move(record));
+    verdicts_.push_back(TupleVerdict::kUnknown);
+
+    AcquiredPage page;
+    page.record_index = records_.size() - 1;
+    page.ip = answer_ip;
+    page.connected = !body.empty();
+    page.status = body.empty() ? 0 : 200;
+    page.body = std::move(body);
+    page.body_hash = util::fnv1a(page.body);
+    pages_.push_back(std::move(page));
+
+    ClassifiedTuple tuple;
+    tuple.record_index = records_.size() - 1;
+    tuple.label = label;
+    classification_.tuples.push_back(tuple);
+  }
+
+  StudyData data() {
+    StudyData out;
+    out.resolvers = &resolvers_;
+    out.records = &records_;
+    out.verdicts = &verdicts_;
+    out.pages = &pages_;
+    out.classification = &classification_;
+    out.ground_truth = &ground_truth_;
+    out.domains = &domains_;
+    out.asdb = &world_.asdb();
+    return out;
+  }
+
+  net::World world_;
+  std::vector<net::Ipv4> resolvers_;
+  std::vector<StudyDomain> domains_;
+  std::vector<scan::TupleRecord> records_;
+  std::vector<TupleVerdict> verdicts_;
+  std::vector<AcquiredPage> pages_;
+  ClassificationResult classification_;
+  std::vector<GroundTruthPage> ground_truth_;
+};
+
+TEST_F(CaseStudiesTest, CensorshipReportCountsLandingsAndCompliance) {
+  const net::Ipv4 landing(1, 0, 0, 99);
+  add_tuple(0, 0, landing, http::censorship_page("TR", 1),
+            Label::kCensorship);
+  add_tuple(1, 0, landing, http::censorship_page("TR", 1),
+            Label::kCensorship);
+  // Resolver 2 (US) answers the same domain honestly -> in denominator.
+  add_tuple(2, 0, net::Ipv4(2, 0, 0, 50), "<html>legit</html>",
+            Label::kMisc);
+  // An injected (dual) tuple with no content: censorship without landing.
+  add_tuple(0, 4, net::Ipv4(123, 45, 67, 89), "", Label::kCensorship, true);
+
+  const CensorshipReport report = censorship_report(data());
+  EXPECT_EQ(report.censorship_tuples, 3u);
+  EXPECT_EQ(report.dual_response_tuples, 1u);
+  ASSERT_EQ(report.landing_ips.size(), 1u);
+  EXPECT_EQ(report.landing_ips[0], landing);
+  EXPECT_EQ(report.landing_countries,
+            (std::vector<std::string>{"TR"}));
+  ASSERT_FALSE(report.censoring_by_country.empty());
+  EXPECT_EQ(report.censoring_by_country[0].first, "TR");
+  EXPECT_EQ(report.censoring_by_country[0].second, 2u);
+  // Compliance: both TR resolvers censor; the US one does not appear.
+  ASSERT_FALSE(report.compliance.empty());
+  EXPECT_EQ(report.compliance[0].country, "TR");
+  EXPECT_EQ(report.compliance[0].censoring, 2u);
+  EXPECT_EQ(report.compliance[0].responding, 2u);
+  EXPECT_DOUBLE_EQ(report.compliance[0].fraction(), 1.0);
+}
+
+TEST_F(CaseStudiesTest, GeoHistogramSplitsAllVsUnexpected) {
+  add_tuple(0, 0, net::Ipv4(9, 9, 9, 9), "", Label::kUnclassified);
+  // A legitimate tuple (verdict overridden below).
+  add_tuple(2, 0, net::Ipv4(2, 0, 0, 50), "", Label::kUnclassified);
+  verdicts_[1] = TupleVerdict::kLegitimate;
+
+  const GeoHistogram histogram = geo_histogram(data(), {"facebook.com"});
+  ASSERT_EQ(histogram.all.size(), 2u);  // TR and US respond
+  ASSERT_EQ(histogram.unexpected.size(), 1u);
+  EXPECT_EQ(histogram.unexpected[0].first, "TR");
+}
+
+TEST_F(CaseStudiesTest, ProxyDetectionTlsVsHttpOnly) {
+  // One address answers >= 5 domains with GT-similar content.
+  const net::Ipv4 proxy(2, 0, 0, 77);
+  for (std::uint16_t d = 0; d < 6; ++d) {
+    add_tuple(0, d, proxy,
+              http::legit_site(domains_[d].name, domains_[d].category, 0,
+                               991),
+              Label::kMisc);
+  }
+  const CaseStudyReport report = case_study_report(data(), world_,
+                                                   net::Ipv4(9, 0, 0, 1));
+  EXPECT_EQ(report.proxy_ips_http_only, 1u);
+  EXPECT_EQ(report.proxy_ips_tls, 0u);
+  EXPECT_EQ(report.proxy_resolvers_http_only, 1u);
+}
+
+TEST_F(CaseStudiesTest, TlsProxyRecognizedViaHandshake) {
+  const net::Ipv4 proxy(2, 0, 0, 78);
+  net::HostConfig host_config;
+  host_config.attachment.ip = proxy;
+  const net::HostId id = world_.add_host(host_config);
+  const http::CertOracle certs =
+      [](const std::string& host) -> std::optional<net::Certificate> {
+    net::Certificate cert;
+    cert.common_name = host;
+    return cert;
+  };
+  world_.set_tcp_service(
+      id, 443,
+      std::make_unique<http::ProxyServer>(
+          [](const http::HttpRequest&) { return std::nullopt; }, certs,
+          true));
+  for (std::uint16_t d = 0; d < 6; ++d) {
+    add_tuple(1, d, proxy,
+              http::legit_site(domains_[d].name, domains_[d].category, 0,
+                               992),
+              Label::kMisc);
+  }
+  const CaseStudyReport report = case_study_report(data(), world_,
+                                                   net::Ipv4(9, 0, 0, 1));
+  EXPECT_EQ(report.proxy_ips_tls, 1u);
+  EXPECT_EQ(report.proxy_resolvers_tls, 1u);
+}
+
+TEST_F(CaseStudiesTest, PhishingDetected) {
+  add_tuple(0, 1, net::Ipv4(2, 0, 0, 66), http::phishing_paypal(1),
+            Label::kLogin);
+  const CaseStudyReport report = case_study_report(data(), world_,
+                                                   net::Ipv4(9, 0, 0, 1));
+  EXPECT_EQ(report.phishing_ips, 1u);
+  EXPECT_EQ(report.phishing_resolvers, 1u);
+  EXPECT_EQ(report.paypal_phish_ips, 1u);
+  EXPECT_EQ(report.paypal_phish_resolvers, 1u);
+}
+
+TEST_F(CaseStudiesTest, LegitBankingPageIsNotPhishing) {
+  // The genuine PayPal representation also has a password form, but it IS
+  // the ground truth: must not be flagged.
+  add_tuple(0, 1, net::Ipv4(2, 0, 0, 66),
+            http::legit_site("paypal.com", SiteCategory::kAlexa, 0, 47),
+            Label::kMisc);
+  const CaseStudyReport report = case_study_report(data(), world_,
+                                                   net::Ipv4(9, 0, 0, 1));
+  EXPECT_EQ(report.phishing_ips, 0u);
+}
+
+TEST_F(CaseStudiesTest, AdTamperAndBlankingDetected) {
+  const std::string original =
+      http::legit_site("ads.doubleclick.com", SiteCategory::kAds, 0, 47);
+  add_tuple(0, 3, net::Ipv4(2, 0, 0, 60),
+            http::tamper_ads(original, http::AdTamper::kInjectBanner, 1),
+            Label::kMisc);
+  add_tuple(1, 3, net::Ipv4(2, 0, 0, 61),
+            http::tamper_ads(original, http::AdTamper::kEmptyPlaceholder, 1),
+            Label::kMisc);
+  const CaseStudyReport report = case_study_report(data(), world_,
+                                                   net::Ipv4(9, 0, 0, 1));
+  EXPECT_EQ(report.ad_tamper_resolvers, 1u);
+  EXPECT_EQ(report.ad_tamper_ips, 1u);
+  EXPECT_EQ(report.ad_blanking_resolvers, 1u);
+}
+
+TEST_F(CaseStudiesTest, MalwareUpdateDetected) {
+  add_tuple(0, 2, net::Ipv4(2, 0, 0, 62),
+            http::malware_update_page(true, 1), Label::kMisc);
+  const CaseStudyReport report = case_study_report(data(), world_,
+                                                   net::Ipv4(9, 0, 0, 1));
+  EXPECT_EQ(report.malware_resolvers, 1u);
+  EXPECT_EQ(report.malware_ips, 1u);
+}
+
+TEST_F(CaseStudiesTest, MailInterceptionCounters) {
+  // MX tuple pointing at a host that listens and mimics the real banner.
+  scan::TupleRecord record;
+  record.resolver_id = 0;
+  record.domain_index = 7;  // smtp.gmail.com
+  record.responded = true;
+  record.ips = {net::Ipv4(2, 0, 0, 63)};
+  records_.push_back(record);
+  verdicts_.push_back(TupleVerdict::kUnknown);
+  AcquiredPage page;
+  page.record_index = records_.size() - 1;
+  page.ip = net::Ipv4(2, 0, 0, 63);
+  page.mail_banners.emplace_back(25, "220 smtp.gmail.com ESMTP ready\r\n");
+  pages_.push_back(page);
+  ClassifiedTuple tuple;
+  tuple.record_index = records_.size() - 1;
+  tuple.label = Label::kUnclassified;
+  classification_.tuples.push_back(tuple);
+
+  // Another MX tuple pointing at a dead address.
+  add_tuple(1, 7, net::Ipv4(2, 0, 0, 64), "", Label::kUnclassified);
+
+  const CaseStudyReport report = case_study_report(data(), world_,
+                                                   net::Ipv4(9, 0, 0, 1));
+  EXPECT_EQ(report.mx_suspicious_resolvers, 2u);
+  EXPECT_EQ(report.mail_listening_resolvers, 1u);
+  EXPECT_EQ(report.mail_listening_ips, 1u);
+  EXPECT_EQ(report.mail_matching_banner_resolvers, 1u);
+}
+
+}  // namespace
+}  // namespace dnswild::core

@@ -1,0 +1,63 @@
+#include "dns/chaos.h"
+
+#include <gtest/gtest.h>
+
+namespace dnswild::dns {
+namespace {
+
+TEST(Chaos, QueryShape) {
+  const Message query = make_version_query(7, version_bind_name());
+  EXPECT_EQ(query.header.id, 7);
+  EXPECT_FALSE(query.header.rd);  // CHAOS queries are non-recursive
+  ASSERT_EQ(query.questions.size(), 1u);
+  EXPECT_EQ(query.questions[0].qtype, RType::kTXT);
+  EXPECT_EQ(query.questions[0].qclass, RClass::kCH);
+  EXPECT_EQ(query.questions[0].name.lower(), "version.bind");
+}
+
+TEST(Chaos, ProbeNames) {
+  EXPECT_EQ(version_bind_name().lower(), "version.bind");
+  EXPECT_EQ(version_server_name().lower(), "version.server");
+}
+
+TEST(Chaos, ExtractVersionSingleChunk) {
+  Message response;
+  response.header.qr = true;
+  response.answers.push_back(ResourceRecord::txt(
+      version_bind_name(), {"BIND 9.8.2"}, 0, RClass::kCH));
+  EXPECT_EQ(extract_version(response), "BIND 9.8.2");
+}
+
+TEST(Chaos, ExtractVersionJoinsChunks) {
+  Message response;
+  response.header.qr = true;
+  response.answers.push_back(ResourceRecord::txt(
+      version_bind_name(), {"dnsmasq-", "2.40"}, 0, RClass::kCH));
+  EXPECT_EQ(extract_version(response), "dnsmasq-2.40");
+}
+
+TEST(Chaos, ErrorRcodeYieldsNothing) {
+  Message response;
+  response.header.qr = true;
+  response.header.rcode = RCode::kRefused;
+  response.answers.push_back(ResourceRecord::txt(
+      version_bind_name(), {"should-not-see"}, 0, RClass::kCH));
+  EXPECT_FALSE(extract_version(response).has_value());
+}
+
+TEST(Chaos, EmptyAnswerYieldsNothing) {
+  Message response;
+  response.header.qr = true;
+  EXPECT_FALSE(extract_version(response).has_value());
+}
+
+TEST(Chaos, EmptyTxtStringYieldsNothing) {
+  Message response;
+  response.header.qr = true;
+  response.answers.push_back(
+      ResourceRecord::txt(version_bind_name(), {""}, 0, RClass::kCH));
+  EXPECT_FALSE(extract_version(response).has_value());
+}
+
+}  // namespace
+}  // namespace dnswild::dns

@@ -1,0 +1,53 @@
+#include "analysis/churn.h"
+
+#include <gtest/gtest.h>
+
+namespace dnswild::analysis {
+namespace {
+
+TEST(ChurnCurve, FractionsComputed) {
+  const auto curve = churn_curve(1000, {1.0, 7.0, 385.0}, {600, 478, 40});
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve[0].age_days, 1.0);
+  EXPECT_DOUBLE_EQ(curve[0].alive_fraction, 0.6);
+  EXPECT_DOUBLE_EQ(curve[1].alive_fraction, 0.478);
+  EXPECT_DOUBLE_EQ(curve[2].alive_fraction, 0.04);
+}
+
+TEST(ChurnCurve, MismatchedLengthsTruncate) {
+  const auto curve = churn_curve(10, {1.0, 2.0, 3.0}, {5, 4});
+  EXPECT_EQ(curve.size(), 2u);
+}
+
+TEST(ChurnCurve, ZeroInitialCount) {
+  const auto curve = churn_curve(0, {1.0}, {0});
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_DOUBLE_EQ(curve[0].alive_fraction, 0.0);
+}
+
+TEST(RdnsChurn, DynamicTokenFractionOverRecordsOnly) {
+  net::RdnsStore rdns;
+  rdns.set(net::Ipv4(1, 0, 0, 1), "dyn-1-0-0-1.broadband.isp.example");
+  rdns.set(net::Ipv4(1, 0, 0, 2), "ppp-1-0-0-2.dialup.isp.example");
+  rdns.set(net::Ipv4(1, 0, 0, 3), "static-server.isp.example");
+  // 1.0.0.4 has no rDNS record at all.
+
+  const auto stats = rdns_churn_stats(
+      rdns, {net::Ipv4(1, 0, 0, 1), net::Ipv4(1, 0, 0, 2),
+             net::Ipv4(1, 0, 0, 3), net::Ipv4(1, 0, 0, 4)});
+  EXPECT_EQ(stats.disappeared_first_day, 4u);
+  EXPECT_EQ(stats.with_rdns, 3u);
+  EXPECT_EQ(stats.dynamic_tokens, 2u);
+  // §2.5 computes the fraction over addresses WITH rDNS records.
+  EXPECT_NEAR(stats.dynamic_fraction, 2.0 / 3.0, 1e-9);
+}
+
+TEST(RdnsChurn, EmptyInput) {
+  net::RdnsStore rdns;
+  const auto stats = rdns_churn_stats(rdns, {});
+  EXPECT_EQ(stats.with_rdns, 0u);
+  EXPECT_DOUBLE_EQ(stats.dynamic_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace dnswild::analysis

@@ -1,0 +1,145 @@
+#include "core/classify.h"
+
+#include <gtest/gtest.h>
+
+#include "http/factory.h"
+#include "util/rng.h"
+
+namespace dnswild::core {
+namespace {
+
+struct LabelCase {
+  int status;
+  std::string body;
+  Label expected;
+};
+
+class LabelPageTest : public ::testing::TestWithParam<LabelCase> {};
+
+TEST_P(LabelPageTest, RuleMatches) {
+  EXPECT_EQ(label_page(GetParam().status, GetParam().body),
+            GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rules, LabelPageTest,
+    ::testing::Values(
+        LabelCase{200, http::censorship_page("TR", 1), Label::kCensorship},
+        // Censorship outranks the HTTP status.
+        LabelCase{403, http::censorship_page("ID", 1), Label::kCensorship},
+        LabelCase{404, http::error_page(404, 0), Label::kHttpError},
+        LabelCase{503, http::error_page(503, 1), Label::kHttpError},
+        LabelCase{200, http::blocking_page(0, 1, "okcupid.com"),
+                  Label::kBlocking},
+        LabelCase{200, http::blocking_page(2, 1, "irc.zief.pl"),
+                  Label::kBlocking},
+        LabelCase{200, http::parking_page("x.example", 1), Label::kParking},
+        LabelCase{200, http::search_page(1, "amason.com", false),
+                  Label::kSearch},
+        LabelCase{200, http::router_login(0, 1), Label::kLogin},
+        LabelCase{200, http::captive_portal(1, 1), Label::kLogin},
+        LabelCase{200, http::webmail_login(1), Label::kLogin},
+        // Phishing kits land in content categories too (Login here).
+        LabelCase{200, http::phishing_paypal(1), Label::kLogin},
+        LabelCase{200, http::malware_update_page(true, 1), Label::kMisc},
+        LabelCase{200, "<html><body>random blog</body></html>",
+                  Label::kMisc},
+        LabelCase{0, "", Label::kUnclassified}));
+
+AcquiredPage page_for(std::size_t record_index, std::string body,
+                      int status = 200) {
+  AcquiredPage page;
+  page.record_index = record_index;
+  page.status = body.empty() ? status : 200;
+  page.body = std::move(body);
+  page.body_hash = util::fnv1a(page.body);
+  page.connected = true;
+  return page;
+}
+
+TEST(ClassifyResponses, DeduplicatesAndClusters) {
+  std::vector<scan::TupleRecord> records(6);
+  std::vector<AcquiredPage> pages;
+  // Three identical censorship pages, two similar parking pages, one error.
+  const std::string censor = http::censorship_page("TR", 1);
+  pages.push_back(page_for(0, censor));
+  pages.push_back(page_for(1, censor));
+  pages.push_back(page_for(2, censor));
+  pages.push_back(page_for(3, http::parking_page("a.example", 1)));
+  pages.push_back(page_for(4, http::parking_page("b.example", 1)));
+  pages.push_back(page_for(5, http::error_page(404, 0), 404));
+  // Error pages report their status.
+  pages.back().status = 404;
+
+  const auto result = classify_responses(records, pages);
+  EXPECT_EQ(result.unique_pages, 4u);  // censor deduped to one
+  EXPECT_GE(result.clusters, 2u);
+  EXPECT_LE(result.clusters, 4u);
+  ASSERT_EQ(result.tuples.size(), 6u);
+  EXPECT_EQ(result.tuples[0].label, Label::kCensorship);
+  EXPECT_EQ(result.tuples[1].label, Label::kCensorship);
+  EXPECT_EQ(result.tuples[3].label, Label::kParking);
+  EXPECT_EQ(result.tuples[4].label, Label::kParking);
+  EXPECT_EQ(result.tuples[5].label, Label::kHttpError);
+  // Identical pages share a cluster.
+  EXPECT_EQ(result.tuples[0].cluster, result.tuples[1].cluster);
+  EXPECT_EQ(result.tuples[3].cluster, result.tuples[4].cluster);
+  EXPECT_NE(result.tuples[0].cluster, result.tuples[3].cluster);
+  EXPECT_DOUBLE_EQ(result.labeled_fraction, 1.0);
+}
+
+TEST(ClassifyResponses, DualResponseWinsOverContent) {
+  std::vector<scan::TupleRecord> records(1);
+  records[0].dual_response = true;
+  std::vector<AcquiredPage> pages;
+  pages.push_back(page_for(0, http::parking_page("x.example", 1)));
+  const auto result = classify_responses(records, pages);
+  EXPECT_EQ(result.tuples[0].label, Label::kCensorship);
+}
+
+TEST(ClassifyResponses, OnPathFlagsForceCensorship) {
+  std::vector<scan::TupleRecord> records(2);
+  std::vector<AcquiredPage> pages;
+  pages.push_back(page_for(0, ""));
+  pages.push_back(page_for(1, ""));
+  pages[0].status = 0;
+  pages[1].status = 0;
+  const std::vector<char> injected = {1, 0};
+  const auto result =
+      classify_responses(records, pages, ClassifierConfig{}, &injected);
+  EXPECT_EQ(result.tuples[0].label, Label::kCensorship);
+  EXPECT_EQ(result.tuples[1].label, Label::kUnclassified);
+}
+
+TEST(ClassifyResponses, DynamicVariantsOfOnePageShareACluster) {
+  // Same landing page fetched many times with per-fetch noise must land in
+  // a single cluster (the clustering tolerance of §3.6).
+  std::vector<scan::TupleRecord> records(8);
+  std::vector<AcquiredPage> pages;
+  for (int i = 0; i < 8; ++i) {
+    pages.push_back(page_for(
+        static_cast<std::size_t>(i),
+        http::legit_site("proxy-view.example", http::SiteCategory::kAlexa, 0,
+                         static_cast<std::uint64_t>(i))));
+  }
+  const auto result = classify_responses(records, pages);
+  EXPECT_EQ(result.unique_pages, 8u);  // all bodies differ
+  for (const auto& tuple : result.tuples) {
+    EXPECT_EQ(tuple.cluster, result.tuples[0].cluster);
+  }
+}
+
+TEST(ClassifyResponses, EmptyInput) {
+  const auto result = classify_responses({}, {});
+  EXPECT_TRUE(result.tuples.empty());
+  EXPECT_EQ(result.unique_pages, 0u);
+}
+
+TEST(LabelNames, Distinct) {
+  EXPECT_EQ(label_name(Label::kBlocking), "Blocking");
+  EXPECT_EQ(label_name(Label::kHttpError), "HTTP Error");
+  EXPECT_EQ(label_name(Label::kMisc), "Misc.");
+}
+
+}  // namespace
+}  // namespace dnswild::core

@@ -1,0 +1,84 @@
+#include "net/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace dnswild::net {
+namespace {
+
+TEST(CivilDate, EpochDay) {
+  EXPECT_EQ(days_from_civil({1970, 1, 1}), 0);
+  EXPECT_EQ(days_from_civil({1970, 1, 2}), 1);
+  EXPECT_EQ(days_from_civil({1969, 12, 31}), -1);
+}
+
+TEST(CivilDate, KnownDates) {
+  EXPECT_EQ(days_from_civil({2000, 3, 1}), 11017);
+  EXPECT_EQ(days_from_civil({2014, 1, 31}), 16101);
+}
+
+TEST(CivilDate, RoundTripSweep) {
+  // Sweep three years around the study window, including the 2016 leap day.
+  for (std::int64_t day = days_from_civil({2013, 12, 1});
+       day <= days_from_civil({2016, 3, 2}); ++day) {
+    const CivilDate date = civil_from_days(day);
+    EXPECT_EQ(days_from_civil(date), day);
+    EXPECT_GE(date.month, 1);
+    EXPECT_LE(date.month, 12);
+    EXPECT_GE(date.day, 1);
+    EXPECT_LE(date.day, 31);
+  }
+}
+
+TEST(CivilDate, LeapYearHandling) {
+  const CivilDate feb29 = civil_from_days(days_from_civil({2016, 2, 29}));
+  EXPECT_EQ(feb29.year, 2016);
+  EXPECT_EQ(feb29.month, 2);
+  EXPECT_EQ(feb29.day, 29);
+  // 2015 is not a leap year: Feb 28 + 1 day = Mar 1.
+  const CivilDate mar1 =
+      civil_from_days(days_from_civil({2015, 2, 28}) + 1);
+  EXPECT_EQ(mar1.month, 3);
+  EXPECT_EQ(mar1.day, 1);
+}
+
+TEST(CivilDate, Formatting) {
+  EXPECT_EQ((CivilDate{2014, 1, 31}).to_string(), "2014/01/31");
+  EXPECT_EQ((CivilDate{2015, 12, 5}).to_string(), "2015/12/05");
+}
+
+TEST(SimClock, StartsAtStudyEpoch) {
+  SimClock clock;
+  EXPECT_EQ(clock.date().to_string(), "2014/01/31");
+  EXPECT_EQ(clock.minutes(), 0);
+}
+
+TEST(SimClock, WeeklyDatesMatchFigureOne) {
+  // Fig. 1's x-axis labels step in 3-week increments from 2014/01/31.
+  SimClock clock;
+  clock.advance_days(21);
+  EXPECT_EQ(clock.date().to_string(), "2014/02/21");
+  clock.advance_days(21);
+  EXPECT_EQ(clock.date().to_string(), "2014/03/14");
+}
+
+TEST(SimClock, LastScanDate) {
+  // Week 54 (0-based) of the campaign lands on 2015/02/13 (Fig. 1).
+  SimClock clock;
+  clock.advance_days(54 * 7);
+  EXPECT_EQ(clock.date().to_string(), "2015/02/13");
+}
+
+TEST(SimClock, MinutesAndDays) {
+  SimClock clock;
+  clock.advance_minutes(90);
+  EXPECT_DOUBLE_EQ(clock.days(), 0.0625);
+  EXPECT_EQ(clock.whole_days(), 0);
+  clock.advance_days(2);
+  EXPECT_EQ(clock.whole_days(), 2);
+  EXPECT_EQ(clock.weeks(), 0);
+  clock.advance_days(5);
+  EXPECT_EQ(clock.weeks(), 1);
+}
+
+}  // namespace
+}  // namespace dnswild::net

@@ -1,0 +1,81 @@
+#include "resolver/device.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace dnswild::resolver {
+namespace {
+
+TEST(DeviceCatalog, SharesSumToOne) {
+  double total = 0;
+  for (const auto& device : device_catalog()) total += device.share;
+  EXPECT_NEAR(total, 1.0, 0.005);
+}
+
+TEST(DeviceCatalog, HardwareMarginalsMatchTable4) {
+  std::map<HardwareClass, double> marginals;
+  for (const auto& device : device_catalog()) {
+    marginals[device.hardware] += device.share;
+  }
+  EXPECT_NEAR(marginals[HardwareClass::kRouter], 0.341, 0.005);
+  EXPECT_NEAR(marginals[HardwareClass::kEmbedded], 0.306, 0.005);
+  EXPECT_NEAR(marginals[HardwareClass::kFirewall], 0.019, 0.005);
+  EXPECT_NEAR(marginals[HardwareClass::kCamera], 0.018, 0.005);
+  EXPECT_NEAR(marginals[HardwareClass::kDvr], 0.012, 0.005);
+  // NAS + DSLAM are the "Others" bucket (1.1%).
+  EXPECT_NEAR(marginals[HardwareClass::kNas] +
+                  marginals[HardwareClass::kDslam],
+              0.011, 0.005);
+  EXPECT_NEAR(marginals[HardwareClass::kUnknown], 0.293, 0.005);
+}
+
+TEST(DeviceCatalog, ZynosShareMatchesPaperProse) {
+  // §2.4: ZyNOS runs on 16.6% of the TCP-responsive resolvers.
+  double zynos = 0;
+  for (const auto& device : device_catalog()) {
+    if (device.os == OsClass::kZynos) zynos += device.share;
+  }
+  EXPECT_NEAR(zynos, 0.166, 0.005);
+}
+
+TEST(DeviceCatalog, EveryProfileHasBanners) {
+  for (const auto& device : device_catalog()) {
+    EXPECT_FALSE(device.banners.empty()) << device.label;
+    for (const auto& [port, banner] : device.banners) {
+      EXPECT_FALSE(banner.empty()) << device.label;
+      EXPECT_TRUE(port == 21 || port == 22 || port == 23 || port == 80)
+          << device.label << " port " << port;
+    }
+  }
+}
+
+TEST(DeviceCatalog, PaperExampleTokenPresent) {
+  // §2.4 names "dm500plus login" as its fingerprinting example.
+  bool found = false;
+  for (const auto& device : device_catalog()) {
+    for (const auto& [port, banner] : device.banners) {
+      if (banner.find("dm500plus login") != std::string::npos) {
+        found = true;
+        EXPECT_EQ(device.hardware, HardwareClass::kDvr);
+        EXPECT_EQ(device.os, OsClass::kLinux);
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DeviceNames, ClassLabels) {
+  EXPECT_EQ(hardware_class_name(HardwareClass::kRouter), "Router");
+  EXPECT_EQ(hardware_class_name(HardwareClass::kUnknown), "Unknown");
+  EXPECT_EQ(os_class_name(OsClass::kZynos), "ZyNOS");
+  EXPECT_EQ(os_class_name(OsClass::kSmartWare), "SmartWare");
+  EXPECT_EQ(os_class_name(OsClass::kCentOs), "CentOS");
+}
+
+TEST(DeviceCatalog, TcpShareConstant) {
+  EXPECT_NEAR(kTcpResponsiveShare, 0.263, 1e-9);  // §2.4
+}
+
+}  // namespace
+}  // namespace dnswild::resolver

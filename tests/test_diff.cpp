@@ -1,0 +1,124 @@
+#include "cluster/diff.h"
+
+#include <gtest/gtest.h>
+
+#include "http/factory.h"
+
+namespace dnswild::cluster {
+namespace {
+
+using http::tag_id;
+
+std::vector<std::uint16_t> seq(std::initializer_list<const char*> tags) {
+  std::vector<std::uint16_t> out;
+  for (const char* tag : tags) out.push_back(tag_id(tag));
+  return out;
+}
+
+TEST(TagDiff, IdenticalSequencesEmptyDelta) {
+  const auto reference = seq({"html", "body", "p"});
+  const TagDelta delta = tag_diff(reference, reference);
+  EXPECT_TRUE(delta.empty());
+  EXPECT_EQ(delta.total_changes(), 0u);
+}
+
+TEST(TagDiff, PureInsertionDetected) {
+  const auto reference = seq({"html", "body", "p"});
+  const auto unknown = seq({"html", "body", "script", "p"});
+  const TagDelta delta = tag_diff(reference, unknown);
+  EXPECT_TRUE(delta.removed.empty());
+  ASSERT_EQ(delta.added.size(), 1u);
+  EXPECT_EQ(delta.added.at(tag_id("script")), 1);
+}
+
+TEST(TagDiff, PureRemovalDetected) {
+  const auto reference = seq({"html", "body", "img", "img", "p"});
+  const auto unknown = seq({"html", "body", "p"});
+  const TagDelta delta = tag_diff(reference, unknown);
+  EXPECT_TRUE(delta.added.empty());
+  EXPECT_EQ(delta.removed.at(tag_id("img")), 2);
+  EXPECT_EQ(delta.total_changes(), 2u);
+}
+
+TEST(TagDiff, SubstitutionIsAddPlusRemove) {
+  const auto reference = seq({"div", "p", "div"});
+  const auto unknown = seq({"div", "script", "div"});
+  const TagDelta delta = tag_diff(reference, unknown);
+  EXPECT_EQ(delta.added.at(tag_id("script")), 1);
+  EXPECT_EQ(delta.removed.at(tag_id("p")), 1);
+}
+
+TEST(TagDiff, EmptyInputs) {
+  const TagDelta from_empty = tag_diff({}, seq({"p", "p"}));
+  EXPECT_EQ(from_empty.added.at(tag_id("p")), 2);
+  EXPECT_TRUE(from_empty.removed.empty());
+  const TagDelta to_empty = tag_diff(seq({"p"}), {});
+  EXPECT_EQ(to_empty.removed.at(tag_id("p")), 1);
+}
+
+TEST(TagDiff, InjectedScriptInRealPage) {
+  // The paper's motivating case: a known page plus one injected script.
+  const auto original =
+      http::legit_site("ads.example", http::SiteCategory::kAds, 0, 1);
+  const auto tampered =
+      http::tamper_ads(original, http::AdTamper::kSuspiciousJs, 1);
+  const auto ref_features = http::extract_features(original);
+  const auto unknown_features = http::extract_features(tampered);
+  const TagDelta delta =
+      tag_diff(ref_features.tag_sequence, unknown_features.tag_sequence);
+  EXPECT_FALSE(delta.empty());
+  EXPECT_GE(delta.added.count(tag_id("script")), 1u);
+  EXPECT_LE(delta.total_changes(), 4u);  // a small modification
+}
+
+TEST(DeltaDistance, IdenticalDeltasZero) {
+  TagDelta a;
+  a.added[tag_id("script")] = 1;
+  EXPECT_DOUBLE_EQ(delta_distance(a, a), 0.0);
+}
+
+TEST(DeltaDistance, DisjointDeltasOne) {
+  TagDelta a, b;
+  a.added[tag_id("script")] = 1;
+  b.added[tag_id("img")] = 1;
+  // Added sets disjoint (distance 1), removed sets both empty (distance 0).
+  EXPECT_DOUBLE_EQ(delta_distance(a, b), 0.5);
+}
+
+TEST(MostSimilarReference, PicksTheRightGroundTruth) {
+  std::vector<http::PageFeatures> references;
+  references.push_back(http::extract_features(http::legit_site(
+      "bank.example", http::SiteCategory::kBanking, 0, 1)));
+  references.push_back(http::extract_features(http::legit_site(
+      "news.example", http::SiteCategory::kAlexa, 0, 1)));
+  references.push_back(
+      http::extract_features(http::parking_page("p.example", 1)));
+
+  // A slightly different fetch of the banking page must match reference 0.
+  const auto unknown = http::extract_features(http::legit_site(
+      "bank.example", http::SiteCategory::kBanking, 0, 99));
+  EXPECT_EQ(most_similar_reference(unknown, references), 0u);
+}
+
+TEST(ClusterDeltas, GroupsSameModification) {
+  TagDelta script_inject;
+  script_inject.added[tag_id("script")] = 1;
+  TagDelta script_inject2 = script_inject;
+  TagDelta banner;
+  banner.added[tag_id("div")] = 1;
+  banner.added[tag_id("img")] = 1;
+  banner.added[tag_id("a")] = 1;
+
+  const auto labels =
+      cluster_deltas({script_inject, script_inject2, banner}, 0.3);
+  ASSERT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_NE(labels[0], labels[2]);
+}
+
+TEST(ClusterDeltas, EmptyInput) {
+  EXPECT_TRUE(cluster_deltas({}, 0.5).empty());
+}
+
+}  // namespace
+}  // namespace dnswild::cluster

@@ -1,0 +1,171 @@
+#include "cluster/distance.h"
+
+#include <gtest/gtest.h>
+
+#include "http/factory.h"
+#include "util/rng.h"
+
+namespace dnswild::cluster {
+namespace {
+
+struct EditCase {
+  const char* a;
+  const char* b;
+  std::size_t distance;
+};
+
+class EditDistanceTest : public ::testing::TestWithParam<EditCase> {};
+
+TEST_P(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(edit_distance(GetParam().a, GetParam().b), GetParam().distance);
+  // Symmetry.
+  EXPECT_EQ(edit_distance(GetParam().b, GetParam().a), GetParam().distance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, EditDistanceTest,
+    ::testing::Values(EditCase{"", "", 0}, EditCase{"", "abc", 3},
+                      EditCase{"abc", "abc", 0},
+                      EditCase{"kitten", "sitting", 3},
+                      EditCase{"flaw", "lawn", 2},
+                      EditCase{"intention", "execution", 5},
+                      EditCase{"a", "b", 1}, EditCase{"ab", "ba", 2}));
+
+TEST(EditDistance, TagSequences) {
+  const std::vector<std::uint16_t> a = {1, 2, 3, 4};
+  const std::vector<std::uint16_t> b = {1, 3, 4, 5};
+  EXPECT_EQ(edit_distance(a, b), 2u);
+  EXPECT_EQ(edit_distance(a, a), 0u);
+}
+
+TEST(EditDistanceBanded, AgreesWithExactWithinBand) {
+  util::Rng rng(5);
+  static constexpr char kAlphabet[] = "ab";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string a, b;
+    const auto len_a = rng.below(30);
+    const auto len_b = rng.below(30);
+    for (std::uint64_t i = 0; i < len_a; ++i) a += kAlphabet[rng.below(2)];
+    for (std::uint64_t i = 0; i < len_b; ++i) b += kAlphabet[rng.below(2)];
+    const std::size_t exact = edit_distance(a, b);
+    const std::size_t banded = edit_distance_banded(a, b, 40);
+    EXPECT_EQ(banded, exact) << a << " vs " << b;
+  }
+}
+
+TEST(EditDistanceBanded, ClampsBeyondBand) {
+  EXPECT_EQ(edit_distance_banded("aaaaaaaaaa", "bbbbbbbbbb", 3), 4u);
+  EXPECT_EQ(edit_distance_banded("short", "muchlongerstring", 2), 3u);
+}
+
+TEST(EditDistanceNorm, Bounds) {
+  EXPECT_DOUBLE_EQ(edit_distance_norm("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(edit_distance_norm("abc", "abc"), 0.0);
+  EXPECT_DOUBLE_EQ(edit_distance_norm("abc", "xyz"), 1.0);
+  EXPECT_DOUBLE_EQ(edit_distance_norm("", "xyz"), 1.0);
+}
+
+TEST(JaccardMultiset, Basics) {
+  std::unordered_map<std::uint16_t, int> a = {{1, 2}, {2, 1}};
+  std::unordered_map<std::uint16_t, int> b = {{1, 1}, {3, 1}};
+  // intersection = min counts = 1; union = 2 + 1 + 1 + 1 = wait:
+  // union = max(2,1) + max(1,0) + max(0,1) = 2 + 1 + 1 = 4.
+  EXPECT_DOUBLE_EQ(jaccard_multiset(a, b), 1.0 - 1.0 / 4.0);
+  EXPECT_DOUBLE_EQ(jaccard_multiset(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(jaccard_multiset({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(jaccard_multiset(a, {}), 1.0);
+}
+
+TEST(JaccardSorted, Basics) {
+  const std::vector<std::string> a = {"a", "b", "c"};
+  const std::vector<std::string> b = {"b", "c", "d"};
+  EXPECT_DOUBLE_EQ(jaccard_sorted(a, b), 1.0 - 2.0 / 4.0);
+  EXPECT_DOUBLE_EQ(jaccard_sorted(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(jaccard_sorted({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(jaccard_sorted(a, {}), 1.0);
+}
+
+http::PageFeatures features_of(const std::string& html) {
+  return http::extract_features(html);
+}
+
+TEST(PageDistance, IdenticalPagesAreZero) {
+  const auto page = http::legit_site("x.example",
+                                     http::SiteCategory::kAlexa, 0, 1);
+  EXPECT_DOUBLE_EQ(page_distance(features_of(page), features_of(page)), 0.0);
+}
+
+TEST(PageDistance, SymmetricAndBounded) {
+  util::Rng rng(11);
+  std::vector<http::PageFeatures> pages;
+  pages.push_back(features_of(http::legit_site(
+      "a.example", http::SiteCategory::kBanking, 0, 1)));
+  pages.push_back(features_of(http::censorship_page("TR", 1)));
+  pages.push_back(features_of(http::parking_page("z.example", 2)));
+  pages.push_back(features_of(""));
+  pages.push_back(features_of(http::phishing_paypal(0)));
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    for (std::size_t j = 0; j < pages.size(); ++j) {
+      const double d = page_distance(pages[i], pages[j]);
+      EXPECT_GE(d, 0.0);
+      EXPECT_LE(d, 1.0);
+      EXPECT_NEAR(d, page_distance(pages[j], pages[i]), 1e-12);
+      if (i == j) {
+        EXPECT_DOUBLE_EQ(d, 0.0);
+      }
+    }
+  }
+}
+
+TEST(PageDistance, DynamicNoiseIsSmallerThanClassDifference) {
+  // Two fetches of the same dynamic page must be closer than two pages of
+  // different classes — the property the coarse clustering relies on.
+  const auto noise_a = features_of(http::legit_site(
+      "news.example", http::SiteCategory::kAlexa, 0, 1));
+  const auto noise_b = features_of(http::legit_site(
+      "news.example", http::SiteCategory::kAlexa, 0, 2));
+  const auto other_class = features_of(http::censorship_page("ID", 0));
+  EXPECT_LT(page_distance(noise_a, noise_b), 0.2);
+  EXPECT_GT(page_distance(noise_a, other_class), 0.4);
+}
+
+TEST(PageDistance, BreakdownAveragesToCombined) {
+  const auto a = features_of(http::parking_page("p.example", 1));
+  const auto b = features_of(http::search_page(1, "q.example", false));
+  const auto breakdown = page_distance_breakdown(a, b);
+  EXPECT_NEAR(breakdown.combined(), page_distance(a, b), 1e-12);
+  // Each feature individually normalized.
+  for (const double feature :
+       {breakdown.length, breakdown.tag_multiset, breakdown.tag_sequence,
+        breakdown.title, breakdown.scripts, breakdown.resources,
+        breakdown.links}) {
+    EXPECT_GE(feature, 0.0);
+    EXPECT_LE(feature, 1.0);
+  }
+}
+
+TEST(PageDistance, LengthFeatureReactsToSizeGap) {
+  http::PageFeatures small;
+  small.body_length = 100;
+  http::PageFeatures large;
+  large.body_length = 1000;
+  const auto breakdown = page_distance_breakdown(small, large);
+  EXPECT_NEAR(breakdown.length, 0.9, 1e-9);
+}
+
+TEST(PageDistance, ClipBoundsLongInputs) {
+  // A pathological page with an enormous script must still compare fast
+  // and stay in bounds.
+  std::string huge = "<script>";
+  huge.append(100000, 'x');
+  huge += "</script>";
+  PageDistanceOptions options;
+  options.max_edit_length = 512;
+  const double d = page_distance(features_of(huge),
+                                 features_of("<p>tiny</p>"), options);
+  EXPECT_GE(d, 0.0);
+  EXPECT_LE(d, 1.0);
+}
+
+}  // namespace
+}  // namespace dnswild::cluster

@@ -1,0 +1,268 @@
+#include "dns/message.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace dnswild::dns {
+namespace {
+
+Message round_trip(const Message& message) {
+  const auto wire = message.encode();
+  const auto decoded = Message::decode(wire);
+  EXPECT_TRUE(decoded.has_value());
+  return decoded.value_or(Message{});
+}
+
+TEST(Message, QueryRoundTrip) {
+  const Message query = Message::make_query(
+      0xabcd, Name::must_parse("WwW.Example.COM"), RType::kA);
+  const Message decoded = round_trip(query);
+  EXPECT_EQ(decoded.header.id, 0xabcd);
+  EXPECT_FALSE(decoded.header.qr);
+  EXPECT_TRUE(decoded.header.rd);
+  ASSERT_EQ(decoded.questions.size(), 1u);
+  EXPECT_EQ(decoded.questions[0].name.to_string(), "WwW.Example.COM");
+  EXPECT_EQ(decoded.questions[0].qtype, RType::kA);
+  EXPECT_EQ(decoded.questions[0].qclass, RClass::kIN);
+}
+
+TEST(Message, HeaderFlagsRoundTrip) {
+  Message message;
+  message.header.id = 7;
+  message.header.qr = true;
+  message.header.aa = true;
+  message.header.tc = true;
+  message.header.rd = true;
+  message.header.ra = true;
+  message.header.opcode = Opcode::kStatus;
+  message.header.rcode = RCode::kRefused;
+  const Message decoded = round_trip(message);
+  EXPECT_TRUE(decoded.header.qr);
+  EXPECT_TRUE(decoded.header.aa);
+  EXPECT_TRUE(decoded.header.tc);
+  EXPECT_TRUE(decoded.header.rd);
+  EXPECT_TRUE(decoded.header.ra);
+  EXPECT_EQ(decoded.header.opcode, Opcode::kStatus);
+  EXPECT_EQ(decoded.header.rcode, RCode::kRefused);
+}
+
+TEST(Message, ARecordRoundTrip) {
+  Message message;
+  message.header.qr = true;
+  message.answers.push_back(ResourceRecord::a(
+      Name::must_parse("a.example"), net::Ipv4(1, 2, 3, 4), 300));
+  const Message decoded = round_trip(message);
+  ASSERT_EQ(decoded.answers.size(), 1u);
+  EXPECT_EQ(decoded.answers[0].ttl, 300u);
+  EXPECT_EQ(std::get<net::Ipv4>(decoded.answers[0].rdata),
+            net::Ipv4(1, 2, 3, 4));
+  EXPECT_EQ(decoded.answer_ips(),
+            (std::vector<net::Ipv4>{net::Ipv4(1, 2, 3, 4)}));
+}
+
+TEST(Message, NsCnamePtrRoundTrip) {
+  Message message;
+  message.answers.push_back(ResourceRecord::ns(
+      Name::must_parse("com"), Name::must_parse("a.gtld.example"), 172800));
+  message.answers.push_back(ResourceRecord::cname(
+      Name::must_parse("www.x.example"), Name::must_parse("x.example"), 60));
+  message.answers.push_back(ResourceRecord::ptr(
+      Name::must_parse("4.3.2.1.in-addr.arpa"),
+      Name::must_parse("host.example"), 3600));
+  const Message decoded = round_trip(message);
+  ASSERT_EQ(decoded.answers.size(), 3u);
+  EXPECT_EQ(std::get<Name>(decoded.answers[0].rdata).to_string(),
+            "a.gtld.example");
+  EXPECT_EQ(std::get<Name>(decoded.answers[1].rdata).to_string(),
+            "x.example");
+  EXPECT_EQ(std::get<Name>(decoded.answers[2].rdata).to_string(),
+            "host.example");
+}
+
+TEST(Message, TxtRoundTripMultiChunk) {
+  Message message;
+  message.answers.push_back(ResourceRecord::txt(
+      Name::must_parse("version.bind"), {"BIND ", "9.8.2"}, 0, RClass::kCH));
+  const Message decoded = round_trip(message);
+  ASSERT_EQ(decoded.answers.size(), 1u);
+  EXPECT_EQ(decoded.answers[0].rclass, RClass::kCH);
+  const auto& txt = std::get<TxtData>(decoded.answers[0].rdata);
+  ASSERT_EQ(txt.size(), 2u);
+  EXPECT_EQ(txt[0], "BIND ");
+  EXPECT_EQ(txt[1], "9.8.2");
+}
+
+TEST(Message, SoaRoundTrip) {
+  Message message;
+  SoaData soa;
+  soa.mname = Name::must_parse("ns1.example");
+  soa.rname = Name::must_parse("admin.example");
+  soa.serial = 2015021301;
+  soa.refresh = 7200;
+  soa.retry = 900;
+  soa.expire = 1209600;
+  soa.minimum = 86400;
+  ResourceRecord rr;
+  rr.name = Name::must_parse("example");
+  rr.rtype = RType::kSOA;
+  rr.ttl = 3600;
+  rr.rdata = soa;
+  message.authorities.push_back(rr);
+  const Message decoded = round_trip(message);
+  ASSERT_EQ(decoded.authorities.size(), 1u);
+  const auto& got = std::get<SoaData>(decoded.authorities[0].rdata);
+  EXPECT_EQ(got.serial, 2015021301u);
+  EXPECT_EQ(got.minimum, 86400u);
+  EXPECT_EQ(got.mname.to_string(), "ns1.example");
+}
+
+TEST(Message, MxRoundTrip) {
+  Message message;
+  ResourceRecord rr;
+  rr.name = Name::must_parse("example");
+  rr.rtype = RType::kMX;
+  rr.ttl = 300;
+  rr.rdata = MxData{10, Name::must_parse("mx1.example")};
+  message.answers.push_back(rr);
+  const Message decoded = round_trip(message);
+  const auto& got = std::get<MxData>(decoded.answers[0].rdata);
+  EXPECT_EQ(got.preference, 10);
+  EXPECT_EQ(got.exchange.to_string(), "mx1.example");
+}
+
+TEST(Message, UnknownTypePreservedAsRaw) {
+  Message message;
+  ResourceRecord rr;
+  rr.name = Name::must_parse("x.example");
+  rr.rtype = static_cast<RType>(99);
+  rr.ttl = 1;
+  rr.rdata = RawData{1, 2, 3, 4, 5};
+  message.additionals.push_back(rr);
+  const Message decoded = round_trip(message);
+  ASSERT_EQ(decoded.additionals.size(), 1u);
+  EXPECT_EQ(std::get<RawData>(decoded.additionals[0].rdata),
+            (RawData{1, 2, 3, 4, 5}));
+}
+
+TEST(Message, CompressionShrinksRepeatedNames) {
+  Message message;
+  const Name name = Name::must_parse("a-rather-long-domain-name.example");
+  message.questions.push_back(Question{name, RType::kA, RClass::kIN});
+  for (int i = 0; i < 4; ++i) {
+    message.answers.push_back(
+        ResourceRecord::a(name, net::Ipv4(1, 2, 3, static_cast<uint8_t>(i)),
+                          60));
+  }
+  const auto wire = message.encode();
+  // Without compression each answer would repeat the 35-byte name.
+  EXPECT_LT(wire.size(), 12 + 39 + 4 * (2 + 10 + 4) + 10u);
+  const auto decoded = Message::decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->answers.size(), 4u);
+  EXPECT_TRUE(decoded->answers[3].name.equals(name));
+}
+
+TEST(Message, AnswerIpsIgnoresNonARecords) {
+  Message message;
+  message.answers.push_back(ResourceRecord::cname(
+      Name::must_parse("a.example"), Name::must_parse("b.example"), 60));
+  message.answers.push_back(ResourceRecord::a(
+      Name::must_parse("b.example"), net::Ipv4(9, 9, 9, 9), 60));
+  EXPECT_EQ(message.answer_ips(),
+            (std::vector<net::Ipv4>{net::Ipv4(9, 9, 9, 9)}));
+}
+
+TEST(Message, MakeResponseEchoesQuestionAndId) {
+  const Message query = Message::make_query(
+      0x1234, Name::must_parse("q.example"), RType::kA);
+  const Message response = Message::make_response(query, RCode::kNxDomain);
+  EXPECT_TRUE(response.header.qr);
+  EXPECT_TRUE(response.header.ra);
+  EXPECT_EQ(response.header.id, 0x1234);
+  EXPECT_EQ(response.header.rcode, RCode::kNxDomain);
+  ASSERT_EQ(response.questions.size(), 1u);
+  EXPECT_EQ(response.questions[0].name.to_string(), "q.example");
+}
+
+class TruncatedDecode : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TruncatedDecode, EveryPrefixFailsCleanly) {
+  Message message;
+  message.header.id = 42;
+  message.questions.push_back(
+      Question{Name::must_parse("www.example.com"), RType::kA, RClass::kIN});
+  message.answers.push_back(ResourceRecord::a(
+      Name::must_parse("www.example.com"), net::Ipv4(1, 1, 1, 1), 60));
+  const auto wire = message.encode();
+  const std::size_t cut = GetParam();
+  if (cut >= wire.size()) GTEST_SKIP();
+  const std::vector<std::uint8_t> truncated(wire.begin(),
+                                            wire.begin() +
+                                                static_cast<long>(cut));
+  // Must not crash; almost every cut is invalid (counts promise content).
+  const auto decoded = Message::decode(truncated);
+  if (cut < 12) {
+    EXPECT_FALSE(decoded.has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, TruncatedDecode,
+                         ::testing::Values(0, 1, 5, 11, 12, 13, 20, 28, 30,
+                                           35, 40, 45, 50));
+
+class MutationRobustness : public ::testing::TestWithParam<int> {};
+
+TEST_P(MutationRobustness, RandomlyCorruptedWireNeverMisbehaves) {
+  // Property: decode() of arbitrarily mutated valid messages either fails
+  // cleanly or yields a message that re-encodes without crashing. Catches
+  // over-reads, infinite pointer loops, and length-confusion bugs.
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  Message message;
+  message.header.id = 77;
+  message.header.qr = true;
+  message.questions.push_back(Question{
+      Name::must_parse("WwW.Example.COM"), RType::kA, RClass::kIN});
+  message.answers.push_back(ResourceRecord::a(
+      Name::must_parse("www.example.com"), net::Ipv4(1, 2, 3, 4), 60));
+  message.answers.push_back(ResourceRecord::txt(
+      Name::must_parse("version.bind"), {"BIND 9.8.2"}, 0, RClass::kCH));
+  message.authorities.push_back(ResourceRecord::ns(
+      Name::must_parse("com"), Name::must_parse("a.gtld.example"), 172800));
+  const auto wire = message.encode();
+
+  for (int trial = 0; trial < 500; ++trial) {
+    auto mutated = wire;
+    const int flips = 1 + static_cast<int>(rng.below(6));
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = rng.below(mutated.size());
+      mutated[pos] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+    }
+    if (rng.chance(0.3) && mutated.size() > 4) {
+      mutated.resize(rng.below(mutated.size()));  // truncate too
+    }
+    const auto decoded = Message::decode(mutated);
+    if (decoded) {
+      EXPECT_NO_THROW(decoded->encode());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationRobustness, ::testing::Range(0, 8));
+
+TEST(Message, GarbageDecodeFails) {
+  EXPECT_FALSE(Message::decode({}).has_value());
+  EXPECT_FALSE(Message::decode({0xff}).has_value());
+}
+
+TEST(Types, Names) {
+  EXPECT_EQ(rcode_name(RCode::kNoError), "NOERROR");
+  EXPECT_EQ(rcode_name(RCode::kServFail), "SERVFAIL");
+  EXPECT_EQ(rcode_name(RCode::kRefused), "REFUSED");
+  EXPECT_EQ(rtype_name(RType::kA), "A");
+  EXPECT_EQ(rtype_name(RType::kNS), "NS");
+  EXPECT_EQ(rtype_name(RType::kTXT), "TXT");
+}
+
+}  // namespace
+}  // namespace dnswild::dns

@@ -1,0 +1,149 @@
+#include "dns/name.h"
+
+#include <gtest/gtest.h>
+
+namespace dnswild::dns {
+namespace {
+
+TEST(Name, ParsePreservesCase) {
+  const auto name = Name::parse("WwW.ExAmPle.COM");
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(name->to_string(), "WwW.ExAmPle.COM");
+  EXPECT_EQ(name->lower(), "www.example.com");
+  EXPECT_EQ(name->label_count(), 3u);
+}
+
+TEST(Name, TrailingDotAccepted) {
+  const auto a = Name::parse("example.com.");
+  const auto b = Name::parse("example.com");
+  ASSERT_TRUE(a && b);
+  EXPECT_TRUE(a->equals(*b));
+}
+
+TEST(Name, RootForms) {
+  EXPECT_TRUE(Name::parse("")->empty());
+  EXPECT_TRUE(Name::parse(".")->empty());
+  EXPECT_EQ(Name::parse(".")->to_string(), "");
+}
+
+class NameInvalid : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NameInvalid, Rejected) {
+  EXPECT_FALSE(Name::parse(GetParam()).has_value()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, NameInvalid,
+    ::testing::Values("a..b", ".leading", "a..",
+                      // label > 63 octets
+                      "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+                      "aaaaaaaaaaaaaaaa.com"));
+
+TEST(Name, TotalLengthLimit) {
+  // 5 labels of 63 bytes = 320 wire bytes > 255.
+  std::string big;
+  for (int i = 0; i < 5; ++i) {
+    big += std::string(63, 'a');
+    big += '.';
+  }
+  big += "com";
+  EXPECT_FALSE(Name::parse(big).has_value());
+}
+
+TEST(Name, EqualsIsCaseInsensitive) {
+  EXPECT_TRUE(Name::must_parse("A.B").equals(Name::must_parse("a.b")));
+  EXPECT_FALSE(Name::must_parse("a.b").equals(Name::must_parse("a.c")));
+  EXPECT_FALSE(Name::must_parse("a.b").equals(Name::must_parse("a.b.c")));
+  EXPECT_TRUE(Name::must_parse("x.Y") == Name::must_parse("X.y"));
+}
+
+TEST(Name, Subdomains) {
+  const Name zone = Name::must_parse("example.com");
+  EXPECT_TRUE(Name::must_parse("example.com").is_subdomain_of(zone));
+  EXPECT_TRUE(Name::must_parse("www.EXAMPLE.com").is_subdomain_of(zone));
+  EXPECT_TRUE(Name::must_parse("a.b.example.com").is_subdomain_of(zone));
+  EXPECT_FALSE(Name::must_parse("example.org").is_subdomain_of(zone));
+  EXPECT_FALSE(Name::must_parse("com").is_subdomain_of(zone));
+  // Everything is under the root.
+  EXPECT_TRUE(zone.is_subdomain_of(Name{}));
+}
+
+TEST(Name, ParentAndConcat) {
+  const Name name = Name::must_parse("a.b.c.d");
+  EXPECT_EQ(name.parent().to_string(), "b.c.d");
+  EXPECT_EQ(name.parent(3).to_string(), "d");
+  EXPECT_TRUE(name.parent(4).empty());
+  EXPECT_TRUE(name.parent(9).empty());
+  const Name joined =
+      Name::must_parse("www").concat(Name::must_parse("example.com"));
+  EXPECT_EQ(joined.to_string(), "www.example.com");
+}
+
+TEST(Name, WireRoundTrip) {
+  const Name name = Name::must_parse("MiXeD.Case.Example");
+  std::vector<std::uint8_t> wire;
+  name.encode(wire);
+  EXPECT_EQ(wire.size(), 1 + 5 + 1 + 4 + 1 + 7 + 1u);
+  std::size_t offset = 0;
+  const auto decoded = Name::decode(wire, offset);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->to_string(), "MiXeD.Case.Example");  // case preserved
+  EXPECT_EQ(offset, wire.size());
+}
+
+TEST(Name, RootWire) {
+  Name root;
+  std::vector<std::uint8_t> wire;
+  root.encode(wire);
+  EXPECT_EQ(wire, std::vector<std::uint8_t>{0});
+  std::size_t offset = 0;
+  EXPECT_TRUE(Name::decode(wire, offset)->empty());
+}
+
+TEST(Name, DecodeCompressionPointer) {
+  // "example.com" at offset 0, then "www" + pointer to offset 0.
+  std::vector<std::uint8_t> wire;
+  Name::must_parse("example.com").encode(wire);
+  const std::size_t second = wire.size();
+  wire.push_back(3);
+  wire.insert(wire.end(), {'w', 'w', 'w'});
+  wire.push_back(0xc0);
+  wire.push_back(0x00);
+
+  std::size_t offset = second;
+  const auto decoded = Name::decode(wire, offset);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->to_string(), "www.example.com");
+  EXPECT_EQ(offset, wire.size());
+}
+
+TEST(Name, DecodeRejectsForwardPointer) {
+  std::vector<std::uint8_t> wire = {0xc0, 0x02, 0x00};
+  std::size_t offset = 0;
+  EXPECT_FALSE(Name::decode(wire, offset).has_value());
+}
+
+TEST(Name, DecodeRejectsSelfPointerLoop) {
+  // Pointer at offset 2 pointing back to offset 0 which points to itself.
+  std::vector<std::uint8_t> wire = {0xc0, 0x00};
+  std::size_t offset = 0;
+  EXPECT_FALSE(Name::decode(wire, offset).has_value());
+}
+
+TEST(Name, DecodeRejectsTruncation) {
+  std::vector<std::uint8_t> wire = {5, 'a', 'b'};
+  std::size_t offset = 0;
+  EXPECT_FALSE(Name::decode(wire, offset).has_value());
+  wire = {3, 'a', 'b', 'c'};  // missing terminator
+  offset = 0;
+  EXPECT_FALSE(Name::decode(wire, offset).has_value());
+}
+
+TEST(Name, DecodeRejectsReservedLabelTypes) {
+  std::vector<std::uint8_t> wire = {0x80, 0x00};
+  std::size_t offset = 0;
+  EXPECT_FALSE(Name::decode(wire, offset).has_value());
+}
+
+}  // namespace
+}  // namespace dnswild::dns

@@ -1,0 +1,131 @@
+#include "core/dnssec_study.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "resolver/gfw.h"
+
+namespace dnswild::core {
+namespace {
+
+using test::make_mini_world;
+using test::MiniWorld;
+
+class DnssecStudyTest : public ::testing::Test {
+ protected:
+  DnssecStudyTest() : mini_(make_mini_world()) {
+    // An honest resolver behind the injector...
+    resolver::ResolverConfig honest;
+    honest.seed = 1;
+    mini_.add_resolver(net::Ipv4(60, 0, 0, 10), honest);
+    // ...and one outside monitored space.
+    resolver::ResolverConfig clean;
+    clean.seed = 2;
+    mini_.add_resolver(net::Ipv4(1, 0, 0, 10), clean);
+
+    resolver::GfwConfig gfw_config;
+    gfw_config.monitored_prefixes = {net::Cidr(net::Ipv4(60, 0, 0, 0), 8)};
+    gfw_config.censored_suffixes = {"good.example"};
+    gfw_config.seed = 3;
+    resolver::install_gfw(*mini_.world,
+                          std::make_shared<resolver::GfwInjector>(
+                              gfw_config));
+  }
+
+  DnssecOutcome run(std::vector<net::Ipv4> resolvers) {
+    DnssecStudyConfig config;
+    config.client_ip = net::Ipv4(9, 0, 0, 2);
+    config.seed = 5;
+    return run_dnssec_experiment(*mini_.world, *mini_.registry,
+                                 resolvers, {"good.example"}, config);
+  }
+
+  MiniWorld mini_;
+};
+
+TEST_F(DnssecStudyTest, NaiveClientLosesTheRaceBehindTheInjector) {
+  mini_.registry->set_dnssec("good.example", true);
+  const auto outcome = run({net::Ipv4(60, 0, 0, 10)});
+  EXPECT_EQ(outcome.queries, 1u);
+  EXPECT_EQ(outcome.injected, 1u);
+  // The forged answer arrives first: the naive client is poisoned.
+  EXPECT_EQ(outcome.naive_poisoned, 1u);
+  // The validating client waits for the AD-carrying honest answer.
+  EXPECT_EQ(outcome.validating_poisoned, 0u);
+  EXPECT_EQ(outcome.validating_unavailable, 0u);
+  EXPECT_DOUBLE_EQ(outcome.validating_poison_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(outcome.naive_poison_rate(), 1.0);
+}
+
+TEST_F(DnssecStudyTest, UnsignedZoneLeavesValidatingClientExposed) {
+  mini_.registry->set_dnssec("good.example", false);
+  const auto outcome = run({net::Ipv4(60, 0, 0, 10)});
+  EXPECT_EQ(outcome.naive_poisoned, 1u);
+  // §5 precondition (ii): without deployment knowledge the validating
+  // client accepts the first response like everyone else.
+  EXPECT_EQ(outcome.validating_fallback_poisoned, 1u);
+  EXPECT_DOUBLE_EQ(outcome.validating_poison_rate(), 1.0);
+}
+
+TEST_F(DnssecStudyTest, SuppressedHonestAnswerCostsAvailability) {
+  mini_.registry->set_dnssec("good.example", true);
+  // The resolver never answers the censored name (the GFW-suppression
+  // pattern of most Chinese resolvers): only the forged reply exists.
+  resolver::ResolverConfig suppressed;
+  suppressed.seed = 7;
+  resolver::Override ignore;
+  ignore.domains = {"good.example"};
+  ignore.action = resolver::OverrideAction::kIgnore;
+  suppressed.behavior.overrides.push_back(ignore);
+  mini_.add_resolver(net::Ipv4(60, 0, 0, 11), suppressed);
+
+  const auto outcome = run({net::Ipv4(60, 0, 0, 11)});
+  EXPECT_EQ(outcome.queries, 1u);
+  EXPECT_EQ(outcome.naive_poisoned, 1u);
+  // No validated response ever arrives: blocked, but unavailable.
+  EXPECT_EQ(outcome.validating_poisoned, 0u);
+  EXPECT_EQ(outcome.validating_unavailable, 1u);
+}
+
+TEST_F(DnssecStudyTest, CleanPathIsFineEitherWay) {
+  mini_.registry->set_dnssec("good.example", true);
+  const auto outcome = run({net::Ipv4(1, 0, 0, 10)});
+  EXPECT_EQ(outcome.queries, 1u);
+  EXPECT_EQ(outcome.injected, 0u);
+  EXPECT_EQ(outcome.naive_poisoned, 0u);
+  EXPECT_EQ(outcome.validating_poisoned, 0u);
+  EXPECT_EQ(outcome.validating_unavailable, 0u);
+}
+
+TEST_F(DnssecStudyTest, SilentResolverProducesNoQuery) {
+  const auto outcome = run({net::Ipv4(5, 5, 5, 99)});
+  EXPECT_EQ(outcome.queries, 0u);
+  EXPECT_DOUBLE_EQ(outcome.naive_poison_rate(), 0.0);
+}
+
+TEST(DnssecPlumbing, AdBitSurvivesTheWire) {
+  dns::Message message;
+  message.header.qr = true;
+  message.header.ad = true;
+  const auto decoded = dns::Message::decode(message.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->header.ad);
+  message.header.ad = false;
+  EXPECT_FALSE(dns::Message::decode(message.encode())->header.ad);
+}
+
+TEST(DnssecPlumbing, RegistryFlagsAndViews) {
+  resolver::AuthRegistry registry;
+  registry.add_cdn_domain("cdn.example", {net::Ipv4(1, 0, 0, 1)},
+                          {{"CN", {net::Ipv4(2, 0, 0, 1)}}}, 60);
+  EXPECT_FALSE(registry.dnssec_enabled("cdn.example"));
+  registry.set_dnssec("cdn.example", true);
+  EXPECT_TRUE(registry.dnssec_enabled("cdn.example"));
+  EXPECT_TRUE(registry.resolve_a("cdn.example").dnssec);
+  const auto views = registry.all_views("cdn.example");
+  ASSERT_EQ(views.size(), 2u);  // default + regional, deduplicated
+  EXPECT_TRUE(registry.all_views("nope.example").empty());
+}
+
+}  // namespace
+}  // namespace dnswild::core

@@ -1,0 +1,132 @@
+#include "scan/domain_scan.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "resolver/gfw.h"
+
+namespace dnswild::scan {
+namespace {
+
+using test::make_mini_world;
+using test::MiniWorld;
+
+DomainScanConfig scan_config(const MiniWorld& mini) {
+  DomainScanConfig config;
+  config.scanner_ip = mini.scanner_ip;
+  config.seed = 11;
+  return config;
+}
+
+TEST(DomainScanner, HonestResolverYieldsLegitTuples) {
+  MiniWorld mini = make_mini_world();
+  resolver::ResolverConfig honest;
+  honest.seed = 1;
+  mini.add_resolver(net::Ipv4(1, 0, 0, 10), honest);
+
+  DomainScanner scanner(*mini.world, scan_config(mini));
+  const auto records =
+      scanner.scan({net::Ipv4(1, 0, 0, 10)}, {"good.example"});
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].responded);
+  EXPECT_EQ(records[0].resolver_id, 0u);
+  EXPECT_EQ(records[0].domain_index, 0);
+  EXPECT_EQ(records[0].rcode, dns::RCode::kNoError);
+  EXPECT_EQ(records[0].ips, (std::vector<net::Ipv4>{net::Ipv4(5, 5, 5, 5)}));
+  EXPECT_FALSE(records[0].dual_response);
+  EXPECT_FALSE(records[0].case_fallback);
+}
+
+TEST(DomainScanner, AttributionAcrossManyResolvers) {
+  MiniWorld mini = make_mini_world();
+  std::vector<net::Ipv4> resolvers;
+  for (int i = 0; i < 40; ++i) {
+    resolver::ResolverConfig config;
+    config.seed = static_cast<std::uint64_t>(i);
+    const net::Ipv4 ip(1, 0, 1, static_cast<std::uint8_t>(i + 1));
+    mini.add_resolver(ip, config);
+    resolvers.push_back(ip);
+  }
+  DomainScanner scanner(*mini.world, scan_config(mini));
+  const auto records = scanner.scan(resolvers, {"good.example", "x.invalid"});
+  ASSERT_EQ(records.size(), 80u);
+  for (const auto& record : records) {
+    EXPECT_TRUE(record.responded);
+    // Attribution: each record's id matches the probe we sent it with.
+    EXPECT_LT(record.resolver_id, 40u);
+  }
+}
+
+TEST(DomainScanner, MangledPortRecoveredViaCaseBits) {
+  MiniWorld mini = make_mini_world();
+  resolver::ResolverConfig mangler;
+  mangler.seed = 1;
+  mangler.mangle_reply_port = true;
+  mini.add_resolver(net::Ipv4(1, 0, 0, 10), mangler);
+
+  DomainScanner scanner(*mini.world, scan_config(mini));
+  const auto records =
+      scanner.scan({net::Ipv4(1, 0, 0, 10)}, {"good.example"});
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].responded);
+  EXPECT_TRUE(records[0].case_fallback);  // §3.3 redundancy engaged
+}
+
+TEST(DomainScanner, NsOnlyRecorded) {
+  MiniWorld mini = make_mini_world();
+  resolver::ResolverConfig ns_only;
+  ns_only.seed = 1;
+  ns_only.behavior.base = resolver::BasePolicy::kNsOnlyAll;
+  mini.add_resolver(net::Ipv4(1, 0, 0, 10), ns_only);
+  DomainScanner scanner(*mini.world, scan_config(mini));
+  const auto records =
+      scanner.scan({net::Ipv4(1, 0, 0, 10)}, {"good.example"});
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].ns_only);
+  EXPECT_TRUE(records[0].ips.empty());
+}
+
+TEST(DomainScanner, GfwDualResponseDetected) {
+  MiniWorld mini = make_mini_world();
+  resolver::ResolverConfig honest;
+  honest.seed = 1;
+  mini.add_resolver(net::Ipv4(60, 0, 0, 10), honest);
+
+  resolver::GfwConfig gfw_config;
+  gfw_config.monitored_prefixes = {net::Cidr(net::Ipv4(60, 0, 0, 0), 8)};
+  gfw_config.censored_suffixes = {"good.example"};
+  gfw_config.seed = 3;
+  resolver::install_gfw(*mini.world,
+                        std::make_shared<resolver::GfwInjector>(gfw_config));
+
+  DomainScanner scanner(*mini.world, scan_config(mini));
+  const auto records =
+      scanner.scan({net::Ipv4(60, 0, 0, 10)}, {"good.example"});
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].responded);
+  // First answer is the forged one; the honest answer arrives second and
+  // differs -> the §4.2 signature.
+  EXPECT_TRUE(records[0].dual_response);
+  EXPECT_NE(records[0].ips, records[0].second_ips);
+  EXPECT_EQ(records[0].second_ips,
+            (std::vector<net::Ipv4>{net::Ipv4(5, 5, 5, 5)}));
+}
+
+TEST(DomainScanner, SilentResolverLeavesUnresponded) {
+  MiniWorld mini = make_mini_world();
+  DomainScanner scanner(*mini.world, scan_config(mini));
+  const auto records =
+      scanner.scan({net::Ipv4(1, 0, 0, 200)}, {"good.example"});
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_FALSE(records[0].responded);
+}
+
+TEST(DomainScanner, OversizedResolverListRejected) {
+  MiniWorld mini = make_mini_world();
+  DomainScanner scanner(*mini.world, scan_config(mini));
+  std::vector<net::Ipv4> too_many(kMaxResolverId + 2, net::Ipv4(1, 1, 1, 1));
+  EXPECT_THROW(scanner.scan(too_many, {"good.example"}), std::length_error);
+}
+
+}  // namespace
+}  // namespace dnswild::scan

@@ -1,0 +1,110 @@
+#include "core/domains.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dnswild::core {
+namespace {
+
+TEST(DomainSet, HasExactly155Domains) {
+  const DomainSet set = DomainSet::study_set();
+  EXPECT_EQ(set.size(), 155u);  // §3.2
+}
+
+struct CategoryCount {
+  SiteCategory category;
+  std::size_t count;
+};
+
+class CategorySizeTest : public ::testing::TestWithParam<CategoryCount> {};
+
+TEST_P(CategorySizeTest, MatchesSection32) {
+  const DomainSet set = DomainSet::study_set();
+  EXPECT_EQ(set.in_category(GetParam().category).size(), GetParam().count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Counts, CategorySizeTest,
+    ::testing::Values(CategoryCount{SiteCategory::kAds, 9},
+                      CategoryCount{SiteCategory::kAdult, 4},
+                      CategoryCount{SiteCategory::kAlexa, 20},
+                      CategoryCount{SiteCategory::kAntivirus, 15},
+                      CategoryCount{SiteCategory::kBanking, 20},
+                      CategoryCount{SiteCategory::kDating, 3},
+                      CategoryCount{SiteCategory::kFilesharing, 5},
+                      CategoryCount{SiteCategory::kGambling, 4},
+                      CategoryCount{SiteCategory::kMalware, 13},
+                      CategoryCount{SiteCategory::kMail, 13},
+                      CategoryCount{SiteCategory::kNx, 21},
+                      CategoryCount{SiteCategory::kTracking, 5},
+                      CategoryCount{SiteCategory::kMisc, 23}));
+
+TEST(DomainSet, PaperNamedDomainsPresent) {
+  const DomainSet set = DomainSet::study_set();
+  // Domains the paper names explicitly.
+  for (const char* name :
+       {"irc.zief.pl", "okcupid.com", "youporn.com", "adultfinder.com",
+        "rotten.com", "blogspot.com", "torproject.org", "bet-at-home.com",
+        "kickass.to", "thepiratebay.se", "match.com", "paypal.com",
+        "alipay.com", "ebay.com", "facebook.com", "twitter.com",
+        "youtube.com", "wikileaks.org", "amason.com", "ghoogle.com",
+        "wikipeida.com", "rswkllf.twitter.com"}) {
+    EXPECT_NE(set.find(name), nullptr) << name;
+  }
+}
+
+TEST(DomainSet, NxDomainsMarkedNonexistent) {
+  const DomainSet set = DomainSet::study_set();
+  for (const StudyDomain* domain : set.in_category(SiteCategory::kNx)) {
+    EXPECT_FALSE(domain->exists) << domain->name;
+  }
+  EXPECT_TRUE(set.find("facebook.com")->exists);
+}
+
+TEST(DomainSet, MxHostsFlagged) {
+  const DomainSet set = DomainSet::study_set();
+  for (const StudyDomain* domain : set.in_category(SiteCategory::kMail)) {
+    EXPECT_TRUE(domain->is_mx_host) << domain->name;
+  }
+  // Six providers' hosts (§3.2): Aim, Gmail, me.com, Outlook, Yahoo, Yandex.
+  std::set<std::string> providers;
+  for (const StudyDomain* domain : set.in_category(SiteCategory::kMail)) {
+    const auto dot = domain->name.find('.');
+    providers.insert(domain->name.substr(dot + 1));
+  }
+  EXPECT_EQ(providers.size(), 6u);
+}
+
+TEST(DomainSet, NoDuplicateNames) {
+  const DomainSet set = DomainSet::study_set();
+  std::set<std::string> names;
+  for (const auto& domain : set.all()) {
+    EXPECT_TRUE(names.insert(domain.name).second) << domain.name;
+  }
+}
+
+TEST(DomainSet, GroundTruthSeparateFromSet) {
+  const DomainSet set = DomainSet::study_set();
+  EXPECT_FALSE(set.ground_truth().empty());
+  EXPECT_EQ(set.find(set.ground_truth()), nullptr);
+}
+
+TEST(DomainSet, Table5CategoriesOrderedAndComplete) {
+  const auto& categories = DomainSet::table5_categories();
+  EXPECT_EQ(categories.size(), 14u);  // 13 sets + ground truth
+  EXPECT_EQ(categories.front(), SiteCategory::kAds);
+  std::set<SiteCategory> unique(categories.begin(), categories.end());
+  EXPECT_EQ(unique.size(), categories.size());
+}
+
+TEST(SnoopTlds, FifteenTldsFromSection26) {
+  const auto& tlds = snoop_tlds();
+  EXPECT_EQ(tlds.size(), 15u);
+  EXPECT_NE(std::find(tlds.begin(), tlds.end(), "co.uk"), tlds.end());
+  EXPECT_NE(std::find(tlds.begin(), tlds.end(), "com"), tlds.end());
+  EXPECT_NE(std::find(tlds.begin(), tlds.end(), "ru"), tlds.end());
+}
+
+}  // namespace
+}  // namespace dnswild::core

@@ -1,0 +1,124 @@
+#include "scan/encoding.h"
+
+#include <gtest/gtest.h>
+
+namespace dnswild::scan {
+namespace {
+
+TEST(ProbeName, BuildAndRecover) {
+  const dns::Name zone = dns::Name::must_parse("probe.study.example");
+  const net::Ipv4 target(192, 168, 1, 200);
+  const dns::Name probe = make_probe_name("kx7f2a", target, zone);
+  EXPECT_EQ(probe.to_string(), "kx7f2a.c0a801c8.probe.study.example");
+  const auto recovered = target_from_probe_name(probe);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(*recovered, target);
+}
+
+TEST(ProbeName, RecoverIsCaseInsensitive) {
+  const auto name = dns::Name::must_parse("PX.C0A801C8.zone.example");
+  EXPECT_EQ(target_from_probe_name(name), net::Ipv4(192, 168, 1, 200));
+}
+
+TEST(ProbeName, MalformedNamesRejected) {
+  EXPECT_FALSE(target_from_probe_name(
+                   dns::Name::must_parse("tooshort.example"))
+                   .has_value());
+  EXPECT_FALSE(target_from_probe_name(
+                   dns::Name::must_parse("px.nothex12.zone.example"))
+                   .has_value());
+  EXPECT_FALSE(target_from_probe_name(
+                   dns::Name::must_parse("px.c0a801.zone.example"))
+                   .has_value());
+  EXPECT_FALSE(target_from_probe_name(dns::Name{}).has_value());
+}
+
+class ResolverIdRoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ResolverIdRoundTrip, ThroughTxidAndPort) {
+  const std::uint32_t id = GetParam();
+  const dns::Name domain = dns::Name::must_parse("facebook.com");
+  const std::uint16_t base_port = 40000;
+  const EncodedQuery encoded = encode_resolver_id(id, domain, base_port);
+
+  // Simulate a resolver echoing the question and answering to our port.
+  dns::Message response;
+  response.header.qr = true;
+  response.header.id = encoded.txid;
+  response.questions.push_back(
+      dns::Question{encoded.name, dns::RType::kA, dns::RClass::kIN});
+  const auto decoded =
+      decode_resolver_id(response, encoded.src_port, base_port);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->resolver_id, id);
+  EXPECT_FALSE(decoded->used_case_fallback);
+}
+
+TEST_P(ResolverIdRoundTrip, ThroughCaseBitsWhenPortMangled) {
+  const std::uint32_t id = GetParam();
+  const dns::Name domain = dns::Name::must_parse("facebook.com");
+  const EncodedQuery encoded = encode_resolver_id(id, domain, 40000);
+
+  dns::Message response;
+  response.header.qr = true;
+  response.header.id = encoded.txid;
+  response.questions.push_back(
+      dns::Question{encoded.name, dns::RType::kA, dns::RClass::kIN});
+  // The device answered to a fresh ephemeral port (§3.3).
+  const auto decoded = decode_resolver_id(response, 33517, 40000);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->resolver_id, id);
+  EXPECT_TRUE(decoded->used_case_fallback);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ids, ResolverIdRoundTrip,
+                         ::testing::Values(0u, 1u, 0xffffu, 0x10000u,
+                                           0x1234567u, kMaxResolverId,
+                                           19999999u, 0x1000000u));
+
+TEST(ResolverId, PortWindowUsesNinePorts) {
+  // §3.3: 9 bits in the source port = 2^9 distinct ports.
+  const dns::Name domain = dns::Name::must_parse("example.com");
+  const auto low = encode_resolver_id(0, domain, 40000);
+  const auto high = encode_resolver_id(kMaxResolverId, domain, 40000);
+  EXPECT_EQ(low.src_port, 40000);
+  EXPECT_EQ(high.src_port, 40000 + 511);
+}
+
+TEST(ResolverId, ShortNameFallsBackGracefully) {
+  // "t.co" has only 3 letters: the case channel carries 3 bits, the port
+  // channel still carries all 9.
+  const dns::Name domain = dns::Name::must_parse("t.co");
+  const std::uint32_t id = (0x155u << 16) | 0xabcd;
+  const EncodedQuery encoded = encode_resolver_id(id, domain, 40000);
+  EXPECT_EQ(encoded.case_bits_used, 3u);
+  dns::Message response;
+  response.header.qr = true;
+  response.header.id = encoded.txid;
+  response.questions.push_back(
+      dns::Question{encoded.name, dns::RType::kA, dns::RClass::kIN});
+  const auto by_port = decode_resolver_id(response, encoded.src_port, 40000);
+  ASSERT_TRUE(by_port.has_value());
+  EXPECT_EQ(by_port->resolver_id, id);
+  // Case fallback recovers only the low 3 of the high bits.
+  const auto by_case = decode_resolver_id(response, 1234, 40000);
+  ASSERT_TRUE(by_case.has_value());
+  EXPECT_EQ(by_case->resolver_id & 0xffffu, id & 0xffffu);
+  EXPECT_EQ((by_case->resolver_id >> 16) & 0x7u, (id >> 16) & 0x7u);
+}
+
+TEST(ResolverId, NoQuestionFails) {
+  dns::Message response;
+  response.header.qr = true;
+  EXPECT_FALSE(decode_resolver_id(response, 40000, 40000).has_value());
+}
+
+TEST(ResolverId, TwentyFiveBitBudgetCoversTwentyMillion) {
+  // ceil(log2(20,000,000)) = 25 (§3.3).
+  EXPECT_GE(kMaxResolverId + 1, 20000000u);
+  EXPECT_EQ(kIdBits, 25u);
+  EXPECT_EQ(kTxidBits + kPortBits, kIdBits);
+}
+
+}  // namespace
+}  // namespace dnswild::scan

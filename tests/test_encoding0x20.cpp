@@ -1,0 +1,81 @@
+#include "dns/encoding0x20.h"
+
+#include <gtest/gtest.h>
+
+namespace dnswild::dns {
+namespace {
+
+TEST(Encoding0x20, LetterCapacity) {
+  EXPECT_EQ(letter_capacity(Name::must_parse("abc.de")), 5u);
+  EXPECT_EQ(letter_capacity(Name::must_parse("123.456")), 0u);
+  EXPECT_EQ(letter_capacity(Name::must_parse("a1b2.c3")), 3u);
+  EXPECT_EQ(letter_capacity(Name{}), 0u);
+}
+
+class CaseBitsRoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CaseBitsRoundTrip, NineBitsThroughDomain) {
+  const std::uint32_t bits = GetParam();
+  const Name domain = Name::must_parse("facebook.com");  // 11 letters
+  const auto encoded = encode_case_bits(domain, bits, 9);
+  ASSERT_TRUE(encoded.has_value());
+  EXPECT_TRUE(encoded->equals(domain));  // case-insensitively equal
+  const auto decoded = decode_case_bits(*encoded, 9);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, bits & 0x1ff);
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, CaseBitsRoundTrip,
+                         ::testing::Values(0u, 1u, 2u, 0x155u, 0x0aau, 0x1ffu,
+                                           0x100u, 0x0ffu, 7u, 256u, 511u));
+
+TEST(Encoding0x20, CapacityTooSmall) {
+  const Name tiny = Name::must_parse("t.co");  // 3 letters
+  EXPECT_FALSE(encode_case_bits(tiny, 0x1ff, 9).has_value());
+  EXPECT_FALSE(decode_case_bits(tiny, 9).has_value());
+  // But 3 bits fit.
+  const auto encoded = encode_case_bits(tiny, 0b101, 3);
+  ASSERT_TRUE(encoded.has_value());
+  EXPECT_EQ(decode_case_bits(*encoded, 3), 0b101u);
+}
+
+TEST(Encoding0x20, UppercaseMeansOneLsbFirst) {
+  const Name domain = Name::must_parse("abcd");
+  const auto encoded = encode_case_bits(domain, 0b0011, 4);
+  ASSERT_TRUE(encoded.has_value());
+  EXPECT_EQ(encoded->to_string(), "ABcd");
+}
+
+TEST(Encoding0x20, RemainingLettersForcedLower) {
+  const Name domain = Name::must_parse("ABCDEFGH");
+  const auto encoded = encode_case_bits(domain, 0b1, 1);
+  ASSERT_TRUE(encoded.has_value());
+  EXPECT_EQ(encoded->to_string(), "Abcdefgh");
+}
+
+TEST(Encoding0x20, NonLettersSkipped) {
+  const Name domain = Name::must_parse("a1-b.c2d");
+  const auto encoded = encode_case_bits(domain, 0b1010, 4);
+  ASSERT_TRUE(encoded.has_value());
+  EXPECT_EQ(encoded->to_string(), "a1-B.c2D");
+  EXPECT_EQ(decode_case_bits(*encoded, 4), 0b1010u);
+}
+
+TEST(Encoding0x20, RandomizeKeepsEquality) {
+  util::Rng rng(3);
+  const Name domain = Name::must_parse("subdomain.example.com");
+  const Name randomized = randomize_case(domain, rng);
+  EXPECT_TRUE(randomized.equals(domain));
+  // With 18 letters, identical case is essentially impossible.
+  EXPECT_NE(randomized.to_string(), domain.to_string());
+}
+
+TEST(Encoding0x20, EchoMatching) {
+  const Name query = Name::must_parse("FaceBook.Com");
+  EXPECT_TRUE(case_echo_matches(query, Name::must_parse("FaceBook.Com")));
+  EXPECT_FALSE(case_echo_matches(query, Name::must_parse("facebook.com")));
+  EXPECT_FALSE(case_echo_matches(query, Name::must_parse("FaceBook.Com.x")));
+}
+
+}  // namespace
+}  // namespace dnswild::dns

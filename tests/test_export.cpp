@@ -1,0 +1,73 @@
+#include "core/export.h"
+
+#include <gtest/gtest.h>
+
+namespace dnswild::core {
+namespace {
+
+StudyReport tiny_report() {
+  StudyReport report;
+  report.table5.columns.assign(DomainSet::table5_categories().size(), {});
+  report.table5.columns[0][static_cast<int>(Label::kCensorship)] =
+      Table5Cell{12.5, 96.25};
+  CategoryPrefilterRow row;
+  row.category = SiteCategory::kAds;
+  row.tuples = 100;
+  row.legitimate_pct = 90.0;
+  row.no_answer_pct = 5.0;
+  row.unknown_pct = 5.0;
+  report.prefilter_by_category.push_back(row);
+  CountryCompliance compliance;
+  compliance.country = "TR";
+  compliance.censoring = 9;
+  compliance.responding = 10;
+  report.censorship.compliance.push_back(compliance);
+  report.social_geo.all = {{"CN", 100}, {"US", 50}};
+  report.social_geo.unexpected = {{"CN", 90}};
+  return report;
+}
+
+TEST(CsvQuote, Rfc4180Rules) {
+  EXPECT_EQ(csv_quote("plain"), "plain");
+  EXPECT_EQ(csv_quote("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(csv_quote("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(csv_quote("multi\nline"), "\"multi\nline\"");
+  EXPECT_EQ(csv_quote(""), "");
+}
+
+TEST(Export, Table5CsvShape) {
+  const std::string csv = table5_csv(tiny_report());
+  EXPECT_NE(csv.find("label,category,avg_pct,max_pct\n"), std::string::npos);
+  EXPECT_NE(csv.find("Censorship,Ads,12.5000,96.2500"), std::string::npos);
+  // 7 labels x 14 categories + header.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 7 * 14 + 1);
+}
+
+TEST(Export, PrefilterCsv) {
+  const std::string csv = prefilter_csv(tiny_report());
+  EXPECT_NE(csv.find("Ads,100,90.0000,5.0000,5.0000"), std::string::npos);
+}
+
+TEST(Export, ComplianceCsv) {
+  const std::string csv = compliance_csv(tiny_report());
+  EXPECT_NE(csv.find("TR,9,10,90.0000"), std::string::npos);
+}
+
+TEST(Export, SocialGeoCsv) {
+  const std::string csv = social_geo_csv(tiny_report());
+  EXPECT_NE(csv.find("all,CN,100"), std::string::npos);
+  EXPECT_NE(csv.find("unexpected,CN,90"), std::string::npos);
+  EXPECT_EQ(csv.find("unexpected,US"), std::string::npos);
+}
+
+TEST(Export, EmptyReportDoesNotCrash) {
+  StudyReport report;
+  report.table5.columns.assign(DomainSet::table5_categories().size(), {});
+  EXPECT_FALSE(table5_csv(report).empty());
+  EXPECT_FALSE(prefilter_csv(report).empty());
+  EXPECT_FALSE(compliance_csv(report).empty());
+  EXPECT_FALSE(social_geo_csv(report).empty());
+}
+
+}  // namespace
+}  // namespace dnswild::core

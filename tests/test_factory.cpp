@@ -1,0 +1,172 @@
+#include "http/factory.h"
+
+#include <gtest/gtest.h>
+
+#include "http/html.h"
+#include "util/strings.h"
+
+namespace dnswild::http {
+namespace {
+
+using util::icontains;
+
+TEST(Factory, LegitSiteDeterministicForSameInputs) {
+  const auto a = legit_site("example.com", SiteCategory::kAlexa, 0, 5);
+  const auto b = legit_site("example.com", SiteCategory::kAlexa, 0, 5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Factory, LegitSiteDynamicNonceChangesContentNotStructure) {
+  const auto a = legit_site("example.com", SiteCategory::kAlexa, 0, 1);
+  const auto b = legit_site("example.com", SiteCategory::kAlexa, 0, 2);
+  EXPECT_NE(a, b);
+  // The tag structure must stay identical (clustering tolerance relies on
+  // this, §3.6).
+  EXPECT_EQ(extract_features(a).tag_sequence,
+            extract_features(b).tag_sequence);
+}
+
+TEST(Factory, LegitSiteVariantsDifferStructurally) {
+  const auto a = legit_site("example.com", SiteCategory::kAlexa, 0, 1);
+  const auto b = legit_site("other.example", SiteCategory::kBanking, 0, 1);
+  EXPECT_NE(extract_features(a).tag_sequence,
+            extract_features(b).tag_sequence);
+}
+
+TEST(Factory, BankingSiteHasLoginForm) {
+  const auto html = legit_site("bank.example", SiteCategory::kBanking, 0, 1);
+  EXPECT_TRUE(icontains(html, "type=\"password\""));
+  EXPECT_TRUE(icontains(html, "bank.example"));
+}
+
+class CategoryPageTest : public ::testing::TestWithParam<SiteCategory> {};
+
+TEST_P(CategoryPageTest, GeneratesNonTrivialHtml) {
+  const auto html = legit_site("site.example", GetParam(), 0, 1);
+  EXPECT_GT(html.size(), 100u);
+  const auto features = extract_features(html);
+  EXPECT_GE(features.tag_sequence.size(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCategories, CategoryPageTest,
+    ::testing::Values(SiteCategory::kAds, SiteCategory::kAdult,
+                      SiteCategory::kAlexa, SiteCategory::kAntivirus,
+                      SiteCategory::kBanking, SiteCategory::kDating,
+                      SiteCategory::kFilesharing, SiteCategory::kGambling,
+                      SiteCategory::kMalware, SiteCategory::kMail,
+                      SiteCategory::kNx, SiteCategory::kTracking,
+                      SiteCategory::kMisc, SiteCategory::kGroundTruth));
+
+TEST(Factory, ErrorPageFlavorsDiffer) {
+  const auto nginx = error_page(404, 0);
+  const auto apache = error_page(404, 1);
+  const auto iis = error_page(404, 2);
+  EXPECT_TRUE(icontains(nginx, "nginx"));
+  EXPECT_TRUE(icontains(apache, "apache"));
+  EXPECT_TRUE(icontains(iis, "IIS"));
+  EXPECT_NE(nginx, apache);
+}
+
+TEST(Factory, RouterLoginBrands) {
+  const auto zyxel = router_login(0, 1);
+  EXPECT_TRUE(icontains(zyxel, "zyxel"));
+  EXPECT_TRUE(icontains(zyxel, "type=\"password\""));
+  const auto other = router_login(1, 1);
+  EXPECT_FALSE(icontains(other, "zyxel"));
+  EXPECT_TRUE(icontains(other, "type=\"password\""));
+}
+
+TEST(Factory, CameraLoginMentionsCamera) {
+  EXPECT_TRUE(icontains(camera_login(1), "camera"));
+}
+
+TEST(Factory, CaptivePortalKinds) {
+  EXPECT_TRUE(icontains(captive_portal(0, 1), "Portal"));
+  EXPECT_TRUE(icontains(captive_portal(1, 1), "Hotel"));
+  EXPECT_TRUE(icontains(captive_portal(2, 1), "Campus"));
+}
+
+TEST(Factory, CensorshipPageCarriesLegalFragment) {
+  // The labeler keys on this fragment (§4.2).
+  for (const char* country : {"TR", "ID", "IR", "RU"}) {
+    const auto html = censorship_page(country, 3);
+    EXPECT_TRUE(icontains(html, "blocked by the order of")) << country;
+    EXPECT_TRUE(icontains(html, country)) << country;
+  }
+}
+
+TEST(Factory, CensorshipVariantsDeterministic) {
+  EXPECT_EQ(censorship_page("TR", 1), censorship_page("TR", 1));
+  EXPECT_NE(censorship_page("TR", 1), censorship_page("ID", 1));
+}
+
+TEST(Factory, BlockingPageNamesDomain) {
+  const auto html = blocking_page(2, 1, "irc.zief.pl");
+  EXPECT_TRUE(icontains(html, "irc.zief.pl"));
+  EXPECT_TRUE(icontains(html, "blocked"));
+  EXPECT_FALSE(icontains(html, "blocked by the order of"));  // != censorship
+}
+
+TEST(Factory, ParkingPageTokens) {
+  const auto html = parking_page("expired-domain.example", 1);
+  EXPECT_TRUE(icontains(html, "domain may be for sale"));
+  EXPECT_TRUE(icontains(html, "expired-domain.example"));
+}
+
+TEST(Factory, SearchPageWithAndWithoutAds) {
+  const auto plain = search_page(1, "amason.com", false);
+  EXPECT_TRUE(icontains(plain, "results for"));
+  EXPECT_FALSE(icontains(plain, "adnet-rewrite"));
+  const auto with_ads = search_page(1, "amason.com", true);
+  EXPECT_TRUE(icontains(with_ads, "adnet-rewrite"));
+}
+
+TEST(Factory, PaypalKitHas46ImagesAndPhpPost) {
+  const auto html = phishing_paypal(1);
+  const auto features = extract_features(html);
+  EXPECT_EQ(features.tag_counts.at(tag_id("img")), 46);  // §4.3
+  EXPECT_TRUE(icontains(html, ".php"));
+  EXPECT_TRUE(icontains(html, "method=\"post\""));
+  EXPECT_TRUE(icontains(html, "type=\"password\""));
+}
+
+TEST(Factory, BankPhishIsItalianAndPhpPost) {
+  const auto html = phishing_bank_it(1);
+  EXPECT_TRUE(icontains(html, "banca"));
+  EXPECT_TRUE(icontains(html, ".php"));
+  EXPECT_TRUE(icontains(html, "type=\"password\""));
+}
+
+TEST(Factory, MalwareUpdatePages) {
+  const auto flash = malware_update_page(true, 1);
+  EXPECT_TRUE(icontains(flash, "Flash"));
+  EXPECT_TRUE(icontains(flash, ".exe"));
+  EXPECT_TRUE(icontains(flash, "is out of date!"));
+  const auto java = malware_update_page(false, 1);
+  EXPECT_TRUE(icontains(java, "Java"));
+}
+
+TEST(Factory, AdTamperModes) {
+  const auto original = legit_site("ads.example", SiteCategory::kAds, 0, 1);
+  const auto injected = tamper_ads(original, AdTamper::kInjectBanner, 1);
+  EXPECT_GT(injected.size(), original.size());
+  EXPECT_TRUE(icontains(injected, "adnet-rewrite"));
+
+  const auto scripted = tamper_ads(original, AdTamper::kSuspiciousJs, 1);
+  EXPECT_TRUE(icontains(scripted, "document.write"));
+
+  const auto blanked = tamper_ads(original, AdTamper::kEmptyPlaceholder, 1);
+  EXPECT_TRUE(icontains(blanked, "blocked-empty"));
+  EXPECT_FALSE(icontains(blanked, "/js/delivery"));
+}
+
+TEST(Factory, CategoryNamesMatchTable5Headers) {
+  EXPECT_EQ(site_category_name(SiteCategory::kMail), "MX");
+  EXPECT_EQ(site_category_name(SiteCategory::kGroundTruth), "GroundTr.");
+  EXPECT_EQ(site_category_name(SiteCategory::kNx), "NX");
+  EXPECT_EQ(site_category_name(SiteCategory::kAds), "Ads");
+}
+
+}  // namespace
+}  // namespace dnswild::http

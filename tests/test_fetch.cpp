@@ -1,0 +1,206 @@
+#include "http/fetch.h"
+
+#include <gtest/gtest.h>
+
+#include "http/server.h"
+
+namespace dnswild::http {
+namespace {
+
+class UrlParseTest : public ::testing::Test {};
+
+TEST(UrlParse, AbsoluteHttp) {
+  const auto url = parse_url("http://host.example/a/b");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->scheme, "http");
+  EXPECT_EQ(url->host, "host.example");
+  EXPECT_EQ(url->path, "/a/b");
+}
+
+TEST(UrlParse, AbsoluteHttpsDefaults) {
+  const auto url = parse_url("https://host.example");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->scheme, "https");
+  EXPECT_EQ(url->path, "/");
+}
+
+TEST(UrlParse, PortStripped) {
+  const auto url = parse_url("http://host.example:8080/x");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->host, "host.example");
+}
+
+TEST(UrlParse, RelativeAgainstBase) {
+  const Url base{"http", "host.example", "/dir/page.html"};
+  const auto absolute = parse_url("/rooted", &base);
+  ASSERT_TRUE(absolute.has_value());
+  EXPECT_EQ(absolute->host, "host.example");
+  EXPECT_EQ(absolute->path, "/rooted");
+  const auto relative = parse_url("sibling.html", &base);
+  ASSERT_TRUE(relative.has_value());
+  EXPECT_EQ(relative->path, "/dir/sibling.html");
+}
+
+TEST(UrlParse, RelativeWithoutBaseFails) {
+  EXPECT_FALSE(parse_url("/nope").has_value());
+  EXPECT_FALSE(parse_url("").has_value());
+  EXPECT_FALSE(parse_url("http:///pathonly").has_value());
+}
+
+class FetchFixture : public ::testing::Test {
+ protected:
+  FetchFixture() : world_(1) {
+    const auto add_server = [this](net::Ipv4 ip) {
+      net::HostConfig config;
+      config.attachment.ip = ip;
+      const net::HostId id = world_.add_host(config);
+      auto server = std::make_unique<WebServer>();
+      WebServer* raw = server.get();
+      world_.set_tcp_service(id, 80, std::move(server));
+      return raw;
+    };
+    server_a_ = add_server(net::Ipv4(1, 0, 0, 1));
+    server_b_ = add_server(net::Ipv4(1, 0, 0, 2));
+  }
+
+  net::World world_;
+  WebServer* server_a_;
+  WebServer* server_b_;
+};
+
+TEST_F(FetchFixture, SimpleGet) {
+  server_a_->add_vhost("site.example", serve_body("<html>hello</html>"));
+  Fetcher fetcher(world_, net::Ipv4(9, 0, 0, 1));
+  const auto response = fetcher.get(net::Ipv4(1, 0, 0, 1), "site.example");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->body, "<html>hello</html>");
+  EXPECT_FALSE(fetcher.get(net::Ipv4(1, 0, 0, 9), "site.example")
+                   .has_value());
+}
+
+TEST_F(FetchFixture, RedirectFollowedToNewHostViaResolver) {
+  server_a_->add_vhost("first.example", serve_response(HttpResponse::redirect(
+                                            "http://second.example/land")));
+  server_b_->add_vhost("second.example", serve_body("<html>landed</html>"));
+
+  Fetcher fetcher(world_, net::Ipv4(9, 0, 0, 1));
+  int resolutions = 0;
+  const auto result = fetcher.fetch_page(
+      net::Ipv4(1, 0, 0, 1), "first.example",
+      [&](const std::string& host) -> std::optional<net::Ipv4> {
+        ++resolutions;
+        EXPECT_EQ(host, "second.example");
+        return net::Ipv4(1, 0, 0, 2);
+      });
+  EXPECT_TRUE(result.connected);
+  EXPECT_EQ(result.status, 200);
+  EXPECT_EQ(result.body, "<html>landed</html>");
+  EXPECT_EQ(result.final_host, "second.example");
+  EXPECT_EQ(resolutions, 1);
+}
+
+TEST_F(FetchFixture, RedirectChainCappedAtTwoHops) {
+  // a -> b -> c -> d; §3.5 follows two redirects at most, so we must end on
+  // the response of hop 2 (c's redirect response), never fetching d.
+  server_a_->add_vhost("a.example", serve_response(HttpResponse::redirect(
+                                        "http://b.example/")));
+  server_a_->add_vhost("b.example", serve_response(HttpResponse::redirect(
+                                        "http://c.example/")));
+  server_a_->add_vhost("c.example", serve_response(HttpResponse::redirect(
+                                        "http://d.example/")));
+  server_a_->add_vhost("d.example", serve_body("<html>too far</html>"));
+
+  Fetcher fetcher(world_, net::Ipv4(9, 0, 0, 1));
+  const auto result = fetcher.fetch_page(
+      net::Ipv4(1, 0, 0, 1), "a.example",
+      [&](const std::string&) { return net::Ipv4(1, 0, 0, 1); });
+  EXPECT_TRUE(result.connected);
+  EXPECT_NE(result.body.find("Redirect"), std::string::npos);
+  EXPECT_EQ(result.hops, 2);
+  EXPECT_EQ(result.final_host, "c.example");
+}
+
+TEST_F(FetchFixture, MetaRefreshFollowed) {
+  server_a_->add_vhost(
+      "meta.example",
+      serve_body("<html><head><meta http-equiv=\"refresh\" "
+                 "content=\"0;url=http://target.example/\"></head></html>"));
+  server_b_->add_vhost("target.example", serve_body("<html>target</html>"));
+  Fetcher fetcher(world_, net::Ipv4(9, 0, 0, 1));
+  const auto result = fetcher.fetch_page(
+      net::Ipv4(1, 0, 0, 1), "meta.example",
+      [&](const std::string&) { return net::Ipv4(1, 0, 0, 2); });
+  EXPECT_EQ(result.body, "<html>target</html>");
+}
+
+TEST_F(FetchFixture, IframeContentAppended) {
+  server_a_->add_vhost(
+      "frame.example",
+      serve_body("<html><iframe src=\"http://inner.example/\"></iframe>"
+                 "</html>"));
+  server_b_->add_vhost("inner.example",
+                       serve_body("<html>inner content</html>"));
+  Fetcher fetcher(world_, net::Ipv4(9, 0, 0, 1));
+  const auto result = fetcher.fetch_page(
+      net::Ipv4(1, 0, 0, 1), "frame.example",
+      [&](const std::string&) { return net::Ipv4(1, 0, 0, 2); });
+  // Composite document: outer + frame body (§3.5).
+  EXPECT_NE(result.body.find("iframe"), std::string::npos);
+  EXPECT_NE(result.body.find("inner content"), std::string::npos);
+}
+
+TEST_F(FetchFixture, UnresolvableRedirectStops) {
+  server_a_->add_vhost("a.example", serve_response(HttpResponse::redirect(
+                                        "http://gone.example/")));
+  Fetcher fetcher(world_, net::Ipv4(9, 0, 0, 1));
+  const auto result = fetcher.fetch_page(
+      net::Ipv4(1, 0, 0, 1), "a.example",
+      [&](const std::string&) { return std::nullopt; });
+  EXPECT_TRUE(result.connected);
+  EXPECT_EQ(result.hops, 0);
+  EXPECT_TRUE(result.response->is_redirect());
+}
+
+TEST_F(FetchFixture, TlsCertificateFetch) {
+  net::HostConfig config;
+  config.attachment.ip = net::Ipv4(2, 0, 0, 1);
+  const net::HostId id = world_.add_host(config);
+  auto server = std::make_unique<WebServer>();
+  net::Certificate cert;
+  cert.common_name = "secure.example";
+  server->add_vhost("secure.example", serve_body("x"), cert);
+  world_.set_tcp_service(id, 443, std::move(server));
+
+  Fetcher fetcher(world_, net::Ipv4(9, 0, 0, 1));
+  const auto fetched = fetcher.tls_certificate(
+      net::Ipv4(2, 0, 0, 1), std::optional<std::string>("secure.example"));
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(fetched->common_name, "secure.example");
+  // Port 443 closed elsewhere.
+  EXPECT_FALSE(fetcher
+                   .tls_certificate(net::Ipv4(1, 0, 0, 1),
+                                    std::optional<std::string>("x"))
+                   .has_value());
+}
+
+TEST_F(FetchFixture, BannerGrabsGreetingAndHttpFallback) {
+  net::HostConfig config;
+  config.attachment.ip = net::Ipv4(3, 0, 0, 1);
+  const net::HostId id = world_.add_host(config);
+  world_.set_tcp_service(id, 21,
+                         std::make_unique<BannerService>("220 ftp\r\n"));
+  server_a_->set_default_handler(serve_body("<html>device page</html>"));
+
+  Fetcher fetcher(world_, net::Ipv4(9, 0, 0, 1));
+  const auto ftp = fetcher.banner(net::Ipv4(3, 0, 0, 1), 21);
+  ASSERT_TRUE(ftp.has_value());
+  EXPECT_EQ(*ftp, "220 ftp\r\n");
+  // HTTP speaks only after a request: banner() probes with a GET.
+  const auto http = fetcher.banner(net::Ipv4(1, 0, 0, 1), 80);
+  ASSERT_TRUE(http.has_value());
+  EXPECT_NE(http->find("device page"), std::string::npos);
+  EXPECT_FALSE(fetcher.banner(net::Ipv4(3, 0, 0, 1), 23).has_value());
+}
+
+}  // namespace
+}  // namespace dnswild::http

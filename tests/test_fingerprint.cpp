@@ -1,0 +1,149 @@
+#include "analysis/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+namespace dnswild::analysis {
+namespace {
+
+using resolver::DeviceProfile;
+using resolver::HardwareClass;
+using resolver::OsClass;
+
+std::string combined_banners(const DeviceProfile& device) {
+  std::string out;
+  for (const auto& [port, banner] : device.banners) {
+    out += banner;
+    out += '\n';
+  }
+  return out;
+}
+
+// Property: every profile in the device catalog must be classified back to
+// its ground-truth hardware and OS class from its own banners — the
+// fingerprint rules and the catalog stay in lockstep.
+class CatalogFingerprintTest : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(CatalogFingerprintTest, CatalogProfileRecovered) {
+  const auto& catalog = resolver::device_catalog();
+  ASSERT_LT(GetParam(), catalog.size());
+  const DeviceProfile& device = catalog[GetParam()];
+  const DeviceFingerprinter fingerprinter;
+  const Fingerprint fp = fingerprinter.classify(combined_banners(device));
+  EXPECT_EQ(fp.hardware, device.hardware) << device.label;
+  EXPECT_EQ(fp.os, device.os) << device.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, CatalogFingerprintTest,
+                         ::testing::Range<std::size_t>(
+                             0, resolver::device_catalog().size()));
+
+TEST(Fingerprinter, PaperExampleToken) {
+  const DeviceFingerprinter fingerprinter;
+  const Fingerprint fp = fingerprinter.classify("dm500plus login: ");
+  EXPECT_EQ(fp.hardware, HardwareClass::kDvr);
+  EXPECT_EQ(fp.os, OsClass::kLinux);
+}
+
+TEST(Fingerprinter, UnknownBannerStaysUnknown) {
+  const DeviceFingerprinter fingerprinter;
+  const Fingerprint fp =
+      fingerprinter.classify("220 FTP server ready.\nIt works!");
+  EXPECT_EQ(fp.hardware, HardwareClass::kUnknown);
+  EXPECT_EQ(fp.os, OsClass::kUnknown);
+  EXPECT_TRUE(fp.label.empty());
+}
+
+TEST(Fingerprinter, OsOnlyEvidence) {
+  const DeviceFingerprinter fingerprinter;
+  const Fingerprint fp =
+      fingerprinter.classify("SSH-2.0-OpenSSH_5.9p1 Debian-5ubuntu1.4");
+  EXPECT_EQ(fp.hardware, HardwareClass::kUnknown);
+  EXPECT_EQ(fp.os, OsClass::kLinux);
+}
+
+TEST(Fingerprinter, HardwareRuleCanGetOsFromLaterRule) {
+  const DeviceFingerprinter fingerprinter;
+  // GoAhead alone fixes hardware only; a Debian SSH banner adds the OS.
+  const Fingerprint fp = fingerprinter.classify(
+      "<!-- GoAhead-Webs -->\nSSH-2.0-OpenSSH Debian");
+  EXPECT_EQ(fp.hardware, HardwareClass::kEmbedded);
+  EXPECT_EQ(fp.os, OsClass::kLinux);
+}
+
+TEST(Fingerprinter, MultiTokenRulesRequireAllTokens) {
+  const DeviceFingerprinter fingerprinter;
+  // "busybox" with "router login" is a Router; alone it is just Linux.
+  EXPECT_EQ(fingerprinter.classify("BusyBox v1.0\nrouter login:").hardware,
+            HardwareClass::kRouter);
+  EXPECT_EQ(fingerprinter.classify("BusyBox v1.0").hardware,
+            HardwareClass::kUnknown);
+  EXPECT_EQ(fingerprinter.classify("BusyBox v1.0").os, OsClass::kLinux);
+}
+
+TEST(Fingerprinter, CustomRulesExtendTheEngine) {
+  DeviceFingerprinter fingerprinter;
+  const auto before = fingerprinter.rule_count();
+  FingerprintRule rule;
+  rule.tokens = {"acme-gadget"};
+  rule.hardware = HardwareClass::kOther;
+  rule.os = OsClass::kOther;
+  rule.label = "ACME gadget";
+  fingerprinter.add_rule(rule);
+  EXPECT_EQ(fingerprinter.rule_count(), before + 1);
+  EXPECT_EQ(fingerprinter.classify("hello ACME-GADGET v2").label,
+            "ACME gadget");
+}
+
+TEST(Fingerprinter, SummarizeBuildsTable4Shape) {
+  const DeviceFingerprinter fingerprinter;
+  std::vector<scan::BannerResult> scan;
+  const auto add = [&scan](const char* banner, bool payload = true) {
+    scan::BannerResult result;
+    result.any_tcp_payload = payload;
+    result.combined = banner;
+    scan.push_back(result);
+  };
+  add("ZyXEL router\r\nPassword:");
+  add("ZyXEL router\r\nPassword:");
+  add("dm500plus login:");
+  add("totally anonymous");
+  add("", false);  // no TCP payload at all
+
+  const auto report = fingerprinter.summarize(scan);
+  EXPECT_EQ(report.tcp_responsive, 4u);
+  EXPECT_EQ(report.no_tcp_payload, 1u);
+  ASSERT_FALSE(report.hardware.empty());
+  EXPECT_EQ(report.hardware[0].key, "Router");
+  EXPECT_EQ(report.hardware[0].count, 2u);
+  EXPECT_NEAR(report.hardware[0].share, 0.5, 1e-9);
+  // OS table contains ZyNOS.
+  bool zynos_found = false;
+  for (const auto& row : report.os) {
+    if (row.key == "ZyNOS") {
+      zynos_found = true;
+      EXPECT_EQ(row.count, 2u);
+    }
+  }
+  EXPECT_TRUE(zynos_found);
+}
+
+TEST(Fingerprinter, SummarizeGroupsNasAndDslamIntoOthers) {
+  const DeviceFingerprinter fingerprinter;
+  std::vector<scan::BannerResult> scan;
+  scan::BannerResult nas;
+  nas.any_tcp_payload = true;
+  nas.combined = "NAS Web Station";
+  scan::BannerResult dslam;
+  dslam.any_tcp_payload = true;
+  dslam.combined = "DSLAM_5.2 ADSL rack";
+  scan.push_back(nas);
+  scan.push_back(dslam);
+  const auto report = fingerprinter.summarize(scan);
+  ASSERT_FALSE(report.hardware.empty());
+  EXPECT_EQ(report.hardware[0].key, "Others");
+  EXPECT_EQ(report.hardware[0].count, 2u);
+}
+
+}  // namespace
+}  // namespace dnswild::analysis

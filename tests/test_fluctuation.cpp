@@ -1,0 +1,96 @@
+#include "analysis/fluctuation.h"
+
+#include <gtest/gtest.h>
+
+namespace dnswild::analysis {
+namespace {
+
+net::AsDb make_db() {
+  net::AsDb db;
+  db.add_as({1, "US Telecom", "US", net::AsKind::kBroadbandIsp});
+  db.add_as({2, "AR Telecom", "AR", net::AsKind::kBroadbandIsp});
+  db.add_as({3, "CN Net", "CN", net::AsKind::kBroadbandIsp});
+  db.add_prefix(*net::Cidr::parse("1.0.0.0/24"), 1);
+  db.add_prefix(*net::Cidr::parse("2.0.0.0/24"), 2);
+  db.add_prefix(*net::Cidr::parse("3.0.0.0/24"), 3);
+  return db;
+}
+
+std::vector<net::Ipv4> hosts(std::uint8_t net_octet, int count) {
+  std::vector<net::Ipv4> out;
+  for (int i = 0; i < count; ++i) {
+    out.emplace_back(net_octet, 0, 0, static_cast<std::uint8_t>(i + 1));
+  }
+  return out;
+}
+
+std::vector<net::Ipv4> concat(std::vector<net::Ipv4> a,
+                              const std::vector<net::Ipv4>& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  return a;
+}
+
+TEST(Fluctuation, ByCountrySortsByInitialCount) {
+  const net::AsDb db = make_db();
+  const auto first = concat(hosts(1, 10), concat(hosts(2, 20), hosts(3, 5)));
+  const auto last = concat(hosts(1, 8), concat(hosts(2, 2), hosts(3, 6)));
+  const auto rows = fluctuation_by_country(db, first, last);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].key, "AR");
+  EXPECT_EQ(rows[0].first, 20u);
+  EXPECT_EQ(rows[0].last, 2u);
+  EXPECT_EQ(rows[0].delta(), -18);
+  EXPECT_NEAR(rows[0].delta_pct(), -90.0, 1e-9);
+  EXPECT_EQ(rows[1].key, "US");
+  EXPECT_EQ(rows[2].key, "CN");
+  EXPECT_NEAR(rows[2].delta_pct(), 20.0, 1e-9);
+}
+
+TEST(Fluctuation, UnroutedAddressesBucketAsUnknown) {
+  const net::AsDb db = make_db();
+  const auto rows =
+      fluctuation_by_country(db, {net::Ipv4(200, 1, 1, 1)}, {});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].key, "??");
+}
+
+TEST(Fluctuation, ByRirAggregatesCountries) {
+  const net::AsDb db = make_db();
+  const auto first = concat(hosts(1, 4), concat(hosts(2, 6), hosts(3, 2)));
+  const auto rows = fluctuation_by_rir(db, first, {});
+  // US -> ARIN, AR -> LACNIC, CN -> APNIC.
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].key, "LACNIC");
+  EXPECT_EQ(rows[0].first, 6u);
+}
+
+TEST(Fluctuation, ByAsDrilldownSortsByDrop) {
+  const net::AsDb db = make_db();
+  const auto first = concat(hosts(1, 10), hosts(2, 30));
+  const auto last = concat(hosts(1, 9), hosts(2, 1));
+  const auto rows = fluctuation_by_as(db, first, last);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].asn, 2u);
+  EXPECT_EQ(rows[0].name, "AR Telecom");
+  EXPECT_EQ(rows[0].first, 30u);
+  EXPECT_EQ(rows[0].last, 1u);
+}
+
+TEST(Fluctuation, CountryHistogram) {
+  const net::AsDb db = make_db();
+  const auto rows = country_histogram(db, concat(hosts(3, 7), hosts(1, 2)));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].key, "CN");
+  EXPECT_EQ(rows[0].first, 7u);
+  EXPECT_EQ(rows[0].last, 0u);
+}
+
+TEST(Fluctuation, DeltaPctZeroBaseIsZero) {
+  FluctuationRow row;
+  row.first = 0;
+  row.last = 10;
+  EXPECT_DOUBLE_EQ(row.delta_pct(), 0.0);
+}
+
+}  // namespace
+}  // namespace dnswild::analysis

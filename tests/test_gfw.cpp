@@ -1,0 +1,138 @@
+#include "resolver/gfw.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "dns/message.h"
+#include "resolver/resolver.h"
+
+namespace dnswild::resolver {
+namespace {
+
+GfwConfig config() {
+  GfwConfig out;
+  out.monitored_prefixes = {net::Cidr(net::Ipv4(60, 0, 0, 0), 8)};
+  out.censored_suffixes = {"facebook.com", "twitter.com"};
+  out.injected_latency_ms = 3;
+  out.seed = 7;
+  return out;
+}
+
+net::UdpPacket query_packet(std::string_view name, net::Ipv4 dst) {
+  net::UdpPacket packet;
+  packet.src = net::Ipv4(9, 9, 9, 9);
+  packet.src_port = 4000;
+  packet.dst = dst;
+  packet.dst_port = 53;
+  packet.payload =
+      dns::Message::make_query(11, dns::Name::must_parse(name),
+                               dns::RType::kA)
+          .encode();
+  return packet;
+}
+
+TEST(Gfw, ScopeMatching) {
+  GfwInjector injector(config());
+  EXPECT_TRUE(injector.in_scope(net::Ipv4(60, 1, 2, 3), "facebook.com"));
+  EXPECT_TRUE(injector.in_scope(net::Ipv4(60, 1, 2, 3), "www.facebook.com"));
+  EXPECT_FALSE(injector.in_scope(net::Ipv4(60, 1, 2, 3), "example.com"));
+  EXPECT_FALSE(injector.in_scope(net::Ipv4(61, 1, 2, 3), "facebook.com"));
+  EXPECT_FALSE(
+      injector.in_scope(net::Ipv4(60, 1, 2, 3), "notfacebook.com"));
+}
+
+TEST(Gfw, InjectsForgedAnswerWithSpoofedSource) {
+  GfwInjector injector(config());
+  std::vector<net::UdpReply> replies;
+  injector(query_packet("Facebook.COM", net::Ipv4(60, 5, 5, 5)), replies);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].packet.src, net::Ipv4(60, 5, 5, 5));  // spoofed
+  EXPECT_EQ(replies[0].latency_ms, 3);
+  const auto forged = dns::Message::decode(replies[0].packet.payload);
+  ASSERT_TRUE(forged.has_value());
+  EXPECT_TRUE(forged->header.qr);
+  EXPECT_EQ(forged->header.id, 11);  // matches the open transaction
+  const auto ips = forged->answer_ips();
+  ASSERT_EQ(ips.size(), 1u);
+  EXPECT_FALSE(net::is_reserved(ips[0]));
+  EXPECT_EQ(injector.injected_count(), 1u);
+}
+
+TEST(Gfw, IgnoresUnmonitoredAndUncensoredTraffic) {
+  GfwInjector injector(config());
+  std::vector<net::UdpReply> replies;
+  injector(query_packet("facebook.com", net::Ipv4(99, 5, 5, 5)), replies);
+  injector(query_packet("example.com", net::Ipv4(60, 5, 5, 5)), replies);
+  EXPECT_TRUE(replies.empty());
+  EXPECT_EQ(injector.injected_count(), 0u);
+}
+
+TEST(Gfw, IgnoresNonDnsAndNonAQueries) {
+  GfwInjector injector(config());
+  std::vector<net::UdpReply> replies;
+  // Non-DNS payload.
+  net::UdpPacket garbage = query_packet("facebook.com", net::Ipv4(60, 1, 1, 1));
+  garbage.payload = {1, 2, 3};
+  injector(garbage, replies);
+  // Wrong port.
+  net::UdpPacket http = query_packet("facebook.com", net::Ipv4(60, 1, 1, 1));
+  http.dst_port = 80;
+  injector(http, replies);
+  // NS query.
+  net::UdpPacket ns = query_packet("facebook.com", net::Ipv4(60, 1, 1, 1));
+  ns.payload = dns::Message::make_query(1, dns::Name::must_parse(
+                                               "facebook.com"),
+                                        dns::RType::kNS)
+                   .encode();
+  injector(ns, replies);
+  EXPECT_TRUE(replies.empty());
+}
+
+TEST(Gfw, ForgedRepliesVaryPerQuery) {
+  GfwInjector injector(config());
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 20; ++i) {
+    std::vector<net::UdpReply> replies;
+    injector(query_packet("twitter.com", net::Ipv4(60, 1, 1, 1)), replies);
+    ASSERT_EQ(replies.size(), 1u);
+    const auto forged = dns::Message::decode(replies[0].packet.payload);
+    seen.insert(forged->answer_ips()[0].value());
+  }
+  EXPECT_GT(seen.size(), 15u);
+}
+
+TEST(Gfw, DualResponseRaceInWorld) {
+  // End to end: an honest resolver behind the firewall produces the §4.2
+  // signature — forged answer first, legitimate answer later.
+  net::World world(1);
+  auto registry = std::make_unique<AuthRegistry>();
+  registry->add_domain("facebook.com", {net::Ipv4(31, 13, 0, 1)}, 60);
+
+  net::HostConfig host_config;
+  host_config.attachment.ip = net::Ipv4(60, 7, 7, 7);
+  const net::HostId id = world.add_host(host_config);
+  ResolverConfig resolver_config;
+  resolver_config.registry = registry.get();
+  resolver_config.clock = &world.clock();
+  resolver_config.seed = 3;
+  world.set_udp_service(
+      id, 53, std::make_unique<OpenResolverService>(resolver_config));
+
+  install_gfw(world, std::make_shared<GfwInjector>(config()));
+
+  const auto replies =
+      world.send_udp(query_packet("facebook.com", net::Ipv4(60, 7, 7, 7)));
+  ASSERT_EQ(replies.size(), 2u);
+  const auto first = dns::Message::decode(replies[0].packet.payload);
+  const auto second = dns::Message::decode(replies[1].packet.payload);
+  ASSERT_TRUE(first && second);
+  // The forged response wins the race; the legitimate one trails.
+  EXPECT_NE(first->answer_ips(), second->answer_ips());
+  EXPECT_EQ(second->answer_ips(),
+            (std::vector<net::Ipv4>{net::Ipv4(31, 13, 0, 1)}));
+}
+
+}  // namespace
+}  // namespace dnswild::resolver

@@ -1,0 +1,208 @@
+#include "cluster/hac.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dnswild::cluster {
+namespace {
+
+// Naive O(n^3) average-linkage reference implementation used as an oracle.
+std::vector<int> naive_average_linkage_cut(std::vector<std::vector<double>> d,
+                                           double threshold) {
+  const std::size_t n = d.size();
+  std::vector<std::vector<std::size_t>> clusters;
+  for (std::size_t i = 0; i < n; ++i) clusters.push_back({i});
+
+  const auto cluster_distance = [&d](const std::vector<std::size_t>& a,
+                                     const std::vector<std::size_t>& b) {
+    double sum = 0;
+    for (const std::size_t i : a) {
+      for (const std::size_t j : b) sum += d[i][j];
+    }
+    return sum / (static_cast<double>(a.size()) *
+                  static_cast<double>(b.size()));
+  };
+
+  while (clusters.size() > 1) {
+    double best = 1e18;
+    std::size_t bi = 0, bj = 1;
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+      for (std::size_t j = i + 1; j < clusters.size(); ++j) {
+        const double dist = cluster_distance(clusters[i], clusters[j]);
+        if (dist < best) {
+          best = dist;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    if (best > threshold) break;
+    clusters[bi].insert(clusters[bi].end(), clusters[bj].begin(),
+                        clusters[bj].end());
+    clusters.erase(clusters.begin() + static_cast<long>(bj));
+  }
+
+  std::vector<int> labels(n, -1);
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    for (const std::size_t i : clusters[c]) {
+      labels[i] = static_cast<int>(c);
+    }
+  }
+  return labels;
+}
+
+// Canonical form: relabel clusters by first occurrence so assignments
+// compare independent of label numbering.
+std::vector<int> canonical(const std::vector<int>& labels) {
+  std::vector<int> map(labels.size() + 1, -1);
+  std::vector<int> out(labels.size());
+  int next = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (map[static_cast<std::size_t>(labels[i])] == -1) {
+      map[static_cast<std::size_t>(labels[i])] = next++;
+    }
+    out[i] = map[static_cast<std::size_t>(labels[i])];
+  }
+  return out;
+}
+
+TEST(Hac, SingleItem) {
+  const Dendrogram dendrogram =
+      hac_average_linkage(1, [](std::size_t, std::size_t) { return 1.0; });
+  EXPECT_EQ(dendrogram.leaf_count(), 1u);
+  EXPECT_TRUE(dendrogram.merges().empty());
+  EXPECT_EQ(dendrogram.cut(0.5), std::vector<int>{0});
+}
+
+TEST(Hac, EmptyThrows) {
+  EXPECT_THROW(
+      hac_average_linkage(0, [](std::size_t, std::size_t) { return 0.0; }),
+      std::invalid_argument);
+}
+
+TEST(Hac, TooManyItemsThrows) {
+  EXPECT_THROW(hac_average_linkage(
+                   100, [](std::size_t, std::size_t) { return 0.0; }, 10),
+               std::length_error);
+}
+
+TEST(Hac, TwoWellSeparatedGroups) {
+  // Items 0-2 mutually close, 3-5 mutually close, groups far apart.
+  const auto distance = [](std::size_t i, std::size_t j) {
+    if (i == j) return 0.0;
+    const bool same_group = (i < 3) == (j < 3);
+    return same_group ? 0.1 : 0.9;
+  };
+  const Dendrogram dendrogram = hac_average_linkage(6, distance);
+  const auto labels = dendrogram.cut(0.5);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_EQ(labels[4], labels[5]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_EQ(dendrogram.cluster_count(0.5), 2u);
+  EXPECT_EQ(dendrogram.cluster_count(1.0), 1u);
+  EXPECT_EQ(dendrogram.cluster_count(0.05), 6u);
+}
+
+TEST(Hac, MergeDistancesAreMonotone) {
+  // Average linkage is reducible: sorted merges must be non-decreasing and
+  // children must merge before parents.
+  util::Rng rng(3);
+  const std::size_t n = 40;
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      d[i][j] = d[j][i] = rng.uniform();
+    }
+  }
+  const Dendrogram dendrogram = hac_average_linkage(
+      n, [&d](std::size_t i, std::size_t j) { return d[i][j]; });
+  ASSERT_EQ(dendrogram.merges().size(), n - 1);
+  double prev = -1.0;
+  for (const Merge& merge : dendrogram.merges()) {
+    EXPECT_GE(merge.distance, prev - 1e-9);
+    EXPECT_LT(merge.left, merge.parent);
+    EXPECT_LT(merge.right, merge.parent);
+    prev = merge.distance;
+  }
+}
+
+TEST(Hac, DuplicateItemsWithTiesTerminate) {
+  // All-zero distances (identical pages) are the worst case for NN-chain
+  // tie handling.
+  const Dendrogram dendrogram = hac_average_linkage(
+      50, [](std::size_t, std::size_t) { return 0.0; });
+  EXPECT_EQ(dendrogram.cluster_count(0.0), 1u);
+}
+
+TEST(Hac, TieBlocksOfEqualDistance) {
+  const auto distance = [](std::size_t i, std::size_t j) {
+    if (i == j) return 0.0;
+    return ((i < 5) == (j < 5)) ? 0.25 : 0.75;
+  };
+  const Dendrogram dendrogram = hac_average_linkage(10, distance);
+  EXPECT_EQ(dendrogram.cluster_count(0.5), 2u);
+}
+
+class HacOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HacOracleTest, MatchesNaiveImplementation) {
+  // Continuous distances are tie-free with probability one, so the NN-chain
+  // result must match the textbook greedy implementation exactly. (Tied
+  // instances admit several valid dendrograms — those are covered by the
+  // dedicated tie tests above, which only assert termination/shape.)
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 4 + rng.below(16);
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      d[i][j] = d[j][i] = rng.uniform() + 0.001;
+    }
+  }
+  const Dendrogram dendrogram = hac_average_linkage(
+      n, [&d](std::size_t i, std::size_t j) { return d[i][j]; });
+  for (const double threshold : {0.2, 0.4, 0.6, 0.8}) {
+    const auto ours = canonical(dendrogram.cut(threshold));
+    const auto oracle = canonical(naive_average_linkage_cut(d, threshold));
+    EXPECT_EQ(ours, oracle) << "threshold " << threshold;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HacOracleTest, ::testing::Range(1, 21));
+
+TEST(Hac, ExactMatchOnTieFreeInstances) {
+  util::Rng rng(99);
+  const std::size_t n = 12;
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      d[i][j] = d[j][i] = rng.uniform();  // continuous: ties have measure 0
+    }
+  }
+  const Dendrogram dendrogram = hac_average_linkage(
+      n, [&d](std::size_t i, std::size_t j) { return d[i][j]; });
+  for (const double threshold : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    EXPECT_EQ(canonical(dendrogram.cut(threshold)),
+              canonical(naive_average_linkage_cut(d, threshold)))
+        << "threshold " << threshold;
+  }
+}
+
+TEST(Hac, DendrogramTextRendering) {
+  const auto distance = [](std::size_t i, std::size_t j) {
+    return i == j ? 0.0 : 0.5;
+  };
+  const Dendrogram dendrogram = hac_average_linkage(3, distance);
+  const std::string text = dendrogram.to_text({"a", "b", "c"});
+  EXPECT_NE(text.find("a"), std::string::npos);
+  EXPECT_NE(text.find("node:"), std::string::npos);
+  EXPECT_NE(text.find("0.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dnswild::cluster

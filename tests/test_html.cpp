@@ -1,0 +1,125 @@
+#include "http/html.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dnswild::http {
+namespace {
+
+TEST(TagId, InterningIsStable) {
+  const auto a = tag_id("div");
+  const auto b = tag_id("DIV");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(tag_name(a), "div");
+  EXPECT_NE(tag_id("span"), a);
+}
+
+TEST(Tokenize, BasicStructure) {
+  const auto tokens = tokenize("<html><body><p>text</p></body></html>");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].name, "html");
+  EXPECT_FALSE(tokens[0].closing);
+  EXPECT_EQ(tokens[3].name, "p");
+  EXPECT_TRUE(tokens[3].closing);
+}
+
+TEST(Tokenize, AttributesAllQuotingStyles) {
+  const auto tokens = tokenize(
+      "<img src=\"double.gif\" alt='single' width=40 hidden>");
+  ASSERT_EQ(tokens.size(), 1u);
+  const TagToken& img = tokens[0];
+  ASSERT_NE(img.attr("src"), nullptr);
+  EXPECT_EQ(*img.attr("src"), "double.gif");
+  ASSERT_NE(img.attr("alt"), nullptr);
+  EXPECT_EQ(*img.attr("alt"), "single");
+  ASSERT_NE(img.attr("width"), nullptr);
+  EXPECT_EQ(*img.attr("width"), "40");
+  ASSERT_NE(img.attr("hidden"), nullptr);
+  EXPECT_EQ(img.attr("nope"), nullptr);
+}
+
+TEST(Tokenize, CaseInsensitiveNames) {
+  const auto tokens = tokenize("<DiV ID=\"x\"></dIv>");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].name, "div");
+  ASSERT_NE(tokens[0].attr("id"), nullptr);
+}
+
+TEST(Tokenize, CommentsSkipped) {
+  const auto tokens = tokenize("<!-- <div>not a tag</div> --><p></p>");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].name, "p");
+}
+
+TEST(Tokenize, StrayAngleBracketsTolerated) {
+  const auto tokens = tokenize("a < b and <em>c</em> < d");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].name, "em");
+}
+
+TEST(Tokenize, UnterminatedQuoteDoesNotCrash) {
+  EXPECT_NO_THROW(tokenize("<a href=\"unterminated>text"));
+}
+
+TEST(Features, CountsAndSequence) {
+  const PageFeatures features = extract_features(
+      "<html><head><title>Hi</title></head>"
+      "<body><div><div><p>x</p></div></div></body></html>");
+  EXPECT_EQ(features.tag_counts.at(tag_id("div")), 2);
+  EXPECT_EQ(features.tag_counts.at(tag_id("p")), 1);
+  // Sequence holds opening tags in document order.
+  ASSERT_GE(features.tag_sequence.size(), 6u);
+  EXPECT_EQ(features.tag_sequence[0], tag_id("html"));
+  EXPECT_EQ(features.title, "Hi");
+}
+
+TEST(Features, TitleTrimmedAndSingle) {
+  const PageFeatures features =
+      extract_features("<title>  Padded Title \n</title>");
+  EXPECT_EQ(features.title, "Padded Title");
+}
+
+TEST(Features, ScriptsConcatenated) {
+  const PageFeatures features = extract_features(
+      "<script>var a=1;</script><p></p><script type=\"x\">b();</script>");
+  EXPECT_EQ(features.scripts, "var a=1;b();");
+}
+
+TEST(Features, ResourcesAndLinksSortedUnique) {
+  const PageFeatures features = extract_features(
+      "<img src=\"b.png\"><img src=\"a.png\"><img src=\"b.png\">"
+      "<a href=\"z\"></a><a href=\"y\"></a><a href=\"z\"></a>");
+  EXPECT_EQ(features.resources, (std::vector<std::string>{"a.png", "b.png"}));
+  EXPECT_EQ(features.links, (std::vector<std::string>{"y", "z"}));
+}
+
+TEST(Features, BodyLength) {
+  EXPECT_EQ(extract_features("12345").body_length, 5u);
+  EXPECT_EQ(extract_features("").body_length, 0u);
+}
+
+TEST(Iframes, FoundWithSources) {
+  const auto sources = iframe_sources(
+      "<iframe src=\"http://a.example/f\"></iframe>"
+      "<frame src=\"/rel\"><iframe></iframe>");
+  ASSERT_EQ(sources.size(), 2u);
+  EXPECT_EQ(sources[0], "http://a.example/f");
+  EXPECT_EQ(sources[1], "/rel");
+}
+
+TEST(MetaRefresh, TargetExtracted) {
+  EXPECT_EQ(meta_refresh_target(
+                "<meta http-equiv=\"refresh\" content=\"0;url=http://t.example/\">"),
+            "http://t.example/");
+  EXPECT_EQ(meta_refresh_target(
+                "<meta http-equiv=\"REFRESH\" content=\"5; URL=/next\">"),
+            "/next");
+  EXPECT_EQ(meta_refresh_target("<meta charset=\"utf-8\">"), "");
+  EXPECT_EQ(meta_refresh_target(
+                "<meta http-equiv=\"refresh\" content=\"30\">"),
+            "");
+}
+
+}  // namespace
+}  // namespace dnswild::http

@@ -1,0 +1,195 @@
+// Full-study integration: landscape campaigns (Fig. 1/2, Tables 1-4, §2.6)
+// on one generated world, asserting the paper's qualitative findings.
+#include <gtest/gtest.h>
+
+#include "analysis/churn.h"
+#include "analysis/fingerprint.h"
+#include "analysis/fluctuation.h"
+#include "analysis/software_classify.h"
+#include "analysis/utilization.h"
+#include "analysis/weekly.h"
+#include "core/domains.h"
+#include "scan/banner_scan.h"
+#include "scan/chaos_scan.h"
+#include "scan/snoop_probe.h"
+#include "worldgen/worldgen.h"
+
+namespace dnswild {
+namespace {
+
+struct Campaign {
+  worldgen::GeneratedWorld generated;
+  analysis::WeeklyCampaignResult weekly;
+};
+
+Campaign& shared_campaign() {
+  static Campaign* campaign = [] {
+    auto* out = new Campaign();
+    worldgen::WorldGenConfig config;
+    config.resolver_count = 1000;
+    config.seed = 33;
+    out->generated = worldgen::generate_world(config);
+
+    analysis::WeeklyCampaignConfig weekly_config;
+    weekly_config.weeks = 12;  // scaled-down study window
+    weekly_config.scan.scanner_ip = out->generated.scanner_ip;
+    weekly_config.scan.zone = out->generated.scan_zone;
+    weekly_config.scan.blacklist = &out->generated.blacklist;
+    weekly_config.scan.seed = 8;
+    weekly_config.universe = out->generated.universe;
+    out->weekly =
+        analysis::run_weekly_campaign(*out->generated.world, weekly_config);
+    return out;
+  }();
+  return *campaign;
+}
+
+TEST(Integration, Figure1ShapePopulationDeclines) {
+  const auto& weekly = shared_campaign().weekly;
+  ASSERT_EQ(weekly.series.size(), 12u);
+  EXPECT_EQ(weekly.series.front().date, "2014/01/31");
+  // NOERROR declines over the (shortened) window; REFUSED stays stable.
+  EXPECT_LT(weekly.series.back().noerror, weekly.series.front().noerror);
+  const double refused_ratio =
+      static_cast<double>(weekly.series.back().refused) /
+      static_cast<double>(weekly.series.front().refused);
+  EXPECT_GT(refused_ratio, 0.8);
+  EXPECT_LT(refused_ratio, 1.2);
+  // Multi-homed responders show up every week (§2.2: 630-750k weekly).
+  for (const auto& point : weekly.series) {
+    EXPECT_GT(point.multihomed, 0u);
+  }
+}
+
+TEST(Integration, Figure2ChurnShape) {
+  const auto& weekly = shared_campaign().weekly;
+  const auto curve = analysis::churn_curve(
+      weekly.first_scan_noerror.size(), weekly.churn_age_days,
+      weekly.churn_alive);
+  ASSERT_GE(curve.size(), 10u);
+  // Fig. 2 anchors: >40% gone within the first day, ~52% within a week.
+  EXPECT_LT(curve.front().alive_fraction, 0.75);
+  EXPECT_GT(curve.front().alive_fraction, 0.4);
+  // Week-1 point (age 7 days).
+  double week1 = 1.0;
+  for (const auto& point : curve) {
+    if (point.age_days >= 6.9 && point.age_days <= 7.1) {
+      week1 = point.alive_fraction;
+    }
+  }
+  EXPECT_LT(week1, 0.62);
+  EXPECT_GT(week1, 0.32);
+  // Monotone non-increasing within tolerance.
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].alive_fraction,
+              curve[i - 1].alive_fraction + 0.03);
+  }
+}
+
+TEST(Integration, ChurnedAddressesAreDynamicPools) {
+  const auto& campaign = shared_campaign();
+  const auto stats = analysis::rdns_churn_stats(
+      campaign.generated.world->rdns(),
+      campaign.weekly.disappeared_first_day);
+  EXPECT_GT(stats.disappeared_first_day, 0u);
+  EXPECT_GT(stats.with_rdns, 0u);
+  // §2.5: at least 67.4% of the disappeared-with-rDNS carry dynamic tokens.
+  EXPECT_GT(stats.dynamic_fraction, 0.55);
+}
+
+TEST(Integration, Table1CountryRanking) {
+  const auto& campaign = shared_campaign();
+  const auto rows = analysis::fluctuation_by_country(
+      campaign.generated.world->asdb(), campaign.weekly.first_scan_noerror,
+      campaign.weekly.last_scan_noerror);
+  ASSERT_GE(rows.size(), 10u);
+  // US leads, CN second (Table 1).
+  EXPECT_EQ(rows[0].key, "US");
+  EXPECT_EQ(rows[1].key, "CN");
+}
+
+TEST(Integration, Table2RirRanking) {
+  const auto& campaign = shared_campaign();
+  const auto rows = analysis::fluctuation_by_rir(
+      campaign.generated.world->asdb(), campaign.weekly.first_scan_noerror,
+      campaign.weekly.last_scan_noerror);
+  ASSERT_GE(rows.size(), 4u);
+  // Table 2: RIPE and APNIC carry the most resolvers.
+  EXPECT_TRUE(rows[0].key == "RIPE" || rows[0].key == "APNIC")
+      << rows[0].key;
+}
+
+TEST(Integration, Table3SoftwareMix) {
+  auto& campaign = shared_campaign();
+  scan::ChaosScanner scanner(*campaign.generated.world,
+                             campaign.generated.scanner_ip, 17);
+  const auto results =
+      scanner.scan(campaign.weekly.last_scan_noerror);
+  const auto report = analysis::summarize_software(results, 10);
+  ASSERT_GT(report.responded, 0u);
+  const double total = static_cast<double>(report.responded);
+  // §2.4 mix: ~42.7% errors, ~33.9% revealing, ~18.8% hidden.
+  EXPECT_NEAR(report.error_both / total, 0.427, 0.08);
+  EXPECT_NEAR(report.revealing / total, 0.339, 0.08);
+  EXPECT_NEAR(report.hidden / total, 0.188, 0.08);
+  // BIND 9.8.2 tops Table 3; BIND holds ~60% of revealing.
+  ASSERT_FALSE(report.top.empty());
+  EXPECT_EQ(report.top[0].software, "BIND 9.8.2");
+  EXPECT_NEAR(report.bind_share_of_revealing, 0.602, 0.1);
+}
+
+TEST(Integration, Table4DeviceMix) {
+  auto& campaign = shared_campaign();
+  scan::BannerScanner scanner(*campaign.generated.world,
+                              campaign.generated.scanner_ip);
+  const auto results = scanner.scan(campaign.weekly.last_scan_noerror);
+  const analysis::DeviceFingerprinter fingerprinter;
+  const auto report = fingerprinter.summarize(results);
+  // §2.4: 26.3% expose TCP services.
+  const double responsive_share =
+      static_cast<double>(report.tcp_responsive) /
+      static_cast<double>(report.tcp_responsive + report.no_tcp_payload);
+  EXPECT_NEAR(responsive_share, 0.263, 0.08);
+  // Routers lead the identified hardware; Unknown is large (Table 4).
+  ASSERT_GE(report.hardware.size(), 2u);
+  EXPECT_TRUE(report.hardware[0].key == "Router" ||
+              report.hardware[0].key == "Unknown");
+  double router_share = 0, zynos_share = 0;
+  for (const auto& row : report.hardware) {
+    if (row.key == "Router") router_share = row.share;
+  }
+  for (const auto& row : report.os) {
+    if (row.key == "ZyNOS") zynos_share = row.share;
+  }
+  EXPECT_NEAR(router_share, 0.341, 0.1);
+  EXPECT_NEAR(zynos_share, 0.166, 0.08);
+}
+
+TEST(Integration, Section26Utilization) {
+  auto& campaign = shared_campaign();
+  // Snoop a sample of the current population.
+  std::vector<net::Ipv4> sample = campaign.weekly.last_scan_noerror;
+  if (sample.size() > 250) sample.resize(250);
+  scan::SnoopCampaignConfig config;
+  config.scanner_ip = campaign.generated.scanner_ip;
+  config.seed = 23;
+  scan::SnoopProber prober(*campaign.generated.world, config);
+  const auto series = prober.run(sample, core::snoop_tlds());
+  const auto report = analysis::summarize_utilization(
+      series, static_cast<std::uint32_t>(sample.size()),
+      analysis::UtilizationConfig{});
+  const double total = static_cast<double>(report.total);
+  // §2.6: 83.2% respond to snooping; 61.6% in use; 38.7% frequently used.
+  EXPECT_GT(report.responded_any / total, 0.7);
+  EXPECT_NEAR(report.in_use() / total, 0.616, 0.12);
+  EXPECT_NEAR(report.per_class[static_cast<int>(
+                  analysis::UtilizationClass::kFrequentlyUsed)] /
+                  total,
+              0.387, 0.12);
+  EXPECT_GT(report.per_class[static_cast<int>(
+                analysis::UtilizationClass::kTtlReset)],
+            0u);
+}
+
+}  // namespace
+}  // namespace dnswild

@@ -1,0 +1,140 @@
+#include "net/ip.h"
+
+#include <gtest/gtest.h>
+
+namespace dnswild::net {
+namespace {
+
+TEST(Ipv4, OctetConstruction) {
+  const Ipv4 ip(192, 168, 1, 42);
+  EXPECT_EQ(ip.value(), 0xc0a8012au);
+  EXPECT_EQ(ip.octet(0), 192);
+  EXPECT_EQ(ip.octet(1), 168);
+  EXPECT_EQ(ip.octet(2), 1);
+  EXPECT_EQ(ip.octet(3), 42);
+}
+
+TEST(Ipv4, ToString) {
+  EXPECT_EQ(Ipv4(0u).to_string(), "0.0.0.0");
+  EXPECT_EQ(Ipv4(0xffffffffu).to_string(), "255.255.255.255");
+  EXPECT_EQ(Ipv4(8, 8, 8, 8).to_string(), "8.8.8.8");
+}
+
+class Ipv4ParseRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Ipv4ParseRoundTrip, RoundTrips) {
+  const auto parsed = Ipv4::parse(GetParam());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->to_string(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Valid, Ipv4ParseRoundTrip,
+                         ::testing::Values("0.0.0.0", "1.2.3.4",
+                                           "255.255.255.255", "10.0.0.1",
+                                           "198.51.100.200"));
+
+class Ipv4ParseInvalid : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Ipv4ParseInvalid, Rejected) {
+  EXPECT_FALSE(Ipv4::parse(GetParam()).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Invalid, Ipv4ParseInvalid,
+                         ::testing::Values("", "1.2.3", "1.2.3.4.5",
+                                           "256.1.1.1", "1..2.3", "a.b.c.d",
+                                           "1.2.3.4 ", " 1.2.3.4",
+                                           "1,2,3,4", "1.2.3.-4"));
+
+TEST(Ipv4, Ordering) {
+  EXPECT_LT(Ipv4(1, 0, 0, 0), Ipv4(2, 0, 0, 0));
+  EXPECT_EQ(Ipv4(9, 9, 9, 9), Ipv4(9, 9, 9, 9));
+}
+
+TEST(Cidr, ContainsAndSize) {
+  const Cidr net(Ipv4(192, 168, 0, 0), 16);
+  EXPECT_EQ(net.size(), 65536u);
+  EXPECT_TRUE(net.contains(Ipv4(192, 168, 255, 255)));
+  EXPECT_FALSE(net.contains(Ipv4(192, 169, 0, 0)));
+  EXPECT_EQ(net.at(5), Ipv4(192, 168, 0, 5));
+}
+
+TEST(Cidr, HostBitsMaskedOff) {
+  const Cidr net(Ipv4(10, 1, 2, 3), 8);
+  EXPECT_EQ(net.base(), Ipv4(10, 0, 0, 0));
+}
+
+TEST(Cidr, ZeroPrefixCoversEverything) {
+  const Cidr all(Ipv4(0u), 0);
+  EXPECT_TRUE(all.contains(Ipv4(0xffffffffu)));
+  EXPECT_EQ(all.size(), 1ULL << 32);
+}
+
+TEST(Cidr, SlashThirtyTwo) {
+  const Cidr host(Ipv4(1, 2, 3, 4), 32);
+  EXPECT_EQ(host.size(), 1u);
+  EXPECT_TRUE(host.contains(Ipv4(1, 2, 3, 4)));
+  EXPECT_FALSE(host.contains(Ipv4(1, 2, 3, 5)));
+}
+
+TEST(Cidr, ParseAndPrint) {
+  const auto net = Cidr::parse("198.18.0.0/15");
+  ASSERT_TRUE(net.has_value());
+  EXPECT_EQ(net->to_string(), "198.18.0.0/15");
+  EXPECT_EQ(net->size(), 1u << 17);
+}
+
+class CidrParseInvalid : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CidrParseInvalid, Rejected) {
+  EXPECT_FALSE(Cidr::parse(GetParam()).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Invalid, CidrParseInvalid,
+                         ::testing::Values("", "1.2.3.4", "1.2.3.4/",
+                                           "1.2.3.4/33", "1.2.3.4/-1",
+                                           "bad/8", "1.2.3.4/8x"));
+
+struct RangeCase {
+  const char* ip;
+  bool reserved;
+  bool lan;
+};
+
+class SpecialRangeTest : public ::testing::TestWithParam<RangeCase> {};
+
+TEST_P(SpecialRangeTest, Classification) {
+  const auto ip = Ipv4::parse(GetParam().ip);
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(is_reserved(*ip), GetParam().reserved) << GetParam().ip;
+  EXPECT_EQ(is_lan(*ip), GetParam().lan) << GetParam().ip;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, SpecialRangeTest,
+    ::testing::Values(RangeCase{"10.1.2.3", true, true},
+                      RangeCase{"192.168.1.1", true, true},
+                      RangeCase{"172.16.0.1", true, true},
+                      RangeCase{"172.32.0.1", false, false},
+                      RangeCase{"127.0.0.1", true, true},
+                      RangeCase{"169.254.10.10", true, true},
+                      RangeCase{"100.64.0.1", true, false},
+                      RangeCase{"100.128.0.1", false, false},
+                      RangeCase{"0.1.2.3", true, false},
+                      RangeCase{"224.0.0.1", true, false},
+                      RangeCase{"240.0.0.1", true, false},
+                      RangeCase{"255.255.255.255", true, false},
+                      RangeCase{"198.18.5.5", true, false},
+                      RangeCase{"198.51.100.7", true, false},
+                      RangeCase{"203.0.113.1", true, false},
+                      RangeCase{"192.0.2.77", true, false},
+                      RangeCase{"8.8.8.8", false, false},
+                      RangeCase{"1.0.0.1", false, false},
+                      RangeCase{"223.255.255.255", false, false}));
+
+TEST(Ipv4Hash, SpreadsConsecutiveAddresses) {
+  const std::hash<Ipv4> hasher;
+  EXPECT_NE(hasher(Ipv4(1, 2, 3, 4)), hasher(Ipv4(1, 2, 3, 5)));
+}
+
+}  // namespace
+}  // namespace dnswild::net

@@ -1,0 +1,179 @@
+#include "scan/ipv4scan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fixtures.h"
+
+namespace dnswild::scan {
+namespace {
+
+using test::make_mini_world;
+using test::MiniWorld;
+
+Ipv4ScanConfig scan_config(const MiniWorld& mini, std::uint64_t seed = 7) {
+  Ipv4ScanConfig config;
+  config.scanner_ip = mini.scanner_ip;
+  config.zone = mini.scan_zone;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Ipv4Scanner, FindsPlantedResolversByStatus) {
+  MiniWorld mini = make_mini_world();
+  resolver::ResolverConfig honest;
+  honest.seed = 1;
+  mini.add_resolver(net::Ipv4(1, 0, 0, 10), honest);
+  mini.add_resolver(net::Ipv4(1, 0, 0, 11), honest);
+
+  resolver::ResolverConfig refused;
+  refused.seed = 2;
+  refused.behavior.base = resolver::BasePolicy::kRefuseAll;
+  mini.add_resolver(net::Ipv4(1, 0, 0, 12), refused);
+
+  resolver::ResolverConfig servfail;
+  servfail.seed = 3;
+  servfail.behavior.base = resolver::BasePolicy::kServFailAll;
+  mini.add_resolver(net::Ipv4(1, 0, 0, 13), servfail);
+
+  Ipv4Scanner scanner(*mini.world, scan_config(mini));
+  const auto summary =
+      scanner.scan({net::Cidr(net::Ipv4(1, 0, 0, 0), 24)});
+
+  EXPECT_EQ(summary.probed, 256u);
+  EXPECT_EQ(summary.responses, 4u);
+  EXPECT_EQ(summary.noerror, 2u);
+  EXPECT_EQ(summary.refused, 1u);
+  EXPECT_EQ(summary.servfail, 1u);
+  EXPECT_EQ(summary.noerror_targets.size(), 2u);
+  EXPECT_TRUE(std::find(summary.noerror_targets.begin(),
+                        summary.noerror_targets.end(),
+                        net::Ipv4(1, 0, 0, 10)) !=
+              summary.noerror_targets.end());
+}
+
+TEST(Ipv4Scanner, EmptyAnswerStillCountsAsNoError) {
+  // §2.2: NOERROR counts hosts with that status flag regardless of content.
+  MiniWorld mini = make_mini_world();
+  resolver::ResolverConfig empty;
+  empty.seed = 1;
+  empty.behavior.base = resolver::BasePolicy::kEmptyAll;
+  mini.add_resolver(net::Ipv4(1, 0, 0, 10), empty);
+  Ipv4Scanner scanner(*mini.world, scan_config(mini));
+  const auto summary =
+      scanner.scan({net::Cidr(net::Ipv4(1, 0, 0, 0), 28)});
+  EXPECT_EQ(summary.noerror, 1u);
+}
+
+TEST(Ipv4Scanner, ReservedSpaceSkipped) {
+  MiniWorld mini = make_mini_world();
+  Ipv4Scanner scanner(*mini.world, scan_config(mini));
+  const auto summary =
+      scanner.scan({net::Cidr(net::Ipv4(192, 168, 1, 0), 24)});
+  EXPECT_EQ(summary.probed, 0u);
+  EXPECT_EQ(summary.skipped_reserved, 256u);
+}
+
+TEST(Ipv4Scanner, BlacklistRespected) {
+  MiniWorld mini = make_mini_world();
+  resolver::ResolverConfig honest;
+  honest.seed = 1;
+  mini.add_resolver(net::Ipv4(1, 0, 0, 10), honest);
+
+  Blacklist blacklist;
+  blacklist.add_range(net::Cidr(net::Ipv4(1, 0, 0, 0), 28));
+  auto config = scan_config(mini);
+  config.blacklist = &blacklist;
+  Ipv4Scanner scanner(*mini.world, config);
+  const auto summary =
+      scanner.scan({net::Cidr(net::Ipv4(1, 0, 0, 0), 24)});
+  EXPECT_EQ(summary.skipped_blacklist, 16u);
+  EXPECT_EQ(summary.noerror, 0u);  // the resolver sits in the skipped /28
+}
+
+TEST(Ipv4Scanner, MultihomedForwarderAttributedToTarget) {
+  MiniWorld mini = make_mini_world();
+  // Backend resolver, owned by the test (outlives every forwarder call).
+  resolver::ResolverConfig backend_config;
+  backend_config.seed = 1;
+  backend_config.registry = mini.registry.get();
+  backend_config.clock = &mini.world->clock();
+  resolver::OpenResolverService backend(backend_config);
+
+  // Forwarder at 1.0.0.20 answering from 2.0.0.99.
+  net::HostConfig host_config;
+  host_config.attachment.ip = net::Ipv4(1, 0, 0, 20);
+  const net::HostId id = mini.world->add_host(host_config);
+  mini.world->set_udp_service(
+      id, 53, std::make_unique<resolver::ForwarderService>(
+                  &backend, net::Ipv4(2, 0, 0, 99)));
+
+  Ipv4Scanner scanner(*mini.world, scan_config(mini));
+  const auto summary =
+      scanner.scan({net::Cidr(net::Ipv4(1, 0, 0, 0), 24)});
+  EXPECT_EQ(summary.noerror, 1u);
+  EXPECT_EQ(summary.multihomed, 1u);
+  // Attribution via the hex-IP name: the *target* is recorded.
+  ASSERT_EQ(summary.noerror_targets.size(), 1u);
+  EXPECT_EQ(summary.noerror_targets[0], net::Ipv4(1, 0, 0, 20));
+}
+
+TEST(Ipv4Scanner, ProbeTargetsReprobesGivenList) {
+  MiniWorld mini = make_mini_world();
+  resolver::ResolverConfig honest;
+  honest.seed = 1;
+  mini.add_resolver(net::Ipv4(1, 0, 0, 10), honest);
+  Ipv4Scanner scanner(*mini.world, scan_config(mini));
+  const auto summary = scanner.probe_targets(
+      {net::Ipv4(1, 0, 0, 10), net::Ipv4(1, 0, 0, 77)});
+  EXPECT_EQ(summary.probed, 2u);
+  EXPECT_EQ(summary.noerror, 1u);
+}
+
+TEST(Ipv4Scanner, RetransmissionsRecoverLostProbes) {
+  MiniWorld mini = make_mini_world(9);
+  resolver::ResolverConfig honest;
+  honest.seed = 1;
+  for (int i = 10; i < 110; ++i) {
+    mini.add_resolver(net::Ipv4(1, 0, 0, static_cast<std::uint8_t>(i)),
+                      honest);
+  }
+  mini.world->set_loss_rate(0.3);
+
+  auto no_retry = scan_config(mini, 5);
+  Ipv4Scanner plain(*mini.world, no_retry);
+  const auto lossy = plain.scan({net::Cidr(net::Ipv4(1, 0, 0, 0), 24)});
+
+  auto with_retry = scan_config(mini, 5);
+  with_retry.retries = 4;
+  Ipv4Scanner retrying(*mini.world, with_retry);
+  const auto recovered =
+      retrying.scan({net::Cidr(net::Ipv4(1, 0, 0, 0), 24)});
+
+  // ~49% success without retries vs ~95%+ with four retransmissions.
+  EXPECT_LT(lossy.noerror, 70u);
+  EXPECT_GT(recovered.noerror, 85u);
+  EXPECT_GT(recovered.noerror, lossy.noerror);
+}
+
+TEST(Ipv4Scanner, DeterministicUnderSeed) {
+  const auto run = [] {
+    MiniWorld mini = make_mini_world(3);
+    resolver::ResolverConfig honest;
+    honest.seed = 1;
+    for (int i = 10; i < 30; ++i) {
+      mini.add_resolver(net::Ipv4(1, 0, 0, static_cast<std::uint8_t>(i)),
+                        honest);
+    }
+    Ipv4Scanner scanner(*mini.world, scan_config(mini, 55));
+    return scanner.scan({net::Cidr(net::Ipv4(1, 0, 0, 0), 24)});
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.noerror_targets, b.noerror_targets);
+  EXPECT_EQ(a.responses, b.responses);
+}
+
+}  // namespace
+}  // namespace dnswild::scan

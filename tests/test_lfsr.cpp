@@ -1,0 +1,145 @@
+#include "net/lfsr.h"
+#include "scan/permute.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace dnswild {
+namespace {
+
+TEST(Lfsr32, NeverEmitsZeroAndDoesNotRepeatEarly) {
+  net::Lfsr32 lfsr(1);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = lfsr.next();
+    EXPECT_NE(v, 0u);
+    EXPECT_TRUE(seen.insert(v).second) << "state repeated after " << i;
+  }
+}
+
+TEST(Lfsr32, ZeroSeedMappedToOne) {
+  net::Lfsr32 lfsr(0);
+  EXPECT_EQ(lfsr.state(), 1u);
+}
+
+TEST(Lfsr32, DeterministicForSeed) {
+  net::Lfsr32 a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Lfsr32, ConsecutiveOutputsSpreadAcrossNetworks) {
+  // The LFSR exists to avoid hammering one /24 with consecutive probes
+  // (§2.2); consecutive outputs should almost never share a /24.
+  net::Lfsr32 lfsr(99);
+  std::uint32_t prev = lfsr.next();
+  int same_slash24 = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint32_t next = lfsr.next();
+    if ((next >> 8) == (prev >> 8)) ++same_slash24;
+    prev = next;
+  }
+  EXPECT_LT(same_slash24, 5);
+}
+
+TEST(Ipv4Permutation, SmallSampleHasNoDuplicates) {
+  net::Ipv4Permutation permutation(7);
+  std::set<std::uint32_t> seen;
+  net::Ipv4 ip;
+  for (int i = 0; i < 50000; ++i) {
+    ASSERT_TRUE(permutation.next(ip));
+    EXPECT_TRUE(seen.insert(ip.value()).second);
+  }
+}
+
+class GenericLfsrPeriod : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GenericLfsrPeriod, FullPeriodIsMaximal) {
+  const unsigned order = GetParam();
+  scan::GenericLfsr lfsr(order, 1);
+  const std::uint32_t start = lfsr.state();
+  std::uint64_t period = 0;
+  do {
+    lfsr.next();
+    ++period;
+    ASSERT_LE(period, (1ULL << order));
+  } while (lfsr.state() != start);
+  EXPECT_EQ(period, (1ULL << order) - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GenericLfsrPeriod,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u,
+                                           10u, 11u, 12u, 13u, 14u, 15u, 16u,
+                                           17u, 18u, 19u, 20u));
+
+TEST(GenericLfsr, RejectsBadOrders) {
+  EXPECT_THROW(scan::GenericLfsr(1, 1), std::invalid_argument);
+  EXPECT_THROW(scan::GenericLfsr(33, 1), std::invalid_argument);
+}
+
+class IndexPermutationCount : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(IndexPermutationCount, EmitsEveryIndexExactlyOnce) {
+  const std::uint64_t count = GetParam();
+  scan::IndexPermutation permutation(count, 5);
+  std::vector<bool> seen(count, false);
+  std::uint64_t emitted = 0;
+  std::uint64_t index = 0;
+  while (permutation.next(index)) {
+    ASSERT_LT(index, count);
+    ASSERT_FALSE(seen[index]) << "duplicate index " << index;
+    seen[index] = true;
+    ++emitted;
+  }
+  EXPECT_EQ(emitted, count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, IndexPermutationCount,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 100, 255, 256,
+                                           257, 1000, 4095, 4096, 10000));
+
+TEST(IndexPermutation, ZeroCountEmitsNothing) {
+  scan::IndexPermutation permutation(0, 1);
+  std::uint64_t index = 0;
+  EXPECT_FALSE(permutation.next(index));
+}
+
+TEST(UniversePermutation, CoversAllPrefixesExactlyOnce) {
+  std::vector<net::Cidr> universe = {
+      net::Cidr(net::Ipv4(1, 0, 0, 0), 24),
+      net::Cidr(net::Ipv4(2, 0, 0, 0), 26),
+      net::Cidr(net::Ipv4(9, 9, 9, 8), 30),
+  };
+  scan::UniversePermutation permutation(universe, 17);
+  EXPECT_EQ(permutation.size(), 256u + 64u + 4u);
+  std::set<std::uint32_t> seen;
+  net::Ipv4 ip;
+  while (permutation.next(ip)) {
+    bool inside = false;
+    for (const auto& prefix : universe) {
+      if (prefix.contains(ip)) inside = true;
+    }
+    EXPECT_TRUE(inside) << ip.to_string();
+    EXPECT_TRUE(seen.insert(ip.value()).second);
+  }
+  EXPECT_EQ(seen.size(), 324u);
+}
+
+TEST(UniversePermutation, OrderIsNotSequential) {
+  std::vector<net::Cidr> universe = {net::Cidr(net::Ipv4(1, 0, 0, 0), 20)};
+  scan::UniversePermutation permutation(universe, 3);
+  net::Ipv4 prev, current;
+  ASSERT_TRUE(permutation.next(prev));
+  int sequential = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(permutation.next(current));
+    if (current.value() == prev.value() + 1) ++sequential;
+    prev = current;
+  }
+  EXPECT_LT(sequential, 10);
+}
+
+}  // namespace
+}  // namespace dnswild

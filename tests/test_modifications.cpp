@@ -1,0 +1,134 @@
+#include "core/modifications.h"
+
+#include <gtest/gtest.h>
+
+#include "http/factory.h"
+#include "util/rng.h"
+
+namespace dnswild::core {
+namespace {
+
+// Fixture assembling StudyData with ground truth + modified copies.
+class ModificationsTest : public ::testing::Test {
+ protected:
+  ModificationsTest() {
+    domains_.push_back(
+        StudyDomain{"ads.doubleclick.com", SiteCategory::kAds, true, false});
+    domains_.push_back(
+        StudyDomain{"news.example", SiteCategory::kAlexa, true, false});
+    for (const auto& domain : domains_) {
+      GroundTruthPage gt;
+      gt.domain = domain.name;
+      gt.body = http::legit_site(domain.name, domain.category, 0, 47);
+      gt.features = http::extract_features(gt.body);
+      ground_truth_.push_back(std::move(gt));
+    }
+  }
+
+  void add_page(std::uint32_t resolver_id, std::uint16_t domain_index,
+                std::string body) {
+    scan::TupleRecord record;
+    record.resolver_id = resolver_id;
+    record.domain_index = domain_index;
+    record.responded = true;
+    record.ips = {net::Ipv4(2, 0, 0, 1)};
+    records_.push_back(std::move(record));
+    verdicts_.push_back(TupleVerdict::kUnknown);
+    AcquiredPage page;
+    page.record_index = records_.size() - 1;
+    page.body = std::move(body);
+    page.body_hash = util::fnv1a(page.body);
+    pages_.push_back(std::move(page));
+  }
+
+  StudyData data() {
+    StudyData out;
+    out.resolvers = &resolvers_;
+    out.records = &records_;
+    out.verdicts = &verdicts_;
+    out.pages = &pages_;
+    out.classification = &classification_;
+    out.ground_truth = &ground_truth_;
+    out.domains = &domains_;
+    return out;
+  }
+
+  std::vector<net::Ipv4> resolvers_ = {net::Ipv4(1, 0, 0, 1),
+                                       net::Ipv4(1, 0, 0, 2)};
+  std::vector<StudyDomain> domains_;
+  std::vector<scan::TupleRecord> records_;
+  std::vector<TupleVerdict> verdicts_;
+  std::vector<AcquiredPage> pages_;
+  ClassificationResult classification_;
+  std::vector<GroundTruthPage> ground_truth_;
+};
+
+TEST_F(ModificationsTest, DetectsInjectedScript) {
+  const std::string original =
+      http::legit_site("ads.doubleclick.com", SiteCategory::kAds, 0, 47);
+  const std::string tampered =
+      http::tamper_ads(original, http::AdTamper::kSuspiciousJs, 3);
+  add_page(0, 0, tampered);
+  add_page(1, 0, tampered);  // same modification from a second resolver
+
+  const auto report = find_modifications(data());
+  EXPECT_EQ(report.compared_pages, 1u);  // deduped
+  EXPECT_EQ(report.modified_pages, 1u);
+  ASSERT_EQ(report.clusters.size(), 1u);
+  const auto& cluster = report.clusters[0];
+  EXPECT_EQ(cluster.tuples, 2u);
+  EXPECT_EQ(cluster.resolvers, 2u);
+  EXPECT_EQ(cluster.example_domain, "ads.doubleclick.com");
+  // The injected <script> dominates the delta.
+  bool has_script = false;
+  for (const auto& tag : cluster.added) {
+    if (tag.find("script") != std::string::npos) has_script = true;
+  }
+  EXPECT_TRUE(has_script);
+}
+
+TEST_F(ModificationsTest, GroupsSameCampaignAcrossDomains) {
+  // The same banner injection applied to two different sites must land in
+  // one cluster (it is one campaign).
+  for (std::uint16_t d = 0; d < 2; ++d) {
+    const std::string original = http::legit_site(
+        domains_[d].name, domains_[d].category, 0, 47);
+    add_page(0, d,
+             http::tamper_ads(original, http::AdTamper::kInjectBanner, 9));
+  }
+  const auto report = find_modifications(data());
+  EXPECT_EQ(report.modified_pages, 2u);
+  ASSERT_EQ(report.clusters.size(), 1u);
+  EXPECT_EQ(report.clusters[0].tuples, 2u);
+}
+
+TEST_F(ModificationsTest, UnmodifiedAndUnrelatedPagesIgnored) {
+  // Exact ground-truth copy: empty delta, not a modification.
+  add_page(0, 0, ground_truth_[0].body);
+  // A whole different page class: too far from GT to qualify.
+  add_page(0, 1, http::censorship_page("TR", 1));
+  const auto report = find_modifications(data());
+  EXPECT_EQ(report.modified_pages, 0u);
+  EXPECT_TRUE(report.clusters.empty());
+}
+
+TEST_F(ModificationsTest, DistinctModificationsSeparateClusters) {
+  const std::string original =
+      http::legit_site("ads.doubleclick.com", SiteCategory::kAds, 0, 47);
+  add_page(0, 0,
+           http::tamper_ads(original, http::AdTamper::kSuspiciousJs, 1));
+  add_page(1, 0,
+           http::tamper_ads(original, http::AdTamper::kInjectBanner, 1));
+  const auto report = find_modifications(data());
+  EXPECT_EQ(report.modified_pages, 2u);
+  EXPECT_EQ(report.clusters.size(), 2u);
+}
+
+TEST_F(ModificationsTest, EmptyInput) {
+  const auto report = find_modifications(data());
+  EXPECT_EQ(report.compared_pages, 0u);
+  EXPECT_TRUE(report.clusters.empty());
+}
+
+}  // namespace
+}  // namespace dnswild::core

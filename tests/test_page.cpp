@@ -1,0 +1,104 @@
+#include "http/page.h"
+
+#include <gtest/gtest.h>
+
+namespace dnswild::http {
+namespace {
+
+TEST(HttpRequest, SerializeCarriesHostAndUserAgent) {
+  HttpRequest request;
+  request.host = "example.com";
+  request.path = "/index.html";
+  const std::string text = request.serialize();
+  EXPECT_NE(text.find("GET /index.html HTTP/1.1"), std::string::npos);
+  EXPECT_NE(text.find("Host: example.com"), std::string::npos);
+  EXPECT_NE(text.find("Firefox/28.0"), std::string::npos);  // §3.5
+}
+
+TEST(HttpRequest, ParseRoundTrip) {
+  HttpRequest request;
+  request.host = "WWW.Example.COM";
+  request.path = "/a/b?c=d";
+  const auto parsed = HttpRequest::parse(request.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->method, "GET");
+  EXPECT_EQ(parsed->path, "/a/b?c=d");
+  EXPECT_EQ(parsed->host, "WWW.Example.COM");
+}
+
+TEST(HttpRequest, ParseRejectsGarbage) {
+  EXPECT_FALSE(HttpRequest::parse("").has_value());
+  EXPECT_FALSE(HttpRequest::parse("nonsense\r\n").has_value());
+  EXPECT_FALSE(HttpRequest::parse("GET /\r\n").has_value());
+}
+
+TEST(HttpResponse, SerializeParseRoundTrip) {
+  HttpResponse response;
+  response.status = 200;
+  response.status_text = "OK";
+  response.headers.emplace_back("X-Custom", "value");
+  response.body = "<html><body>hi</body></html>";
+  const auto parsed = HttpResponse::parse(response.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, 200);
+  EXPECT_EQ(parsed->body, response.body);
+  ASSERT_NE(parsed->header("x-custom"), nullptr);
+  EXPECT_EQ(*parsed->header("x-custom"), "value");
+  ASSERT_NE(parsed->header("content-length"), nullptr);
+}
+
+TEST(HttpResponse, RedirectHelper) {
+  const HttpResponse response = HttpResponse::redirect("http://x.example/");
+  EXPECT_TRUE(response.is_redirect());
+  EXPECT_FALSE(response.is_error());
+  ASSERT_NE(response.header("Location"), nullptr);
+  EXPECT_EQ(*response.header("Location"), "http://x.example/");
+  const auto parsed = HttpResponse::parse(response.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->is_redirect());
+}
+
+TEST(HttpResponse, ErrorHelper) {
+  const HttpResponse response = HttpResponse::error(404);
+  EXPECT_TRUE(response.is_error());
+  EXPECT_FALSE(response.is_redirect());
+  EXPECT_NE(response.body.find("404"), std::string::npos);
+  EXPECT_EQ(response.status_text, "Not Found");
+}
+
+class RedirectStatusTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RedirectStatusTest, RecognizedAsRedirect) {
+  HttpResponse response;
+  response.status = GetParam();
+  EXPECT_TRUE(response.is_redirect());
+}
+
+INSTANTIATE_TEST_SUITE_P(Statuses, RedirectStatusTest,
+                         ::testing::Values(301, 302, 303, 307));
+
+TEST(HttpResponse, ParseRejectsNonHttp) {
+  EXPECT_FALSE(HttpResponse::parse("220 FTP ready\r\n").has_value());
+  EXPECT_FALSE(HttpResponse::parse("").has_value());
+  EXPECT_FALSE(HttpResponse::parse("HTTP/1.1").has_value());
+  EXPECT_FALSE(HttpResponse::parse("HTTP/1.1 abc OK\r\n\r\n").has_value());
+}
+
+TEST(HttpResponse, EmptyBodyParses) {
+  const auto parsed =
+      HttpResponse::parse("HTTP/1.1 204 No Content\r\n\r\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, 204);
+  EXPECT_TRUE(parsed->body.empty());
+}
+
+TEST(StatusText, CommonCodes) {
+  EXPECT_EQ(status_text_for(200), "OK");
+  EXPECT_EQ(status_text_for(302), "Found");
+  EXPECT_EQ(status_text_for(403), "Forbidden");
+  EXPECT_EQ(status_text_for(503), "Service Unavailable");
+  EXPECT_EQ(status_text_for(299), "Unknown");
+}
+
+}  // namespace
+}  // namespace dnswild::http

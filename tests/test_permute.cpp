@@ -1,0 +1,71 @@
+// Complementary permutation tests (core coverage lives in test_lfsr.cpp).
+#include "scan/permute.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dnswild::scan {
+namespace {
+
+TEST(UniversePermutation, SinglePrefix) {
+  UniversePermutation permutation({net::Cidr(net::Ipv4(5, 0, 0, 0), 28)}, 9);
+  EXPECT_EQ(permutation.size(), 16u);
+  std::set<std::uint32_t> seen;
+  net::Ipv4 ip;
+  while (permutation.next(ip)) seen.insert(ip.value());
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(UniversePermutation, EmptyUniverse) {
+  UniversePermutation permutation({}, 9);
+  EXPECT_EQ(permutation.size(), 0u);
+  net::Ipv4 ip;
+  EXPECT_FALSE(permutation.next(ip));
+}
+
+TEST(UniversePermutation, SingleAddress) {
+  UniversePermutation permutation({net::Cidr(net::Ipv4(7, 7, 7, 7), 32)}, 1);
+  net::Ipv4 ip;
+  ASSERT_TRUE(permutation.next(ip));
+  EXPECT_EQ(ip, net::Ipv4(7, 7, 7, 7));
+  EXPECT_FALSE(permutation.next(ip));
+}
+
+TEST(UniversePermutation, DifferentSeedsDifferentOrder) {
+  const std::vector<net::Cidr> universe = {
+      net::Cidr(net::Ipv4(5, 0, 0, 0), 20)};
+  UniversePermutation a(universe, 1);
+  UniversePermutation b(universe, 99);
+  net::Ipv4 ip_a, ip_b;
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(a.next(ip_a));
+    ASSERT_TRUE(b.next(ip_b));
+    if (ip_a == ip_b) ++same;
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(UniversePermutation, SameSeedSameOrder) {
+  const std::vector<net::Cidr> universe = {
+      net::Cidr(net::Ipv4(5, 0, 0, 0), 24),
+      net::Cidr(net::Ipv4(6, 0, 0, 0), 24)};
+  UniversePermutation a(universe, 42);
+  UniversePermutation b(universe, 42);
+  net::Ipv4 ip_a, ip_b;
+  while (a.next(ip_a)) {
+    ASSERT_TRUE(b.next(ip_b));
+    EXPECT_EQ(ip_a, ip_b);
+  }
+  EXPECT_FALSE(b.next(ip_b));
+}
+
+TEST(GenericLfsr, TapsTableKnownEntry) {
+  // Order 16 uses taps 16,15,13,4 (XAPP052).
+  EXPECT_EQ(GenericLfsr::taps_for_order(16),
+            (1u << 15) | (1u << 14) | (1u << 12) | (1u << 3));
+}
+
+}  // namespace
+}  // namespace dnswild::scan

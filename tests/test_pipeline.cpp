@@ -1,0 +1,206 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+#include "scan/ipv4scan.h"
+#include "worldgen/worldgen.h"
+
+namespace dnswild::core {
+namespace {
+
+struct PipelineRun {
+  worldgen::GeneratedWorld generated;
+  StudyReport report;
+};
+
+// One shared end-to-end run (the pipeline is the expensive part).
+PipelineRun& shared_run() {
+  static PipelineRun* run = [] {
+    auto* out = new PipelineRun();
+    worldgen::WorldGenConfig config;
+    config.resolver_count = 1200;
+    config.seed = 21;
+    out->generated = worldgen::generate_world(config);
+
+    scan::Ipv4ScanConfig scan_config;
+    scan_config.scanner_ip = out->generated.scanner_ip;
+    scan_config.zone = out->generated.scan_zone;
+    scan_config.blacklist = &out->generated.blacklist;
+    scan_config.seed = 3;
+    scan::Ipv4Scanner scanner(*out->generated.world, scan_config);
+    const auto summary = scanner.scan(out->generated.universe);
+
+    PipelineConfig pipeline_config;
+    pipeline_config.scanner_ip = out->generated.scanner_ip;
+    pipeline_config.vantage_ip = out->generated.vantage_ip;
+    pipeline_config.seed = 5;
+    Pipeline pipeline(*out->generated.world, *out->generated.registry,
+                      pipeline_config);
+    out->report =
+        pipeline.run(summary.noerror_targets, out->generated.domains);
+    return out;
+  }();
+  return *run;
+}
+
+TEST(Pipeline, TupleAccountingConsistent) {
+  const StudyReport& report = shared_run().report;
+  // 155 domains + ground truth per resolver.
+  EXPECT_EQ(report.records.size(),
+            report.resolvers.size() * report.domains.size());
+  EXPECT_EQ(report.verdicts.size(), report.records.size());
+  const auto& stats = report.prefilter_stats;
+  EXPECT_EQ(stats.tuples, report.records.size());
+  EXPECT_EQ(stats.legitimate + stats.no_answer + stats.unknown +
+                stats.unresponsive,
+            stats.tuples);
+  // Every unknown tuple got an acquisition attempt.
+  EXPECT_EQ(report.pages.size(), stats.unknown);
+}
+
+TEST(Pipeline, PrefilterYieldsInPaperBand) {
+  const StudyReport& report = shared_run().report;
+  for (const auto& row : report.prefilter_by_category) {
+    if (row.category == SiteCategory::kNx) {
+      EXPECT_GT(row.unknown_pct, 5.0);
+      EXPECT_LT(row.unknown_pct, 25.0);
+    } else {
+      // §4.1: 85.8–93.2% legitimate; we accept a band around it.
+      EXPECT_GT(row.legitimate_pct, 75.0)
+          << http::site_category_name(row.category);
+      EXPECT_LT(row.unknown_pct, 20.0)
+          << http::site_category_name(row.category);
+    }
+  }
+}
+
+TEST(Pipeline, ClassificationCoversContent) {
+  const StudyReport& report = shared_run().report;
+  EXPECT_GT(report.classification.unique_pages, 10u);
+  EXPECT_GT(report.classification.clusters, 5u);
+  EXPECT_LT(report.classification.clusters,
+            report.classification.unique_pages + 1);
+  // §4.2: 97.6–99.9% of content-bearing responses classified.
+  EXPECT_GT(report.classification.labeled_fraction, 0.95);
+}
+
+TEST(Pipeline, Table5ShapeMatchesPaperQualitatively) {
+  const StudyReport& report = shared_run().report;
+  const auto& categories = DomainSet::table5_categories();
+  const auto cell = [&](SiteCategory category, Label label) -> Table5Cell {
+    for (std::size_t c = 0; c < categories.size(); ++c) {
+      if (categories[c] == category) {
+        return report.table5.columns[c][static_cast<std::size_t>(label)];
+      }
+    }
+    return {};
+  };
+  // Adult/Gambling dominated by censorship (Table 5: 88.6% / 75.9%).
+  EXPECT_GT(cell(SiteCategory::kAdult, Label::kCensorship).avg_pct, 50.0);
+  EXPECT_GT(cell(SiteCategory::kGambling, Label::kCensorship).avg_pct, 40.0);
+  // Banking never censored.
+  EXPECT_LT(cell(SiteCategory::kBanking, Label::kCensorship).avg_pct, 1.0);
+  // NX: search redirects prominent (35.7% in the paper), absent elsewhere.
+  EXPECT_GT(cell(SiteCategory::kNx, Label::kSearch).avg_pct, 15.0);
+  EXPECT_LT(cell(SiteCategory::kBanking, Label::kSearch).avg_pct, 1.0);
+  // Alexa max censorship >> avg (Facebook vs the other 19 domains).
+  const auto alexa = cell(SiteCategory::kAlexa, Label::kCensorship);
+  EXPECT_GT(alexa.max_pct, 3.0 * alexa.avg_pct);
+}
+
+TEST(Pipeline, CensorshipGeographyMatchesFigure4) {
+  const StudyReport& report = shared_run().report;
+  // Fig. 4-b: unexpected responses for FB/TW/YT dominated by CN, then IR.
+  ASSERT_FALSE(report.social_geo.unexpected.empty());
+  EXPECT_EQ(report.social_geo.unexpected[0].first, "CN");
+  // CN must hold a clear majority of the unexpected responses.
+  std::uint64_t total = 0;
+  for (const auto& [country, count] : report.social_geo.unexpected) {
+    total += count;
+  }
+  EXPECT_GT(report.social_geo.unexpected[0].second * 2,
+            total);  // > 50%
+  // The all-responses histogram is far less concentrated (Fig. 4-a).
+  ASSERT_FALSE(report.social_geo.all.empty());
+  std::uint64_t all_total = 0;
+  for (const auto& [country, count] : report.social_geo.all) {
+    all_total += count;
+  }
+  EXPECT_LT(report.social_geo.all[0].second * 4, all_total * 3);
+}
+
+TEST(Pipeline, CensorshipReportHasManyCountries) {
+  const StudyReport& report = shared_run().report;
+  // §4.2: landing pages related to 34 countries (we accept 15+ at this
+  // small scale where rare censors may not be sampled).
+  EXPECT_GE(report.censorship.landing_countries.size(), 15u);
+  EXPECT_GT(report.censorship.landing_ips.size(), 30u);
+  EXPECT_GT(report.censorship.censorship_tuples, 0u);
+  EXPECT_GT(report.censorship.dual_response_tuples, 0u);
+}
+
+TEST(Pipeline, CaseStudiesAllPresent) {
+  const StudyReport& report = shared_run().report;
+  const CaseStudyReport& cases = report.cases;
+  EXPECT_GT(cases.proxy_resolvers_http_only, 0u);
+  EXPECT_GT(cases.proxy_ips_http_only, 0u);
+  EXPECT_GT(cases.paypal_phish_resolvers, 0u);
+  EXPECT_GT(cases.paypal_phish_ips, 0u);
+  EXPECT_GT(cases.malware_resolvers, 0u);
+  EXPECT_GT(cases.ad_tamper_resolvers, 0u);
+  EXPECT_GT(cases.mx_suspicious_resolvers, 0u);
+  EXPECT_GT(cases.mail_listening_resolvers, 0u);
+  // §4.3: most MX-suspicious resolvers point at live mail hosts (64.7%).
+  EXPECT_GT(static_cast<double>(cases.mail_listening_resolvers),
+            0.3 * static_cast<double>(cases.mx_suspicious_resolvers));
+}
+
+TEST(Pipeline, Sec41BehaviouralOddities) {
+  const StudyReport& report = shared_run().report;
+  EXPECT_GT(report.sec41.suspicious_resolvers, 0u);
+  EXPECT_GT(report.sec41.self_ip_any, 0u);
+  EXPECT_GT(report.sec41.static_single_ip, 0u);
+  EXPECT_GT(report.sec41.same_set_multi_domain, 0u);
+  // Self-IP-everywhere is a subset of self-IP-any.
+  EXPECT_LE(report.sec41.self_ip_everywhere, report.sec41.self_ip_any);
+}
+
+TEST(Pipeline, HttpPayloadFractionReasonable) {
+  const StudyReport& report = shared_run().report;
+  // §4.2: 88.9% of unknown tuples yielded HTTP data. Injected Chinese
+  // answers pull ours lower; accept a broad band.
+  EXPECT_GT(report.http_payload_fraction, 0.3);
+  EXPECT_LT(report.http_payload_fraction, 0.99);
+}
+
+TEST(Pipeline, RendersAllReports) {
+  const StudyReport& report = shared_run().report;
+  EXPECT_FALSE(render_table5(report).empty());
+  EXPECT_FALSE(render_prefilter(report).empty());
+  EXPECT_FALSE(render_social_geo(report).empty());
+  EXPECT_FALSE(render_censorship(report).empty());
+  EXPECT_FALSE(render_case_studies(report).empty());
+  EXPECT_FALSE(render_modifications(report).empty());
+}
+
+TEST(Pipeline, FineGrainedModificationsFindInjections) {
+  const StudyReport& report = shared_run().report;
+  // The ad-tamper population injects scripts/banners into GT-similar
+  // pages; the §3.6 second stage must surface at least one cluster whose
+  // delta adds a script or image.
+  EXPECT_GT(report.modifications.compared_pages, 0u);
+  bool injection_cluster = false;
+  for (const auto& cluster : report.modifications.clusters) {
+    for (const auto& tag : cluster.added) {
+      if (tag.find("script") != std::string::npos ||
+          tag.find("img") != std::string::npos) {
+        injection_cluster = true;
+      }
+    }
+  }
+  EXPECT_TRUE(injection_cluster);
+}
+
+}  // namespace
+}  // namespace dnswild::core

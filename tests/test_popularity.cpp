@@ -1,0 +1,118 @@
+#include "analysis/popularity.h"
+
+#include <gtest/gtest.h>
+
+#include "resolver/snoop.h"
+
+namespace dnswild::analysis {
+namespace {
+
+using resolver::SnoopModel;
+using resolver::SnoopProfile;
+
+std::vector<scan::SnoopSeries> series_for(SnoopProfile profile,
+                                          std::uint64_t seed,
+                                          int hours = 36) {
+  SnoopModel model;
+  model.profile = profile;
+  model.tld_ttl = 21600;
+  static const std::vector<std::string> kTlds = {
+      "br", "cn", "com", "de", "fr", "in", "it", "jp", "net", "nl", "org",
+      "pl", "ru", "info", "co.uk"};
+  std::vector<scan::SnoopSeries> out;
+  for (std::uint16_t t = 0; t < kTlds.size(); ++t) {
+    scan::SnoopSeries entry;
+    entry.resolver_index = 0;
+    entry.tld_index = t;
+    int seen = 0;
+    for (int hour = 0; hour <= hours; ++hour) {
+      const auto sample = model.sample(kTlds[t], hour * 3600, seed, seen++);
+      scan::SnoopSample out_sample;
+      out_sample.minute = hour * 60;
+      out_sample.responded = sample.respond;
+      out_sample.cached = sample.cached;
+      out_sample.remaining_ttl = sample.remaining_ttl;
+      entry.samples.push_back(out_sample);
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+PopularityEstimate estimate(SnoopProfile profile, std::uint64_t seed) {
+  const auto series = series_for(profile, seed);
+  std::vector<const scan::SnoopSeries*> views;
+  for (const auto& entry : series) views.push_back(&entry);
+  return estimate_popularity(views, 21600);
+}
+
+TEST(Popularity, FastRefreshersLookBusy) {
+  // kActiveFast re-adds within 1-5 s of expiry: >= 720 requests/hour.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto result = estimate(SnoopProfile::kActiveFast, seed);
+    EXPECT_GT(result.refresh_samples, 0) << seed;
+    EXPECT_GT(result.requests_per_hour, 60.0) << seed;
+    EXPECT_EQ(bucket_of(result), PopularityBucket::kBusy) << seed;
+  }
+}
+
+TEST(Popularity, SlowRefreshersLookLightOrModerate) {
+  // kActiveSlow gaps are 10 min .. 4 h: 0.25 .. 6 requests/hour.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto result = estimate(SnoopProfile::kActiveSlow, seed);
+    if (result.refresh_samples == 0) continue;  // window may miss all gaps
+    EXPECT_LT(result.requests_per_hour, 60.0) << seed;
+    const auto bucket = bucket_of(result);
+    EXPECT_TRUE(bucket == PopularityBucket::kLight ||
+                bucket == PopularityBucket::kModerate)
+        << seed;
+  }
+}
+
+TEST(Popularity, EmptyCachesAreUnobservable) {
+  const auto result = estimate(SnoopProfile::kNoCache, 3);
+  EXPECT_EQ(result.refresh_samples, 0);
+  EXPECT_EQ(bucket_of(result), PopularityBucket::kUnobservable);
+}
+
+TEST(Popularity, GapEstimateTracksTrueGap) {
+  // Exact analytic check: for the periodic model, the measured gap equals
+  // the model's configured gap, so λ^ = 3600 / gap.
+  SnoopModel model;
+  model.profile = SnoopProfile::kActiveSlow;
+  model.tld_ttl = 21600;
+  const std::uint64_t seed = 42;
+  const auto series = series_for(SnoopProfile::kActiveSlow, seed);
+  std::vector<const scan::SnoopSeries*> views;
+  for (const auto& entry : series) views.push_back(&entry);
+  const auto result = estimate_popularity(views, 21600);
+  if (result.refresh_samples > 0) {
+    EXPECT_GT(result.requests_per_hour, 3600.0 / (4.0 * 3600.0) * 0.5);
+    EXPECT_LT(result.requests_per_hour, 3600.0 / 600.0 * 2.0);
+  }
+}
+
+TEST(Popularity, SummarizeBucketsPerResolver) {
+  auto fast = series_for(SnoopProfile::kActiveFast, 5);
+  auto empty = series_for(SnoopProfile::kNoCache, 6);
+  for (auto& entry : empty) entry.resolver_index = 1;
+  std::vector<scan::SnoopSeries> all;
+  all.insert(all.end(), fast.begin(), fast.end());
+  all.insert(all.end(), empty.begin(), empty.end());
+  const auto report = summarize_popularity(all, 2, 21600);
+  EXPECT_EQ(report.resolvers, 2u);
+  EXPECT_EQ(report.per_bucket[static_cast<int>(PopularityBucket::kBusy)], 1u);
+  EXPECT_EQ(report.per_bucket[static_cast<int>(
+                PopularityBucket::kUnobservable)],
+            1u);
+  EXPECT_GT(report.median_requests_per_hour, 60.0);
+}
+
+TEST(Popularity, BucketNames) {
+  EXPECT_EQ(popularity_bucket_name(PopularityBucket::kBusy), "> 60 req/h");
+  EXPECT_EQ(popularity_bucket_name(PopularityBucket::kUnobservable),
+            "unobservable");
+}
+
+}  // namespace
+}  // namespace dnswild::analysis

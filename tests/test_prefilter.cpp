@@ -1,0 +1,261 @@
+#include "core/prefilter.h"
+
+#include <gtest/gtest.h>
+
+#include "http/server.h"
+
+namespace dnswild::core {
+namespace {
+
+// Fixture: a world with one legitimately hosted domain (AS 1), an rDNS-
+// confirmed secondary address (AS 2), a CDN edge with a valid certificate
+// (AS 3), and an unrelated attacker address (AS 4).
+class PrefilterTest : public ::testing::Test {
+ protected:
+  PrefilterTest() : world_(1), domains_(DomainSet::study_set()) {
+    auto& asdb = world_.asdb();
+    asdb.add_as({1, "Origin Hosting", "US", net::AsKind::kHosting});
+    asdb.add_as({2, "Secondary Hosting", "DE", net::AsKind::kHosting});
+    asdb.add_as({3, "CDN", "SG", net::AsKind::kCdn});
+    asdb.add_as({4, "Attacker", "RU", net::AsKind::kHosting});
+    asdb.add_prefix(*net::Cidr::parse("1.0.0.0/24"), 1);
+    asdb.add_prefix(*net::Cidr::parse("2.0.0.0/24"), 2);
+    asdb.add_prefix(*net::Cidr::parse("3.0.0.0/24"), 3);
+    asdb.add_prefix(*net::Cidr::parse("4.0.0.0/24"), 4);
+
+    // paypal.com's trusted answer points to AS 1.
+    registry_.add_domain("paypal.com", {net::Ipv4(1, 0, 0, 10)}, 300);
+    // A secondary address with forward-confirmed rDNS in AS 2.
+    world_.rdns().set(net::Ipv4(2, 0, 0, 10), "host9.paypal.com");
+    registry_.add_a_record("host9.paypal.com", net::Ipv4(2, 0, 0, 10));
+    // An unconfirmed rDNS (name resembles, but no A record backs it).
+    world_.rdns().set(net::Ipv4(4, 0, 0, 20), "fake.paypal.com");
+    // A CDN edge serving a valid certificate for the domain.
+    net::HostConfig host_config;
+    host_config.attachment.ip = net::Ipv4(3, 0, 0, 10);
+    const net::HostId id = world_.add_host(host_config);
+    auto server = std::make_unique<http::WebServer>();
+    net::Certificate cert;
+    cert.common_name = "paypal.com";
+    server->add_vhost("paypal.com", http::serve_body("x"), cert);
+    server->set_default_certificate(cert);  // real edges answer without SNI
+    world_.set_tcp_service(id, 443, std::move(server));
+
+    paypal_ = *domains_.find("paypal.com");
+    nx_ = *domains_.find("amason.com");
+  }
+
+  scan::TupleRecord record_with(std::vector<net::Ipv4> ips,
+                                dns::RCode rcode = dns::RCode::kNoError,
+                                bool responded = true) {
+    scan::TupleRecord record;
+    record.responded = responded;
+    record.rcode = rcode;
+    record.ips = std::move(ips);
+    return record;
+  }
+
+  Prefilter make_prefilter(PrefilterConfig config = {}) {
+    return Prefilter(world_, registry_, domains_, net::Ipv4(9, 0, 0, 1),
+                     std::move(config));
+  }
+
+  net::World world_;
+  resolver::AuthRegistry registry_;
+  DomainSet domains_;
+  StudyDomain paypal_;
+  StudyDomain nx_;
+};
+
+TEST_F(PrefilterTest, AsRuleAcceptsTrustedNetwork) {
+  Prefilter prefilter = make_prefilter();
+  // A different address in the SAME AS as the trusted answer is accepted.
+  EXPECT_EQ(prefilter.judge(record_with({net::Ipv4(1, 0, 0, 99)}), paypal_),
+            TupleVerdict::kLegitimate);
+  EXPECT_EQ(prefilter.stats().accepted_by_as, 1u);
+}
+
+TEST_F(PrefilterTest, RdnsRuleNeedsForwardConfirmation) {
+  Prefilter prefilter = make_prefilter();
+  EXPECT_EQ(prefilter.judge(record_with({net::Ipv4(2, 0, 0, 10)}), paypal_),
+            TupleVerdict::kLegitimate);
+  EXPECT_EQ(prefilter.stats().accepted_by_rdns, 1u);
+  // rDNS that resembles the domain but does not forward-confirm: an
+  // attacker can set any PTR (§3.4) — must stay unknown.
+  EXPECT_EQ(prefilter.judge(record_with({net::Ipv4(4, 0, 0, 20)}), paypal_),
+            TupleVerdict::kUnknown);
+}
+
+TEST_F(PrefilterTest, CertRuleAcceptsCdnEdge) {
+  Prefilter prefilter = make_prefilter();
+  EXPECT_EQ(prefilter.judge(record_with({net::Ipv4(3, 0, 0, 10)}), paypal_),
+            TupleVerdict::kLegitimate);
+  EXPECT_EQ(prefilter.stats().accepted_by_cert, 1u);
+}
+
+TEST_F(PrefilterTest, NonSniCdnCommonNameRule) {
+  // An off-net CDN cache that serves only its provider default certificate
+  // (no per-customer SNI cert): accepted through the §3.4 "largest CDN
+  // providers" common-name rule.
+  net::HostConfig host_config;
+  host_config.attachment.ip = net::Ipv4(3, 0, 0, 20);
+  const net::HostId id = world_.add_host(host_config);
+  auto server = std::make_unique<http::WebServer>();
+  net::Certificate cdn_default;
+  cdn_default.common_name = "*.edge.globalcdn.example";
+  server->set_default_certificate(cdn_default);
+  world_.set_tcp_service(id, 443, std::move(server));
+
+  Prefilter prefilter = make_prefilter();
+  EXPECT_EQ(prefilter.judge(record_with({net::Ipv4(3, 0, 0, 20)}), paypal_),
+            TupleVerdict::kLegitimate);
+  EXPECT_EQ(prefilter.stats().accepted_by_cert, 1u);
+
+  // An unknown common name on the default certificate is NOT accepted.
+  net::HostConfig other_config;
+  other_config.attachment.ip = net::Ipv4(3, 0, 0, 21);
+  const net::HostId other_id = world_.add_host(other_config);
+  auto other_server = std::make_unique<http::WebServer>();
+  net::Certificate unknown_cn;
+  unknown_cn.common_name = "*.cdn.attacker.example";
+  other_server->set_default_certificate(unknown_cn);
+  world_.set_tcp_service(other_id, 443, std::move(other_server));
+  EXPECT_EQ(prefilter.judge(record_with({net::Ipv4(3, 0, 0, 21)}), paypal_),
+            TupleVerdict::kUnknown);
+}
+
+TEST_F(PrefilterTest, VerdictCacheAvoidsRepeatedHandshakes) {
+  Prefilter prefilter = make_prefilter();
+  // The same (domain, ip) pair judged many times attributes its rule once.
+  for (int i = 0; i < 5; ++i) {
+    prefilter.judge(record_with({net::Ipv4(3, 0, 0, 10)}), paypal_);
+  }
+  EXPECT_EQ(prefilter.stats().accepted_by_cert, 1u);
+}
+
+TEST_F(PrefilterTest, SniOnlyRelayIsNotAccepted) {
+  // A transparent TLS relay forwards the origin's certificate when SNI
+  // tells it where to route, but cannot complete a non-SNI handshake; the
+  // cert rule must leave it unknown (it is a §4.3 proxy, not an origin).
+  net::HostConfig host_config;
+  host_config.attachment.ip = net::Ipv4(4, 0, 0, 40);
+  const net::HostId id = world_.add_host(host_config);
+  const http::CertOracle certs =
+      [](const std::string& host) -> std::optional<net::Certificate> {
+    net::Certificate cert;
+    cert.common_name = host;
+    return cert;
+  };
+  world_.set_tcp_service(
+      id, 443,
+      std::make_unique<http::ProxyServer>(
+          [](const http::HttpRequest&) { return std::nullopt; }, certs,
+          /*tls_passthrough=*/true));
+  Prefilter prefilter = make_prefilter();
+  EXPECT_EQ(prefilter.judge(record_with({net::Ipv4(4, 0, 0, 40)}), paypal_),
+            TupleVerdict::kUnknown);
+}
+
+TEST_F(PrefilterTest, UnknownAddressStaysUnknown) {
+  Prefilter prefilter = make_prefilter();
+  EXPECT_EQ(prefilter.judge(record_with({net::Ipv4(4, 0, 0, 9)}), paypal_),
+            TupleVerdict::kUnknown);
+}
+
+TEST_F(PrefilterTest, MixedAnswerSetIsUnknown) {
+  // One good address + one bad address: must NOT be filtered (§3.4: never
+  // risk hiding a bogus answer).
+  Prefilter prefilter = make_prefilter();
+  EXPECT_EQ(prefilter.judge(record_with({net::Ipv4(1, 0, 0, 10),
+                                         net::Ipv4(4, 0, 0, 9)}),
+                            paypal_),
+            TupleVerdict::kUnknown);
+}
+
+TEST_F(PrefilterTest, RuleAblation) {
+  // With the AS rule disabled, the same-AS address must fall through to
+  // the remaining rules and end up unknown.
+  PrefilterConfig no_as;
+  no_as.use_as_rule = false;
+  Prefilter prefilter = make_prefilter(no_as);
+  EXPECT_EQ(prefilter.judge(record_with({net::Ipv4(1, 0, 0, 99)}), paypal_),
+            TupleVerdict::kUnknown);
+
+  PrefilterConfig no_cert;
+  no_cert.use_cert_rule = false;
+  Prefilter prefilter2 = make_prefilter(no_cert);
+  EXPECT_EQ(prefilter2.judge(record_with({net::Ipv4(3, 0, 0, 10)}), paypal_),
+            TupleVerdict::kUnknown);
+}
+
+TEST_F(PrefilterTest, NxDomainHandling) {
+  Prefilter prefilter = make_prefilter();
+  // Honest outcomes for NX names.
+  EXPECT_EQ(prefilter.judge(record_with({}, dns::RCode::kNxDomain), nx_),
+            TupleVerdict::kLegitimate);
+  EXPECT_EQ(prefilter.judge(record_with({}, dns::RCode::kNoError), nx_),
+            TupleVerdict::kLegitimate);
+  // An address for an NX name is monetization (§4.2).
+  EXPECT_EQ(prefilter.judge(record_with({net::Ipv4(4, 0, 0, 9)}), nx_),
+            TupleVerdict::kUnknown);
+  EXPECT_EQ(prefilter.judge(record_with({}, dns::RCode::kServFail), nx_),
+            TupleVerdict::kNoAnswer);
+}
+
+TEST_F(PrefilterTest, ErrorAndEmptyAnswers) {
+  Prefilter prefilter = make_prefilter();
+  EXPECT_EQ(prefilter.judge(record_with({}, dns::RCode::kRefused), paypal_),
+            TupleVerdict::kNoAnswer);
+  EXPECT_EQ(prefilter.judge(record_with({}, dns::RCode::kNoError), paypal_),
+            TupleVerdict::kNoAnswer);
+  EXPECT_EQ(prefilter.judge(record_with({}, dns::RCode::kNoError, false),
+                            paypal_),
+            TupleVerdict::kUnresponsive);
+}
+
+TEST_F(PrefilterTest, BulkRunAccumulatesStats) {
+  Prefilter prefilter = make_prefilter();
+  std::vector<scan::TupleRecord> records;
+  std::vector<StudyDomain> domains = {paypal_};
+  auto good = record_with({net::Ipv4(1, 0, 0, 10)});
+  good.domain_index = 0;
+  auto bad = record_with({net::Ipv4(4, 0, 0, 9)});
+  bad.domain_index = 0;
+  auto silent = record_with({}, dns::RCode::kNoError, false);
+  silent.domain_index = 0;
+  records = {good, bad, silent};
+  const auto verdicts = prefilter.run(records, domains);
+  ASSERT_EQ(verdicts.size(), 3u);
+  EXPECT_EQ(prefilter.stats().tuples, 3u);
+  EXPECT_EQ(prefilter.stats().legitimate, 1u);
+  EXPECT_EQ(prefilter.stats().unknown, 1u);
+  EXPECT_EQ(prefilter.stats().unresponsive, 1u);
+}
+
+TEST_F(PrefilterTest, CdnRegionalViewsWidenTheWhitelist) {
+  // A CDN domain answering differently per trusted region: addresses from
+  // both regional ASes must be accepted.
+  registry_.add_cdn_domain("cdn-site.example", {net::Ipv4(1, 0, 0, 50)},
+                           {{"DE", {net::Ipv4(2, 0, 0, 50)}},
+                            {"US", {net::Ipv4(3, 0, 0, 50)}}},
+                           60);
+  StudyDomain cdn_domain{"cdn-site.example", SiteCategory::kAlexa, true,
+                         false};
+  PrefilterConfig config;
+  config.trusted_regions = {"DE", "US"};
+  Prefilter prefilter = make_prefilter(config);
+  EXPECT_EQ(prefilter.judge(record_with({net::Ipv4(2, 0, 0, 51)}),
+                            cdn_domain),
+            TupleVerdict::kLegitimate);
+  EXPECT_EQ(prefilter.judge(record_with({net::Ipv4(3, 0, 0, 51)}),
+                            cdn_domain),
+            TupleVerdict::kLegitimate);
+  // The default view's AS 1 is NOT in any trusted region's answer: those
+  // regions resolved to AS 2/3 only.
+  EXPECT_EQ(prefilter.judge(record_with({net::Ipv4(4, 0, 0, 51)}),
+                            cdn_domain),
+            TupleVerdict::kUnknown);
+}
+
+}  // namespace
+}  // namespace dnswild::core

@@ -1,0 +1,47 @@
+#include "scan/ratelimit.h"
+
+#include <gtest/gtest.h>
+
+namespace dnswild::scan {
+namespace {
+
+TEST(TokenBucket, BurstIsFree) {
+  TokenBucket bucket(10.0, 5.0);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(bucket.acquire(), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(bucket.virtual_elapsed_seconds(), 0.0);
+}
+
+TEST(TokenBucket, DrainedBucketWaits) {
+  TokenBucket bucket(10.0, 1.0);
+  EXPECT_DOUBLE_EQ(bucket.acquire(), 0.0);
+  // Empty: each packet waits 1/rate seconds.
+  EXPECT_NEAR(bucket.acquire(), 0.1, 1e-9);
+  EXPECT_NEAR(bucket.virtual_elapsed_seconds(), 0.1, 1e-9);
+}
+
+TEST(TokenBucket, AdvanceRefills) {
+  TokenBucket bucket(10.0, 5.0);
+  for (int i = 0; i < 5; ++i) bucket.acquire();
+  bucket.advance(0.5);  // refills 5 tokens
+  EXPECT_DOUBLE_EQ(bucket.acquire(), 0.0);
+}
+
+TEST(TokenBucket, RefillCapsAtCapacity) {
+  TokenBucket bucket(10.0, 2.0);
+  bucket.advance(100.0);
+  EXPECT_DOUBLE_EQ(bucket.acquire(), 0.0);
+  EXPECT_DOUBLE_EQ(bucket.acquire(), 0.0);
+  EXPECT_GT(bucket.acquire(), 0.0);  // only 2 tokens fit
+}
+
+TEST(TokenBucket, SteadyStateMatchesRate) {
+  // 1000 packets at 100 pps must consume ~10 virtual seconds.
+  TokenBucket bucket(100.0, 1.0);
+  for (int i = 0; i < 1000; ++i) bucket.acquire();
+  EXPECT_NEAR(bucket.virtual_elapsed_seconds(), 10.0, 0.2);
+}
+
+}  // namespace
+}  // namespace dnswild::scan

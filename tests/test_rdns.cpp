@@ -1,0 +1,80 @@
+#include "net/rdns.h"
+
+#include <gtest/gtest.h>
+
+namespace dnswild::net {
+namespace {
+
+TEST(RdnsStore, SetAndLookup) {
+  RdnsStore store;
+  store.set(Ipv4(1, 2, 3, 4), "host.example.com");
+  const auto name = store.lookup(Ipv4(1, 2, 3, 4));
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(*name, "host.example.com");
+  EXPECT_FALSE(store.lookup(Ipv4(1, 2, 3, 5)).has_value());
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(RdnsStore, Overwrite) {
+  RdnsStore store;
+  store.set(Ipv4(1, 2, 3, 4), "a");
+  store.set(Ipv4(1, 2, 3, 4), "b");
+  EXPECT_EQ(*store.lookup(Ipv4(1, 2, 3, 4)), "b");
+  EXPECT_EQ(store.size(), 1u);
+}
+
+class DynamicTokenTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DynamicTokenTest, Detected) {
+  EXPECT_TRUE(looks_dynamic(GetParam())) << GetParam();
+}
+
+// The §2.5 token list: broadband, dialup, dynamic + provider spellings.
+INSTANTIATE_TEST_SUITE_P(
+    Tokens, DynamicTokenTest,
+    ::testing::Values("cpe-1-2-3-4.broadband.example.net",
+                      "host.DIALUP.provider.example",
+                      "1-2-3-4.dynamic.isp.example",
+                      "dyn-10-0-0-1.telco.example",
+                      "x.dsl.carrier.example",
+                      "pool-7.metro.example",
+                      "dhcp-22.campus.example",
+                      "node.cable.tv.example",
+                      "ppp-9.access.example",
+                      "line.adsl.telecom.example"));
+
+class StaticNameTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StaticNameTest, NotDynamic) {
+  EXPECT_FALSE(looks_dynamic(GetParam())) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Names, StaticNameTest,
+                         ::testing::Values("mail.example.com",
+                                           "ns1.registrar.example",
+                                           "server-7.colo.example",
+                                           "www.example.org"));
+
+TEST(SynthRdns, DynamicNamesCarryTokens) {
+  for (unsigned style = 0; style < 8; ++style) {
+    const std::string name =
+        synth_dynamic_rdns(Ipv4(203, 0, 114, 7), "tr-isp", style);
+    EXPECT_TRUE(looks_dynamic(name)) << name;
+    EXPECT_NE(name.find("203-0-114-7"), std::string::npos) << name;
+  }
+}
+
+TEST(SynthRdns, StaticNamesDoNot) {
+  const std::string name = synth_static_rdns(Ipv4(8, 8, 8, 8), "us-isp");
+  EXPECT_FALSE(looks_dynamic(name)) << name;
+  EXPECT_NE(name.find("us-isp"), std::string::npos);
+}
+
+TEST(SynthRdns, StylesDiffer) {
+  const Ipv4 ip(1, 2, 3, 4);
+  EXPECT_NE(synth_dynamic_rdns(ip, "x", 0), synth_dynamic_rdns(ip, "x", 1));
+  EXPECT_EQ(synth_dynamic_rdns(ip, "x", 0), synth_dynamic_rdns(ip, "x", 4));
+}
+
+}  // namespace
+}  // namespace dnswild::net

@@ -1,0 +1,105 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace dnswild::core {
+namespace {
+
+StudyReport synthetic_report() {
+  StudyReport report;
+  report.table5.columns.assign(DomainSet::table5_categories().size(), {});
+  report.table5.columns[1][static_cast<int>(Label::kCensorship)] =
+      Table5Cell{88.6, 91.3};  // the Adult column headline
+
+  CategoryPrefilterRow row;
+  row.category = SiteCategory::kMail;
+  row.tuples = 24451;
+  row.legitimate_pct = 85.8;
+  row.no_answer_pct = 6.0;
+  row.unknown_pct = 0.6;
+  report.prefilter_by_category.push_back(row);
+
+  report.censorship.censorship_tuples = 12345;
+  report.censorship.dual_response_tuples = 678;
+  report.censorship.landing_ips = {net::Ipv4(1, 2, 3, 4)};
+  report.censorship.landing_countries = {"ID", "TR"};
+  report.censorship.censoring_by_country = {{"CN", 90}, {"IR", 10}};
+  CountryCompliance compliance;
+  compliance.country = "MN";
+  compliance.censoring = 789;
+  compliance.responding = 1000;
+  report.censorship.compliance.push_back(compliance);
+
+  report.social_geo.all = {{"US", 10}, {"CN", 5}};
+  report.social_geo.unexpected = {{"CN", 5}};
+
+  report.cases.paypal_phish_resolvers = 176;
+  report.cases.paypal_phish_ips = 16;
+
+  ModificationCluster cluster;
+  cluster.added = {"script"};
+  cluster.tuples = 42;
+  cluster.resolvers = 7;
+  cluster.example_domain = "ads.example";
+  report.modifications.compared_pages = 100;
+  report.modifications.modified_pages = 5;
+  report.modifications.clusters.push_back(cluster);
+  return report;
+}
+
+TEST(RenderTable5, CellsFormattedAsAvgMax) {
+  const std::string text = render_table5(synthetic_report());
+  EXPECT_NE(text.find("Adult"), std::string::npos);
+  EXPECT_NE(text.find("88.6 (91.3)"), std::string::npos);
+  EXPECT_NE(text.find("Censorship"), std::string::npos);
+  // One row per label, plus header + underline.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 7 + 2);
+}
+
+TEST(RenderPrefilter, RowsAndColumns) {
+  const std::string text = render_prefilter(synthetic_report());
+  EXPECT_NE(text.find("MX"), std::string::npos);
+  EXPECT_NE(text.find("24,451"), std::string::npos);
+  EXPECT_NE(text.find("85.8"), std::string::npos);
+}
+
+TEST(RenderCensorship, SummaryAndCompliance) {
+  const std::string text = render_censorship(synthetic_report());
+  EXPECT_NE(text.find("12,345"), std::string::npos);
+  EXPECT_NE(text.find("678"), std::string::npos);
+  EXPECT_NE(text.find("MN"), std::string::npos);
+  EXPECT_NE(text.find("78.9"), std::string::npos);  // 789/1000 coverage
+  EXPECT_NE(text.find("CN"), std::string::npos);
+}
+
+TEST(RenderSocialGeo, TwoPanels) {
+  const std::string text = render_social_geo(synthetic_report());
+  EXPECT_NE(text.find("(a) All responses"), std::string::npos);
+  EXPECT_NE(text.find("(b) Unexpected responses"), std::string::npos);
+  // CN holds 100% of the unexpected panel.
+  EXPECT_NE(text.find("100.0"), std::string::npos);
+}
+
+TEST(RenderCaseStudies, PaypalRow) {
+  const std::string text = render_case_studies(synthetic_report());
+  EXPECT_NE(text.find("Phishing (PayPal kit)"), std::string::npos);
+  EXPECT_NE(text.find("176"), std::string::npos);
+  EXPECT_NE(text.find("16"), std::string::npos);
+}
+
+TEST(RenderModifications, ClusterRow) {
+  const std::string text = render_modifications(synthetic_report());
+  EXPECT_NE(text.find("script"), std::string::npos);
+  EXPECT_NE(text.find("ads.example"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+}
+
+TEST(RenderModifications, EmptyDeltasRenderDash) {
+  StudyReport report = synthetic_report();
+  report.modifications.clusters[0].added.clear();
+  const std::string text = render_modifications(report);
+  EXPECT_NE(text.find('-'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dnswild::core

@@ -1,0 +1,345 @@
+#include "resolver/resolver.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "dns/chaos.h"
+
+namespace dnswild::resolver {
+namespace {
+
+class ResolverServiceTest : public ::testing::Test {
+ protected:
+  ResolverServiceTest() {
+    registry_.add_domain("good.example", {net::Ipv4(5, 5, 5, 5)}, 300);
+    registry_.add_domain("bad.example", {net::Ipv4(6, 6, 6, 6)}, 300);
+    registry_.add_cdn_domain("cdn.example", {net::Ipv4(7, 0, 0, 1)},
+                             {{"CN", {net::Ipv4(7, 0, 0, 2)}}}, 60);
+    registry_.add_tld("com", {"a.gtld.example"}, 172800);
+  }
+
+  ResolverConfig base_config() {
+    ResolverConfig config;
+    config.registry = &registry_;
+    config.clock = &clock_;
+    config.seed = 1;
+    config.base_latency_ms = 30;
+    return config;
+  }
+
+  // Sends one query, returns the parsed replies.
+  static std::vector<dns::Message> ask(OpenResolverService& service,
+                                       const dns::Message& query) {
+    net::UdpPacket packet;
+    packet.src = net::Ipv4(9, 9, 9, 9);
+    packet.src_port = 4000;
+    packet.dst = net::Ipv4(1, 2, 3, 4);
+    packet.dst_port = 53;
+    packet.payload = query.encode();
+    std::vector<net::UdpReply> replies;
+    service.handle(packet, replies);
+    std::vector<dns::Message> messages;
+    for (const auto& reply : replies) {
+      if (auto message = dns::Message::decode(reply.packet.payload)) {
+        messages.push_back(*std::move(message));
+      }
+    }
+    return messages;
+  }
+
+  static dns::Message a_query(std::string_view name, std::uint16_t id = 1) {
+    return dns::Message::make_query(id, dns::Name::must_parse(name),
+                                    dns::RType::kA);
+  }
+
+  AuthRegistry registry_;
+  net::SimClock clock_;
+};
+
+TEST_F(ResolverServiceTest, HonestResolution) {
+  OpenResolverService service(base_config());
+  const auto replies = ask(service, a_query("good.example", 77));
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].header.id, 77);
+  EXPECT_TRUE(replies[0].header.qr);
+  EXPECT_EQ(replies[0].header.rcode, dns::RCode::kNoError);
+  EXPECT_EQ(replies[0].answer_ips(),
+            (std::vector<net::Ipv4>{net::Ipv4(5, 5, 5, 5)}));
+}
+
+TEST_F(ResolverServiceTest, HonestNxDomain) {
+  OpenResolverService service(base_config());
+  const auto replies = ask(service, a_query("missing.example"));
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].header.rcode, dns::RCode::kNxDomain);
+}
+
+TEST_F(ResolverServiceTest, RegionalCdnView) {
+  auto config = base_config();
+  config.region = "CN";
+  OpenResolverService service(config);
+  const auto replies = ask(service, a_query("cdn.example"));
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].answer_ips(),
+            (std::vector<net::Ipv4>{net::Ipv4(7, 0, 0, 2)}));
+}
+
+TEST_F(ResolverServiceTest, QuestionCaseEchoedFaithfully) {
+  OpenResolverService service(base_config());
+  const auto replies = ask(service, a_query("GoOd.ExAmPlE"));
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].questions[0].name.to_string(), "GoOd.ExAmPlE");
+}
+
+TEST_F(ResolverServiceTest, CnameChainInAnswerSection) {
+  registry_.add_cname("alias.example", "good.example");
+  OpenResolverService service(base_config());
+  const auto replies = ask(service, a_query("alias.example"));
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_EQ(replies[0].answers.size(), 2u);
+  EXPECT_EQ(replies[0].answers[0].rtype, dns::RType::kCNAME);
+  EXPECT_EQ(std::get<dns::Name>(replies[0].answers[0].rdata).lower(),
+            "good.example");
+  // The A record is owned by the chain tail, not the queried alias.
+  EXPECT_EQ(replies[0].answers[1].rtype, dns::RType::kA);
+  EXPECT_EQ(replies[0].answers[1].name.lower(), "good.example");
+  EXPECT_EQ(replies[0].answer_ips(),
+            (std::vector<net::Ipv4>{net::Ipv4(5, 5, 5, 5)}));
+}
+
+TEST_F(ResolverServiceTest, BasePolicies) {
+  for (const auto& [policy, rcode] :
+       {std::pair{BasePolicy::kRefuseAll, dns::RCode::kRefused},
+        std::pair{BasePolicy::kServFailAll, dns::RCode::kServFail},
+        std::pair{BasePolicy::kEmptyAll, dns::RCode::kNoError}}) {
+    auto config = base_config();
+    config.behavior.base = policy;
+    OpenResolverService service(config);
+    const auto replies = ask(service, a_query("good.example"));
+    ASSERT_EQ(replies.size(), 1u);
+    EXPECT_EQ(replies[0].header.rcode, rcode);
+    EXPECT_TRUE(replies[0].answers.empty());
+  }
+}
+
+TEST_F(ResolverServiceTest, IgnoreAllStaysSilent) {
+  auto config = base_config();
+  config.behavior.base = BasePolicy::kIgnoreAll;
+  OpenResolverService service(config);
+  EXPECT_TRUE(ask(service, a_query("good.example")).empty());
+}
+
+TEST_F(ResolverServiceTest, StaticIpPolicy) {
+  auto config = base_config();
+  config.behavior.base = BasePolicy::kStaticIpAll;
+  config.behavior.static_ips = {net::Ipv4(8, 8, 8, 8)};
+  OpenResolverService service(config);
+  for (const char* name : {"good.example", "bad.example", "zzz.example"}) {
+    const auto replies = ask(service, a_query(name));
+    ASSERT_EQ(replies.size(), 1u);
+    EXPECT_EQ(replies[0].answer_ips(),
+              (std::vector<net::Ipv4>{net::Ipv4(8, 8, 8, 8)}));
+  }
+}
+
+TEST_F(ResolverServiceTest, NsOnlyPolicyReturnsReferral) {
+  auto config = base_config();
+  config.behavior.base = BasePolicy::kNsOnlyAll;
+  OpenResolverService service(config);
+  const auto replies = ask(service, a_query("good.example"));
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(replies[0].answers.empty());
+  EXPECT_FALSE(replies[0].authorities.empty());
+  EXPECT_FALSE(replies[0].header.ra);
+}
+
+TEST_F(ResolverServiceTest, ExactDomainOverride) {
+  auto config = base_config();
+  Override censor;
+  censor.domains = {"bad.example"};
+  censor.action = OverrideAction::kForgeIps;
+  censor.ips = {net::Ipv4(66, 66, 66, 66)};
+  config.behavior.overrides.push_back(censor);
+  OpenResolverService service(config);
+
+  EXPECT_EQ(ask(service, a_query("bad.example"))[0].answer_ips()[0],
+            net::Ipv4(66, 66, 66, 66));
+  // Everything else resolves honestly (censors are honest elsewhere, §4.2).
+  EXPECT_EQ(ask(service, a_query("good.example"))[0].answer_ips()[0],
+            net::Ipv4(5, 5, 5, 5));
+}
+
+TEST_F(ResolverServiceTest, SuffixOverrideCoversSubdomains) {
+  auto config = base_config();
+  Override censor;
+  censor.match_suffixes = {"bad.example"};
+  censor.action = OverrideAction::kNxDomain;
+  config.behavior.overrides.push_back(censor);
+  OpenResolverService service(config);
+  EXPECT_EQ(ask(service, a_query("www.bad.example"))[0].header.rcode,
+            dns::RCode::kNxDomain);
+  EXPECT_EQ(ask(service, a_query("bad.example"))[0].header.rcode,
+            dns::RCode::kNxDomain);
+  // No false suffix matches ("notbad.example" does not end in ".bad.example").
+  EXPECT_EQ(ask(service, a_query("notbad.example"))[0].header.rcode,
+            dns::RCode::kNxDomain);  // honest NXDOMAIN: not in registry
+  EXPECT_EQ(ask(service, a_query("good.example"))[0].header.rcode,
+            dns::RCode::kNoError);
+}
+
+TEST_F(ResolverServiceTest, NonexistentOverrideIsNxMonetization) {
+  auto config = base_config();
+  Override monetizer;
+  monetizer.match_nonexistent = true;
+  monetizer.action = OverrideAction::kForgeIps;
+  monetizer.ips = {net::Ipv4(44, 44, 44, 44)};
+  config.behavior.overrides.push_back(monetizer);
+  OpenResolverService service(config);
+  // NX names get the ad-search address...
+  EXPECT_EQ(ask(service, a_query("no-such-name.example"))[0].answer_ips()[0],
+            net::Ipv4(44, 44, 44, 44));
+  // ...existing names resolve honestly.
+  EXPECT_EQ(ask(service, a_query("good.example"))[0].answer_ips()[0],
+            net::Ipv4(5, 5, 5, 5));
+}
+
+TEST_F(ResolverServiceTest, SelfIpOverrideUsesProbedAddress) {
+  auto config = base_config();
+  Override self;
+  self.match_all = true;
+  self.action = OverrideAction::kSelfIp;
+  config.behavior.overrides.push_back(self);
+  OpenResolverService service(config);
+  const auto replies = ask(service, a_query("good.example"));
+  // The probe was sent to 1.2.3.4 (see ask()).
+  EXPECT_EQ(replies[0].answer_ips()[0], net::Ipv4(1, 2, 3, 4));
+}
+
+TEST_F(ResolverServiceTest, RandomIpOverrideAvoidsReservedSpace) {
+  auto config = base_config();
+  Override gfw;
+  gfw.match_all = true;
+  gfw.action = OverrideAction::kForgeRandomIp;
+  config.behavior.overrides.push_back(gfw);
+  OpenResolverService service(config);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 50; ++i) {
+    const auto replies = ask(service, a_query("good.example"));
+    ASSERT_EQ(replies.size(), 1u);
+    const auto ips = replies[0].answer_ips();
+    ASSERT_EQ(ips.size(), 1u);
+    EXPECT_FALSE(net::is_reserved(ips[0])) << ips[0].to_string();
+    seen.insert(ips[0].value());
+  }
+  EXPECT_GT(seen.size(), 40u);  // per-query randomness
+}
+
+TEST_F(ResolverServiceTest, ChaosBehaviors) {
+  const auto probe = dns::make_version_query(5, dns::version_bind_name());
+  {
+    auto config = base_config();
+    config.chaos = ChaosBehavior::kRevealVersion;
+    config.version_banner = "BIND 9.8.2";
+    OpenResolverService service(config);
+    const auto replies = ask(service, probe);
+    ASSERT_EQ(replies.size(), 1u);
+    EXPECT_EQ(dns::extract_version(replies[0]), "BIND 9.8.2");
+  }
+  {
+    auto config = base_config();
+    config.chaos = ChaosBehavior::kRefused;
+    OpenResolverService service(config);
+    EXPECT_EQ(ask(service, probe)[0].header.rcode, dns::RCode::kRefused);
+  }
+  {
+    auto config = base_config();
+    config.chaos = ChaosBehavior::kNoErrorEmpty;
+    OpenResolverService service(config);
+    const auto replies = ask(service, probe);
+    EXPECT_EQ(replies[0].header.rcode, dns::RCode::kNoError);
+    EXPECT_FALSE(dns::extract_version(replies[0]).has_value());
+  }
+}
+
+TEST_F(ResolverServiceTest, SnoopAnswersForKnownTlds) {
+  auto config = base_config();
+  config.snoop.profile = SnoopProfile::kStaticTtl;
+  OpenResolverService service(config);
+  const auto query = dns::Message::make_query(
+      3, dns::Name::must_parse("com"), dns::RType::kNS, dns::RClass::kIN,
+      /*rd=*/false);
+  const auto replies = ask(service, query);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_FALSE(replies[0].answers.empty());
+  EXPECT_EQ(replies[0].answers[0].rtype, dns::RType::kNS);
+
+  const auto unknown_tld = dns::Message::make_query(
+      4, dns::Name::must_parse("zz"), dns::RType::kNS, dns::RClass::kIN,
+      false);
+  EXPECT_EQ(ask(service, unknown_tld)[0].header.rcode,
+            dns::RCode::kNxDomain);
+}
+
+TEST_F(ResolverServiceTest, MangledReplyPortSetsDifferentDestination) {
+  auto config = base_config();
+  config.mangle_reply_port = true;
+  OpenResolverService service(config);
+  net::UdpPacket packet;
+  packet.src = net::Ipv4(9, 9, 9, 9);
+  packet.src_port = 4000;
+  packet.dst = net::Ipv4(1, 2, 3, 4);
+  packet.dst_port = 53;
+  packet.payload = a_query("good.example").encode();
+  std::vector<net::UdpReply> replies;
+  service.handle(packet, replies);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_NE(replies[0].packet.dst_port, 4000);
+}
+
+TEST_F(ResolverServiceTest, DropRateSilencesSomeQueries) {
+  auto config = base_config();
+  config.behavior.drop_rate = 0.5;
+  OpenResolverService service(config);
+  int answered = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (!ask(service, a_query("good.example")).empty()) ++answered;
+  }
+  EXPECT_NEAR(answered / 1000.0, 0.5, 0.07);
+}
+
+TEST_F(ResolverServiceTest, MalformedAndNonQueryPacketsIgnored) {
+  OpenResolverService service(base_config());
+  net::UdpPacket packet;
+  packet.payload = {1, 2, 3};
+  std::vector<net::UdpReply> replies;
+  service.handle(packet, replies);
+  EXPECT_TRUE(replies.empty());
+
+  dns::Message response = a_query("good.example");
+  response.header.qr = true;  // a response, not a query
+  packet.payload = response.encode();
+  service.handle(packet, replies);
+  EXPECT_TRUE(replies.empty());
+}
+
+TEST_F(ResolverServiceTest, ForwarderRewritesSource) {
+  auto backend_config = base_config();
+  OpenResolverService backend(backend_config);
+  ForwarderService forwarder(&backend, net::Ipv4(10, 99, 0, 1), 15);
+  net::UdpPacket packet;
+  packet.src = net::Ipv4(9, 9, 9, 9);
+  packet.src_port = 4000;
+  packet.dst = net::Ipv4(1, 2, 3, 4);
+  packet.dst_port = 53;
+  packet.payload = a_query("good.example").encode();
+  std::vector<net::UdpReply> replies;
+  forwarder.handle(packet, replies);
+  ASSERT_EQ(replies.size(), 1u);
+  // The reply leaves from the backend's interface (§2.2 multi-homed).
+  EXPECT_EQ(replies[0].packet.src, net::Ipv4(10, 99, 0, 1));
+}
+
+}  // namespace
+}  // namespace dnswild::resolver

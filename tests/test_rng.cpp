@@ -1,0 +1,197 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace dnswild::util {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng rng(0);
+  // xoshiro must not get stuck at the all-zero state.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng.next());
+  EXPECT_GT(seen.size(), 95u);
+}
+
+class RngBelowTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBelowTest, StaysBelowBound) {
+  const std::uint64_t bound = GetParam();
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBelowTest,
+                         ::testing::Values(1, 2, 3, 7, 10, 255, 256, 1000,
+                                           1u << 20, (1ULL << 33),
+                                           std::uint64_t{0xffffffffffffULL}));
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> buckets(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++buckets[rng.below(10)];
+  for (int count : buckets) {
+    EXPECT_NEAR(count, draws / 10, draws / 10 * 0.1);
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-1.0));
+    EXPECT_TRUE(rng.chance(2.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, WeightedRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.weighted(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / 100000.0, 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / 100000.0, 0.3, 0.015);
+  EXPECT_NEAR(counts[3] / 100000.0, 0.6, 0.015);
+}
+
+TEST(Rng, WeightedEmptyOrZeroReturnsSize) {
+  Rng rng(19);
+  EXPECT_EQ(rng.weighted({}), 0u);
+  EXPECT_EQ(rng.weighted({0.0, 0.0}), 2u);
+  EXPECT_EQ(rng.weighted({-1.0}), 1u);
+}
+
+TEST(Rng, ForkIsIndependentOfParentFutureDraws) {
+  Rng a(23);
+  Rng child_a = a.fork(1);
+  const auto first = child_a.next();
+  // Forking with the same tag from identical parent state gives identical
+  // children.
+  Rng b(23);
+  Rng child_b = b.fork(1);
+  EXPECT_EQ(child_b.next(), first);
+}
+
+TEST(Rng, ForksWithDifferentTagsDiffer) {
+  Rng a(29);
+  Rng b(29);
+  Rng child1 = a.fork(1);
+  Rng child2 = b.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child1.next() == child2.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, StringForkMatchesHashFork) {
+  Rng a(31), b(31);
+  Rng c1 = a.fork("scanner");
+  Rng c2 = b.fork(fnv1a("scanner"));
+  EXPECT_EQ(c1.next(), c2.next());
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(37);
+  std::vector<int> values(100);
+  for (int i = 0; i < 100; ++i) values[static_cast<std::size_t>(i)] = i;
+  auto shuffled = values;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, values);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Rng, PickReturnsElements) {
+  Rng rng(41);
+  const std::vector<int> values = {5, 6, 7};
+  for (int i = 0; i < 50; ++i) {
+    const int v = rng.pick(values);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(Fnv1a, KnownValues) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Mix64, Deterministic) {
+  EXPECT_EQ(mix64(123), mix64(123));
+  EXPECT_NE(mix64(123), mix64(124));
+}
+
+TEST(Splitmix64, AdvancesState) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace dnswild::util

@@ -1,0 +1,153 @@
+#include "http/server.h"
+
+#include <gtest/gtest.h>
+
+namespace dnswild::http {
+namespace {
+
+std::string get(net::TcpService& service, std::string_view host) {
+  HttpRequest request;
+  request.host = std::string(host);
+  return service.respond(request.serialize());
+}
+
+TEST(WebServer, VhostDispatch) {
+  WebServer server;
+  server.add_vhost("a.example", serve_body("<html>A</html>"));
+  server.add_vhost("b.example", serve_body("<html>B</html>"));
+
+  const auto a = HttpResponse::parse(get(server, "a.example"));
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->body, "<html>A</html>");
+  const auto b = HttpResponse::parse(get(server, "B.EXAMPLE"));
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->body, "<html>B</html>");
+}
+
+TEST(WebServer, UnknownHostIs404ByDefault) {
+  WebServer server;
+  server.add_vhost("a.example", serve_body("x"));
+  const auto response = HttpResponse::parse(get(server, "other.example"));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 404);
+}
+
+TEST(WebServer, DefaultHandlerCatchesAllHosts) {
+  WebServer server;
+  server.set_default_handler(serve_body("<html>portal</html>"));
+  const auto response = HttpResponse::parse(get(server, "anything.example"));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->body, "<html>portal</html>");
+}
+
+TEST(WebServer, MalformedRequestIs400) {
+  WebServer server;
+  const auto response = HttpResponse::parse(server.respond("garbage"));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 400);
+}
+
+TEST(WebServer, SniSelectsVhostCertificate) {
+  WebServer server;
+  net::Certificate cert;
+  cert.common_name = "a.example";
+  server.add_vhost("a.example", serve_body("x"), cert);
+
+  const net::Certificate* with_sni =
+      server.certificate(std::optional<std::string>("a.example"));
+  ASSERT_NE(with_sni, nullptr);
+  EXPECT_EQ(with_sni->common_name, "a.example");
+  // No SNI and no default: handshake fails.
+  EXPECT_EQ(server.certificate(std::nullopt), nullptr);
+  EXPECT_EQ(server.certificate(std::optional<std::string>("b.example")),
+            nullptr);
+}
+
+TEST(WebServer, DefaultCertificateForNonSni) {
+  WebServer server;
+  net::Certificate cdn;
+  cdn.common_name = "*.edge.globalcdn.example";
+  server.set_default_certificate(cdn);
+  const net::Certificate* cert = server.certificate(std::nullopt);
+  ASSERT_NE(cert, nullptr);
+  EXPECT_EQ(cert->common_name, "*.edge.globalcdn.example");
+}
+
+TEST(Certificate, HostMatching) {
+  net::Certificate cert;
+  cert.common_name = "example.com";
+  cert.subject_alt_names = {"www.example.com", "*.cdn.example.com"};
+  EXPECT_TRUE(cert.matches_host("example.com"));
+  EXPECT_TRUE(cert.matches_host("WWW.EXAMPLE.COM"));
+  EXPECT_TRUE(cert.matches_host("edge7.cdn.example.com"));
+  EXPECT_FALSE(cert.matches_host("a.b.cdn.example.com"));  // one label only
+  EXPECT_FALSE(cert.matches_host("cdn.example.com"));
+  EXPECT_FALSE(cert.matches_host("other.com"));
+}
+
+TEST(Certificate, InvalidChainsNeverMatch) {
+  net::Certificate cert;
+  cert.common_name = "paypal.com";
+  cert.self_signed = true;
+  cert.valid_chain = false;
+  EXPECT_FALSE(cert.matches_host("paypal.com"));
+  cert.self_signed = false;
+  EXPECT_FALSE(cert.matches_host("paypal.com"));
+}
+
+TEST(CertNameMatch, WildcardRules) {
+  EXPECT_TRUE(net::cert_name_matches("*.example.com", "www.example.com"));
+  EXPECT_FALSE(net::cert_name_matches("*.example.com", "example.com"));
+  EXPECT_FALSE(net::cert_name_matches("*.example.com", "a.b.example.com"));
+  EXPECT_FALSE(net::cert_name_matches("*example.com", "www.example.com"));
+  EXPECT_TRUE(net::cert_name_matches("Exact.Example", "exact.example"));
+}
+
+TEST(ProxyServer, RelaysOracleContent) {
+  const ContentOracle oracle = [](const HttpRequest& request)
+      -> std::optional<HttpResponse> {
+    if (request.host == "known.example") {
+      return HttpResponse::ok("<html>original of known.example</html>");
+    }
+    return std::nullopt;
+  };
+  ProxyServer proxy(oracle, [](const std::string&) { return std::nullopt; },
+                    false);
+  const auto known = HttpResponse::parse(get(proxy, "known.example"));
+  ASSERT_TRUE(known.has_value());
+  EXPECT_EQ(known->body, "<html>original of known.example</html>");
+  const auto unknown = HttpResponse::parse(get(proxy, "other.example"));
+  ASSERT_TRUE(unknown.has_value());
+  EXPECT_EQ(unknown->status, 502);
+}
+
+TEST(ProxyServer, TlsPassthroughServesOriginalCert) {
+  const CertOracle certs =
+      [](const std::string& host) -> std::optional<net::Certificate> {
+    net::Certificate cert;
+    cert.common_name = host;
+    return cert;
+  };
+  ProxyServer tls_proxy([](const HttpRequest&) { return std::nullopt; },
+                        certs, true);
+  const net::Certificate* cert =
+      tls_proxy.certificate(std::optional<std::string>("bank.example"));
+  ASSERT_NE(cert, nullptr);
+  EXPECT_EQ(cert->common_name, "bank.example");
+
+  ProxyServer plain_proxy([](const HttpRequest&) { return std::nullopt; },
+                          certs, false);
+  EXPECT_EQ(plain_proxy.certificate(std::optional<std::string>("x")),
+            nullptr);
+  EXPECT_EQ(tls_proxy.certificate(std::nullopt), nullptr);
+}
+
+TEST(BannerService, GreetingOnly) {
+  BannerService banner("220 ZyXEL FTP ready\r\n");
+  EXPECT_EQ(banner.greeting(), "220 ZyXEL FTP ready\r\n");
+  EXPECT_TRUE(banner.respond("anything").empty());
+  EXPECT_EQ(banner.certificate(std::nullopt), nullptr);
+}
+
+}  // namespace
+}  // namespace dnswild::http

@@ -1,0 +1,130 @@
+#include "resolver/snoop.h"
+
+#include <gtest/gtest.h>
+
+namespace dnswild::resolver {
+namespace {
+
+SnoopModel model(SnoopProfile profile) {
+  SnoopModel out;
+  out.profile = profile;
+  out.tld_ttl = 21600;
+  return out;
+}
+
+TEST(Snoop, NoCacheRespondsEmpty) {
+  const SnoopModel snoop = model(SnoopProfile::kNoCache);
+  const auto sample = snoop.sample("com", 1000, 42, 0);
+  EXPECT_TRUE(sample.respond);
+  EXPECT_FALSE(sample.cached);
+}
+
+TEST(Snoop, SingleThenSilent) {
+  const SnoopModel snoop = model(SnoopProfile::kSingleThenSilent);
+  EXPECT_TRUE(snoop.sample("com", 0, 42, 0).respond);
+  EXPECT_FALSE(snoop.sample("com", 3600, 42, 1).respond);
+  EXPECT_FALSE(snoop.sample("com", 7200, 42, 5).respond);
+  // A different TLD gets its own single response.
+  EXPECT_TRUE(snoop.sample("de", 7200, 42, 0).respond);
+}
+
+TEST(Snoop, StaticTtlNeverMoves) {
+  const SnoopModel snoop = model(SnoopProfile::kStaticTtl);
+  const auto first = snoop.sample("com", 0, 42, 0);
+  const auto later = snoop.sample("com", 100000, 42, 5);
+  EXPECT_TRUE(first.cached);
+  EXPECT_EQ(first.remaining_ttl, later.remaining_ttl);
+  EXPECT_NE(first.remaining_ttl, 0u);
+}
+
+TEST(Snoop, ZeroTtlAlwaysZero) {
+  const SnoopModel snoop = model(SnoopProfile::kZeroTtl);
+  for (std::int64_t t : {0, 3600, 86400}) {
+    const auto sample = snoop.sample("com", t, 42, 0);
+    EXPECT_TRUE(sample.cached);
+    EXPECT_EQ(sample.remaining_ttl, 0u);
+  }
+}
+
+TEST(Snoop, ActiveFastGapWithinFiveSeconds) {
+  const SnoopModel snoop = model(SnoopProfile::kActiveFast);
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const auto gap = snoop.refresh_gap("com", seed);
+    EXPECT_GE(gap, 1u);
+    EXPECT_LE(gap, 5u);  // §2.6: re-added within 5 s of expiry
+  }
+}
+
+TEST(Snoop, ActiveSlowGapMinutesToHours) {
+  const SnoopModel snoop = model(SnoopProfile::kActiveSlow);
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const auto gap = snoop.refresh_gap("com", seed);
+    EXPECT_GE(gap, 600u);
+    EXPECT_LE(gap, 4u * 3600u);
+  }
+}
+
+TEST(Snoop, ActiveTimelineDecreasesAndWraps) {
+  const SnoopModel snoop = model(SnoopProfile::kActiveFast);
+  // Sample every hour for 36 hours: remaining TTL decreases by 3600 within
+  // a cache period and jumps back up after a refresh.
+  std::uint32_t previous = 0;
+  bool have_previous = false;
+  int refreshes = 0;
+  for (int hour = 0; hour <= 36; ++hour) {
+    const auto sample = snoop.sample("com", hour * 3600, 777, hour);
+    if (!sample.cached) continue;
+    if (have_previous) {
+      if (sample.remaining_ttl > previous) {
+        ++refreshes;
+      } else {
+        EXPECT_EQ(previous - sample.remaining_ttl, 3600u);
+      }
+    }
+    previous = sample.remaining_ttl;
+    have_previous = true;
+  }
+  // ttl 21600 s + tiny gap: a refresh roughly every 6 hours.
+  EXPECT_GE(refreshes, 4);
+  EXPECT_LE(refreshes, 7);
+}
+
+TEST(Snoop, ActiveLongTtlDecreasesAcrossWholeWindow) {
+  const SnoopModel snoop = model(SnoopProfile::kActiveLongTtl);
+  std::uint32_t previous = 0;
+  bool have_previous = false;
+  for (int hour = 0; hour <= 36; ++hour) {
+    const auto sample = snoop.sample("com", hour * 3600, 11, hour);
+    ASSERT_TRUE(sample.cached);
+    if (have_previous) {
+      EXPECT_LT(sample.remaining_ttl, previous);
+    }
+    previous = sample.remaining_ttl;
+    have_previous = true;
+  }
+}
+
+TEST(Snoop, TtlResetStaysHighAndJumps) {
+  const SnoopModel snoop = model(SnoopProfile::kTtlReset);
+  int jumps_up = 0;
+  std::uint32_t previous = 0;
+  for (int hour = 0; hour <= 36; ++hour) {
+    const auto sample = snoop.sample("com", hour * 3600, 5, hour);
+    ASSERT_TRUE(sample.cached);
+    EXPECT_GE(sample.remaining_ttl, snoop.tld_ttl / 2);  // never near expiry
+    if (hour > 0 && sample.remaining_ttl > previous) ++jumps_up;
+    previous = sample.remaining_ttl;
+  }
+  EXPECT_GT(jumps_up, 5);  // resets ahead of expiration (§2.6)
+}
+
+TEST(Snoop, DeterministicPerHostAndTld) {
+  const SnoopModel snoop = model(SnoopProfile::kActiveSlow);
+  EXPECT_EQ(snoop.sample("com", 7200, 42, 2).remaining_ttl,
+            snoop.sample("com", 7200, 42, 2).remaining_ttl);
+  // Different hosts and TLDs have independent phases.
+  EXPECT_NE(snoop.refresh_gap("com", 1), snoop.refresh_gap("com", 2));
+}
+
+}  // namespace
+}  // namespace dnswild::resolver

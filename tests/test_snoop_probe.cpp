@@ -1,0 +1,93 @@
+#include "scan/snoop_probe.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+
+namespace dnswild::scan {
+namespace {
+
+using test::make_mini_world;
+using test::MiniWorld;
+
+TEST(SnoopProber, CollectsHourlySeriesForEachTld) {
+  MiniWorld mini = make_mini_world();
+  resolver::ResolverConfig active;
+  active.seed = 1;
+  active.snoop.profile = resolver::SnoopProfile::kActiveFast;
+  mini.add_resolver(net::Ipv4(1, 0, 0, 10), active);
+
+  SnoopCampaignConfig config;
+  config.scanner_ip = mini.scanner_ip;
+  config.seed = 5;
+  config.interval_minutes = 60;
+  config.duration_hours = 36;
+  SnoopProber prober(*mini.world, config);
+  const auto series =
+      prober.run({net::Ipv4(1, 0, 0, 10)}, {"com", "de"});
+  ASSERT_EQ(series.size(), 2u);  // one per (resolver, tld)
+  for (const auto& entry : series) {
+    EXPECT_EQ(entry.resolver_index, 0u);
+    EXPECT_EQ(entry.samples.size(), 37u);  // inclusive hourly samples
+    for (const auto& sample : entry.samples) {
+      EXPECT_TRUE(sample.responded);
+      EXPECT_TRUE(sample.cached);
+      EXPECT_LE(sample.remaining_ttl, 21600u);
+    }
+  }
+  // The campaign advanced the world clock by 36 hours.
+  EXPECT_EQ(mini.world->clock().minutes(), 36 * 60);
+}
+
+TEST(SnoopProber, EmptyCacheProfileAnswersWithoutRecords) {
+  MiniWorld mini = make_mini_world();
+  resolver::ResolverConfig empty;
+  empty.seed = 1;
+  empty.snoop.profile = resolver::SnoopProfile::kNoCache;
+  mini.add_resolver(net::Ipv4(1, 0, 0, 10), empty);
+
+  SnoopCampaignConfig config;
+  config.scanner_ip = mini.scanner_ip;
+  config.duration_hours = 2;
+  SnoopProber prober(*mini.world, config);
+  const auto series = prober.run({net::Ipv4(1, 0, 0, 10)}, {"com"});
+  ASSERT_EQ(series.size(), 1u);
+  for (const auto& sample : series[0].samples) {
+    EXPECT_TRUE(sample.responded);
+    EXPECT_FALSE(sample.cached);
+  }
+}
+
+TEST(SnoopProber, UnreachableHostNeverResponds) {
+  MiniWorld mini = make_mini_world();
+  SnoopCampaignConfig config;
+  config.scanner_ip = mini.scanner_ip;
+  config.duration_hours = 2;
+  SnoopProber prober(*mini.world, config);
+  const auto series = prober.run({net::Ipv4(1, 0, 0, 99)}, {"com"});
+  for (const auto& sample : series[0].samples) {
+    EXPECT_FALSE(sample.responded);
+  }
+}
+
+TEST(SnoopProber, SingleThenSilentAcrossCampaign) {
+  MiniWorld mini = make_mini_world();
+  resolver::ResolverConfig single;
+  single.seed = 1;
+  single.snoop.profile = resolver::SnoopProfile::kSingleThenSilent;
+  mini.add_resolver(net::Ipv4(1, 0, 0, 10), single);
+  SnoopCampaignConfig config;
+  config.scanner_ip = mini.scanner_ip;
+  config.duration_hours = 5;
+  SnoopProber prober(*mini.world, config);
+  const auto series = prober.run({net::Ipv4(1, 0, 0, 10)}, {"com"});
+  int responded = 0;
+  for (const auto& sample : series[0].samples) {
+    if (sample.responded) ++responded;
+  }
+  EXPECT_EQ(responded, 1);
+  EXPECT_TRUE(series[0].samples.front().responded);
+}
+
+}  // namespace
+}  // namespace dnswild::scan

@@ -1,0 +1,61 @@
+#include "resolver/software.h"
+
+#include <gtest/gtest.h>
+
+namespace dnswild::resolver {
+namespace {
+
+TEST(SoftwareCatalog, Table3TopRowsPresent) {
+  const auto& catalog = software_catalog();
+  ASSERT_GE(catalog.size(), 10u);
+  // The Table 3 headline row: BIND 9.8.2 at 19.8% of revealing resolvers.
+  EXPECT_EQ(catalog[0].banner(), "BIND 9.8.2");
+  EXPECT_NEAR(catalog[0].reveal_share, 0.198, 1e-9);
+  EXPECT_TRUE(catalog[0].vulnerable_bypass);
+  EXPECT_TRUE(catalog[0].vulnerable_dos);
+}
+
+TEST(SoftwareCatalog, SharesSumToOne) {
+  double total = 0;
+  for (const auto& profile : software_catalog()) total += profile.reveal_share;
+  EXPECT_NEAR(total, 1.0, 0.01);
+}
+
+TEST(SoftwareCatalog, BindTotalsMatchPaper) {
+  // §2.4: BIND runs on 60.2% of the version-revealing resolvers.
+  double bind = 0;
+  for (const auto& profile : software_catalog()) {
+    if (profile.name == "BIND") bind += profile.reveal_share;
+  }
+  EXPECT_NEAR(bind, 0.602, 0.01);
+}
+
+TEST(SoftwareCatalog, AllTop10AreDosVulnerableExceptPowerDns) {
+  // §2.4: "all Top 10 software versions are susceptible to DoS attacks"
+  // except the table marks PowerDNS 3.5.3 with memory overflow only.
+  const auto& catalog = software_catalog();
+  for (std::size_t i = 0; i < 10; ++i) {
+    if (catalog[i].name == "PowerDNS") continue;
+    EXPECT_TRUE(catalog[i].vulnerable_dos) << catalog[i].banner();
+  }
+}
+
+TEST(ChaosMix, MatchesSection24) {
+  const ChaosPopulationMix mix = chaos_population_mix();
+  EXPECT_NEAR(mix.refused_or_servfail, 0.427, 1e-9);
+  EXPECT_NEAR(mix.noerror_empty, 0.046, 1e-9);
+  EXPECT_NEAR(mix.hidden_string, 0.188, 1e-9);
+  EXPECT_NEAR(mix.revealing, 0.339, 1e-9);
+  EXPECT_NEAR(mix.refused_or_servfail + mix.noerror_empty +
+                  mix.hidden_string + mix.revealing,
+              1.0, 1e-9);
+}
+
+TEST(HiddenStrings, NonEmptyAndNotParseable) {
+  const auto& strings = hidden_version_strings();
+  EXPECT_GE(strings.size(), 5u);
+  for (const auto& text : strings) EXPECT_FALSE(text.empty());
+}
+
+}  // namespace
+}  // namespace dnswild::resolver

@@ -1,0 +1,142 @@
+#include "analysis/software_classify.h"
+
+#include <gtest/gtest.h>
+
+namespace dnswild::analysis {
+namespace {
+
+struct BannerCase {
+  const char* banner;
+  const char* software;  // nullptr = unparseable
+  const char* version;
+};
+
+class VersionBannerTest : public ::testing::TestWithParam<BannerCase> {};
+
+TEST_P(VersionBannerTest, Parsing) {
+  const auto parsed = parse_version_banner(GetParam().banner);
+  if (GetParam().software == nullptr) {
+    EXPECT_FALSE(parsed.has_value()) << GetParam().banner;
+  } else {
+    ASSERT_TRUE(parsed.has_value()) << GetParam().banner;
+    EXPECT_EQ(parsed->software, GetParam().software);
+    EXPECT_EQ(parsed->version, GetParam().version);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Banners, VersionBannerTest,
+    ::testing::Values(
+        BannerCase{"BIND 9.8.2", "BIND", "9.8.2"},
+        BannerCase{"bind 9.3.6-P1-RedHat-9.3.6-25.P1.el5_11.11", "BIND",
+                   "9.3.6"},
+        BannerCase{"named 9.7.3", "BIND", "9.7.3"},
+        BannerCase{"9.9.5", "BIND", "9.9.5"},  // bare version => BIND default
+        BannerCase{"dnsmasq-2.40", "Dnsmasq", "2.40"},
+        BannerCase{"Dnsmasq 2.52", "Dnsmasq", "2.52"},
+        BannerCase{"unbound 1.4.22", "Unbound", "1.4.22"},
+        BannerCase{"PowerDNS Recursor 3.5.3", "PowerDNS", "3.5.3"},
+        BannerCase{"Microsoft DNS 6.1.7601 (1DB15D39)", "Microsoft DNS",
+                   "6.1.7601"},
+        BannerCase{"Nominum Vantio 5.4.1", "Nominum Vantio", "5.4.1"},
+        BannerCase{"Make my day", nullptr, nullptr},
+        BannerCase{"none", nullptr, nullptr},
+        BannerCase{"get lost", nullptr, nullptr},
+        BannerCase{"surely you must be joking", nullptr, nullptr}));
+
+scan::ChaosResult reveal(const char* banner) {
+  scan::ChaosResult result;
+  result.resolver = net::Ipv4(1, 1, 1, 1);
+  result.responded = true;
+  result.rcode_bind = dns::RCode::kNoError;
+  result.rcode_server = dns::RCode::kNoError;
+  result.version_bind = banner;
+  result.version_server = banner;
+  return result;
+}
+
+TEST(ClassifyChaos, Revealing) {
+  const auto cls = classify_chaos(reveal("BIND 9.8.2"));
+  EXPECT_EQ(cls.cls, ChaosClass::kRevealing);
+  ASSERT_TRUE(cls.parsed.has_value());
+  EXPECT_EQ(cls.parsed->software, "BIND");
+}
+
+TEST(ClassifyChaos, HiddenString) {
+  const auto cls = classify_chaos(reveal("Make my day"));
+  EXPECT_EQ(cls.cls, ChaosClass::kHiddenString);
+}
+
+TEST(ClassifyChaos, ErrorBoth) {
+  scan::ChaosResult result;
+  result.responded = true;
+  result.rcode_bind = dns::RCode::kRefused;
+  result.rcode_server = dns::RCode::kServFail;
+  EXPECT_EQ(classify_chaos(result).cls, ChaosClass::kErrorBoth);
+}
+
+TEST(ClassifyChaos, NoVersion) {
+  scan::ChaosResult result;
+  result.responded = true;
+  result.rcode_bind = dns::RCode::kNoError;
+  result.rcode_server = dns::RCode::kNoError;
+  EXPECT_EQ(classify_chaos(result).cls, ChaosClass::kNoVersion);
+}
+
+TEST(ClassifyChaos, Unresponsive) {
+  scan::ChaosResult result;
+  EXPECT_EQ(classify_chaos(result).cls, ChaosClass::kUnresponsive);
+}
+
+TEST(ClassifyChaos, OneErrorOneRevealStillReveals) {
+  scan::ChaosResult result;
+  result.responded = true;
+  result.rcode_bind = dns::RCode::kRefused;
+  result.rcode_server = dns::RCode::kNoError;
+  result.version_server = "unbound 1.4.22";
+  const auto cls = classify_chaos(result);
+  EXPECT_EQ(cls.cls, ChaosClass::kRevealing);
+  EXPECT_EQ(cls.parsed->software, "Unbound");
+}
+
+TEST(SummarizeSoftware, AggregatesAndRanks) {
+  std::vector<scan::ChaosResult> scan;
+  for (int i = 0; i < 30; ++i) scan.push_back(reveal("BIND 9.8.2"));
+  for (int i = 0; i < 10; ++i) scan.push_back(reveal("dnsmasq-2.40"));
+  for (int i = 0; i < 5; ++i) scan.push_back(reveal("Make my day"));
+  scan::ChaosResult errors;
+  errors.responded = true;
+  errors.rcode_bind = dns::RCode::kRefused;
+  errors.rcode_server = dns::RCode::kRefused;
+  for (int i = 0; i < 20; ++i) scan.push_back(errors);
+  scan.push_back(scan::ChaosResult{});  // unresponsive
+
+  const SoftwareReport report = summarize_software(scan, 10);
+  EXPECT_EQ(report.responded, 65u);
+  EXPECT_EQ(report.revealing, 40u);
+  EXPECT_EQ(report.hidden, 5u);
+  EXPECT_EQ(report.error_both, 20u);
+  ASSERT_GE(report.top.size(), 2u);
+  EXPECT_EQ(report.top[0].software, "BIND 9.8.2");
+  EXPECT_EQ(report.top[0].count, 30u);
+  EXPECT_NEAR(report.top[0].share_of_revealing, 0.75, 1e-9);
+  // Catalog annotation picked up for known versions.
+  EXPECT_EQ(report.top[0].released, "Apr 2012");
+  EXPECT_FALSE(report.top[0].cves.empty());
+  EXPECT_NEAR(report.bind_share_of_revealing, 0.75, 1e-9);
+  EXPECT_GT(report.vulnerable_dos_share, 0.9);
+  // BIND 9.8.2 carries the IP-bypass CVE; dnsmasq does not.
+  EXPECT_NEAR(report.vulnerable_bypass_share, 0.75, 1e-9);
+}
+
+TEST(SummarizeSoftware, TopNLimit) {
+  std::vector<scan::ChaosResult> scan;
+  scan.push_back(reveal("BIND 9.8.2"));
+  scan.push_back(reveal("BIND 9.3.6"));
+  scan.push_back(reveal("dnsmasq-2.40"));
+  const SoftwareReport report = summarize_software(scan, 2);
+  EXPECT_EQ(report.top.size(), 2u);
+}
+
+}  // namespace
+}  // namespace dnswild::analysis

@@ -1,0 +1,120 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace dnswild::util {
+namespace {
+
+TEST(Strings, LowerUpper) {
+  EXPECT_EQ(lower("AbC-12z"), "abc-12z");
+  EXPECT_EQ(upper("AbC-12z"), "ABC-12Z");
+  EXPECT_EQ(lower(""), "");
+}
+
+TEST(Strings, LowerIsAsciiOnly) {
+  // Bytes above 0x7f must pass through untouched (no locale surprises).
+  const std::string input = "\xC3\x84";
+  EXPECT_EQ(lower(input), input);
+}
+
+TEST(Strings, IEquals) {
+  EXPECT_TRUE(iequals("Host", "hOST"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("host", "hosts"));
+  EXPECT_FALSE(iequals("a", "b"));
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("facebook.com", "face"));
+  EXPECT_FALSE(starts_with("face", "facebook"));
+  EXPECT_TRUE(ends_with("facebook.com", ".com"));
+  EXPECT_FALSE(ends_with("com", ".com"));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+TEST(Strings, IContains) {
+  EXPECT_TRUE(icontains("ZyXEL Web Configurator", "zyxel"));
+  EXPECT_TRUE(icontains("abc", ""));
+  EXPECT_FALSE(icontains("ab", "abc"));
+  EXPECT_TRUE(icontains("DM500PLUS login", "dm500plus login"));
+  EXPECT_FALSE(icontains("dm500", "dm500plus"));
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a..b.", '.');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingle) {
+  const auto parts = split("abc", '.');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, JoinInvertsSplit) {
+  const std::string text = "a.b.c";
+  EXPECT_EQ(join(split(text, '.'), "."), text);
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y \t\r\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+class Hex32Test : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(Hex32Test, RoundTrips) {
+  const std::uint32_t value = GetParam();
+  const std::string text = hex32(value);
+  EXPECT_EQ(text.size(), 8u);
+  const auto parsed = parse_hex32(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, Hex32Test,
+                         ::testing::Values(0u, 1u, 0xdeadbeefu, 0xffffffffu,
+                                           0x00000100u, 0xc0a80001u,
+                                           0x7f000001u));
+
+TEST(Strings, ParseHex32UpperCase) {
+  EXPECT_EQ(parse_hex32("DEADBEEF"), 0xdeadbeefu);
+}
+
+TEST(Strings, ParseHex32Malformed) {
+  EXPECT_FALSE(parse_hex32("").has_value());
+  EXPECT_FALSE(parse_hex32("12345").has_value());       // too short
+  EXPECT_FALSE(parse_hex32("123456789").has_value());   // too long
+  EXPECT_FALSE(parse_hex32("1234567g").has_value());    // bad digit
+  EXPECT_FALSE(parse_hex32("1234 678").has_value());
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");  // non-overlapping
+  EXPECT_EQ(replace_all("abc", "x", "y"), "abc");
+  EXPECT_EQ(replace_all("abc", "", "y"), "abc");  // empty pattern: no-op
+  EXPECT_EQ(replace_all("</body>", "</body>", "X</body>"), "X</body>");
+}
+
+TEST(Strings, CharClassHelpers) {
+  EXPECT_TRUE(is_digit_ascii('0'));
+  EXPECT_TRUE(is_digit_ascii('9'));
+  EXPECT_FALSE(is_digit_ascii('a'));
+  EXPECT_TRUE(is_alpha_ascii('a'));
+  EXPECT_TRUE(is_alpha_ascii('Z'));
+  EXPECT_FALSE(is_alpha_ascii('-'));
+  EXPECT_EQ(to_lower_ascii('A'), 'a');
+  EXPECT_EQ(to_lower_ascii('a'), 'a');
+  EXPECT_EQ(to_upper_ascii('z'), 'Z');
+  EXPECT_EQ(to_upper_ascii('1'), '1');
+}
+
+}  // namespace
+}  // namespace dnswild::util

@@ -1,0 +1,65 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace dnswild::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table table({"Name", "Count"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  const std::string text = table.render();
+  EXPECT_NE(text.find("Name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22"), std::string::npos);
+  // Header, underline, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(Table, RightAlignment) {
+  Table table({"N"}, {Align::kRight});
+  table.add_row({"7"});
+  table.add_row({"123"});
+  const std::string text = table.render();
+  // "7" must be padded to width 3.
+  EXPECT_NE(text.find("  7"), std::string::npos);
+}
+
+TEST(Table, MissingCellsRenderEmpty) {
+  Table table({"A", "B"});
+  table.add_row({"x"});
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_NO_THROW(table.render());
+}
+
+TEST(Table, ExtraCellsDropped) {
+  Table table({"A"});
+  table.add_row({"x", "overflow"});
+  const std::string text = table.render();
+  EXPECT_EQ(text.find("overflow"), std::string::npos);
+}
+
+TEST(Commas, Formatting) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(26820486), "26,820,486");
+  EXPECT_EQ(with_commas(1234567890123ULL), "1,234,567,890,123");
+}
+
+TEST(Commas, SignedFormatting) {
+  EXPECT_EQ(with_commas_signed(-421371), "-421,371");
+  EXPECT_EQ(with_commas_signed(161808), "+161,808");
+  EXPECT_EQ(with_commas_signed(0), "+0");
+}
+
+TEST(Percent, OneDecimal) {
+  EXPECT_EQ(pct1(14.23), "14.2");
+  EXPECT_EQ(pct1(0.0), "0.0");
+  EXPECT_EQ(pct1(99.95), "100.0");
+  EXPECT_EQ(frac_pct1(0.522), "52.2");
+}
+
+}  // namespace
+}  // namespace dnswild::util

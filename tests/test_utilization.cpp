@@ -1,0 +1,122 @@
+#include "analysis/utilization.h"
+
+#include <gtest/gtest.h>
+
+#include "resolver/snoop.h"
+
+namespace dnswild::analysis {
+namespace {
+
+using resolver::SnoopModel;
+using resolver::SnoopProfile;
+
+// Generates the hourly series the prober would collect from a resolver with
+// the given snoop model (36 h, 15 TLDs as in §2.6).
+std::vector<scan::SnoopSeries> series_for(SnoopProfile profile,
+                                          std::uint64_t host_seed) {
+  SnoopModel model;
+  model.profile = profile;
+  model.tld_ttl = 21600;
+  static const std::vector<std::string> kTlds = {
+      "br", "cn", "co.uk", "com", "de", "fr", "in", "info",
+      "it", "jp", "net",   "nl",  "org", "pl", "ru"};
+  std::vector<scan::SnoopSeries> out;
+  for (std::uint16_t t = 0; t < kTlds.size(); ++t) {
+    scan::SnoopSeries entry;
+    entry.resolver_index = 0;
+    entry.tld_index = t;
+    int seen = 0;
+    for (int hour = 0; hour <= 36; ++hour) {
+      const auto model_sample =
+          model.sample(kTlds[t], hour * 3600, host_seed, seen++);
+      scan::SnoopSample sample;
+      sample.minute = hour * 60;
+      sample.responded = model_sample.respond;
+      sample.cached = model_sample.cached;
+      sample.remaining_ttl = model_sample.remaining_ttl;
+      entry.samples.push_back(sample);
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+UtilizationClass classify(SnoopProfile profile, std::uint64_t seed) {
+  const auto series = series_for(profile, seed);
+  std::vector<const scan::SnoopSeries*> views;
+  for (const auto& entry : series) views.push_back(&entry);
+  return classify_utilization(views, UtilizationConfig{});
+}
+
+struct ProfileCase {
+  SnoopProfile profile;
+  UtilizationClass expected;
+};
+
+class ProfileRecoveryTest : public ::testing::TestWithParam<ProfileCase> {};
+
+// Property: the utilization classifier must recover the behaviour class the
+// resolver's snoop model was configured with, from samples alone.
+TEST_P(ProfileRecoveryTest, ClassifierRecoversProfile) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    EXPECT_EQ(classify(GetParam().profile, seed), GetParam().expected)
+        << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, ProfileRecoveryTest,
+    ::testing::Values(
+        ProfileCase{SnoopProfile::kNoCache,
+                    UtilizationClass::kEmptyResponses},
+        ProfileCase{SnoopProfile::kSingleThenSilent,
+                    UtilizationClass::kSingleResponse},
+        ProfileCase{SnoopProfile::kStaticTtl, UtilizationClass::kStaticTtl},
+        ProfileCase{SnoopProfile::kZeroTtl, UtilizationClass::kZeroTtl},
+        ProfileCase{SnoopProfile::kActiveFast,
+                    UtilizationClass::kFrequentlyUsed},
+        ProfileCase{SnoopProfile::kActiveSlow,
+                    UtilizationClass::kActivelyUsed},
+        ProfileCase{SnoopProfile::kActiveLongTtl,
+                    UtilizationClass::kDecreasingOnly},
+        ProfileCase{SnoopProfile::kTtlReset, UtilizationClass::kTtlReset}));
+
+TEST(Utilization, UnreachableWhenNothingResponds) {
+  scan::SnoopSeries silent;
+  silent.samples.resize(37);  // all default: responded = false
+  EXPECT_EQ(classify_utilization({&silent}, UtilizationConfig{}),
+            UtilizationClass::kUnreachable);
+}
+
+TEST(Utilization, SummarizeGroupsByResolver) {
+  auto fast = series_for(SnoopProfile::kActiveFast, 3);
+  auto empty = series_for(SnoopProfile::kNoCache, 4);
+  for (auto& entry : empty) entry.resolver_index = 1;
+  std::vector<scan::SnoopSeries> all;
+  all.insert(all.end(), fast.begin(), fast.end());
+  all.insert(all.end(), empty.begin(), empty.end());
+
+  const auto report = summarize_utilization(all, 3, UtilizationConfig{});
+  EXPECT_EQ(report.total, 3u);
+  EXPECT_EQ(report.responded_any, 2u);  // resolver 2 has no series at all
+  EXPECT_EQ(report.per_class[static_cast<int>(
+                UtilizationClass::kFrequentlyUsed)],
+            1u);
+  EXPECT_EQ(report.per_class[static_cast<int>(
+                UtilizationClass::kEmptyResponses)],
+            1u);
+  EXPECT_EQ(report.per_class[static_cast<int>(
+                UtilizationClass::kUnreachable)],
+            1u);
+  EXPECT_EQ(report.in_use(), 1u);
+}
+
+TEST(Utilization, ClassNamesAreDistinct) {
+  EXPECT_NE(utilization_class_name(UtilizationClass::kFrequentlyUsed),
+            utilization_class_name(UtilizationClass::kActivelyUsed));
+  EXPECT_EQ(utilization_class_name(UtilizationClass::kTtlReset),
+            "TTL reset / LB group");
+}
+
+}  // namespace
+}  // namespace dnswild::analysis

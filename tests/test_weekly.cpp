@@ -1,0 +1,112 @@
+#include "analysis/weekly.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+
+namespace dnswild::analysis {
+namespace {
+
+using test::make_mini_world;
+using test::MiniWorld;
+
+TEST(WeeklyCampaign, SeriesChurnAndDatesOnMiniWorld) {
+  MiniWorld mini = make_mini_world();
+  // 20 stable resolvers + 10 on fast-churning dynamic addresses.
+  resolver::ResolverConfig honest;
+  honest.seed = 1;
+  for (int i = 0; i < 20; ++i) {
+    mini.add_resolver(net::Ipv4(1, 0, 0, static_cast<std::uint8_t>(10 + i)),
+                      honest);
+  }
+  for (int i = 0; i < 10; ++i) {
+    net::HostConfig host_config;
+    host_config.attachment.dynamic = true;
+    host_config.attachment.pool = net::Cidr(net::Ipv4(2, 0, 0, 0), 16);
+    host_config.attachment.mean_lease_days = 2.0;
+    const net::HostId id = mini.world->add_host(host_config);
+    resolver::ResolverConfig config;
+    config.seed = static_cast<std::uint64_t>(100 + i);
+    config.registry = mini.registry.get();
+    config.clock = &mini.world->clock();
+    mini.world->set_udp_service(
+        id, 53, std::make_unique<resolver::OpenResolverService>(config));
+  }
+
+  WeeklyCampaignConfig config;
+  config.weeks = 6;
+  config.scan.scanner_ip = mini.scanner_ip;
+  config.scan.zone = mini.scan_zone;
+  config.scan.seed = 5;
+  config.universe = {net::Cidr(net::Ipv4(1, 0, 0, 0), 24),
+                     net::Cidr(net::Ipv4(2, 0, 0, 0), 16)};
+
+  const auto result = run_weekly_campaign(*mini.world, config);
+
+  ASSERT_EQ(result.series.size(), 6u);
+  EXPECT_EQ(result.series[0].date, "2014/01/31");
+  EXPECT_EQ(result.series[1].date, "2014/02/07");
+  // All 30 resolvers answer NOERROR each week (dynamic ones from new
+  // addresses).
+  for (const auto& point : result.series) {
+    EXPECT_EQ(point.noerror, 30u) << "week " << point.week;
+    EXPECT_EQ(point.refused, 0u);
+  }
+  EXPECT_EQ(result.first_scan_noerror.size(), 30u);
+  EXPECT_EQ(result.last_scan_noerror.size(), 30u);
+
+  // Churn probes: daily for the first week, then weekly.
+  ASSERT_GE(result.churn_age_days.size(), 6u + 5u);
+  EXPECT_DOUBLE_EQ(result.churn_age_days[0], 1.0);
+  // The 20 static resolvers always survive; the 10 dynamic ones decay.
+  for (const auto alive : result.churn_alive) {
+    EXPECT_GE(alive, 20u);
+    EXPECT_LE(alive, 30u);
+  }
+  // By week 5 (17+ mean lifetimes) essentially all dynamics have moved.
+  EXPECT_LE(result.churn_alive.back(), 22u);
+  // Day-1 disappearances subset of the dynamic pool.
+  for (const auto ip : result.disappeared_first_day) {
+    EXPECT_TRUE(net::Cidr(net::Ipv4(2, 0, 0, 0), 16).contains(ip));
+  }
+}
+
+TEST(WeeklyCampaign, DecommissionedPopulationShrinks) {
+  MiniWorld mini = make_mini_world();
+  resolver::ResolverConfig honest;
+  honest.seed = 1;
+  for (int i = 0; i < 10; ++i) {
+    mini.add_resolver(net::Ipv4(1, 0, 0, static_cast<std::uint8_t>(10 + i)),
+                      honest);
+  }
+  // 10 more that disappear mid-study.
+  for (int i = 0; i < 10; ++i) {
+    net::HostConfig host_config;
+    host_config.attachment.ip =
+        net::Ipv4(1, 0, 0, static_cast<std::uint8_t>(100 + i));
+    host_config.active_until_day = 10.0 + i;
+    const net::HostId id = mini.world->add_host(host_config);
+    resolver::ResolverConfig config;
+    config.seed = static_cast<std::uint64_t>(i);
+    config.registry = mini.registry.get();
+    config.clock = &mini.world->clock();
+    mini.world->set_udp_service(
+        id, 53, std::make_unique<resolver::OpenResolverService>(config));
+  }
+
+  WeeklyCampaignConfig config;
+  config.weeks = 5;
+  config.track_churn = false;
+  config.scan.scanner_ip = mini.scanner_ip;
+  config.scan.zone = mini.scan_zone;
+  config.scan.seed = 5;
+  config.universe = {net::Cidr(net::Ipv4(1, 0, 0, 0), 24)};
+
+  const auto result = run_weekly_campaign(*mini.world, config);
+  EXPECT_EQ(result.series.front().noerror, 20u);
+  EXPECT_EQ(result.series.back().noerror, 10u);
+  EXPECT_TRUE(result.churn_age_days.empty());
+}
+
+}  // namespace
+}  // namespace dnswild::analysis

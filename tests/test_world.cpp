@@ -1,0 +1,312 @@
+#include "net/world.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dnswild::net {
+namespace {
+
+// Echo service: replies with the payload reversed.
+class EchoService : public UdpService {
+ public:
+  void handle(const UdpPacket& request,
+              std::vector<UdpReply>& replies) override {
+    UdpReply reply;
+    reply.packet.payload.assign(request.payload.rbegin(),
+                                request.payload.rend());
+    reply.latency_ms = 10;
+    replies.push_back(std::move(reply));
+  }
+};
+
+class SilentService : public UdpService {
+ public:
+  void handle(const UdpPacket&, std::vector<UdpReply>&) override {}
+};
+
+UdpPacket probe(Ipv4 dst, std::uint16_t port = 53) {
+  UdpPacket packet;
+  packet.src = Ipv4(9, 9, 9, 9);
+  packet.src_port = 4000;
+  packet.dst = dst;
+  packet.dst_port = port;
+  packet.payload = {1, 2, 3};
+  return packet;
+}
+
+TEST(World, StaticHostBindsImmediately) {
+  World world(1);
+  HostConfig config;
+  config.attachment.ip = Ipv4(1, 2, 3, 4);
+  const HostId id = world.add_host(config);
+  EXPECT_EQ(world.address_of(id), Ipv4(1, 2, 3, 4));
+  EXPECT_EQ(world.host_at(Ipv4(1, 2, 3, 4)), id);
+  EXPECT_EQ(world.host_at(Ipv4(1, 2, 3, 5)), kNoHost);
+}
+
+TEST(World, UdpDeliveryAndReplyDefaults) {
+  World world(1);
+  HostConfig config;
+  config.attachment.ip = Ipv4(1, 2, 3, 4);
+  const HostId id = world.add_host(config);
+  world.set_udp_service(id, 53, std::make_unique<EchoService>());
+
+  const auto replies = world.send_udp(probe(Ipv4(1, 2, 3, 4)));
+  ASSERT_EQ(replies.size(), 1u);
+  const UdpPacket& reply = replies[0].packet;
+  EXPECT_EQ(reply.src, Ipv4(1, 2, 3, 4));
+  EXPECT_EQ(reply.src_port, 53);
+  EXPECT_EQ(reply.dst, Ipv4(9, 9, 9, 9));
+  EXPECT_EQ(reply.dst_port, 4000);
+  EXPECT_EQ(reply.payload, (std::vector<std::uint8_t>{3, 2, 1}));
+}
+
+TEST(World, ClosedPortProducesNoReply) {
+  World world(1);
+  HostConfig config;
+  config.attachment.ip = Ipv4(1, 2, 3, 4);
+  const HostId id = world.add_host(config);
+  world.set_udp_service(id, 53, std::make_unique<EchoService>());
+  EXPECT_TRUE(world.send_udp(probe(Ipv4(1, 2, 3, 4), 54)).empty());
+  EXPECT_TRUE(world.send_udp(probe(Ipv4(5, 5, 5, 5))).empty());
+}
+
+TEST(World, IngressFilterByPortSourceAndTime) {
+  World world(1);
+  HostConfig config;
+  config.attachment.ip = Ipv4(1, 2, 3, 4);
+  const HostId id = world.add_host(config);
+  world.set_udp_service(id, 53, std::make_unique<EchoService>());
+
+  IngressFilter filter;
+  filter.network = Cidr(Ipv4(1, 2, 3, 0), 24);
+  filter.only_src = Ipv4(9, 9, 9, 9);
+  filter.active_from_day = 10.0;
+  world.add_ingress_filter(filter);
+
+  // Before activation: traffic flows.
+  EXPECT_EQ(world.send_udp(probe(Ipv4(1, 2, 3, 4))).size(), 1u);
+  world.advance_days(11);
+  // After activation: the filtered source is dropped...
+  EXPECT_TRUE(world.send_udp(probe(Ipv4(1, 2, 3, 4))).empty());
+  EXPECT_GT(world.udp_dropped_filtered(), 0u);
+  // ...but another source still gets through (the verification scan, §2.2).
+  UdpPacket other = probe(Ipv4(1, 2, 3, 4));
+  other.src = Ipv4(8, 8, 8, 8);
+  EXPECT_EQ(world.send_udp(other).size(), 1u);
+}
+
+TEST(World, InjectorRepliesPrecedeSlowHostReplies) {
+  World world(1);
+  HostConfig config;
+  config.attachment.ip = Ipv4(1, 2, 3, 4);
+  const HostId id = world.add_host(config);
+  world.set_udp_service(id, 53, std::make_unique<EchoService>());
+
+  world.add_injector([](const UdpPacket& request,
+                        std::vector<UdpReply>& replies) {
+    UdpReply forged;
+    forged.packet.src = request.dst;
+    forged.packet.src_port = request.dst_port;
+    forged.packet.dst = request.src;
+    forged.packet.dst_port = request.src_port;
+    forged.packet.payload = {0xff};
+    forged.latency_ms = 2;  // beats the host's 10 ms
+    replies.push_back(std::move(forged));
+  });
+
+  const auto replies = world.send_udp(probe(Ipv4(1, 2, 3, 4)));
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0].packet.payload, (std::vector<std::uint8_t>{0xff}));
+  EXPECT_EQ(replies[1].packet.payload, (std::vector<std::uint8_t>{3, 2, 1}));
+}
+
+TEST(World, InjectorFiresEvenForUnboundDestinations) {
+  // The GFW answers for any address in monitored space (§4.2).
+  World world(1);
+  int fired = 0;
+  world.add_injector(
+      [&fired](const UdpPacket&, std::vector<UdpReply>&) { ++fired; });
+  world.send_udp(probe(Ipv4(7, 7, 7, 7)));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(World, ActivityWindowUnbindsHosts) {
+  World world(1);
+  HostConfig config;
+  config.attachment.ip = Ipv4(1, 2, 3, 4);
+  config.active_until_day = 5.0;
+  const HostId id = world.add_host(config);
+  world.set_udp_service(id, 53, std::make_unique<EchoService>());
+  EXPECT_EQ(world.send_udp(probe(Ipv4(1, 2, 3, 4))).size(), 1u);
+  world.advance_days(6);
+  EXPECT_FALSE(world.address_of(id).has_value());
+  EXPECT_TRUE(world.send_udp(probe(Ipv4(1, 2, 3, 4))).empty());
+}
+
+TEST(World, FutureActivationBindsLater) {
+  World world(1);
+  HostConfig config;
+  config.attachment.ip = Ipv4(1, 2, 3, 4);
+  config.active_from_day = 10.0;
+  const HostId id = world.add_host(config);
+  EXPECT_FALSE(world.address_of(id).has_value());
+  world.advance_days(11);
+  EXPECT_EQ(world.address_of(id), Ipv4(1, 2, 3, 4));
+}
+
+TEST(World, DynamicHostRebindsOnLeaseExpiry) {
+  World world(1);
+  HostConfig config;
+  config.attachment.dynamic = true;
+  config.attachment.pool = Cidr(Ipv4(10, 64, 0, 0), 16);  // roomy pool
+  config.attachment.mean_lease_days = 1.0;
+  const HostId id = world.add_host(config);
+  const auto initial = world.address_of(id);
+  ASSERT_TRUE(initial.has_value());
+  EXPECT_TRUE(config.attachment.pool.contains(*initial));
+
+  // After many mean lifetimes the address has almost surely changed.
+  world.advance_days(50);
+  const auto later = world.address_of(id);
+  ASSERT_TRUE(later.has_value());
+  EXPECT_TRUE(config.attachment.pool.contains(*later));
+  EXPECT_NE(*later, *initial);
+}
+
+TEST(World, LeaseScheduleIndependentOfSteppingPattern) {
+  const auto addresses_at_day_30 = [](int steps) {
+    World world(77);
+    HostConfig config;
+    config.attachment.dynamic = true;
+    config.attachment.pool = Cidr(Ipv4(10, 64, 0, 0), 16);
+    config.attachment.mean_lease_days = 2.0;
+    const HostId id = world.add_host(config);
+    for (int i = 0; i < steps; ++i) {
+      world.advance_days(30.0 / steps);
+    }
+    return world.address_of(id);
+  };
+  EXPECT_EQ(addresses_at_day_30(1), addresses_at_day_30(30));
+  EXPECT_EQ(addresses_at_day_30(2), addresses_at_day_30(15));
+}
+
+TEST(World, ExponentialLeaseSurvivalMatchesTheory) {
+  // P(same address after t) = exp(-t / mean) for exponential leases.
+  World world(5);
+  const int hosts = 4000;
+  std::vector<HostId> ids;
+  HostConfig config;
+  config.attachment.dynamic = true;
+  config.attachment.pool = Cidr(Ipv4(10, 0, 0, 0), 10);  // huge: no collisions
+  config.attachment.mean_lease_days = 10.0;
+  std::vector<Ipv4> initial;
+  for (int i = 0; i < hosts; ++i) {
+    const HostId id = world.add_host(config);
+    ids.push_back(id);
+    initial.push_back(*world.address_of(id));
+  }
+  world.advance_days(10);  // one mean lifetime
+  int unchanged = 0;
+  for (int i = 0; i < hosts; ++i) {
+    const auto address = world.address_of(ids[static_cast<std::size_t>(i)]);
+    if (address && *address == initial[static_cast<std::size_t>(i)]) {
+      ++unchanged;
+    }
+  }
+  EXPECT_NEAR(unchanged / static_cast<double>(hosts), std::exp(-1.0), 0.03);
+}
+
+TEST(World, PoolCollisionDisplacesPreviousHolder) {
+  World world(1);
+  HostConfig stationary;
+  stationary.attachment.ip = Ipv4(10, 64, 0, 5);
+  const HostId first = world.add_host(stationary);
+  EXPECT_EQ(world.host_at(Ipv4(10, 64, 0, 5)), first);
+
+  // A second static host claiming the same address wins the binding (DHCP
+  // race semantics); the displaced host reports no address.
+  HostConfig claimant;
+  claimant.attachment.ip = Ipv4(10, 64, 0, 5);
+  const HostId second = world.add_host(claimant);
+  EXPECT_EQ(world.host_at(Ipv4(10, 64, 0, 5)), second);
+  EXPECT_FALSE(world.address_of(first).has_value());
+  EXPECT_EQ(world.address_of(second), Ipv4(10, 64, 0, 5));
+}
+
+TEST(World, ScanSpreadAdvancesClock) {
+  World world(1);
+  const auto before = world.clock().minutes();
+  world.advance_days(0.5);
+  EXPECT_EQ(world.clock().minutes(), before + 720);
+}
+
+TEST(World, TimeCannotMoveBackwards) {
+  World world(1);
+  world.advance_days(5);
+  EXPECT_THROW(world.set_time_minutes(0), std::logic_error);
+}
+
+TEST(World, LossRateDropsTraffic) {
+  World world(123);
+  HostConfig config;
+  config.attachment.ip = Ipv4(1, 2, 3, 4);
+  const HostId id = world.add_host(config);
+  world.set_udp_service(id, 53, std::make_unique<EchoService>());
+  world.set_loss_rate(0.5);
+  int answered = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (!world.send_udp(probe(Ipv4(1, 2, 3, 4))).empty()) ++answered;
+  }
+  // Request and reply both face 50% loss: ~25% success.
+  EXPECT_NEAR(answered / 2000.0, 0.25, 0.05);
+}
+
+TEST(World, TcpConnectReachesService) {
+  World world(1);
+  HostConfig config;
+  config.attachment.ip = Ipv4(1, 2, 3, 4);
+  const HostId id = world.add_host(config);
+
+  class Banner : public TcpService {
+   public:
+    std::string greeting() const override { return "220 hi\r\n"; }
+  };
+  world.set_tcp_service(id, 21, std::make_unique<Banner>());
+
+  TcpService* service = world.connect_tcp(Ipv4(9, 9, 9, 9), Ipv4(1, 2, 3, 4),
+                                          21);
+  ASSERT_NE(service, nullptr);
+  EXPECT_EQ(service->greeting(), "220 hi\r\n");
+  EXPECT_EQ(world.connect_tcp(Ipv4(9, 9, 9, 9), Ipv4(1, 2, 3, 4), 22),
+            nullptr);
+  EXPECT_EQ(world.connect_tcp(Ipv4(9, 9, 9, 9), Ipv4(5, 5, 5, 5), 21),
+            nullptr);
+}
+
+TEST(World, ServiceReplacement) {
+  World world(1);
+  HostConfig config;
+  config.attachment.ip = Ipv4(1, 2, 3, 4);
+  const HostId id = world.add_host(config);
+  world.set_udp_service(id, 53, std::make_unique<SilentService>());
+  EXPECT_TRUE(world.send_udp(probe(Ipv4(1, 2, 3, 4))).empty());
+  world.set_udp_service(id, 53, std::make_unique<EchoService>());
+  EXPECT_EQ(world.send_udp(probe(Ipv4(1, 2, 3, 4))).size(), 1u);
+}
+
+TEST(World, StatisticsCounters) {
+  World world(1);
+  HostConfig config;
+  config.attachment.ip = Ipv4(1, 2, 3, 4);
+  const HostId id = world.add_host(config);
+  world.set_udp_service(id, 53, std::make_unique<EchoService>());
+  world.send_udp(probe(Ipv4(1, 2, 3, 4)));
+  world.send_udp(probe(Ipv4(5, 5, 5, 5)));
+  EXPECT_EQ(world.udp_sent(), 2u);
+  EXPECT_EQ(world.udp_delivered(), 1u);
+}
+
+}  // namespace
+}  // namespace dnswild::net

@@ -1,0 +1,146 @@
+#include "worldgen/worldgen.h"
+
+#include <gtest/gtest.h>
+
+#include "scan/ipv4scan.h"
+
+namespace dnswild::worldgen {
+namespace {
+
+WorldGenConfig small_config(std::uint32_t resolvers = 800,
+                            std::uint64_t seed = 5) {
+  WorldGenConfig config;
+  config.resolver_count = resolvers;
+  config.seed = seed;
+  return config;
+}
+
+scan::Ipv4ScanSummary scan_world(GeneratedWorld& generated,
+                                 std::uint64_t seed = 7) {
+  scan::Ipv4ScanConfig config;
+  config.scanner_ip = generated.scanner_ip;
+  config.zone = generated.scan_zone;
+  config.blacklist = &generated.blacklist;
+  config.seed = seed;
+  scan::Ipv4Scanner scanner(*generated.world, config);
+  return scanner.scan(generated.universe);
+}
+
+TEST(WorldGen, PlannedPopulationsScale) {
+  auto generated = generate_world(small_config());
+  EXPECT_NEAR(generated.planned_noerror, 800, 40);
+  EXPECT_NEAR(generated.planned_refused, 800 * 0.085, 5);
+  EXPECT_NEAR(generated.planned_servfail, 800 * 0.055, 5);
+  EXPECT_GT(generated.planned_censors, 0u);
+  EXPECT_GT(generated.planned_generic_manipulators, 0u);
+}
+
+TEST(WorldGen, UniversePrefixesDoNotOverlap) {
+  auto generated = generate_world(small_config());
+  auto prefixes = generated.universe;
+  std::sort(prefixes.begin(), prefixes.end(),
+            [](const net::Cidr& a, const net::Cidr& b) {
+              return a.base() < b.base();
+            });
+  for (std::size_t i = 1; i < prefixes.size(); ++i) {
+    const auto prev_end =
+        prefixes[i - 1].base().value() + prefixes[i - 1].size();
+    EXPECT_LE(prev_end, prefixes[i].base().value())
+        << prefixes[i - 1].to_string() << " overlaps "
+        << prefixes[i].to_string();
+  }
+  // Nothing reserved in the universe.
+  for (const auto& prefix : prefixes) {
+    EXPECT_FALSE(net::is_reserved(prefix.base())) << prefix.to_string();
+  }
+}
+
+TEST(WorldGen, ScanFindsCalibratedPopulations) {
+  auto generated = generate_world(small_config());
+  const auto summary = scan_world(generated);
+  // Allowing for churned/displaced hosts and drop_rate.
+  EXPECT_NEAR(static_cast<double>(summary.noerror),
+              generated.planned_noerror, generated.planned_noerror * 0.12);
+  EXPECT_NEAR(static_cast<double>(summary.refused),
+              generated.planned_refused, generated.planned_refused * 0.2);
+  EXPECT_GT(summary.servfail, 0u);
+  EXPECT_GT(summary.multihomed, 0u);  // forwarders answering elsewhere
+}
+
+TEST(WorldGen, DeterministicUnderSeed) {
+  auto a = generate_world(small_config(500, 42));
+  auto b = generate_world(small_config(500, 42));
+  const auto summary_a = scan_world(a, 9);
+  const auto summary_b = scan_world(b, 9);
+  EXPECT_EQ(summary_a.noerror, summary_b.noerror);
+  EXPECT_EQ(summary_a.noerror_targets, summary_b.noerror_targets);
+}
+
+TEST(WorldGen, DifferentSeedsDifferentWorlds) {
+  auto a = generate_world(small_config(500, 1));
+  auto b = generate_world(small_config(500, 2));
+  const auto summary_a = scan_world(a, 9);
+  const auto summary_b = scan_world(b, 9);
+  EXPECT_NE(summary_a.noerror_targets, summary_b.noerror_targets);
+}
+
+TEST(WorldGen, CountryPlanSharesAnchoredToTable1) {
+  const auto& plan = default_country_plan();
+  double total = 0;
+  bool has_us = false, has_cn = false, has_ar = false;
+  for (const auto& entry : plan) {
+    total += entry.start_share;
+    if (entry.code == "US") {
+      has_us = true;
+      EXPECT_NEAR(entry.start_share, 0.1104, 1e-6);
+      EXPECT_NEAR(entry.end_factor, 0.858, 1e-6);
+    }
+    if (entry.code == "CN") has_cn = true;
+    if (entry.code == "AR") {
+      has_ar = true;
+      EXPECT_NEAR(entry.end_factor, 0.25, 1e-6);  // §2.3: −75%
+    }
+  }
+  EXPECT_TRUE(has_us && has_cn && has_ar);
+  EXPECT_NEAR(total, 1.0, 0.05);
+}
+
+TEST(WorldGen, ScanZoneResolvesThroughHonestResolvers) {
+  auto generated = generate_world(small_config());
+  EXPECT_TRUE(generated.registry->exists(
+      "px.c0a80101." + generated.scan_zone.to_string()));
+}
+
+TEST(WorldGen, GfwInstalledWhenChinaPresent) {
+  auto generated = generate_world(small_config());
+  ASSERT_NE(generated.gfw, nullptr);
+  // Censored suffix in monitored Chinese space triggers.
+  bool monitored_any = false;
+  for (const auto& prefix : generated.universe) {
+    if (generated.world->asdb().country_of(prefix.base()) == "CN") {
+      monitored_any |=
+          generated.gfw->in_scope(prefix.at(1), "facebook.com");
+    }
+  }
+  EXPECT_TRUE(monitored_any);
+}
+
+TEST(WorldGen, BlacklistPopulated) {
+  auto generated = generate_world(small_config());
+  EXPECT_GT(generated.blacklist.address_space(), 0u);
+}
+
+TEST(WorldGen, PopulationDeclinesOverTheStudy) {
+  auto generated = generate_world(small_config(1500, 11));
+  const auto first = scan_world(generated, 3);
+  generated.world->set_time_minutes(385 * 1440);
+  const auto last = scan_world(generated, 4);
+  // Fig. 1: 26.8M -> 17.8M is a decline to ~66%; accept a broad band.
+  const double ratio = static_cast<double>(last.noerror) /
+                       static_cast<double>(first.noerror);
+  EXPECT_LT(ratio, 0.85);
+  EXPECT_GT(ratio, 0.45);
+}
+
+}  // namespace
+}  // namespace dnswild::worldgen
