@@ -2,8 +2,18 @@
 // paths — wire codec, scan-order permutation, clustering distances (incl.
 // the banded-vs-full edit distance ablation from DESIGN.md §5), HAC
 // scaling, HTML feature extraction, and end-to-end resolver query handling.
+//
+// main() additionally sweeps the parallel address-space scan across worker
+// counts and writes the probes/sec results to BENCH_micro.json (path
+// overridable via --json <path> or DNSWILD_BENCH_JSON) before the
+// google-benchmark suite runs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common.h"
 #include "cluster/distance.h"
 #include "cluster/hac.h"
 #include "dns/encoding0x20.h"
@@ -13,8 +23,12 @@
 #include "net/lfsr.h"
 #include "resolver/resolver.h"
 #include "scan/encoding.h"
+#include "scan/ipv4scan.h"
 #include "scan/permute.h"
+#include "util/hash.h"
 #include "util/rng.h"
+#include "util/strings.h"
+#include "worldgen/worldgen.h"
 
 namespace {
 
@@ -187,6 +201,102 @@ void BM_Case0x20Encoding(benchmark::State& state) {
 }
 BENCHMARK(BM_Case0x20Encoding);
 
+// Ablation for the probe-label hot path: a fresh std::string per probe
+// (the old Ipv4Scanner::probe_one) vs one reused buffer (the current one).
+void BM_ProbePrefixFresh(benchmark::State& state) {
+  std::uint64_t key = 1;
+  for (auto _ : state) {
+    std::string prefix = "p" + util::hex32(static_cast<std::uint32_t>(key++));
+    benchmark::DoNotOptimize(prefix);
+  }
+}
+BENCHMARK(BM_ProbePrefixFresh);
+
+void BM_ProbePrefixReused(benchmark::State& state) {
+  std::uint64_t key = 1;
+  std::string prefix;
+  prefix.reserve(16);
+  for (auto _ : state) {
+    prefix.clear();
+    prefix.push_back('p');
+    util::append_hex32(prefix, static_cast<std::uint32_t>(key++));
+    benchmark::DoNotOptimize(prefix);
+  }
+}
+BENCHMARK(BM_ProbePrefixReused);
+
+void BM_PacketHash(benchmark::State& state) {
+  std::uint64_t word = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        util::hash_words({42, word++, 0x350000000035ULL, 0}));
+  }
+}
+BENCHMARK(BM_PacketHash);
+
+// Full address-space scan at one worker count; a fresh world per run so
+// every measurement starts from identical cache/churn state.
+bench::ScanBenchEntry measure_scan(unsigned threads,
+                                   std::uint32_t resolver_count) {
+  worldgen::WorldGenConfig world_config;
+  world_config.seed = 2015;
+  world_config.resolver_count = resolver_count;
+  world_config.with_devices = false;  // DNS traffic plane only
+  worldgen::GeneratedWorld gen = worldgen::generate_world(world_config);
+
+  scan::Ipv4ScanConfig config;
+  config.scanner_ip = gen.scanner_ip;
+  config.zone = gen.scan_zone;
+  config.blacklist = &gen.blacklist;
+  config.seed = 1;
+  config.threads = threads;
+  scan::Ipv4Scanner scanner(*gen.world, config);
+
+  const auto start = std::chrono::steady_clock::now();
+  const scan::Ipv4ScanSummary summary = scanner.scan(gen.universe);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+
+  bench::ScanBenchEntry entry;
+  entry.threads = threads;
+  entry.probes = summary.probed;
+  entry.wall_seconds = elapsed.count();
+  entry.probes_per_sec =
+      entry.wall_seconds > 0.0
+          ? static_cast<double>(entry.probes) / entry.wall_seconds
+          : 0.0;
+  return entry;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = dnswild::bench::bench_json_path(argc, argv);
+  if (json_path.empty()) json_path = "BENCH_micro.json";
+
+  const unsigned hardware = std::thread::hardware_concurrency();
+  const std::uint32_t resolver_count =
+      dnswild::bench::scale_from(1, argv, 60000);
+  std::vector<unsigned> sweep = {1, 2, 8};
+  if (hardware > 1 &&
+      std::find(sweep.begin(), sweep.end(), hardware) == sweep.end()) {
+    sweep.push_back(hardware);
+  }
+
+  std::vector<dnswild::bench::ScanBenchEntry> entries;
+  for (const unsigned threads : sweep) {
+    const auto entry = measure_scan(threads, resolver_count);
+    std::printf("scan threads=%u probes=%llu wall=%.3fs rate=%.0f/s\n",
+                threads, static_cast<unsigned long long>(entry.probes),
+                entry.wall_seconds, entry.probes_per_sec);
+    entries.push_back(entry);
+  }
+  dnswild::bench::write_scan_bench_json(json_path, "bench_micro", hardware,
+                                        entries);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "core/pipeline.h"
 #include "scan/ipv4scan.h"
@@ -16,6 +17,68 @@
 #include "worldgen/worldgen.h"
 
 namespace dnswild::bench {
+
+// Machine-readable bench output. `--json <path>` (consumed from argv so
+// downstream flag parsers never see it) or DNSWILD_BENCH_JSON selects the
+// file; an empty return means the caller's default applies.
+inline std::string bench_json_path(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      path = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  if (path.empty()) {
+    if (const char* env = std::getenv("DNSWILD_BENCH_JSON")) path = env;
+  }
+  return path;
+}
+
+// One scan-throughput measurement at a fixed worker count.
+struct ScanBenchEntry {
+  unsigned threads = 0;
+  std::uint64_t probes = 0;
+  double wall_seconds = 0.0;
+  double probes_per_sec = 0.0;
+};
+
+// Writes the thread sweep as a small self-describing JSON document.
+inline bool write_scan_bench_json(const std::string& path,
+                                  const std::string& bench_name,
+                                  unsigned hardware_threads,
+                                  const std::vector<ScanBenchEntry>& entries) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(file, "{\n  \"bench\": \"%s\",\n", bench_name.c_str());
+  std::fprintf(file, "  \"hardware_threads\": %u,\n", hardware_threads);
+  std::fprintf(file, "  \"scan_sweep\": [\n");
+  double base_rate = 0.0;
+  double best_rate = 0.0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const ScanBenchEntry& entry = entries[i];
+    if (entry.threads == 1) base_rate = entry.probes_per_sec;
+    if (entry.probes_per_sec > best_rate) best_rate = entry.probes_per_sec;
+    std::fprintf(file,
+                 "    {\"threads\": %u, \"probes\": %llu, "
+                 "\"wall_seconds\": %.6f, \"probes_per_sec\": %.1f}%s\n",
+                 entry.threads,
+                 static_cast<unsigned long long>(entry.probes),
+                 entry.wall_seconds, entry.probes_per_sec,
+                 i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(file, "  ],\n");
+  std::fprintf(file, "  \"best_speedup_vs_1_thread\": %.2f\n}\n",
+               base_rate > 0.0 ? best_rate / base_rate : 0.0);
+  std::fclose(file);
+  return true;
+}
 
 inline std::uint32_t scale_from(int argc, char** argv,
                                 std::uint32_t fallback) {

@@ -47,6 +47,7 @@ StudyReport Pipeline::run(const std::vector<net::Ipv4>& resolvers,
   scan_config.scanner_ip = config_.scanner_ip;
   scan_config.seed = config_.seed ^ 0xd05ca9ULL;
   scan_config.spread_over_hours = config_.scan_spread_hours;
+  scan_config.threads = config_.scan_threads;
   scan::DomainScanner scanner(world_, scan_config);
   report.records = scanner.scan(resolvers, names);
 
@@ -108,7 +109,7 @@ StudyReport Pipeline::run(const std::vector<net::Ipv4>& resolvers,
       report.records, report.pages, config_.classifier, &injected);
 
   compute_sec41(report);
-  compute_table5(report, domains);
+  compute_table5(report);
 
   report.asdb = &world_.asdb();
   const StudyData data = report.view();
@@ -247,8 +248,7 @@ void Pipeline::compute_sec41(StudyReport& report) const {
   }
 }
 
-void Pipeline::compute_table5(StudyReport& report,
-                              const DomainSet& domains) const {
+void Pipeline::compute_table5(StudyReport& report) const {
   const auto& categories = DomainSet::table5_categories();
   report.table5.columns.assign(categories.size(), {});
 
@@ -269,7 +269,6 @@ void Pipeline::compute_table5(StudyReport& report,
         record.resolver_id);
   }
 
-  (void)domains;
   for (std::size_t c = 0; c < categories.size(); ++c) {
     for (int l = 0; l < kLabelCount; ++l) {
       double sum = 0.0;

@@ -29,6 +29,7 @@ struct PipelineConfig {
   net::Ipv4 vantage_ip;                      // HTTP/TLS acquisition source
   std::uint64_t seed = 0;
   double scan_spread_hours = 0.0;            // world-clock advance per scan
+  unsigned scan_threads = 0;                 // domain-scan workers; 0 = auto
   PrefilterConfig prefilter;
   ClassifierConfig classifier;
 };
@@ -105,7 +106,7 @@ class Pipeline {
   std::vector<char> detect_onpath_injection(const StudyReport& report);
 
   void compute_sec41(StudyReport& report) const;
-  void compute_table5(StudyReport& report, const DomainSet& domains) const;
+  void compute_table5(StudyReport& report) const;
 
   net::World& world_;
   const resolver::AuthRegistry& registry_;

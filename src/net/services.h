@@ -24,6 +24,11 @@ struct UdpPacket {
   Ipv4 dst;
   std::uint16_t dst_port = 0;
   std::vector<std::uint8_t> payload;
+  // Sender-side transmission counter, not on the wire. The network derives
+  // a datagram's fate (loss, injected content) by hashing the packet
+  // identity, so a byte-identical retransmission must bump `seq` to face
+  // independent randomness. Fresh packets can leave it at 0.
+  std::uint32_t seq = 0;
 };
 
 // A reply datagram plus its simulated arrival latency, used to order

@@ -4,11 +4,45 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/hash.h"
+
 namespace dnswild::net {
 
-World::World(std::uint64_t seed) : rng_(seed) {}
+namespace {
+
+// Identity hash of a datagram: everything that distinguishes it from any
+// other transmission this world will ever carry. Randomness derived from
+// this key is independent of call interleaving across threads.
+std::uint64_t packet_key(std::uint64_t seed, const UdpPacket& request) {
+  return util::hash_words(
+      {seed,
+       (static_cast<std::uint64_t>(request.src.value()) << 32) |
+           request.dst.value(),
+       (static_cast<std::uint64_t>(request.src_port) << 32) |
+           (static_cast<std::uint64_t>(request.dst_port) << 16) |
+           (static_cast<std::uint64_t>(request.seq) & 0xffffULL),
+       static_cast<std::uint64_t>(request.seq),
+       util::digest_bytes(request.payload)});
+}
+
+// Decision streams fanned out from one packet key.
+constexpr std::uint64_t kForwardLoss = 1;
+constexpr std::uint64_t kReplyLoss = 2;
+
+}  // namespace
+
+World::World(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+void World::require_mutation_phase(const char* what) const {
+  if (in_traffic_phase()) {
+    throw std::logic_error(std::string(what) +
+                           " is mutation-phase only; close the traffic "
+                           "section (barrier) first");
+  }
+}
 
 HostId World::add_host(const HostConfig& config) {
+  require_mutation_phase("add_host");
   const HostId id = static_cast<HostId>(hosts_.size());
   Host host;
   host.config = config;
@@ -32,6 +66,7 @@ HostId World::add_host(const HostConfig& config) {
 
 void World::set_udp_service(HostId host, std::uint16_t port,
                             std::unique_ptr<UdpService> service) {
+  require_mutation_phase("set_udp_service");
   auto& slots = hosts_.at(host).udp;
   for (auto& slot : slots) {
     if (slot.first == port) {
@@ -44,6 +79,7 @@ void World::set_udp_service(HostId host, std::uint16_t port,
 
 void World::set_tcp_service(HostId host, std::uint16_t port,
                             std::unique_ptr<TcpService> service) {
+  require_mutation_phase("set_tcp_service");
   auto& slots = hosts_.at(host).tcp;
   for (auto& slot : slots) {
     if (slot.first == port) {
@@ -66,14 +102,22 @@ HostId World::host_at(Ipv4 ip) const noexcept {
 }
 
 void World::add_ingress_filter(IngressFilter filter) {
+  require_mutation_phase("add_ingress_filter");
   filters_.push_back(filter);
 }
 
 void World::add_injector(Injector injector) {
+  require_mutation_phase("add_injector");
   injectors_.push_back(std::move(injector));
 }
 
+void World::set_loss_rate(double rate) {
+  require_mutation_phase("set_loss_rate");
+  loss_rate_ = rate;
+}
+
 void World::set_time_minutes(std::int64_t minutes) {
+  require_mutation_phase("set_time_minutes");
   if (minutes < clock_.minutes()) {
     throw std::logic_error("simulated time cannot move backwards");
   }
@@ -171,14 +215,22 @@ bool World::filtered(const UdpPacket& request) const noexcept {
 }
 
 std::vector<UdpReply> World::send_udp(const UdpPacket& request) {
-  ++udp_sent_;
+  udp_sent_.fetch_add(1, std::memory_order_relaxed);
   std::vector<UdpReply> replies;
 
   if (filtered(request)) {
-    ++udp_dropped_filtered_;
+    udp_dropped_filtered_.fetch_add(1, std::memory_order_relaxed);
     return replies;
   }
-  if (loss_rate_ > 0.0 && rng_.chance(loss_rate_)) return replies;
+  // Loss is a pure function of the packet identity: a retransmission
+  // (bumped seq) rolls fresh dice, but no other traffic — on this thread or
+  // any other — can perturb the outcome.
+  const std::uint64_t key =
+      loss_rate_ > 0.0 ? packet_key(seed_, request) : 0;
+  if (loss_rate_ > 0.0 &&
+      util::hash_unit(util::hash_words({key, kForwardLoss})) < loss_rate_) {
+    return replies;
+  }
 
   // On-path observers see the datagram once it is in flight.
   for (const Injector& injector : injectors_) injector(request, replies);
@@ -188,7 +240,7 @@ std::vector<UdpReply> World::send_udp(const UdpPacket& request) {
     Host& host = hosts_[id];
     for (auto& slot : host.udp) {
       if (slot.first != request.dst_port || !slot.second) continue;
-      ++udp_delivered_;
+      udp_delivered_.fetch_add(1, std::memory_order_relaxed);
       std::vector<UdpReply> produced;
       slot.second->handle(request, produced);
       for (UdpReply& reply : produced) {
@@ -205,10 +257,14 @@ std::vector<UdpReply> World::send_udp(const UdpPacket& request) {
     }
   }
 
-  // Per-reply loss on the return path.
+  // Per-reply loss on the return path, keyed by the reply's position so
+  // each reply to one probe faces independent loss.
   if (loss_rate_ > 0.0) {
-    std::erase_if(replies,
-                  [this](const UdpReply&) { return rng_.chance(loss_rate_); });
+    std::uint64_t index = 0;
+    std::erase_if(replies, [&](const UdpReply&) {
+      return util::hash_unit(util::hash_words({key, kReplyLoss, index++})) <
+             loss_rate_;
+    });
   }
   std::stable_sort(replies.begin(), replies.end(),
                    [](const UdpReply& a, const UdpReply& b) {
@@ -217,9 +273,15 @@ std::vector<UdpReply> World::send_udp(const UdpPacket& request) {
   return replies;
 }
 
-TcpService* World::connect_tcp(Ipv4 src, Ipv4 dst, std::uint16_t port) {
-  (void)src;
-  if (loss_rate_ > 0.0 && rng_.chance(loss_rate_)) return nullptr;
+TcpService* World::connect_tcp(Ipv4 src, Ipv4 dst, std::uint16_t port,
+                               std::uint32_t seq) {
+  if (loss_rate_ > 0.0) {
+    const std::uint64_t key = util::hash_words(
+        {seed_, 0x7c9ULL /* tcp */,
+         (static_cast<std::uint64_t>(src.value()) << 32) | dst.value(),
+         (static_cast<std::uint64_t>(port) << 32) | seq});
+    if (util::hash_unit(key) < loss_rate_) return nullptr;
+  }
   const HostId id = host_at(dst);
   if (id == kNoHost) return nullptr;
   Host& host = hosts_[id];

@@ -9,8 +9,20 @@
 // The network is protocol-agnostic — payloads are opaque bytes; DNS and
 // HTTP live in the endpoints. All behaviour is deterministic under the
 // construction seed, and time only moves forward via set_time_minutes().
+//
+// Concurrency model (DESIGN.md "Concurrency model"): a World alternates
+// between a single-threaded *mutation phase* (population edits, clock
+// advancement, lease churn) and a *traffic phase* in which any number of
+// threads may call send_udp()/connect_tcp() concurrently. During traffic,
+// bindings/filters/injectors are read-only, the statistics counters are
+// atomic, and every per-packet random decision (loss in either direction,
+// injected-reply content) is a pure hash of the packet identity — so a
+// datagram's fate never depends on how concurrent calls interleave.
+// Scanners bracket their parallel sections with begin_traffic() /
+// end_traffic(); mutators throw while a traffic phase is active.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -100,7 +112,7 @@ class World {
   void add_ingress_filter(IngressFilter filter);
   void add_injector(Injector injector);
   // Fraction of datagrams lost in each direction, in [0, 1).
-  void set_loss_rate(double rate) noexcept { loss_rate_ = rate; }
+  void set_loss_rate(double rate);
 
   // --- time -------------------------------------------------------------
   const SimClock& clock() const noexcept { return clock_; }
@@ -115,17 +127,53 @@ class World {
   // arrival latency (injected replies may precede the real one). A filtered
   // or lost request, an unbound destination, or a closed port yields no
   // replies — indistinguishable to the sender, as on the real Internet.
+  //
+  // Thread-safe against concurrent send_udp/connect_tcp calls. Delivery to
+  // a host's service is NOT internally serialized here; callers that probe
+  // concurrently must partition destinations so each bound address is
+  // driven by one thread (which scan::ParallelExecutor shards guarantee).
   std::vector<UdpReply> send_udp(const UdpPacket& request);
 
   // Opens a TCP connection; returns the service speaking on that port or
   // nullptr when the address is unbound / the port closed / the SYN lost.
-  TcpService* connect_tcp(Ipv4 src, Ipv4 dst, std::uint16_t port);
+  // `seq` numbers repeated connects to the same 3-tuple so retries face
+  // independent SYN loss (see UdpPacket::seq).
+  TcpService* connect_tcp(Ipv4 src, Ipv4 dst, std::uint16_t port,
+                          std::uint32_t seq = 0);
+
+  // --- phases -----------------------------------------------------------
+  // Marks the world as being in a concurrent traffic phase. While at least
+  // one traffic section is open, every mutator above (population edits,
+  // filters/injectors, loss rate, clock movement) throws std::logic_error:
+  // those operations rewrite state the traffic plane reads without locks.
+  // Nesting is allowed; the phase ends when every section closed.
+  void begin_traffic() noexcept { traffic_sections_.fetch_add(1); }
+  void end_traffic() noexcept { traffic_sections_.fetch_sub(1); }
+  bool in_traffic_phase() const noexcept {
+    return traffic_sections_.load() != 0;
+  }
+
+  // RAII traffic section for scanner fan-out code.
+  class TrafficSection {
+   public:
+    explicit TrafficSection(World& world) noexcept : world_(world) {
+      world_.begin_traffic();
+    }
+    ~TrafficSection() { world_.end_traffic(); }
+    TrafficSection(const TrafficSection&) = delete;
+    TrafficSection& operator=(const TrafficSection&) = delete;
+
+   private:
+    World& world_;
+  };
 
   // --- statistics -------------------------------------------------------
-  std::uint64_t udp_sent() const noexcept { return udp_sent_; }
-  std::uint64_t udp_delivered() const noexcept { return udp_delivered_; }
+  std::uint64_t udp_sent() const noexcept { return udp_sent_.load(); }
+  std::uint64_t udp_delivered() const noexcept {
+    return udp_delivered_.load();
+  }
   std::uint64_t udp_dropped_filtered() const noexcept {
-    return udp_dropped_filtered_;
+    return udp_dropped_filtered_.load();
   }
 
  private:
@@ -147,9 +195,11 @@ class World {
   // Draws the next lease (address + duration) for a dynamic host.
   void roll_lease(Host& host);
   bool filtered(const UdpPacket& request) const noexcept;
+  void require_mutation_phase(const char* what) const;
 
   SimClock clock_;
-  util::Rng rng_;
+  std::uint64_t seed_;  // salts the per-packet fate hashes
+  util::Rng rng_;       // mutation-phase draws only (host seeds)
   double loss_rate_ = 0.0;
 
   std::vector<Host> hosts_;
@@ -161,9 +211,10 @@ class World {
   std::vector<IngressFilter> filters_;
   std::vector<Injector> injectors_;
 
-  std::uint64_t udp_sent_ = 0;
-  std::uint64_t udp_delivered_ = 0;
-  std::uint64_t udp_dropped_filtered_ = 0;
+  std::atomic<std::uint64_t> udp_sent_{0};
+  std::atomic<std::uint64_t> udp_delivered_{0};
+  std::atomic<std::uint64_t> udp_dropped_filtered_{0};
+  std::atomic<int> traffic_sections_{0};
 };
 
 }  // namespace dnswild::net

@@ -1,12 +1,13 @@
 #include "resolver/gfw.h"
 
 #include "dns/message.h"
+#include "util/hash.h"
+#include "util/rng.h"
 #include "util/strings.h"
 
 namespace dnswild::resolver {
 
-GfwInjector::GfwInjector(GfwConfig config)
-    : config_(std::move(config)), rng_(config_.seed) {}
+GfwInjector::GfwInjector(GfwConfig config) : config_(std::move(config)) {}
 
 bool GfwInjector::in_scope(net::Ipv4 dst,
                           const std::string& lower_name) const {
@@ -46,9 +47,19 @@ void GfwInjector::operator()(const net::UdpPacket& request,
   // from a genuine reply except by arrival order and content.
   dns::Message forged = dns::Message::make_response(*query,
                                                     dns::RCode::kNoError);
+  // Bogus address drawn from a stream seeded by the packet identity, so the
+  // forged content does not depend on which thread's probe crossed the
+  // monitored link first.
+  util::Rng draws(util::hash_words(
+      {config_.seed,
+       (static_cast<std::uint64_t>(request.src.value()) << 32) |
+           request.dst.value(),
+       (static_cast<std::uint64_t>(request.src_port) << 16) |
+           request.dst_port,
+       request.seq, util::digest_bytes(request.payload)}));
   net::Ipv4 bogus;
   do {
-    bogus = net::Ipv4(static_cast<std::uint32_t>(rng_.next()));
+    bogus = net::Ipv4(static_cast<std::uint32_t>(draws.next()));
   } while (net::is_reserved(bogus));
   forged.answers.push_back(
       dns::ResourceRecord::a(question.name, bogus, 300));
@@ -61,7 +72,7 @@ void GfwInjector::operator()(const net::UdpPacket& request,
   reply.packet.payload = forged.encode();
   reply.latency_ms = config_.injected_latency_ms;
   injected.push_back(std::move(reply));
-  ++injected_count_;
+  injected_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void install_gfw(net::World& world, std::shared_ptr<GfwInjector> injector) {

@@ -8,6 +8,7 @@
 // GfwInjector implements both effects as a net::World injector hook.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_set>
@@ -16,7 +17,6 @@
 #include "net/ip.h"
 #include "net/services.h"
 #include "net/world.h"
-#include "util/rng.h"
 
 namespace dnswild::resolver {
 
@@ -30,6 +30,10 @@ struct GfwConfig {
   std::uint64_t seed = 0;
 };
 
+// Injectors run inside the concurrent traffic phase on every sender's
+// thread, so the forged answer's bogus address is derived by hashing the
+// observed packet (stateless, thread-count invariant) and the statistics
+// counter is atomic.
 class GfwInjector {
  public:
   explicit GfwInjector(GfwConfig config);
@@ -41,12 +45,13 @@ class GfwInjector {
   // True when the (destination, queried name) pair is in scope.
   bool in_scope(net::Ipv4 dst, const std::string& lower_name) const;
 
-  std::uint64_t injected_count() const noexcept { return injected_count_; }
+  std::uint64_t injected_count() const noexcept {
+    return injected_count_.load();
+  }
 
  private:
   GfwConfig config_;
-  util::Rng rng_;
-  std::uint64_t injected_count_ = 0;
+  std::atomic<std::uint64_t> injected_count_{0};
 };
 
 // Registers the injector on a world (the world stores a copy by value via

@@ -227,6 +227,7 @@ void OpenResolverService::handle(const net::UdpPacket& request,
                                  std::vector<net::UdpReply>& replies) {
   const auto query = dns::Message::decode(request.payload);
   if (!query || query->header.qr || query->questions.empty()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
   if (config_.behavior.drop_rate > 0.0 &&
       rng_.chance(config_.behavior.drop_rate)) {
     return;

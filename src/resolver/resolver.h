@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -83,6 +84,13 @@ class OpenResolverService : public net::UdpService {
             std::vector<net::UdpReply>& replies, int latency_ms);
 
   ResolverConfig config_;
+  // Serializes handle(): the cache, snoop counters, and RNG stream are
+  // per-resolver mutable state. Scanners shard targets so each bound
+  // address is driven by one thread (making the request order — and hence
+  // the RNG stream — deterministic); the lock covers the remaining path to
+  // a shared instance, a ForwarderService backend reached from several
+  // shards, where safety is guaranteed but request order is not.
+  std::mutex mutex_;
   util::Rng rng_;
   DnsCache cache_;
   std::unordered_map<std::string, int> snoop_counts_;  // per-TLD queries seen

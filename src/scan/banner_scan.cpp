@@ -1,5 +1,7 @@
 #include "scan/banner_scan.h"
 
+#include "scan/executor.h"
+
 namespace dnswild::scan {
 
 BannerResult BannerScanner::probe(net::Ipv4 resolver) {
@@ -18,11 +20,16 @@ BannerResult BannerScanner::probe(net::Ipv4 resolver) {
 
 std::vector<BannerResult> BannerScanner::scan(
     const std::vector<net::Ipv4>& resolvers) {
-  std::vector<BannerResult> results;
-  results.reserve(resolvers.size());
-  for (const net::Ipv4 resolver : resolvers) {
-    results.push_back(probe(resolver));
-  }
+  std::vector<BannerResult> results(resolvers.size());
+  ParallelExecutor executor(threads_);
+  net::World::TrafficSection traffic(world_);
+  executor.run_blocks(
+      resolvers.size(),
+      [&](std::uint64_t begin, std::uint64_t end, unsigned) {
+        for (std::uint64_t i = begin; i < end; ++i) {
+          results[i] = probe(resolvers[i]);
+        }
+      });
   return results;
 }
 

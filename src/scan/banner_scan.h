@@ -3,6 +3,10 @@
 // Connects to FTP(21), SSH(22), Telnet(23), HTTP(80), and HTTPS(443) on
 // each resolver and aggregates whatever payload comes back; the analysis
 // module matches device tokens against the combined text.
+//
+// Sharded across a ParallelExecutor: each worker owns a contiguous
+// resolver block and results land at their resolver's index, so the
+// output is identical for every `threads` value.
 #pragma once
 
 #include <cstdint>
@@ -22,14 +26,18 @@ struct BannerResult {
 
 class BannerScanner {
  public:
-  BannerScanner(net::World& world, net::Ipv4 scanner_ip)
-      : fetcher_(world, scanner_ip) {}
+  // `threads` = 0 picks hardware_concurrency for scan(); results are
+  // identical for every value.
+  BannerScanner(net::World& world, net::Ipv4 scanner_ip, unsigned threads = 0)
+      : world_(world), fetcher_(world, scanner_ip), threads_(threads) {}
 
   BannerResult probe(net::Ipv4 resolver);
   std::vector<BannerResult> scan(const std::vector<net::Ipv4>& resolvers);
 
  private:
+  net::World& world_;
   http::Fetcher fetcher_;
+  unsigned threads_;
 };
 
 }  // namespace dnswild::scan

@@ -2,6 +2,8 @@
 
 #include "dns/chaos.h"
 #include "dns/message.h"
+#include "scan/executor.h"
+#include "util/hash.h"
 
 namespace dnswild::scan {
 
@@ -9,11 +11,14 @@ ChaosResult ChaosScanner::probe(net::Ipv4 resolver) {
   ChaosResult result;
   result.resolver = resolver;
 
-  const auto ask = [&](const dns::Name& probe_name,
+  const auto ask = [&](const dns::Name& probe_name, std::uint64_t which,
                        std::optional<std::string>& version_out,
                        dns::RCode& rcode_out) {
-    const dns::Message query = dns::make_version_query(
-        static_cast<std::uint16_t>(rng_.next()), probe_name);
+    // TXID is a pure hash of the probe identity, not a draw from a stream,
+    // so concurrent probes never race on scanner state.
+    const std::uint16_t txid = static_cast<std::uint16_t>(
+        util::hash_words({seed_, resolver.value(), which}));
+    const dns::Message query = dns::make_version_query(txid, probe_name);
     net::UdpPacket packet;
     packet.src = scanner_ip_;
     packet.src_port = 42000;
@@ -33,18 +38,24 @@ ChaosResult ChaosScanner::probe(net::Ipv4 resolver) {
     }
   };
 
-  ask(dns::version_bind_name(), result.version_bind, result.rcode_bind);
-  ask(dns::version_server_name(), result.version_server, result.rcode_server);
+  ask(dns::version_bind_name(), 0, result.version_bind, result.rcode_bind);
+  ask(dns::version_server_name(), 1, result.version_server,
+      result.rcode_server);
   return result;
 }
 
 std::vector<ChaosResult> ChaosScanner::scan(
     const std::vector<net::Ipv4>& resolvers) {
-  std::vector<ChaosResult> results;
-  results.reserve(resolvers.size());
-  for (const net::Ipv4 resolver : resolvers) {
-    results.push_back(probe(resolver));
-  }
+  std::vector<ChaosResult> results(resolvers.size());
+  ParallelExecutor executor(threads_);
+  net::World::TrafficSection traffic(world_);
+  executor.run_blocks(
+      resolvers.size(),
+      [&](std::uint64_t begin, std::uint64_t end, unsigned) {
+        for (std::uint64_t i = begin; i < end; ++i) {
+          results[i] = probe(resolvers[i]);
+        }
+      });
   return results;
 }
 

@@ -3,6 +3,12 @@
 // Sends version.bind and version.server TXT/CH queries to each known
 // resolver and records both answers, feeding the software classifier
 // (Table 3).
+//
+// Sharded across a ParallelExecutor: each worker owns a contiguous
+// resolver block and results land at their resolver's index, so the
+// output is identical for every `threads` value. Probe TXIDs are hashed
+// from (seed, resolver, query kind) rather than drawn from a stream, so
+// probe() is also safe to call from any worker.
 #pragma once
 
 #include <cstdint>
@@ -12,7 +18,6 @@
 
 #include "dns/types.h"
 #include "net/world.h"
-#include "util/rng.h"
 
 namespace dnswild::scan {
 
@@ -27,8 +32,12 @@ struct ChaosResult {
 
 class ChaosScanner {
  public:
-  ChaosScanner(net::World& world, net::Ipv4 scanner_ip, std::uint64_t seed)
-      : world_(world), scanner_ip_(scanner_ip), rng_(seed) {}
+  // `threads` = 0 picks hardware_concurrency for scan(); results are
+  // identical for every value.
+  ChaosScanner(net::World& world, net::Ipv4 scanner_ip, std::uint64_t seed,
+               unsigned threads = 0)
+      : world_(world), scanner_ip_(scanner_ip), seed_(seed),
+        threads_(threads) {}
 
   ChaosResult probe(net::Ipv4 resolver);
   std::vector<ChaosResult> scan(const std::vector<net::Ipv4>& resolvers);
@@ -36,7 +45,8 @@ class ChaosScanner {
  private:
   net::World& world_;
   net::Ipv4 scanner_ip_;
-  util::Rng rng_;
+  std::uint64_t seed_;
+  unsigned threads_;
 };
 
 }  // namespace dnswild::scan

@@ -1,5 +1,6 @@
 #include "scan/domain_scan.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "dns/message.h"
@@ -67,21 +68,49 @@ std::vector<TupleRecord> DomainScanner::scan(
   if (resolvers.size() > kMaxResolverId + 1) {
     throw std::length_error("resolver list exceeds the 25-bit ID space");
   }
-  std::vector<TupleRecord> records;
-  records.reserve(resolvers.size() * domains.size());
+  const auto resolver_count = static_cast<std::uint32_t>(resolvers.size());
+  const auto domain_count = static_cast<std::uint16_t>(domains.size());
+  // Records live at their final (domain-major) index from the start, so
+  // workers write results straight into place and the output layout never
+  // depends on completion order.
+  std::vector<TupleRecord> records(static_cast<std::size_t>(resolver_count) *
+                                   domain_count);
 
-  const std::uint64_t total = resolvers.size() * domains.size();
-  const std::uint64_t chunk = total > 1000 ? total / 64 : 0;
-  std::uint64_t sent = 0;
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(resolver_count) * domain_count;
+  // Clock advancement happens at domain-epoch barriers: each epoch is one
+  // traffic phase over a slice of the domain set, mirroring the chunked
+  // cadence of the address-space scan.
+  const bool spread = config_.spread_over_hours > 0.0 && total > 1000;
+  const std::uint16_t epochs =
+      spread ? std::min<std::uint16_t>(64, domain_count) : 1;
 
-  // Iterate resolver-major so each resolver sees its queries spaced out.
-  for (std::uint16_t d = 0; d < domains.size(); ++d) {
-    for (std::uint32_t r = 0; r < resolvers.size(); ++r) {
-      records.push_back(probe(resolvers[r], r, domains[d], d));
-      if (chunk != 0 && config_.spread_over_hours > 0.0 &&
-          ++sent % chunk == 0) {
-        world_.advance_days(config_.spread_over_hours / 24.0 / 64.0);
-      }
+  ParallelExecutor executor(config_.threads);
+  for (std::uint16_t e = 0; e < epochs; ++e) {
+    const auto d_begin = static_cast<std::uint16_t>(
+        static_cast<std::uint64_t>(domain_count) * e / epochs);
+    const auto d_end = static_cast<std::uint16_t>(
+        static_cast<std::uint64_t>(domain_count) * (e + 1) / epochs);
+    {
+      net::World::TrafficSection traffic(world_);
+      executor.run_blocks(
+          resolver_count,
+          [&](std::uint64_t begin, std::uint64_t end, unsigned) {
+            // Each worker owns a resolver block and walks it domain-major,
+            // so every resolver sees domains in ascending order regardless
+            // of the thread count.
+            for (std::uint64_t r = begin; r < end; ++r) {
+              for (std::uint16_t d = d_begin; d < d_end; ++d) {
+                records[static_cast<std::size_t>(d) * resolver_count + r] =
+                    probe(resolvers[r], static_cast<std::uint32_t>(r),
+                          domains[d], d);
+              }
+            }
+          });
+    }
+    if (spread && e + 1 < epochs) {
+      world_.advance_days(config_.spread_over_hours / 24.0 /
+                          static_cast<double>(epochs));
     }
   }
   return records;

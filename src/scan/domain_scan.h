@@ -6,6 +6,15 @@
 // reply's source address or port differs from the probe's. Dual responses
 // to a single query (an on-path injector racing the resolver) are recorded
 // with both answer sets — the censorship analysis keys on them (§4.2).
+//
+// The scan shards *by resolver*: each worker owns a contiguous resolver
+// block and walks it domain-major, so every resolver still receives its
+// queries in ascending domain order from exactly one thread — which is
+// what keeps per-resolver state (cache, drop/latency stream) on the same
+// deterministic schedule for any `threads` value. Records land in their
+// global (domain-major) slots, so the output layout is thread-invariant.
+// Resolver lists must not contain duplicate addresses (scan populations
+// never do); duplicates would hand one endpoint to two workers.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +24,7 @@
 #include "dns/types.h"
 #include "net/world.h"
 #include "scan/encoding.h"
+#include "scan/executor.h"
 #include "util/rng.h"
 
 namespace dnswild::scan {
@@ -25,8 +35,11 @@ struct DomainScanConfig {
   std::uint64_t seed = 0;
   // When > 0, the world clock advances across the scan (IP churn during
   // multi-day domain scans is why the paper sees 19.2M distinct suspicious
-  // resolver addresses, §4.1).
+  // resolver addresses, §4.1). Advances happen at domain-chunk barriers.
   double spread_over_hours = 0.0;
+  // Worker threads for the sharded scan; 0 = hardware_concurrency. Results
+  // are identical for every value.
+  unsigned threads = 0;
 };
 
 struct TupleRecord {

@@ -1,0 +1,102 @@
+#include "scan/executor.h"
+
+namespace dnswild::scan {
+
+ParallelExecutor::ParallelExecutor(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  thread_count_ = threads;
+  errors_.resize(thread_count_);
+  pool_.reserve(thread_count_ - 1);
+  for (unsigned i = 0; i + 1 < thread_count_; ++i) {
+    pool_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& thread : pool_) thread.join();
+}
+
+void ParallelExecutor::worker_loop(unsigned index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    std::uint64_t count;
+    const std::function<void(std::uint64_t, std::uint64_t, unsigned)>* fn;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      count = job_count_;
+      fn = job_fn_;
+    }
+    const std::uint64_t begin = block_begin(count, index, thread_count_);
+    const std::uint64_t end = block_begin(count, index + 1, thread_count_);
+    if (begin < end) {
+      try {
+        (*fn)(begin, end, index);
+      } catch (...) {
+        errors_[index] = std::current_exception();
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ParallelExecutor::run_blocks(
+    std::uint64_t count,
+    const std::function<void(std::uint64_t, std::uint64_t, unsigned)>& fn) {
+  if (count == 0) return;
+  if (thread_count_ == 1) {
+    fn(0, count, 0);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_count_ = count;
+    job_fn_ = &fn;
+    pending_ = thread_count_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  // The calling thread works the last block instead of idling.
+  const unsigned last = thread_count_ - 1;
+  const std::uint64_t begin = block_begin(count, last, thread_count_);
+  const std::uint64_t end = count;
+  if (begin < end) {
+    try {
+      fn(begin, end, last);
+    } catch (...) {
+      errors_[last] = std::current_exception();
+    }
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    job_fn_ = nullptr;
+  }
+  for (std::exception_ptr& error : errors_) {
+    if (error) {
+      const std::exception_ptr first = error;
+      for (std::exception_ptr& e : errors_) e = nullptr;
+      std::rethrow_exception(first);
+    }
+  }
+}
+
+}  // namespace dnswild::scan

@@ -1,0 +1,75 @@
+// Deterministic fan-out for the scan engines.
+//
+// ParallelExecutor owns a pool of worker threads and runs an index range
+// [0, count) split into one contiguous block per worker — block b covers
+// [b*count/T, (b+1)*count/T). The static partition (no work stealing) is
+// what makes sharded scans thread-count invariant: within a shard, work
+// executes in ascending index order, so any per-destination state sees a
+// deterministic request sequence, and concatenating per-shard results in
+// shard order reproduces the global index order for every thread count.
+//
+// Coordinator code (clock barriers, permutation drawing, shard merging)
+// runs on the calling thread between run_blocks() calls, which act as full
+// barriers: run_blocks returns only after every worker finished its block,
+// with the workers' writes visible to the caller.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dnswild::scan {
+
+class ParallelExecutor {
+ public:
+  // threads == 0 selects std::thread::hardware_concurrency(). A resolved
+  // count of 1 runs everything inline on the calling thread (no pool).
+  explicit ParallelExecutor(unsigned threads = 0);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  unsigned threads() const noexcept { return thread_count_; }
+
+  // Block worker `b` of `T` processes indices [b*count/T, (b+1)*count/T).
+  static std::uint64_t block_begin(std::uint64_t count, unsigned block,
+                                   unsigned blocks) noexcept {
+    return count * block / blocks;
+  }
+
+  // fn(begin, end, worker) is invoked once per worker with its contiguous
+  // block; empty blocks are skipped. Blocks: full barrier on return. An
+  // exception thrown by any worker is rethrown on the calling thread (the
+  // first one, by worker index).
+  void run_blocks(std::uint64_t count,
+                  const std::function<void(std::uint64_t begin,
+                                           std::uint64_t end,
+                                           unsigned worker)>& fn);
+
+ private:
+  void worker_loop(unsigned index);
+
+  unsigned thread_count_ = 1;
+  std::vector<std::thread> pool_;  // thread_count_ - 1 entries; the caller
+                                   // doubles as the last worker
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;   // bumped per run_blocks dispatch
+  unsigned pending_ = 0;           // pool workers still running this job
+  bool shutdown_ = false;
+
+  // Job state for the current generation.
+  std::uint64_t job_count_ = 0;
+  const std::function<void(std::uint64_t, std::uint64_t, unsigned)>* job_fn_ =
+      nullptr;
+  std::vector<std::exception_ptr> errors_;
+};
+
+}  // namespace dnswild::scan

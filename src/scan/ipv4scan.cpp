@@ -1,7 +1,10 @@
 #include "scan/ipv4scan.h"
 
+#include <algorithm>
+
 #include "scan/encoding.h"
 #include "scan/permute.h"
+#include "util/hash.h"
 #include "util/strings.h"
 
 namespace dnswild::scan {
@@ -9,16 +12,21 @@ namespace dnswild::scan {
 Ipv4Scanner::Ipv4Scanner(net::World& world, Ipv4ScanConfig config)
     : world_(world), config_(std::move(config)), rng_(config_.seed) {}
 
-void Ipv4Scanner::probe_one(net::Ipv4 target, Ipv4ScanSummary& summary) {
+void Ipv4Scanner::probe_one(net::Ipv4 target, std::uint64_t salt,
+                            std::string& prefix, Ipv4ScanSummary& summary) {
   ++summary.probed;
 
-  // Random label prefix defeats caching along the path (§2.2).
-  const std::string prefix = "p" + util::hex32(
-      static_cast<std::uint32_t>(rng_.next()));
-  const dns::Name probe_name =
-      make_probe_name(prefix, target, config_.zone);
+  // Random label prefix defeats caching along the path (§2.2). Prefix and
+  // TXID are hashed from the probe identity, not drawn from a stream, so a
+  // probe looks the same no matter which worker sends it or when.
+  const std::uint64_t key =
+      util::hash_words({config_.seed, salt, target.value()});
+  prefix.clear();
+  prefix.push_back('p');
+  util::append_hex32(prefix, static_cast<std::uint32_t>(key));
+  const dns::Name probe_name = make_probe_name(prefix, target, config_.zone);
   dns::Message query = dns::Message::make_query(
-      static_cast<std::uint16_t>(rng_.next()), probe_name, dns::RType::kA);
+      static_cast<std::uint16_t>(key >> 32), probe_name, dns::RType::kA);
 
   net::UdpPacket packet;
   packet.src = config_.scanner_ip;
@@ -30,6 +38,8 @@ void Ipv4Scanner::probe_one(net::Ipv4 target, Ipv4ScanSummary& summary) {
   std::vector<net::UdpReply> replies = world_.send_udp(packet);
   for (int attempt = 0; replies.empty() && attempt < config_.retries;
        ++attempt) {
+    // Identical retransmission; the bumped seq gives it independent loss.
+    packet.seq = static_cast<std::uint32_t>(attempt) + 1;
     replies = world_.send_udp(packet);
   }
   for (const net::UdpReply& reply : replies) {
@@ -61,29 +71,96 @@ void Ipv4Scanner::probe_one(net::Ipv4 target, Ipv4ScanSummary& summary) {
   }
 }
 
+void Ipv4Scanner::probe_block(const std::vector<net::Ipv4>& targets,
+                              std::uint64_t begin, std::uint64_t end,
+                              std::uint64_t salt, bool check_reserved,
+                              Ipv4ScanSummary& shard) {
+  std::string prefix;
+  prefix.reserve(16);
+  for (std::uint64_t i = begin; i < end; ++i) {
+    const net::Ipv4 target = targets[i];
+    if (check_reserved && net::is_reserved(target)) {
+      ++shard.skipped_reserved;
+      continue;
+    }
+    if (config_.blacklist != nullptr && config_.blacklist->contains(target)) {
+      ++shard.skipped_blacklist;
+      continue;
+    }
+    probe_one(target, salt, prefix, shard);
+  }
+}
+
+void Ipv4Scanner::probe_batch(const std::vector<net::Ipv4>& targets,
+                              std::uint64_t salt, bool check_reserved,
+                              ParallelExecutor& executor,
+                              Ipv4ScanSummary& summary) {
+  std::vector<Ipv4ScanSummary> shards(executor.threads());
+  {
+    net::World::TrafficSection traffic(world_);
+    executor.run_blocks(
+        targets.size(),
+        [&](std::uint64_t begin, std::uint64_t end, unsigned worker) {
+          probe_block(targets, begin, end, salt, check_reserved,
+                      shards[worker]);
+        });
+  }
+  // Exact-size reserve, then append shards in block order: contiguous
+  // blocks concatenate back into the enumeration order, so the merged
+  // summary is byte-identical for every thread count.
+  std::size_t responders = summary.responders.size();
+  std::size_t noerror_targets = summary.noerror_targets.size();
+  for (const Ipv4ScanSummary& shard : shards) {
+    responders += shard.responders.size();
+    noerror_targets += shard.noerror_targets.size();
+  }
+  summary.responders.reserve(responders);
+  summary.noerror_targets.reserve(noerror_targets);
+  for (Ipv4ScanSummary& shard : shards) {
+    summary.probed += shard.probed;
+    summary.skipped_reserved += shard.skipped_reserved;
+    summary.skipped_blacklist += shard.skipped_blacklist;
+    summary.responses += shard.responses;
+    summary.noerror += shard.noerror;
+    summary.refused += shard.refused;
+    summary.servfail += shard.servfail;
+    summary.nxdomain += shard.nxdomain;
+    summary.other_rcode += shard.other_rcode;
+    summary.multihomed += shard.multihomed;
+    summary.noerror_targets.insert(summary.noerror_targets.end(),
+                                   shard.noerror_targets.begin(),
+                                   shard.noerror_targets.end());
+    summary.responders.insert(summary.responders.end(),
+                              shard.responders.begin(),
+                              shard.responders.end());
+  }
+}
+
 Ipv4ScanSummary Ipv4Scanner::scan(const std::vector<net::Cidr>& universe) {
   Ipv4ScanSummary summary;
   UniversePermutation permutation(
       universe, static_cast<std::uint32_t>(rng_.next()));
+  const std::uint64_t salt = rng_.next();
   const std::uint64_t total = permutation.size();
   // Clock advancement cadence: chunked so churn unfolds across the scan.
-  const std::uint64_t chunk = total > 1000 ? total / 64 : 0;
-  std::uint64_t since_advance = 0;
+  // Each chunk is one traffic phase; the clock only moves at the barriers.
+  const std::uint64_t chunk =
+      (config_.spread_over_hours > 0.0 && total > 1000) ? total / 64 : total;
 
-  net::Ipv4 target;
-  while (permutation.next(target)) {
-    if (net::is_reserved(target)) {
-      ++summary.skipped_reserved;
-      continue;
+  ParallelExecutor executor(config_.threads);
+  std::vector<net::Ipv4> targets;
+  targets.reserve(static_cast<std::size_t>(std::min(chunk, total)));
+
+  net::Ipv4 next;
+  bool more = permutation.next(next);
+  while (more) {
+    targets.clear();
+    while (more && targets.size() < chunk) {
+      targets.push_back(next);
+      more = permutation.next(next);
     }
-    if (config_.blacklist != nullptr && config_.blacklist->contains(target)) {
-      ++summary.skipped_blacklist;
-      continue;
-    }
-    probe_one(target, summary);
-    if (chunk != 0 && config_.spread_over_hours > 0.0 &&
-        ++since_advance >= chunk) {
-      since_advance = 0;
+    probe_batch(targets, salt, /*check_reserved=*/true, executor, summary);
+    if (more && config_.spread_over_hours > 0.0) {
       world_.advance_days(config_.spread_over_hours / 24.0 / 64.0);
     }
   }
@@ -93,13 +170,9 @@ Ipv4ScanSummary Ipv4Scanner::scan(const std::vector<net::Cidr>& universe) {
 Ipv4ScanSummary Ipv4Scanner::probe_targets(
     const std::vector<net::Ipv4>& targets) {
   Ipv4ScanSummary summary;
-  for (const net::Ipv4 target : targets) {
-    if (config_.blacklist != nullptr && config_.blacklist->contains(target)) {
-      ++summary.skipped_blacklist;
-      continue;
-    }
-    probe_one(target, summary);
-  }
+  const std::uint64_t salt = rng_.next();
+  ParallelExecutor executor(config_.threads);
+  probe_batch(targets, salt, /*check_reserved=*/false, executor, summary);
   return summary;
 }
 

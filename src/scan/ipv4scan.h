@@ -6,6 +6,15 @@
 // host that set that flag regardless of the answer content, matching the
 // paper's accounting. Multi-homed hosts — replies whose source differs
 // from the probed target — are recovered through the hex-IP encoding.
+//
+// The scan is sharded across a ParallelExecutor: the enumeration is cut
+// into contiguous blocks, one per worker, and shard summaries are merged
+// in block order, so the summary is byte-identical for every `threads`
+// value. Each probe's random identity (label prefix, TXID) is a pure hash
+// of (seed, scan salt, target), never a draw from a shared stream. When
+// `spread_over_hours` > 0 the enumeration is chunked and the world clock
+// advances at the chunk barriers, so DHCP churn still unfolds *during*
+// the scan while the traffic phase itself stays mutation-free.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +26,7 @@
 #include "dns/name.h"
 #include "net/world.h"
 #include "scan/blacklist.h"
+#include "scan/executor.h"
 #include "util/rng.h"
 
 namespace dnswild::scan {
@@ -34,6 +44,9 @@ struct Ipv4ScanConfig {
   // low loss instead of retrying (§5); retries exist for lossy-world
   // experiments and the loss-ablation microbenchmark.
   int retries = 0;
+  // Worker threads for the sharded scan; 0 = hardware_concurrency. Results
+  // are identical for every value.
+  unsigned threads = 0;
 };
 
 struct Ipv4ScanSummary {
@@ -68,11 +81,23 @@ class Ipv4Scanner {
   Ipv4ScanSummary probe_targets(const std::vector<net::Ipv4>& targets);
 
  private:
-  void probe_one(net::Ipv4 target, Ipv4ScanSummary& summary);
+  // One probe; `prefix` is a scratch buffer reused across a shard's probes
+  // so the per-probe label costs no allocation once warm.
+  void probe_one(net::Ipv4 target, std::uint64_t salt, std::string& prefix,
+                 Ipv4ScanSummary& summary);
+  // Sequential sweep of targets[begin, end) into a shard summary.
+  void probe_block(const std::vector<net::Ipv4>& targets, std::uint64_t begin,
+                   std::uint64_t end, std::uint64_t salt, bool check_reserved,
+                   Ipv4ScanSummary& shard);
+  // Fans one batch out across the executor and merges shards in block
+  // order (= enumeration order, for any thread count).
+  void probe_batch(const std::vector<net::Ipv4>& targets, std::uint64_t salt,
+                   bool check_reserved, ParallelExecutor& executor,
+                   Ipv4ScanSummary& summary);
 
   net::World& world_;
   Ipv4ScanConfig config_;
-  util::Rng rng_;
+  util::Rng rng_;  // coordinator-only: permutation seed + per-scan salt
 };
 
 }  // namespace dnswild::scan

@@ -1,0 +1,31 @@
+#include "util/hash.h"
+
+#include "util/rng.h"
+
+namespace dnswild::util {
+
+std::uint64_t hash_words(std::initializer_list<std::uint64_t> words) noexcept {
+  // Sponge-style: absorb each finalized word into a running splitmix state.
+  // hash_words({a, b}) != hash_words({b, a}) because the state at absorption
+  // time differs.
+  std::uint64_t state = 0x6a09e667f3bcc908ULL;  // sqrt(2), arbitrary nonzero
+  for (const std::uint64_t word : words) {
+    state = mix64(state ^ mix64(word));
+  }
+  return state;
+}
+
+std::uint64_t digest_bytes(const std::vector<std::uint8_t>& bytes) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+double hash_unit(std::uint64_t word) noexcept {
+  return static_cast<double>(word >> 11) * 0x1.0p-53;
+}
+
+}  // namespace dnswild::util

@@ -1,0 +1,30 @@
+// Stateless splitmix-style hashing for per-packet randomness.
+//
+// The concurrent traffic plane (net::World) must give every datagram a fate
+// — lost / delivered, and any forged content riding along — that depends
+// only on *what* the packet is, never on *when* it was sent relative to
+// other threads' packets. These helpers derive that randomness by hashing
+// the packet identity (world seed, addresses, ports, payload digest,
+// per-sender sequence) into 64-bit words; drawing from the result is
+// reproducible under any thread count and any call interleaving, unlike a
+// shared util::Rng whose stream order depends on scheduling.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+namespace dnswild::util {
+
+// Order-sensitive combination of words into one 64-bit hash; every word is
+// passed through a splitmix64 finalizer so low-entropy inputs (small ints,
+// IPv4 addresses) still flip about half the output bits.
+std::uint64_t hash_words(std::initializer_list<std::uint64_t> words) noexcept;
+
+// FNV-1a over raw bytes, for payload digests.
+std::uint64_t digest_bytes(const std::vector<std::uint8_t>& bytes) noexcept;
+
+// Maps a hash word to a uniform double in [0, 1).
+double hash_unit(std::uint64_t word) noexcept;
+
+}  // namespace dnswild::util

@@ -93,6 +93,16 @@ std::string hex32(std::uint32_t value) {
   return out;
 }
 
+void append_hex32(std::string& out, std::uint32_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  const std::size_t base = out.size();
+  out.resize(base + 8, '0');
+  for (std::size_t i = 8; i-- > 0;) {
+    out[base + i] = kDigits[value & 0xf];
+    value >>= 4;
+  }
+}
+
 std::optional<std::uint32_t> parse_hex32(std::string_view text) noexcept {
   if (text.size() != 8) return std::nullopt;
   std::uint32_t value = 0;

@@ -50,6 +50,10 @@ std::string_view trim(std::string_view text) noexcept;
 // Lower-case hexadecimal rendering of a 32-bit value, zero-padded to 8 chars.
 std::string hex32(std::uint32_t value);
 
+// Appends the same 8 hex chars to `out` without a temporary string, so hot
+// loops can reuse one buffer's capacity across iterations.
+void append_hex32(std::string& out, std::uint32_t value);
+
 // Parse 8 hex characters into a 32-bit value; nullopt on malformed input.
 std::optional<std::uint32_t> parse_hex32(std::string_view text) noexcept;
 

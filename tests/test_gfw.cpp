@@ -95,7 +95,12 @@ TEST(Gfw, ForgedRepliesVaryPerQuery) {
   std::set<std::uint32_t> seen;
   for (int i = 0; i < 20; ++i) {
     std::vector<net::UdpReply> replies;
-    injector(query_packet("twitter.com", net::Ipv4(60, 1, 1, 1)), replies);
+    // Forged content is a pure function of the packet identity; distinct
+    // transmissions of the same query must bump seq, as retransmitting
+    // senders do.
+    net::UdpPacket packet = query_packet("twitter.com", net::Ipv4(60, 1, 1, 1));
+    packet.seq = static_cast<std::uint32_t>(i);
+    injector(packet, replies);
     ASSERT_EQ(replies.size(), 1u);
     const auto forged = dns::Message::decode(replies[0].packet.payload);
     seen.insert(forged->answer_ips()[0].value());

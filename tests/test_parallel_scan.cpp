@@ -1,0 +1,215 @@
+// Thread-count invariance of the parallel scan engine.
+//
+// The contract under test: every scanner produces byte-identical results
+// for any `threads` value, because probe identities are pure hashes and
+// shards merge in deterministic block order. Worlds mutate during a scan
+// (DHCP churn at chunk barriers, resolver cache warm-up), so each thread
+// count gets a freshly generated world from the same seed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "fixtures.h"
+#include "scan/banner_scan.h"
+#include "scan/chaos_scan.h"
+#include "scan/domain_scan.h"
+#include "scan/executor.h"
+#include "scan/ipv4scan.h"
+#include "worldgen/worldgen.h"
+
+namespace dnswild {
+namespace {
+
+worldgen::WorldGenConfig small_config() {
+  worldgen::WorldGenConfig config;
+  config.seed = 77;
+  config.resolver_count = 400;
+  config.loss_rate = 0.02;  // exercise the per-packet loss hashing
+  return config;
+}
+
+struct ScanRun {
+  scan::Ipv4ScanSummary summary;
+  std::vector<scan::TupleRecord> records;
+  std::vector<scan::ChaosResult> chaos;
+  std::vector<scan::BannerResult> banners;
+  std::uint64_t udp_sent = 0;
+  std::uint64_t udp_delivered = 0;
+  std::uint64_t udp_dropped_filtered = 0;
+};
+
+// Runs the full scanner battery at one thread count on a fresh world.
+ScanRun run_at(unsigned threads) {
+  worldgen::GeneratedWorld gen = worldgen::generate_world(small_config());
+  ScanRun run;
+
+  scan::Ipv4ScanConfig scan_config;
+  scan_config.scanner_ip = gen.scanner_ip;
+  scan_config.zone = gen.scan_zone;
+  scan_config.blacklist = &gen.blacklist;
+  scan_config.seed = 42;
+  scan_config.spread_over_hours = 48.0;  // chunk barriers + DHCP churn
+  scan_config.retries = 1;               // retransmission seq bumping
+  scan_config.threads = threads;
+  scan::Ipv4Scanner scanner(*gen.world, scan_config);
+  run.summary = scanner.scan(gen.universe);
+
+  // Domain scan over a slice of the discovered population.
+  std::vector<net::Ipv4> resolvers = run.summary.noerror_targets;
+  if (resolvers.size() > 120) resolvers.resize(120);
+  std::vector<std::string> names;
+  for (const core::StudyDomain& domain : gen.domains.all()) {
+    names.push_back(domain.name);
+    if (names.size() == 12) break;
+  }
+  scan::DomainScanConfig domain_config;
+  domain_config.scanner_ip = gen.scanner_ip;
+  domain_config.seed = 43;
+  domain_config.spread_over_hours = 24.0;
+  domain_config.threads = threads;
+  scan::DomainScanner domain_scanner(*gen.world, domain_config);
+  run.records = domain_scanner.scan(resolvers, names);
+
+  scan::ChaosScanner chaos(*gen.world, gen.scanner_ip, 44, threads);
+  run.chaos = chaos.scan(resolvers);
+  scan::BannerScanner banner(*gen.world, gen.scanner_ip, threads);
+  run.banners = banner.scan(resolvers);
+
+  run.udp_sent = gen.world->udp_sent();
+  run.udp_delivered = gen.world->udp_delivered();
+  run.udp_dropped_filtered = gen.world->udp_dropped_filtered();
+  return run;
+}
+
+void expect_equal(const scan::Ipv4ScanSummary& a,
+                  const scan::Ipv4ScanSummary& b) {
+  EXPECT_EQ(a.probed, b.probed);
+  EXPECT_EQ(a.skipped_reserved, b.skipped_reserved);
+  EXPECT_EQ(a.skipped_blacklist, b.skipped_blacklist);
+  EXPECT_EQ(a.responses, b.responses);
+  EXPECT_EQ(a.noerror, b.noerror);
+  EXPECT_EQ(a.refused, b.refused);
+  EXPECT_EQ(a.servfail, b.servfail);
+  EXPECT_EQ(a.nxdomain, b.nxdomain);
+  EXPECT_EQ(a.other_rcode, b.other_rcode);
+  EXPECT_EQ(a.multihomed, b.multihomed);
+  EXPECT_EQ(a.noerror_targets, b.noerror_targets);
+  EXPECT_EQ(a.responders, b.responders);
+}
+
+void expect_equal(const scan::TupleRecord& a, const scan::TupleRecord& b) {
+  EXPECT_EQ(a.resolver_id, b.resolver_id);
+  EXPECT_EQ(a.domain_index, b.domain_index);
+  EXPECT_EQ(a.responded, b.responded);
+  EXPECT_EQ(a.case_fallback, b.case_fallback);
+  EXPECT_EQ(a.rcode, b.rcode);
+  EXPECT_EQ(a.ips, b.ips);
+  EXPECT_EQ(a.ns_only, b.ns_only);
+  EXPECT_EQ(a.dual_response, b.dual_response);
+  EXPECT_EQ(a.second_ips, b.second_ips);
+}
+
+void expect_equal(const ScanRun& a, const ScanRun& b) {
+  expect_equal(a.summary, b.summary);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    expect_equal(a.records[i], b.records[i]);
+  }
+  ASSERT_EQ(a.chaos.size(), b.chaos.size());
+  for (std::size_t i = 0; i < a.chaos.size(); ++i) {
+    EXPECT_EQ(a.chaos[i].resolver, b.chaos[i].resolver);
+    EXPECT_EQ(a.chaos[i].responded, b.chaos[i].responded);
+    EXPECT_EQ(a.chaos[i].version_bind, b.chaos[i].version_bind);
+    EXPECT_EQ(a.chaos[i].version_server, b.chaos[i].version_server);
+    EXPECT_EQ(a.chaos[i].rcode_bind, b.chaos[i].rcode_bind);
+    EXPECT_EQ(a.chaos[i].rcode_server, b.chaos[i].rcode_server);
+  }
+  ASSERT_EQ(a.banners.size(), b.banners.size());
+  for (std::size_t i = 0; i < a.banners.size(); ++i) {
+    EXPECT_EQ(a.banners[i].resolver, b.banners[i].resolver);
+    EXPECT_EQ(a.banners[i].any_tcp_payload, b.banners[i].any_tcp_payload);
+    EXPECT_EQ(a.banners[i].combined, b.banners[i].combined);
+  }
+  EXPECT_EQ(a.udp_sent, b.udp_sent);
+  EXPECT_EQ(a.udp_delivered, b.udp_delivered);
+  EXPECT_EQ(a.udp_dropped_filtered, b.udp_dropped_filtered);
+}
+
+TEST(ParallelScan, ThreadCountInvariant) {
+  const ScanRun baseline = run_at(1);
+  // Scans must have found something for the comparison to mean anything.
+  ASSERT_GT(baseline.summary.noerror, 0u);
+  ASSERT_FALSE(baseline.records.empty());
+  ASSERT_GT(baseline.udp_sent, 0u);
+
+  const ScanRun two = run_at(2);
+  expect_equal(baseline, two);
+  const ScanRun eight = run_at(8);
+  expect_equal(baseline, eight);
+}
+
+TEST(ParallelScan, MutatorsThrowDuringTrafficPhase) {
+  test::MiniWorld mini = test::make_mini_world();
+  net::World& world = *mini.world;
+  EXPECT_FALSE(world.in_traffic_phase());
+  {
+    net::World::TrafficSection traffic(world);
+    EXPECT_TRUE(world.in_traffic_phase());
+    EXPECT_THROW(world.set_loss_rate(0.1), std::logic_error);
+    EXPECT_THROW(world.add_host(net::HostConfig{}), std::logic_error);
+    EXPECT_THROW(world.advance_days(1.0), std::logic_error);
+  }
+  EXPECT_FALSE(world.in_traffic_phase());
+  world.set_loss_rate(0.1);  // legal again after the section closes
+}
+
+TEST(ParallelExecutor, BlocksPartitionTheRange) {
+  for (std::uint64_t count : {0ull, 1ull, 7ull, 64ull, 1001ull}) {
+    for (unsigned blocks : {1u, 2u, 3u, 8u, 16u}) {
+      EXPECT_EQ(scan::ParallelExecutor::block_begin(count, 0, blocks), 0u);
+      EXPECT_EQ(scan::ParallelExecutor::block_begin(count, blocks, blocks),
+                count);
+      for (unsigned b = 0; b < blocks; ++b) {
+        EXPECT_LE(scan::ParallelExecutor::block_begin(count, b, blocks),
+                  scan::ParallelExecutor::block_begin(count, b + 1, blocks));
+      }
+    }
+  }
+}
+
+TEST(ParallelExecutor, RunBlocksCoversEveryIndexOnce) {
+  scan::ParallelExecutor executor(4);
+  EXPECT_EQ(executor.threads(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  executor.run_blocks(hits.size(),
+                      [&](std::uint64_t begin, std::uint64_t end, unsigned) {
+                        for (std::uint64_t i = begin; i < end; ++i) {
+                          hits[i].fetch_add(1);
+                        }
+                      });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ParallelExecutor, PropagatesWorkerExceptions) {
+  scan::ParallelExecutor executor(3);
+  EXPECT_THROW(
+      executor.run_blocks(100,
+                          [&](std::uint64_t begin, std::uint64_t, unsigned) {
+                            if (begin > 0) throw std::runtime_error("boom");
+                          }),
+      std::runtime_error);
+  // The pool must survive a throwing batch and run the next one.
+  std::atomic<std::uint64_t> sum{0};
+  executor.run_blocks(10,
+                      [&](std::uint64_t begin, std::uint64_t end, unsigned) {
+                        for (std::uint64_t i = begin; i < end; ++i) {
+                          sum.fetch_add(i);
+                        }
+                      });
+  EXPECT_EQ(sum.load(), 45u);
+}
+
+}  // namespace
+}  // namespace dnswild

@@ -257,7 +257,11 @@ TEST(World, LossRateDropsTraffic) {
   world.set_loss_rate(0.5);
   int answered = 0;
   for (int i = 0; i < 2000; ++i) {
-    if (!world.send_udp(probe(Ipv4(1, 2, 3, 4))).empty()) ++answered;
+    // Distinct seq per transmission: a packet's fate is a pure hash of its
+    // identity, so identical retransmissions must bump seq to re-roll.
+    UdpPacket packet = probe(Ipv4(1, 2, 3, 4));
+    packet.seq = static_cast<std::uint32_t>(i);
+    if (!world.send_udp(packet).empty()) ++answered;
   }
   // Request and reply both face 50% loss: ~25% success.
   EXPECT_NEAR(answered / 2000.0, 0.25, 0.05);
