@@ -3,10 +3,11 @@
 // the banded-vs-full edit distance ablation from DESIGN.md §5), HAC
 // scaling, HTML feature extraction, and end-to-end resolver query handling.
 //
-// main() additionally sweeps the parallel address-space scan across worker
-// counts and writes the probes/sec results to BENCH_micro.json (path
-// overridable via --json <path> or DNSWILD_BENCH_JSON) before the
-// google-benchmark suite runs.
+// main() additionally sweeps the parallel address-space scan and the
+// parallel clustering stage (feature extraction + condensed distance-matrix
+// fill) across worker counts and writes the throughput results to
+// BENCH_micro.json (path overridable via --json <path> or
+// DNSWILD_BENCH_JSON) before the google-benchmark suite runs.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -14,6 +15,7 @@
 #include <thread>
 
 #include "common.h"
+#include "cluster/condensed.h"
 #include "cluster/distance.h"
 #include "cluster/hac.h"
 #include "dns/encoding0x20.h"
@@ -23,6 +25,7 @@
 #include "net/lfsr.h"
 #include "resolver/resolver.h"
 #include "scan/encoding.h"
+#include "scan/executor.h"
 #include "scan/ipv4scan.h"
 #include "scan/permute.h"
 #include "util/hash.h"
@@ -126,6 +129,20 @@ void BM_EditDistanceBanded(benchmark::State& state) {
 }
 BENCHMARK(BM_EditDistanceBanded)->Range(64, 2048)->Complexity();
 
+void BM_EditDistanceAdaptive(benchmark::State& state) {
+  // Ablation third leg: the production path (length fast paths + Ukkonen
+  // doubling band, exact by construction) vs the fixed-band and full DP
+  // variants above.
+  const std::string a(static_cast<std::size_t>(state.range(0)), 'a');
+  std::string b = a;
+  for (std::size_t i = 0; i < b.size(); i += 7) b[i] = 'b';
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::edit_distance_adaptive(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EditDistanceAdaptive)->Range(64, 2048)->Complexity();
+
 void BM_PageFeatureExtraction(benchmark::State& state) {
   const std::string html = http::legit_site(
       "news.example", http::SiteCategory::kAlexa, 0, 1);
@@ -144,6 +161,18 @@ void BM_PageDistance(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PageDistance);
+
+void BM_PageDistanceBreakdown(benchmark::State& state) {
+  // Ablation partner for BM_PageDistance: the straight-line reference
+  // breakdown (full DP on every edit feature, no cheap-first ordering).
+  const auto a = http::extract_features(http::legit_site(
+      "a.example", http::SiteCategory::kBanking, 0, 1));
+  const auto b = http::extract_features(http::censorship_page("TR", 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::page_distance_breakdown(a, b));
+  }
+}
+BENCHMARK(BM_PageDistanceBreakdown);
 
 void BM_HacAverageLinkage(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -268,6 +297,111 @@ bench::ScanBenchEntry measure_scan(unsigned threads,
   return entry;
 }
 
+// Synthetic unique-page corpus spanning the content classes the study
+// clusters (legit sites, censorship/blocking pages, parking, router
+// logins, error pages, search portals).
+std::vector<std::string> cluster_corpus(std::size_t count) {
+  std::vector<std::string> corpus;
+  corpus.reserve(count);
+  const http::SiteCategory categories[] = {
+      http::SiteCategory::kAlexa,   http::SiteCategory::kBanking,
+      http::SiteCategory::kAdult,   http::SiteCategory::kGambling,
+      http::SiteCategory::kMail,    http::SiteCategory::kFilesharing,
+  };
+  std::size_t v = 0;
+  while (corpus.size() < count) {
+    switch (v % 7) {
+      case 0:
+        corpus.push_back(http::legit_site(
+            "site" + std::to_string(v) + ".example",
+            categories[v % (sizeof categories / sizeof categories[0])], v,
+            1));
+        break;
+      case 1: corpus.push_back(http::censorship_page("TR", v)); break;
+      case 2:
+        corpus.push_back(http::blocking_page(v % 3, v, "blocked.example"));
+        break;
+      case 3:
+        corpus.push_back(
+            http::parking_page("lot" + std::to_string(v) + ".example", v));
+        break;
+      case 4: corpus.push_back(http::router_login(v % 4, v)); break;
+      case 5:
+        corpus.push_back(http::error_page(static_cast<int>(400 + v % 100), v));
+        break;
+      case 6: corpus.push_back(http::search_page(v, "q.example", false)); break;
+    }
+    ++v;
+  }
+  return corpus;
+}
+
+// The two parallel stages of the clustering plane at one worker count:
+// per-page feature extraction and the condensed distance-matrix fill
+// (both sharded over ParallelExecutor::run_blocks exactly as
+// classify_responses / hac_average_linkage shard them).
+bench::ClusterBenchEntry measure_cluster(unsigned threads,
+                                         const std::vector<std::string>& corpus) {
+  scan::ParallelExecutor executor(threads);
+  const std::size_t n = corpus.size();
+
+  std::vector<http::PageFeatures> features(n);
+  auto start = std::chrono::steady_clock::now();
+  executor.run_blocks(n, [&](std::uint64_t begin, std::uint64_t end, unsigned) {
+    for (std::uint64_t i = begin; i < end; ++i) {
+      features[i] = http::extract_features(corpus[i]);
+    }
+  });
+  const std::chrono::duration<double> feature_wall =
+      std::chrono::steady_clock::now() - start;
+
+  cluster::CondensedMatrix matrix(n);
+  start = std::chrono::steady_clock::now();
+  executor.run_blocks(
+      matrix.pair_count(),
+      [&](std::uint64_t begin, std::uint64_t end, unsigned) {
+        auto [i, j] = matrix.cell(static_cast<std::size_t>(begin));
+        for (std::uint64_t k = begin; k < end; ++k) {
+          matrix.flat_at(static_cast<std::size_t>(k)) =
+              cluster::page_distance(features[i], features[j]);
+          if (++j == n) {
+            ++i;
+            j = i + 1;
+          }
+        }
+      });
+  const std::chrono::duration<double> distance_wall =
+      std::chrono::steady_clock::now() - start;
+
+  cluster::HacOptions options;
+  options.executor = &executor;
+  start = std::chrono::steady_clock::now();
+  const cluster::Dendrogram dendrogram = cluster::hac_average_linkage(
+      n,
+      [&features](std::size_t a, std::size_t b) {
+        return cluster::page_distance(features[a], features[b]);
+      },
+      options);
+  const std::chrono::duration<double> hac_wall =
+      std::chrono::steady_clock::now() - start;
+  benchmark::DoNotOptimize(dendrogram.merges().size());
+
+  bench::ClusterBenchEntry entry;
+  entry.threads = threads;
+  entry.unique_pages = n;
+  entry.pair_distances = matrix.pair_count();
+  entry.features_per_sec =
+      feature_wall.count() > 0.0
+          ? static_cast<double>(n) / feature_wall.count()
+          : 0.0;
+  entry.distances_per_sec =
+      distance_wall.count() > 0.0
+          ? static_cast<double>(entry.pair_distances) / distance_wall.count()
+          : 0.0;
+  entry.hac_wall_seconds = hac_wall.count();
+  return entry;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -291,8 +425,34 @@ int main(int argc, char** argv) {
                 entry.wall_seconds, entry.probes_per_sec);
     entries.push_back(entry);
   }
-  dnswild::bench::write_scan_bench_json(json_path, "bench_micro", hardware,
-                                        entries);
+
+  const std::size_t corpus_pages = 160;
+  const auto corpus = cluster_corpus(corpus_pages);
+  std::vector<dnswild::bench::ClusterBenchEntry> cluster_entries;
+  for (const unsigned threads : sweep) {
+    const auto entry = measure_cluster(threads, corpus);
+    std::printf(
+        "cluster threads=%u pages=%zu pairs=%llu feat=%.0f/s dist=%.0f/s "
+        "hac=%.3fs\n",
+        threads, entry.unique_pages,
+        static_cast<unsigned long long>(entry.pair_distances),
+        entry.features_per_sec, entry.distances_per_sec,
+        entry.hac_wall_seconds);
+    cluster_entries.push_back(entry);
+  }
+  const std::size_t condensed_bytes =
+      dnswild::cluster::CondensedMatrix::pair_count(corpus_pages) *
+      sizeof(double);
+  const std::size_t square_bytes = corpus_pages * corpus_pages * sizeof(double);
+  std::printf("matrix bytes at n=%zu: condensed=%zu square=%zu (%.2fx)\n",
+              corpus_pages, condensed_bytes, square_bytes,
+              condensed_bytes > 0
+                  ? static_cast<double>(square_bytes) /
+                        static_cast<double>(condensed_bytes)
+                  : 0.0);
+  dnswild::bench::write_micro_bench_json(json_path, "bench_micro", hardware,
+                                         entries, cluster_entries,
+                                         condensed_bytes, square_bytes);
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -46,11 +46,29 @@ struct ScanBenchEntry {
   double probes_per_sec = 0.0;
 };
 
-// Writes the thread sweep as a small self-describing JSON document.
-inline bool write_scan_bench_json(const std::string& path,
-                                  const std::string& bench_name,
-                                  unsigned hardware_threads,
-                                  const std::vector<ScanBenchEntry>& entries) {
+// One clustering-throughput measurement at a fixed worker count: the
+// per-exemplar feature extraction and the pairwise distance-matrix fill
+// (the two parallel stages of classify_responses).
+struct ClusterBenchEntry {
+  unsigned threads = 0;
+  std::size_t unique_pages = 0;
+  std::uint64_t pair_distances = 0;  // condensed matrix cells filled
+  double features_per_sec = 0.0;     // unique pages featurized per second
+  double distances_per_sec = 0.0;    // pairwise page distances per second
+  double hac_wall_seconds = 0.0;     // full hac_average_linkage call
+};
+
+inline double best_speedup(double base, double best) {
+  return base > 0.0 ? best / base : 0.0;
+}
+
+// Writes the scan + clustering thread sweeps as one self-describing JSON
+// document (the machine-readable face of the bench_micro run).
+inline bool write_micro_bench_json(
+    const std::string& path, const std::string& bench_name,
+    unsigned hardware_threads, const std::vector<ScanBenchEntry>& scan,
+    const std::vector<ClusterBenchEntry>& cluster,
+    std::size_t matrix_bytes_condensed, std::size_t matrix_bytes_square) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -59,23 +77,49 @@ inline bool write_scan_bench_json(const std::string& path,
   std::fprintf(file, "{\n  \"bench\": \"%s\",\n", bench_name.c_str());
   std::fprintf(file, "  \"hardware_threads\": %u,\n", hardware_threads);
   std::fprintf(file, "  \"scan_sweep\": [\n");
-  double base_rate = 0.0;
-  double best_rate = 0.0;
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    const ScanBenchEntry& entry = entries[i];
-    if (entry.threads == 1) base_rate = entry.probes_per_sec;
-    if (entry.probes_per_sec > best_rate) best_rate = entry.probes_per_sec;
+  double scan_base = 0.0;
+  double scan_best = 0.0;
+  for (std::size_t i = 0; i < scan.size(); ++i) {
+    const ScanBenchEntry& entry = scan[i];
+    if (entry.threads == 1) scan_base = entry.probes_per_sec;
+    if (entry.probes_per_sec > scan_best) scan_best = entry.probes_per_sec;
     std::fprintf(file,
                  "    {\"threads\": %u, \"probes\": %llu, "
                  "\"wall_seconds\": %.6f, \"probes_per_sec\": %.1f}%s\n",
                  entry.threads,
                  static_cast<unsigned long long>(entry.probes),
                  entry.wall_seconds, entry.probes_per_sec,
-                 i + 1 < entries.size() ? "," : "");
+                 i + 1 < scan.size() ? "," : "");
   }
   std::fprintf(file, "  ],\n");
-  std::fprintf(file, "  \"best_speedup_vs_1_thread\": %.2f\n}\n",
-               base_rate > 0.0 ? best_rate / base_rate : 0.0);
+  std::fprintf(file, "  \"scan_best_speedup_vs_1_thread\": %.2f,\n",
+               best_speedup(scan_base, scan_best));
+  std::fprintf(file, "  \"cluster_sweep\": [\n");
+  double pair_base = 0.0;
+  double pair_best = 0.0;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const ClusterBenchEntry& entry = cluster[i];
+    if (entry.threads == 1) pair_base = entry.distances_per_sec;
+    if (entry.distances_per_sec > pair_best) {
+      pair_best = entry.distances_per_sec;
+    }
+    std::fprintf(
+        file,
+        "    {\"threads\": %u, \"unique_pages\": %zu, "
+        "\"pair_distances\": %llu, \"features_per_sec\": %.1f, "
+        "\"distances_per_sec\": %.1f, \"hac_wall_seconds\": %.6f}%s\n",
+        entry.threads, entry.unique_pages,
+        static_cast<unsigned long long>(entry.pair_distances),
+        entry.features_per_sec, entry.distances_per_sec,
+        entry.hac_wall_seconds, i + 1 < cluster.size() ? "," : "");
+  }
+  std::fprintf(file, "  ],\n");
+  std::fprintf(file, "  \"cluster_best_speedup_vs_1_thread\": %.2f,\n",
+               best_speedup(pair_base, pair_best));
+  std::fprintf(file,
+               "  \"matrix_bytes_condensed\": %zu,\n"
+               "  \"matrix_bytes_square\": %zu\n}\n",
+               matrix_bytes_condensed, matrix_bytes_square);
   std::fclose(file);
   return true;
 }

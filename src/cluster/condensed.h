@@ -1,0 +1,80 @@
+// Condensed upper-triangular distance matrix.
+//
+// Stores the n(n-1)/2 off-diagonal cells of a symmetric n x n matrix with a
+// zero diagonal in row-major upper-triangular order:
+//   (0,1) (0,2) ... (0,n-1) (1,2) ... (1,n-1) ... (n-2,n-1)
+// This halves the memory of the square layout the HAC used to materialize
+// (n(n-1)/2 doubles instead of n^2), which raises the feasible item count
+// at equal peak RSS. The flat cell range [0, pair_count()) is also the
+// sharding domain of the parallel fill: a contiguous block of flat indices
+// is a contiguous run of triangle rows (split mid-row at block boundaries),
+// every cell has exactly one writer, and each cell's value depends only on
+// its (i, j) pair — so the fill is thread-count invariant by construction.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace dnswild::cluster {
+
+class CondensedMatrix {
+ public:
+  CondensedMatrix() = default;
+  explicit CondensedMatrix(std::size_t items)
+      : items_(items), cells_(pair_count(items), 0.0) {}
+
+  static std::size_t pair_count(std::size_t items) noexcept {
+    return items < 2 ? 0 : items * (items - 1) / 2;
+  }
+
+  std::size_t items() const noexcept { return items_; }
+  std::size_t pair_count() const noexcept { return cells_.size(); }
+  std::size_t bytes() const noexcept { return cells_.size() * sizeof(double); }
+
+  // Flat offset of cell (i, j); requires i < j < items().
+  std::size_t offset(std::size_t i, std::size_t j) const noexcept {
+    return i * (2 * items_ - i - 1) / 2 + (j - i - 1);
+  }
+
+  // Inverse of offset(): the (row, column) pair owning a flat index. The
+  // sharded fill calls this once per block to locate its first cell and
+  // then walks the triangle row-major.
+  std::pair<std::size_t, std::size_t> cell(std::size_t flat) const noexcept {
+    // Largest row i with offset(i, i+1) <= flat; row i owns the flat range
+    // [offset(i, i+1), offset(i, i+1) + items_ - i - 1).
+    std::size_t lo = 0;
+    std::size_t hi = items_ - 2;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo + 1) / 2;
+      if (offset(mid, mid + 1) <= flat) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    return {lo, lo + 1 + (flat - offset(lo, lo + 1))};
+  }
+
+  // Symmetric read with a zero diagonal.
+  double at(std::size_t i, std::size_t j) const noexcept {
+    if (i == j) return 0.0;
+    if (i > j) std::swap(i, j);
+    return cells_[offset(i, j)];
+  }
+
+  // Symmetric write; requires i != j.
+  void set(std::size_t i, std::size_t j, double value) noexcept {
+    if (i > j) std::swap(i, j);
+    cells_[offset(i, j)] = value;
+  }
+
+  // Direct flat-cell access for the sharded fill.
+  double& flat_at(std::size_t flat) noexcept { return cells_[flat]; }
+
+ private:
+  std::size_t items_ = 0;
+  std::vector<double> cells_;
+};
+
+}  // namespace dnswild::cluster

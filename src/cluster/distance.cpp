@@ -1,6 +1,7 @@
 #include "cluster/distance.h"
 
 #include <algorithm>
+#include <array>
 #include <cstdlib>
 
 namespace dnswild::cluster {
@@ -30,19 +31,8 @@ std::size_t levenshtein(const Seq& a, const Seq& b) {
   return row[m];
 }
 
-}  // namespace
-
-std::size_t edit_distance(std::string_view a, std::string_view b) {
-  return levenshtein(a, b);
-}
-
-std::size_t edit_distance(const std::vector<std::uint16_t>& a,
-                          const std::vector<std::uint16_t>& b) {
-  return levenshtein(a, b);
-}
-
-std::size_t edit_distance_banded(std::string_view a, std::string_view b,
-                                 std::size_t band) {
+template <typename Seq>
+std::size_t levenshtein_banded(const Seq& a, const Seq& b, std::size_t band) {
   const std::size_t n = a.size();
   const std::size_t m = b.size();
   const std::size_t size_gap = n > m ? n - m : m - n;
@@ -79,6 +69,61 @@ std::size_t edit_distance_banded(std::string_view a, std::string_view b,
     if (!alive) return band + 1;
   }
   return std::min(row[m], band + 1);
+}
+
+template <typename Seq>
+std::size_t levenshtein_adaptive(const Seq& a, const Seq& b) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  const std::size_t longest = std::max(n, m);
+  const std::size_t gap = n > m ? n - m : m - n;
+  // One side empty (or both): the distance is pinned at `longest`, the
+  // normalized feature contribution is already at its cap — skip the DP.
+  if (gap == longest) return longest;
+  if (gap == 0 && std::equal(a.begin(), a.end(), b.begin(), b.end())) {
+    return 0;
+  }
+  // Grow the band from the length-difference lower bound; a banded result
+  // within the band is exact. Once the band approaches the sequence length
+  // a banded pass costs as much as the full DP, so finish with that.
+  std::size_t band = std::max<std::size_t>(gap, 8);
+  while (band < longest / 2) {
+    const std::size_t d = levenshtein_banded(a, b, band);
+    if (d <= band) return d;
+    band *= 4;
+  }
+  return levenshtein(a, b);
+}
+
+}  // namespace
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  return levenshtein(a, b);
+}
+
+std::size_t edit_distance(const std::vector<std::uint16_t>& a,
+                          const std::vector<std::uint16_t>& b) {
+  return levenshtein(a, b);
+}
+
+std::size_t edit_distance_banded(std::string_view a, std::string_view b,
+                                 std::size_t band) {
+  return levenshtein_banded(a, b, band);
+}
+
+std::size_t edit_distance_banded(const std::vector<std::uint16_t>& a,
+                                 const std::vector<std::uint16_t>& b,
+                                 std::size_t band) {
+  return levenshtein_banded(a, b, band);
+}
+
+std::size_t edit_distance_adaptive(std::string_view a, std::string_view b) {
+  return levenshtein_adaptive(a, b);
+}
+
+std::size_t edit_distance_adaptive(const std::vector<std::uint16_t>& a,
+                                   const std::vector<std::uint16_t>& b) {
+  return levenshtein_adaptive(a, b);
 }
 
 double edit_distance_norm(std::string_view a, std::string_view b) {
@@ -136,19 +181,35 @@ double jaccard_sorted(const std::vector<std::string>& a,
                    static_cast<double>(union_size);
 }
 
+namespace {
+
+// Normalized length gap: the body-length feature, and also the
+// length-difference lower bound of a normalized edit distance.
+double normalized_gap(std::size_t a, std::size_t b) {
+  const std::size_t longest = std::max(a, b);
+  if (longest == 0) return 0.0;
+  return static_cast<double>(longest - std::min(a, b)) /
+         static_cast<double>(longest);
+}
+
+// Normalized adaptive edit distance: same value as edit_distance_norm
+// (the adaptive DP is exact), computed through the banded fast path.
+template <typename Seq>
+double edit_norm_adaptive(const Seq& a, const Seq& b) {
+  const std::size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 0.0;
+  return static_cast<double>(levenshtein_adaptive(a, b)) /
+         static_cast<double>(longest);
+}
+
+}  // namespace
+
 PageDistanceBreakdown page_distance_breakdown(
     const http::PageFeatures& a, const http::PageFeatures& b,
     const PageDistanceOptions& options) {
   PageDistanceBreakdown out;
 
-  const std::size_t longest = std::max(a.body_length, b.body_length);
-  out.length = longest == 0
-                   ? 0.0
-                   : static_cast<double>(
-                         std::max(a.body_length, b.body_length) -
-                         std::min(a.body_length, b.body_length)) /
-                         static_cast<double>(longest);
-
+  out.length = normalized_gap(a.body_length, b.body_length);
   out.tag_multiset = jaccard_multiset(a.tag_counts, b.tag_counts);
 
   const auto clip_seq = [&options](const std::vector<std::uint16_t>& seq) {
@@ -175,7 +236,98 @@ PageDistanceBreakdown page_distance_breakdown(
 
 double page_distance(const http::PageFeatures& a, const http::PageFeatures& b,
                      const PageDistanceOptions& options) {
-  return page_distance_breakdown(a, b, options).combined();
+  PageDistanceBreakdown out;
+
+  // Cheap features first: the O(1) length difference, then the linear set
+  // and multiset comparisons.
+  out.length = normalized_gap(a.body_length, b.body_length);
+  out.resources = jaccard_sorted(a.resources, b.resources);
+  out.links = jaccard_sorted(a.links, b.links);
+  out.tag_multiset = jaccard_multiset(a.tag_counts, b.tag_counts);
+
+  // Clipped operands of the three Levenshtein features (copy the tag
+  // sequence only when it actually exceeds the cap).
+  const auto clip_text = [&options](const std::string& text) {
+    return std::string_view(text).substr(
+        0, std::min(text.size(), options.max_edit_length));
+  };
+  const std::string_view title_a = clip_text(a.title);
+  const std::string_view title_b = clip_text(b.title);
+  const std::string_view scripts_a = clip_text(a.scripts);
+  const std::string_view scripts_b = clip_text(b.scripts);
+
+  std::vector<std::uint16_t> seq_clip_a, seq_clip_b;
+  const std::vector<std::uint16_t>* seq_a = &a.tag_sequence;
+  const std::vector<std::uint16_t>* seq_b = &b.tag_sequence;
+  if (seq_a->size() > options.max_edit_length) {
+    seq_clip_a.assign(seq_a->begin(),
+                      seq_a->begin() + static_cast<std::ptrdiff_t>(
+                                           options.max_edit_length));
+    seq_a = &seq_clip_a;
+  }
+  if (seq_b->size() > options.max_edit_length) {
+    seq_clip_b.assign(seq_b->begin(),
+                      seq_b->begin() + static_cast<std::ptrdiff_t>(
+                                           options.max_edit_length));
+    seq_b = &seq_clip_b;
+  }
+
+  // The Levenshtein features, cheapest DP table first. Each carries the
+  // length-difference lower bound used by the early-exit check below.
+  enum { kTitle, kScripts, kTagSequence };
+  struct EditFeature {
+    int kind;
+    double* slot;
+    double lower_bound;
+    std::size_t cost;  // DP table size estimate
+  };
+  std::array<EditFeature, 3> features = {{
+      {kTitle, &out.title, normalized_gap(title_a.size(),
+                                                 title_b.size()),
+       title_a.size() * title_b.size()},
+      {kScripts, &out.scripts,
+       normalized_gap(scripts_a.size(), scripts_b.size()),
+       scripts_a.size() * scripts_b.size()},
+      {kTagSequence, &out.tag_sequence,
+       normalized_gap(seq_a->size(), seq_b->size()),
+       seq_a->size() * seq_b->size()},
+  }};
+  std::sort(features.begin(), features.end(),
+            [](const EditFeature& x, const EditFeature& y) {
+              return x.cost < y.cost;
+            });
+
+  // Early exit is only armed when the caller allows clamping (cap < 1):
+  // once the computed features plus the lower bounds of the remaining ones
+  // prove the combined distance is >= the cap, the remaining DPs cannot
+  // change the decision and their lower bounds stand in for them. With the
+  // default cap of 1.0 every feature is computed (each through the exact
+  // adaptive DP), so the result equals the breakdown sum bit-for-bit.
+  const bool may_clamp = options.distance_cap < 1.0;
+  const double cheap_sum =
+      out.length + out.resources + out.links + out.tag_multiset;
+  double done_sum = 0.0;
+  double pending_lb = features[0].lower_bound + features[1].lower_bound +
+                      features[2].lower_bound;
+  for (std::size_t f = 0; f < features.size(); ++f) {
+    if (may_clamp &&
+        cheap_sum + done_sum + pending_lb >= options.distance_cap * 7.0) {
+      for (std::size_t r = f; r < features.size(); ++r) {
+        *features[r].slot = features[r].lower_bound;
+      }
+      return out.combined();
+    }
+    double value = 0.0;
+    switch (features[f].kind) {
+      case kTitle: value = edit_norm_adaptive(title_a, title_b); break;
+      case kScripts: value = edit_norm_adaptive(scripts_a, scripts_b); break;
+      case kTagSequence: value = edit_norm_adaptive(*seq_a, *seq_b); break;
+    }
+    *features[f].slot = value;
+    done_sum += value;
+    pending_lb -= features[f].lower_bound;
+  }
+  return out.combined();
 }
 
 }  // namespace dnswild::cluster

@@ -9,6 +9,14 @@
 //   5. edit distance over concatenated JavaScript,
 //   6. Jaccard distance over embedded resources (src= values),
 //   7. Jaccard distance over outgoing links (href= values).
+//
+// page_distance() is the hot path of the clustering stage (it is called for
+// every matrix cell), so it evaluates the features cheapest-first and
+// computes the three Levenshtein features through an adaptive banded DP
+// that is exact but O(d * L) when the true distance d is small — the
+// common case inside clusters. page_distance_breakdown() remains the
+// straight-line reference implementation; the two agree bit-for-bit under
+// default options (pinned by tests/test_parallel_cluster.cpp).
 #pragma once
 
 #include <cstdint>
@@ -27,9 +35,21 @@ std::size_t edit_distance(const std::vector<std::uint16_t>& a,
                           const std::vector<std::uint16_t>& b);
 
 // Banded Levenshtein: exact when the true distance is <= band, otherwise
-// returns a value > band (clamped). Used as a fast path for long inputs.
+// returns a value > band (clamped to band + 1).
 std::size_t edit_distance_banded(std::string_view a, std::string_view b,
                                  std::size_t band);
+std::size_t edit_distance_banded(const std::vector<std::uint16_t>& a,
+                                 const std::vector<std::uint16_t>& b,
+                                 std::size_t band);
+
+// Exact Levenshtein through the banded DP with a growing band seeded from
+// the length-difference lower bound (Ukkonen's doubling scheme). Always
+// equals edit_distance(); costs O(d * max(|a|, |b|)) when the true
+// distance d is small, and skips the DP entirely for equal inputs and for
+// pairs where one side is empty (distance pinned at max(|a|, |b|)).
+std::size_t edit_distance_adaptive(std::string_view a, std::string_view b);
+std::size_t edit_distance_adaptive(const std::vector<std::uint16_t>& a,
+                                   const std::vector<std::uint16_t>& b);
 
 // Normalized edit distance in [0, 1]: distance / max(|a|, |b|); 0 for two
 // empty inputs.
@@ -50,6 +70,19 @@ struct PageDistanceOptions {
   // Cap on edit-distance inputs; longer inputs are compared on prefixes of
   // this length (keeps the O(n^2) features bounded on pathological pages).
   std::size_t max_edit_length = 4096;
+
+  // Early-exit clamp: before each Levenshtein feature, page_distance()
+  // checks a cheap lower bound on the combined distance (computed features
+  // plus the length-difference lower bound of the remaining ones); once
+  // that bound reaches distance_cap, the remaining DPs are skipped and the
+  // bound is returned. The bound is only applied where it provably cannot
+  // alter the returned value below the clamp: with the default cap of 1.0
+  // a triggered exit pins every remaining feature at exactly its true
+  // value (1.0), so the result is bit-identical to the breakdown sum.
+  // Callers that only need to distinguish "farther than t" may set the cap
+  // to t; average-linkage HAC needs exact values, so the classifier keeps
+  // the default.
+  double distance_cap = 1.0;
 };
 
 // The combined seven-feature distance in [0, 1] (equal weights).

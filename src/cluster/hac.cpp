@@ -1,9 +1,14 @@
 #include "cluster/hac.h"
 
 #include <algorithm>
+#include <cmath>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 #include <string>
+
+#include "cluster/condensed.h"
+#include "scan/executor.h"
 
 namespace dnswild::cluster {
 
@@ -36,7 +41,7 @@ std::vector<int> Dendrogram::cut(double threshold) const {
   // Union-find over leaves; apply merges at or below the threshold.
   std::vector<int> parent(leaf_count_ + merges_.size());
   std::iota(parent.begin(), parent.end(), 0);
-  const std::function<int(int)> find = [&](int x) {
+  const auto find = [&parent](int x) {
     while (parent[static_cast<std::size_t>(x)] != x) {
       parent[static_cast<std::size_t>(x)] =
           parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
@@ -65,17 +70,20 @@ std::vector<int> Dendrogram::cut(double threshold) const {
 }
 
 std::size_t Dendrogram::cluster_count(double threshold) const {
-  const auto labels = cut(threshold);
-  return labels.empty()
-             ? 0
-             : static_cast<std::size_t>(
-                   *std::max_element(labels.begin(), labels.end())) +
-                   1;
+  // merges_ is sorted by distance, and every merge joins two clusters that
+  // are distinct at that point of the agglomeration, so each applied merge
+  // reduces the cluster count by exactly one.
+  const auto first_above = std::upper_bound(
+      merges_.begin(), merges_.end(), threshold,
+      [](double t, const Merge& merge) { return t < merge.distance; });
+  return leaf_count_ -
+         static_cast<std::size_t>(first_above - merges_.begin());
 }
 
 std::string Dendrogram::to_text(
     const std::vector<std::string>& leaf_names) const {
   std::string out;
+  out.reserve(merges_.size() * 48);
   for (const Merge& merge : merges_) {
     const auto name = [&](int node) -> std::string {
       if (node < static_cast<int>(leaf_count_)) {
@@ -95,21 +103,51 @@ std::string Dendrogram::to_text(
 }
 
 Dendrogram hac_average_linkage(std::size_t n, const DistanceFn& distance,
-                               std::size_t max_items) {
+                               const HacOptions& options, HacStats* stats) {
   if (n == 0) throw std::invalid_argument("hac: empty input");
-  if (n > max_items) {
+  if (n > options.max_items) {
     throw std::length_error("hac: too many items for a materialized matrix");
+  }
+  if (stats != nullptr) {
+    *stats = HacStats{};
+    stats->items = n;
+    stats->pair_distances = CondensedMatrix::pair_count(n);
+    stats->matrix_bytes = stats->pair_distances * sizeof(double);
   }
   if (n == 1) return Dendrogram(1, {});
 
-  // Materialize the symmetric matrix.
-  std::vector<double> matrix(n * n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double d = distance(i, j);
-      matrix[i * n + j] = d;
-      matrix[j * n + i] = d;
-    }
+  // Materialize the condensed matrix, sharded over the flat cell range.
+  // Each worker owns a contiguous block of cells; a cell's value depends
+  // only on its (i, j) pair, so the result is thread-count invariant.
+  CondensedMatrix matrix(n);
+  scan::ParallelExecutor* executor = options.executor;
+  std::unique_ptr<scan::ParallelExecutor> owned;
+  if (executor == nullptr) {
+    owned = std::make_unique<scan::ParallelExecutor>(options.threads);
+    executor = owned.get();
+  }
+  std::vector<std::size_t> nan_counts(executor->threads(), 0);
+  executor->run_blocks(
+      matrix.pair_count(),
+      [&](std::uint64_t begin, std::uint64_t end, unsigned worker) {
+        auto [i, j] = matrix.cell(static_cast<std::size_t>(begin));
+        std::size_t nans = 0;
+        for (std::uint64_t k = begin; k < end; ++k) {
+          double d = distance(i, j);
+          if (std::isnan(d)) {
+            d = 1.0;  // a NaN cell would poison every comparison below
+            ++nans;
+          }
+          matrix.flat_at(static_cast<std::size_t>(k)) = d;
+          if (++j == n) {
+            ++i;
+            j = i + 1;
+          }
+        }
+        nan_counts[worker] += nans;
+      });
+  if (stats != nullptr) {
+    for (const std::size_t nans : nan_counts) stats->nan_distances += nans;
   }
 
   std::vector<bool> active(n, true);
@@ -133,14 +171,13 @@ Dendrogram hac_average_linkage(std::size_t n, const DistanceFn& distance,
     std::size_t best_index = n;
     for (std::size_t k = 0; k < n; ++k) {
       if (!active[k] || k == a) continue;
-      const double d = matrix[a * n + k];
+      const double d = matrix.at(a, k);
       if (best_index == n || d < best) {
         best = d;
         best_index = k;
       }
     }
-    if (prev < n && active[prev] && prev != a &&
-        matrix[a * n + prev] == best) {
+    if (prev < n && active[prev] && prev != a && matrix.at(a, prev) == best) {
       return prev;
     }
     return best_index;
@@ -163,17 +200,16 @@ Dendrogram hac_average_linkage(std::size_t n, const DistanceFn& distance,
         // Reciprocal nearest neighbours: merge tip and next.
         const std::size_t a = tip;
         const std::size_t b = next;
-        const double d = matrix[a * n + b];
+        const double d = matrix.at(a, b);
         merges.push_back(Merge{node_id[a], node_id[b], next_parent, d});
         // Lance–Williams average-linkage update into slot a.
         const double wa = static_cast<double>(sizes[a]);
         const double wb = static_cast<double>(sizes[b]);
         for (std::size_t k = 0; k < n; ++k) {
           if (!active[k] || k == a || k == b) continue;
-          const double updated =
-              (wa * matrix[a * n + k] + wb * matrix[b * n + k]) / (wa + wb);
-          matrix[a * n + k] = updated;
-          matrix[k * n + a] = updated;
+          matrix.set(a, k,
+                     (wa * matrix.at(a, k) + wb * matrix.at(b, k)) /
+                         (wa + wb));
         }
         active[b] = false;
         sizes[a] += sizes[b];
@@ -188,6 +224,13 @@ Dendrogram hac_average_linkage(std::size_t n, const DistanceFn& distance,
     }
   }
   return Dendrogram(n, std::move(merges));
+}
+
+Dendrogram hac_average_linkage(std::size_t n, const DistanceFn& distance,
+                               std::size_t max_items) {
+  HacOptions options;
+  options.max_items = max_items;
+  return hac_average_linkage(n, distance, options);
 }
 
 }  // namespace dnswild::cluster

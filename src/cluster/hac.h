@@ -2,14 +2,24 @@
 //
 // Implemented with the nearest-neighbour-chain algorithm over a
 // Lance–Williams update, which is exact for average linkage (a reducible
-// linkage) and runs in O(n^2) time / O(n^2) memory on a materialized
-// distance matrix. The study clusters deduplicated page representations,
-// so n stays in the hundreds-to-thousands range.
+// linkage) and runs in O(n^2) time on a materialized distance matrix. The
+// matrix uses the condensed upper-triangular layout (condensed.h), so peak
+// matrix memory is n(n-1)/2 doubles — half of the former square layout at
+// equal n. Matrix materialization is the dominant cost (each cell pays the
+// full page distance) and is parallelized over scan::ParallelExecutor with
+// deterministic contiguous block sharding of the flat cell range: results
+// are byte-identical for every thread count, the same contract as the scan
+// engine. The NN-chain itself is inherently sequential and stays serial.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
+
+namespace dnswild::scan {
+class ParallelExecutor;
+}
 
 namespace dnswild::cluster {
 
@@ -34,7 +44,9 @@ class Dendrogram {
   // label per leaf; labels are compact and ordered by first occurrence.
   std::vector<int> cut(double threshold) const;
 
-  // Number of clusters a given cut produces.
+  // Number of clusters a given cut produces. O(log n): every merge joins
+  // two distinct live clusters, so the count is leaves minus applied
+  // merges — no union-find pass needed.
   std::size_t cluster_count(double threshold) const;
 
   // Multi-line text rendering of the merge tree (for analyst inspection,
@@ -47,11 +59,38 @@ class Dendrogram {
 };
 
 // Pairwise distance callback over item indices; must be symmetric with zero
-// diagonal.
+// diagonal. Called concurrently from the matrix-fill workers, so it must be
+// safe to invoke from multiple threads on distinct (i, j) pairs.
 using DistanceFn = std::function<double(std::size_t, std::size_t)>;
 
+struct HacOptions {
+  // Safety bound on n; the condensed matrix holds n(n-1)/2 doubles.
+  std::size_t max_items = 20000;
+  // Matrix-fill workers; 0 selects hardware_concurrency, 1 runs inline.
+  // Ignored when `executor` is set.
+  unsigned threads = 1;
+  // Optional shared worker pool (e.g. the classifier reuses one pool for
+  // feature extraction and the matrix fill). Not owned.
+  scan::ParallelExecutor* executor = nullptr;
+};
+
+// Fill-stage statistics the caller can inspect.
+struct HacStats {
+  std::size_t items = 0;           // n
+  std::size_t pair_distances = 0;  // matrix cells computed: n(n-1)/2
+  std::size_t nan_distances = 0;   // NaN cells clamped to 1.0
+  std::size_t matrix_bytes = 0;    // peak condensed-matrix footprint
+};
+
 // Exact average-linkage HAC. Throws std::invalid_argument for n == 0 and
-// std::length_error when the n x n matrix would exceed `max_items`^2.
+// std::length_error when n exceeds options.max_items. A distance() result
+// of NaN would silently corrupt the NN-chain, so NaN cells are clamped to
+// 1.0 and counted in stats->nan_distances.
+Dendrogram hac_average_linkage(std::size_t n, const DistanceFn& distance,
+                               const HacOptions& options,
+                               HacStats* stats = nullptr);
+
+// Back-compatible serial form.
 Dendrogram hac_average_linkage(std::size_t n, const DistanceFn& distance,
                                std::size_t max_items = 20000);
 

@@ -5,6 +5,7 @@
 
 #include "cluster/distance.h"
 #include "http/html.h"
+#include "scan/executor.h"
 #include "util/strings.h"
 
 namespace dnswild::core {
@@ -73,18 +74,32 @@ ClassificationResult classify_responses(
   }
   result.unique_pages = exemplars.size();
 
-  // Coarse clustering over unique pages.
+  // Coarse clustering over unique pages. One worker pool serves both the
+  // per-exemplar feature extraction and the HAC distance-matrix fill; both
+  // passes shard deterministically, so labels are byte-identical for every
+  // thread count.
   std::vector<int> unique_cluster(exemplars.size(), 0);
   if (exemplars.size() > 1 && exemplars.size() <= config.max_unique) {
-    std::vector<http::PageFeatures> features;
-    features.reserve(exemplars.size());
-    for (const AcquiredPage* page : exemplars) {
-      features.push_back(http::extract_features(page->body));
-    }
-    const auto dendrogram = cluster::hac_average_linkage(
-        exemplars.size(), [&features](std::size_t a, std::size_t b) {
-          return cluster::page_distance(features[a], features[b]);
+    scan::ParallelExecutor executor(config.threads);
+    std::vector<http::PageFeatures> features(exemplars.size());
+    executor.run_blocks(
+        exemplars.size(),
+        [&](std::uint64_t begin, std::uint64_t end, unsigned) {
+          for (std::uint64_t i = begin; i < end; ++i) {
+            features[i] = http::extract_features(exemplars[i]->body);
+          }
         });
+    cluster::HacOptions hac_options;
+    hac_options.max_items = config.max_unique;
+    hac_options.executor = &executor;
+    cluster::HacStats hac_stats;
+    const auto dendrogram = cluster::hac_average_linkage(
+        exemplars.size(),
+        [&features](std::size_t a, std::size_t b) {
+          return cluster::page_distance(features[a], features[b]);
+        },
+        hac_options, &hac_stats);
+    result.nan_distances = hac_stats.nan_distances;
     unique_cluster = dendrogram.cut(config.coarse_cut);
   }
   result.clusters =

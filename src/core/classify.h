@@ -45,6 +45,10 @@ struct ClassifiedTuple {
 struct ClassifierConfig {
   double coarse_cut = 0.25;      // HAC cut threshold for the coarse step
   std::size_t max_unique = 6000; // safety bound for the distance matrix
+  // Workers for feature extraction and the distance-matrix fill; 0 selects
+  // hardware_concurrency. Results are byte-identical for every value
+  // (tests/test_parallel_cluster.cpp pins this).
+  unsigned threads = 0;
 };
 
 struct ClassificationResult {
@@ -54,6 +58,9 @@ struct ClassificationResult {
   // Fraction of content-bearing tuples that received a label (the paper
   // classifies 97.6–99.9%).
   double labeled_fraction = 0.0;
+  // NaN page distances the HAC clamped to 1.0 (should stay 0; a non-zero
+  // count points at a degenerate feature extraction).
+  std::size_t nan_distances = 0;
 };
 
 // `records` and `verdicts` are the full scan output; `pages` are the

@@ -31,7 +31,9 @@ struct PipelineConfig {
   double scan_spread_hours = 0.0;            // world-clock advance per scan
   unsigned scan_threads = 0;                 // domain-scan workers; 0 = auto
   PrefilterConfig prefilter;
-  ClassifierConfig classifier;
+  ClassifierConfig classifier;  // classifier.threads drives the parallel
+                                // clustering stage (0 = auto), mirroring
+                                // scan_threads for the scan plane
 };
 
 // Per-category prefiltering yields (§4.1).

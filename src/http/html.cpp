@@ -1,6 +1,8 @@
 #include "http/html.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 
 #include "util/strings.h"
 
@@ -9,6 +11,7 @@ namespace dnswild::http {
 namespace {
 
 struct TagRegistry {
+  std::shared_mutex mutex;
   std::unordered_map<std::string, std::uint16_t> ids;
   std::vector<std::string> names;
 };
@@ -23,7 +26,14 @@ TagRegistry& registry() {
 std::uint16_t tag_id(std::string_view name) {
   auto& reg = registry();
   const std::string key = util::lower(name);
-  const auto it = reg.ids.find(key);
+  {
+    // Read-mostly: the tag vocabulary saturates after the first few pages.
+    const std::shared_lock<std::shared_mutex> lock(reg.mutex);
+    const auto it = reg.ids.find(key);
+    if (it != reg.ids.end()) return it->second;
+  }
+  const std::unique_lock<std::shared_mutex> lock(reg.mutex);
+  const auto it = reg.ids.find(key);  // re-check: raced with another writer
   if (it != reg.ids.end()) return it->second;
   const auto id = static_cast<std::uint16_t>(reg.names.size());
   reg.ids.emplace(key, id);
@@ -32,7 +42,11 @@ std::uint16_t tag_id(std::string_view name) {
 }
 
 std::string_view tag_name(std::uint16_t id) {
-  const auto& names = registry().names;
+  auto& reg = registry();
+  const std::shared_lock<std::shared_mutex> lock(reg.mutex);
+  // names never shrinks and strings are stable (vector growth moves the
+  // string objects, not their heap buffers), so the view stays valid.
+  const auto& names = reg.names;
   return id < names.size() ? std::string_view(names[id])
                            : std::string_view("?");
 }
@@ -136,8 +150,9 @@ PageFeatures extract_features(std::string_view html) {
 
   for (const TagToken& token : tokenize(html)) {
     if (token.closing) continue;
-    features.tag_sequence.push_back(tag_id(token.name));
-    features.tag_counts[tag_id(token.name)] += 1;
+    const std::uint16_t id = tag_id(token.name);
+    features.tag_sequence.push_back(id);
+    features.tag_counts[id] += 1;
     if (const auto* src = token.attr("src")) {
       if (!src->empty()) features.resources.push_back(*src);
     }

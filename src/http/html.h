@@ -18,7 +18,10 @@
 namespace dnswild::http {
 
 // Process-wide interning of tag names to dense 16-bit identifiers (the
-// paper's "2-byte-long identifier" normalization). Single-threaded.
+// paper's "2-byte-long identifier" normalization). Thread-safe (guarded by
+// a shared_mutex, read-mostly): the parallel feature-extraction pass in
+// classify_responses tokenizes pages concurrently. Ids are only compared
+// for equality, so interning order does not affect any distance.
 std::uint16_t tag_id(std::string_view tag_name);
 std::string_view tag_name(std::uint16_t id);
 

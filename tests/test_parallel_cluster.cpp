@@ -1,0 +1,372 @@
+// Thread-count invariance of the parallel clustering engine, plus the
+// exactness contracts of its fast paths.
+//
+// Contracts under test (DESIGN.md §7):
+//  * hac_average_linkage and classify_responses produce byte-identical
+//    dendrograms/labels for every `threads` value — the matrix fill shards
+//    deterministic contiguous blocks of the condensed cell range, and each
+//    cell depends only on its (i, j) pair.
+//  * edit_distance_banded is exact whenever the true distance fits the
+//    band, and clamped above it otherwise; edit_distance_adaptive always
+//    equals the full DP.
+//  * page_distance (cheap-first evaluation, adaptive DPs) equals the
+//    unoptimized page_distance_breakdown sum bit-for-bit under default
+//    options.
+//  * NaN distances are clamped to 1.0 and surfaced through HacStats.
+//
+// Build with -DDNSWILD_SANITIZE=thread to check the fan-out under TSan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cluster/condensed.h"
+#include "cluster/distance.h"
+#include "cluster/hac.h"
+#include "core/classify.h"
+#include "http/factory.h"
+#include "http/html.h"
+#include "scan/executor.h"
+#include "util/rng.h"
+
+namespace dnswild {
+namespace {
+
+// A corpus of distinct page bodies spanning the content classes the study
+// clusters: legitimate sites, censorship/blocking/parking landing pages,
+// logins, and error pages.
+std::vector<std::string> make_corpus(std::size_t count) {
+  std::vector<std::string> corpus;
+  corpus.reserve(count);
+  const http::SiteCategory categories[] = {
+      http::SiteCategory::kAlexa,   http::SiteCategory::kBanking,
+      http::SiteCategory::kAdult,   http::SiteCategory::kGambling,
+      http::SiteCategory::kMail,    http::SiteCategory::kFilesharing,
+  };
+  std::size_t v = 0;
+  while (corpus.size() < count) {
+    switch (v % 7) {
+      case 0:
+        corpus.push_back(http::legit_site(
+            "site" + std::to_string(v) + ".example",
+            categories[v % (sizeof categories / sizeof categories[0])], v,
+            1));
+        break;
+      case 1: corpus.push_back(http::censorship_page("TR", v)); break;
+      case 2:
+        corpus.push_back(http::blocking_page(v % 3, v, "blocked.example"));
+        break;
+      case 3:
+        corpus.push_back(
+            http::parking_page("lot" + std::to_string(v) + ".example", v));
+        break;
+      case 4: corpus.push_back(http::router_login(v % 4, v)); break;
+      case 5:
+        corpus.push_back(
+            http::error_page(static_cast<int>(400 + v % 100), v));
+        break;
+      case 6: corpus.push_back(http::search_page(v, "q.example", false)); break;
+    }
+    ++v;
+  }
+  return corpus;
+}
+
+std::vector<http::PageFeatures> corpus_features(
+    const std::vector<std::string>& corpus) {
+  std::vector<http::PageFeatures> features;
+  features.reserve(corpus.size());
+  for (const std::string& body : corpus) {
+    features.push_back(http::extract_features(body));
+  }
+  return features;
+}
+
+TEST(ParallelCluster, DendrogramByteIdenticalAcrossThreadCounts) {
+  const auto corpus = make_corpus(48);
+  const auto features = corpus_features(corpus);
+  const cluster::DistanceFn distance = [&features](std::size_t a,
+                                                   std::size_t b) {
+    return cluster::page_distance(features[a], features[b]);
+  };
+
+  cluster::HacOptions options;
+  options.threads = 1;
+  cluster::HacStats base_stats;
+  const cluster::Dendrogram baseline = cluster::hac_average_linkage(
+      features.size(), distance, options, &base_stats);
+  ASSERT_EQ(base_stats.items, features.size());
+  ASSERT_EQ(base_stats.pair_distances,
+            features.size() * (features.size() - 1) / 2);
+  EXPECT_EQ(base_stats.nan_distances, 0u);
+  EXPECT_EQ(base_stats.matrix_bytes,
+            base_stats.pair_distances * sizeof(double));
+
+  for (const unsigned threads : {2u, 8u}) {
+    cluster::HacOptions parallel = options;
+    parallel.threads = threads;
+    cluster::HacStats stats;
+    const cluster::Dendrogram dendrogram = cluster::hac_average_linkage(
+        features.size(), distance, parallel, &stats);
+    ASSERT_EQ(dendrogram.merges().size(), baseline.merges().size());
+    for (std::size_t k = 0; k < baseline.merges().size(); ++k) {
+      EXPECT_EQ(dendrogram.merges()[k].left, baseline.merges()[k].left);
+      EXPECT_EQ(dendrogram.merges()[k].right, baseline.merges()[k].right);
+      EXPECT_EQ(dendrogram.merges()[k].parent, baseline.merges()[k].parent);
+      // Byte identity, not tolerance: the cells are the same doubles.
+      EXPECT_EQ(dendrogram.merges()[k].distance,
+                baseline.merges()[k].distance);
+    }
+    EXPECT_EQ(dendrogram.to_text(), baseline.to_text());
+    EXPECT_EQ(stats.nan_distances, 0u);
+  }
+}
+
+TEST(ParallelCluster, SharedExecutorMatchesOwnedPool) {
+  const auto corpus = make_corpus(24);
+  const auto features = corpus_features(corpus);
+  const cluster::DistanceFn distance = [&features](std::size_t a,
+                                                   std::size_t b) {
+    return cluster::page_distance(features[a], features[b]);
+  };
+  cluster::HacOptions serial;
+  const auto baseline =
+      cluster::hac_average_linkage(features.size(), distance, serial);
+
+  scan::ParallelExecutor executor(4);
+  cluster::HacOptions shared;
+  shared.executor = &executor;
+  const auto pooled =
+      cluster::hac_average_linkage(features.size(), distance, shared);
+  EXPECT_EQ(pooled.to_text(), baseline.to_text());
+}
+
+core::AcquiredPage make_page(std::size_t record_index, std::string body,
+                             int status = 200) {
+  core::AcquiredPage page;
+  page.record_index = record_index;
+  page.status = status;
+  page.body = std::move(body);
+  page.body_hash = util::fnv1a(page.body);
+  page.connected = true;
+  return page;
+}
+
+TEST(ParallelCluster, ClassifyLabelsInvariantAcrossThreadCounts) {
+  const auto corpus = make_corpus(40);
+  std::vector<scan::TupleRecord> records(corpus.size());
+  std::vector<core::AcquiredPage> pages;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    pages.push_back(make_page(i, corpus[i]));
+  }
+
+  core::ClassifierConfig config;
+  config.threads = 1;
+  const auto baseline = core::classify_responses(records, pages, config);
+  ASSERT_GT(baseline.clusters, 1u);
+  ASSERT_EQ(baseline.tuples.size(), corpus.size());
+  EXPECT_EQ(baseline.nan_distances, 0u);
+
+  for (const unsigned threads : {2u, 8u}) {
+    config.threads = threads;
+    const auto result = core::classify_responses(records, pages, config);
+    EXPECT_EQ(result.unique_pages, baseline.unique_pages);
+    EXPECT_EQ(result.clusters, baseline.clusters);
+    EXPECT_EQ(result.labeled_fraction, baseline.labeled_fraction);
+    ASSERT_EQ(result.tuples.size(), baseline.tuples.size());
+    for (std::size_t i = 0; i < result.tuples.size(); ++i) {
+      EXPECT_EQ(result.tuples[i].label, baseline.tuples[i].label);
+      EXPECT_EQ(result.tuples[i].cluster, baseline.tuples[i].cluster);
+    }
+  }
+}
+
+TEST(ParallelCluster, BandedAgreesWithExactWithinBand) {
+  util::Rng rng(11);
+  static constexpr char kAlphabet[] = "abcd";
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string a, b;
+    const auto len_a = rng.below(60);
+    const auto len_b = rng.below(60);
+    for (std::uint64_t i = 0; i < len_a; ++i) a += kAlphabet[rng.below(4)];
+    for (std::uint64_t i = 0; i < len_b; ++i) b += kAlphabet[rng.below(4)];
+    const std::size_t band = rng.below(20);
+    const std::size_t exact = cluster::edit_distance(a, b);
+    const std::size_t banded = cluster::edit_distance_banded(a, b, band);
+    if (exact <= band) {
+      EXPECT_EQ(banded, exact) << a << " vs " << b << " band " << band;
+    } else {
+      EXPECT_GT(banded, band) << a << " vs " << b << " band " << band;
+    }
+  }
+}
+
+TEST(ParallelCluster, BandedAgreesWithExactOnTagSequences) {
+  util::Rng rng(12);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint16_t> a, b;
+    const auto len_a = rng.below(50);
+    const auto len_b = rng.below(50);
+    for (std::uint64_t i = 0; i < len_a; ++i) {
+      a.push_back(static_cast<std::uint16_t>(rng.below(6)));
+    }
+    for (std::uint64_t i = 0; i < len_b; ++i) {
+      b.push_back(static_cast<std::uint16_t>(rng.below(6)));
+    }
+    const std::size_t band = rng.below(16);
+    const std::size_t exact = cluster::edit_distance(a, b);
+    const std::size_t banded = cluster::edit_distance_banded(a, b, band);
+    if (exact <= band) {
+      EXPECT_EQ(banded, exact);
+    } else {
+      EXPECT_GT(banded, band);
+    }
+  }
+}
+
+TEST(ParallelCluster, AdaptiveAlwaysEqualsFullDp) {
+  util::Rng rng(13);
+  static constexpr char kAlphabet[] = "abc";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string a, b;
+    const auto len_a = rng.below(80);
+    for (std::uint64_t i = 0; i < len_a; ++i) a += kAlphabet[rng.below(3)];
+    // Half the trials perturb a copy (small true distance, the banded fast
+    // path), half draw an independent string (large distance, the full-DP
+    // fallback).
+    if (trial % 2 == 0) {
+      b = a;
+      const auto edits = rng.below(6);
+      for (std::uint64_t e = 0; e < edits && !b.empty(); ++e) {
+        b[rng.below(b.size())] = kAlphabet[rng.below(3)];
+      }
+    } else {
+      const auto len_b = rng.below(80);
+      for (std::uint64_t i = 0; i < len_b; ++i) b += kAlphabet[rng.below(3)];
+    }
+    EXPECT_EQ(cluster::edit_distance_adaptive(a, b),
+              cluster::edit_distance(a, b))
+        << a << " vs " << b;
+  }
+}
+
+TEST(ParallelCluster, PageDistanceEqualsBreakdownSum) {
+  const auto corpus = make_corpus(26);
+  const auto features = corpus_features(corpus);
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    for (std::size_t j = i; j < features.size(); ++j) {
+      // Bit-for-bit, not approximate: the optimized path must fill the
+      // same breakdown and sum it with the same expression.
+      EXPECT_EQ(cluster::page_distance(features[i], features[j]),
+                cluster::page_distance_breakdown(features[i], features[j])
+                    .combined())
+          << "pair " << i << "," << j;
+    }
+  }
+}
+
+TEST(ParallelCluster, PageDistanceCapClampsFarPairs) {
+  const auto a = http::extract_features(
+      http::legit_site("a.example", http::SiteCategory::kBanking, 0, 1));
+  const auto b = http::extract_features(http::censorship_page("TR", 1));
+  const double exact = cluster::page_distance(a, b);
+
+  cluster::PageDistanceOptions capped;
+  capped.distance_cap = 0.05;
+  const double clamped = cluster::page_distance(a, b, capped);
+  // The clamp may only fire at or above the cap, and never on near pairs.
+  if (clamped != exact) {
+    EXPECT_GE(clamped, capped.distance_cap);
+    EXPECT_LE(clamped, exact);
+  }
+  EXPECT_EQ(cluster::page_distance(a, a, capped), 0.0);
+}
+
+TEST(ParallelCluster, NanDistancesClampedAndCounted) {
+  // Items 0..3 in two tight groups; the (0,2) and (1,3) cells return NaN,
+  // which the fill must clamp to 1.0 (instead of silently corrupting the
+  // NN-chain's comparisons).
+  const auto nan_distance = [](std::size_t i, std::size_t j) {
+    if (i > j) std::swap(i, j);
+    if ((i == 0 && j == 2) || (i == 1 && j == 3)) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    const bool same_group = (i < 2) == (j < 2);
+    return same_group ? 0.1 : 0.9;
+  };
+  const auto clamped_distance = [&](std::size_t i, std::size_t j) {
+    const double d = nan_distance(i, j);
+    return std::isnan(d) ? 1.0 : d;
+  };
+
+  cluster::HacOptions options;
+  cluster::HacStats stats;
+  const auto dendrogram =
+      cluster::hac_average_linkage(4, nan_distance, options, &stats);
+  EXPECT_EQ(stats.nan_distances, 2u);
+  const auto reference =
+      cluster::hac_average_linkage(4, clamped_distance, options);
+  EXPECT_EQ(dendrogram.to_text(), reference.to_text());
+  EXPECT_EQ(dendrogram.cluster_count(0.2), 2u);
+
+  // Parallel fill accumulates the per-worker counts deterministically.
+  cluster::HacOptions parallel;
+  parallel.threads = 8;
+  cluster::HacStats parallel_stats;
+  cluster::hac_average_linkage(4, nan_distance, parallel, &parallel_stats);
+  EXPECT_EQ(parallel_stats.nan_distances, 2u);
+}
+
+TEST(ParallelCluster, ClusterCountMatchesCutLabels) {
+  util::Rng rng(7);
+  const std::size_t n = 30;
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      d[i][j] = d[j][i] = rng.uniform();
+    }
+  }
+  const auto dendrogram = cluster::hac_average_linkage(
+      n, [&d](std::size_t i, std::size_t j) { return d[i][j]; });
+  for (const double threshold :
+       {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    const auto labels = dendrogram.cut(threshold);
+    const std::size_t from_labels = static_cast<std::size_t>(
+        *std::max_element(labels.begin(), labels.end())) + 1;
+    EXPECT_EQ(dendrogram.cluster_count(threshold), from_labels)
+        << "threshold " << threshold;
+  }
+}
+
+TEST(ParallelCluster, CondensedMatrixIndexing) {
+  for (const std::size_t n : {2u, 3u, 5u, 17u}) {
+    cluster::CondensedMatrix matrix(n);
+    EXPECT_EQ(matrix.pair_count(), n * (n - 1) / 2);
+    EXPECT_EQ(matrix.bytes(), matrix.pair_count() * sizeof(double));
+    std::size_t flat = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j, ++flat) {
+        EXPECT_EQ(matrix.offset(i, j), flat);
+        const auto [row, col] = matrix.cell(flat);
+        EXPECT_EQ(row, i);
+        EXPECT_EQ(col, j);
+        matrix.set(i, j, static_cast<double>(flat) + 0.5);
+      }
+    }
+    // Symmetric reads, zero diagonal.
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(matrix.at(i, i), 0.0);
+      for (std::size_t j = i + 1; j < n; ++j) {
+        EXPECT_EQ(matrix.at(i, j), matrix.at(j, i));
+        EXPECT_EQ(matrix.at(j, i),
+                  static_cast<double>(matrix.offset(i, j)) + 0.5);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dnswild
