@@ -23,6 +23,7 @@
 #include "http/factory.h"
 #include "http/html.h"
 #include "net/lfsr.h"
+#include "obs/metrics.h"
 #include "resolver/resolver.h"
 #include "scan/encoding.h"
 #include "scan/executor.h"
@@ -294,6 +295,16 @@ bench::ScanBenchEntry measure_scan(unsigned threads,
       entry.wall_seconds > 0.0
           ? static_cast<double>(entry.probes) / entry.wall_seconds
           : 0.0;
+  // Traffic-plane cross-check from the world's registry: what the wire
+  // carried during this scan, and how the executor sharded it.
+  const obs::Snapshot snapshot = gen.world->metrics().snapshot();
+  entry.udp_sent = snapshot.counter_value("net.udp.sent");
+  entry.udp_delivered = snapshot.counter_value("net.udp.delivered");
+  entry.udp_dropped_filtered =
+      snapshot.counter_value("net.udp.dropped_filtered");
+  entry.udp_lost = snapshot.counter_value("net.udp.lost");
+  entry.executor_shards =
+      snapshot.counter_value("scan.ipv4.executor.shards");
   return entry;
 }
 

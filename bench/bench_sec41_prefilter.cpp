@@ -11,10 +11,12 @@
 
 int main(int argc, char** argv) {
   using namespace dnswild;
+  const std::string metrics_path = bench::metrics_out_path(argc, argv);
   bench::heading("Section 4.1", "prefiltering yields and rule ablation");
   auto world = bench::build_world(bench::scale_from(argc, argv, 40000));
   const auto population = bench::initial_scan(world, 1);
   auto report = bench::run_pipeline(world, population.noerror_targets);
+  bench::maybe_dump_metrics(metrics_path, report);
 
   std::printf("Tuples: %s; unexpected from %s distinct suspicious "
               "resolvers (paper: 86.7M unexpected, 19.2M resolvers)\n\n",

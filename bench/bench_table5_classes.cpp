@@ -11,10 +11,12 @@
 
 int main(int argc, char** argv) {
   using namespace dnswild;
+  const std::string metrics_path = bench::metrics_out_path(argc, argv);
   bench::heading("Table 5", "classification of unexpected responses");
   auto world = bench::build_world(bench::scale_from(argc, argv, 40000));
   const auto population = bench::initial_scan(world, 1);
   const auto report = bench::run_pipeline(world, population.noerror_targets);
+  bench::maybe_dump_metrics(metrics_path, report);
 
   std::printf("Unknown tuples: %s; HTTP payload for %.1f%% (paper: 88.9%%)\n",
               util::with_commas(report.prefilter_stats.unknown).c_str(),

@@ -38,12 +38,51 @@ inline std::string bench_json_path(int& argc, char** argv) {
   return path;
 }
 
+// `--metrics-out <path>` / DNSWILD_METRICS_OUT selects where the bench
+// drops the observability run report (pipeline stage spans + registry
+// counters); empty means don't write one. Same consumed-from-argv contract
+// as bench_json_path.
+inline std::string metrics_out_path(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--metrics-out" && i + 1 < argc) {
+      path = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  if (path.empty()) {
+    if (const char* env = std::getenv("DNSWILD_METRICS_OUT")) path = env;
+  }
+  return path;
+}
+
+// Writes a StudyReport's metrics snapshot when a path was selected.
+inline void maybe_dump_metrics(const std::string& path,
+                               const core::StudyReport& report) {
+  if (path.empty()) return;
+  if (report.metrics.dump_json(path)) {
+    std::printf("# metrics: run report written to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+  }
+}
+
 // One scan-throughput measurement at a fixed worker count.
 struct ScanBenchEntry {
   unsigned threads = 0;
   std::uint64_t probes = 0;
   double wall_seconds = 0.0;
   double probes_per_sec = 0.0;
+  // Traffic-plane view of the same scan, read back from the world's
+  // registry snapshot (what the wire actually carried).
+  std::uint64_t udp_sent = 0;
+  std::uint64_t udp_delivered = 0;
+  std::uint64_t udp_dropped_filtered = 0;
+  std::uint64_t udp_lost = 0;
+  std::uint64_t executor_shards = 0;
 };
 
 // One clustering-throughput measurement at a fixed worker count: the
@@ -85,10 +124,18 @@ inline bool write_micro_bench_json(
     if (entry.probes_per_sec > scan_best) scan_best = entry.probes_per_sec;
     std::fprintf(file,
                  "    {\"threads\": %u, \"probes\": %llu, "
-                 "\"wall_seconds\": %.6f, \"probes_per_sec\": %.1f}%s\n",
+                 "\"wall_seconds\": %.6f, \"probes_per_sec\": %.1f, "
+                 "\"udp_sent\": %llu, \"udp_delivered\": %llu, "
+                 "\"udp_dropped_filtered\": %llu, \"udp_lost\": %llu, "
+                 "\"executor_shards\": %llu}%s\n",
                  entry.threads,
                  static_cast<unsigned long long>(entry.probes),
                  entry.wall_seconds, entry.probes_per_sec,
+                 static_cast<unsigned long long>(entry.udp_sent),
+                 static_cast<unsigned long long>(entry.udp_delivered),
+                 static_cast<unsigned long long>(entry.udp_dropped_filtered),
+                 static_cast<unsigned long long>(entry.udp_lost),
+                 static_cast<unsigned long long>(entry.executor_shards),
                  i + 1 < scan.size() ? "," : "");
   }
   std::fprintf(file, "  ],\n");

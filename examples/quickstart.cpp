@@ -2,10 +2,14 @@
 // resolvers with one Internet-wide scan, and run the full manipulation
 // study over them — the same flow as the paper's Fig. 3 processing chain.
 //
-//   $ ./examples/quickstart [resolver_count] [seed]
+//   $ ./examples/quickstart [resolver_count] [seed] [--metrics-out FILE]
+//
+// --metrics-out (or DNSWILD_METRICS_OUT) writes the machine-readable run
+// report — every registry counter plus the per-stage spans — as JSON.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "analysis/fluctuation.h"
@@ -17,6 +21,18 @@
 
 int main(int argc, char** argv) {
   using namespace dnswild;
+
+  // Pull --metrics-out out of argv before the positional arguments.
+  std::string metrics_out;
+  if (const char* env = std::getenv("DNSWILD_METRICS_OUT")) metrics_out = env;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      metrics_out = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
 
   worldgen::WorldGenConfig config;
   config.resolver_count = argc > 1 ? static_cast<std::uint32_t>(
@@ -63,15 +79,24 @@ int main(int argc, char** argv) {
   std::printf("\nPrefiltering (%s tuples):\n",
               util::with_commas(report.prefilter_stats.tuples).c_str());
   std::printf("%s\n", core::render_prefilter(report).c_str());
-  std::printf("Classification: %zu unique pages -> %zu clusters, "
-              "%.1f%% of content labeled\n\n",
-              report.classification.unique_pages,
-              report.classification.clusters,
-              100.0 * report.classification.labeled_fraction);
+  std::printf("Classification:\n%s\n",
+              core::render_classification(report).c_str());
   std::printf("%s\n", core::render_table5(report).c_str());
   std::printf("%s\n", core::render_censorship(report).c_str());
   std::printf("%s\n", core::render_case_studies(report).c_str());
   std::printf("Fine-grained page modifications:\n%s\n",
               core::render_modifications(report).c_str());
+
+  std::printf("Pipeline stages (items in/out, wall time):\n%s\n",
+              core::render_stage_summary(report).c_str());
+
+  if (!metrics_out.empty()) {
+    if (report.metrics.dump_json(metrics_out)) {
+      std::printf("Run report written to %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", metrics_out.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -146,8 +146,15 @@ Dendrogram hac_average_linkage(std::size_t n, const DistanceFn& distance,
         }
         nan_counts[worker] += nans;
       });
-  if (stats != nullptr) {
-    for (const std::size_t nans : nan_counts) stats->nan_distances += nans;
+  std::size_t nan_total = 0;
+  for (const std::size_t nans : nan_counts) nan_total += nans;
+  if (stats != nullptr) stats->nan_distances = nan_total;
+  if (options.registry != nullptr) {
+    options.registry->counter("cluster.hac.runs").add();
+    options.registry->counter("cluster.hac.items").add(n);
+    options.registry->counter("cluster.hac.pair_distances")
+        .add(matrix.pair_count());
+    options.registry->counter("cluster.hac.nan_clamped").add(nan_total);
   }
 
   std::vector<bool> active(n, true);
@@ -183,6 +190,11 @@ Dendrogram hac_average_linkage(std::size_t n, const DistanceFn& distance,
     return best_index;
   };
 
+  obs::Counter* merge_steps =
+      options.registry != nullptr
+          ? &options.registry->counter("cluster.hac.merges")
+          : nullptr;
+
   while (remaining > 1) {
     if (chain.empty()) {
       for (std::size_t k = 0; k < n; ++k) {
@@ -202,6 +214,7 @@ Dendrogram hac_average_linkage(std::size_t n, const DistanceFn& distance,
         const std::size_t b = next;
         const double d = matrix.at(a, b);
         merges.push_back(Merge{node_id[a], node_id[b], next_parent, d});
+        if (merge_steps != nullptr) merge_steps->add();
         // Lance–Williams average-linkage update into slot a.
         const double wa = static_cast<double>(sizes[a]);
         const double wb = static_cast<double>(sizes[b]);

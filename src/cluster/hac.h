@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace dnswild::scan {
 class ParallelExecutor;
 }
@@ -72,6 +74,9 @@ struct HacOptions {
   // Optional shared worker pool (e.g. the classifier reuses one pool for
   // feature extraction and the matrix fill). Not owned.
   scan::ParallelExecutor* executor = nullptr;
+  // Optional registry for "cluster.hac.*" counters (runs, items, pair
+  // distances, merges, NaN clamps). Not owned.
+  obs::Registry* registry = nullptr;
 };
 
 // Fill-stage statistics the caller can inspect.

@@ -1,10 +1,12 @@
 #include "core/classify.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 
 #include "cluster/distance.h"
 #include "http/html.h"
+#include "obs/span.h"
 #include "scan/executor.h"
 #include "util/strings.h"
 
@@ -60,6 +62,15 @@ ClassificationResult classify_responses(
     const std::vector<char>* onpath_injected) {
   ClassificationResult result;
 
+  // Dedup + coarse clustering form the Fig. 3 "clustering" stage; the
+  // label propagation below is the "labeling" stage. Both spans only exist
+  // when the caller wired a registry in.
+  std::optional<obs::Span> clustering_span;
+  if (config.registry != nullptr) {
+    clustering_span.emplace(*config.registry, "stage.clustering");
+    clustering_span->items_in(pages.size());
+  }
+
   // Deduplicate bodies: the same landing page is served to millions of
   // tuples, so the clustering runs on unique representations only.
   std::unordered_map<std::uint64_t, std::size_t> unique_index;
@@ -81,6 +92,7 @@ ClassificationResult classify_responses(
   std::vector<int> unique_cluster(exemplars.size(), 0);
   if (exemplars.size() > 1 && exemplars.size() <= config.max_unique) {
     scan::ParallelExecutor executor(config.threads);
+    executor.attach_metrics(config.registry, "cluster.classify");
     std::vector<http::PageFeatures> features(exemplars.size());
     executor.run_blocks(
         exemplars.size(),
@@ -92,6 +104,7 @@ ClassificationResult classify_responses(
     cluster::HacOptions hac_options;
     hac_options.max_items = config.max_unique;
     hac_options.executor = &executor;
+    hac_options.registry = config.registry;
     cluster::HacStats hac_stats;
     const auto dendrogram = cluster::hac_average_linkage(
         exemplars.size(),
@@ -100,6 +113,8 @@ ClassificationResult classify_responses(
         },
         hac_options, &hac_stats);
     result.nan_distances = hac_stats.nan_distances;
+    result.pair_distances = hac_stats.pair_distances;
+    result.matrix_bytes = hac_stats.matrix_bytes;
     unique_cluster = dendrogram.cut(config.coarse_cut);
   }
   result.clusters =
@@ -108,6 +123,16 @@ ClassificationResult classify_responses(
           : static_cast<std::size_t>(*std::max_element(
                 unique_cluster.begin(), unique_cluster.end())) +
                 1;
+
+  if (clustering_span) {
+    clustering_span->items_out(result.clusters);
+    clustering_span->close();
+  }
+  std::optional<obs::Span> labeling_span;
+  if (config.registry != nullptr) {
+    labeling_span.emplace(*config.registry, "stage.labeling");
+    labeling_span->items_in(pages.size());
+  }
 
   // Label each cluster from its largest exemplar (most content to judge).
   std::vector<Label> cluster_label(result.clusters, Label::kUnclassified);
@@ -158,6 +183,18 @@ ClassificationResult classify_responses(
           ? 0.0
           : static_cast<double>(labeled) /
                 static_cast<double>(content_bearing);
+  if (labeling_span) {
+    labeling_span->items_out(labeled);
+    labeling_span->close();
+  }
+  if (config.registry != nullptr) {
+    config.registry->counter("cluster.classify.pages").add(pages.size());
+    config.registry->counter("cluster.classify.unique_pages")
+        .add(result.unique_pages);
+    config.registry->counter("cluster.classify.clusters")
+        .add(result.clusters);
+    config.registry->counter("cluster.classify.labeled").add(labeled);
+  }
   return result;
 }
 

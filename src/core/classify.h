@@ -49,6 +49,10 @@ struct ClassifierConfig {
   // hardware_concurrency. Results are byte-identical for every value
   // (tests/test_parallel_cluster.cpp pins this).
   unsigned threads = 0;
+  // Optional registry for the clustering/labeling stage spans and the
+  // "cluster.*" counters. Not owned; the pipeline points this at the
+  // world's registry.
+  obs::Registry* registry = nullptr;
 };
 
 struct ClassificationResult {
@@ -61,6 +65,10 @@ struct ClassificationResult {
   // NaN page distances the HAC clamped to 1.0 (should stay 0; a non-zero
   // count points at a degenerate feature extraction).
   std::size_t nan_distances = 0;
+  // Distance-matrix footprint of the coarse HAC step (0 when clustering
+  // was skipped: fewer than two unique pages, or more than max_unique).
+  std::size_t pair_distances = 0;
+  std::size_t matrix_bytes = 0;
 };
 
 // `records` and `verdicts` are the full scan output; `pages` are the

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/span.h"
 #include "scan/domain_scan.h"
 
 namespace dnswild::core {
@@ -32,6 +33,19 @@ StudyReport Pipeline::run(const std::vector<net::Ipv4>& resolvers,
   report.resolvers = resolvers;
   report.domains = domains.all();
 
+  obs::Registry& metrics = world_.metrics();
+  obs::Span run_span(metrics, "pipeline.run");
+  run_span.items_in(resolvers.size());
+
+  // ❶ The resolver population handed in from the Internet-wide scan. The
+  // probing itself ran before this call (Ipv4Scanner records "scan.ipv4.*"
+  // into the same registry); this span marks the stage boundary so the run
+  // report covers the whole Fig. 3 chain.
+  {
+    obs::Span span(metrics, "stage.scan");
+    span.items_in(resolvers.size()).items_out(resolvers.size());
+  }
+
   // ❷ Domain scan: all study domains (ground truth appended last).
   std::vector<std::string> names;
   names.reserve(report.domains.size() + 1);
@@ -43,19 +57,29 @@ StudyReport Pipeline::run(const std::vector<net::Ipv4>& resolvers,
                                        false});
   names.push_back(domains.ground_truth());
 
-  scan::DomainScanConfig scan_config;
-  scan_config.scanner_ip = config_.scanner_ip;
-  scan_config.seed = config_.seed ^ 0xd05ca9ULL;
-  scan_config.spread_over_hours = config_.scan_spread_hours;
-  scan_config.threads = config_.scan_threads;
-  scan::DomainScanner scanner(world_, scan_config);
-  report.records = scanner.scan(resolvers, names);
+  {
+    obs::Span span(metrics, "stage.domain_scan");
+    span.items_in(resolvers.size());
+    scan::DomainScanConfig scan_config;
+    scan_config.scanner_ip = config_.scanner_ip;
+    scan_config.seed = config_.seed ^ 0xd05ca9ULL;
+    scan_config.spread_over_hours = config_.scan_spread_hours;
+    scan_config.threads = config_.scan_threads;
+    scan::DomainScanner scanner(world_, scan_config);
+    report.records = scanner.scan(resolvers, names);
+    span.items_out(report.records.size());
+  }
 
   // ❸ Prefiltering.
-  Prefilter prefilter(world_, registry_, domains, config_.vantage_ip,
-                      config_.prefilter);
-  report.verdicts = prefilter.run(report.records, report.domains);
-  report.prefilter_stats = prefilter.stats();
+  {
+    obs::Span span(metrics, "stage.prefilter");
+    span.items_in(report.records.size());
+    Prefilter prefilter(world_, registry_, domains, config_.vantage_ip,
+                        config_.prefilter);
+    report.verdicts = prefilter.run(report.records, report.domains);
+    report.prefilter_stats = prefilter.stats();
+    span.items_out(report.prefilter_stats.unknown);
+  }
 
   // Per-category yields (§4.1).
   {
@@ -85,10 +109,15 @@ StudyReport Pipeline::run(const std::vector<net::Ipv4>& resolvers,
   }
 
   // ❹ Acquisition: ground truth first, then the unknown tuples.
-  Acquisition acquisition(world_, registry_, config_.vantage_ip);
-  report.ground_truth = acquisition.fetch_ground_truth(report.domains);
-  report.pages = acquisition.fetch_unknown(report.records, report.verdicts,
-                                           report.domains, resolvers);
+  {
+    obs::Span span(metrics, "stage.acquisition");
+    span.items_in(report.prefilter_stats.unknown);
+    Acquisition acquisition(world_, registry_, config_.vantage_ip);
+    report.ground_truth = acquisition.fetch_ground_truth(report.domains);
+    report.pages = acquisition.fetch_unknown(report.records, report.verdicts,
+                                             report.domains, resolvers);
+    span.items_out(report.pages.size());
+  }
   {
     std::uint64_t with_payload = 0;
     for (const auto& page : report.pages) {
@@ -102,11 +131,22 @@ StudyReport Pipeline::run(const std::vector<net::Ipv4>& resolvers,
   }
 
   // §4.2 verification experiment for content-less forged answers.
-  const std::vector<char> injected = detect_onpath_injection(report);
+  std::vector<char> injected;
+  {
+    obs::Span span(metrics, "stage.verification");
+    span.items_in(report.records.size());
+    injected = detect_onpath_injection(report);
+    std::uint64_t flagged = 0;
+    for (const char flag : injected) flagged += flag != 0 ? 1 : 0;
+    span.items_out(flagged);
+  }
 
-  // ❺/❻ Clustering and labeling.
-  report.classification = classify_responses(
-      report.records, report.pages, config_.classifier, &injected);
+  // ❺/❻ Clustering and labeling: classify_responses opens the
+  // "stage.clustering" and "stage.labeling" spans itself.
+  ClassifierConfig classifier = config_.classifier;
+  classifier.registry = &metrics;
+  report.classification = classify_responses(report.records, report.pages,
+                                             classifier, &injected);
 
   compute_sec41(report);
   compute_table5(report);
@@ -118,6 +158,10 @@ StudyReport Pipeline::run(const std::vector<net::Ipv4>& resolvers,
   report.modifications = find_modifications(data);
   report.social_geo = geo_histogram(
       data, {"facebook.com", "twitter.com", "youtube.com"});
+
+  run_span.items_out(report.classification.tuples.size());
+  run_span.close();
+  report.metrics = metrics.snapshot();
   return report;
 }
 

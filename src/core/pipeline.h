@@ -20,6 +20,7 @@
 #include "core/modifications.h"
 #include "core/prefilter.h"
 #include "net/world.h"
+#include "obs/metrics.h"
 #include "resolver/authns.h"
 
 namespace dnswild::core {
@@ -86,6 +87,13 @@ struct StudyReport {
 
   // Set by Pipeline::run; must outlive the report (the world's AsDb does).
   const net::AsDb* asdb = nullptr;
+
+  // Snapshot of the world's registry taken when the run finished: stage
+  // spans (one per Fig. 3 stage, with tuple in/out counts), the traffic
+  // plane's "net.*" counters, and every scanner/cluster tally. Serialize
+  // with metrics.to_json() / metrics.dump_json(); masked serialization is
+  // byte-identical across thread counts (DESIGN.md §8).
+  obs::Snapshot metrics;
 
   StudyData view() const;
 };

@@ -1,5 +1,7 @@
 #include "core/report.h"
 
+#include <cstdio>
+
 #include "util/table.h"
 
 namespace dnswild::core {
@@ -45,6 +47,48 @@ std::string render_prefilter(const StudyReport& report) {
                    util::pct1(row.legitimate_pct),
                    util::pct1(row.no_answer_pct),
                    util::pct1(row.unknown_pct)});
+  }
+  return table.render();
+}
+
+std::string render_classification(const StudyReport& report) {
+  const ClassificationResult& classification = report.classification;
+  std::string out;
+  out += "Unique pages:      " + util::with_commas(classification.unique_pages) +
+         " (of " + util::with_commas(classification.tuples.size()) +
+         " acquired tuples)\n";
+  out += "Coarse clusters:   " + util::with_commas(classification.clusters) +
+         "\n";
+  out += "Labeled fraction:  " +
+         util::frac_pct1(classification.labeled_fraction) + "\n";
+  out += "Distance matrix:   " +
+         util::with_commas(classification.pair_distances) + " pairs, " +
+         util::with_commas(classification.matrix_bytes) + " bytes peak\n";
+  out += "NaN distances:     " +
+         util::with_commas(classification.nan_distances) +
+         (classification.nan_distances == 0 ? "\n"
+                                            : "  <-- degenerate features!\n");
+  return out;
+}
+
+std::string render_stage_summary(const StudyReport& report) {
+  Table table({"Stage", "In", "Out", "Wall ms"},
+              {util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+               util::Align::kRight});
+  for (const auto& span : report.metrics.spans) {
+    if (span.name.rfind("stage.", 0) != 0) continue;
+    char wall[32];
+    std::snprintf(wall, sizeof wall, "%.1f", span.wall_ms);
+    table.add_row({span.name.substr(6),
+                   span.items_in < 0 ? "-"
+                                     : util::with_commas(
+                                           static_cast<std::uint64_t>(
+                                               span.items_in)),
+                   span.items_out < 0 ? "-"
+                                      : util::with_commas(
+                                            static_cast<std::uint64_t>(
+                                                span.items_out)),
+                   wall});
   }
   return table.render();
 }

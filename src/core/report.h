@@ -15,6 +15,15 @@ std::string render_table5(const StudyReport& report);
 // §4.1 prefiltering yield table.
 std::string render_prefilter(const StudyReport& report);
 
+// §3.6 clustering summary: unique pages, clusters, labeled fraction, the
+// distance-matrix footprint, and the NaN-clamp count (which should be 0).
+std::string render_classification(const StudyReport& report);
+
+// Per-stage timing/attrition table from the run report's stage spans:
+// items in, items out, and wall time for every "stage.*" span. Wall times
+// are the only nondeterministic column.
+std::string render_stage_summary(const StudyReport& report);
+
 // Fig. 4-style country distribution for the social-network domains.
 std::string render_social_geo(const StudyReport& report);
 

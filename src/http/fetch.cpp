@@ -54,12 +54,15 @@ std::optional<HttpResponse> Fetcher::get(net::Ipv4 ip, std::string_view host,
 FetchResult Fetcher::fetch_page(net::Ipv4 ip, std::string host,
                                 const ResolveFn& resolve) {
   FetchResult result;
+  pages_->add();
   Url current{"http", std::move(host), "/"};
   net::Ipv4 current_ip = ip;
 
   for (int hop = 0; hop <= 2; ++hop) {
+    if (hop > 0) redirect_hops_->add();
     net::TcpService* service = world_.connect_tcp(client_ip_, current_ip, 80);
     if (service == nullptr) return result;
+    if (!result.connected) pages_connected_->add();
     result.connected = true;
 
     HttpRequest request;
@@ -126,14 +129,17 @@ FetchResult Fetcher::fetch_page(net::Ipv4 ip, std::string host,
 
 std::optional<net::Certificate> Fetcher::tls_certificate(
     net::Ipv4 ip, const std::optional<std::string>& sni) {
+  tls_handshakes_->add();
   net::TcpService* service = world_.connect_tcp(client_ip_, ip, 443);
   if (service == nullptr) return std::nullopt;
   const net::Certificate* cert = service->certificate(sni);
   if (cert == nullptr) return std::nullopt;
+  certificates_->add();
   return *cert;
 }
 
 std::optional<std::string> Fetcher::banner(net::Ipv4 ip, std::uint16_t port) {
+  banner_probes_->add();
   net::TcpService* service = world_.connect_tcp(client_ip_, ip, port);
   if (service == nullptr) return std::nullopt;
   std::string greeting = service->greeting();
@@ -146,6 +152,7 @@ std::optional<std::string> Fetcher::banner(net::Ipv4 ip, std::uint16_t port) {
     greeting = service->respond(probe.serialize());
   }
   if (greeting.empty()) return std::nullopt;
+  banners_->add();
   return greeting;
 }
 

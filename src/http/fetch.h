@@ -44,8 +44,20 @@ struct FetchResult {
 
 class Fetcher {
  public:
+  // Acquisition telemetry lands in the world's registry ("http.fetch.*"),
+  // so every crawler over one world shares the same tallies.
   Fetcher(net::World& world, net::Ipv4 client_ip)
-      : world_(world), client_ip_(client_ip) {}
+      : world_(world),
+        client_ip_(client_ip),
+        pages_(&world.metrics().counter("http.fetch.pages")),
+        pages_connected_(
+            &world.metrics().counter("http.fetch.pages_connected")),
+        redirect_hops_(&world.metrics().counter("http.fetch.redirect_hops")),
+        tls_handshakes_(
+            &world.metrics().counter("http.fetch.tls_handshakes")),
+        certificates_(&world.metrics().counter("http.fetch.certificates")),
+        banner_probes_(&world.metrics().counter("http.fetch.banner_probes")),
+        banners_(&world.metrics().counter("http.fetch.banners")) {}
 
   // Single GET of `path` at ip, Host: host.
   std::optional<HttpResponse> get(net::Ipv4 ip, std::string_view host,
@@ -67,6 +79,13 @@ class Fetcher {
  private:
   net::World& world_;
   net::Ipv4 client_ip_;
+  obs::Counter* pages_;
+  obs::Counter* pages_connected_;
+  obs::Counter* redirect_hops_;
+  obs::Counter* tls_handshakes_;
+  obs::Counter* certificates_;
+  obs::Counter* banner_probes_;
+  obs::Counter* banners_;
 };
 
 }  // namespace dnswild::http

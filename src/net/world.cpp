@@ -31,7 +31,23 @@ constexpr std::uint64_t kReplyLoss = 2;
 
 }  // namespace
 
-World::World(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+World::World(std::uint64_t seed, obs::Registry* metrics)
+    : seed_(seed), rng_(seed) {
+  if (metrics == nullptr) {
+    own_metrics_ = std::make_unique<obs::Registry>();
+    metrics = own_metrics_.get();
+  }
+  metrics_ = metrics;
+  udp_sent_ = &metrics_->counter("net.udp.sent");
+  udp_delivered_ = &metrics_->counter("net.udp.delivered");
+  udp_dropped_filtered_ = &metrics_->counter("net.udp.dropped_filtered");
+  udp_lost_ = &metrics_->counter("net.udp.lost");
+  udp_replies_lost_ = &metrics_->counter("net.udp.replies_lost");
+  udp_injected_ = &metrics_->counter("net.udp.injected_replies");
+  tcp_connects_ = &metrics_->counter("net.tcp.connects");
+  tcp_syn_lost_ = &metrics_->counter("net.tcp.syn_lost");
+  traffic_sections_opened_ = &metrics_->counter("net.traffic_sections");
+}
 
 void World::require_mutation_phase(const char* what) const {
   if (in_traffic_phase()) {
@@ -215,11 +231,11 @@ bool World::filtered(const UdpPacket& request) const noexcept {
 }
 
 std::vector<UdpReply> World::send_udp(const UdpPacket& request) {
-  udp_sent_.fetch_add(1, std::memory_order_relaxed);
+  udp_sent_->add();
   std::vector<UdpReply> replies;
 
   if (filtered(request)) {
-    udp_dropped_filtered_.fetch_add(1, std::memory_order_relaxed);
+    udp_dropped_filtered_->add();
     return replies;
   }
   // Loss is a pure function of the packet identity: a retransmission
@@ -229,18 +245,20 @@ std::vector<UdpReply> World::send_udp(const UdpPacket& request) {
       loss_rate_ > 0.0 ? packet_key(seed_, request) : 0;
   if (loss_rate_ > 0.0 &&
       util::hash_unit(util::hash_words({key, kForwardLoss})) < loss_rate_) {
+    udp_lost_->add();
     return replies;
   }
 
   // On-path observers see the datagram once it is in flight.
   for (const Injector& injector : injectors_) injector(request, replies);
+  if (!replies.empty()) udp_injected_->add(replies.size());
 
   const HostId id = host_at(request.dst);
   if (id != kNoHost) {
     Host& host = hosts_[id];
     for (auto& slot : host.udp) {
       if (slot.first != request.dst_port || !slot.second) continue;
-      udp_delivered_.fetch_add(1, std::memory_order_relaxed);
+      udp_delivered_->add();
       std::vector<UdpReply> produced;
       slot.second->handle(request, produced);
       for (UdpReply& reply : produced) {
@@ -261,10 +279,14 @@ std::vector<UdpReply> World::send_udp(const UdpPacket& request) {
   // each reply to one probe faces independent loss.
   if (loss_rate_ > 0.0) {
     std::uint64_t index = 0;
+    const std::size_t before = replies.size();
     std::erase_if(replies, [&](const UdpReply&) {
       return util::hash_unit(util::hash_words({key, kReplyLoss, index++})) <
              loss_rate_;
     });
+    if (replies.size() != before) {
+      udp_replies_lost_->add(before - replies.size());
+    }
   }
   std::stable_sort(replies.begin(), replies.end(),
                    [](const UdpReply& a, const UdpReply& b) {
@@ -275,12 +297,16 @@ std::vector<UdpReply> World::send_udp(const UdpPacket& request) {
 
 TcpService* World::connect_tcp(Ipv4 src, Ipv4 dst, std::uint16_t port,
                                std::uint32_t seq) {
+  tcp_connects_->add();
   if (loss_rate_ > 0.0) {
     const std::uint64_t key = util::hash_words(
         {seed_, 0x7c9ULL /* tcp */,
          (static_cast<std::uint64_t>(src.value()) << 32) | dst.value(),
          (static_cast<std::uint64_t>(port) << 32) | seq});
-    if (util::hash_unit(key) < loss_rate_) return nullptr;
+    if (util::hash_unit(key) < loss_rate_) {
+      tcp_syn_lost_->add();
+      return nullptr;
+    }
   }
   const HostId id = host_at(dst);
   if (id == kNoHost) return nullptr;

@@ -37,6 +37,7 @@
 #include "net/ip.h"
 #include "net/rdns.h"
 #include "net/services.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace dnswild::net {
@@ -82,7 +83,10 @@ using Injector = std::function<void(const UdpPacket& request,
 
 class World {
  public:
-  explicit World(std::uint64_t seed);
+  // `metrics`, when given, is the registry the world's traffic counters
+  // live in (not owned; must outlive the world). Without one the world
+  // owns a private registry, so every world still produces a run report.
+  explicit World(std::uint64_t seed, obs::Registry* metrics = nullptr);
 
   World(const World&) = delete;
   World& operator=(const World&) = delete;
@@ -104,6 +108,11 @@ class World {
   HostId host_at(Ipv4 ip) const noexcept;
 
   // --- environment ------------------------------------------------------
+  // The observability registry the traffic plane and every campaign over
+  // this world record into (DESIGN.md §8).
+  obs::Registry& metrics() noexcept { return *metrics_; }
+  const obs::Registry& metrics() const noexcept { return *metrics_; }
+
   AsDb& asdb() noexcept { return asdb_; }
   const AsDb& asdb() const noexcept { return asdb_; }
   RdnsStore& rdns() noexcept { return rdns_; }
@@ -147,7 +156,10 @@ class World {
   // filters/injectors, loss rate, clock movement) throws std::logic_error:
   // those operations rewrite state the traffic plane reads without locks.
   // Nesting is allowed; the phase ends when every section closed.
-  void begin_traffic() noexcept { traffic_sections_.fetch_add(1); }
+  void begin_traffic() noexcept {
+    traffic_sections_.fetch_add(1);
+    traffic_sections_opened_->add();
+  }
   void end_traffic() noexcept { traffic_sections_.fetch_sub(1); }
   bool in_traffic_phase() const noexcept {
     return traffic_sections_.load() != 0;
@@ -168,13 +180,16 @@ class World {
   };
 
   // --- statistics -------------------------------------------------------
-  std::uint64_t udp_sent() const noexcept { return udp_sent_.load(); }
+  // Registry-backed traffic counters (the former ad-hoc atomics; the same
+  // values are part of every metrics() snapshot under "net.*").
+  std::uint64_t udp_sent() const noexcept { return udp_sent_->value(); }
   std::uint64_t udp_delivered() const noexcept {
-    return udp_delivered_.load();
+    return udp_delivered_->value();
   }
   std::uint64_t udp_dropped_filtered() const noexcept {
-    return udp_dropped_filtered_.load();
+    return udp_dropped_filtered_->value();
   }
+  std::uint64_t udp_lost() const noexcept { return udp_lost_->value(); }
 
  private:
   struct Host {
@@ -211,9 +226,19 @@ class World {
   std::vector<IngressFilter> filters_;
   std::vector<Injector> injectors_;
 
-  std::atomic<std::uint64_t> udp_sent_{0};
-  std::atomic<std::uint64_t> udp_delivered_{0};
-  std::atomic<std::uint64_t> udp_dropped_filtered_{0};
+  // Registry the traffic counters live in; own_metrics_ backs it when the
+  // caller did not supply one.
+  std::unique_ptr<obs::Registry> own_metrics_;
+  obs::Registry* metrics_ = nullptr;
+  obs::Counter* udp_sent_ = nullptr;
+  obs::Counter* udp_delivered_ = nullptr;
+  obs::Counter* udp_dropped_filtered_ = nullptr;
+  obs::Counter* udp_lost_ = nullptr;           // forward-path loss
+  obs::Counter* udp_replies_lost_ = nullptr;   // return-path loss
+  obs::Counter* udp_injected_ = nullptr;       // on-path fabricated replies
+  obs::Counter* tcp_connects_ = nullptr;
+  obs::Counter* tcp_syn_lost_ = nullptr;
+  obs::Counter* traffic_sections_opened_ = nullptr;
   std::atomic<int> traffic_sections_{0};
 };
 

@@ -1,0 +1,277 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dnswild::obs {
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(std::uint64_t v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t index =
+      static_cast<std::size_t>(it - bounds_.begin());  // overflow when end()
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+Counter& Registry::counter(std::string_view name, Tag tag) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    auto owned = std::unique_ptr<Counter>(new Counter());
+    owned->tag_ = tag;
+    it = counters_.emplace(std::string(name), std::move(owned)).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name, Tag tag) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    auto owned = std::unique_ptr<Gauge>(new Gauge());
+    owned->tag_ = tag;
+    it = gauges_.emplace(std::string(name), std::move(owned)).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<std::uint64_t> bounds, Tag tag) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    auto owned = std::unique_ptr<Histogram>(new Histogram(std::move(bounds)));
+    owned->tag_ = tag;
+    it = histograms_.emplace(std::string(name), std::move(owned)).first;
+  }
+  return *it->second;
+}
+
+void Registry::record_span(SpanRecord record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(std::move(record));
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back(
+        {name, counter->value(), counter->tag_ == Tag::kNondeterministic});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back(
+        {name, gauge->value(), gauge->tag_ == Tag::kNondeterministic});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    Snapshot::HistogramValue value;
+    value.name = name;
+    value.bounds = histogram->bounds_;
+    value.buckets.reserve(value.bounds.size() + 1);
+    for (std::size_t i = 0; i <= value.bounds.size(); ++i) {
+      value.buckets.push_back(histogram->bucket(i));
+    }
+    value.count = histogram->count();
+    value.sum = histogram->sum();
+    value.nondeterministic = histogram->tag_ == Tag::kNondeterministic;
+    snap.histograms.push_back(std::move(value));
+  }
+  snap.spans = spans_;
+  std::stable_sort(snap.spans.begin(), snap.spans.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.seq < b.seq;
+                   });
+  return snap;
+}
+
+const SpanRecord* Snapshot::find_span(std::string_view name) const noexcept {
+  for (const SpanRecord& span : spans) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+std::uint64_t Snapshot::counter_value(std::string_view name) const noexcept {
+  const auto it = std::lower_bound(
+      counters.begin(), counters.end(), name,
+      [](const CounterValue& c, std::string_view n) { return c.name < n; });
+  if (it == counters.end() || it->name != name) return 0;
+  return it->value;
+}
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "%llu",
+                static_cast<unsigned long long>(v));
+  out += buffer;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "%lld",
+                static_cast<long long>(v));
+  out += buffer;
+}
+
+void append_ms(std::string& out, double ms) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "%.3f", ms);
+  out += buffer;
+}
+
+}  // namespace
+
+std::string Snapshot::to_json(bool mask_nondeterministic) const {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"schema\": \"dnswild.metrics.v1\",\n";
+  out += "  \"masked\": ";
+  out += mask_nondeterministic ? "true" : "false";
+  out += ",\n  \"counters\": [";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    const CounterValue& counter = counters[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    append_escaped(out, counter.name);
+    out += ", \"value\": ";
+    append_u64(out, mask_nondeterministic && counter.nondeterministic
+                        ? 0
+                        : counter.value);
+    if (counter.nondeterministic) out += ", \"nondeterministic\": true";
+    out += "}";
+  }
+  out += counters.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"gauges\": [";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    const GaugeValue& gauge = gauges[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    append_escaped(out, gauge.name);
+    out += ", \"value\": ";
+    append_i64(out,
+               mask_nondeterministic && gauge.nondeterministic ? 0
+                                                               : gauge.value);
+    if (gauge.nondeterministic) out += ", \"nondeterministic\": true";
+    out += "}";
+  }
+  out += gauges.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"histograms\": [";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramValue& histogram = histograms[i];
+    const bool mask = mask_nondeterministic && histogram.nondeterministic;
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    append_escaped(out, histogram.name);
+    if (histogram.nondeterministic) out += ", \"nondeterministic\": true";
+    out += ", \"count\": ";
+    append_u64(out, mask ? 0 : histogram.count);
+    out += ", \"sum\": ";
+    append_u64(out, mask ? 0 : histogram.sum);
+    out += ", \"buckets\": [";
+    for (std::size_t b = 0; b < histogram.buckets.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += "{\"le\": ";
+      if (b < histogram.bounds.size()) {
+        append_u64(out, histogram.bounds[b]);
+      } else {
+        out += "\"inf\"";
+      }
+      out += ", \"count\": ";
+      append_u64(out, mask ? 0 : histogram.buckets[b]);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += histograms.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"spans\": [";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"seq\": ";
+    append_u64(out, span.seq);
+    out += ", \"parent\": ";
+    append_u64(out, span.parent);
+    out += ", \"depth\": ";
+    append_u64(out, span.depth);
+    out += ", \"name\": ";
+    append_escaped(out, span.name);
+    out += ", \"items_in\": ";
+    if (span.items_in < 0) {
+      out += "null";
+    } else {
+      append_i64(out, span.items_in);
+    }
+    out += ", \"items_out\": ";
+    if (span.items_out < 0) {
+      out += "null";
+    } else {
+      append_i64(out, span.items_out);
+    }
+    // Wall time is the one field that is nondeterministic by nature, for
+    // every span; masking zeroes it without a per-span tag.
+    out += ", \"wall_ms\": ";
+    append_ms(out, mask_nondeterministic ? 0.0 : span.wall_ms);
+    out += "}";
+  }
+  out += spans.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+bool Snapshot::dump_json(const std::string& path,
+                         bool mask_nondeterministic) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string json = to_json(mask_nondeterministic);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), file) ==
+                  json.size();
+  std::fclose(file);
+  return ok;
+}
+
+Registry& global_registry() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace dnswild::obs

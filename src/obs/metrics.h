@@ -1,0 +1,197 @@
+// Pipeline observability: the process metrics registry (DESIGN.md §8).
+//
+// A Registry holds named counters, gauges, and fixed-bucket histograms.
+// Registration (name -> handle) takes a mutex and returns a stable pointer;
+// the hot-path operations — Counter::add, Gauge::set, Histogram::observe —
+// are single relaxed atomics, safe from any number of threads and cheap
+// enough for the traffic plane (the same cost as the former ad-hoc
+// `std::atomic` counters in net::World).
+//
+// Every instrument carries a determinism tag. The measurement engine is
+// thread-count invariant (DESIGN.md §7), so almost every metric of a run is
+// too; the exceptions — wall times, shard shapes, worker counts — are
+// registered as kNondeterministic. Snapshot::to_json(true) masks tagged
+// values to zero, which makes the serialized run report byte-identical for
+// any thread count (tests/test_obs.cpp pins this).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnswild::obs {
+
+// Whether a metric's value is a pure function of the run's seed and inputs
+// (kStable) or depends on scheduling, wall clock, or worker count
+// (kNondeterministic — masked when comparing reports across thread counts).
+enum class Tag { kStable, kNondeterministic };
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  std::atomic<std::uint64_t> value_{0};
+  Tag tag_ = Tag::kStable;
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t v) noexcept {
+    value_.fetch_add(v, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  std::atomic<std::int64_t> value_{0};
+  Tag tag_ = Tag::kStable;
+};
+
+// Fixed upper-bound buckets chosen at registration; observations above the
+// last bound land in an overflow bucket. All updates are relaxed atomics.
+class Histogram {
+ public:
+  void observe(std::uint64_t v) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  const std::vector<std::uint64_t>& bounds() const noexcept {
+    return bounds_;
+  }
+  // Count in bucket `i` (bounds().size() + 1 buckets; last is overflow).
+  std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+
+  std::vector<std::uint64_t> bounds_;  // ascending, upper-inclusive
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  Tag tag_ = Tag::kStable;
+};
+
+// One completed stage span (see span.h). Sequence numbers are assigned at
+// open time in coordinator program order, so span order is deterministic;
+// wall_ms is the only inherently nondeterministic field and is always
+// masked by Snapshot::to_json(true).
+struct SpanRecord {
+  std::string name;
+  std::uint64_t seq = 0;     // 1-based open order within the registry
+  std::uint64_t parent = 0;  // seq of the enclosing span; 0 = root
+  std::uint32_t depth = 0;   // nesting level (root = 0)
+  std::int64_t items_in = -1;   // -1 = not recorded
+  std::int64_t items_out = -1;  // -1 = not recorded
+  double wall_ms = 0.0;
+};
+
+// Plain-data copy of a registry at one instant; the machine-readable run
+// report. Serialization is deterministic: instruments sorted by name,
+// spans by open sequence, fixed float formatting.
+struct Snapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+    bool nondeterministic = false;
+  };
+  struct GaugeValue {
+    std::string name;
+    std::int64_t value = 0;
+    bool nondeterministic = false;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::vector<std::uint64_t> bounds;
+    std::vector<std::uint64_t> buckets;  // bounds.size() + 1 (overflow last)
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    bool nondeterministic = false;
+  };
+
+  std::vector<CounterValue> counters;      // sorted by name
+  std::vector<GaugeValue> gauges;          // sorted by name
+  std::vector<HistogramValue> histograms;  // sorted by name
+  std::vector<SpanRecord> spans;           // sorted by seq
+
+  // Lookup helpers (nullptr / 0 when absent).
+  const SpanRecord* find_span(std::string_view name) const noexcept;
+  std::uint64_t counter_value(std::string_view name) const noexcept;
+
+  // Deterministic JSON document (schema "dnswild.metrics.v1"). With
+  // mask_nondeterministic, every kNondeterministic value and every span
+  // wall_ms is written as 0, so two reports from the same seed compare
+  // byte-identical regardless of thread count.
+  std::string to_json(bool mask_nondeterministic = false) const;
+  bool dump_json(const std::string& path,
+                 bool mask_nondeterministic = false) const;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Registration is idempotent: a second call with the same name returns
+  // the existing instrument (the original tag and bounds win). Handles
+  // stay valid for the registry's lifetime.
+  Counter& counter(std::string_view name, Tag tag = Tag::kStable);
+  Gauge& gauge(std::string_view name, Tag tag = Tag::kStable);
+  Histogram& histogram(std::string_view name,
+                       std::vector<std::uint64_t> bounds,
+                       Tag tag = Tag::kStable);
+
+  Snapshot snapshot() const;
+  std::string to_json(bool mask_nondeterministic = false) const {
+    return snapshot().to_json(mask_nondeterministic);
+  }
+  bool dump_json(const std::string& path,
+                 bool mask_nondeterministic = false) const {
+    return snapshot().dump_json(path, mask_nondeterministic);
+  }
+
+ private:
+  friend class Span;
+  std::uint64_t next_span_seq() noexcept {
+    return span_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  void record_span(SpanRecord record);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::vector<SpanRecord> spans_;  // completed spans, completion order
+  std::atomic<std::uint64_t> span_seq_{0};
+};
+
+// Process-wide default registry, for tools that have no natural owner.
+// Campaign code prefers an explicitly owned registry (net::World owns one
+// per world) so runs stay independent.
+Registry& global_registry();
+
+}  // namespace dnswild::obs

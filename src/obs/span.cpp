@@ -1,0 +1,51 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dnswild::obs {
+
+namespace {
+
+// Open spans on this thread, oldest first. Entries pair the registry with
+// the span's seq so nesting is tracked per registry even if a thread
+// interleaves spans of independent registries.
+struct OpenSpan {
+  const Registry* registry;
+  std::uint64_t seq;
+};
+
+thread_local std::vector<OpenSpan> open_spans;
+
+}  // namespace
+
+Span::Span(Registry& registry, std::string name)
+    : registry_(&registry), start_(std::chrono::steady_clock::now()) {
+  record_.name = std::move(name);
+  record_.seq = registry.next_span_seq();
+  for (auto it = open_spans.rbegin(); it != open_spans.rend(); ++it) {
+    if (it->registry != registry_) continue;
+    record_.parent = it->seq;
+    break;
+  }
+  for (const OpenSpan& open : open_spans) {
+    if (open.registry == registry_) ++record_.depth;
+  }
+  open_spans.push_back({registry_, record_.seq});
+}
+
+void Span::close() noexcept {
+  if (!open_) return;
+  open_ = false;
+  const std::chrono::duration<double, std::milli> elapsed =
+      std::chrono::steady_clock::now() - start_;
+  record_.wall_ms = elapsed.count();
+  const auto it = std::find_if(
+      open_spans.rbegin(), open_spans.rend(), [this](const OpenSpan& open) {
+        return open.registry == registry_ && open.seq == record_.seq;
+      });
+  if (it != open_spans.rend()) open_spans.erase(std::next(it).base());
+  registry_->record_span(std::move(record_));
+}
+
+}  // namespace dnswild::obs

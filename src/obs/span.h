@@ -1,0 +1,53 @@
+// Scoped stage spans (DESIGN.md §8).
+//
+// A Span measures one pipeline stage: construct it around the stage, feed
+// it items-in/items-out, and its destructor records a SpanRecord into the
+// registry with the wall time. Nesting is tracked per thread: a span
+// opened while another is live on the same thread and registry becomes its
+// child (depth + parent seq), which is how `pipeline.run` encloses the six
+// Fig. 3 stage spans.
+//
+// Sequence numbers are taken at open time, so serialized span order equals
+// coordinator program order and is deterministic; the wall time is the
+// only nondeterministic field (masked by Snapshot::to_json(true)).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace dnswild::obs {
+
+class Span {
+ public:
+  Span(Registry& registry, std::string name);
+  ~Span() { close(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  Span& items_in(std::uint64_t n) noexcept {
+    record_.items_in = static_cast<std::int64_t>(n);
+    return *this;
+  }
+  Span& items_out(std::uint64_t n) noexcept {
+    record_.items_out = static_cast<std::int64_t>(n);
+    return *this;
+  }
+
+  std::uint64_t seq() const noexcept { return record_.seq; }
+
+  // Finalizes the span (idempotent); implicit on destruction. Explicit
+  // close lets a caller snapshot the registry with this span included.
+  void close() noexcept;
+
+ private:
+  Registry* registry_;
+  SpanRecord record_;
+  std::chrono::steady_clock::time_point start_;
+  bool open_ = true;
+};
+
+}  // namespace dnswild::obs

@@ -22,14 +22,24 @@ std::vector<BannerResult> BannerScanner::scan(
     const std::vector<net::Ipv4>& resolvers) {
   std::vector<BannerResult> results(resolvers.size());
   ParallelExecutor executor(threads_);
-  net::World::TrafficSection traffic(world_);
-  executor.run_blocks(
-      resolvers.size(),
-      [&](std::uint64_t begin, std::uint64_t end, unsigned) {
-        for (std::uint64_t i = begin; i < end; ++i) {
-          results[i] = probe(resolvers[i]);
-        }
-      });
+  executor.attach_metrics(&world_.metrics(), "scan.banner");
+  {
+    net::World::TrafficSection traffic(world_);
+    executor.run_blocks(
+        resolvers.size(),
+        [&](std::uint64_t begin, std::uint64_t end, unsigned) {
+          for (std::uint64_t i = begin; i < end; ++i) {
+            results[i] = probe(resolvers[i]);
+          }
+        });
+  }
+  std::uint64_t with_payload = 0;
+  for (const BannerResult& result : results) {
+    with_payload += result.any_tcp_payload ? 1 : 0;
+  }
+  obs::Registry& metrics = world_.metrics();
+  metrics.counter("scan.banner.probed").add(results.size());
+  metrics.counter("scan.banner.with_payload").add(with_payload);
   return results;
 }
 

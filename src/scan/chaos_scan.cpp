@@ -48,14 +48,27 @@ std::vector<ChaosResult> ChaosScanner::scan(
     const std::vector<net::Ipv4>& resolvers) {
   std::vector<ChaosResult> results(resolvers.size());
   ParallelExecutor executor(threads_);
-  net::World::TrafficSection traffic(world_);
-  executor.run_blocks(
-      resolvers.size(),
-      [&](std::uint64_t begin, std::uint64_t end, unsigned) {
-        for (std::uint64_t i = begin; i < end; ++i) {
-          results[i] = probe(resolvers[i]);
-        }
-      });
+  executor.attach_metrics(&world_.metrics(), "scan.chaos");
+  {
+    net::World::TrafficSection traffic(world_);
+    executor.run_blocks(
+        resolvers.size(),
+        [&](std::uint64_t begin, std::uint64_t end, unsigned) {
+          for (std::uint64_t i = begin; i < end; ++i) {
+            results[i] = probe(resolvers[i]);
+          }
+        });
+  }
+  std::uint64_t responded = 0;
+  std::uint64_t versions = 0;
+  for (const ChaosResult& result : results) {
+    responded += result.responded ? 1 : 0;
+    versions += (result.version_bind || result.version_server) ? 1 : 0;
+  }
+  obs::Registry& metrics = world_.metrics();
+  metrics.counter("scan.chaos.probed").add(results.size());
+  metrics.counter("scan.chaos.responded").add(responded);
+  metrics.counter("scan.chaos.with_version").add(versions);
   return results;
 }
 

@@ -86,6 +86,7 @@ std::vector<TupleRecord> DomainScanner::scan(
       spread ? std::min<std::uint16_t>(64, domain_count) : 1;
 
   ParallelExecutor executor(config_.threads);
+  executor.attach_metrics(&world_.metrics(), "scan.domain");
   for (std::uint16_t e = 0; e < epochs; ++e) {
     const auto d_begin = static_cast<std::uint16_t>(
         static_cast<std::uint64_t>(domain_count) * e / epochs);
@@ -113,6 +114,17 @@ std::vector<TupleRecord> DomainScanner::scan(
                           static_cast<double>(epochs));
     }
   }
+
+  std::uint64_t responded = 0;
+  std::uint64_t dual = 0;
+  for (const TupleRecord& record : records) {
+    responded += record.responded ? 1 : 0;
+    dual += record.dual_response ? 1 : 0;
+  }
+  obs::Registry& metrics = world_.metrics();
+  metrics.counter("scan.domain.probes").add(total);
+  metrics.counter("scan.domain.responded").add(responded);
+  metrics.counter("scan.domain.dual_responses").add(dual);
   return records;
 }
 

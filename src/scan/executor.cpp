@@ -1,5 +1,7 @@
 #include "scan/executor.h"
 
+#include <chrono>
+
 namespace dnswild::scan {
 
 ParallelExecutor::ParallelExecutor(unsigned threads) {
@@ -56,7 +58,66 @@ void ParallelExecutor::worker_loop(unsigned index) {
   }
 }
 
+void ParallelExecutor::attach_metrics(obs::Registry* registry,
+                                      std::string_view label) {
+  if (registry == nullptr) {
+    metric_jobs_ = nullptr;
+    metric_items_ = nullptr;
+    metric_shards_ = nullptr;
+    metric_shard_items_ = nullptr;
+    metric_shard_wall_us_ = nullptr;
+    return;
+  }
+  const std::string prefix = std::string(label) + ".executor.";
+  metric_jobs_ = &registry->counter(prefix + "jobs");
+  metric_items_ = &registry->counter(prefix + "items");
+  metric_shards_ =
+      &registry->counter(prefix + "shards", obs::Tag::kNondeterministic);
+  metric_shard_items_ = &registry->histogram(
+      prefix + "shard_items", {1, 10, 100, 1000, 10000, 100000, 1000000},
+      obs::Tag::kNondeterministic);
+  metric_shard_wall_us_ = &registry->histogram(
+      prefix + "shard_wall_us",
+      {100, 1000, 10000, 100000, 1000000, 10000000},
+      obs::Tag::kNondeterministic);
+}
+
 void ParallelExecutor::run_blocks(
+    std::uint64_t count,
+    const std::function<void(std::uint64_t, std::uint64_t, unsigned)>& fn) {
+  if (metric_jobs_ == nullptr) {
+    dispatch(count, fn);
+    return;
+  }
+  if (count == 0) return;
+  metric_jobs_->add();
+  metric_items_->add(count);
+
+  // Per-shard wall clocks land in worker-indexed slots, so the timed wrapper
+  // stays race-free; the shared histograms are fed after the barrier.
+  std::vector<std::uint64_t> shard_wall_us(thread_count_, 0);
+  std::vector<std::uint64_t> shard_items(thread_count_, 0);
+  const std::function<void(std::uint64_t, std::uint64_t, unsigned)> timed =
+      [&](std::uint64_t begin, std::uint64_t end, unsigned worker) {
+        const auto start = std::chrono::steady_clock::now();
+        fn(begin, end, worker);
+        const auto stop = std::chrono::steady_clock::now();
+        shard_wall_us[worker] = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(stop - start)
+                .count());
+        shard_items[worker] = end - begin;
+      };
+  dispatch(count, timed);
+
+  for (unsigned worker = 0; worker < thread_count_; ++worker) {
+    if (shard_items[worker] == 0) continue;
+    metric_shards_->add();
+    metric_shard_items_->observe(shard_items[worker]);
+    metric_shard_wall_us_->observe(shard_wall_us[worker]);
+  }
+}
+
+void ParallelExecutor::dispatch(
     std::uint64_t count,
     const std::function<void(std::uint64_t, std::uint64_t, unsigned)>& fn) {
   if (count == 0) return;

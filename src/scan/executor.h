@@ -19,8 +19,12 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace dnswild::scan {
 
@@ -35,6 +39,14 @@ class ParallelExecutor {
   ParallelExecutor& operator=(const ParallelExecutor&) = delete;
 
   unsigned threads() const noexcept { return thread_count_; }
+
+  // Routes executor telemetry into `registry` under "<label>.executor.*":
+  // jobs and items dispatched (thread-count invariant), plus shard counts,
+  // shard sizes, and per-shard wall time (registered kNondeterministic —
+  // they depend on the worker count and scheduling, and are masked when
+  // comparing run reports). Costs two clock reads per shard, nothing per
+  // item. Pass nullptr to detach.
+  void attach_metrics(obs::Registry* registry, std::string_view label);
 
   // Block worker `b` of `T` processes indices [b*count/T, (b+1)*count/T).
   static std::uint64_t block_begin(std::uint64_t count, unsigned block,
@@ -53,6 +65,10 @@ class ParallelExecutor {
 
  private:
   void worker_loop(unsigned index);
+  // The uninstrumented dispatch path run_blocks wraps.
+  void dispatch(std::uint64_t count,
+                const std::function<void(std::uint64_t, std::uint64_t,
+                                         unsigned)>& fn);
 
   unsigned thread_count_ = 1;
   std::vector<std::thread> pool_;  // thread_count_ - 1 entries; the caller
@@ -70,6 +86,14 @@ class ParallelExecutor {
   const std::function<void(std::uint64_t, std::uint64_t, unsigned)>* job_fn_ =
       nullptr;
   std::vector<std::exception_ptr> errors_;
+
+  // Telemetry handles; all null until attach_metrics(). Jobs/items are
+  // thread-count invariant, the shard-shape metrics are not.
+  obs::Counter* metric_jobs_ = nullptr;
+  obs::Counter* metric_items_ = nullptr;
+  obs::Counter* metric_shards_ = nullptr;
+  obs::Histogram* metric_shard_items_ = nullptr;
+  obs::Histogram* metric_shard_wall_us_ = nullptr;
 };
 
 }  // namespace dnswild::scan

@@ -12,6 +12,21 @@ namespace dnswild::scan {
 Ipv4Scanner::Ipv4Scanner(net::World& world, Ipv4ScanConfig config)
     : world_(world), config_(std::move(config)), rng_(config_.seed) {}
 
+void Ipv4Scanner::record_summary(const Ipv4ScanSummary& summary) {
+  obs::Registry& metrics = world_.metrics();
+  metrics.counter("scan.ipv4.probed").add(summary.probed);
+  metrics.counter("scan.ipv4.skipped_reserved").add(summary.skipped_reserved);
+  metrics.counter("scan.ipv4.skipped_blacklist")
+      .add(summary.skipped_blacklist);
+  metrics.counter("scan.ipv4.responses").add(summary.responses);
+  metrics.counter("scan.ipv4.noerror").add(summary.noerror);
+  metrics.counter("scan.ipv4.refused").add(summary.refused);
+  metrics.counter("scan.ipv4.servfail").add(summary.servfail);
+  metrics.counter("scan.ipv4.nxdomain").add(summary.nxdomain);
+  metrics.counter("scan.ipv4.other_rcode").add(summary.other_rcode);
+  metrics.counter("scan.ipv4.multihomed").add(summary.multihomed);
+}
+
 void Ipv4Scanner::probe_one(net::Ipv4 target, std::uint64_t salt,
                             std::string& prefix, Ipv4ScanSummary& summary) {
   ++summary.probed;
@@ -148,6 +163,7 @@ Ipv4ScanSummary Ipv4Scanner::scan(const std::vector<net::Cidr>& universe) {
       (config_.spread_over_hours > 0.0 && total > 1000) ? total / 64 : total;
 
   ParallelExecutor executor(config_.threads);
+  executor.attach_metrics(&world_.metrics(), "scan.ipv4");
   std::vector<net::Ipv4> targets;
   targets.reserve(static_cast<std::size_t>(std::min(chunk, total)));
 
@@ -164,6 +180,7 @@ Ipv4ScanSummary Ipv4Scanner::scan(const std::vector<net::Cidr>& universe) {
       world_.advance_days(config_.spread_over_hours / 24.0 / 64.0);
     }
   }
+  record_summary(summary);
   return summary;
 }
 
@@ -172,7 +189,9 @@ Ipv4ScanSummary Ipv4Scanner::probe_targets(
   Ipv4ScanSummary summary;
   const std::uint64_t salt = rng_.next();
   ParallelExecutor executor(config_.threads);
+  executor.attach_metrics(&world_.metrics(), "scan.ipv4");
   probe_batch(targets, salt, /*check_reserved=*/false, executor, summary);
+  record_summary(summary);
   return summary;
 }
 

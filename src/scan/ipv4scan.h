@@ -94,6 +94,9 @@ class Ipv4Scanner {
   void probe_batch(const std::vector<net::Ipv4>& targets, std::uint64_t salt,
                    bool check_reserved, ParallelExecutor& executor,
                    Ipv4ScanSummary& summary);
+  // Publishes the merged (thread-count invariant) tallies as "scan.ipv4.*"
+  // registry counters.
+  void record_summary(const Ipv4ScanSummary& summary);
 
   net::World& world_;
   Ipv4ScanConfig config_;

@@ -1,0 +1,237 @@
+// The observability layer (src/obs/, DESIGN.md §8).
+//
+// Three contracts under test: the registry's counters/gauges/histograms
+// survive concurrent hammering without losing increments (run these under
+// -DDNSWILD_SANITIZE=thread to validate the lock-free hot path), spans
+// nest and sequence deterministically, and a full pipeline run emits a
+// JSON run report that is byte-identical across thread counts once the
+// nondeterministic fields (wall times, shard shapes) are masked.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "scan/ipv4scan.h"
+#include "worldgen/worldgen.h"
+
+namespace dnswild {
+namespace {
+
+TEST(ObsRegistry, HandlesAreIdempotent) {
+  obs::Registry registry;
+  obs::Counter& a = registry.counter("x.count");
+  obs::Counter& b = registry.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  b.add(4);
+  EXPECT_EQ(a.value(), 7u);
+
+  obs::Gauge& g = registry.gauge("x.gauge");
+  g.set(-5);
+  g.add(2);
+  EXPECT_EQ(g.value(), -3);
+  EXPECT_EQ(&g, &registry.gauge("x.gauge"));
+}
+
+TEST(ObsRegistry, ConcurrentCounterIncrementsAreLossless) {
+  obs::Registry registry;
+  obs::Counter& counter = registry.counter("hot.path");
+  obs::Histogram& histogram =
+      registry.histogram("hot.histogram", {10, 100, 1000});
+
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter, &histogram, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        counter.add();
+        histogram.observe(t * 100 + (i & 7));
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  EXPECT_EQ(histogram.count(), kThreads * kPerThread);
+}
+
+TEST(ObsHistogram, BucketsAreUpperInclusiveWithOverflow) {
+  obs::Registry registry;
+  obs::Histogram& histogram = registry.histogram("h", {10, 100});
+  histogram.observe(5);
+  histogram.observe(10);   // upper-inclusive: lands in the le=10 bucket
+  histogram.observe(50);
+  histogram.observe(1000);  // overflow bucket
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_EQ(histogram.sum(), 1065u);
+  EXPECT_EQ(histogram.bucket(0), 2u);
+  EXPECT_EQ(histogram.bucket(1), 1u);
+  EXPECT_EQ(histogram.bucket(2), 1u);
+}
+
+TEST(ObsSpan, NestingRecordsParentAndDepth) {
+  obs::Registry registry;
+  {
+    obs::Span outer(registry, "outer");
+    outer.items_in(10);
+    {
+      obs::Span inner(registry, "inner");
+      inner.items_in(5).items_out(2);
+    }
+    obs::Span sibling(registry, "sibling");
+    sibling.close();
+    outer.items_out(3);
+  }
+  const obs::Snapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.spans.size(), 3u);
+
+  const obs::SpanRecord* outer = snapshot.find_span("outer");
+  const obs::SpanRecord* inner = snapshot.find_span("inner");
+  const obs::SpanRecord* sibling = snapshot.find_span("sibling");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(sibling, nullptr);
+
+  EXPECT_EQ(outer->depth, 0u);
+  EXPECT_EQ(outer->parent, 0u);  // roots carry parent seq 0
+  EXPECT_EQ(outer->items_in, 10);
+  EXPECT_EQ(outer->items_out, 3);
+
+  EXPECT_EQ(inner->depth, 1u);
+  EXPECT_EQ(inner->parent, outer->seq);
+  EXPECT_EQ(sibling->depth, 1u);
+  EXPECT_EQ(sibling->parent, outer->seq);
+
+  // Seq numbers are assigned at open time, in program order.
+  EXPECT_LT(outer->seq, inner->seq);
+  EXPECT_LT(inner->seq, sibling->seq);
+}
+
+TEST(ObsSnapshot, MaskingZeroesOnlyNondeterministicValues) {
+  obs::Registry registry;
+  registry.counter("stable.count").add(42);
+  registry.counter("wobbly.count", obs::Tag::kNondeterministic).add(7);
+  registry.histogram("wobbly.hist", {10}, obs::Tag::kNondeterministic)
+      .observe(3);
+  { obs::Span span(registry, "work"); }
+
+  const std::string masked = registry.to_json(/*mask_nondeterministic=*/true);
+  EXPECT_NE(masked.find("\"name\": \"stable.count\", \"value\": 42"),
+            std::string::npos);
+  EXPECT_NE(masked.find("\"name\": \"wobbly.count\", \"value\": 0"),
+            std::string::npos);
+  EXPECT_NE(masked.find("\"wall_ms\": 0.000"), std::string::npos);
+
+  const std::string unmasked = registry.to_json(false);
+  EXPECT_NE(unmasked.find("\"name\": \"wobbly.count\", \"value\": 7"),
+            std::string::npos);
+}
+
+TEST(ObsSnapshot, JsonIsDeterministicAcrossSnapshots) {
+  obs::Registry registry;
+  registry.counter("b.second").add(2);
+  registry.counter("a.first").add(1);
+  registry.gauge("z.gauge").set(9);
+  const std::string first = registry.to_json(true);
+  const std::string second = registry.to_json(true);
+  EXPECT_EQ(first, second);
+  // Name-sorted key order regardless of registration order.
+  EXPECT_LT(first.find("a.first"), first.find("b.second"));
+}
+
+// --- the acceptance criterion: a full run report, thread-invariant -------
+
+core::StudyReport pipeline_run_at(unsigned threads) {
+  worldgen::WorldGenConfig config;
+  config.seed = 91;
+  config.resolver_count = 300;
+  worldgen::GeneratedWorld gen = worldgen::generate_world(config);
+
+  scan::Ipv4ScanConfig scan_config;
+  scan_config.scanner_ip = gen.scanner_ip;
+  scan_config.zone = gen.scan_zone;
+  scan_config.blacklist = &gen.blacklist;
+  scan_config.seed = 3;
+  scan_config.threads = threads;
+  scan::Ipv4Scanner scanner(*gen.world, scan_config);
+  const auto summary = scanner.scan(gen.universe);
+
+  core::PipelineConfig pipeline_config;
+  pipeline_config.scanner_ip = gen.scanner_ip;
+  pipeline_config.vantage_ip = gen.vantage_ip;
+  pipeline_config.seed = 5;
+  pipeline_config.scan_threads = threads;
+  pipeline_config.classifier.threads = threads;
+  core::Pipeline pipeline(*gen.world, *gen.registry, pipeline_config);
+  return pipeline.run(summary.noerror_targets, gen.domains);
+}
+
+TEST(ObsPipeline, RunReportCoversAllStagesAndTraffic) {
+  const core::StudyReport report = pipeline_run_at(2);
+  const obs::Snapshot& metrics = report.metrics;
+
+  // One span per Fig. 3 stage, nested under the pipeline root.
+  const obs::SpanRecord* root = metrics.find_span("pipeline.run");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->depth, 0u);
+  for (const char* stage :
+       {"stage.scan", "stage.domain_scan", "stage.prefilter",
+        "stage.acquisition", "stage.clustering", "stage.labeling"}) {
+    const obs::SpanRecord* span = metrics.find_span(stage);
+    ASSERT_NE(span, nullptr) << stage;
+    EXPECT_EQ(span->depth, 1u) << stage;
+    EXPECT_EQ(span->parent, root->seq) << stage;
+    EXPECT_GE(span->items_in, 0) << stage;
+    EXPECT_GE(span->items_out, 0) << stage;
+  }
+  // Stage arithmetic matches the report the stages produced.
+  EXPECT_EQ(metrics.find_span("stage.domain_scan")->items_out,
+            static_cast<std::int64_t>(report.records.size()));
+  EXPECT_EQ(metrics.find_span("stage.prefilter")->items_out,
+            static_cast<std::int64_t>(report.prefilter_stats.unknown));
+  EXPECT_EQ(metrics.find_span("stage.acquisition")->items_out,
+            static_cast<std::int64_t>(report.pages.size()));
+
+  // The traffic plane recorded into the same registry.
+  EXPECT_GT(metrics.counter_value("net.udp.sent"), 0u);
+  EXPECT_GT(metrics.counter_value("net.udp.delivered"), 0u);
+  EXPECT_GT(metrics.counter_value("scan.ipv4.probed"), 0u);
+  EXPECT_GT(metrics.counter_value("scan.domain.probes"), 0u);
+  EXPECT_GT(metrics.counter_value("http.fetch.pages"), 0u);
+}
+
+TEST(ObsPipeline, MaskedRunReportIsThreadCountInvariant) {
+  const std::string at1 = pipeline_run_at(1).metrics.to_json(true);
+  const std::string at2 = pipeline_run_at(2).metrics.to_json(true);
+  const std::string at8 = pipeline_run_at(8).metrics.to_json(true);
+  EXPECT_EQ(at1, at2);
+  EXPECT_EQ(at1, at8);
+}
+
+TEST(ObsSnapshot, DumpJsonWritesTheReport) {
+  obs::Registry registry;
+  registry.counter("c").add(1);
+  const std::string path = ::testing::TempDir() + "dnswild_obs_report.json";
+  ASSERT_TRUE(registry.dump_json(path));
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  char buffer[4096];
+  const std::size_t read = std::fread(buffer, 1, sizeof buffer - 1, file);
+  std::fclose(file);
+  buffer[read] = '\0';
+  const std::string contents(buffer);
+  EXPECT_NE(contents.find("\"schema\": \"dnswild.metrics.v1\""),
+            std::string::npos);
+  EXPECT_NE(contents.find("\"name\": \"c\", \"value\": 1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dnswild
