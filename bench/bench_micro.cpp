@@ -29,6 +29,7 @@
 #include "scan/executor.h"
 #include "scan/ipv4scan.h"
 #include "scan/permute.h"
+#include "scan/ratelimit.h"
 #include "util/hash.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -308,6 +309,61 @@ bench::ScanBenchEntry measure_scan(unsigned threads,
   return entry;
 }
 
+// Loss-ablation cell (DESIGN.md §9): address-space scan against a world
+// whose routed prefixes all sit in permanent loss episodes at `loss` in
+// each direction, probed under `attempts` retransmissions. The virtual
+// scan duration paces every send through a TokenBucket at the study's
+// probe rate and then charges the retry plane's backoff/timeout waits, so
+// the duration cost of a retry policy is visible next to its recovery.
+bench::LossAblationEntry measure_loss(double loss, int attempts,
+                                      std::uint32_t resolver_count,
+                                      std::uint64_t baseline_responders) {
+  worldgen::WorldGenConfig world_config;
+  world_config.seed = 2015;
+  world_config.resolver_count = resolver_count;
+  world_config.with_devices = false;
+  if (loss > 0.0) {
+    world_config.chaos.enabled = true;
+    world_config.chaos.network_fraction = 1.0;  // every routed prefix
+    world_config.chaos.episode_rate = 1.0;      // always in-episode
+    world_config.chaos.episode_mean_buckets = 8.0;
+    world_config.chaos.burst_loss = loss;
+    world_config.chaos.base_loss = loss;
+  }
+  worldgen::GeneratedWorld gen = worldgen::generate_world(world_config);
+
+  scan::Ipv4ScanConfig config;
+  config.scanner_ip = gen.scanner_ip;
+  config.zone = gen.scan_zone;
+  config.blacklist = &gen.blacklist;
+  config.seed = 1;
+  config.retry.attempts = attempts;
+  config.retry.timeout_ms = 2000;
+  scan::Ipv4Scanner scanner(*gen.world, config);
+  const scan::Ipv4ScanSummary summary = scanner.scan(gen.universe);
+
+  bench::LossAblationEntry entry;
+  entry.loss_rate = loss;
+  entry.retry_attempts = attempts;
+  entry.responders = summary.noerror;
+  entry.recovered_fraction =
+      baseline_responders > 0
+          ? static_cast<double>(summary.noerror) /
+                static_cast<double>(baseline_responders)
+          : 1.0;
+  entry.retransmissions = summary.retry_retransmissions;
+  entry.retry_wait_ms = summary.retry_wait_ms;
+  // Virtual duration: one paced token per wire send, then the retry
+  // plane's aggregate waits on top (they refill the bucket, as a real
+  // backoff pause would).
+  scan::TokenBucket pace(25000.0, 128.0);
+  const std::uint64_t sends = summary.probed + summary.retry_retransmissions;
+  for (std::uint64_t i = 0; i < sends; ++i) pace.acquire();
+  pace.advance(static_cast<double>(summary.retry_wait_ms) / 1000.0);
+  entry.virtual_scan_seconds = pace.virtual_elapsed_seconds();
+  return entry;
+}
+
 // Synthetic unique-page corpus spanning the content classes the study
 // clusters (legit sites, censorship/blocking pages, parking, router
 // logins, error pages, search portals).
@@ -461,9 +517,43 @@ int main(int argc, char** argv) {
                   ? static_cast<double>(square_bytes) /
                         static_cast<double>(condensed_bytes)
                   : 0.0);
+  // Loss × retry-policy ablation: recovered NOERROR fraction vs the
+  // zero-loss population, and the virtual scan-duration price of each
+  // retry policy (DESIGN.md §9).
+  const std::uint32_t ablation_resolvers = std::min(resolver_count, 4000u);
+  std::vector<dnswild::bench::LossAblationEntry> loss_entries;
+  const auto baseline = measure_loss(0.0, 0, ablation_resolvers, 0);
+  loss_entries.push_back(baseline);
+  std::printf(
+      "loss=%.2f attempts=%d responders=%llu recovered=%.3f "
+      "retx=%llu wait=%llums virtual=%.1fs\n",
+      baseline.loss_rate, baseline.retry_attempts,
+      static_cast<unsigned long long>(baseline.responders),
+      baseline.recovered_fraction,
+      static_cast<unsigned long long>(baseline.retransmissions),
+      static_cast<unsigned long long>(baseline.retry_wait_ms),
+      baseline.virtual_scan_seconds);
+  for (const double loss : {0.1, 0.2, 0.3}) {
+    for (const int attempts : {0, 1, 3}) {
+      const auto entry =
+          measure_loss(loss, attempts, ablation_resolvers, baseline.responders);
+      std::printf(
+          "loss=%.2f attempts=%d responders=%llu recovered=%.3f "
+          "retx=%llu wait=%llums virtual=%.1fs\n",
+          entry.loss_rate, entry.retry_attempts,
+          static_cast<unsigned long long>(entry.responders),
+          entry.recovered_fraction,
+          static_cast<unsigned long long>(entry.retransmissions),
+          static_cast<unsigned long long>(entry.retry_wait_ms),
+          entry.virtual_scan_seconds);
+      loss_entries.push_back(entry);
+    }
+  }
+
   dnswild::bench::write_micro_bench_json(json_path, "bench_micro", hardware,
                                          entries, cluster_entries,
-                                         condensed_bytes, square_bytes);
+                                         condensed_bytes, square_bytes,
+                                         loss_entries);
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

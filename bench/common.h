@@ -97,6 +97,19 @@ struct ClusterBenchEntry {
   double hac_wall_seconds = 0.0;     // full hac_average_linkage call
 };
 
+// One cell of the loss-ablation sweep (DESIGN.md §9): an address-space
+// scan against a world whose resolver networks drop `loss_rate` of traffic
+// in each direction, probed under the given retry policy.
+struct LossAblationEntry {
+  double loss_rate = 0.0;
+  int retry_attempts = 0;
+  std::uint64_t responders = 0;        // NOERROR resolvers found
+  double recovered_fraction = 0.0;     // vs the zero-loss population
+  std::uint64_t retransmissions = 0;
+  std::uint64_t retry_wait_ms = 0;     // virtual backoff/timeout time
+  double virtual_scan_seconds = 0.0;   // TokenBucket pacing + retry waits
+};
+
 inline double best_speedup(double base, double best) {
   return base > 0.0 ? best / base : 0.0;
 }
@@ -107,7 +120,8 @@ inline bool write_micro_bench_json(
     const std::string& path, const std::string& bench_name,
     unsigned hardware_threads, const std::vector<ScanBenchEntry>& scan,
     const std::vector<ClusterBenchEntry>& cluster,
-    std::size_t matrix_bytes_condensed, std::size_t matrix_bytes_square) {
+    std::size_t matrix_bytes_condensed, std::size_t matrix_bytes_square,
+    const std::vector<LossAblationEntry>& loss_ablation = {}) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -163,6 +177,23 @@ inline bool write_micro_bench_json(
   std::fprintf(file, "  ],\n");
   std::fprintf(file, "  \"cluster_best_speedup_vs_1_thread\": %.2f,\n",
                best_speedup(pair_base, pair_best));
+  std::fprintf(file, "  \"loss_ablation\": [\n");
+  for (std::size_t i = 0; i < loss_ablation.size(); ++i) {
+    const LossAblationEntry& entry = loss_ablation[i];
+    std::fprintf(file,
+                 "    {\"loss_rate\": %.2f, \"retry_attempts\": %d, "
+                 "\"responders\": %llu, \"recovered_fraction\": %.4f, "
+                 "\"retransmissions\": %llu, \"retry_wait_ms\": %llu, "
+                 "\"virtual_scan_seconds\": %.3f}%s\n",
+                 entry.loss_rate, entry.retry_attempts,
+                 static_cast<unsigned long long>(entry.responders),
+                 entry.recovered_fraction,
+                 static_cast<unsigned long long>(entry.retransmissions),
+                 static_cast<unsigned long long>(entry.retry_wait_ms),
+                 entry.virtual_scan_seconds,
+                 i + 1 < loss_ablation.size() ? "," : "");
+  }
+  std::fprintf(file, "  ],\n");
   std::fprintf(file,
                "  \"matrix_bytes_condensed\": %zu,\n"
                "  \"matrix_bytes_square\": %zu\n}\n",

@@ -7,11 +7,12 @@ namespace dnswild::core {
 
 Acquisition::Acquisition(net::World& world,
                          const resolver::AuthRegistry& registry,
-                         net::Ipv4 client_ip)
+                         net::Ipv4 client_ip, scan::RetryPolicy retry)
     : world_(world),
       registry_(registry),
       client_ip_(client_ip),
-      fetcher_(world, client_ip) {}
+      retrier_(world, retry.seeded(client_ip.value() | 0x2ULL << 32)),
+      fetcher_(world, client_ip, retry) {}
 
 std::optional<net::Ipv4> Acquisition::resolve_at(net::Ipv4 resolver,
                                                  const std::string& host) {
@@ -25,7 +26,8 @@ std::optional<net::Ipv4> Acquisition::resolve_at(net::Ipv4 resolver,
   packet.dst = resolver;
   packet.dst_port = 53;
   packet.payload = query.encode();
-  for (const net::UdpReply& reply : world_.send_udp(packet)) {
+  const scan::RetryOutcome outcome = retrier_.send(std::move(packet));
+  for (const net::UdpReply& reply : outcome.replies) {
     const auto response = dns::Message::decode(reply.packet.payload);
     if (!response || !response->header.qr ||
         response->header.id != query.header.id) {

@@ -22,6 +22,7 @@
 #include "net/world.h"
 #include "resolver/authns.h"
 #include "scan/domain_scan.h"
+#include "scan/retry.h"
 
 namespace dnswild::core {
 
@@ -49,8 +50,11 @@ struct GroundTruthPage {
 
 class Acquisition {
  public:
+  // `retry` governs both the DNS re-resolutions at suspicious resolvers
+  // and (through the Fetcher) TCP connects; an unset policy seed defaults
+  // from the client address.
   Acquisition(net::World& world, const resolver::AuthRegistry& registry,
-              net::Ipv4 client_ip);
+              net::Ipv4 client_ip, scan::RetryPolicy retry = {});
 
   // Fetches content for every record whose verdict is kUnknown. `resolvers`
   // maps resolver_id -> address (the scan's input list).
@@ -77,6 +81,7 @@ class Acquisition {
   net::World& world_;
   const resolver::AuthRegistry& registry_;
   net::Ipv4 client_ip_;
+  scan::Retrier retrier_;  // DNS resolutions at suspicious resolvers
   http::Fetcher fetcher_;
   std::uint16_t next_txid_ = 1;
 };

@@ -1,12 +1,14 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "obs/span.h"
 #include "scan/domain_scan.h"
+#include "scan/retry.h"
 
 namespace dnswild::core {
 
@@ -37,6 +39,18 @@ StudyReport Pipeline::run(const std::vector<net::Ipv4>& resolvers,
   obs::Span run_span(metrics, "pipeline.run");
   run_span.items_in(resolvers.size());
 
+  // Graceful degradation (DESIGN.md §9): a stage over its error budget is
+  // recorded here — the run still completes on partial data.
+  const auto degrade = [&](std::string stage, std::string cause,
+                           std::uint64_t affected) {
+    metrics.counter("pipeline.degradations").add();
+    report.degradations.push_back(
+        StageDegradation{std::move(stage), std::move(cause), affected});
+  };
+  const auto pct = [](double fraction) {
+    return std::to_string(std::llround(100.0 * fraction)) + "%";
+  };
+
   // ❶ The resolver population handed in from the Internet-wide scan. The
   // probing itself ran before this call (Ipv4Scanner records "scan.ipv4.*"
   // into the same registry); this span marks the stage boundary so the run
@@ -65,9 +79,25 @@ StudyReport Pipeline::run(const std::vector<net::Ipv4>& resolvers,
     scan_config.seed = config_.seed ^ 0xd05ca9ULL;
     scan_config.spread_over_hours = config_.scan_spread_hours;
     scan_config.threads = config_.scan_threads;
+    scan_config.retry = config_.domain_scan_retry;
     scan::DomainScanner scanner(world_, scan_config);
     report.records = scanner.scan(resolvers, names);
     span.items_out(report.records.size());
+  }
+  if (!report.records.empty() &&
+      config_.error_budget.domain_scan_unresponsive < 1.0) {
+    std::uint64_t unresponsive = 0;
+    for (const auto& record : report.records) {
+      if (!record.responded) ++unresponsive;
+    }
+    const double fraction = static_cast<double>(unresponsive) /
+                            static_cast<double>(report.records.size());
+    if (fraction > config_.error_budget.domain_scan_unresponsive) {
+      degrade("stage.domain_scan",
+              "unresponsive tuples at " + pct(fraction) + " exceed budget " +
+                  pct(config_.error_budget.domain_scan_unresponsive),
+              unresponsive);
+    }
   }
 
   // ❸ Prefiltering.
@@ -112,7 +142,8 @@ StudyReport Pipeline::run(const std::vector<net::Ipv4>& resolvers,
   {
     obs::Span span(metrics, "stage.acquisition");
     span.items_in(report.prefilter_stats.unknown);
-    Acquisition acquisition(world_, registry_, config_.vantage_ip);
+    Acquisition acquisition(world_, registry_, config_.vantage_ip,
+                            config_.acquisition_retry);
     report.ground_truth = acquisition.fetch_ground_truth(report.domains);
     report.pages = acquisition.fetch_unknown(report.records, report.verdicts,
                                              report.domains, resolvers);
@@ -128,6 +159,35 @@ StudyReport Pipeline::run(const std::vector<net::Ipv4>& resolvers,
             ? 0.0
             : static_cast<double>(with_payload) /
                   static_cast<double>(report.pages.size());
+    if (!report.pages.empty() &&
+        config_.error_budget.acquisition_no_content < 1.0) {
+      const std::uint64_t without_payload = report.pages.size() - with_payload;
+      const double fraction = 1.0 - report.http_payload_fraction;
+      if (fraction > config_.error_budget.acquisition_no_content) {
+        degrade("stage.acquisition",
+                "unknown tuples without content at " + pct(fraction) +
+                    " exceed budget " +
+                    pct(config_.error_budget.acquisition_no_content),
+                without_payload);
+      }
+    }
+    std::uint64_t expected_gt = 0;
+    for (const StudyDomain& domain : report.domains) {
+      if (domain.exists) ++expected_gt;
+    }
+    if (expected_gt > 0 && report.ground_truth.size() < expected_gt &&
+        config_.error_budget.ground_truth_missing < 1.0) {
+      const std::uint64_t missing = expected_gt - report.ground_truth.size();
+      const double fraction =
+          static_cast<double>(missing) / static_cast<double>(expected_gt);
+      if (fraction > config_.error_budget.ground_truth_missing) {
+        degrade("stage.acquisition",
+                "ground-truth domains without content at " + pct(fraction) +
+                    " exceed budget " +
+                    pct(config_.error_budget.ground_truth_missing),
+                missing);
+      }
+    }
   }
 
   // §4.2 verification experiment for content-less forged answers.
@@ -179,8 +239,16 @@ std::vector<char> Pipeline::detect_onpath_injection(
   }
 
   util::Rng rng(config_.seed ^ 0x0f20a7ULL);
-  // One experiment per (resolver /16, domain): probe three addresses that
-  // are not known resolvers; two or more answers prove injection.
+  // One experiment per (resolver /16, domain): the retry policy sets how
+  // many non-resolver addresses get probed (attempts + 1); two or more
+  // answers prove injection. Each probe targets a fresh address, so the
+  // retransmission budget is spent on the outer loop — every single probe
+  // goes out once, with the policy's timeout applied.
+  scan::RetryPolicy probe_policy =
+      config_.verification_retry.seeded(config_.seed ^ 0x0f20a7ULL);
+  const int probes_per_experiment = probe_policy.attempts + 1;
+  probe_policy.attempts = 0;
+  scan::Retrier retrier(world_, probe_policy);
   std::unordered_map<std::uint64_t, bool> verified;
 
   for (std::size_t i = 0; i < report.records.size(); ++i) {
@@ -202,7 +270,8 @@ std::vector<char> Pipeline::detect_onpath_injection(
           report.domains.at(record.domain_index).name;
       const auto name = dns::Name::parse(domain);
       int answers = 0;
-      for (int attempt = 0; attempt < 3 && name; ++attempt) {
+      for (int attempt = 0; attempt < probes_per_experiment && name;
+           ++attempt) {
         // Random host part in the resolver's /16.
         // Stay inside the resolver's /24 so the probe crosses the same
         // monitored link (pools are always at least that large).
@@ -218,7 +287,7 @@ std::vector<char> Pipeline::detect_onpath_injection(
         packet.dst = probe_target;
         packet.dst_port = 53;
         packet.payload = query.encode();
-        for (const auto& reply : world_.send_udp(packet)) {
+        for (const auto& reply : retrier.send(std::move(packet)).replies) {
           const auto response = dns::Message::decode(reply.packet.payload);
           if (response && response->header.qr &&
               response->header.id == query.header.id &&

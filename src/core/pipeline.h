@@ -22,8 +22,28 @@
 #include "net/world.h"
 #include "obs/metrics.h"
 #include "resolver/authns.h"
+#include "scan/retry.h"
 
 namespace dnswild::core {
+
+// Per-stage error budgets: the maximum failure fraction a stage tolerates
+// before the run is marked degraded (DESIGN.md §9). 1.0 disables a budget
+// — the default, so healthy worlds never trip. A breached budget does NOT
+// abort the run; it records a StudyReport::degradations entry so partial
+// populations are visible instead of silently shrinking.
+struct StageErrorBudget {
+  double domain_scan_unresponsive = 1.0;  // tuples without any response
+  double acquisition_no_content = 1.0;    // unknown tuples without a body
+  double ground_truth_missing = 1.0;      // GT domains without content
+};
+
+// One graceful-degradation event: which stage, why, and how many items
+// the failure affected.
+struct StageDegradation {
+  std::string stage;
+  std::string cause;
+  std::uint64_t affected = 0;
+};
 
 struct PipelineConfig {
   net::Ipv4 scanner_ip;                      // domain-scan source
@@ -35,6 +55,15 @@ struct PipelineConfig {
   ClassifierConfig classifier;  // classifier.threads drives the parallel
                                 // clustering stage (0 = auto), mirroring
                                 // scan_threads for the scan plane
+
+  // Unified retry/backoff policies (DESIGN.md §9). Unset policy seeds
+  // default from `seed`.
+  scan::RetryPolicy domain_scan_retry;   // per (resolver, domain) probe
+  scan::RetryPolicy acquisition_retry;   // re-resolutions + TCP connects
+  // §4.2 verification: attempts + 1 distinct non-resolver addresses are
+  // probed per (resolver /24, domain) experiment — the former hardcoded 3.
+  scan::RetryPolicy verification_retry{.attempts = 2};
+  StageErrorBudget error_budget;
 };
 
 // Per-category prefiltering yields (§4.1).
@@ -84,6 +113,11 @@ struct StudyReport {
   CaseStudyReport cases;
   GeoHistogram social_geo;  // Facebook + Twitter + YouTube (Fig. 4)
   ModificationReport modifications;  // fine-grained diffs (§3.6)
+
+  // Graceful-degradation log: stages that breached their error budget or
+  // threw, with the run still completing on partial data. Empty on a
+  // healthy run.
+  std::vector<StageDegradation> degradations;
 
   // Set by Pipeline::run; must outlive the report (the world's AsDb does).
   const net::AsDb* asdb = nullptr;

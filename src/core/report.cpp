@@ -90,7 +90,18 @@ std::string render_stage_summary(const StudyReport& report) {
                                                 span.items_out)),
                    wall});
   }
-  return table.render();
+  std::string out = table.render();
+  if (!report.degradations.empty()) {
+    Table degraded({"Degraded stage", "Cause", "Affected"},
+                   {util::Align::kLeft, util::Align::kLeft,
+                    util::Align::kRight});
+    for (const StageDegradation& entry : report.degradations) {
+      degraded.add_row({entry.stage, entry.cause,
+                        util::with_commas(entry.affected)});
+    }
+    out += "\n" + degraded.render();
+  }
+  return out;
 }
 
 namespace {

@@ -41,7 +41,7 @@ std::optional<Url> parse_url(std::string_view text, const Url* base) {
 
 std::optional<HttpResponse> Fetcher::get(net::Ipv4 ip, std::string_view host,
                                          std::string_view path) {
-  net::TcpService* service = world_.connect_tcp(client_ip_, ip, 80);
+  net::TcpService* service = retrier_.connect(client_ip_, ip, 80);
   if (service == nullptr) return std::nullopt;
   HttpRequest request;
   request.host = std::string(host);
@@ -60,7 +60,7 @@ FetchResult Fetcher::fetch_page(net::Ipv4 ip, std::string host,
 
   for (int hop = 0; hop <= 2; ++hop) {
     if (hop > 0) redirect_hops_->add();
-    net::TcpService* service = world_.connect_tcp(client_ip_, current_ip, 80);
+    net::TcpService* service = retrier_.connect(client_ip_, current_ip, 80);
     if (service == nullptr) return result;
     if (!result.connected) pages_connected_->add();
     result.connected = true;
@@ -109,7 +109,7 @@ FetchResult Fetcher::fetch_page(net::Ipv4 ip, std::string host,
       // Frames embed content rather than replace it; fetch the frame and
       // append so the cluster features see the composite document.
       net::TcpService* frame_service =
-          world_.connect_tcp(client_ip_, current_ip, 80);
+          retrier_.connect(client_ip_, current_ip, 80);
       if (frame_service != nullptr) {
         HttpRequest frame_request;
         frame_request.host = next->host;
@@ -130,7 +130,7 @@ FetchResult Fetcher::fetch_page(net::Ipv4 ip, std::string host,
 std::optional<net::Certificate> Fetcher::tls_certificate(
     net::Ipv4 ip, const std::optional<std::string>& sni) {
   tls_handshakes_->add();
-  net::TcpService* service = world_.connect_tcp(client_ip_, ip, 443);
+  net::TcpService* service = retrier_.connect(client_ip_, ip, 443);
   if (service == nullptr) return std::nullopt;
   const net::Certificate* cert = service->certificate(sni);
   if (cert == nullptr) return std::nullopt;
@@ -140,7 +140,7 @@ std::optional<net::Certificate> Fetcher::tls_certificate(
 
 std::optional<std::string> Fetcher::banner(net::Ipv4 ip, std::uint16_t port) {
   banner_probes_->add();
-  net::TcpService* service = world_.connect_tcp(client_ip_, ip, port);
+  net::TcpService* service = retrier_.connect(client_ip_, ip, port);
   if (service == nullptr) return std::nullopt;
   std::string greeting = service->greeting();
   if (greeting.empty()) {

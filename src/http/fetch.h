@@ -14,6 +14,7 @@
 #include <string_view>
 
 #include "http/page.h"
+#include "net/retry.h"
 #include "net/world.h"
 
 namespace dnswild::http {
@@ -45,10 +46,13 @@ struct FetchResult {
 class Fetcher {
  public:
   // Acquisition telemetry lands in the world's registry ("http.fetch.*"),
-  // so every crawler over one world shares the same tallies.
-  Fetcher(net::World& world, net::Ipv4 client_ip)
+  // so every crawler over one world shares the same tallies. `retry`
+  // governs TCP connects (re-dials with a bumped seq face independent SYN
+  // loss); an unset policy seed defaults from the client address.
+  Fetcher(net::World& world, net::Ipv4 client_ip, net::RetryPolicy retry = {})
       : world_(world),
         client_ip_(client_ip),
+        retrier_(world, retry.seeded(client_ip.value() | 0x1ULL << 32)),
         pages_(&world.metrics().counter("http.fetch.pages")),
         pages_connected_(
             &world.metrics().counter("http.fetch.pages_connected")),
@@ -79,6 +83,7 @@ class Fetcher {
  private:
   net::World& world_;
   net::Ipv4 client_ip_;
+  net::Retrier retrier_;
   obs::Counter* pages_;
   obs::Counter* pages_connected_;
   obs::Counter* redirect_hops_;

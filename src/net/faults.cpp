@@ -1,0 +1,224 @@
+#include "net/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/hash.h"
+
+namespace dnswild::net {
+
+namespace {
+
+// Per-packet decision streams fanned out from the packet key. The World
+// uses streams 1 and 2; fault streams start higher so they never collide.
+constexpr std::uint64_t kFaultForwardLoss = 0x21;
+constexpr std::uint64_t kFaultReplyLoss = 0x22;
+constexpr std::uint64_t kFaultTruncate = 0x23;
+constexpr std::uint64_t kFaultCorrupt = 0x24;
+constexpr std::uint64_t kFaultTruncateLen = 0x25;
+constexpr std::uint64_t kFaultCorruptByte = 0x26;
+
+// Salt separating the fault plane's hash space from every other consumer
+// of the world seed.
+constexpr std::uint64_t kFaultSalt = 0xfa171ULL;
+
+// Hard cap on episode length in buckets: bounds the per-packet lookback
+// loop and, with it, the hot-path cost of fault-enabled worlds.
+constexpr int kMaxEpisodeBuckets = 32;
+
+void require_unit(double value, const char* what) {
+  if (value < 0.0 || value > 1.0) {
+    throw std::invalid_argument(std::string(what) + " must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+void FaultPlan::add_profile(FaultProfile profile) {
+  require_unit(profile.episode_rate, "episode_rate");
+  require_unit(profile.burst_loss, "burst_loss");
+  require_unit(profile.base_loss, "base_loss");
+  require_unit(profile.truncate_rate, "truncate_rate");
+  require_unit(profile.corrupt_rate, "corrupt_rate");
+  require_unit(profile.slow_episode_rate, "slow_episode_rate");
+  require_unit(profile.unreachable_episode_rate, "unreachable_episode_rate");
+  if (profile.bucket_minutes < 1) {
+    throw std::invalid_argument("bucket_minutes must be >= 1");
+  }
+  if (profile.episode_mean_buckets < 1.0) profile.episode_mean_buckets = 1.0;
+  // Lookback horizon: long enough that the truncated geometric tail is
+  // negligible, short enough that the hot path stays cheap.
+  const int horizon = static_cast<int>(
+      std::ceil(profile.episode_mean_buckets * 4.0)) + 1;
+  lookback_.push_back(std::clamp(horizon, 1, kMaxEpisodeBuckets));
+  profiles_.push_back(profile);
+}
+
+const FaultProfile* FaultPlan::match(Ipv4 dst,
+                                     std::size_t* index) const noexcept {
+  for (std::size_t i = 0; i < profiles_.size(); ++i) {
+    if (profiles_[i].network.contains(dst)) {
+      if (index != nullptr) *index = i;
+      return &profiles_[i];
+    }
+  }
+  return nullptr;
+}
+
+bool FaultPlan::episode_active(std::size_t profile_index, std::uint64_t seed,
+                               std::uint64_t stream, double start_rate,
+                               Ipv4 dst, std::int64_t minute) const noexcept {
+  if (start_rate <= 0.0) return false;
+  const FaultProfile& profile = profiles_[profile_index];
+  const std::int64_t bucket = minute / profile.bucket_minutes;
+  const std::uint64_t net24 = static_cast<std::uint64_t>(dst.value() >> 8);
+  const int lookback = lookback_[profile_index];
+  // Geometric episode lengths with success probability 1/mean; durations
+  // are drawn by inverse CDF from a second hash of the episode start, so
+  // an episode's span is a pure function of (seed, profile, /24, start).
+  const double mean = profile.episode_mean_buckets;
+  const double log_keep = mean > 1.0 ? std::log(1.0 - 1.0 / mean) : 0.0;
+  for (int back = 0; back < lookback; ++back) {
+    const std::int64_t start = bucket - back;
+    if (start < 0) break;
+    const std::uint64_t word = util::hash_words(
+        {seed, kFaultSalt, static_cast<std::uint64_t>(profile_index), stream,
+         net24, static_cast<std::uint64_t>(start)});
+    if (util::hash_unit(word) >= start_rate) continue;
+    int duration = 1;
+    if (mean > 1.0) {
+      const double u = 1.0 - util::hash_unit(util::hash_words({word, 1}));
+      duration = 1 + static_cast<int>(std::log(u) / log_keep);
+      duration = std::clamp(duration, 1, kMaxEpisodeBuckets);
+    }
+    if (start + duration > bucket) return true;
+  }
+  return false;
+}
+
+ForwardFault FaultPlan::forward_fault(std::size_t profile_index,
+                                      std::uint64_t seed,
+                                      std::uint64_t packet_key, Ipv4 dst,
+                                      std::int64_t minute) const noexcept {
+  const FaultProfile& profile = profiles_[profile_index];
+  if (episode_active(profile_index, seed, kUnreachableEpisode,
+                     profile.unreachable_episode_rate, dst, minute)) {
+    return ForwardFault::kUnreachable;
+  }
+  const double loss =
+      episode_active(profile_index, seed, kLossEpisode, profile.episode_rate,
+                     dst, minute)
+          ? profile.burst_loss
+          : profile.base_loss;
+  if (loss > 0.0 &&
+      util::hash_unit(util::hash_words({packet_key, kFaultForwardLoss})) <
+          loss) {
+    return ForwardFault::kLost;
+  }
+  return ForwardFault::kNone;
+}
+
+ForwardFault FaultPlan::admit(std::size_t profile_index,
+                              const UdpPacket& request, std::int64_t minute,
+                              FaultRateState& state) const {
+  const FaultProfile& profile = profiles_[profile_index];
+  if (profile.rate_limit_per_minute <= 0.0) return ForwardFault::kNone;
+
+  FaultRateState::PerSource* entry = nullptr;
+  for (FaultRateState::PerSource& candidate : state.sources) {
+    if (candidate.src == request.src) {
+      entry = &candidate;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    state.sources.push_back({request.src, profile.rate_limit_burst, minute});
+    entry = &state.sources.back();
+  } else if (minute > entry->refilled_minute) {
+    entry->tokens += static_cast<double>(minute - entry->refilled_minute) *
+                     profile.rate_limit_per_minute;
+    if (entry->tokens > profile.rate_limit_burst) {
+      entry->tokens = profile.rate_limit_burst;
+    }
+    entry->refilled_minute = minute;
+  }
+  if (entry->tokens >= 1.0) {
+    entry->tokens -= 1.0;
+    return ForwardFault::kNone;
+  }
+  return profile.rate_limit_action == RateLimitAction::kDrop
+             ? ForwardFault::kRateDropped
+             : ForwardFault::kRateRefused;
+}
+
+ReplyFault FaultPlan::reply_fault(std::size_t profile_index,
+                                  std::uint64_t seed, std::uint64_t packet_key,
+                                  std::uint64_t reply_index, Ipv4 dst,
+                                  std::int64_t minute) const noexcept {
+  const FaultProfile& profile = profiles_[profile_index];
+  ReplyFault fault;
+  const double loss =
+      episode_active(profile_index, seed, kLossEpisode, profile.episode_rate,
+                     dst, minute)
+          ? profile.burst_loss
+          : profile.base_loss;
+  if (loss > 0.0 &&
+      util::hash_unit(util::hash_words(
+          {packet_key, kFaultReplyLoss, reply_index})) < loss) {
+    fault.lost = true;
+    return fault;
+  }
+  if (profile.truncate_rate > 0.0 &&
+      util::hash_unit(util::hash_words(
+          {packet_key, kFaultTruncate, reply_index})) < profile.truncate_rate) {
+    fault.truncated = true;
+  } else if (profile.corrupt_rate > 0.0 &&
+             util::hash_unit(util::hash_words(
+                 {packet_key, kFaultCorrupt, reply_index})) <
+                 profile.corrupt_rate) {
+    fault.corrupted = true;
+  }
+  if (episode_active(profile_index, seed, kSlowEpisode,
+                     profile.slow_episode_rate, dst, minute)) {
+    fault.extra_latency_ms = profile.slow_extra_latency_ms;
+  }
+  return fault;
+}
+
+void FaultPlan::truncate_payload(std::vector<std::uint8_t>& payload,
+                                 std::uint64_t key) noexcept {
+  if (payload.size() < 2) return;
+  // Keep a hashed-length prefix in [1, size): always strictly shorter, so
+  // the decoder's bounds checks are genuinely exercised.
+  const std::size_t keep = 1 + static_cast<std::size_t>(
+      util::hash_words({key, kFaultTruncateLen}) % (payload.size() - 1));
+  payload.resize(keep);
+}
+
+void FaultPlan::corrupt_payload(std::vector<std::uint8_t>& payload,
+                                std::uint64_t key) noexcept {
+  if (payload.empty()) return;
+  const std::uint64_t word = util::hash_words({key, kFaultCorruptByte});
+  const std::size_t pos = static_cast<std::size_t>(word % payload.size());
+  // `| 1` keeps the XOR mask nonzero, so the byte always actually flips.
+  payload[pos] ^= static_cast<std::uint8_t>((word >> 8) | 1);
+}
+
+UdpReply FaultPlan::make_refused_reply(const UdpPacket& request) {
+  UdpReply reply;
+  reply.packet.src = request.dst;
+  reply.packet.src_port = request.dst_port;
+  reply.packet.dst = request.src;
+  reply.packet.dst_port = request.src_port;
+  reply.packet.payload = request.payload;
+  reply.latency_ms = 5;  // answered at the network edge, not the resolver
+  if (reply.packet.payload.size() >= 12) {
+    reply.packet.payload[2] |= 0x80;  // QR: this is a response
+    reply.packet.payload[3] = static_cast<std::uint8_t>(
+        (reply.packet.payload[3] & 0xf0) | 0x05);  // RCODE 5 (REFUSED)
+  }
+  return reply;
+}
+
+}  // namespace dnswild::net

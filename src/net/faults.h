@@ -1,0 +1,159 @@
+// Deterministic fault-injection plane (DESIGN.md §9).
+//
+// A FaultPlan holds per-CIDR fault profiles the World consults on every
+// datagram: Gilbert–Elliott-style bursty loss episodes, per-source
+// token-bucket rate limiting at resolver networks (§2.2 abuse-avoidance
+// pressure), reply truncation/corruption that exercises the DNS parser's
+// error paths, and slow/unreachable episodes whose inflated reply latency
+// interacts with the client-side per-probe timeout (net::RetryPolicy).
+//
+// Everything here must survive the traffic phase's concurrency contract:
+// episode membership and per-packet fault rolls are pure hashes of
+// (world seed, profile, destination /24, time bucket, packet identity) —
+// no Markov chain state, no shared mutable episode tables — so a packet's
+// fate is identical under any thread count and call interleaving. The one
+// stateful piece, the per-source rate limiter, lives on the destination
+// host and relies on the same per-destination single-writer sharding that
+// legitimizes resolver-cache mutation during scans.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ip.h"
+#include "net/services.h"
+
+namespace dnswild::net {
+
+// What happens to an over-budget query at a rate-limited network.
+enum class RateLimitAction {
+  kDrop,     // silently discarded (most middleboxes)
+  kRefused,  // answered with RCODE 5 without reaching the resolver
+};
+
+// One fault profile, applied to every datagram whose destination falls in
+// `network`. All probabilities are per-direction and in [0, 1].
+struct FaultProfile {
+  Cidr network;
+
+  // (a) Bursty loss: a /24 inside the network enters a "bad" episode when a
+  // per-(network/24, time-bucket) hash fires; episodes last a geometrically
+  // distributed number of buckets (mean episode_mean_buckets, capped so the
+  // hot path's lookback stays bounded). Loss is burst_loss during a bad
+  // episode and base_loss otherwise — the two-state Gilbert–Elliott shape,
+  // realized without any cross-packet state.
+  double episode_rate = 0.0;         // P(episode starts at a given bucket)
+  double episode_mean_buckets = 4.0; // geometric mean episode length
+  double burst_loss = 0.0;           // loss while an episode is active
+  double base_loss = 0.0;            // loss outside episodes
+  std::int64_t bucket_minutes = 30;  // episode time-bucket granularity
+
+  // (b) Per-source token-bucket rate limiting; 0 disables. Tokens refill at
+  // rate_limit_per_minute against the frozen-during-traffic world clock.
+  double rate_limit_per_minute = 0.0;
+  double rate_limit_burst = 16.0;
+  RateLimitAction rate_limit_action = RateLimitAction::kDrop;
+
+  // (c) Reply mangling: truncated replies lose a hashed-length tail (the
+  // decoder sees a short datagram), corrupted replies get one hashed byte
+  // flipped. Both are per-reply decisions.
+  double truncate_rate = 0.0;
+  double corrupt_rate = 0.0;
+
+  // (d) Slow / unreachable episodes: separate hashed episode streams on the
+  // same bucket cadence. During a slow episode every reply carries
+  // slow_extra_latency_ms more virtual latency (pushing it past client
+  // timeouts); during an unreachable episode forward packets vanish.
+  double slow_episode_rate = 0.0;
+  int slow_extra_latency_ms = 4000;
+  double unreachable_episode_rate = 0.0;
+};
+
+// Per-destination rate-limiter state. Owned by the destination host record
+// and only ever touched by the worker driving that destination (the scan
+// plane's contiguous-shard contract), so it needs no synchronization.
+struct FaultRateState {
+  struct PerSource {
+    Ipv4 src;
+    double tokens = 0.0;
+    std::int64_t refilled_minute = 0;
+  };
+  std::vector<PerSource> sources;
+};
+
+// Forward-path verdict for one datagram.
+enum class ForwardFault {
+  kNone,         // deliver normally
+  kLost,         // bursty-loss drop
+  kUnreachable,  // unreachable-episode drop
+  kRateDropped,  // over rate budget, silently dropped
+  kRateRefused,  // over rate budget, answered REFUSED at the network edge
+};
+
+// Reply-path verdict for one reply of one datagram.
+struct ReplyFault {
+  bool lost = false;
+  bool truncated = false;
+  bool corrupted = false;
+  int extra_latency_ms = 0;
+};
+
+class FaultPlan {
+ public:
+  // Hashed episode streams (distinct from the World's per-packet streams).
+  static constexpr std::uint64_t kLossEpisode = 0x11;
+  static constexpr std::uint64_t kSlowEpisode = 0x12;
+  static constexpr std::uint64_t kUnreachableEpisode = 0x13;
+
+  void add_profile(FaultProfile profile);
+  bool empty() const noexcept { return profiles_.empty(); }
+  std::size_t size() const noexcept { return profiles_.size(); }
+  const std::vector<FaultProfile>& profiles() const noexcept {
+    return profiles_;
+  }
+
+  // First profile containing `dst`, or nullptr. `index` (when non-null)
+  // receives the profile's position, which salts its hash streams.
+  const FaultProfile* match(Ipv4 dst, std::size_t* index) const noexcept;
+
+  // Whether the hashed episode of `stream` (with per-bucket start
+  // probability `start_rate`) covers `minute` for dst's /24. Pure function
+  // of its arguments — safe from any thread.
+  bool episode_active(std::size_t profile_index, std::uint64_t seed,
+                      std::uint64_t stream, double start_rate, Ipv4 dst,
+                      std::int64_t minute) const noexcept;
+
+  // Stateless forward-path faults (unreachable episode + bursty loss).
+  // `packet_key` is the World's per-packet identity hash.
+  ForwardFault forward_fault(std::size_t profile_index, std::uint64_t seed,
+                             std::uint64_t packet_key, Ipv4 dst,
+                             std::int64_t minute) const noexcept;
+
+  // Stateful admission control at the destination (rate limiting). Only
+  // call from the worker that owns `state`'s host. Returns kNone,
+  // kRateDropped, or kRateRefused.
+  ForwardFault admit(std::size_t profile_index, const UdpPacket& request,
+                     std::int64_t minute, FaultRateState& state) const;
+
+  // Reply-path faults for the reply at `reply_index` of the packet.
+  ReplyFault reply_fault(std::size_t profile_index, std::uint64_t seed,
+                         std::uint64_t packet_key, std::uint64_t reply_index,
+                         Ipv4 dst, std::int64_t minute) const noexcept;
+
+  // Deterministic payload mangling, keyed by a hash word.
+  static void truncate_payload(std::vector<std::uint8_t>& payload,
+                               std::uint64_t key) noexcept;
+  static void corrupt_payload(std::vector<std::uint8_t>& payload,
+                              std::uint64_t key) noexcept;
+
+  // Synthesizes the middlebox REFUSED answer for `request`: the request
+  // payload echoed with QR set and RCODE 5 (payloads shorter than a DNS
+  // header are echoed untouched).
+  static UdpReply make_refused_reply(const UdpPacket& request);
+
+ private:
+  std::vector<FaultProfile> profiles_;
+  std::vector<int> lookback_;  // per-profile episode lookback horizon
+};
+
+}  // namespace dnswild::net

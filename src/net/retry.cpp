@@ -1,0 +1,101 @@
+#include "net/retry.h"
+
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace dnswild::net {
+
+double RetryPolicy::backoff_seconds(std::uint64_t probe_key,
+                                    int attempt) const noexcept {
+  double base = backoff_initial_seconds;
+  for (int k = 1; k < attempt; ++k) base *= backoff_factor;
+  if (jitter <= 0.0) return base;
+  // Jitter is hashed from (policy seed, probe identity, attempt): the same
+  // probe always waits the same, no matter which worker retries it.
+  const double unit = util::hash_unit(util::hash_words(
+      {seed, probe_key, static_cast<std::uint64_t>(attempt)}));
+  return base * (1.0 + jitter * (2.0 * unit - 1.0));
+}
+
+Retrier::Retrier(World& world, RetryPolicy policy)
+    : world_(world),
+      policy_(policy),
+      attempts_(&world.metrics().counter("retry.attempts")),
+      retransmissions_(&world.metrics().counter("retry.retransmissions")),
+      exhausted_(&world.metrics().counter("retry.exhausted")),
+      recovered_(&world.metrics().counter("retry.recovered")),
+      timed_out_(&world.metrics().counter("retry.timed_out_replies")),
+      wait_ms_(&world.metrics().histogram(
+          "retry.wait_ms", {50, 100, 250, 500, 1000, 2500, 5000, 10000,
+                            30000})) {}
+
+RetryOutcome Retrier::send(UdpPacket packet) {
+  RetryOutcome out;
+  const std::uint64_t probe_key = util::hash_words(
+      {(static_cast<std::uint64_t>(packet.src.value()) << 32) |
+           packet.dst.value(),
+       (static_cast<std::uint64_t>(packet.src_port) << 16) | packet.dst_port,
+       util::digest_bytes(packet.payload)});
+  const std::uint32_t base_seq = packet.seq;
+
+  for (int attempt = 0;; ++attempt) {
+    attempts_->add();
+    out.transmissions = attempt + 1;
+    packet.seq = base_seq + static_cast<std::uint32_t>(attempt);
+    std::vector<UdpReply> replies = world_.send_udp(packet);
+    if (policy_.timeout_ms > 0) {
+      const std::size_t before = replies.size();
+      std::erase_if(replies, [&](const UdpReply& reply) {
+        return reply.latency_ms > policy_.timeout_ms;
+      });
+      if (replies.size() != before) timed_out_->add(before - replies.size());
+    }
+    if (!replies.empty()) {
+      if (attempt > 0) {
+        recovered_->add();
+        wait_ms_->observe(static_cast<std::uint64_t>(
+            std::llround(out.waited_seconds * 1000.0)));
+      }
+      out.replies = std::move(replies);
+      return out;
+    }
+    if (attempt >= policy_.attempts) break;
+    // The client sat out the probe's timeout (when one is set) and then
+    // the backoff before retransmitting; both are virtual time the caller
+    // charges into its TokenBucket.
+    out.waited_seconds +=
+        policy_.backoff_seconds(probe_key, attempt + 1) +
+        (policy_.timeout_ms > 0 ? policy_.timeout_ms / 1000.0 : 0.0);
+    retransmissions_->add();
+  }
+  out.exhausted = policy_.attempts > 0;
+  if (out.exhausted) exhausted_->add();
+  return out;
+}
+
+TcpService* Retrier::connect(Ipv4 src, Ipv4 dst, std::uint16_t port) {
+  const std::uint64_t probe_key = util::hash_words(
+      {0x7c9ULL /* tcp */,
+       (static_cast<std::uint64_t>(src.value()) << 32) | dst.value(),
+       static_cast<std::uint64_t>(port)});
+  for (int attempt = 0;; ++attempt) {
+    attempts_->add();
+    TcpService* service =
+        world_.connect_tcp(src, dst, port, static_cast<std::uint32_t>(attempt));
+    if (service != nullptr) {
+      if (attempt > 0) {
+        recovered_->add();
+        wait_ms_->observe(static_cast<std::uint64_t>(std::llround(
+            policy_.backoff_seconds(probe_key, attempt) * 1000.0)));
+      }
+      return service;
+    }
+    if (attempt >= policy_.attempts) break;
+    retransmissions_->add();
+  }
+  if (policy_.attempts > 0) exhausted_->add();
+  return nullptr;
+}
+
+}  // namespace dnswild::net

@@ -1,0 +1,88 @@
+// Unified client-side retry/backoff policy (DESIGN.md §9).
+//
+// Every campaign that probes the World — the four scanners, the HTTP
+// fetcher, the pipeline's trusted-resolution loop — shares this one
+// mechanism instead of ad-hoc retry loops. A retransmission is the same
+// packet with a bumped `seq`, so it rolls fresh fate dice; the wait before
+// each retransmission is exponential backoff with deterministic jitter
+// hashed from the probe's identity, so retry schedules are reproducible
+// under any thread count. Virtual seconds waited are reported back to the
+// caller, who charges them into a scan::TokenBucket (the virtual clock the
+// campaigns already pace themselves with).
+//
+// Defined in net:: because http::Fetcher sits below the scan layer; the
+// campaign-facing name is scan::RetryPolicy (scan/retry.h aliases it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/world.h"
+#include "obs/metrics.h"
+
+namespace dnswild::net {
+
+struct RetryPolicy {
+  // Retransmissions after the initial send; 0 = single-shot.
+  int attempts = 0;
+  // Wait before retransmission k (1-based): initial * factor^(k-1), scaled
+  // by 1 ± jitter via a per-probe hash.
+  double backoff_initial_seconds = 0.5;
+  double backoff_factor = 2.0;
+  double jitter = 0.5;
+  // Replies slower than this count as missed (the client has already
+  // retransmitted); 0 disables the timeout.
+  int timeout_ms = 0;
+  // Salts the jitter hash; campaigns default it from their own seed.
+  std::uint64_t seed = 0;
+
+  // Copy with `seed` defaulted when unset, for wiring through configs.
+  RetryPolicy seeded(std::uint64_t fallback_seed) const noexcept {
+    RetryPolicy copy = *this;
+    if (copy.seed == 0) copy.seed = fallback_seed;
+    return copy;
+  }
+
+  // Virtual seconds to wait before retransmission `attempt` (1-based) of
+  // the probe identified by `probe_key`. Pure function of its arguments.
+  double backoff_seconds(std::uint64_t probe_key, int attempt) const noexcept;
+};
+
+// Everything one probe's retry loop produced.
+struct RetryOutcome {
+  std::vector<UdpReply> replies;  // surviving (timeout-filtered) replies
+  int transmissions = 1;          // sends performed, initial included
+  double waited_seconds = 0.0;    // virtual backoff + timeout time
+  bool exhausted = false;         // retried and still heard nothing
+};
+
+// Binds a World and a policy; registers "retry.*" counters and the
+// retry-latency histogram in the world's registry. send() only touches
+// atomic counters and locals, so one Retrier may be shared by all of a
+// scan's workers.
+class Retrier {
+ public:
+  Retrier(World& world, RetryPolicy policy);
+
+  // Sends with retransmissions. `packet.seq` on entry is the base; each
+  // retransmission bumps it. Returns the first attempt that produced
+  // surviving replies.
+  RetryOutcome send(UdpPacket packet);
+
+  // TCP analogue: re-dials the 3-tuple with a bumped seq per attempt.
+  TcpService* connect(Ipv4 src, Ipv4 dst, std::uint16_t port);
+
+  const RetryPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  World& world_;
+  RetryPolicy policy_;
+  obs::Counter* attempts_;
+  obs::Counter* retransmissions_;
+  obs::Counter* exhausted_;
+  obs::Counter* recovered_;
+  obs::Counter* timed_out_;
+  obs::Histogram* wait_ms_;
+};
+
+}  // namespace dnswild::net

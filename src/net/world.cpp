@@ -47,6 +47,15 @@ World::World(std::uint64_t seed, obs::Registry* metrics)
   tcp_connects_ = &metrics_->counter("net.tcp.connects");
   tcp_syn_lost_ = &metrics_->counter("net.tcp.syn_lost");
   traffic_sections_opened_ = &metrics_->counter("net.traffic_sections");
+  fault_forward_lost_ = &metrics_->counter("fault.forward_lost");
+  fault_replies_lost_ = &metrics_->counter("fault.replies_lost");
+  fault_unreachable_ = &metrics_->counter("fault.unreachable_drops");
+  fault_rate_dropped_ = &metrics_->counter("fault.rate_limited_drops");
+  fault_rate_refused_ = &metrics_->counter("fault.rate_limited_refused");
+  fault_truncated_ = &metrics_->counter("fault.truncated_replies");
+  fault_corrupted_ = &metrics_->counter("fault.corrupted_replies");
+  fault_slowed_ = &metrics_->counter("fault.slowed_replies");
+  fault_tcp_lost_ = &metrics_->counter("fault.tcp_syn_lost");
 }
 
 void World::require_mutation_phase(const char* what) const {
@@ -130,6 +139,15 @@ void World::add_injector(Injector injector) {
 void World::set_loss_rate(double rate) {
   require_mutation_phase("set_loss_rate");
   loss_rate_ = rate;
+}
+
+void World::add_fault_profile(FaultProfile profile) {
+  require_mutation_phase("add_fault_profile");
+  faults_.add_profile(profile);
+  // Profile boundaries changed: restart every host's rate accounting so a
+  // destination is never charged against a profile that no longer governs
+  // it.
+  for (Host& host : hosts_) host.fault_rate.sources.clear();
 }
 
 void World::set_time_minutes(std::int64_t minutes) {
@@ -240,13 +258,30 @@ std::vector<UdpReply> World::send_udp(const UdpPacket& request) {
   }
   // Loss is a pure function of the packet identity: a retransmission
   // (bumped seq) rolls fresh dice, but no other traffic — on this thread or
-  // any other — can perturb the outcome.
+  // any other — can perturb the outcome. The fault plane draws from the
+  // same key, on disjoint decision streams.
+  std::size_t fault_index = 0;
+  const FaultProfile* fault = faults_.match(request.dst, &fault_index);
   const std::uint64_t key =
-      loss_rate_ > 0.0 ? packet_key(seed_, request) : 0;
+      (loss_rate_ > 0.0 || fault != nullptr) ? packet_key(seed_, request) : 0;
   if (loss_rate_ > 0.0 &&
       util::hash_unit(util::hash_words({key, kForwardLoss})) < loss_rate_) {
     udp_lost_->add();
     return replies;
+  }
+  const std::int64_t now_minutes = clock_.minutes();
+  if (fault != nullptr) {
+    switch (faults_.forward_fault(fault_index, seed_, key, request.dst,
+                                  now_minutes)) {
+      case ForwardFault::kUnreachable:
+        fault_unreachable_->add();
+        return replies;
+      case ForwardFault::kLost:
+        fault_forward_lost_->add();
+        return replies;
+      default:
+        break;
+    }
   }
 
   // On-path observers see the datagram once it is in flight.
@@ -254,25 +289,77 @@ std::vector<UdpReply> World::send_udp(const UdpPacket& request) {
   if (!replies.empty()) udp_injected_->add(replies.size());
 
   const HostId id = host_at(request.dst);
+  const std::size_t host_reply_begin = replies.size();
   if (id != kNoHost) {
     Host& host = hosts_[id];
-    for (auto& slot : host.udp) {
-      if (slot.first != request.dst_port || !slot.second) continue;
-      udp_delivered_->add();
-      std::vector<UdpReply> produced;
-      slot.second->handle(request, produced);
-      for (UdpReply& reply : produced) {
-        UdpPacket& pkt = reply.packet;
-        // Default-fill the reply 4-tuple; services override src to model
-        // multi-homed forwarders answering from another interface.
-        if (pkt.src == Ipv4{}) pkt.src = request.dst;
-        if (pkt.src_port == 0) pkt.src_port = request.dst_port;
-        if (pkt.dst == Ipv4{}) pkt.dst = request.src;
-        if (pkt.dst_port == 0) pkt.dst_port = request.src_port;
-        replies.push_back(std::move(reply));
+    // Admission control at the destination network's edge. The per-source
+    // token state mutates under the per-destination single-writer contract
+    // documented on send_udp.
+    const ForwardFault admission =
+        fault != nullptr
+            ? faults_.admit(fault_index, request, now_minutes,
+                            host.fault_rate)
+            : ForwardFault::kNone;
+    if (admission == ForwardFault::kRateDropped) {
+      fault_rate_dropped_->add();
+    } else if (admission == ForwardFault::kRateRefused) {
+      fault_rate_refused_->add();
+      replies.push_back(FaultPlan::make_refused_reply(request));
+    } else {
+      for (auto& slot : host.udp) {
+        if (slot.first != request.dst_port || !slot.second) continue;
+        udp_delivered_->add();
+        std::vector<UdpReply> produced;
+        slot.second->handle(request, produced);
+        for (UdpReply& reply : produced) {
+          UdpPacket& pkt = reply.packet;
+          // Default-fill the reply 4-tuple; services override src to model
+          // multi-homed forwarders answering from another interface.
+          if (pkt.src == Ipv4{}) pkt.src = request.dst;
+          if (pkt.src_port == 0) pkt.src_port = request.dst_port;
+          if (pkt.dst == Ipv4{}) pkt.dst = request.src;
+          if (pkt.dst_port == 0) pkt.dst_port = request.src_port;
+          replies.push_back(std::move(reply));
+        }
+        break;
       }
-      break;
     }
+  }
+
+  // Reply-path faults apply to what came back from the destination network
+  // (injected replies originate before it and are exempt): bursty loss,
+  // truncation/corruption, slow-episode latency.
+  if (fault != nullptr && replies.size() > host_reply_begin) {
+    std::size_t write = host_reply_begin;
+    std::uint64_t lost = 0;
+    for (std::size_t read = host_reply_begin; read < replies.size(); ++read) {
+      const std::uint64_t index =
+          static_cast<std::uint64_t>(read - host_reply_begin);
+      const ReplyFault verdict = faults_.reply_fault(
+          fault_index, seed_, key, index, request.dst, now_minutes);
+      if (verdict.lost) {
+        ++lost;
+        continue;
+      }
+      UdpReply& reply = replies[read];
+      if (verdict.truncated) {
+        FaultPlan::truncate_payload(reply.packet.payload,
+                                    util::hash_words({key, index}));
+        fault_truncated_->add();
+      } else if (verdict.corrupted) {
+        FaultPlan::corrupt_payload(reply.packet.payload,
+                                   util::hash_words({key, index}));
+        fault_corrupted_->add();
+      }
+      if (verdict.extra_latency_ms > 0) {
+        reply.latency_ms += verdict.extra_latency_ms;
+        fault_slowed_->add();
+      }
+      if (write != read) replies[write] = std::move(replies[read]);
+      ++write;
+    }
+    replies.resize(write);
+    if (lost > 0) fault_replies_lost_->add(lost);
   }
 
   // Per-reply loss on the return path, keyed by the reply's position so
@@ -306,6 +393,35 @@ TcpService* World::connect_tcp(Ipv4 src, Ipv4 dst, std::uint16_t port,
     if (util::hash_unit(key) < loss_rate_) {
       tcp_syn_lost_->add();
       return nullptr;
+    }
+  }
+  // Fault plane: SYNs face the destination network's unreachable and
+  // bursty-loss episodes too (rate limiting stays UDP-only — it models
+  // DNS abuse-avoidance middleboxes).
+  std::size_t fault_index = 0;
+  if (const FaultProfile* fault = faults_.match(dst, &fault_index)) {
+    const std::int64_t now_minutes = clock_.minutes();
+    if (faults_.episode_active(fault_index, seed_,
+                               FaultPlan::kUnreachableEpisode,
+                               fault->unreachable_episode_rate, dst,
+                               now_minutes)) {
+      fault_tcp_lost_->add();
+      return nullptr;
+    }
+    const double loss =
+        faults_.episode_active(fault_index, seed_, FaultPlan::kLossEpisode,
+                               fault->episode_rate, dst, now_minutes)
+            ? fault->burst_loss
+            : fault->base_loss;
+    if (loss > 0.0) {
+      const std::uint64_t syn_key = util::hash_words(
+          {seed_, 0x7c9fULL /* tcp fault */,
+           (static_cast<std::uint64_t>(src.value()) << 32) | dst.value(),
+           (static_cast<std::uint64_t>(port) << 32) | seq});
+      if (util::hash_unit(syn_key) < loss) {
+        fault_tcp_lost_->add();
+        return nullptr;
+      }
     }
   }
   const HostId id = host_at(dst);

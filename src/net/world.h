@@ -34,6 +34,7 @@
 
 #include "net/asdb.h"
 #include "net/clock.h"
+#include "net/faults.h"
 #include "net/ip.h"
 #include "net/rdns.h"
 #include "net/services.h"
@@ -122,6 +123,11 @@ class World {
   void add_injector(Injector injector);
   // Fraction of datagrams lost in each direction, in [0, 1).
   void set_loss_rate(double rate);
+  // Installs a fault profile (DESIGN.md §9). Profiles are consulted in
+  // insertion order; the first whose network contains the destination
+  // governs the datagram. Mutation-phase only.
+  void add_fault_profile(FaultProfile profile);
+  const FaultPlan& fault_plan() const noexcept { return faults_; }
 
   // --- time -------------------------------------------------------------
   const SimClock& clock() const noexcept { return clock_; }
@@ -201,6 +207,9 @@ class World {
     std::uint64_t seed = 0;
     std::vector<std::pair<std::uint16_t, std::unique_ptr<UdpService>>> udp;
     std::vector<std::pair<std::uint16_t, std::unique_ptr<TcpService>>> tcp;
+    // Rate-limiter state for the fault plane; mutated during traffic under
+    // the same per-destination single-writer contract as the services.
+    FaultRateState fault_rate;
   };
 
   bool host_active(const Host& host) const noexcept;
@@ -225,6 +234,7 @@ class World {
   RdnsStore rdns_;
   std::vector<IngressFilter> filters_;
   std::vector<Injector> injectors_;
+  FaultPlan faults_;
 
   // Registry the traffic counters live in; own_metrics_ backs it when the
   // caller did not supply one.
@@ -239,6 +249,16 @@ class World {
   obs::Counter* tcp_connects_ = nullptr;
   obs::Counter* tcp_syn_lost_ = nullptr;
   obs::Counter* traffic_sections_opened_ = nullptr;
+  // Fault-plane tallies ("fault.*" in every snapshot).
+  obs::Counter* fault_forward_lost_ = nullptr;
+  obs::Counter* fault_replies_lost_ = nullptr;
+  obs::Counter* fault_unreachable_ = nullptr;
+  obs::Counter* fault_rate_dropped_ = nullptr;
+  obs::Counter* fault_rate_refused_ = nullptr;
+  obs::Counter* fault_truncated_ = nullptr;
+  obs::Counter* fault_corrupted_ = nullptr;
+  obs::Counter* fault_slowed_ = nullptr;
+  obs::Counter* fault_tcp_lost_ = nullptr;
   std::atomic<int> traffic_sections_{0};
 };
 

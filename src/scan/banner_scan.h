@@ -15,6 +15,7 @@
 
 #include "http/fetch.h"
 #include "net/world.h"
+#include "scan/retry.h"
 
 namespace dnswild::scan {
 
@@ -27,9 +28,12 @@ struct BannerResult {
 class BannerScanner {
  public:
   // `threads` = 0 picks hardware_concurrency for scan(); results are
-  // identical for every value.
-  BannerScanner(net::World& world, net::Ipv4 scanner_ip, unsigned threads = 0)
-      : world_(world), fetcher_(world, scanner_ip), threads_(threads) {}
+  // identical for every value. `retry` re-dials lost SYNs through the
+  // shared Fetcher.
+  BannerScanner(net::World& world, net::Ipv4 scanner_ip, unsigned threads = 0,
+                RetryPolicy retry = {})
+      : world_(world), fetcher_(world, scanner_ip, retry),
+        threads_(threads) {}
 
   BannerResult probe(net::Ipv4 resolver);
   std::vector<BannerResult> scan(const std::vector<net::Ipv4>& resolvers);

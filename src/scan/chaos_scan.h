@@ -18,6 +18,7 @@
 
 #include "dns/types.h"
 #include "net/world.h"
+#include "scan/retry.h"
 
 namespace dnswild::scan {
 
@@ -33,11 +34,13 @@ struct ChaosResult {
 class ChaosScanner {
  public:
   // `threads` = 0 picks hardware_concurrency for scan(); results are
-  // identical for every value.
+  // identical for every value. An unset retry-policy seed defaults from
+  // `seed`.
   ChaosScanner(net::World& world, net::Ipv4 scanner_ip, std::uint64_t seed,
-               unsigned threads = 0)
+               unsigned threads = 0, RetryPolicy retry = {})
       : world_(world), scanner_ip_(scanner_ip), seed_(seed),
-        threads_(threads) {}
+        threads_(threads),
+        retrier_(world, retry.seeded(seed ^ 0xc4a05ULL)) {}
 
   ChaosResult probe(net::Ipv4 resolver);
   std::vector<ChaosResult> scan(const std::vector<net::Ipv4>& resolvers);
@@ -47,6 +50,7 @@ class ChaosScanner {
   net::Ipv4 scanner_ip_;
   std::uint64_t seed_;
   unsigned threads_;
+  Retrier retrier_;  // shared by all workers (atomic counters only)
 };
 
 }  // namespace dnswild::scan

@@ -29,7 +29,8 @@ TupleRecord DomainScanner::probe(net::Ipv4 resolver,
   packet.dst_port = 53;
   packet.payload = query.encode();
 
-  for (const net::UdpReply& reply : world_.send_udp(packet)) {
+  const RetryOutcome outcome = retrier_.send(std::move(packet));
+  for (const net::UdpReply& reply : outcome.replies) {
     const auto response = dns::Message::decode(reply.packet.payload);
     if (!response || !response->header.qr) continue;
     const auto decoded = decode_resolver_id(

@@ -25,6 +25,7 @@
 #include "net/world.h"
 #include "scan/encoding.h"
 #include "scan/executor.h"
+#include "scan/retry.h"
 #include "util/rng.h"
 
 namespace dnswild::scan {
@@ -40,6 +41,9 @@ struct DomainScanConfig {
   // Worker threads for the sharded scan; 0 = hardware_concurrency. Results
   // are identical for every value.
   unsigned threads = 0;
+  // Retry/backoff policy per (resolver, domain) probe; an unset policy
+  // seed defaults from `seed`.
+  RetryPolicy retry;
 };
 
 struct TupleRecord {
@@ -62,7 +66,10 @@ struct TupleRecord {
 class DomainScanner {
  public:
   DomainScanner(net::World& world, DomainScanConfig config)
-      : world_(world), config_(config), rng_(config.seed) {}
+      : world_(world),
+        config_(config),
+        retrier_(world, config.retry.seeded(config.seed ^ 0xd03a1ULL)),
+        rng_(config.seed) {}
 
   // One record per (resolver, domain) probe, in probe order. resolvers[i]
   // gets resolver_id i; ids must fit the 25-bit scheme.
@@ -76,6 +83,7 @@ class DomainScanner {
  private:
   net::World& world_;
   DomainScanConfig config_;
+  Retrier retrier_;  // shared by all workers (atomic counters only)
   util::Rng rng_;
 };
 

@@ -1,6 +1,7 @@
 #include "scan/ipv4scan.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "scan/encoding.h"
 #include "scan/permute.h"
@@ -10,7 +11,10 @@
 namespace dnswild::scan {
 
 Ipv4Scanner::Ipv4Scanner(net::World& world, Ipv4ScanConfig config)
-    : world_(world), config_(std::move(config)), rng_(config_.seed) {}
+    : world_(world),
+      config_(std::move(config)),
+      retrier_(world, config_.retry.seeded(config_.seed ^ 0x52e7ULL)),
+      rng_(config_.seed) {}
 
 void Ipv4Scanner::record_summary(const Ipv4ScanSummary& summary) {
   obs::Registry& metrics = world_.metrics();
@@ -25,6 +29,10 @@ void Ipv4Scanner::record_summary(const Ipv4ScanSummary& summary) {
   metrics.counter("scan.ipv4.nxdomain").add(summary.nxdomain);
   metrics.counter("scan.ipv4.other_rcode").add(summary.other_rcode);
   metrics.counter("scan.ipv4.multihomed").add(summary.multihomed);
+  metrics.counter("scan.ipv4.retry_retransmissions")
+      .add(summary.retry_retransmissions);
+  metrics.counter("scan.ipv4.retry_recovered").add(summary.retry_recovered);
+  metrics.counter("scan.ipv4.retry_exhausted").add(summary.retry_exhausted);
 }
 
 void Ipv4Scanner::probe_one(net::Ipv4 target, std::uint64_t salt,
@@ -50,14 +58,17 @@ void Ipv4Scanner::probe_one(net::Ipv4 target, std::uint64_t salt,
   packet.dst_port = 53;
   packet.payload = query.encode();
 
-  std::vector<net::UdpReply> replies = world_.send_udp(packet);
-  for (int attempt = 0; replies.empty() && attempt < config_.retries;
-       ++attempt) {
-    // Identical retransmission; the bumped seq gives it independent loss.
-    packet.seq = static_cast<std::uint32_t>(attempt) + 1;
-    replies = world_.send_udp(packet);
+  RetryOutcome outcome = retrier_.send(std::move(packet));
+  summary.retry_retransmissions +=
+      static_cast<std::uint64_t>(outcome.transmissions - 1);
+  summary.retry_wait_ms += static_cast<std::uint64_t>(
+      std::llround(outcome.waited_seconds * 1000.0));
+  if (outcome.exhausted) {
+    ++summary.retry_exhausted;
+  } else if (outcome.transmissions > 1) {
+    ++summary.retry_recovered;
   }
-  for (const net::UdpReply& reply : replies) {
+  for (const net::UdpReply& reply : outcome.replies) {
     const auto response = dns::Message::decode(reply.packet.payload);
     if (!response || !response->header.qr) continue;
     if (response->header.id != query.header.id) continue;  // stray datagram
@@ -142,6 +153,10 @@ void Ipv4Scanner::probe_batch(const std::vector<net::Ipv4>& targets,
     summary.nxdomain += shard.nxdomain;
     summary.other_rcode += shard.other_rcode;
     summary.multihomed += shard.multihomed;
+    summary.retry_retransmissions += shard.retry_retransmissions;
+    summary.retry_recovered += shard.retry_recovered;
+    summary.retry_exhausted += shard.retry_exhausted;
+    summary.retry_wait_ms += shard.retry_wait_ms;
     summary.noerror_targets.insert(summary.noerror_targets.end(),
                                    shard.noerror_targets.begin(),
                                    shard.noerror_targets.end());

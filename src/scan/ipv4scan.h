@@ -27,6 +27,7 @@
 #include "net/world.h"
 #include "scan/blacklist.h"
 #include "scan/executor.h"
+#include "scan/retry.h"
 #include "util/rng.h"
 
 namespace dnswild::scan {
@@ -40,10 +41,11 @@ struct Ipv4ScanConfig {
   // Virtual probe rate; when spread_over_hours > 0 the scan advances the
   // world clock so churn happens *during* the scan, as in reality.
   double spread_over_hours = 0.0;
-  // Retransmissions per silent target. The paper tunes its send rate for
-  // low loss instead of retrying (§5); retries exist for lossy-world
-  // experiments and the loss-ablation microbenchmark.
-  int retries = 0;
+  // Retry/backoff policy per silent target. The paper tunes its send rate
+  // for low loss instead of retrying (§5); retries exist for lossy-world
+  // experiments and the loss-ablation microbenchmark. An unset policy seed
+  // defaults from `seed`.
+  RetryPolicy retry;
   // Worker threads for the sharded scan; 0 = hardware_concurrency. Results
   // are identical for every value.
   unsigned threads = 0;
@@ -61,6 +63,15 @@ struct Ipv4ScanSummary {
   std::uint64_t nxdomain = 0;
   std::uint64_t other_rcode = 0;
   std::uint64_t multihomed = 0;  // responder address != probed target
+
+  // Retry-plane tallies (thread-count invariant: per-probe outcomes are
+  // pure hashes, and shards merge in block order).
+  std::uint64_t retry_retransmissions = 0;  // extra sends beyond the first
+  std::uint64_t retry_recovered = 0;   // silent first send, answered retry
+  std::uint64_t retry_exhausted = 0;   // all retransmissions unanswered
+  // Virtual backoff/timeout time, in integer milliseconds (rounded per
+  // probe) so shard sums stay exact under any merge order.
+  std::uint64_t retry_wait_ms = 0;
 
   // Targets that answered NOERROR (the "open resolver" population handed to
   // the follow-up campaigns).
@@ -100,6 +111,7 @@ class Ipv4Scanner {
 
   net::World& world_;
   Ipv4ScanConfig config_;
+  Retrier retrier_;  // shared by all workers (atomic counters + locals only)
   util::Rng rng_;  // coordinator-only: permutation seed + per-scan salt
 };
 

@@ -50,7 +50,9 @@ std::uint32_t GenericLfsr::taps_for_order(unsigned order) {
 
 GenericLfsr::GenericLfsr(unsigned order, std::uint32_t seed)
     : order_(order),
-      mask_(order == 32 ? ~std::uint32_t{0} : (1u << order) - 1),
+      // mask_ initializes before taps_for_order rejects out-of-range
+      // orders, so the shift must stay defined for order > 32 too.
+      mask_(order >= 32 ? ~std::uint32_t{0} : (1u << order) - 1),
       taps_(taps_for_order(order)),
       state_((seed & mask_) == 0 ? 1 : (seed & mask_)) {}
 

@@ -17,33 +17,48 @@ class TokenBucket {
   TokenBucket(double rate_per_second, double burst) noexcept
       : rate_(rate_per_second), capacity_(burst), tokens_(burst) {}
 
-  // Consumes one token, waiting (virtually) when the bucket is empty.
-  // Returns the virtual seconds spent waiting for this packet.
+  // Consumes one token at the current virtual instant, waiting (virtually)
+  // when the bucket is empty. Returns the virtual seconds spent waiting
+  // for this packet. Refill is driven off the bucket's own elapsed clock —
+  // a caller that never calls advance() sees exactly rate_-paced time, not
+  // inflated waits.
   double acquire() noexcept {
+    refill();
     if (tokens_ >= 1.0) {
       tokens_ -= 1.0;
       return 0.0;
     }
-    const double deficit = 1.0 - tokens_;
-    const double wait = deficit / rate_;
-    tokens_ = 0.0;
+    const double wait = (1.0 - tokens_) / rate_;
     elapsed_ += wait;
+    refill();  // the wait itself refilled exactly the deficit
+    tokens_ -= 1.0;
     return wait;
   }
 
-  // Refills from elapsed virtual time.
+  // Charges externally elapsed virtual time (reply latency, retry backoff)
+  // to the bucket's clock; the elapsed time refills tokens.
   void advance(double seconds) noexcept {
-    tokens_ += seconds * rate_;
-    if (tokens_ > capacity_) tokens_ = capacity_;
+    elapsed_ += seconds;
+    refill();
   }
 
   double virtual_elapsed_seconds() const noexcept { return elapsed_; }
 
  private:
+  // Converts clock progress since the last refill into tokens, capped at
+  // the burst capacity.
+  void refill() noexcept {
+    if (elapsed_ <= refilled_until_) return;
+    tokens_ += (elapsed_ - refilled_until_) * rate_;
+    if (tokens_ > capacity_) tokens_ = capacity_;
+    refilled_until_ = elapsed_;
+  }
+
   double rate_;
   double capacity_;
   double tokens_;
   double elapsed_ = 0.0;
+  double refilled_until_ = 0.0;  // clock value already converted to tokens
 };
 
 }  // namespace dnswild::scan

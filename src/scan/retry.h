@@ -1,0 +1,26 @@
+// Campaign-facing names for the unified retry/backoff machinery.
+//
+// The engine lives in net:: (http::Fetcher sits below this layer and uses
+// it too); the scanners and the pipeline speak of scan::RetryPolicy. The
+// virtual seconds a RetryOutcome reports are charged into the campaign's
+// TokenBucket (scan/ratelimit.h) via charge_budget(), tying retry waits
+// into the same virtual clock that paces probe emission.
+#pragma once
+
+#include "net/retry.h"
+#include "scan/ratelimit.h"
+
+namespace dnswild::scan {
+
+using RetryPolicy = net::RetryPolicy;
+using RetryOutcome = net::RetryOutcome;
+using Retrier = net::Retrier;
+
+// Charges a probe's retry waits to the campaign's virtual clock: the
+// elapsed time both refills the bucket and advances
+// virtual_elapsed_seconds(), exactly as if the scanner had idled.
+inline void charge_budget(TokenBucket& bucket, const RetryOutcome& outcome) {
+  if (outcome.waited_seconds > 0.0) bucket.advance(outcome.waited_seconds);
+}
+
+}  // namespace dnswild::scan

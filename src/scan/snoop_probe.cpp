@@ -22,7 +22,8 @@ SnoopSample SnoopProber::probe_once(net::Ipv4 resolver, const std::string& tld,
   packet.dst_port = 53;
   packet.payload = query.encode();
 
-  for (const net::UdpReply& reply : world_.send_udp(packet)) {
+  const RetryOutcome outcome = retrier_.send(std::move(packet));
+  for (const net::UdpReply& reply : outcome.replies) {
     const auto response = dns::Message::decode(reply.packet.payload);
     if (!response || !response->header.qr ||
         response->header.id != query.header.id) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "net/world.h"
+#include "scan/retry.h"
 #include "util/rng.h"
 
 namespace dnswild::scan {
@@ -33,12 +34,18 @@ struct SnoopCampaignConfig {
   std::uint64_t seed = 0;
   int interval_minutes = 60;  // hourly (§2.6)
   int duration_hours = 36;
+  // Retry/backoff per snoop probe; an unset policy seed defaults from
+  // `seed`.
+  RetryPolicy retry;
 };
 
 class SnoopProber {
  public:
   SnoopProber(net::World& world, SnoopCampaignConfig config)
-      : world_(world), config_(config), rng_(config.seed) {}
+      : world_(world),
+        config_(config),
+        retrier_(world, config.retry.seeded(config.seed ^ 0x500bULL)),
+        rng_(config.seed) {}
 
   // Runs the full campaign; advances the world clock as it goes. Returns
   // one series per (resolver, tld), resolver-major.
@@ -51,6 +58,7 @@ class SnoopProber {
 
   net::World& world_;
   SnoopCampaignConfig config_;
+  Retrier retrier_;
   util::Rng rng_;
 };
 

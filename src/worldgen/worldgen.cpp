@@ -10,6 +10,7 @@
 #include "resolver/device.h"
 #include "resolver/resolver.h"
 #include "resolver/software.h"
+#include "util/hash.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -1319,6 +1320,42 @@ GeneratedWorld generate_world(const WorldGenConfig& config) {
   }
 
   world.set_loss_rate(config.loss_rate);
+
+  // Deterministic chaos (DESIGN.md §9): fault profiles over a hash-gated
+  // fraction of the routed prefixes. The research networks (scanner,
+  // verification vantage) stay clean so the study's own uplinks never
+  // inject faults into every experiment at once.
+  if (config.chaos.enabled) {
+    const ChaosProfileConfig& chaos = config.chaos;
+    for (const Cidr& prefix : out.universe) {
+      if (prefix.contains(out.scanner_ip) ||
+          prefix.contains(out.verification_scanner_ip)) {
+        continue;
+      }
+      const double gate = util::hash_unit(util::hash_words(
+          {config.seed, 0xc4a05ULL, prefix.base().value(),
+           static_cast<std::uint64_t>(prefix.prefix_len())}));
+      if (gate >= chaos.network_fraction) continue;
+      net::FaultProfile profile;
+      profile.network = prefix;
+      profile.episode_rate = chaos.episode_rate;
+      profile.episode_mean_buckets = chaos.episode_mean_buckets;
+      profile.burst_loss = chaos.burst_loss;
+      profile.base_loss = chaos.base_loss;
+      profile.bucket_minutes = chaos.bucket_minutes;
+      profile.rate_limit_per_minute = chaos.rate_limit_per_minute;
+      profile.rate_limit_burst = chaos.rate_limit_burst;
+      profile.rate_limit_action = chaos.rate_limit_refused
+                                      ? net::RateLimitAction::kRefused
+                                      : net::RateLimitAction::kDrop;
+      profile.truncate_rate = chaos.truncate_rate;
+      profile.corrupt_rate = chaos.corrupt_rate;
+      profile.slow_episode_rate = chaos.slow_episode_rate;
+      profile.slow_extra_latency_ms = chaos.slow_extra_latency_ms;
+      profile.unreachable_episode_rate = chaos.unreachable_episode_rate;
+      world.add_fault_profile(profile);
+    }
+  }
   return out;
 }
 

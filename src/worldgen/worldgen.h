@@ -38,6 +38,31 @@ struct CountryPlan {
 // (Argentina −75%, Great Britain −63.6%, Malaysia +59.7%, Lebanon +76.7%).
 const std::vector<CountryPlan>& default_country_plan();
 
+// Chaos profile: installs net::FaultProfile entries over a hash-selected
+// fraction of the generated routed prefixes (scanner and vantage prefixes
+// always excluded, so the study's own uplinks stay clean). Disabled by
+// default; EXPERIMENTS.md shows a full example.
+struct ChaosProfileConfig {
+  bool enabled = false;
+  double network_fraction = 0.25;  // of routed prefixes, hash-gated
+  // Gilbert–Elliott loss episodes (net::FaultProfile semantics).
+  double episode_rate = 0.3;
+  double episode_mean_buckets = 4.0;
+  double burst_loss = 0.2;
+  double base_loss = 0.0;
+  int bucket_minutes = 30;
+  // Per-source rate limiting at the resolver edge.
+  double rate_limit_per_minute = 0.0;  // 0 = unlimited
+  double rate_limit_burst = 16.0;
+  bool rate_limit_refused = false;  // REFUSED instead of silent drop
+  // Reply mangling and pathological latency.
+  double truncate_rate = 0.0;
+  double corrupt_rate = 0.0;
+  double slow_episode_rate = 0.0;
+  int slow_extra_latency_ms = 4000;
+  double unreachable_episode_rate = 0.0;
+};
+
 struct WorldGenConfig {
   std::uint64_t seed = 1;
   // Initial NOERROR resolver population (paper: 26,820,486).
@@ -51,6 +76,8 @@ struct WorldGenConfig {
   std::uint32_t case_study_floor = 8;
   // Packet loss applied to the world.
   double loss_rate = 0.0;
+  // Deterministic fault injection over a fraction of prefixes (§9).
+  ChaosProfileConfig chaos;
   // Build TCP device services (Table 4) — skippable for DNS-only tests.
   bool with_devices = true;
 };

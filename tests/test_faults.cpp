@@ -1,0 +1,562 @@
+// Fault-injection plane + unified retry policy (DESIGN.md §9).
+//
+// Three contracts under test, mirroring the acceptance criteria:
+//   1. Determinism — identical seed + FaultPlan produce byte-identical
+//      scan results and fault counters for 1/2/8 worker threads.
+//   2. Recovery — under 20% burst loss a RetryPolicy with three
+//      retransmissions recovers >= 95% of the zero-loss responder
+//      population, while a single-shot policy does not.
+//   3. Graceful degradation — a pipeline stage exceeding its error budget
+//      yields a *completed* StudyReport with a populated degradations
+//      entry instead of a throw.
+#include "net/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "core/pipeline.h"
+#include "dns/message.h"
+#include "fixtures.h"
+#include "net/retry.h"
+#include "scan/domain_scan.h"
+#include "scan/ipv4scan.h"
+#include "scan/retry.h"
+#include "worldgen/worldgen.h"
+
+namespace dnswild {
+namespace {
+
+using test::make_mini_world;
+using test::MiniWorld;
+
+// A syntactically valid A query, the payload every probe here carries.
+net::UdpPacket dns_query(net::Ipv4 src, net::Ipv4 dst, std::uint16_t txid,
+                         std::uint32_t seq) {
+  dns::Message query = dns::Message::make_query(
+      txid, dns::Name::must_parse("good.example"), dns::RType::kA);
+  net::UdpPacket packet;
+  packet.src = src;
+  packet.src_port = 5353;
+  packet.dst = dst;
+  packet.dst_port = 53;
+  packet.seq = seq;
+  packet.payload = query.encode();
+  return packet;
+}
+
+MiniWorld world_with_resolvers(int count, std::uint64_t seed = 11) {
+  MiniWorld mini = make_mini_world(seed);
+  resolver::ResolverConfig honest;
+  honest.seed = 1;
+  for (int i = 0; i < count; ++i) {
+    mini.add_resolver(net::Ipv4(1, 0, 0, static_cast<std::uint8_t>(10 + i)),
+                      honest);
+  }
+  return mini;
+}
+
+net::FaultProfile profile_for(net::Cidr network) {
+  net::FaultProfile profile;
+  profile.network = network;
+  return profile;
+}
+
+const net::Cidr kTestNet(net::Ipv4(1, 0, 0, 0), 24);
+
+// --- FaultPlan unit behaviour -------------------------------------------
+
+TEST(FaultPlan, ValidatesProfiles) {
+  net::FaultPlan plan;
+  net::FaultProfile bad_rate = profile_for(kTestNet);
+  bad_rate.episode_rate = 1.5;
+  EXPECT_THROW(plan.add_profile(bad_rate), std::invalid_argument);
+  net::FaultProfile bad_bucket = profile_for(kTestNet);
+  bad_bucket.bucket_minutes = 0;
+  EXPECT_THROW(plan.add_profile(bad_bucket), std::invalid_argument);
+  EXPECT_TRUE(plan.empty());
+  plan.add_profile(profile_for(kTestNet));
+  EXPECT_EQ(plan.size(), 1u);
+}
+
+TEST(FaultPlan, MatchPicksFirstContainingProfile) {
+  net::FaultPlan plan;
+  plan.add_profile(profile_for(net::Cidr(net::Ipv4(1, 0, 0, 0), 25)));
+  plan.add_profile(profile_for(kTestNet));
+  std::size_t index = 99;
+  ASSERT_NE(plan.match(net::Ipv4(1, 0, 0, 5), &index), nullptr);
+  EXPECT_EQ(index, 0u);
+  ASSERT_NE(plan.match(net::Ipv4(1, 0, 0, 200), &index), nullptr);
+  EXPECT_EQ(index, 1u);
+  EXPECT_EQ(plan.match(net::Ipv4(2, 0, 0, 1), nullptr), nullptr);
+}
+
+TEST(FaultPlan, EpisodesAreDeterministicAndBursty) {
+  net::FaultPlan plan;
+  net::FaultProfile profile = profile_for(kTestNet);
+  profile.episode_rate = 0.15;
+  profile.episode_mean_buckets = 4.0;
+  profile.bucket_minutes = 1;  // one bucket per minute: fine-grained walk
+  plan.add_profile(profile);
+
+  const net::Ipv4 dst(1, 0, 0, 42);
+  int active = 0;
+  int transitions = 0;
+  bool last = false;
+  const int total = 2000;
+  for (int minute = 0; minute < total; ++minute) {
+    const bool now = plan.episode_active(0, 7, net::FaultPlan::kLossEpisode,
+                                         profile.episode_rate, dst, minute);
+    // Pure function: asking again never changes the answer.
+    EXPECT_EQ(now,
+              plan.episode_active(0, 7, net::FaultPlan::kLossEpisode,
+                                  profile.episode_rate, dst, minute));
+    if (minute > 0 && now != last) ++transitions;
+    last = now;
+    if (now) ++active;
+  }
+  // Both states occur, and active minutes cluster into multi-bucket
+  // episodes (far fewer transitions than active minutes — the
+  // Gilbert–Elliott shape, not i.i.d. noise).
+  EXPECT_GT(active, total / 20);
+  EXPECT_LT(active, total * 19 / 20);
+  EXPECT_LT(transitions, active);
+
+  // Distinct streams decorrelate: the slow-episode stream differs from the
+  // loss stream somewhere on the same walk.
+  bool streams_differ = false;
+  for (int minute = 0; minute < total && !streams_differ; ++minute) {
+    streams_differ =
+        plan.episode_active(0, 7, net::FaultPlan::kLossEpisode,
+                            profile.episode_rate, dst, minute) !=
+        plan.episode_active(0, 7, net::FaultPlan::kSlowEpisode,
+                            profile.episode_rate, dst, minute);
+  }
+  EXPECT_TRUE(streams_differ);
+}
+
+TEST(FaultPlan, PayloadManglersAreDeterministic) {
+  const std::vector<std::uint8_t> original(64, 0xab);
+  std::vector<std::uint8_t> a = original;
+  std::vector<std::uint8_t> b = original;
+  net::FaultPlan::truncate_payload(a, 1234);
+  net::FaultPlan::truncate_payload(b, 1234);
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a.size(), original.size());
+  EXPECT_GE(a.size(), 1u);
+
+  std::vector<std::uint8_t> c = original;
+  net::FaultPlan::corrupt_payload(c, 1234);
+  EXPECT_EQ(c.size(), original.size());
+  int flipped = 0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (c[i] != original[i]) ++flipped;
+  }
+  EXPECT_EQ(flipped, 1);  // exactly one byte flips, and it always flips
+}
+
+TEST(FaultPlan, RefusedReplyEchoesQueryWithRcode5) {
+  const net::UdpPacket request =
+      dns_query(net::Ipv4(9, 0, 0, 1), net::Ipv4(1, 0, 0, 10), 77, 0);
+  const net::UdpReply reply = net::FaultPlan::make_refused_reply(request);
+  EXPECT_EQ(reply.packet.src, request.dst);
+  EXPECT_EQ(reply.packet.dst, request.src);
+  const auto response = dns::Message::decode(reply.packet.payload);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->header.qr);
+  EXPECT_EQ(response->header.id, 77);
+  EXPECT_EQ(response->header.rcode, dns::RCode::kRefused);
+}
+
+// --- World integration ---------------------------------------------------
+
+TEST(WorldFaults, BurstLossDropsForwardPackets) {
+  MiniWorld mini = world_with_resolvers(1);
+  net::FaultProfile profile = profile_for(kTestNet);
+  profile.episode_rate = 1.0;  // an episode starts every bucket
+  profile.burst_loss = 1.0;
+  mini.world->add_fault_profile(profile);
+
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_TRUE(mini.world
+                    ->send_udp(dns_query(net::Ipv4(9, 0, 0, 1),
+                                         net::Ipv4(1, 0, 0, 10),
+                                         static_cast<std::uint16_t>(i), i))
+                    .empty());
+  }
+  EXPECT_EQ(mini.world->metrics().counter("fault.forward_lost").value(), 10u);
+  EXPECT_EQ(mini.world->udp_delivered(), 0u);
+}
+
+TEST(WorldFaults, UnreachableEpisodeDropsEverything) {
+  MiniWorld mini = world_with_resolvers(1);
+  net::FaultProfile profile = profile_for(kTestNet);
+  profile.unreachable_episode_rate = 1.0;
+  mini.world->add_fault_profile(profile);
+  EXPECT_TRUE(
+      mini.world
+          ->send_udp(dns_query(net::Ipv4(9, 0, 0, 1), net::Ipv4(1, 0, 0, 10),
+                               1, 1))
+          .empty());
+  EXPECT_GT(mini.world->metrics().counter("fault.unreachable_drops").value(),
+            0u);
+  // TCP SYNs vanish during the episode too.
+  EXPECT_EQ(mini.world->connect_tcp(net::Ipv4(9, 0, 0, 1),
+                                    net::Ipv4(1, 0, 0, 10), 80),
+            nullptr);
+}
+
+TEST(WorldFaults, RateLimitRefusesOverBudgetQueriesPerSource) {
+  MiniWorld mini = world_with_resolvers(1);
+  net::FaultProfile profile = profile_for(kTestNet);
+  profile.rate_limit_per_minute = 1.0;
+  profile.rate_limit_burst = 2.0;
+  profile.rate_limit_action = net::RateLimitAction::kRefused;
+  mini.world->add_fault_profile(profile);
+
+  const net::Ipv4 resolver(1, 0, 0, 10);
+  const auto rcode_of = [&](net::Ipv4 src, std::uint16_t txid) {
+    const auto replies =
+        mini.world->send_udp(dns_query(src, resolver, txid, txid));
+    if (replies.empty()) return dns::RCode::kFormErr;  // sentinel
+    const auto response = dns::Message::decode(replies.front().packet.payload);
+    return response ? response->header.rcode : dns::RCode::kFormErr;
+  };
+
+  // The burst passes through to the resolver; the clock is frozen, so no
+  // tokens refill and everything after is REFUSED at the network edge.
+  EXPECT_EQ(rcode_of(net::Ipv4(9, 0, 0, 1), 1), dns::RCode::kNoError);
+  EXPECT_EQ(rcode_of(net::Ipv4(9, 0, 0, 1), 2), dns::RCode::kNoError);
+  EXPECT_EQ(rcode_of(net::Ipv4(9, 0, 0, 1), 3), dns::RCode::kRefused);
+  EXPECT_EQ(rcode_of(net::Ipv4(9, 0, 0, 1), 4), dns::RCode::kRefused);
+  // A different source has its own bucket.
+  EXPECT_EQ(rcode_of(net::Ipv4(9, 0, 0, 2), 5), dns::RCode::kNoError);
+  EXPECT_EQ(
+      mini.world->metrics().counter("fault.rate_limited_refused").value(),
+      2u);
+
+  // Virtual time refills the bucket: a minute later one query is admitted.
+  mini.world->set_time_minutes(mini.world->clock().minutes() + 1);
+  EXPECT_EQ(rcode_of(net::Ipv4(9, 0, 0, 1), 6), dns::RCode::kNoError);
+  EXPECT_EQ(rcode_of(net::Ipv4(9, 0, 0, 1), 7), dns::RCode::kRefused);
+}
+
+TEST(WorldFaults, RateLimitDropActionStaysSilent) {
+  MiniWorld mini = world_with_resolvers(1);
+  net::FaultProfile profile = profile_for(kTestNet);
+  profile.rate_limit_per_minute = 1.0;
+  profile.rate_limit_burst = 1.0;
+  profile.rate_limit_action = net::RateLimitAction::kDrop;
+  mini.world->add_fault_profile(profile);
+
+  const net::Ipv4 resolver(1, 0, 0, 10);
+  EXPECT_FALSE(
+      mini.world->send_udp(dns_query(net::Ipv4(9, 0, 0, 1), resolver, 1, 1))
+          .empty());
+  EXPECT_TRUE(
+      mini.world->send_udp(dns_query(net::Ipv4(9, 0, 0, 1), resolver, 2, 2))
+          .empty());
+  EXPECT_EQ(mini.world->metrics().counter("fault.rate_limited_drops").value(),
+            1u);
+}
+
+TEST(WorldFaults, TruncatedRepliesExerciseParserErrorPaths) {
+  MiniWorld mini = world_with_resolvers(1);
+  net::FaultProfile profile = profile_for(kTestNet);
+  profile.truncate_rate = 1.0;
+  mini.world->add_fault_profile(profile);
+
+  const auto replies = mini.world->send_udp(
+      dns_query(net::Ipv4(9, 0, 0, 1), net::Ipv4(1, 0, 0, 10), 1, 1));
+  ASSERT_EQ(replies.size(), 1u);
+  // Strictly shorter than any well-formed answer: the decoder must reject
+  // it cleanly rather than read out of bounds.
+  EXPECT_FALSE(dns::Message::decode(replies.front().packet.payload)
+                   .has_value());
+  EXPECT_EQ(mini.world->metrics().counter("fault.truncated_replies").value(),
+            1u);
+}
+
+TEST(WorldFaults, CorruptedRepliesDifferFromCleanRun) {
+  const auto run = [](bool corrupt) {
+    MiniWorld mini = world_with_resolvers(1);
+    if (corrupt) {
+      net::FaultProfile profile = profile_for(kTestNet);
+      profile.corrupt_rate = 1.0;
+      mini.world->add_fault_profile(profile);
+    }
+    const auto replies = mini.world->send_udp(
+        dns_query(net::Ipv4(9, 0, 0, 1), net::Ipv4(1, 0, 0, 10), 1, 1));
+    return replies.empty() ? std::vector<std::uint8_t>{}
+                           : replies.front().packet.payload;
+  };
+  const auto clean = run(false);
+  const auto mangled = run(true);
+  ASSERT_FALSE(clean.empty());
+  ASSERT_EQ(clean.size(), mangled.size());
+  EXPECT_NE(clean, mangled);  // exactly one byte differs
+}
+
+TEST(WorldFaults, SlowEpisodeInflatesLatencyPastClientTimeout) {
+  MiniWorld mini = world_with_resolvers(1);
+  net::FaultProfile profile = profile_for(kTestNet);
+  profile.slow_episode_rate = 1.0;
+  profile.slow_extra_latency_ms = 4000;
+  mini.world->add_fault_profile(profile);
+
+  const auto replies = mini.world->send_udp(
+      dns_query(net::Ipv4(9, 0, 0, 1), net::Ipv4(1, 0, 0, 10), 1, 1));
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_GE(replies.front().latency_ms, 4000);
+
+  // A client with a 1 s per-probe timeout never sees the reply; with the
+  // timeout disabled the same probe succeeds.
+  net::RetryPolicy impatient;
+  impatient.timeout_ms = 1000;
+  impatient.seed = 5;
+  net::Retrier strict(*mini.world, impatient);
+  const net::RetryOutcome missed = strict.send(
+      dns_query(net::Ipv4(9, 0, 0, 1), net::Ipv4(1, 0, 0, 10), 2, 2));
+  EXPECT_TRUE(missed.replies.empty());
+
+  net::RetryPolicy patient;
+  patient.seed = 5;
+  net::Retrier lax(*mini.world, patient);
+  EXPECT_FALSE(lax.send(dns_query(net::Ipv4(9, 0, 0, 1),
+                                  net::Ipv4(1, 0, 0, 10), 3, 3))
+                   .replies.empty());
+  EXPECT_GT(mini.world->metrics().counter("retry.timed_out_replies").value(),
+            0u);
+}
+
+// --- Retry policy --------------------------------------------------------
+
+TEST(RetryPolicy, BackoffIsDeterministicJitteredExponential) {
+  net::RetryPolicy policy;
+  policy.backoff_initial_seconds = 0.5;
+  policy.backoff_factor = 2.0;
+  policy.jitter = 0.5;
+  policy.seed = 42;
+  for (int attempt = 1; attempt <= 4; ++attempt) {
+    const double base = 0.5 * std::pow(2.0, attempt - 1);
+    const double wait = policy.backoff_seconds(123, attempt);
+    EXPECT_DOUBLE_EQ(wait, policy.backoff_seconds(123, attempt));
+    EXPECT_GE(wait, base * 0.5);
+    EXPECT_LE(wait, base * 1.5);
+  }
+  // Jitter is per-probe: distinct probes spread their retries apart.
+  EXPECT_NE(policy.backoff_seconds(123, 1), policy.backoff_seconds(124, 1));
+  // seeded() fills only an unset seed.
+  EXPECT_EQ(policy.seeded(7).seed, 42u);
+  net::RetryPolicy unseeded;
+  EXPECT_EQ(unseeded.seeded(7).seed, 7u);
+}
+
+TEST(Retrier, OutcomesAccountTransmissionsAndWaits) {
+  MiniWorld mini = world_with_resolvers(1);
+  net::RetryPolicy policy;
+  policy.attempts = 2;
+  policy.seed = 3;
+  net::Retrier retrier(*mini.world, policy);
+
+  // Healthy destination: one transmission, no waiting.
+  const net::RetryOutcome clean = retrier.send(
+      dns_query(net::Ipv4(9, 0, 0, 1), net::Ipv4(1, 0, 0, 10), 1, 100));
+  EXPECT_EQ(clean.transmissions, 1);
+  EXPECT_FALSE(clean.exhausted);
+  EXPECT_DOUBLE_EQ(clean.waited_seconds, 0.0);
+  ASSERT_FALSE(clean.replies.empty());
+
+  // Unbound destination: the full retransmission budget drains.
+  const net::RetryOutcome dry = retrier.send(
+      dns_query(net::Ipv4(9, 0, 0, 1), net::Ipv4(1, 0, 0, 99), 2, 200));
+  EXPECT_EQ(dry.transmissions, 3);
+  EXPECT_TRUE(dry.exhausted);
+  EXPECT_TRUE(dry.replies.empty());
+  EXPECT_GT(dry.waited_seconds, 0.0);
+  EXPECT_EQ(mini.world->metrics().counter("retry.exhausted").value(), 1u);
+  EXPECT_EQ(mini.world->metrics().counter("retry.retransmissions").value(),
+            2u);
+}
+
+// --- Acceptance 1: thread-count invariance under faults ------------------
+
+worldgen::WorldGenConfig chaos_world_config() {
+  worldgen::WorldGenConfig config;
+  config.seed = 99;
+  config.resolver_count = 400;
+  config.loss_rate = 0.01;
+  config.chaos.enabled = true;
+  config.chaos.network_fraction = 0.6;
+  config.chaos.episode_rate = 0.4;
+  config.chaos.burst_loss = 0.3;
+  config.chaos.base_loss = 0.02;
+  config.chaos.bucket_minutes = 30;
+  config.chaos.rate_limit_per_minute = 60.0;
+  config.chaos.rate_limit_burst = 24.0;
+  config.chaos.rate_limit_refused = true;
+  config.chaos.truncate_rate = 0.04;
+  config.chaos.corrupt_rate = 0.04;
+  config.chaos.slow_episode_rate = 0.1;
+  config.chaos.unreachable_episode_rate = 0.05;
+  return config;
+}
+
+// The scan battery under chaos at one thread count, reported as the
+// masked (deterministic-only) metrics JSON plus the scan summary.
+struct ChaosRun {
+  scan::Ipv4ScanSummary summary;
+  std::vector<scan::TupleRecord> records;
+  std::string masked_metrics_json;
+};
+
+ChaosRun chaos_run_at(unsigned threads) {
+  worldgen::GeneratedWorld gen =
+      worldgen::generate_world(chaos_world_config());
+  ChaosRun run;
+
+  scan::Ipv4ScanConfig scan_config;
+  scan_config.scanner_ip = gen.scanner_ip;
+  scan_config.zone = gen.scan_zone;
+  scan_config.blacklist = &gen.blacklist;
+  scan_config.seed = 42;
+  scan_config.spread_over_hours = 48.0;
+  scan_config.retry.attempts = 2;
+  scan_config.retry.timeout_ms = 2000;  // slow episodes force retries
+  scan_config.threads = threads;
+  scan::Ipv4Scanner scanner(*gen.world, scan_config);
+  run.summary = scanner.scan(gen.universe);
+
+  std::vector<net::Ipv4> resolvers = run.summary.noerror_targets;
+  if (resolvers.size() > 120) resolvers.resize(120);
+  std::vector<std::string> names;
+  for (const core::StudyDomain& domain : gen.domains.all()) {
+    names.push_back(domain.name);
+    if (names.size() == 10) break;
+  }
+  scan::DomainScanConfig domain_config;
+  domain_config.scanner_ip = gen.scanner_ip;
+  domain_config.seed = 43;
+  domain_config.spread_over_hours = 24.0;
+  domain_config.threads = threads;
+  domain_config.retry.attempts = 1;
+  domain_config.retry.timeout_ms = 3000;
+  scan::DomainScanner domain_scanner(*gen.world, domain_config);
+  run.records = domain_scanner.scan(resolvers, names);
+
+  run.masked_metrics_json = gen.world->metrics().to_json(true);
+  return run;
+}
+
+TEST(FaultAcceptance, ChaosScanIsThreadCountInvariant) {
+  const ChaosRun baseline = chaos_run_at(1);
+  // The chaos actually bit: every fault class fired at least once, and the
+  // retry plane both recovered probes and gave up on some.
+  ASSERT_GT(baseline.summary.noerror, 0u);
+  ASSERT_FALSE(baseline.records.empty());
+  EXPECT_GT(baseline.summary.retry_retransmissions, 0u);
+  EXPECT_GT(baseline.summary.retry_recovered, 0u);
+  EXPECT_GT(baseline.summary.retry_exhausted, 0u);
+  for (const char* name :
+       {"fault.forward_lost", "fault.replies_lost", "fault.unreachable_drops",
+        "fault.rate_limited_refused", "fault.truncated_replies",
+        "fault.corrupted_replies", "fault.slowed_replies"}) {
+    EXPECT_NE(baseline.masked_metrics_json.find(name), std::string::npos)
+        << name;
+  }
+
+  // Byte-identical masked run reports — scan summaries, tuple records, and
+  // every fault/retry counter — at 2 and 8 workers.
+  const ChaosRun two = chaos_run_at(2);
+  const ChaosRun eight = chaos_run_at(8);
+  EXPECT_EQ(baseline.summary.noerror_targets, two.summary.noerror_targets);
+  EXPECT_EQ(baseline.summary.noerror_targets, eight.summary.noerror_targets);
+  EXPECT_EQ(baseline.summary.retry_wait_ms, two.summary.retry_wait_ms);
+  EXPECT_EQ(baseline.summary.retry_wait_ms, eight.summary.retry_wait_ms);
+  EXPECT_EQ(baseline.masked_metrics_json, two.masked_metrics_json);
+  EXPECT_EQ(baseline.masked_metrics_json, eight.masked_metrics_json);
+}
+
+// --- Acceptance 2: retry recovers burst-lossy responders -----------------
+
+TEST(FaultAcceptance, RetryRecoversBurstLossResponders) {
+  const auto scan_with = [](bool faults, int attempts) {
+    MiniWorld mini = world_with_resolvers(60, 13);
+    if (faults) {
+      net::FaultProfile profile = profile_for(kTestNet);
+      profile.episode_rate = 1.0;  // permanently inside a burst episode
+      profile.burst_loss = 0.2;    // 20% loss, each direction
+      mini.world->add_fault_profile(profile);
+    }
+    scan::Ipv4ScanConfig config;
+    config.scanner_ip = mini.scanner_ip;
+    config.zone = mini.scan_zone;
+    config.seed = 7;
+    config.retry.attempts = attempts;
+    scan::Ipv4Scanner scanner(*mini.world, config);
+    return scanner.scan({kTestNet}).noerror;
+  };
+
+  const std::uint64_t zero_loss = scan_with(false, 0);
+  ASSERT_EQ(zero_loss, 60u);
+  const std::uint64_t single_shot = scan_with(true, 0);
+  const std::uint64_t with_retry = scan_with(true, 3);
+
+  // Per-transmission success is 0.8 * 0.8 = 64%; four transmissions lift
+  // it to ~98%. The 95% bar separates the two policies cleanly.
+  const std::uint64_t bar = zero_loss * 95 / 100;
+  EXPECT_LT(single_shot, bar);
+  EXPECT_GE(with_retry, bar);
+}
+
+// --- Acceptance 3: error budgets degrade gracefully ----------------------
+
+TEST(FaultAcceptance, ExceededErrorBudgetRecordsDegradation) {
+  worldgen::WorldGenConfig config;
+  config.seed = 31;
+  config.resolver_count = 300;
+  config.chaos.enabled = true;
+  config.chaos.network_fraction = 1.0;  // every resolver network suffers
+  config.chaos.episode_rate = 1.0;
+  config.chaos.burst_loss = 0.5;
+  config.chaos.base_loss = 0.5;
+  worldgen::GeneratedWorld gen = worldgen::generate_world(config);
+
+  scan::Ipv4ScanConfig scan_config;
+  scan_config.scanner_ip = gen.scanner_ip;
+  scan_config.zone = gen.scan_zone;
+  scan_config.blacklist = &gen.blacklist;
+  scan_config.seed = 3;
+  scan_config.retry.attempts = 4;  // find the population despite the loss
+  scan::Ipv4Scanner scanner(*gen.world, scan_config);
+  std::vector<net::Ipv4> resolvers =
+      scanner.scan(gen.universe).noerror_targets;
+  ASSERT_FALSE(resolvers.empty());
+  if (resolvers.size() > 60) resolvers.resize(60);
+
+  core::PipelineConfig pipeline_config;
+  pipeline_config.scanner_ip = gen.scanner_ip;
+  pipeline_config.vantage_ip = gen.vantage_ip;
+  pipeline_config.seed = 5;
+  // Single-shot domain scan against 50% loss: far beyond a 5% budget.
+  pipeline_config.error_budget.domain_scan_unresponsive = 0.05;
+  core::Pipeline pipeline(*gen.world, *gen.registry, pipeline_config);
+  const core::StudyReport report = pipeline.run(resolvers, gen.domains);
+
+  // The run completed: populations exist, classification ran, and the
+  // breach is recorded instead of silently shrinking the tuple set.
+  EXPECT_EQ(report.records.size(),
+            resolvers.size() * report.domains.size());
+  EXPECT_EQ(report.verdicts.size(), report.records.size());
+  ASSERT_FALSE(report.degradations.empty());
+  const core::StageDegradation& entry = report.degradations.front();
+  EXPECT_EQ(entry.stage, "stage.domain_scan");
+  EXPECT_NE(entry.cause.find("budget"), std::string::npos);
+  EXPECT_GT(entry.affected, 0u);
+  EXPECT_GE(report.metrics.counter_value("pipeline.degradations"), 1u);
+}
+
+}  // namespace
+}  // namespace dnswild

@@ -146,7 +146,7 @@ TEST(Ipv4Scanner, RetransmissionsRecoverLostProbes) {
   const auto lossy = plain.scan({net::Cidr(net::Ipv4(1, 0, 0, 0), 24)});
 
   auto with_retry = scan_config(mini, 5);
-  with_retry.retries = 4;
+  with_retry.retry.attempts = 4;
   Ipv4Scanner retrying(*mini.world, with_retry);
   const auto recovered =
       retrying.scan({net::Cidr(net::Ipv4(1, 0, 0, 0), 24)});

@@ -51,7 +51,7 @@ ScanRun run_at(unsigned threads) {
   scan_config.blacklist = &gen.blacklist;
   scan_config.seed = 42;
   scan_config.spread_over_hours = 48.0;  // chunk barriers + DHCP churn
-  scan_config.retries = 1;               // retransmission seq bumping
+  scan_config.retry.attempts = 1;        // retransmission seq bumping
   scan_config.threads = threads;
   scan::Ipv4Scanner scanner(*gen.world, scan_config);
   run.summary = scanner.scan(gen.universe);

@@ -57,6 +57,8 @@ TEST(Pipeline, TupleAccountingConsistent) {
             stats.tuples);
   // Every unknown tuple got an acquisition attempt.
   EXPECT_EQ(report.pages.size(), stats.unknown);
+  // Default error budgets never trip on a healthy world.
+  EXPECT_TRUE(report.degradations.empty());
 }
 
 TEST(Pipeline, PrefilterYieldsInPaperBand) {

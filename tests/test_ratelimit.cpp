@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "scan/retry.h"
+
 namespace dnswild::scan {
 namespace {
 
@@ -41,6 +43,48 @@ TEST(TokenBucket, SteadyStateMatchesRate) {
   TokenBucket bucket(100.0, 1.0);
   for (int i = 0; i < 1000; ++i) bucket.acquire();
   EXPECT_NEAR(bucket.virtual_elapsed_seconds(), 10.0, 0.2);
+}
+
+TEST(TokenBucket, ElapsedClockPinnedAcrossMixedSequence) {
+  // Regression for refill drift: the bucket refills from its own elapsed
+  // clock, so waits themselves mint tokens and a mixed acquire/advance
+  // sequence lands on exactly predictable virtual timestamps.
+  TokenBucket bucket(10.0, 2.0);
+  bucket.acquire();  // burst token, free
+  bucket.acquire();  // burst token, free
+  EXPECT_NEAR(bucket.acquire(), 0.1, 1e-9);  // drained: 1/rate wait
+  EXPECT_NEAR(bucket.acquire(), 0.1, 1e-9);
+  EXPECT_NEAR(bucket.virtual_elapsed_seconds(), 0.2, 1e-9);
+
+  bucket.advance(0.35);  // external wait (reply latency / retry backoff)
+  EXPECT_NEAR(bucket.virtual_elapsed_seconds(), 0.55, 1e-9);
+  // 0.35 s at 10 pps minted 3.5 tokens, capped at the burst of 2.
+  EXPECT_DOUBLE_EQ(bucket.acquire(), 0.0);
+  EXPECT_DOUBLE_EQ(bucket.acquire(), 0.0);
+  EXPECT_NEAR(bucket.acquire(), 0.1, 1e-9);
+  EXPECT_NEAR(bucket.virtual_elapsed_seconds(), 0.65, 1e-9);
+}
+
+TEST(TokenBucket, DrainWaitsDoNotInflateElapsedTime) {
+  // Steady drain: after the burst, every packet costs exactly 1/rate — the
+  // waits must not double-charge the clock by refilling from thin air.
+  TokenBucket bucket(10.0, 2.0);
+  for (int i = 0; i < 12; ++i) bucket.acquire();
+  EXPECT_NEAR(bucket.virtual_elapsed_seconds(), 1.0, 1e-9);
+}
+
+TEST(TokenBucket, ChargeBudgetAdvancesAndRefills) {
+  TokenBucket bucket(10.0, 1.0);
+  bucket.acquire();  // drain the single burst token
+  RetryOutcome outcome;
+  outcome.waited_seconds = 0.35;
+  charge_budget(bucket, outcome);
+  EXPECT_NEAR(bucket.virtual_elapsed_seconds(), 0.35, 1e-9);
+  EXPECT_DOUBLE_EQ(bucket.acquire(), 0.0);  // the wait minted a token
+
+  RetryOutcome nothing;  // zero-wait outcomes must not touch the clock
+  charge_budget(bucket, nothing);
+  EXPECT_NEAR(bucket.virtual_elapsed_seconds(), 0.35, 1e-9);
 }
 
 }  // namespace

@@ -267,6 +267,75 @@ TEST(World, LossRateDropsTraffic) {
   EXPECT_NEAR(answered / 2000.0, 0.25, 0.05);
 }
 
+TEST(World, ReturnPathLossCountedSeparately) {
+  World world(123);
+  HostConfig config;
+  config.attachment.ip = Ipv4(1, 2, 3, 4);
+  const HostId id = world.add_host(config);
+  world.set_udp_service(id, 53, std::make_unique<EchoService>());
+  world.set_loss_rate(0.5);
+  int answered = 0;
+  for (int i = 0; i < 2000; ++i) {
+    UdpPacket packet = probe(Ipv4(1, 2, 3, 4));
+    packet.seq = static_cast<std::uint32_t>(i);
+    if (!world.send_udp(packet).empty()) ++answered;
+  }
+  // The two directions roll independent dice: of the ~1000 delivered
+  // requests, about half lose their reply on the way back — and those
+  // land in net.udp.replies_lost, not in the forward-loss counter.
+  const std::uint64_t forward =
+      world.metrics().counter("net.udp.lost").value();
+  const std::uint64_t replies =
+      world.metrics().counter("net.udp.replies_lost").value();
+  EXPECT_NEAR(static_cast<double>(forward) / 2000.0, 0.5, 0.05);
+  EXPECT_NEAR(static_cast<double>(replies) / 1000.0, 0.5, 0.08);
+  EXPECT_EQ(static_cast<std::uint64_t>(answered),
+            world.udp_delivered() - replies);
+}
+
+TEST(World, IngressFilterOnlySrcUnsetDropsEverySource) {
+  World world(1);
+  HostConfig config;
+  config.attachment.ip = Ipv4(1, 2, 3, 4);
+  const HostId id = world.add_host(config);
+  world.set_udp_service(id, 53, std::make_unique<EchoService>());
+
+  IngressFilter filter;
+  filter.network = Cidr(Ipv4(1, 2, 3, 0), 24);  // no only_src: all sources
+  world.add_ingress_filter(filter);
+
+  EXPECT_TRUE(world.send_udp(probe(Ipv4(1, 2, 3, 4))).empty());
+  UdpPacket other = probe(Ipv4(1, 2, 3, 4));
+  other.src = Ipv4(8, 8, 8, 8);
+  EXPECT_TRUE(world.send_udp(other).empty());
+  // Destinations outside the filtered network are untouched.
+  HostConfig outside;
+  outside.attachment.ip = Ipv4(1, 2, 4, 4);
+  world.set_udp_service(world.add_host(outside), 53,
+                        std::make_unique<EchoService>());
+  EXPECT_EQ(world.send_udp(probe(Ipv4(1, 2, 4, 4))).size(), 1u);
+  (void)id;
+}
+
+TEST(World, IngressFilterActivatesExactlyOnBoundaryDay) {
+  World world(1);
+  HostConfig config;
+  config.attachment.ip = Ipv4(1, 2, 3, 4);
+  const HostId id = world.add_host(config);
+  world.set_udp_service(id, 53, std::make_unique<EchoService>());
+
+  IngressFilter filter;
+  filter.network = Cidr(Ipv4(1, 2, 3, 0), 24);
+  filter.only_src = Ipv4(9, 9, 9, 9);
+  filter.active_from_day = 10.0;
+  world.add_ingress_filter(filter);
+
+  world.advance_days(9.5);  // just before the boundary: traffic flows
+  EXPECT_EQ(world.send_udp(probe(Ipv4(1, 2, 3, 4))).size(), 1u);
+  world.advance_days(0.5);  // exactly day 10: the filter is live
+  EXPECT_TRUE(world.send_udp(probe(Ipv4(1, 2, 3, 4))).empty());
+}
+
 TEST(World, TcpConnectReachesService) {
   World world(1);
   HostConfig config;
