@@ -18,6 +18,8 @@
 #include "cluster/condensed.h"
 #include "cluster/distance.h"
 #include "cluster/hac.h"
+#include "cluster/lsh.h"
+#include "core/classify.h"
 #include "dns/encoding0x20.h"
 #include "dns/message.h"
 #include "http/factory.h"
@@ -409,8 +411,12 @@ std::vector<std::string> cluster_corpus(std::size_t count) {
 // classify_responses / hac_average_linkage shard them).
 bench::ClusterBenchEntry measure_cluster(unsigned threads,
                                          const std::vector<std::string>& corpus) {
-  scan::ParallelExecutor executor(threads);
   const std::size_t n = corpus.size();
+  // Same oversharding clamp the production call sites apply: more workers
+  // than min(cores, items/grain) only adds wakeup latency (the 1→8 thread
+  // throughput collapse this sweep used to show on a 1-CPU box).
+  scan::ParallelExecutor executor(
+      scan::ParallelExecutor::effective_threads(threads, n, 16));
 
   std::vector<http::PageFeatures> features(n);
   auto start = std::chrono::steady_clock::now();
@@ -469,15 +475,119 @@ bench::ClusterBenchEntry measure_cluster(unsigned threads,
   return entry;
 }
 
+// Per-page content labels of a clustering: each cluster is labeled from
+// its largest-body member (ties toward the smaller index — the same
+// exemplar rule classify_responses uses), and the label propagates to
+// every member. Agreement between the exact and LSH engines is measured
+// on these labels, not on raw cluster ids, because cluster numbering is
+// arbitrary while the Table 5 class of each page is the actual output.
+std::vector<core::Label> content_labels(
+    const std::vector<int>& cluster_of,
+    const std::vector<std::string>& corpus) {
+  int clusters = 0;
+  for (const int c : cluster_of) clusters = std::max(clusters, c + 1);
+  std::vector<std::size_t> exemplar(static_cast<std::size_t>(clusters),
+                                    corpus.size());
+  for (std::size_t i = 0; i < cluster_of.size(); ++i) {
+    std::size_t& best = exemplar[static_cast<std::size_t>(cluster_of[i])];
+    if (best == corpus.size() || corpus[i].size() > corpus[best].size()) {
+      best = i;
+    }
+  }
+  std::vector<core::Label> per_cluster(static_cast<std::size_t>(clusters));
+  for (int c = 0; c < clusters; ++c) {
+    per_cluster[static_cast<std::size_t>(c)] =
+        core::label_page(200, corpus[exemplar[static_cast<std::size_t>(c)]]);
+  }
+  std::vector<core::Label> labels(cluster_of.size());
+  for (std::size_t i = 0; i < cluster_of.size(); ++i) {
+    labels[i] = per_cluster[static_cast<std::size_t>(cluster_of[i])];
+  }
+  return labels;
+}
+
+// One cell of the exact-vs-LSH crossover: cluster the same n-page corpus
+// with both engines (exact leg skipped above `exact_cap` — its O(n^2)
+// matrix fill dominates minutes of wall time there) and report wall time,
+// exact distances paid, and content-label agreement side by side.
+bench::LshCrossoverEntry measure_lsh_crossover(std::size_t pages,
+                                               std::size_t exact_cap) {
+  const auto corpus = cluster_corpus(pages);
+  const std::size_t n = corpus.size();
+  scan::ParallelExecutor executor(
+      scan::ParallelExecutor::effective_threads(0, n, 16));
+
+  std::vector<http::PageFeatures> features(n);
+  executor.run_blocks(n, [&](std::uint64_t begin, std::uint64_t end,
+                             unsigned) {
+    for (std::uint64_t i = begin; i < end; ++i) {
+      features[i] = http::extract_features(corpus[i]);
+    }
+  });
+
+  bench::LshCrossoverEntry entry;
+  entry.pages = n;
+  entry.full_pairs = cluster::CondensedMatrix::pair_count(n);
+
+  const double cut = 0.25;  // the classifier's coarse_cut
+  auto start = std::chrono::steady_clock::now();
+  cluster::LshOptions options;
+  options.cut = cut;
+  options.executor = &executor;
+  const auto lsh = cluster::lsh_cluster(
+      features,
+      [&corpus](std::size_t i) { return std::string_view(corpus[i]); },
+      options);
+  entry.lsh_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  entry.candidate_pairs = lsh.stats.candidate_pairs;
+  entry.pair_reduction = lsh.stats.pair_reduction;
+  entry.clusters_lsh = lsh.clusters;
+  entry.missed_pair_estimate = lsh.stats.missed_pair_estimate;
+
+  if (n <= exact_cap) {
+    start = std::chrono::steady_clock::now();
+    cluster::HacOptions hac_options;
+    hac_options.max_items = n;
+    hac_options.executor = &executor;
+    const auto dendrogram = cluster::hac_average_linkage(
+        n,
+        [&features](std::size_t a, std::size_t b) {
+          return cluster::page_distance(features[a], features[b]);
+        },
+        hac_options);
+    const auto exact_labels = dendrogram.cut(cut);
+    entry.exact_wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    entry.clusters_exact = dendrogram.cluster_count(cut);
+    const auto exact_content = content_labels(exact_labels, corpus);
+    const auto lsh_content = content_labels(lsh.labels, corpus);
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (exact_content[i] == lsh_content[i]) ++agree;
+    }
+    entry.label_agreement =
+        n > 0 ? static_cast<double>(agree) / static_cast<double>(n) : 1.0;
+  }
+  return entry;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path = dnswild::bench::bench_json_path(argc, argv);
   if (json_path.empty()) json_path = "BENCH_micro.json";
+  // `--quick`: the CI smoke shape — small scan world, small crossover
+  // sizes, no loss ablation, no google-benchmark suite. Emits the same
+  // JSON document so downstream checks can assert its schema.
+  const bool quick = dnswild::bench::bench_flag(argc, argv, "--quick");
 
   const unsigned hardware = std::thread::hardware_concurrency();
   const std::uint32_t resolver_count =
-      dnswild::bench::scale_from(1, argv, 60000);
+      dnswild::bench::scale_from(1, argv, quick ? 8000 : 60000);
   std::vector<unsigned> sweep = {1, 2, 8};
   if (hardware > 1 &&
       std::find(sweep.begin(), sweep.end(), hardware) == sweep.end()) {
@@ -517,43 +627,67 @@ int main(int argc, char** argv) {
                   ? static_cast<double>(square_bytes) /
                         static_cast<double>(condensed_bytes)
                   : 0.0);
+  // Exact-vs-LSH clustering crossover (DESIGN.md §10): both engines on
+  // the same corpora, exact leg capped where its O(n^2) matrix stops
+  // being measurable in reasonable wall time on this box.
+  const std::vector<std::size_t> crossover_sizes =
+      quick ? std::vector<std::size_t>{160, 1000}
+            : std::vector<std::size_t>{160, 1000, 10000, 50000};
+  const std::size_t exact_cap = 1000;
+  std::vector<dnswild::bench::LshCrossoverEntry> lsh_entries;
+  for (const std::size_t pages : crossover_sizes) {
+    const auto entry = measure_lsh_crossover(pages, exact_cap);
+    std::printf(
+        "lsh_crossover pages=%zu exact=%.3fs lsh=%.3fs pairs=%llu/%llu "
+        "(%.0fx) clusters=%zu/%zu agreement=%.4f missed=%.4f\n",
+        entry.pages, entry.exact_wall_seconds, entry.lsh_wall_seconds,
+        static_cast<unsigned long long>(entry.candidate_pairs),
+        static_cast<unsigned long long>(entry.full_pairs),
+        entry.pair_reduction, entry.clusters_exact, entry.clusters_lsh,
+        entry.label_agreement, entry.missed_pair_estimate);
+    lsh_entries.push_back(entry);
+  }
+
   // Loss × retry-policy ablation: recovered NOERROR fraction vs the
   // zero-loss population, and the virtual scan-duration price of each
-  // retry policy (DESIGN.md §9).
-  const std::uint32_t ablation_resolvers = std::min(resolver_count, 4000u);
+  // retry policy (DESIGN.md §9). Skipped on --quick.
   std::vector<dnswild::bench::LossAblationEntry> loss_entries;
-  const auto baseline = measure_loss(0.0, 0, ablation_resolvers, 0);
-  loss_entries.push_back(baseline);
-  std::printf(
-      "loss=%.2f attempts=%d responders=%llu recovered=%.3f "
-      "retx=%llu wait=%llums virtual=%.1fs\n",
-      baseline.loss_rate, baseline.retry_attempts,
-      static_cast<unsigned long long>(baseline.responders),
-      baseline.recovered_fraction,
-      static_cast<unsigned long long>(baseline.retransmissions),
-      static_cast<unsigned long long>(baseline.retry_wait_ms),
-      baseline.virtual_scan_seconds);
-  for (const double loss : {0.1, 0.2, 0.3}) {
-    for (const int attempts : {0, 1, 3}) {
-      const auto entry =
-          measure_loss(loss, attempts, ablation_resolvers, baseline.responders);
-      std::printf(
-          "loss=%.2f attempts=%d responders=%llu recovered=%.3f "
-          "retx=%llu wait=%llums virtual=%.1fs\n",
-          entry.loss_rate, entry.retry_attempts,
-          static_cast<unsigned long long>(entry.responders),
-          entry.recovered_fraction,
-          static_cast<unsigned long long>(entry.retransmissions),
-          static_cast<unsigned long long>(entry.retry_wait_ms),
-          entry.virtual_scan_seconds);
-      loss_entries.push_back(entry);
+  if (!quick) {
+    const std::uint32_t ablation_resolvers = std::min(resolver_count, 4000u);
+    const auto baseline = measure_loss(0.0, 0, ablation_resolvers, 0);
+    loss_entries.push_back(baseline);
+    std::printf(
+        "loss=%.2f attempts=%d responders=%llu recovered=%.3f "
+        "retx=%llu wait=%llums virtual=%.1fs\n",
+        baseline.loss_rate, baseline.retry_attempts,
+        static_cast<unsigned long long>(baseline.responders),
+        baseline.recovered_fraction,
+        static_cast<unsigned long long>(baseline.retransmissions),
+        static_cast<unsigned long long>(baseline.retry_wait_ms),
+        baseline.virtual_scan_seconds);
+    for (const double loss : {0.1, 0.2, 0.3}) {
+      for (const int attempts : {0, 1, 3}) {
+        const auto entry = measure_loss(loss, attempts, ablation_resolvers,
+                                        baseline.responders);
+        std::printf(
+            "loss=%.2f attempts=%d responders=%llu recovered=%.3f "
+            "retx=%llu wait=%llums virtual=%.1fs\n",
+            entry.loss_rate, entry.retry_attempts,
+            static_cast<unsigned long long>(entry.responders),
+            entry.recovered_fraction,
+            static_cast<unsigned long long>(entry.retransmissions),
+            static_cast<unsigned long long>(entry.retry_wait_ms),
+            entry.virtual_scan_seconds);
+        loss_entries.push_back(entry);
+      }
     }
   }
 
   dnswild::bench::write_micro_bench_json(json_path, "bench_micro", hardware,
                                          entries, cluster_entries,
                                          condensed_bytes, square_bytes,
-                                         loss_entries);
+                                         loss_entries, lsh_entries);
+  if (quick) return 0;
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -38,6 +38,23 @@ inline std::string bench_json_path(int& argc, char** argv) {
   return path;
 }
 
+// Presence flag consumed from argv (same contract as bench_json_path):
+// returns whether `name` appeared and strips it so downstream flag parsers
+// never see it. Used for `--quick` (CI smoke runs).
+inline bool bench_flag(int& argc, char** argv, const char* name) {
+  bool found = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == name) {
+      found = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return found;
+}
+
 // `--metrics-out <path>` / DNSWILD_METRICS_OUT selects where the bench
 // drops the observability run report (pipeline stage spans + registry
 // counters); empty means don't write one. Same consumed-from-argv contract
@@ -110,6 +127,26 @@ struct LossAblationEntry {
   double virtual_scan_seconds = 0.0;   // TokenBucket pacing + retry waits
 };
 
+// One cell of the exact-vs-LSH clustering crossover (DESIGN.md §10): both
+// engines clustering the same n-page corpus, with wall time, exact
+// distances paid, and label agreement side by side. The exact leg is
+// skipped (wall = -1) once its O(n^2) matrix stops being measurable in
+// reasonable time.
+struct LshCrossoverEntry {
+  std::size_t pages = 0;
+  std::uint64_t full_pairs = 0;       // n(n-1)/2 the exact engine pays
+  double exact_wall_seconds = -1.0;   // -1 when the exact leg was skipped
+  double lsh_wall_seconds = 0.0;
+  std::uint64_t candidate_pairs = 0;  // exact distances the LSH engine paid
+  double pair_reduction = 0.0;        // full_pairs / candidate_pairs
+  std::size_t clusters_exact = 0;     // 0 when the exact leg was skipped
+  std::size_t clusters_lsh = 0;
+  // Fraction of pages whose content label matches the exact engine's;
+  // -1 when the exact leg was skipped.
+  double label_agreement = -1.0;
+  double missed_pair_estimate = -1.0;
+};
+
 inline double best_speedup(double base, double best) {
   return base > 0.0 ? best / base : 0.0;
 }
@@ -121,7 +158,8 @@ inline bool write_micro_bench_json(
     unsigned hardware_threads, const std::vector<ScanBenchEntry>& scan,
     const std::vector<ClusterBenchEntry>& cluster,
     std::size_t matrix_bytes_condensed, std::size_t matrix_bytes_square,
-    const std::vector<LossAblationEntry>& loss_ablation = {}) {
+    const std::vector<LossAblationEntry>& loss_ablation = {},
+    const std::vector<LshCrossoverEntry>& lsh_crossover = {}) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -192,6 +230,27 @@ inline bool write_micro_bench_json(
                  static_cast<unsigned long long>(entry.retry_wait_ms),
                  entry.virtual_scan_seconds,
                  i + 1 < loss_ablation.size() ? "," : "");
+  }
+  std::fprintf(file, "  ],\n");
+  std::fprintf(file, "  \"lsh_crossover\": [\n");
+  for (std::size_t i = 0; i < lsh_crossover.size(); ++i) {
+    const LshCrossoverEntry& entry = lsh_crossover[i];
+    std::fprintf(file,
+                 "    {\"pages\": %zu, \"full_pairs\": %llu, "
+                 "\"exact_wall_seconds\": %.6f, "
+                 "\"lsh_wall_seconds\": %.6f, "
+                 "\"candidate_pairs\": %llu, \"pair_reduction\": %.1f, "
+                 "\"clusters_exact\": %zu, \"clusters_lsh\": %zu, "
+                 "\"label_agreement\": %.4f, "
+                 "\"missed_pair_estimate\": %.4f}%s\n",
+                 entry.pages,
+                 static_cast<unsigned long long>(entry.full_pairs),
+                 entry.exact_wall_seconds, entry.lsh_wall_seconds,
+                 static_cast<unsigned long long>(entry.candidate_pairs),
+                 entry.pair_reduction, entry.clusters_exact,
+                 entry.clusters_lsh, entry.label_agreement,
+                 entry.missed_pair_estimate,
+                 i + 1 < lsh_crossover.size() ? "," : "");
   }
   std::fprintf(file, "  ],\n");
   std::fprintf(file,

@@ -3,9 +3,13 @@
 // study over them — the same flow as the paper's Fig. 3 processing chain.
 //
 //   $ ./examples/quickstart [resolver_count] [seed] [--metrics-out FILE]
+//                           [--cluster-mode exact|lsh|auto]
 //
 // --metrics-out (or DNSWILD_METRICS_OUT) writes the machine-readable run
 // report — every registry counter plus the per-stage spans — as JSON.
+// --cluster-mode selects the coarse clustering engine (DESIGN.md §10):
+// the exact O(n²) HAC (default), the sub-quadratic MinHash/LSH path, or
+// the size-based auto crossover.
 
 #include <cstdio>
 #include <cstdlib>
@@ -22,16 +26,27 @@
 int main(int argc, char** argv) {
   using namespace dnswild;
 
-  // Pull --metrics-out out of argv before the positional arguments.
+  // Pull the option flags out of argv before the positional arguments.
   std::string metrics_out;
+  std::string cluster_mode;
   if (const char* env = std::getenv("DNSWILD_METRICS_OUT")) metrics_out = env;
-  for (int i = 1; i + 1 < argc; ++i) {
+  for (int i = 1; i + 1 < argc;) {
     if (std::strcmp(argv[i], "--metrics-out") == 0) {
       metrics_out = argv[i + 1];
-      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
-      argc -= 2;
-      break;
+    } else if (std::strcmp(argv[i], "--cluster-mode") == 0) {
+      cluster_mode = argv[i + 1];
+    } else {
+      ++i;
+      continue;
     }
+    for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+    argc -= 2;
+  }
+  if (!cluster_mode.empty() && cluster_mode != "exact" &&
+      cluster_mode != "lsh" && cluster_mode != "auto") {
+    std::fprintf(stderr, "unknown --cluster-mode %s (exact|lsh|auto)\n",
+                 cluster_mode.c_str());
+    return 2;
   }
 
   worldgen::WorldGenConfig config;
@@ -71,10 +86,26 @@ int main(int argc, char** argv) {
   pipeline_config.scanner_ip = generated.scanner_ip;
   pipeline_config.vantage_ip = generated.vantage_ip;
   pipeline_config.seed = config.seed;
+  if (cluster_mode == "lsh") {
+    pipeline_config.classifier.mode = core::ClusterMode::kLsh;
+  } else if (cluster_mode == "auto") {
+    pipeline_config.classifier.mode = core::ClusterMode::kAuto;
+  }
   core::Pipeline pipeline(*generated.world, *generated.registry,
                           pipeline_config);
   const core::StudyReport report =
       pipeline.run(summary.noerror_targets, generated.domains);
+
+  if (report.classification.lsh.used) {
+    const auto& stats = report.classification.lsh.stats;
+    std::printf(
+        "\nLSH clustering: %zu pages, %zu groups (largest %zu), "
+        "%llu/%llu exact distances (%.0fx reduction), %zu stitch merges\n",
+        stats.items, stats.groups, stats.largest_group,
+        static_cast<unsigned long long>(stats.candidate_pairs),
+        static_cast<unsigned long long>(stats.full_pairs),
+        stats.pair_reduction, stats.stitch_merges);
+  }
 
   std::printf("\nPrefiltering (%s tuples):\n",
               util::with_commas(report.prefilter_stats.tuples).c_str());

@@ -41,6 +41,10 @@ class CondensedMatrix {
   // sharded fill calls this once per block to locate its first cell and
   // then walks the triangle row-major.
   std::pair<std::size_t, std::size_t> cell(std::size_t flat) const noexcept {
+    // Degenerate matrices (n < 2) have no cells; guard before `items_ - 2`
+    // wraps around. Callers iterating [0, pair_count()) never get here,
+    // but a stray probe must not walk a 2^64-row binary search.
+    if (items_ < 2) return {0, 0};
     // Largest row i with offset(i, i+1) <= flat; row i owns the flat range
     // [offset(i, i+1), offset(i, i+1) + items_ - i - 1).
     std::size_t lo = 0;

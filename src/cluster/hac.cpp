@@ -123,7 +123,11 @@ Dendrogram hac_average_linkage(std::size_t n, const DistanceFn& distance,
   scan::ParallelExecutor* executor = options.executor;
   std::unique_ptr<scan::ParallelExecutor> owned;
   if (executor == nullptr) {
-    owned = std::make_unique<scan::ParallelExecutor>(options.threads);
+    // Clamp the owned pool against oversharding: more workers than cells /
+    // min-grain (or than cores) only adds wakeup latency to the fill.
+    owned = std::make_unique<scan::ParallelExecutor>(
+        scan::ParallelExecutor::effective_threads(
+            options.threads, CondensedMatrix::pair_count(n), 256));
     executor = owned.get();
   }
   std::vector<std::size_t> nan_counts(executor->threads(), 0);

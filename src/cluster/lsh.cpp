@@ -1,0 +1,454 @@
+#include "cluster/lsh.h"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "cluster/distance.h"
+#include "cluster/hac.h"
+#include "scan/executor.h"
+#include "util/hash.h"
+
+namespace dnswild::cluster {
+namespace {
+
+// Chained splitmix combine for band keys (order-sensitive).
+inline std::uint64_t combine(std::uint64_t h, std::uint64_t v) noexcept {
+  std::uint64_t x = h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Union-find over item indices, path-halving.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) noexcept {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  // Union by smaller root index: the representative of a component is
+  // always its smallest member, a deterministic key independent of the
+  // order unions were discovered in.
+  void unite(std::size_t a, std::size_t b) noexcept {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (b < a) std::swap(a, b);
+    parent_[b] = a;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+// Deterministic leader assignment for oversized groups: members in index
+// order; each joins the nearest existing leader within `cut` (ties toward
+// the earlier leader) or founds a new local cluster. Exact distances only.
+std::vector<int> leader_cluster(
+    const std::vector<std::size_t>& members,
+    const std::vector<http::PageFeatures>& features, double cut,
+    std::size_t* distances_paid) {
+  std::vector<int> local(members.size(), -1);
+  std::vector<std::size_t> leaders;  // indices into `members`
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    double best = 0.0;
+    std::size_t best_leader = leaders.size();
+    for (std::size_t l = 0; l < leaders.size(); ++l) {
+      const double d = page_distance(features[members[m]],
+                                     features[members[leaders[l]]]);
+      ++*distances_paid;
+      if (d <= cut && (best_leader == leaders.size() || d < best)) {
+        best = d;
+        best_leader = l;
+      }
+    }
+    if (best_leader == leaders.size()) {
+      local[m] = static_cast<int>(leaders.size());
+      leaders.push_back(m);
+    } else {
+      local[m] = static_cast<int>(best_leader);
+    }
+  }
+  return local;
+}
+
+}  // namespace
+
+std::vector<PageSignature> compute_signatures(
+    std::size_t n, const BodyFn& body,
+    const std::vector<http::PageFeatures>& features,
+    const SignatureConfig& config, scan::ParallelExecutor* executor) {
+  std::vector<PageSignature> signatures(n);
+  const auto fill = [&](std::uint64_t begin, std::uint64_t end, unsigned) {
+    for (std::uint64_t i = begin; i < end; ++i) {
+      signatures[i] = page_signature(body(i), features[i], config);
+    }
+  };
+  if (executor != nullptr) {
+    executor->run_blocks(n, fill);
+  } else {
+    fill(0, n, 0);
+  }
+  return signatures;
+}
+
+std::vector<std::uint64_t> band_keys(const PageSignature& signature,
+                                     const LshOptions& options) {
+  std::vector<std::uint64_t> keys;
+  const std::size_t slots = signature.minhash.size();
+  const std::size_t bands = std::min(std::max<std::size_t>(options.bands, 1),
+                                     std::max<std::size_t>(slots, 1));
+  if (slots > 0) {
+    keys.reserve(bands + options.simhash_bands);
+    for (std::size_t b = 0; b < bands; ++b) {
+      // Band b owns the contiguous slot range [b*slots/bands, ...).
+      const std::size_t begin = b * slots / bands;
+      const std::size_t end = (b + 1) * slots / bands;
+      std::uint64_t key = combine(options.signature.seed, 0xB000 + b);
+      for (std::size_t s = begin; s < end; ++s) {
+        key = combine(key, signature.minhash[s]);
+      }
+      keys.push_back(key);
+    }
+  }
+  if (options.simhash_bands > 0) {
+    const std::size_t sbands = std::min<std::size_t>(options.simhash_bands, 64);
+    for (std::size_t b = 0; b < sbands; ++b) {
+      const unsigned begin = static_cast<unsigned>(b * 64 / sbands);
+      const unsigned end = static_cast<unsigned>((b + 1) * 64 / sbands);
+      const unsigned width = end - begin;
+      const std::uint64_t slice =
+          width >= 64 ? signature.simhash
+                      : (signature.simhash >> begin) & ((1ULL << width) - 1);
+      keys.push_back(combine(combine(options.signature.seed, 0x5000 + b), slice));
+    }
+  }
+  return keys;
+}
+
+LshClustering lsh_cluster(const std::vector<http::PageFeatures>& features,
+                          const BodyFn& body, const LshOptions& options) {
+  LshClustering out;
+  const std::size_t n = features.size();
+  out.stats.items = n;
+  out.stats.full_pairs = n < 2 ? 0 : n * (n - 1) / 2;
+  out.labels.assign(n, 0);
+  if (n == 0) return out;
+
+  scan::ParallelExecutor* executor = options.executor;
+  std::unique_ptr<scan::ParallelExecutor> owned;
+  if (executor == nullptr) {
+    owned = std::make_unique<scan::ParallelExecutor>(
+        scan::ParallelExecutor::effective_threads(options.threads, n, 16));
+    executor = owned.get();
+  }
+
+  // 1. Signatures (sharded, one writer per slot).
+  out.signatures =
+      compute_signatures(n, body, features, options.signature, executor);
+  if (n == 1) {
+    out.clusters = 1;
+    out.cluster_exemplar = {0};
+    return out;
+  }
+
+  // 2. Banding -> buckets -> candidate components. Buckets are walked in
+  //    item order, so the union-find sees a deterministic edge sequence —
+  //    and union-by-smaller-root makes the components independent of that
+  //    order anyway.
+  UnionFind uf(n);
+  {
+    std::unordered_map<std::uint64_t, std::uint32_t> first_in_bucket;
+    first_in_bucket.reserve(n * 2);
+    std::unordered_map<std::uint64_t, bool> bucket_shared;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto keys = band_keys(out.signatures[i], options);
+      for (const std::uint64_t key : keys) {
+        const auto [it, inserted] =
+            first_in_bucket.emplace(key, static_cast<std::uint32_t>(i));
+        if (!inserted) {
+          uf.unite(it->second, i);
+          bucket_shared[key] = true;
+        }
+      }
+    }
+    out.stats.buckets = bucket_shared.size();
+  }
+
+  // Group members, keyed by the component's smallest index; groups ordered
+  // by that key.
+  std::vector<std::vector<std::size_t>> groups;
+  {
+    std::vector<std::size_t> root_to_group(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t root = uf.find(i);
+      if (root_to_group[root] == n) {
+        root_to_group[root] = groups.size();
+        groups.emplace_back();
+      }
+      groups[root_to_group[root]].push_back(i);
+    }
+  }
+  out.stats.groups = groups.size();
+
+  // 3. Exact clustering within each group.
+  std::vector<int> local_of_item(n, -1);       // local-cluster id per item
+  std::vector<std::size_t> local_exemplar;     // smallest member per local
+  std::size_t distances_paid = 0;
+  for (const auto& members : groups) {
+    out.stats.largest_group = std::max(out.stats.largest_group, members.size());
+    const std::size_t base = local_exemplar.size();
+    if (members.size() == 1) {
+      local_of_item[members[0]] = static_cast<int>(base);
+      local_exemplar.push_back(members[0]);
+      continue;
+    }
+    std::vector<int> local;
+    if (members.size() <= options.hac_group_cap) {
+      HacOptions hac_options;
+      hac_options.max_items = members.size();
+      hac_options.executor = executor;
+      HacStats hac_stats;
+      const Dendrogram dendrogram = hac_average_linkage(
+          members.size(),
+          [&](std::size_t a, std::size_t b) {
+            return page_distance(features[members[a]], features[members[b]]);
+          },
+          hac_options, &hac_stats);
+      distances_paid += hac_stats.pair_distances;
+      out.stats.peak_matrix_bytes =
+          std::max(out.stats.peak_matrix_bytes, hac_stats.matrix_bytes);
+      local = dendrogram.cut(options.cut);
+    } else {
+      local = leader_cluster(members, features, options.cut, &distances_paid);
+    }
+    const int local_count = *std::max_element(local.begin(), local.end()) + 1;
+    for (int c = 0; c < local_count; ++c) {
+      local_exemplar.push_back(n);  // filled with the smallest member below
+    }
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      const std::size_t id = base + static_cast<std::size_t>(local[m]);
+      local_of_item[members[m]] = static_cast<int>(id);
+      local_exemplar[id] = std::min(local_exemplar[id], members[m]);
+    }
+  }
+
+  // 4. Stitch local clusters across groups. The stitch distance between
+  //    two local clusters is the average exact distance over up to
+  //    `stitch_samples` members of each side (smallest indices first) —
+  //    a bounded-cost estimate of average linkage. A single exemplar
+  //    distance is cheaper but systematically low for loose clusters,
+  //    which over-merges where the exact engine would not.
+  const std::size_t locals = local_exemplar.size();
+  out.stats.stitch_exemplars = locals;
+  std::vector<int> stitched(locals);
+  std::iota(stitched.begin(), stitched.end(), 0);
+  if (locals >= 2) {
+    const std::size_t per_side = std::max<std::size_t>(options.stitch_samples, 1);
+    std::vector<std::vector<std::size_t>> samples(locals);
+    for (std::size_t i = 0; i < n; ++i) {  // item order = ascending index
+      auto& sample = samples[static_cast<std::size_t>(local_of_item[i])];
+      if (sample.size() < per_side) sample.push_back(i);
+    }
+    const auto stitch_distance = [&](std::size_t a, std::size_t b) {
+      double sum = 0.0;
+      for (const std::size_t x : samples[a]) {
+        for (const std::size_t y : samples[b]) {
+          sum += page_distance(features[x], features[y]);
+        }
+      }
+      return sum / static_cast<double>(samples[a].size() * samples[b].size());
+    };
+    std::size_t sample_total = 0;
+    std::uint64_t sample_squares = 0;
+    for (const auto& sample : samples) {
+      sample_total += sample.size();
+      sample_squares += sample.size() * sample.size();
+    }
+    if (locals <= options.stitch_cap) {
+      HacOptions hac_options;
+      hac_options.max_items = locals;
+      hac_options.executor = executor;
+      HacStats hac_stats;
+      const Dendrogram dendrogram =
+          hac_average_linkage(locals, stitch_distance, hac_options, &hac_stats);
+      // Each matrix cell paid |sample_a| x |sample_b| exact distances.
+      distances_paid += (sample_total * sample_total - sample_squares) / 2;
+      out.stats.peak_matrix_bytes =
+          std::max(out.stats.peak_matrix_bytes, hac_stats.matrix_bytes);
+      stitched = dendrogram.cut(options.cut);
+    } else {
+      stitched = leader_cluster(local_exemplar, features, options.cut,
+                                &distances_paid);
+    }
+  }
+
+  // 5. Final labels: compact by first occurrence in item order (the same
+  //    convention Dendrogram::cut uses, so exact and LSH labelings are
+  //    directly comparable).
+  std::size_t stitch_clusters = 0;
+  for (const int s : stitched) {
+    stitch_clusters =
+        std::max(stitch_clusters, static_cast<std::size_t>(s) + 1);
+  }
+  out.stats.stitch_merges = locals - stitch_clusters;
+  std::vector<int> compact(stitch_clusters, -1);
+  std::vector<std::size_t> exemplar_of_final;
+  int next_label = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int s = stitched[static_cast<std::size_t>(local_of_item[i])];
+    if (compact[static_cast<std::size_t>(s)] == -1) {
+      compact[static_cast<std::size_t>(s)] = next_label++;
+      exemplar_of_final.push_back(i);
+    }
+    out.labels[i] = compact[static_cast<std::size_t>(s)];
+  }
+  out.clusters = static_cast<std::size_t>(next_label);
+  out.cluster_exemplar = std::move(exemplar_of_final);
+
+  out.stats.candidate_pairs = distances_paid;
+  out.stats.pair_reduction =
+      distances_paid > 0
+          ? static_cast<double>(out.stats.full_pairs) /
+                static_cast<double>(distances_paid)
+          : 0.0;
+
+  // 6. Missed-pair estimate: hash-picked sample of pairs, exact distance,
+  //    fraction of near pairs split across final clusters.
+  if (options.sample_pairs > 0 && n >= 2) {
+    std::size_t near = 0;
+    std::size_t missed = 0;
+    for (std::size_t t = 0; t < options.sample_pairs; ++t) {
+      const std::uint64_t h =
+          util::hash_words({options.signature.seed, 0x5A4DULL, t});
+      const std::size_t i = static_cast<std::size_t>(h % n);
+      const std::size_t j = static_cast<std::size_t>((h >> 32) % n);
+      if (i == j) continue;
+      if (page_distance(features[i], features[j]) <= options.cut) {
+        ++near;
+        if (out.labels[i] != out.labels[j]) ++missed;
+      }
+    }
+    if (near > 0) {
+      out.stats.missed_pair_estimate =
+          static_cast<double>(missed) / static_cast<double>(near);
+    }
+  }
+
+  if (options.registry != nullptr) {
+    obs::Registry& registry = *options.registry;
+    registry.counter("cluster.lsh.runs").add();
+    registry.counter("cluster.lsh.items").add(n);
+    registry.counter("cluster.lsh.buckets").add(out.stats.buckets);
+    registry.counter("cluster.lsh.groups").add(out.stats.groups);
+    registry.counter("cluster.lsh.candidate_pairs")
+        .add(out.stats.candidate_pairs);
+    registry.counter("cluster.lsh.stitch_merges").add(out.stats.stitch_merges);
+    registry.counter("cluster.lsh.clusters").add(out.clusters);
+    obs::Histogram& group_sizes = registry.histogram(
+        "cluster.lsh.group_size", {1, 4, 16, 64, 256, 1024, 4096});
+    for (const auto& members : groups) group_sizes.observe(members.size());
+  }
+  return out;
+}
+
+ClusterModel::ClusterModel(std::vector<http::PageFeatures> exemplar_features,
+                           std::vector<PageSignature> exemplar_signatures,
+                           LshOptions options)
+    : features_(std::move(exemplar_features)),
+      signatures_(std::move(exemplar_signatures)),
+      options_(std::move(options)) {
+  options_.executor = nullptr;
+  options_.registry = nullptr;
+  for (std::size_t c = 0; c < signatures_.size(); ++c) {
+    for (const std::uint64_t key : band_keys(signatures_[c], options_)) {
+      buckets_[key].push_back(static_cast<std::uint32_t>(c));
+    }
+  }
+}
+
+int ClusterModel::assign(const http::PageFeatures& features,
+                         const PageSignature& signature,
+                         std::size_t* candidates_examined) const {
+  // Candidate set: exemplars sharing any band key, deduplicated and
+  // visited in ascending cluster id for a deterministic tie-break.
+  std::vector<std::uint32_t> candidates;
+  for (const std::uint64_t key : band_keys(signature, options_)) {
+    const auto it = buckets_.find(key);
+    if (it == buckets_.end()) continue;
+    candidates.insert(candidates.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  if (candidates_examined != nullptr) {
+    *candidates_examined += candidates.size();
+  }
+  double best = 0.0;
+  int best_cluster = -1;
+  for (const std::uint32_t c : candidates) {
+    const double d = page_distance(features, features_[c]);
+    if (d <= options_.cut && (best_cluster < 0 || d < best)) {
+      best = d;
+      best_cluster = static_cast<int>(c);
+    }
+  }
+  return best_cluster;
+}
+
+ClusterModel make_cluster_model(const LshClustering& clustering,
+                                const std::vector<http::PageFeatures>& features,
+                                const LshOptions& options) {
+  std::vector<http::PageFeatures> exemplar_features;
+  std::vector<PageSignature> exemplar_signatures;
+  exemplar_features.reserve(clustering.cluster_exemplar.size());
+  exemplar_signatures.reserve(clustering.cluster_exemplar.size());
+  for (const std::size_t item : clustering.cluster_exemplar) {
+    exemplar_features.push_back(features[item]);
+    exemplar_signatures.push_back(clustering.signatures[item]);
+  }
+  return ClusterModel(std::move(exemplar_features),
+                      std::move(exemplar_signatures), options);
+}
+
+std::vector<int> assign_to_clusters(
+    const std::vector<http::PageFeatures>& new_features, const BodyFn& body,
+    const ClusterModel& model, scan::ParallelExecutor* executor,
+    std::size_t* candidates_examined) {
+  // Each page's signature and bucket probes are pure reads over the model
+  // plus one write into its own output slot, so the pass shards cleanly.
+  const std::size_t n = new_features.size();
+  std::vector<int> assigned(n, -1);
+  std::unique_ptr<scan::ParallelExecutor> owned;
+  if (executor == nullptr) {
+    owned = std::make_unique<scan::ParallelExecutor>(
+        scan::ParallelExecutor::effective_threads(1, n, 16));
+    executor = owned.get();
+  }
+  std::vector<std::size_t> per_worker_candidates(executor->threads(), 0);
+  executor->run_blocks(n, [&](std::uint64_t begin, std::uint64_t end,
+                              unsigned worker) {
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const PageSignature signature =
+          page_signature(body(static_cast<std::size_t>(i)), new_features[i],
+                         model.signature_config());
+      assigned[i] = model.assign(new_features[i], signature,
+                                 &per_worker_candidates[worker]);
+    }
+  });
+  if (candidates_examined != nullptr) {
+    for (const std::size_t c : per_worker_candidates) {
+      *candidates_examined += c;
+    }
+  }
+  return assigned;
+}
+
+}  // namespace dnswild::cluster

@@ -1,0 +1,185 @@
+// LSH pre-bucketing: sub-quadratic clustering and incremental assignment
+// (DESIGN.md §10).
+//
+// The exact classifier materializes all n(n-1)/2 page distances — fine for
+// hundreds of unique pages, hopeless for the millions of tuples the paper
+// clusters. This layer makes clustering sub-quadratic:
+//
+//  1. Every page gets a seeded MinHash + SimHash sketch (signature.h).
+//  2. Signatures are banded into bucket keys; pages sharing any band key
+//     become *candidates* and are unioned into candidate groups (the
+//     transitive closure of bucket co-occurrence).
+//  3. Within each group the *existing exact machinery* runs: page_distance
+//     + hac_average_linkage, cut at the merge threshold. Groups larger
+//     than `hac_group_cap` fall back to deterministic leader assignment
+//     (exact distances to the group's leaders, O(members x leaders)).
+//  4. Local clusters are stitched across groups by exemplar merging: one
+//     exemplar per local cluster, exact HAC over the exemplars, local
+//     clusters whose exemplars merge below the cut become one cluster.
+//     Stitching recovers near pairs the hashing missed.
+//
+// Thread-invariance contract: signatures are pure per-page functions
+// computed in sharded slots; buckets, groups, and merge order are derived
+// serially from deterministic keys (never from discovery order); the only
+// parallel stages are the signature pass and the in-group matrix fills,
+// both single-writer-per-slot. Results are byte-identical for every thread
+// count (tests/test_lsh.cpp pins this).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/signature.h"
+#include "obs/metrics.h"
+
+namespace dnswild::scan {
+class ParallelExecutor;
+}
+
+namespace dnswild::cluster {
+
+struct LshOptions {
+  SignatureConfig signature;
+
+  // MinHash banding: `bands` keys of `minhash_slots / bands` rows each.
+  // Two pages collide on a band with probability ~s^rows for shingle
+  // Jaccard similarity s; across b bands the candidate probability is
+  // 1 - (1 - s^rows)^b.
+  std::size_t bands = 16;
+
+  // SimHash banding: the 64-bit sketch is split into this many sub-keys;
+  // pages agreeing on any 64/simhash_bands-bit slice become candidates.
+  // Catches structural near pairs whose raw shingles diverge. 0 disables.
+  std::size_t simhash_bands = 4;
+
+  // Merge threshold: clusters are cut from each in-group dendrogram (and
+  // the stitching dendrogram) at this distance — same semantics as the
+  // classifier's coarse_cut.
+  double cut = 0.25;
+
+  // Groups at most this large run exact in-group HAC; larger groups use
+  // deterministic leader assignment (exact distances, O(members*leaders)).
+  std::size_t hac_group_cap = 2048;
+
+  // Stitching runs exact HAC over local-cluster exemplars up to this
+  // count; beyond it, leader assignment stitches instead.
+  std::size_t stitch_cap = 4096;
+
+  // The stitch distance between two local clusters averages the exact
+  // distance over up to this many members of each side (smallest indices
+  // first). A single exemplar-to-exemplar distance under-estimates
+  // average linkage and over-merges clusters the exact engine keeps
+  // apart; a small sample tracks it closely at bounded cost.
+  std::size_t stitch_samples = 4;
+
+  // Missed-pair estimator: sample this many hash-picked pairs, measure the
+  // fraction of true near pairs (distance <= cut) whose endpoints ended in
+  // different clusters. 0 disables the estimate.
+  std::size_t sample_pairs = 512;
+
+  // Workers for the signature pass and in-group matrix fills; 0 selects
+  // hardware_concurrency. Ignored when `executor` is set. Results are
+  // byte-identical for every value.
+  unsigned threads = 1;
+  scan::ParallelExecutor* executor = nullptr;  // not owned
+  obs::Registry* registry = nullptr;           // "cluster.lsh.*"; not owned
+};
+
+struct LshStats {
+  std::size_t items = 0;
+  std::size_t buckets = 0;         // distinct non-singleton band buckets
+  std::size_t groups = 0;          // candidate components (incl. singletons)
+  std::size_t largest_group = 0;
+  std::size_t candidate_pairs = 0; // exact page distances actually paid
+  std::size_t full_pairs = 0;      // n(n-1)/2 the exact pipeline would pay
+  double pair_reduction = 0.0;     // full_pairs / candidate_pairs
+  std::size_t stitch_exemplars = 0;
+  std::size_t stitch_merges = 0;   // local clusters unified by stitching
+  std::size_t peak_matrix_bytes = 0;  // largest in-group condensed matrix
+  // Fraction of sampled true near pairs split across final clusters;
+  // -1 when sampling is disabled or no near pair was drawn.
+  double missed_pair_estimate = -1.0;
+};
+
+struct LshClustering {
+  std::vector<int> labels;  // per item; compact, ordered by first occurrence
+  std::size_t clusters = 0;
+  // Per final cluster: the smallest member index (deterministic exemplar
+  // for stitching/assignment; content labeling picks its own exemplar).
+  std::vector<std::size_t> cluster_exemplar;
+  std::vector<PageSignature> signatures;  // per item, reusable for models
+  LshStats stats;
+};
+
+// Body accessor: the raw page text of item i (MinHash input). Must be safe
+// to call concurrently for distinct i.
+using BodyFn = std::function<std::string_view(std::size_t)>;
+
+// Sharded signature pass: one PageSignature per item, byte-identical for
+// any worker count. `executor` may be null (runs inline).
+std::vector<PageSignature> compute_signatures(
+    std::size_t n, const BodyFn& body,
+    const std::vector<http::PageFeatures>& features,
+    const SignatureConfig& config, scan::ParallelExecutor* executor);
+
+// Band keys of one signature under the given options (MinHash bands first,
+// then SimHash bands). Exposed for the determinism tests.
+std::vector<std::uint64_t> band_keys(const PageSignature& signature,
+                                     const LshOptions& options);
+
+// The full sub-quadratic clustering described above. features.size() is n;
+// body(i) must describe the same page as features[i].
+LshClustering lsh_cluster(const std::vector<http::PageFeatures>& features,
+                          const BodyFn& body, const LshOptions& options);
+
+// Compact model of a finished clustering for longitudinal re-runs: one
+// exemplar per cluster plus LSH tables over the exemplar signatures.
+// assign() maps a new page onto an existing cluster in O(candidates)
+// instead of O(clusters): only exemplars sharing a band key are examined
+// with the exact distance.
+class ClusterModel {
+ public:
+  ClusterModel() = default;
+  ClusterModel(std::vector<http::PageFeatures> exemplar_features,
+               std::vector<PageSignature> exemplar_signatures,
+               LshOptions options);
+
+  std::size_t clusters() const noexcept { return features_.size(); }
+  const SignatureConfig& signature_config() const noexcept {
+    return options_.signature;
+  }
+
+  // Nearest candidate cluster whose exemplar lies within options.cut;
+  // ties break toward the smaller cluster id. -1 when no candidate is
+  // close enough (caller starts a new cluster). `candidates_examined`
+  // reports how many exact distances were paid.
+  int assign(const http::PageFeatures& features,
+             const PageSignature& signature,
+             std::size_t* candidates_examined = nullptr) const;
+
+ private:
+  std::vector<http::PageFeatures> features_;
+  std::vector<PageSignature> signatures_;
+  LshOptions options_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets_;
+};
+
+// Model over the exemplars of a finished clustering. `features`/`body`
+// are the *clustered* items (the same vectors lsh_cluster saw).
+ClusterModel make_cluster_model(const LshClustering& clustering,
+                                const std::vector<http::PageFeatures>& features,
+                                const LshOptions& options);
+
+// Incremental path: assign each new page to an existing cluster (or -1).
+// O(candidates) per page; deterministic and thread-invariant (the
+// signature pass shards, the bucket probes are read-only).
+std::vector<int> assign_to_clusters(
+    const std::vector<http::PageFeatures>& new_features, const BodyFn& body,
+    const ClusterModel& model, scan::ParallelExecutor* executor = nullptr,
+    std::size_t* candidates_examined = nullptr);
+
+}  // namespace dnswild::cluster

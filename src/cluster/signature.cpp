@@ -1,0 +1,146 @@
+#include "cluster/signature.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "util/hash.h"
+
+namespace dnswild::cluster {
+namespace {
+
+constexpr std::uint64_t kEmptySlot = std::numeric_limits<std::uint64_t>::max();
+
+// Stateless splitmix64 finalizer; local copy so the per-shingle inner loop
+// inlines without the initializer_list plumbing of util::hash_words.
+inline std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// FNV-1a over one shingle window.
+inline std::uint64_t shingle_digest(const char* data, std::size_t len) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// One token's weighted vote into the 64 SimHash bit lanes.
+inline void simhash_vote(std::uint64_t token_hash, int weight,
+                         int (&lanes)[64]) noexcept {
+  for (int bit = 0; bit < 64; ++bit) {
+    lanes[bit] += (token_hash >> bit) & 1 ? weight : -weight;
+  }
+}
+
+}  // namespace
+
+unsigned simhash_hamming(std::uint64_t a, std::uint64_t b) noexcept {
+  return static_cast<unsigned>(std::popcount(a ^ b));
+}
+
+PageSignature page_signature(std::string_view body,
+                             const http::PageFeatures& features,
+                             const SignatureConfig& config) {
+  PageSignature signature;
+  const std::size_t slots = std::max<std::size_t>(config.minhash_slots, 1);
+  signature.minhash.assign(slots, kEmptySlot);
+  const std::uint64_t seed = mix(config.seed);
+
+  // --- MinHash via one-permutation hashing over body shingles ------------
+  const std::size_t k = std::max<std::size_t>(config.shingle_bytes, 1);
+  if (!body.empty()) {
+    const std::size_t windows = body.size() >= k ? body.size() - k + 1 : 1;
+    const std::size_t window = body.size() >= k ? k : body.size();
+    for (std::size_t i = 0; i < windows; ++i) {
+      const std::uint64_t h = mix(seed ^ shingle_digest(body.data() + i, window));
+      // High bits pick the partition so the low-bit minimum stays uniform.
+      const std::size_t slot = static_cast<std::size_t>(h >> 48) % slots;
+      if (h < signature.minhash[slot]) signature.minhash[slot] = h;
+    }
+  }
+  // Circular densification: an empty partition borrows the value of the
+  // next non-empty one, keeping equal shingle sets -> equal signatures.
+  bool any_filled = false;
+  for (const std::uint64_t v : signature.minhash) {
+    if (v != kEmptySlot) {
+      any_filled = true;
+      break;
+    }
+  }
+  if (!any_filled) {
+    // Empty body: a fixed seeded constant, shared by every empty page.
+    std::fill(signature.minhash.begin(), signature.minhash.end(),
+              mix(seed ^ 0xE0D7ULL));
+  } else {
+    for (std::size_t s = 0; s < slots; ++s) {
+      if (signature.minhash[s] != kEmptySlot) continue;
+      for (std::size_t step = 1; step < slots; ++step) {
+        const std::uint64_t v = signature.minhash[(s + step) % slots];
+        if (v != kEmptySlot) {
+          signature.minhash[s] = v;
+          break;
+        }
+      }
+    }
+  }
+
+  // --- SimHash over the seven-feature representation ---------------------
+  int lanes[64] = {};
+  // 1. Body length, bucketed to its power-of-two octave so near lengths
+  //    vote together.
+  std::uint64_t length_bucket = 0;
+  for (std::size_t v = features.body_length; v > 0; v >>= 1) ++length_bucket;
+  simhash_vote(mix(seed ^ (0x01ULL << 56) ^ length_bucket), 2, lanes);
+  // 2. Tag multiset, weighted by count.
+  for (const auto& [tag, count] : features.tag_counts) {
+    simhash_vote(mix(seed ^ (0x02ULL << 56) ^ tag), count, lanes);
+  }
+  // 3. Tag-sequence bigrams (order information the multiset lacks).
+  for (std::size_t i = 0; i + 1 < features.tag_sequence.size(); ++i) {
+    const std::uint64_t bigram =
+        (static_cast<std::uint64_t>(features.tag_sequence[i]) << 16) |
+        features.tag_sequence[i + 1];
+    simhash_vote(mix(seed ^ (0x03ULL << 56) ^ bigram), 1, lanes);
+  }
+  // 4./5. Title and script text, as 4-byte shingles.
+  const auto vote_text = [&](std::string_view text, std::uint64_t ns) {
+    constexpr std::size_t kTextShingle = 4;
+    if (text.empty()) return;
+    const std::size_t windows =
+        text.size() >= kTextShingle ? text.size() - kTextShingle + 1 : 1;
+    const std::size_t window =
+        text.size() >= kTextShingle ? kTextShingle : text.size();
+    for (std::size_t i = 0; i < windows; ++i) {
+      simhash_vote(
+          mix(seed ^ (ns << 56) ^ shingle_digest(text.data() + i, window)), 1,
+          lanes);
+    }
+  };
+  vote_text(features.title, 0x04);
+  vote_text(features.scripts, 0x05);
+  // 6./7. Resources and links as whole-string tokens.
+  for (const std::string& value : features.resources) {
+    simhash_vote(
+        mix(seed ^ (0x06ULL << 56) ^ shingle_digest(value.data(), value.size())),
+        1, lanes);
+  }
+  for (const std::string& value : features.links) {
+    simhash_vote(
+        mix(seed ^ (0x07ULL << 56) ^ shingle_digest(value.data(), value.size())),
+        1, lanes);
+  }
+  std::uint64_t simhash = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    if (lanes[bit] > 0) simhash |= 1ULL << bit;
+  }
+  signature.simhash = simhash;
+  return signature;
+}
+
+}  // namespace dnswild::cluster

@@ -1,0 +1,70 @@
+// Locality-sensitive page signatures for sub-quadratic clustering
+// (DESIGN.md §10).
+//
+// Two complementary sketches per page, both pure functions of the page and
+// an explicit seed (no global state, reproducible under any thread count):
+//
+//  * A MinHash signature over shingled body text (Broder-style near-
+//    duplicate detection, the standard sketch for large-scale web dedup).
+//    Implemented as one-permutation hashing: every k-byte shingle is hashed
+//    once, routed to one of `minhash_slots` partitions by its high bits,
+//    and each partition keeps the minimum. Empty partitions borrow from the
+//    next non-empty partition (circular densification), so two pages with
+//    identical shingle sets always produce identical signatures and the
+//    per-slot collision probability still tracks shingle-set Jaccard
+//    similarity.
+//
+//  * A 64-bit SimHash over the seven-feature page representation the exact
+//    distance uses (§3.6): tag multiset, tag-sequence bigrams, title and
+//    script shingles, resources, links, and a body-length bucket each vote
+//    their hash bits weighted by multiplicity; the sign of each bit-lane
+//    sum becomes one signature bit. Hamming proximity of two SimHashes
+//    tracks the cheap cosine-ish similarity of the feature vectors, which
+//    catches near pairs whose raw text shingles diverge (e.g. rewritten
+//    markup with the same structure).
+//
+// lsh.h bands both sketches into bucket keys; identical band keys make two
+// pages candidates for the exact in-bucket distance.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "http/html.h"
+
+namespace dnswild::cluster {
+
+// Default signature seed; the pipeline replaces it with a campaign-derived
+// hash when the caller left it untouched, so longitudinal runs of one
+// campaign share bucket geometry while distinct campaigns decorrelate.
+inline constexpr std::uint64_t kDefaultSignatureSeed = 0x5157494c44ULL;
+
+struct SignatureConfig {
+  std::uint64_t seed = kDefaultSignatureSeed;
+  std::size_t shingle_bytes = 8;   // body-text shingle width
+  std::size_t minhash_slots = 64;  // one-permutation partitions
+};
+
+struct PageSignature {
+  std::vector<std::uint64_t> minhash;  // minhash_slots entries
+  std::uint64_t simhash = 0;
+
+  bool operator==(const PageSignature& other) const noexcept {
+    return simhash == other.simhash && minhash == other.minhash;
+  }
+};
+
+// Sketch of one page: MinHash over `body`, SimHash over `features`. The
+// two inputs describe the same page (features = extract_features(body));
+// they are passed separately because the classifier already holds the
+// extracted features for its exact-distance path.
+PageSignature page_signature(std::string_view body,
+                             const http::PageFeatures& features,
+                             const SignatureConfig& config);
+
+// Hamming distance between two SimHashes, in [0, 64].
+unsigned simhash_hamming(std::uint64_t a, std::uint64_t b) noexcept;
+
+}  // namespace dnswild::cluster

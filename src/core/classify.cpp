@@ -56,6 +56,41 @@ Label label_page(int status, std::string_view body) {
   return Label::kMisc;
 }
 
+namespace {
+
+// Content label per cluster of a partition: each cluster is labeled from
+// its largest exemplar (most content to judge), ties toward the earlier
+// unique page.
+std::vector<Label> partition_labels(
+    const std::vector<const AcquiredPage*>& exemplars,
+    const std::vector<int>& cluster_of, std::size_t clusters) {
+  std::vector<Label> labels(clusters, Label::kUnclassified);
+  std::vector<std::size_t> best(clusters, 0);
+  std::vector<bool> seen(clusters, false);
+  for (std::size_t u = 0; u < exemplars.size(); ++u) {
+    const auto c = static_cast<std::size_t>(cluster_of[u]);
+    if (!seen[c] || exemplars[u]->body.size() > exemplars[best[c]]->body.size()) {
+      best[c] = u;
+      seen[c] = true;
+    }
+  }
+  for (std::size_t c = 0; c < clusters; ++c) {
+    if (!seen[c]) continue;
+    labels[c] = label_page(exemplars[best[c]]->status, exemplars[best[c]]->body);
+  }
+  return labels;
+}
+
+std::size_t partition_size(const std::vector<int>& cluster_of) {
+  return cluster_of.empty()
+             ? 0
+             : static_cast<std::size_t>(*std::max_element(
+                   cluster_of.begin(), cluster_of.end())) +
+                   1;
+}
+
+}  // namespace
+
 ClassificationResult classify_responses(
     const std::vector<scan::TupleRecord>& records,
     const std::vector<AcquiredPage>& pages, const ClassifierConfig& config,
@@ -85,44 +120,86 @@ ClassificationResult classify_responses(
   }
   result.unique_pages = exemplars.size();
 
-  // Coarse clustering over unique pages. One worker pool serves both the
-  // per-exemplar feature extraction and the HAC distance-matrix fill; both
-  // passes shard deterministically, so labels are byte-identical for every
-  // thread count.
-  std::vector<int> unique_cluster(exemplars.size(), 0);
-  if (exemplars.size() > 1 && exemplars.size() <= config.max_unique) {
-    scan::ParallelExecutor executor(config.threads);
+  // Coarse clustering over unique pages. One worker pool serves the
+  // per-exemplar feature extraction and both clustering modes; every pass
+  // shards deterministically, so labels are byte-identical for every
+  // thread count. The pool is clamped against oversharding: fanning 160
+  // pages over 8 threads on a 1-core box costs more in wakeups than the
+  // features cost to extract.
+  const std::size_t n = exemplars.size();
+  const bool lsh_mode =
+      config.mode == ClusterMode::kLsh ||
+      (config.mode == ClusterMode::kAuto && n >= config.lsh_crossover);
+  std::vector<int> unique_cluster(n, 0);
+  if (n > 1 && (lsh_mode || n <= config.max_unique)) {
+    scan::ParallelExecutor executor(
+        scan::ParallelExecutor::effective_threads(config.threads, n, 16));
     executor.attach_metrics(config.registry, "cluster.classify");
-    std::vector<http::PageFeatures> features(exemplars.size());
+    std::vector<http::PageFeatures> features(n);
     executor.run_blocks(
-        exemplars.size(),
-        [&](std::uint64_t begin, std::uint64_t end, unsigned) {
+        n, [&](std::uint64_t begin, std::uint64_t end, unsigned) {
           for (std::uint64_t i = begin; i < end; ++i) {
             features[i] = http::extract_features(exemplars[i]->body);
           }
         });
-    cluster::HacOptions hac_options;
-    hac_options.max_items = config.max_unique;
-    hac_options.executor = &executor;
-    hac_options.registry = config.registry;
-    cluster::HacStats hac_stats;
-    const auto dendrogram = cluster::hac_average_linkage(
-        exemplars.size(),
-        [&features](std::size_t a, std::size_t b) {
-          return cluster::page_distance(features[a], features[b]);
-        },
-        hac_options, &hac_stats);
-    result.nan_distances = hac_stats.nan_distances;
-    result.pair_distances = hac_stats.pair_distances;
-    result.matrix_bytes = hac_stats.matrix_bytes;
-    unique_cluster = dendrogram.cut(config.coarse_cut);
+    const auto exact_labels = [&](cluster::HacStats* hac_stats) {
+      cluster::HacOptions hac_options;
+      hac_options.max_items = config.max_unique;
+      hac_options.executor = &executor;
+      hac_options.registry = config.registry;
+      const auto dendrogram = cluster::hac_average_linkage(
+          n,
+          [&features](std::size_t a, std::size_t b) {
+            return cluster::page_distance(features[a], features[b]);
+          },
+          hac_options, hac_stats);
+      return dendrogram.cut(config.coarse_cut);
+    };
+    if (lsh_mode) {
+      cluster::LshOptions lsh = config.lsh;
+      lsh.cut = config.coarse_cut;
+      lsh.executor = &executor;
+      lsh.registry = config.registry;
+      const cluster::LshClustering clustering = cluster::lsh_cluster(
+          features,
+          [&exemplars](std::size_t i) {
+            return std::string_view(exemplars[i]->body);
+          },
+          lsh);
+      unique_cluster = clustering.labels;
+      result.lsh.used = true;
+      result.lsh.stats = clustering.stats;
+      result.pair_distances = clustering.stats.candidate_pairs;
+      result.matrix_bytes = clustering.stats.peak_matrix_bytes;
+      if (config.validate_lsh && n <= config.max_unique) {
+        // Validation run: the exact partition's content labels, page by
+        // page, against the LSH partition's.
+        cluster::HacStats exact_stats;
+        const std::vector<int> exact = exact_labels(&exact_stats);
+        result.nan_distances = exact_stats.nan_distances;
+        const auto lsh_labels = partition_labels(
+            exemplars, unique_cluster, partition_size(unique_cluster));
+        const auto ref_labels =
+            partition_labels(exemplars, exact, partition_size(exact));
+        std::size_t agree = 0;
+        for (std::size_t u = 0; u < n; ++u) {
+          if (lsh_labels[static_cast<std::size_t>(unique_cluster[u])] ==
+              ref_labels[static_cast<std::size_t>(exact[u])]) {
+            ++agree;
+          }
+        }
+        result.lsh.label_agreement =
+            static_cast<double>(agree) / static_cast<double>(n);
+      }
+    } else {
+      cluster::HacStats hac_stats;
+      unique_cluster = exact_labels(&hac_stats);
+      result.nan_distances = hac_stats.nan_distances;
+      result.pair_distances = hac_stats.pair_distances;
+      result.matrix_bytes = hac_stats.matrix_bytes;
+    }
   }
-  result.clusters =
-      unique_cluster.empty()
-          ? 0
-          : static_cast<std::size_t>(*std::max_element(
-                unique_cluster.begin(), unique_cluster.end())) +
-                1;
+  result.clusters = partition_size(unique_cluster);
 
   if (clustering_span) {
     clustering_span->items_out(result.clusters);
@@ -135,21 +212,8 @@ ClassificationResult classify_responses(
   }
 
   // Label each cluster from its largest exemplar (most content to judge).
-  std::vector<Label> cluster_label(result.clusters, Label::kUnclassified);
-  std::vector<std::size_t> cluster_best(result.clusters, 0);
-  std::vector<bool> cluster_seen(result.clusters, false);
-  for (std::size_t u = 0; u < exemplars.size(); ++u) {
-    const auto c = static_cast<std::size_t>(unique_cluster[u]);
-    if (!cluster_seen[c] ||
-        exemplars[u]->body.size() > exemplars[cluster_best[c]]->body.size()) {
-      cluster_best[c] = u;
-      cluster_seen[c] = true;
-    }
-  }
-  for (std::size_t c = 0; c < result.clusters; ++c) {
-    const AcquiredPage* exemplar = exemplars[cluster_best[c]];
-    cluster_label[c] = label_page(exemplar->status, exemplar->body);
-  }
+  const std::vector<Label> cluster_label =
+      partition_labels(exemplars, unique_cluster, result.clusters);
 
   // Propagate to tuples; DNS-layer injection evidence wins over content.
   std::size_t content_bearing = 0;
@@ -194,6 +258,10 @@ ClassificationResult classify_responses(
     config.registry->counter("cluster.classify.clusters")
         .add(result.clusters);
     config.registry->counter("cluster.classify.labeled").add(labeled);
+    config.registry
+        ->counter(result.lsh.used ? "cluster.classify.mode_lsh"
+                                  : "cluster.classify.mode_exact")
+        .add();
   }
   return result;
 }

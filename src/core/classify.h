@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cluster/hac.h"
+#include "cluster/lsh.h"
 #include "core/acquisition.h"
 #include "core/domains.h"
 #include "scan/domain_scan.h"
@@ -42,23 +43,61 @@ struct ClassifiedTuple {
   int cluster = -1;  // coarse cluster id; -1 when content was absent
 };
 
+// How the coarse clustering step runs (DESIGN.md §10):
+//  * kExact — materialize all n(n-1)/2 page distances (the paper's HAC);
+//    O(n^2), bounded by ClassifierConfig::max_unique.
+//  * kLsh — MinHash/SimHash pre-bucketing, exact HAC only within candidate
+//    buckets, exemplar stitching across buckets; sub-quadratic, unbounded
+//    by max_unique, approximate (quality gate: identical Table 5 labels on
+//    the paper-scale fixture, pinned by tests/test_lsh.cpp).
+//  * kAuto — exact below lsh_crossover unique pages, LSH at or above it
+//    (the measured crossover lives in BENCH_micro.json "lsh_crossover").
+enum class ClusterMode { kExact, kLsh, kAuto };
+
 struct ClassifierConfig {
   double coarse_cut = 0.25;      // HAC cut threshold for the coarse step
-  std::size_t max_unique = 6000; // safety bound for the distance matrix
+  std::size_t max_unique = 6000; // safety bound for the exact-mode matrix
   // Workers for feature extraction and the distance-matrix fill; 0 selects
   // hardware_concurrency. Results are byte-identical for every value
-  // (tests/test_parallel_cluster.cpp pins this).
+  // (tests/test_parallel_cluster.cpp pins this). The effective pool is
+  // clamped to min(threads, hardware, ceil(items/grain)) — oversharding
+  // tiny workloads only burns wall time (BENCH_micro.json regression).
   unsigned threads = 0;
   // Optional registry for the clustering/labeling stage spans and the
   // "cluster.*" counters. Not owned; the pipeline points this at the
   // world's registry.
   obs::Registry* registry = nullptr;
+
+  ClusterMode mode = ClusterMode::kExact;
+  // kAuto switchover point (unique pages at which LSH starts to win).
+  std::size_t lsh_crossover = 1024;
+  // LSH knobs (seed, banding, caps). cut/threads/executor/registry are
+  // overridden from this config at run time.
+  cluster::LshOptions lsh;
+  // When LSH runs and the exact matrix is still feasible (n <= max_unique),
+  // also run the exact pipeline and report per-page label agreement in
+  // ClassificationResult::lsh.label_agreement. Costs the full O(n^2) fill;
+  // meant for validation runs and the crossover bench, not production.
+  bool validate_lsh = false;
+};
+
+// Approximation report of an LSH-mode run (zeroed when exact mode ran).
+struct LshSummary {
+  bool used = false;
+  // Candidate-pair reduction, group shape, stitch merges, and the sampled
+  // missed-pair estimate (see cluster::LshStats).
+  cluster::LshStats stats;
+  // Fraction of unique pages whose content label matches the exact
+  // pipeline's; -1 unless ClassifierConfig::validate_lsh ran the exact
+  // pipeline alongside.
+  double label_agreement = -1.0;
 };
 
 struct ClassificationResult {
   std::vector<ClassifiedTuple> tuples;
   std::size_t unique_pages = 0;
   std::size_t clusters = 0;
+  LshSummary lsh;
   // Fraction of content-bearing tuples that received a label (the paper
   // classifies 97.6–99.9%).
   double labeled_fraction = 0.0;

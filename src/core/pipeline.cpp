@@ -9,6 +9,7 @@
 #include "obs/span.h"
 #include "scan/domain_scan.h"
 #include "scan/retry.h"
+#include "util/hash.h"
 
 namespace dnswild::core {
 
@@ -202,9 +203,16 @@ StudyReport Pipeline::run(const std::vector<net::Ipv4>& resolvers,
   }
 
   // ❺/❻ Clustering and labeling: classify_responses opens the
-  // "stage.clustering" and "stage.labeling" spans itself.
+  // "stage.clustering" and "stage.labeling" spans itself. The LSH mode's
+  // signature seed flows from the campaign seed (unless the caller pinned
+  // one), so re-runs of one campaign keep their bucket geometry and an
+  // incremental assign() against last epoch's ClusterModel stays valid.
   ClassifierConfig classifier = config_.classifier;
   classifier.registry = &metrics;
+  if (classifier.lsh.signature.seed == cluster::kDefaultSignatureSeed) {
+    classifier.lsh.signature.seed =
+        util::hash_words({config_.seed, 0xC1A5ULL});
+  }
   report.classification = classify_responses(report.records, report.pages,
                                              classifier, &injected);
 

@@ -54,6 +54,29 @@ class ParallelExecutor {
     return count * block / blocks;
   }
 
+  // Shard-count clamp for pool construction: the requested worker count
+  // (0 = auto), bounded by hardware_concurrency and by ceil(items /
+  // min_grain) so tiny workloads never fan out into near-empty shards.
+  // Oversharding is pure overhead — thread wakeups cost more than the
+  // work — and on boxes with fewer cores than requested threads it
+  // collapses throughput (the BENCH_micro.json features_per_sec regression
+  // at 8 threads on 1 CPU). Results are byte-identical for every worker
+  // count, so clamping can never change an outcome, only the wall time.
+  static unsigned effective_threads(unsigned requested, std::uint64_t items,
+                                    std::uint64_t min_grain) noexcept {
+    unsigned hardware = std::thread::hardware_concurrency();
+    if (hardware == 0) hardware = 1;
+    unsigned resolved = requested == 0 ? hardware : requested;
+    if (resolved > hardware) resolved = hardware;
+    if (min_grain > 0) {
+      const std::uint64_t shards = (items + min_grain - 1) / min_grain;
+      if (shards < resolved) {
+        resolved = shards == 0 ? 1 : static_cast<unsigned>(shards);
+      }
+    }
+    return resolved;
+  }
+
   // fn(begin, end, worker) is invoked once per worker with its contiguous
   // block; empty blocks are skipped. Blocks: full barrier on return. An
   // exception thrown by any worker is rethrown on the calling thread (the

@@ -1,0 +1,105 @@
+// CondensedMatrix edge cases and index round-trip properties.
+//
+// The sharded fill and the LSH group walks trust offset()/cell() to be
+// exact inverses over the flat range, and degenerate sizes (n = 0, n = 1 —
+// both produced by real pipelines when a scan yields one unique page or
+// none) must not underflow the binary search.
+#include <gtest/gtest.h>
+
+#include "cluster/condensed.h"
+#include "util/rng.h"
+
+namespace dnswild {
+namespace {
+
+TEST(CondensedMatrix, EmptyMatrixHasNoCells) {
+  cluster::CondensedMatrix matrix(0);
+  EXPECT_EQ(matrix.items(), 0u);
+  EXPECT_EQ(matrix.pair_count(), 0u);
+  EXPECT_EQ(matrix.bytes(), 0u);
+  EXPECT_EQ(cluster::CondensedMatrix::pair_count(0), 0u);
+  // cell() on a degenerate matrix must not wrap `items_ - 2`.
+  const auto [row, col] = matrix.cell(0);
+  EXPECT_EQ(row, 0u);
+  EXPECT_EQ(col, 0u);
+}
+
+TEST(CondensedMatrix, SingleItemHasNoCells) {
+  cluster::CondensedMatrix matrix(1);
+  EXPECT_EQ(matrix.items(), 1u);
+  EXPECT_EQ(matrix.pair_count(), 0u);
+  EXPECT_EQ(matrix.bytes(), 0u);
+  EXPECT_EQ(cluster::CondensedMatrix::pair_count(1), 0u);
+  const auto [row, col] = matrix.cell(0);
+  EXPECT_EQ(row, 0u);
+  EXPECT_EQ(col, 0u);
+  // The symmetric read still has its zero diagonal.
+  EXPECT_EQ(matrix.at(0, 0), 0.0);
+}
+
+TEST(CondensedMatrix, DefaultConstructedIsEmpty) {
+  cluster::CondensedMatrix matrix;
+  EXPECT_EQ(matrix.items(), 0u);
+  EXPECT_EQ(matrix.pair_count(), 0u);
+}
+
+TEST(CondensedMatrix, OffsetCellRoundTripExhaustiveSmall) {
+  for (const std::size_t n : {2u, 3u, 4u, 7u, 33u}) {
+    cluster::CondensedMatrix matrix(n);
+    std::size_t flat = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j, ++flat) {
+        ASSERT_EQ(matrix.offset(i, j), flat) << "n=" << n;
+        const auto [row, col] = matrix.cell(flat);
+        ASSERT_EQ(row, i) << "n=" << n << " flat=" << flat;
+        ASSERT_EQ(col, j) << "n=" << n << " flat=" << flat;
+      }
+    }
+    ASSERT_EQ(flat, matrix.pair_count());
+  }
+}
+
+TEST(CondensedMatrix, OffsetCellRoundTripRandomLarge) {
+  // Property check at sizes where exhaustion is too slow: cell() must
+  // invert offset() for hash-picked flats across the whole range.
+  util::Rng rng(2015);
+  for (const std::size_t n : {100u, 999u, 5000u}) {
+    cluster::CondensedMatrix matrix(n);
+    const std::size_t cells = matrix.pair_count();
+    ASSERT_EQ(cells, n * (n - 1) / 2);
+    for (int trial = 0; trial < 500; ++trial) {
+      const std::size_t flat = static_cast<std::size_t>(rng.below(cells));
+      const auto [row, col] = matrix.cell(flat);
+      ASSERT_LT(row, col);
+      ASSERT_LT(col, n);
+      ASSERT_EQ(matrix.offset(row, col), flat) << "n=" << n;
+    }
+    // Boundary cells: the first and last flat indices of the triangle.
+    const auto first = matrix.cell(0);
+    EXPECT_EQ(first.first, 0u);
+    EXPECT_EQ(first.second, 1u);
+    const auto last = matrix.cell(cells - 1);
+    EXPECT_EQ(last.first, n - 2);
+    EXPECT_EQ(last.second, n - 1);
+  }
+}
+
+TEST(CondensedMatrix, SymmetricReadsAfterRandomWrites) {
+  util::Rng rng(7);
+  const std::size_t n = 23;
+  cluster::CondensedMatrix matrix(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      // Writes through the (j, i) orientation must land in cell (i, j).
+      matrix.set(j, i, rng.uniform());
+    }
+  }
+  for (std::size_t flat = 0; flat < matrix.pair_count(); ++flat) {
+    const auto [i, j] = matrix.cell(flat);
+    EXPECT_EQ(matrix.at(i, j), matrix.at(j, i));
+    EXPECT_EQ(matrix.at(i, j), matrix.flat_at(flat));
+  }
+}
+
+}  // namespace
+}  // namespace dnswild

@@ -1,0 +1,497 @@
+// LSH pre-bucketing: determinism, thread invariance, candidate recall,
+// incremental assignment, and the exact-vs-LSH quality gate.
+//
+// Contracts under test (DESIGN.md §10):
+//  * page_signature is a pure seeded function: same (body, features, seed)
+//    gives identical sketches, a different seed decorrelates them.
+//  * lsh_cluster is byte-identical for every thread count — labels,
+//    exemplars, signatures, and stats all match, because every parallel
+//    stage is single-writer-per-slot and all ordering comes from
+//    deterministic keys. Build with -DDNSWILD_SANITIZE=thread to check the
+//    fan-out under TSan.
+//  * Candidate recall: nearly all true near pairs (exact page_distance at
+//    or below the merge cut) land in one candidate group, and the stitched
+//    clustering puts them in one final cluster.
+//  * ClusterModel::assign honours its contract: any assignment is to a
+//    cluster whose exemplar lies within the cut, and assigning a cluster's
+//    own exemplar returns that cluster.
+//  * Quality gate: classify_responses in kLsh mode reproduces the exact
+//    pipeline's per-tuple Table 5 labels bit-for-bit on the paper-scale
+//    fixture (ISSUE acceptance criterion).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "cluster/distance.h"
+#include "cluster/lsh.h"
+#include "cluster/signature.h"
+#include "core/classify.h"
+#include "http/factory.h"
+#include "http/html.h"
+#include "scan/executor.h"
+#include "util/hash.h"
+
+namespace dnswild {
+namespace {
+
+// Same content mix as test_parallel_cluster.cpp: the page families the
+// study's Table 5 clusters (legitimate sites, censorship, blocking,
+// parking, logins, errors, search).
+std::vector<std::string> make_corpus(std::size_t count) {
+  std::vector<std::string> corpus;
+  corpus.reserve(count);
+  const http::SiteCategory categories[] = {
+      http::SiteCategory::kAlexa,   http::SiteCategory::kBanking,
+      http::SiteCategory::kAdult,   http::SiteCategory::kGambling,
+      http::SiteCategory::kMail,    http::SiteCategory::kFilesharing,
+  };
+  std::size_t v = 0;
+  while (corpus.size() < count) {
+    switch (v % 7) {
+      case 0:
+        corpus.push_back(http::legit_site(
+            "site" + std::to_string(v) + ".example",
+            categories[v % (sizeof categories / sizeof categories[0])], v,
+            1));
+        break;
+      case 1: corpus.push_back(http::censorship_page("TR", v)); break;
+      case 2:
+        corpus.push_back(http::blocking_page(v % 3, v, "blocked.example"));
+        break;
+      case 3:
+        corpus.push_back(
+            http::parking_page("lot" + std::to_string(v) + ".example", v));
+        break;
+      case 4: corpus.push_back(http::router_login(v % 4, v)); break;
+      case 5:
+        corpus.push_back(
+            http::error_page(static_cast<int>(400 + v % 100), v));
+        break;
+      case 6: corpus.push_back(http::search_page(v, "q.example", false)); break;
+    }
+    ++v;
+  }
+  return corpus;
+}
+
+std::vector<http::PageFeatures> corpus_features(
+    const std::vector<std::string>& corpus) {
+  std::vector<http::PageFeatures> features;
+  features.reserve(corpus.size());
+  for (const std::string& body : corpus) {
+    features.push_back(http::extract_features(body));
+  }
+  return features;
+}
+
+cluster::BodyFn body_fn(const std::vector<std::string>& corpus) {
+  return [&corpus](std::size_t i) { return std::string_view(corpus[i]); };
+}
+
+TEST(PageSignature, DeterministicAndSeedSensitive) {
+  const auto corpus = make_corpus(8);
+  const auto features = corpus_features(corpus);
+  cluster::SignatureConfig config;
+  config.seed = 42;
+
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const auto first = cluster::page_signature(corpus[i], features[i], config);
+    const auto second = cluster::page_signature(corpus[i], features[i], config);
+    ASSERT_EQ(first.minhash.size(), config.minhash_slots);
+    EXPECT_TRUE(first == second);
+
+    cluster::SignatureConfig reseeded = config;
+    reseeded.seed = 43;
+    const auto other =
+        cluster::page_signature(corpus[i], features[i], reseeded);
+    // A different permutation must not reproduce the sketch.
+    EXPECT_FALSE(first.minhash == other.minhash);
+  }
+}
+
+TEST(PageSignature, EmptyBodiesShareOneSketch) {
+  const auto features = http::extract_features("");
+  cluster::SignatureConfig config;
+  const auto a = cluster::page_signature("", features, config);
+  const auto b = cluster::page_signature("", features, config);
+  EXPECT_TRUE(a == b);
+  // All slots carry the same sentinel: no shingles, fully densified.
+  for (const std::uint64_t slot : a.minhash) {
+    EXPECT_EQ(slot, a.minhash.front());
+  }
+}
+
+TEST(PageSignature, IdenticalPagesShareAllBandKeys) {
+  const auto corpus = make_corpus(4);
+  const auto features = corpus_features(corpus);
+  cluster::LshOptions options;
+  const auto signature =
+      cluster::page_signature(corpus[0], features[0], options.signature);
+  const auto copy =
+      cluster::page_signature(corpus[0], features[0], options.signature);
+  EXPECT_EQ(cluster::band_keys(signature, options),
+            cluster::band_keys(copy, options));
+  ASSERT_EQ(cluster::band_keys(signature, options).size(),
+            options.bands + options.simhash_bands);
+}
+
+TEST(PageSignature, HammingDistance) {
+  EXPECT_EQ(cluster::simhash_hamming(0, 0), 0u);
+  EXPECT_EQ(cluster::simhash_hamming(0, ~0ULL), 64u);
+  EXPECT_EQ(cluster::simhash_hamming(0b1011, 0b0001), 2u);
+}
+
+TEST(Lsh, ByteIdenticalAcrossThreadCounts) {
+  const auto corpus = make_corpus(72);
+  const auto features = corpus_features(corpus);
+
+  cluster::LshOptions baseline_options;
+  baseline_options.threads = 1;
+  const auto baseline =
+      cluster::lsh_cluster(features, body_fn(corpus), baseline_options);
+  ASSERT_EQ(baseline.labels.size(), corpus.size());
+  ASSERT_GT(baseline.clusters, 1u);
+  ASSERT_EQ(baseline.cluster_exemplar.size(), baseline.clusters);
+  ASSERT_EQ(baseline.stats.items, corpus.size());
+  EXPECT_EQ(baseline.stats.full_pairs,
+            corpus.size() * (corpus.size() - 1) / 2);
+  EXPECT_LE(baseline.stats.candidate_pairs, baseline.stats.full_pairs);
+
+  for (const unsigned threads : {2u, 8u}) {
+    cluster::LshOptions options = baseline_options;
+    options.threads = threads;
+    const auto result =
+        cluster::lsh_cluster(features, body_fn(corpus), options);
+    EXPECT_EQ(result.labels, baseline.labels) << "threads " << threads;
+    EXPECT_EQ(result.cluster_exemplar, baseline.cluster_exemplar);
+    EXPECT_EQ(result.clusters, baseline.clusters);
+    ASSERT_EQ(result.signatures.size(), baseline.signatures.size());
+    for (std::size_t i = 0; i < result.signatures.size(); ++i) {
+      EXPECT_TRUE(result.signatures[i] == baseline.signatures[i]);
+    }
+    EXPECT_EQ(result.stats.buckets, baseline.stats.buckets);
+    EXPECT_EQ(result.stats.groups, baseline.stats.groups);
+    EXPECT_EQ(result.stats.largest_group, baseline.stats.largest_group);
+    EXPECT_EQ(result.stats.candidate_pairs, baseline.stats.candidate_pairs);
+    EXPECT_EQ(result.stats.stitch_exemplars, baseline.stats.stitch_exemplars);
+    EXPECT_EQ(result.stats.stitch_merges, baseline.stats.stitch_merges);
+  }
+
+  // A shared executor (the pipeline's pool) must match the owned pools.
+  scan::ParallelExecutor executor(4);
+  cluster::LshOptions shared = baseline_options;
+  shared.executor = &executor;
+  const auto pooled = cluster::lsh_cluster(features, body_fn(corpus), shared);
+  EXPECT_EQ(pooled.labels, baseline.labels);
+  EXPECT_EQ(pooled.cluster_exemplar, baseline.cluster_exemplar);
+}
+
+TEST(Lsh, RerunWithSameSeedIsIdenticalDifferentSeedStillClusters) {
+  const auto corpus = make_corpus(40);
+  const auto features = corpus_features(corpus);
+  cluster::LshOptions options;
+  options.signature.seed = 7;
+  const auto first = cluster::lsh_cluster(features, body_fn(corpus), options);
+  const auto second = cluster::lsh_cluster(features, body_fn(corpus), options);
+  EXPECT_EQ(first.labels, second.labels);
+  EXPECT_EQ(first.stats.candidate_pairs, second.stats.candidate_pairs);
+
+  // A different seed rotates every bucket key; clustering quality holds
+  // (the families still collapse) even though the bucket geometry moved.
+  cluster::LshOptions reseeded = options;
+  reseeded.signature.seed = 8;
+  const auto other = cluster::lsh_cluster(features, body_fn(corpus), reseeded);
+  EXPECT_EQ(other.labels.size(), first.labels.size());
+  EXPECT_GT(other.clusters, 1u);
+  EXPECT_LT(other.clusters, corpus.size());
+}
+
+// Mirror of lsh_cluster's bucketing: union items sharing any band key and
+// return per-item component labels. Used to measure candidate recall
+// directly (the clustering result additionally benefits from stitching).
+std::vector<int> candidate_components(
+    const std::vector<cluster::PageSignature>& signatures,
+    const cluster::LshOptions& options) {
+  std::vector<int> parent(signatures.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  const auto find = [&parent](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  std::map<std::uint64_t, int> first_in_bucket;
+  for (std::size_t i = 0; i < signatures.size(); ++i) {
+    for (const std::uint64_t key :
+         cluster::band_keys(signatures[i], options)) {
+      const auto [it, inserted] =
+          first_in_bucket.emplace(key, static_cast<int>(i));
+      if (!inserted) {
+        const int a = find(it->second);
+        const int b = find(static_cast<int>(i));
+        if (a != b) parent[static_cast<std::size_t>(std::max(a, b))] =
+            std::min(a, b);
+      }
+    }
+  }
+  std::vector<int> component(signatures.size());
+  for (std::size_t i = 0; i < signatures.size(); ++i) {
+    component[i] = find(static_cast<int>(i));
+  }
+  return component;
+}
+
+TEST(Lsh, NearPairRecall) {
+  const auto corpus = make_corpus(120);
+  const auto features = corpus_features(corpus);
+  cluster::LshOptions options;
+  const auto clustering =
+      cluster::lsh_cluster(features, body_fn(corpus), options);
+  const auto component =
+      candidate_components(clustering.signatures, options);
+
+  std::size_t near_pairs = 0;
+  std::size_t candidate_hits = 0;  // near pair in one candidate group
+  std::size_t cluster_hits = 0;    // near pair in one final cluster
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    for (std::size_t j = i + 1; j < corpus.size(); ++j) {
+      if (cluster::page_distance(features[i], features[j]) > options.cut) {
+        continue;
+      }
+      ++near_pairs;
+      if (component[i] == component[j]) ++candidate_hits;
+      if (clustering.labels[i] == clustering.labels[j]) ++cluster_hits;
+    }
+  }
+  ASSERT_GT(near_pairs, 50u) << "fixture lost its near-duplicate families";
+  // Banding (16x4 MinHash bands + 4 SimHash slices) must surface nearly
+  // every true near pair as a candidate, and stitching may only help.
+  EXPECT_GE(static_cast<double>(candidate_hits),
+            0.85 * static_cast<double>(near_pairs))
+      << candidate_hits << "/" << near_pairs << " near pairs were candidates";
+  EXPECT_GE(static_cast<double>(cluster_hits),
+            0.85 * static_cast<double>(near_pairs))
+      << cluster_hits << "/" << near_pairs << " near pairs clustered together";
+
+  // The sampled estimator agrees that few near pairs were missed.
+  if (clustering.stats.missed_pair_estimate >= 0.0) {
+    EXPECT_LE(clustering.stats.missed_pair_estimate, 0.15);
+  }
+}
+
+TEST(Lsh, DegenerateInputs) {
+  const std::vector<http::PageFeatures> none;
+  cluster::LshOptions options;
+  const auto empty = cluster::lsh_cluster(
+      none, [](std::size_t) { return std::string_view(); }, options);
+  EXPECT_EQ(empty.clusters, 0u);
+  EXPECT_TRUE(empty.labels.empty());
+
+  const auto corpus = make_corpus(1);
+  const auto features = corpus_features(corpus);
+  const auto one = cluster::lsh_cluster(features, body_fn(corpus), options);
+  EXPECT_EQ(one.clusters, 1u);
+  ASSERT_EQ(one.labels.size(), 1u);
+  EXPECT_EQ(one.labels[0], 0);
+  EXPECT_EQ(one.cluster_exemplar, std::vector<std::size_t>{0});
+}
+
+TEST(Lsh, OversizedGroupsFallBackDeterministically) {
+  // Force every group through the leader path with a tiny cap; the result
+  // must stay deterministic and still collapse duplicate pages.
+  auto corpus = make_corpus(30);
+  corpus.push_back(corpus[1]);  // exact duplicate must always co-cluster
+  const auto features = corpus_features(corpus);
+  cluster::LshOptions options;
+  options.hac_group_cap = 2;
+  options.stitch_cap = 2;
+  const auto first = cluster::lsh_cluster(features, body_fn(corpus), options);
+  const auto second = cluster::lsh_cluster(features, body_fn(corpus), options);
+  EXPECT_EQ(first.labels, second.labels);
+  EXPECT_EQ(first.labels[1], first.labels[corpus.size() - 1]);
+  EXPECT_GT(first.clusters, 1u);
+}
+
+TEST(ClusterModel, AssignHonoursContract) {
+  const auto corpus = make_corpus(60);
+  const auto features = corpus_features(corpus);
+  cluster::LshOptions options;
+  const auto clustering =
+      cluster::lsh_cluster(features, body_fn(corpus), options);
+  const auto model =
+      cluster::make_cluster_model(clustering, features, options);
+  ASSERT_EQ(model.clusters(), clustering.clusters);
+
+  // A cluster's own exemplar must come back as that cluster: identical
+  // signatures share every band key, and the exact distance is zero.
+  for (std::size_t c = 0; c < clustering.clusters; ++c) {
+    const std::size_t item = clustering.cluster_exemplar[c];
+    std::size_t examined = 0;
+    const int assigned = model.assign(
+        features[item], clustering.signatures[item], &examined);
+    EXPECT_EQ(assigned, static_cast<int>(c)) << "cluster " << c;
+    EXPECT_GE(examined, 1u);
+  }
+
+  // Every clustered item either maps to a cluster whose exemplar is within
+  // the cut, or legitimately finds no candidate.
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const int assigned =
+        model.assign(features[i], clustering.signatures[i]);
+    if (assigned >= 0) {
+      const std::size_t exemplar =
+          clustering.cluster_exemplar[static_cast<std::size_t>(assigned)];
+      EXPECT_LE(cluster::page_distance(features[i], features[exemplar]),
+                options.cut)
+          << "item " << i;
+    }
+  }
+}
+
+TEST(ClusterModel, BatchAssignMatchesScalarAndIsThreadInvariant) {
+  const auto corpus = make_corpus(48);
+  const auto features = corpus_features(corpus);
+  cluster::LshOptions options;
+  const auto clustering =
+      cluster::lsh_cluster(features, body_fn(corpus), options);
+  const auto model =
+      cluster::make_cluster_model(clustering, features, options);
+
+  // "New" pages reuse the corpus bodies: realistic near-duplicates of the
+  // modeled clusters.
+  const auto batch = make_corpus(48);
+  const auto batch_features = corpus_features(batch);
+  std::size_t serial_examined = 0;
+  const auto serial = cluster::assign_to_clusters(
+      batch_features, body_fn(batch), model, nullptr, &serial_examined);
+  ASSERT_EQ(serial.size(), batch.size());
+
+  const auto signatures = cluster::compute_signatures(
+      batch.size(), body_fn(batch), batch_features,
+      model.signature_config(), nullptr);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(serial[i], model.assign(batch_features[i], signatures[i]))
+        << "item " << i;
+  }
+
+  scan::ParallelExecutor executor(8);
+  std::size_t pooled_examined = 0;
+  const auto pooled = cluster::assign_to_clusters(
+      batch_features, body_fn(batch), model, &executor, &pooled_examined);
+  EXPECT_EQ(pooled, serial);
+  EXPECT_EQ(pooled_examined, serial_examined);
+
+  // The incremental path must stay sub-quadratic in examined candidates:
+  // strictly fewer exact distances than brute-force against every cluster.
+  EXPECT_LT(serial_examined, batch.size() * model.clusters());
+}
+
+core::AcquiredPage make_page(std::size_t record_index, std::string body,
+                             int status = 200) {
+  core::AcquiredPage page;
+  page.record_index = record_index;
+  page.status = status;
+  page.body = std::move(body);
+  page.body_hash = util::fnv1a(page.body);
+  page.connected = true;
+  return page;
+}
+
+// The ISSUE's quality gate: on the paper-scale fixture, LSH mode must
+// reproduce the exact pipeline's Table 5 class labels bit-for-bit.
+TEST(ClassifyLsh, QualityGateLabelsMatchExactPipeline) {
+  const auto corpus = make_corpus(160);
+  std::vector<scan::TupleRecord> records(corpus.size());
+  std::vector<core::AcquiredPage> pages;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    pages.push_back(make_page(i, corpus[i]));
+  }
+
+  core::ClassifierConfig exact;
+  exact.mode = core::ClusterMode::kExact;
+  const auto exact_result = core::classify_responses(records, pages, exact);
+  ASSERT_GT(exact_result.clusters, 1u);
+  EXPECT_FALSE(exact_result.lsh.used);
+
+  core::ClassifierConfig lsh;
+  lsh.mode = core::ClusterMode::kLsh;
+  lsh.validate_lsh = true;
+  const auto lsh_result = core::classify_responses(records, pages, lsh);
+  EXPECT_TRUE(lsh_result.lsh.used);
+  EXPECT_EQ(lsh_result.unique_pages, exact_result.unique_pages);
+  ASSERT_EQ(lsh_result.tuples.size(), exact_result.tuples.size());
+  for (std::size_t i = 0; i < lsh_result.tuples.size(); ++i) {
+    EXPECT_EQ(lsh_result.tuples[i].label, exact_result.tuples[i].label)
+        << "tuple " << i;
+  }
+  EXPECT_EQ(lsh_result.labeled_fraction, exact_result.labeled_fraction);
+  // validate_lsh ran the exact pipeline alongside and scored agreement.
+  EXPECT_EQ(lsh_result.lsh.label_agreement, 1.0);
+  // The approximation report is populated.
+  EXPECT_EQ(lsh_result.lsh.stats.items, lsh_result.unique_pages);
+  EXPECT_GT(lsh_result.lsh.stats.full_pairs, 0u);
+  EXPECT_LE(lsh_result.lsh.stats.candidate_pairs,
+            lsh_result.lsh.stats.full_pairs);
+  EXPECT_EQ(lsh_result.pair_distances, lsh_result.lsh.stats.candidate_pairs);
+}
+
+TEST(ClassifyLsh, LshLabelsInvariantAcrossThreadCounts) {
+  const auto corpus = make_corpus(64);
+  std::vector<scan::TupleRecord> records(corpus.size());
+  std::vector<core::AcquiredPage> pages;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    pages.push_back(make_page(i, corpus[i]));
+  }
+  core::ClassifierConfig config;
+  config.mode = core::ClusterMode::kLsh;
+  config.threads = 1;
+  const auto baseline = core::classify_responses(records, pages, config);
+  ASSERT_TRUE(baseline.lsh.used);
+  for (const unsigned threads : {2u, 8u}) {
+    config.threads = threads;
+    const auto result = core::classify_responses(records, pages, config);
+    EXPECT_EQ(result.clusters, baseline.clusters);
+    ASSERT_EQ(result.tuples.size(), baseline.tuples.size());
+    for (std::size_t i = 0; i < result.tuples.size(); ++i) {
+      EXPECT_EQ(result.tuples[i].label, baseline.tuples[i].label);
+      EXPECT_EQ(result.tuples[i].cluster, baseline.tuples[i].cluster);
+    }
+    EXPECT_EQ(result.lsh.stats.candidate_pairs,
+              baseline.lsh.stats.candidate_pairs);
+  }
+}
+
+TEST(ClassifyLsh, AutoModeSwitchesAtCrossover) {
+  const auto corpus = make_corpus(40);
+  std::vector<scan::TupleRecord> records(corpus.size());
+  std::vector<core::AcquiredPage> pages;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    pages.push_back(make_page(i, corpus[i]));
+  }
+  core::ClassifierConfig config;
+  config.mode = core::ClusterMode::kAuto;
+
+  config.lsh_crossover = 10;  // below the unique count: LSH engages
+  const auto lsh_result = core::classify_responses(records, pages, config);
+  EXPECT_TRUE(lsh_result.lsh.used);
+
+  config.lsh_crossover = 10000;  // above it: the exact matrix runs
+  const auto exact_result = core::classify_responses(records, pages, config);
+  EXPECT_FALSE(exact_result.lsh.used);
+
+  // Regardless of engine, the content labels agree on this fixture.
+  ASSERT_EQ(lsh_result.tuples.size(), exact_result.tuples.size());
+  for (std::size_t i = 0; i < lsh_result.tuples.size(); ++i) {
+    EXPECT_EQ(lsh_result.tuples[i].label, exact_result.tuples[i].label);
+  }
+}
+
+}  // namespace
+}  // namespace dnswild
