@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <chrono>
 #include <thread>
+#include <unordered_set>
 
 #include "common.h"
 #include "cluster/condensed.h"
@@ -355,15 +356,129 @@ bench::LossAblationEntry measure_loss(double loss, int attempts,
           : 1.0;
   entry.retransmissions = summary.retry_retransmissions;
   entry.retry_wait_ms = summary.retry_wait_ms;
-  // Virtual duration: one paced token per wire send, then the retry
-  // plane's aggregate waits on top (they refill the bucket, as a real
-  // backoff pause would).
+  // Event-core makespan: retry waits overlap inside the in-flight window
+  // (DESIGN.md §11), so the duration is pacing time plus the tail.
+  entry.virtual_scan_seconds = summary.virtual_scan_seconds;
+  // Synchronous baseline: one paced token per wire send, then the retry
+  // plane's aggregate waits charged end-to-end (the pre-event-core
+  // accounting, equivalent to a window of one).
   scan::TokenBucket pace(25000.0, 128.0);
   const std::uint64_t sends = summary.probed + summary.retry_retransmissions;
   for (std::uint64_t i = 0; i < sends; ++i) pace.acquire();
   pace.advance(static_cast<double>(summary.retry_wait_ms) / 1000.0);
-  entry.virtual_scan_seconds = pace.virtual_elapsed_seconds();
+  entry.serial_virtual_seconds = pace.virtual_elapsed_seconds();
+  entry.virtual_speedup =
+      entry.virtual_scan_seconds > 0.0
+          ? entry.serial_virtual_seconds / entry.virtual_scan_seconds
+          : 0.0;
   return entry;
+}
+
+// In-flight-window sweep cell (DESIGN.md §11): the same lossy scan
+// (loss 0.10, attempts 3 — the retry ladder that makes waits expensive)
+// replayed at a fixed window. A fresh world per cell so every run starts
+// from identical state; the probe outcomes are identical across cells
+// (per-probe fates are pure hashes), only the virtual schedule moves.
+bench::InflightSweepEntry measure_inflight(std::uint32_t window,
+                                           std::uint32_t resolver_count) {
+  worldgen::WorldGenConfig world_config;
+  world_config.seed = 2015;
+  world_config.resolver_count = resolver_count;
+  world_config.with_devices = false;
+  world_config.chaos.enabled = true;
+  world_config.chaos.network_fraction = 1.0;
+  world_config.chaos.episode_rate = 1.0;
+  world_config.chaos.episode_mean_buckets = 8.0;
+  world_config.chaos.burst_loss = 0.10;
+  world_config.chaos.base_loss = 0.10;
+  worldgen::GeneratedWorld gen = worldgen::generate_world(world_config);
+
+  scan::Ipv4ScanConfig config;
+  config.scanner_ip = gen.scanner_ip;
+  config.zone = gen.scan_zone;
+  config.blacklist = &gen.blacklist;
+  config.seed = 1;
+  config.retry.attempts = 3;
+  config.retry.timeout_ms = 2000;
+  config.max_in_flight = window;
+  scan::Ipv4Scanner scanner(*gen.world, config);
+
+  const auto start = std::chrono::steady_clock::now();
+  const scan::Ipv4ScanSummary summary = scanner.scan(gen.universe);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+
+  bench::InflightSweepEntry entry;
+  entry.max_in_flight = window;
+  entry.probes = summary.probed;
+  entry.wire_sends = summary.probed + summary.retry_retransmissions;
+  entry.virtual_seconds = summary.virtual_scan_seconds;
+  entry.wall_seconds = elapsed.count();
+  entry.probes_per_virtual_sec =
+      entry.virtual_seconds > 0.0
+          ? static_cast<double>(entry.probes) / entry.virtual_seconds
+          : 0.0;
+  entry.peak_in_flight = summary.peak_in_flight;
+  return entry;
+}
+
+// Scan-order discovery-rate ablation (DESIGN.md §5): per-probe fates are
+// order-independent, so one baseline scan gives the responder population
+// and the curves come from walking each permutation against that set —
+// no re-probing. 32 checkpoints per order.
+std::vector<bench::ScanOrderAblationEntry> measure_scan_order(
+    std::uint32_t resolver_count) {
+  worldgen::WorldGenConfig world_config;
+  world_config.seed = 2015;
+  world_config.resolver_count = resolver_count;
+  world_config.with_devices = false;
+  worldgen::GeneratedWorld gen = worldgen::generate_world(world_config);
+
+  scan::Ipv4ScanConfig config;
+  config.scanner_ip = gen.scanner_ip;
+  config.zone = gen.scan_zone;
+  config.blacklist = &gen.blacklist;
+  config.seed = 1;
+  scan::Ipv4Scanner scanner(*gen.world, config);
+  const scan::Ipv4ScanSummary summary = scanner.scan(gen.universe);
+  std::unordered_set<std::uint32_t> responders;
+  responders.reserve(summary.noerror_targets.size());
+  for (const net::Ipv4 ip : summary.noerror_targets) {
+    responders.insert(ip.value());
+  }
+
+  std::vector<bench::ScanOrderAblationEntry> entries;
+  constexpr int kCheckpoints = 32;
+  for (const scan::ScanOrder order :
+       {scan::ScanOrder::kLfsr, scan::ScanOrder::kSobol}) {
+    scan::UniversePermutation permutation(gen.universe, 1, order);
+    const std::uint64_t total = permutation.size();
+    std::uint64_t probed = 0;
+    std::uint64_t discovered = 0;
+    int next_checkpoint = 1;
+    net::Ipv4 ip;
+    while (permutation.next(ip)) {
+      ++probed;
+      if (responders.count(ip.value()) != 0) ++discovered;
+      while (next_checkpoint <= kCheckpoints &&
+             probed * kCheckpoints >= total * next_checkpoint) {
+        bench::ScanOrderAblationEntry entry;
+        entry.order = order == scan::ScanOrder::kLfsr ? "lfsr" : "sobol";
+        entry.fraction =
+            static_cast<double>(next_checkpoint) / kCheckpoints;
+        entry.probed = probed;
+        entry.discovered = discovered;
+        entry.discovered_fraction =
+            responders.empty()
+                ? 0.0
+                : static_cast<double>(discovered) /
+                      static_cast<double>(responders.size());
+        entries.push_back(entry);
+        ++next_checkpoint;
+      }
+    }
+  }
+  return entries;
 }
 
 // Synthetic unique-page corpus spanning the content classes the study
@@ -683,10 +798,42 @@ int main(int argc, char** argv) {
     }
   }
 
+  // In-flight-window sweep (DESIGN.md §11): virtual makespan of the lossy
+  // scan as the window opens from fully synchronous (1) to effectively
+  // unbounded (64k). Runs on --quick too — CI asserts the window payoff.
+  const std::uint32_t inflight_resolvers =
+      quick ? 2000u : std::min(resolver_count, 4000u);
+  std::vector<dnswild::bench::InflightSweepEntry> inflight_entries;
+  for (const std::uint32_t window : {1u, 64u, 4096u, 65536u}) {
+    const auto entry = measure_inflight(window, inflight_resolvers);
+    std::printf(
+        "inflight window=%u probes=%llu sends=%llu virtual=%.1fs "
+        "wall=%.3fs rate=%.0f probes/virt-s peak=%u\n",
+        entry.max_in_flight, static_cast<unsigned long long>(entry.probes),
+        static_cast<unsigned long long>(entry.wire_sends),
+        entry.virtual_seconds, entry.wall_seconds,
+        entry.probes_per_virtual_sec, entry.peak_in_flight);
+    inflight_entries.push_back(entry);
+  }
+
+  // Scan-order discovery-rate curves: LFSR vs Sobol over the same
+  // universe and responder population.
+  const auto order_entries =
+      measure_scan_order(quick ? 2000u : std::min(resolver_count, 4000u));
+  for (const auto& entry : order_entries) {
+    if (entry.fraction == 0.25 || entry.fraction == 0.5 ||
+        entry.fraction == 1.0) {
+      std::printf("scan_order %s fraction=%.2f discovered=%.4f\n",
+                  entry.order.c_str(), entry.fraction,
+                  entry.discovered_fraction);
+    }
+  }
+
   dnswild::bench::write_micro_bench_json(json_path, "bench_micro", hardware,
                                          entries, cluster_entries,
                                          condensed_bytes, square_bytes,
-                                         loss_entries, lsh_entries);
+                                         loss_entries, lsh_entries,
+                                         inflight_entries, order_entries);
   if (quick) return 0;
 
   benchmark::Initialize(&argc, argv);

@@ -124,7 +124,40 @@ struct LossAblationEntry {
   double recovered_fraction = 0.0;     // vs the zero-loss population
   std::uint64_t retransmissions = 0;
   std::uint64_t retry_wait_ms = 0;     // virtual backoff/timeout time
-  double virtual_scan_seconds = 0.0;   // TokenBucket pacing + retry waits
+  // Event-core makespan (DESIGN.md §11): waits overlap inside the
+  // in-flight window instead of serializing.
+  double virtual_scan_seconds = 0.0;
+  // Synchronous baseline: TokenBucket pacing + every retry wait charged
+  // end-to-end (the pre-event-core accounting).
+  double serial_virtual_seconds = 0.0;
+  double virtual_speedup = 0.0;        // serial / event-core makespan
+};
+
+// One cell of the in-flight-window sweep (DESIGN.md §11): the same lossy
+// address-space scan replayed through the event core at a fixed window,
+// reporting the virtual makespan and probe throughput per VIRTUAL second
+// (wall time barely moves — the window only changes the schedule).
+struct InflightSweepEntry {
+  std::uint32_t max_in_flight = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t wire_sends = 0;        // probes + retransmissions
+  double virtual_seconds = 0.0;        // event-core makespan
+  double wall_seconds = 0.0;
+  double probes_per_virtual_sec = 0.0;
+  std::uint32_t peak_in_flight = 0;
+};
+
+// One checkpoint of the scan-order discovery-rate ablation: walking the
+// address universe in LFSR vs Sobol order, how many of the (order-
+// independent) responders have been covered after `fraction` of the
+// permutation. A flatter-early curve means the order reaches diverse
+// prefixes sooner.
+struct ScanOrderAblationEntry {
+  std::string order;            // "lfsr" | "sobol"
+  double fraction = 0.0;        // of the universe walked
+  std::uint64_t probed = 0;     // addresses emitted so far
+  std::uint64_t discovered = 0; // responders covered so far
+  double discovered_fraction = 0.0;
 };
 
 // One cell of the exact-vs-LSH clustering crossover (DESIGN.md §10): both
@@ -159,7 +192,9 @@ inline bool write_micro_bench_json(
     const std::vector<ClusterBenchEntry>& cluster,
     std::size_t matrix_bytes_condensed, std::size_t matrix_bytes_square,
     const std::vector<LossAblationEntry>& loss_ablation = {},
-    const std::vector<LshCrossoverEntry>& lsh_crossover = {}) {
+    const std::vector<LshCrossoverEntry>& lsh_crossover = {},
+    const std::vector<InflightSweepEntry>& inflight_sweep = {},
+    const std::vector<ScanOrderAblationEntry>& scan_order_ablation = {}) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -222,13 +257,16 @@ inline bool write_micro_bench_json(
                  "    {\"loss_rate\": %.2f, \"retry_attempts\": %d, "
                  "\"responders\": %llu, \"recovered_fraction\": %.4f, "
                  "\"retransmissions\": %llu, \"retry_wait_ms\": %llu, "
-                 "\"virtual_scan_seconds\": %.3f}%s\n",
+                 "\"virtual_scan_seconds\": %.3f, "
+                 "\"serial_virtual_seconds\": %.3f, "
+                 "\"virtual_speedup\": %.2f}%s\n",
                  entry.loss_rate, entry.retry_attempts,
                  static_cast<unsigned long long>(entry.responders),
                  entry.recovered_fraction,
                  static_cast<unsigned long long>(entry.retransmissions),
                  static_cast<unsigned long long>(entry.retry_wait_ms),
-                 entry.virtual_scan_seconds,
+                 entry.virtual_scan_seconds, entry.serial_virtual_seconds,
+                 entry.virtual_speedup,
                  i + 1 < loss_ablation.size() ? "," : "");
   }
   std::fprintf(file, "  ],\n");
@@ -251,6 +289,37 @@ inline bool write_micro_bench_json(
                  entry.clusters_lsh, entry.label_agreement,
                  entry.missed_pair_estimate,
                  i + 1 < lsh_crossover.size() ? "," : "");
+  }
+  std::fprintf(file, "  ],\n");
+  std::fprintf(file, "  \"inflight_sweep\": [\n");
+  for (std::size_t i = 0; i < inflight_sweep.size(); ++i) {
+    const InflightSweepEntry& entry = inflight_sweep[i];
+    std::fprintf(file,
+                 "    {\"max_in_flight\": %u, \"probes\": %llu, "
+                 "\"wire_sends\": %llu, \"virtual_seconds\": %.3f, "
+                 "\"wall_seconds\": %.6f, "
+                 "\"probes_per_virtual_sec\": %.1f, "
+                 "\"peak_in_flight\": %u}%s\n",
+                 entry.max_in_flight,
+                 static_cast<unsigned long long>(entry.probes),
+                 static_cast<unsigned long long>(entry.wire_sends),
+                 entry.virtual_seconds, entry.wall_seconds,
+                 entry.probes_per_virtual_sec, entry.peak_in_flight,
+                 i + 1 < inflight_sweep.size() ? "," : "");
+  }
+  std::fprintf(file, "  ],\n");
+  std::fprintf(file, "  \"scan_order_ablation\": [\n");
+  for (std::size_t i = 0; i < scan_order_ablation.size(); ++i) {
+    const ScanOrderAblationEntry& entry = scan_order_ablation[i];
+    std::fprintf(file,
+                 "    {\"order\": \"%s\", \"fraction\": %.4f, "
+                 "\"probed\": %llu, \"discovered\": %llu, "
+                 "\"discovered_fraction\": %.4f}%s\n",
+                 entry.order.c_str(), entry.fraction,
+                 static_cast<unsigned long long>(entry.probed),
+                 static_cast<unsigned long long>(entry.discovered),
+                 entry.discovered_fraction,
+                 i + 1 < scan_order_ablation.size() ? "," : "");
   }
   std::fprintf(file, "  ],\n");
   std::fprintf(file,

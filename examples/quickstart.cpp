@@ -4,12 +4,16 @@
 //
 //   $ ./examples/quickstart [resolver_count] [seed] [--metrics-out FILE]
 //                           [--cluster-mode exact|lsh|auto]
+//                           [--max-in-flight N]
 //
 // --metrics-out (or DNSWILD_METRICS_OUT) writes the machine-readable run
 // report — every registry counter plus the per-stage spans — as JSON.
 // --cluster-mode selects the coarse clustering engine (DESIGN.md §10):
 // the exact O(n²) HAC (default), the sub-quadratic MinHash/LSH path, or
 // the size-based auto crossover.
+// --max-in-flight bounds the virtual-time event core's in-flight window
+// (DESIGN.md §11) for the address-space and domain scans; 1 reproduces
+// the synchronous serialized accounting, the default keeps the pipe full.
 
 #include <cstdio>
 #include <cstdlib>
@@ -29,12 +33,17 @@ int main(int argc, char** argv) {
   // Pull the option flags out of argv before the positional arguments.
   std::string metrics_out;
   std::string cluster_mode;
+  std::uint32_t max_in_flight = 65536;
   if (const char* env = std::getenv("DNSWILD_METRICS_OUT")) metrics_out = env;
   for (int i = 1; i + 1 < argc;) {
     if (std::strcmp(argv[i], "--metrics-out") == 0) {
       metrics_out = argv[i + 1];
     } else if (std::strcmp(argv[i], "--cluster-mode") == 0) {
       cluster_mode = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--max-in-flight") == 0) {
+      max_in_flight = static_cast<std::uint32_t>(
+          std::strtoul(argv[i + 1], nullptr, 10));
+      if (max_in_flight == 0) max_in_flight = 1;
     } else {
       ++i;
       continue;
@@ -66,6 +75,7 @@ int main(int argc, char** argv) {
   scan_config.zone = generated.scan_zone;
   scan_config.blacklist = &generated.blacklist;
   scan_config.seed = config.seed;
+  scan_config.max_in_flight = max_in_flight;
   scan::Ipv4Scanner scanner(*generated.world, scan_config);
   const auto summary = scanner.scan(generated.universe);
 
@@ -79,6 +89,9 @@ int main(int argc, char** argv) {
               util::with_commas(summary.servfail).c_str());
   std::printf("  multi-homed replies: %s\n",
               util::with_commas(summary.multihomed).c_str());
+  std::printf("  virtual scan time: %.1fs (window %u, peak in flight %u)\n",
+              summary.virtual_scan_seconds, max_in_flight,
+              summary.peak_in_flight);
 
   // Step 2: query the 155-domain study set at every open resolver, then
   // prefilter, acquire, cluster, and label.
@@ -86,6 +99,7 @@ int main(int argc, char** argv) {
   pipeline_config.scanner_ip = generated.scanner_ip;
   pipeline_config.vantage_ip = generated.vantage_ip;
   pipeline_config.seed = config.seed;
+  pipeline_config.scan_max_in_flight = max_in_flight;
   if (cluster_mode == "lsh") {
     pipeline_config.classifier.mode = core::ClusterMode::kLsh;
   } else if (cluster_mode == "auto") {

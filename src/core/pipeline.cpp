@@ -80,6 +80,7 @@ StudyReport Pipeline::run(const std::vector<net::Ipv4>& resolvers,
     scan_config.seed = config_.seed ^ 0xd05ca9ULL;
     scan_config.spread_over_hours = config_.scan_spread_hours;
     scan_config.threads = config_.scan_threads;
+    scan_config.max_in_flight = config_.scan_max_in_flight;
     scan_config.retry = config_.domain_scan_retry;
     scan::DomainScanner scanner(world_, scan_config);
     report.records = scanner.scan(resolvers, names);

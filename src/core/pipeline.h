@@ -51,6 +51,9 @@ struct PipelineConfig {
   std::uint64_t seed = 0;
   double scan_spread_hours = 0.0;            // world-clock advance per scan
   unsigned scan_threads = 0;                 // domain-scan workers; 0 = auto
+  // In-flight window for the domain scan's virtual-time event core
+  // (DESIGN.md §11); affects only virtual-time accounting, never records.
+  std::uint32_t scan_max_in_flight = 65536;
   PrefilterConfig prefilter;
   ClassifierConfig classifier;  // classifier.threads drives the parallel
                                 // clustering stage (0 = auto), mirroring

@@ -6,6 +6,14 @@
 
 namespace dnswild::net {
 
+std::uint64_t probe_identity_key(const UdpPacket& packet) noexcept {
+  return util::hash_words(
+      {(static_cast<std::uint64_t>(packet.src.value()) << 32) |
+           packet.dst.value(),
+       (static_cast<std::uint64_t>(packet.src_port) << 16) | packet.dst_port,
+       util::digest_bytes(packet.payload)});
+}
+
 double RetryPolicy::backoff_seconds(std::uint64_t probe_key,
                                     int attempt) const noexcept {
   double base = backoff_initial_seconds;
@@ -32,11 +40,7 @@ Retrier::Retrier(World& world, RetryPolicy policy)
 
 RetryOutcome Retrier::send(UdpPacket packet) {
   RetryOutcome out;
-  const std::uint64_t probe_key = util::hash_words(
-      {(static_cast<std::uint64_t>(packet.src.value()) << 32) |
-           packet.dst.value(),
-       (static_cast<std::uint64_t>(packet.src_port) << 16) | packet.dst_port,
-       util::digest_bytes(packet.payload)});
+  const std::uint64_t probe_key = probe_identity_key(packet);
   const std::uint32_t base_seq = packet.seq;
 
   for (int attempt = 0;; ++attempt) {

@@ -22,6 +22,12 @@
 
 namespace dnswild::net {
 
+// Identity hash of a UDP probe: (flow 4-tuple, payload digest). Seeds the
+// backoff jitter so one probe's retry schedule is the same everywhere it
+// is computed — in Retrier::send and in the event core's virtual-time
+// replay of the same ladder (scan/event_core.h).
+std::uint64_t probe_identity_key(const UdpPacket& packet) noexcept;
+
 struct RetryPolicy {
   // Retransmissions after the initial send; 0 = single-shot.
   int attempts = 0;

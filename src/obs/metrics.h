@@ -54,6 +54,16 @@ class Gauge {
   void add(std::int64_t v) noexcept {
     value_.fetch_add(v, std::memory_order_relaxed);
   }
+  // Raises the gauge to `v` when larger (CAS loop); peak trackers — the
+  // event core's in-flight high-water mark — use this so concurrent
+  // observers can only ever push the value up.
+  void track_max(std::int64_t v) noexcept {
+    std::int64_t current = value_.load(std::memory_order_relaxed);
+    while (v > current &&
+           !value_.compare_exchange_weak(current, v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
   std::int64_t value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }

@@ -1,15 +1,31 @@
 #include "scan/banner_scan.h"
 
 #include "scan/executor.h"
+#include "util/hash.h"
 
 namespace dnswild::scan {
 
-BannerResult BannerScanner::probe(net::Ipv4 resolver) {
+namespace {
+// Nominal TCP handshake + banner RTT for the virtual schedule; the World
+// models TCP connects without a latency stream, so the event core charges
+// a flat round trip per responsive port.
+constexpr std::uint32_t kTcpBannerRttMs = 40;
+}  // namespace
+
+BannerResult BannerScanner::probe(net::Ipv4 resolver, ProbeTiming* timings) {
   BannerResult result;
   result.resolver = resolver;
-  static constexpr std::uint16_t kPorts[] = {21, 22, 23, 80, 443};
-  for (const std::uint16_t port : kPorts) {
+  static constexpr std::uint16_t kPorts[kBannerPorts] = {21, 22, 23, 80, 443};
+  for (std::uint32_t i = 0; i < kBannerPorts; ++i) {
+    const std::uint16_t port = kPorts[i];
     const auto payload = fetcher_.banner(resolver, port);
+    if (timings != nullptr) {
+      timings[i].probe_key = util::hash_words(
+          {0x7c9ULL /* tcp */, resolver.value(), port});
+      timings[i].transmissions = 1;
+      timings[i].responded = payload.has_value();
+      timings[i].reply_latency_ms = kTcpBannerRttMs;
+    }
     if (!payload) continue;
     result.any_tcp_payload = true;
     result.combined += *payload;
@@ -23,16 +39,19 @@ std::vector<BannerResult> BannerScanner::scan(
   std::vector<BannerResult> results(resolvers.size());
   ParallelExecutor executor(threads_);
   executor.attach_metrics(&world_.metrics(), "scan.banner");
+  // One five-step stream per resolver: the banner ports in fixed order.
+  std::vector<ProbeTiming> timings(resolvers.size() * kBannerPorts);
   {
     net::World::TrafficSection traffic(world_);
     executor.run_blocks(
         resolvers.size(),
         [&](std::uint64_t begin, std::uint64_t end, unsigned) {
           for (std::uint64_t i = begin; i < end; ++i) {
-            results[i] = probe(resolvers[i]);
+            results[i] = probe(resolvers[i], &timings[i * kBannerPorts]);
           }
         });
   }
+  event_core_.run(timings, resolvers.size(), kBannerPorts);
   std::uint64_t with_payload = 0;
   for (const BannerResult& result : results) {
     with_payload += result.any_tcp_payload ? 1 : 0;

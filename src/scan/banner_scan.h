@@ -15,6 +15,7 @@
 
 #include "http/fetch.h"
 #include "net/world.h"
+#include "scan/event_core.h"
 #include "scan/retry.h"
 
 namespace dnswild::scan {
@@ -29,19 +30,28 @@ class BannerScanner {
  public:
   // `threads` = 0 picks hardware_concurrency for scan(); results are
   // identical for every value. `retry` re-dials lost SYNs through the
-  // shared Fetcher.
+  // shared Fetcher. `max_in_flight` bounds the event core's window (each
+  // resolver is one five-step stream, one step per banner port).
   BannerScanner(net::World& world, net::Ipv4 scanner_ip, unsigned threads = 0,
-                RetryPolicy retry = {})
+                RetryPolicy retry = {}, std::uint32_t max_in_flight = 65536)
       : world_(world), fetcher_(world, scanner_ip, retry),
-        threads_(threads) {}
+        threads_(threads),
+        event_core_(&world.metrics(),
+                    EventCoreConfig{max_in_flight, 25000.0, 128.0, retry,
+                                    "scan.banner.event"}) {}
 
-  BannerResult probe(net::Ipv4 resolver);
+  // `timings`, when given, receives one entry per banner port in port
+  // order (TCP connects are modeled at a nominal handshake RTT).
+  BannerResult probe(net::Ipv4 resolver, ProbeTiming* timings = nullptr);
   std::vector<BannerResult> scan(const std::vector<net::Ipv4>& resolvers);
+
+  static constexpr std::uint32_t kBannerPorts = 5;
 
  private:
   net::World& world_;
   http::Fetcher fetcher_;
   unsigned threads_;
+  EventScanCore event_core_;  // coordinator-only: serial virtual-time replay
 };
 
 }  // namespace dnswild::scan

@@ -1,5 +1,7 @@
 #include "scan/chaos_scan.h"
 
+#include <algorithm>
+
 #include "dns/chaos.h"
 #include "dns/message.h"
 #include "scan/executor.h"
@@ -7,13 +9,14 @@
 
 namespace dnswild::scan {
 
-ChaosResult ChaosScanner::probe(net::Ipv4 resolver) {
+ChaosResult ChaosScanner::probe(net::Ipv4 resolver, ProbeTiming* timings) {
   ChaosResult result;
   result.resolver = resolver;
 
   const auto ask = [&](const dns::Name& probe_name, std::uint64_t which,
                        std::optional<std::string>& version_out,
                        dns::RCode& rcode_out) {
+    ProbeTiming* timing = timings != nullptr ? &timings[which] : nullptr;
     // TXID is a pure hash of the probe identity, not a draw from a stream,
     // so concurrent probes never race on scanner state.
     const std::uint16_t txid = static_cast<std::uint16_t>(
@@ -25,7 +28,19 @@ ChaosResult ChaosScanner::probe(net::Ipv4 resolver) {
     packet.dst = resolver;
     packet.dst_port = 53;
     packet.payload = query.encode();
+    const std::uint64_t probe_key = net::probe_identity_key(packet);
     const RetryOutcome outcome = retrier_.send(std::move(packet));
+    if (timing != nullptr) {
+      timing->probe_key = probe_key;
+      timing->transmissions =
+          static_cast<std::uint16_t>(outcome.transmissions);
+      timing->responded = !outcome.replies.empty();
+      for (const net::UdpReply& reply : outcome.replies) {
+        timing->reply_latency_ms =
+            std::max(timing->reply_latency_ms,
+                     static_cast<std::uint32_t>(reply.latency_ms));
+      }
+    }
     for (const net::UdpReply& reply : outcome.replies) {
       const auto response = dns::Message::decode(reply.packet.payload);
       if (!response || !response->header.qr ||
@@ -50,16 +65,19 @@ std::vector<ChaosResult> ChaosScanner::scan(
   std::vector<ChaosResult> results(resolvers.size());
   ParallelExecutor executor(threads_);
   executor.attach_metrics(&world_.metrics(), "scan.chaos");
+  // One two-step stream per resolver (bind then server, strictly ordered).
+  std::vector<ProbeTiming> timings(resolvers.size() * 2);
   {
     net::World::TrafficSection traffic(world_);
     executor.run_blocks(
         resolvers.size(),
         [&](std::uint64_t begin, std::uint64_t end, unsigned) {
           for (std::uint64_t i = begin; i < end; ++i) {
-            results[i] = probe(resolvers[i]);
+            results[i] = probe(resolvers[i], &timings[i * 2]);
           }
         });
   }
+  event_core_.run(timings, resolvers.size(), /*steps_per_stream=*/2);
   std::uint64_t responded = 0;
   std::uint64_t versions = 0;
   for (const ChaosResult& result : results) {

@@ -18,6 +18,7 @@
 
 #include "dns/types.h"
 #include "net/world.h"
+#include "scan/event_core.h"
 #include "scan/retry.h"
 
 namespace dnswild::scan {
@@ -35,14 +36,21 @@ class ChaosScanner {
  public:
   // `threads` = 0 picks hardware_concurrency for scan(); results are
   // identical for every value. An unset retry-policy seed defaults from
-  // `seed`.
+  // `seed`. `max_in_flight` bounds the event core's window (each resolver
+  // is one two-step stream: version.bind then version.server).
   ChaosScanner(net::World& world, net::Ipv4 scanner_ip, std::uint64_t seed,
-               unsigned threads = 0, RetryPolicy retry = {})
+               unsigned threads = 0, RetryPolicy retry = {},
+               std::uint32_t max_in_flight = 65536)
       : world_(world), scanner_ip_(scanner_ip), seed_(seed),
         threads_(threads),
-        retrier_(world, retry.seeded(seed ^ 0xc4a05ULL)) {}
+        retrier_(world, retry.seeded(seed ^ 0xc4a05ULL)),
+        event_core_(&world.metrics(),
+                    EventCoreConfig{max_in_flight, 25000.0, 128.0,
+                                    retrier_.policy(), "scan.chaos.event"}) {}
 
-  ChaosResult probe(net::Ipv4 resolver);
+  // `timings`, when given, receives the two probes' wire schedules
+  // (timings[0] = version.bind, timings[1] = version.server).
+  ChaosResult probe(net::Ipv4 resolver, ProbeTiming* timings = nullptr);
   std::vector<ChaosResult> scan(const std::vector<net::Ipv4>& resolvers);
 
  private:
@@ -51,6 +59,7 @@ class ChaosScanner {
   std::uint64_t seed_;
   unsigned threads_;
   Retrier retrier_;  // shared by all workers (atomic counters only)
+  EventScanCore event_core_;  // coordinator-only: serial virtual-time replay
 };
 
 }  // namespace dnswild::scan

@@ -10,7 +10,8 @@ namespace dnswild::scan {
 TupleRecord DomainScanner::probe(net::Ipv4 resolver,
                                  std::uint32_t resolver_id,
                                  const std::string& domain,
-                                 std::uint16_t domain_index) {
+                                 std::uint16_t domain_index,
+                                 ProbeTiming* timing) {
   TupleRecord record;
   record.resolver_id = resolver_id;
   record.domain_index = domain_index;
@@ -29,7 +30,18 @@ TupleRecord DomainScanner::probe(net::Ipv4 resolver,
   packet.dst_port = 53;
   packet.payload = query.encode();
 
+  const std::uint64_t probe_key = net::probe_identity_key(packet);
   const RetryOutcome outcome = retrier_.send(std::move(packet));
+  if (timing != nullptr) {
+    timing->probe_key = probe_key;
+    timing->transmissions = static_cast<std::uint16_t>(outcome.transmissions);
+    timing->responded = !outcome.replies.empty();
+    for (const net::UdpReply& reply : outcome.replies) {
+      timing->reply_latency_ms =
+          std::max(timing->reply_latency_ms,
+                   static_cast<std::uint32_t>(reply.latency_ms));
+    }
+  }
   for (const net::UdpReply& reply : outcome.replies) {
     const auto response = dns::Message::decode(reply.packet.payload);
     if (!response || !response->header.qr) continue;
@@ -93,6 +105,14 @@ std::vector<TupleRecord> DomainScanner::scan(
         static_cast<std::uint64_t>(domain_count) * e / epochs);
     const auto d_end = static_cast<std::uint16_t>(
         static_cast<std::uint64_t>(domain_count) * (e + 1) / epochs);
+    const std::uint32_t epoch_domains =
+        static_cast<std::uint32_t>(d_end - d_begin);
+    // Timings are stream-major (resolver-major): one stream per resolver,
+    // its epoch's domains as ordered steps — the event core serializes a
+    // stream's probes, preserving the per-resolver request order the
+    // determinism contract rests on.
+    std::vector<ProbeTiming> timings(
+        static_cast<std::size_t>(resolver_count) * epoch_domains);
     {
       net::World::TrafficSection traffic(world_);
       executor.run_blocks(
@@ -105,10 +125,14 @@ std::vector<TupleRecord> DomainScanner::scan(
               for (std::uint16_t d = d_begin; d < d_end; ++d) {
                 records[static_cast<std::size_t>(d) * resolver_count + r] =
                     probe(resolvers[r], static_cast<std::uint32_t>(r),
-                          domains[d], d);
+                          domains[d], d,
+                          &timings[r * epoch_domains + (d - d_begin)]);
               }
             }
           });
+    }
+    if (epoch_domains > 0) {
+      event_core_.run(timings, resolver_count, epoch_domains);
     }
     if (spread && e + 1 < epochs) {
       world_.advance_days(config_.spread_over_hours / 24.0 /

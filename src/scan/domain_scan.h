@@ -24,6 +24,7 @@
 #include "dns/types.h"
 #include "net/world.h"
 #include "scan/encoding.h"
+#include "scan/event_core.h"
 #include "scan/executor.h"
 #include "scan/retry.h"
 #include "util/rng.h"
@@ -44,6 +45,10 @@ struct DomainScanConfig {
   // Retry/backoff policy per (resolver, domain) probe; an unset policy
   // seed defaults from `seed`.
   RetryPolicy retry;
+  // In-flight window for the event core: resolvers with an outstanding
+  // probe at once (each resolver is one stream — its domains stay strictly
+  // ordered). Affects only virtual-time accounting, never records.
+  std::uint32_t max_in_flight = 65536;
 };
 
 struct TupleRecord {
@@ -69,6 +74,9 @@ class DomainScanner {
       : world_(world),
         config_(config),
         retrier_(world, config.retry.seeded(config.seed ^ 0xd03a1ULL)),
+        event_core_(&world.metrics(),
+                    EventCoreConfig{config.max_in_flight, 25000.0, 128.0,
+                                    retrier_.policy(), "scan.domain.event"}),
         rng_(config.seed) {}
 
   // One record per (resolver, domain) probe, in probe order. resolvers[i]
@@ -76,14 +84,17 @@ class DomainScanner {
   std::vector<TupleRecord> scan(const std::vector<net::Ipv4>& resolvers,
                                 const std::vector<std::string>& domains);
 
-  // Single probe, exposed for tests.
+  // Single probe, exposed for tests. `timing`, when given, receives the
+  // probe's wire schedule for the event core.
   TupleRecord probe(net::Ipv4 resolver, std::uint32_t resolver_id,
-                    const std::string& domain, std::uint16_t domain_index);
+                    const std::string& domain, std::uint16_t domain_index,
+                    ProbeTiming* timing = nullptr);
 
  private:
   net::World& world_;
   DomainScanConfig config_;
   Retrier retrier_;  // shared by all workers (atomic counters only)
+  EventScanCore event_core_;  // coordinator-only: serial virtual-time replay
   util::Rng rng_;
 };
 

@@ -1,0 +1,172 @@
+#include "scan/event_core.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "scan/ratelimit.h"
+
+namespace dnswild::scan {
+
+namespace {
+
+// A probe that never answers holds its receive-window slot for the policy
+// timeout; policies without a timeout get this grace so fire-and-forget
+// scans still retire unanswered streams in bounded virtual time.
+constexpr std::uint64_t kUnansweredGraceUs = 1'000'000;
+
+std::uint64_t key_rank(ScanEvent::Kind kind) noexcept {
+  return static_cast<std::uint64_t>(kind);
+}
+
+struct EventGreater {
+  bool operator()(const ScanEvent& a, const ScanEvent& b) const noexcept {
+    return event_key_less(b, a);
+  }
+};
+
+}  // namespace
+
+bool event_key_less(const ScanEvent& a, const ScanEvent& b) noexcept {
+  if (a.time_us != b.time_us) return a.time_us < b.time_us;
+  if (a.stream != b.stream) return a.stream < b.stream;
+  if (a.step != b.step) return a.step < b.step;
+  if (a.attempt != b.attempt) return a.attempt < b.attempt;
+  return key_rank(a.kind) < key_rank(b.kind);
+}
+
+EventScanCore::EventScanCore(obs::Registry* registry, EventCoreConfig config)
+    : config_(std::move(config)) {
+  if (registry == nullptr) return;
+  events_ = &registry->counter(config_.label + ".events");
+  wire_sends_ = &registry->counter(config_.label + ".wire_sends");
+  retry_events_ = &registry->counter(config_.label + ".retry_events");
+  virtual_us_ = &registry->counter(config_.label + ".virtual_us");
+  queue_peak_ = &registry->gauge(config_.label + ".queue_peak");
+  // The window instruments are shared across campaigns: one in-flight
+  // distribution and one peak for the whole run (idempotent registration).
+  inflight_peak_ = &registry->gauge("scan.inflight.peak");
+  inflight_ = &registry->histogram(
+      "scan.inflight", {1, 64, 256, 1024, 4096, 16384, 65536});
+}
+
+EventStats EventScanCore::run(const std::vector<ProbeTiming>& timings,
+                              std::uint64_t streams,
+                              std::uint32_t steps_per_stream,
+                              std::vector<ScanEvent>* trace) {
+  EventStats stats;
+  if (streams == 0 || steps_per_stream == 0) return stats;
+
+  const std::uint32_t window = std::max<std::uint32_t>(1, config_.max_in_flight);
+  const std::uint64_t timeout_us =
+      config_.retry.timeout_ms > 0
+          ? static_cast<std::uint64_t>(config_.retry.timeout_ms) * 1000
+          : kUnansweredGraceUs;
+
+  // Send pacing reuses the campaigns' TokenBucket as the virtual wire
+  // clock: the bucket's elapsed time is the instant the last conforming
+  // send went out, so syncing it forward to each event's time and asking
+  // for one token yields that send's wire timestamp.
+  TokenBucket pace(config_.pace_rate_per_sec, config_.pace_burst);
+  const auto wire_time = [&pace](std::uint64_t t_us) {
+    const double t_s = static_cast<double>(t_us) / 1e6;
+    if (t_s > pace.virtual_elapsed_seconds()) {
+      pace.advance(t_s - pace.virtual_elapsed_seconds());
+    }
+    pace.acquire();
+    const auto paced_us = static_cast<std::uint64_t>(
+        std::llround(pace.virtual_elapsed_seconds() * 1e6));
+    return std::max(t_us, paced_us);
+  };
+
+  std::priority_queue<ScanEvent, std::vector<ScanEvent>, EventGreater> queue;
+  std::uint64_t admitted = 0;
+  std::uint32_t in_flight = 0;
+  std::uint64_t makespan_us = 0;
+
+  const auto admit = [&](std::uint64_t now_us) {
+    while (admitted < streams && in_flight < window) {
+      queue.push(ScanEvent{now_us, admitted, 0, 0, ScanEvent::Kind::kSend});
+      ++admitted;
+      ++in_flight;
+      stats.peak_in_flight = std::max(stats.peak_in_flight, in_flight);
+    }
+  };
+  admit(0);
+
+  while (!queue.empty()) {
+    const ScanEvent event = queue.top();
+    queue.pop();
+    ++stats.events;
+    stats.peak_queue_depth = std::max<std::uint64_t>(stats.peak_queue_depth,
+                                                     queue.size() + 1);
+    if (trace != nullptr) trace->push_back(event);
+
+    const ProbeTiming& timing =
+        timings[event.stream * steps_per_stream + event.step];
+    switch (event.kind) {
+      case ScanEvent::Kind::kSend: {
+        if (timing.transmissions == 0) {
+          // Skipped target: the step retires without a wire send.
+          queue.push(ScanEvent{event.time_us, event.stream, event.step,
+                               event.attempt, ScanEvent::Kind::kReply});
+          break;
+        }
+        const std::uint64_t wire_us = wire_time(event.time_us);
+        ++stats.wire_sends;
+        if (event.attempt > 0) ++stats.retry_events;
+        if (inflight_ != nullptr) inflight_->observe(in_flight);
+        if (event.attempt + 1 < timing.transmissions) {
+          // This attempt stays silent: the client sits out the timeout and
+          // the per-attempt backoff, then retransmits — as a future event,
+          // not a blocked worker. The backoff is recomputed from the probe
+          // key exactly as Retrier::send charged it.
+          const auto backoff_us = static_cast<std::uint64_t>(std::llround(
+              config_.retry.backoff_seconds(timing.probe_key,
+                                            event.attempt + 1) *
+              1e6));
+          queue.push(ScanEvent{wire_us + timeout_us + backoff_us,
+                               event.stream, event.step,
+                               static_cast<std::uint16_t>(event.attempt + 1),
+                               ScanEvent::Kind::kSend});
+        } else {
+          // Final attempt: the reply arrives after the fault plane's
+          // latency, or the receive window closes at the timeout.
+          const std::uint64_t wait_us =
+              timing.responded
+                  ? static_cast<std::uint64_t>(timing.reply_latency_ms) * 1000
+                  : timeout_us;
+          queue.push(ScanEvent{wire_us + wait_us, event.stream, event.step,
+                               event.attempt, ScanEvent::Kind::kReply});
+        }
+        break;
+      }
+      case ScanEvent::Kind::kReply: {
+        makespan_us = std::max(makespan_us, event.time_us);
+        if (event.step + 1 < steps_per_stream) {
+          // Next probe of this stream: per-destination order preserved.
+          queue.push(ScanEvent{event.time_us, event.stream, event.step + 1, 0,
+                               ScanEvent::Kind::kSend});
+        } else {
+          --in_flight;
+          ++stats.completed_streams;
+          admit(event.time_us);
+        }
+        break;
+      }
+    }
+  }
+
+  stats.virtual_seconds = static_cast<double>(makespan_us) / 1e6;
+  if (events_ != nullptr) {
+    events_->add(stats.events);
+    wire_sends_->add(stats.wire_sends);
+    retry_events_->add(stats.retry_events);
+    virtual_us_->add(makespan_us);
+    queue_peak_->track_max(static_cast<std::int64_t>(stats.peak_queue_depth));
+    inflight_peak_->track_max(static_cast<std::int64_t>(stats.peak_in_flight));
+  }
+  return stats;
+}
+
+}  // namespace dnswild::scan

@@ -1,0 +1,125 @@
+// Deterministic virtual-time event core for the scan campaigns
+// (DESIGN.md §11).
+//
+// The scanners used to account for time synchronously: every silent probe
+// blocked its worker's virtual clock for the full timeout + backoff ladder,
+// so a lossy scan's virtual duration was the *sum* of every probe's waits —
+// exactly the serialization a real asynchronous prober (ZDNS-style
+// decoupled send/receive loops) avoids. This core replays a scan's probes
+// through a discrete-event simulation instead: sends carry timestamps and
+// pace through a token bucket, replies arrive as events after the fault
+// plane's latency, RetryPolicy timeouts/backoffs schedule *future* send
+// events rather than blocking, and a bounded in-flight window keeps the
+// pipe full while capping outstanding probe state. Waits now overlap
+// across streams, so virtual scan time collapses from sum-of-waits to the
+// schedule's makespan.
+//
+// Division of labor: probe *execution* (packet construction, fate hashing,
+// reply decoding — all the CPU work) stays on the ParallelExecutor
+// workers, which record one compact ProbeTiming per probe. The event
+// simulation itself then runs serially on the coordinator over those
+// timings in stream order. Because every timing is a pure function of the
+// probe's identity (DESIGN.md §7) and the simulation is serial, every
+// quantity this core emits — virtual seconds, event counts, in-flight
+// peaks — is byte-identical for any thread count; events are drained in
+// strict event-key order (time, stream, step, attempt, kind).
+//
+// A "stream" serializes probes to one destination (one probe in flight per
+// stream, steps in ascending order), preserving the per-destination
+// request order that keeps stateful resolver caches and fault rate
+// limiters on a deterministic schedule. The window admits streams in index
+// order as slots free up.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "scan/retry.h"
+
+namespace dnswild::scan {
+
+struct EventCoreConfig {
+  // Upper bound on streams with an outstanding probe. 1 reproduces the old
+  // synchronous accounting (every wait serializes); large windows let the
+  // whole retry plane overlap.
+  std::uint32_t max_in_flight = 65536;
+  // Send pacing: the study's probe rate (§2.2 tunes for politeness).
+  double pace_rate_per_sec = 25000.0;
+  double pace_burst = 128.0;
+  // Timeout/backoff schedule for retry events; must match the policy the
+  // scanner's Retrier ran with so the replayed ladder lands on the same
+  // per-attempt waits (both recompute them from the probe key).
+  RetryPolicy retry;
+  // Metrics namespace, e.g. "scan.ipv4.event".
+  std::string label = "scan.event";
+};
+
+// One probe's wire outcome, recorded by the execution pass. A pure
+// function of the probe identity, so the slot is thread-invariant.
+struct ProbeTiming {
+  std::uint64_t probe_key = 0;        // net::probe_identity_key
+  std::uint32_t reply_latency_ms = 0; // final attempt's last reply latency
+  std::uint16_t transmissions = 1;    // sends incl. retries; 0 = skipped
+  bool responded = false;             // any surviving reply
+};
+
+// One drained event, exposed for the determinism tests. The strict total
+// order (time_us, stream, step, attempt, kind) has no ties: a
+// (stream, step, attempt) triple owns at most one event of each kind.
+struct ScanEvent {
+  enum class Kind : std::uint8_t { kSend = 0, kReply = 1 };
+  std::uint64_t time_us = 0;
+  std::uint64_t stream = 0;
+  std::uint32_t step = 0;
+  std::uint16_t attempt = 0;
+  Kind kind = Kind::kSend;
+
+  friend bool operator==(const ScanEvent&, const ScanEvent&) = default;
+};
+
+// The event-key order events drain in.
+bool event_key_less(const ScanEvent& a, const ScanEvent& b) noexcept;
+
+struct EventStats {
+  double virtual_seconds = 0.0;     // schedule makespan
+  std::uint64_t events = 0;         // events drained
+  std::uint64_t wire_sends = 0;     // transmissions paced onto the wire
+  std::uint64_t retry_events = 0;   // send events with attempt > 0
+  std::uint32_t peak_in_flight = 0; // high-water mark of the window
+  std::uint64_t peak_queue_depth = 0;
+  std::uint64_t completed_streams = 0;
+};
+
+class EventScanCore {
+ public:
+  // `registry` may be null (no instruments published — bench/test use).
+  EventScanCore(obs::Registry* registry, EventCoreConfig config);
+
+  // Replays `streams` streams of `steps_per_stream` probes each; timings
+  // are stream-major (slot = stream * steps_per_stream + step). `trace`,
+  // when given, receives every drained event in drain order (tests).
+  // Streams whose step has transmissions == 0 (blacklisted/reserved
+  // targets) complete instantly without touching the wire.
+  EventStats run(const std::vector<ProbeTiming>& timings,
+                 std::uint64_t streams, std::uint32_t steps_per_stream,
+                 std::vector<ScanEvent>* trace = nullptr);
+
+  const EventCoreConfig& config() const noexcept { return config_; }
+
+ private:
+  EventCoreConfig config_;
+  // Instruments; null when no registry. Everything here is a pure function
+  // of the run's inputs (the simulation is serial), so all are kStable and
+  // survive masked-report comparison across thread counts.
+  obs::Counter* events_ = nullptr;
+  obs::Counter* wire_sends_ = nullptr;
+  obs::Counter* retry_events_ = nullptr;
+  obs::Counter* virtual_us_ = nullptr;
+  obs::Gauge* inflight_peak_ = nullptr;
+  obs::Gauge* queue_peak_ = nullptr;
+  obs::Histogram* inflight_ = nullptr;
+};
+
+}  // namespace dnswild::scan

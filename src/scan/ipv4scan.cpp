@@ -14,6 +14,9 @@ Ipv4Scanner::Ipv4Scanner(net::World& world, Ipv4ScanConfig config)
     : world_(world),
       config_(std::move(config)),
       retrier_(world, config_.retry.seeded(config_.seed ^ 0x52e7ULL)),
+      event_core_(&world.metrics(),
+                  EventCoreConfig{config_.max_in_flight, 25000.0, 128.0,
+                                  retrier_.policy(), "scan.ipv4.event"}),
       rng_(config_.seed) {}
 
 void Ipv4Scanner::record_summary(const Ipv4ScanSummary& summary) {
@@ -36,7 +39,8 @@ void Ipv4Scanner::record_summary(const Ipv4ScanSummary& summary) {
 }
 
 void Ipv4Scanner::probe_one(net::Ipv4 target, std::uint64_t salt,
-                            std::string& prefix, Ipv4ScanSummary& summary) {
+                            std::string& prefix, Ipv4ScanSummary& summary,
+                            ProbeTiming& timing) {
   ++summary.probed;
 
   // Random label prefix defeats caching along the path (§2.2). Prefix and
@@ -58,7 +62,14 @@ void Ipv4Scanner::probe_one(net::Ipv4 target, std::uint64_t salt,
   packet.dst_port = 53;
   packet.payload = query.encode();
 
+  timing.probe_key = net::probe_identity_key(packet);
   RetryOutcome outcome = retrier_.send(std::move(packet));
+  timing.transmissions = static_cast<std::uint16_t>(outcome.transmissions);
+  timing.responded = !outcome.replies.empty();
+  for (const net::UdpReply& reply : outcome.replies) {
+    timing.reply_latency_ms = std::max(
+        timing.reply_latency_ms, static_cast<std::uint32_t>(reply.latency_ms));
+  }
   summary.retry_retransmissions +=
       static_cast<std::uint64_t>(outcome.transmissions - 1);
   summary.retry_wait_ms += static_cast<std::uint64_t>(
@@ -100,20 +111,23 @@ void Ipv4Scanner::probe_one(net::Ipv4 target, std::uint64_t salt,
 void Ipv4Scanner::probe_block(const std::vector<net::Ipv4>& targets,
                               std::uint64_t begin, std::uint64_t end,
                               std::uint64_t salt, bool check_reserved,
-                              Ipv4ScanSummary& shard) {
+                              Ipv4ScanSummary& shard,
+                              std::vector<ProbeTiming>& timings) {
   std::string prefix;
   prefix.reserve(16);
   for (std::uint64_t i = begin; i < end; ++i) {
     const net::Ipv4 target = targets[i];
     if (check_reserved && net::is_reserved(target)) {
       ++shard.skipped_reserved;
+      timings[i].transmissions = 0;  // never admitted to the wire
       continue;
     }
     if (config_.blacklist != nullptr && config_.blacklist->contains(target)) {
       ++shard.skipped_blacklist;
+      timings[i].transmissions = 0;
       continue;
     }
-    probe_one(target, salt, prefix, shard);
+    probe_one(target, salt, prefix, shard, timings[i]);
   }
 }
 
@@ -122,15 +136,25 @@ void Ipv4Scanner::probe_batch(const std::vector<net::Ipv4>& targets,
                               ParallelExecutor& executor,
                               Ipv4ScanSummary& summary) {
   std::vector<Ipv4ScanSummary> shards(executor.threads());
+  // Execution pass: workers do the wire work (pure per-probe fates) and
+  // record each probe's timing into its slot; the serial event-time replay
+  // below turns those timings into the scan's virtual schedule.
+  std::vector<ProbeTiming> timings(targets.size());
   {
     net::World::TrafficSection traffic(world_);
     executor.run_blocks(
         targets.size(),
         [&](std::uint64_t begin, std::uint64_t end, unsigned worker) {
           probe_block(targets, begin, end, salt, check_reserved,
-                      shards[worker]);
+                      shards[worker], timings);
         });
   }
+  const EventStats events =
+      event_core_.run(timings, targets.size(), /*steps_per_stream=*/1);
+  summary.virtual_scan_seconds += events.virtual_seconds;
+  summary.peak_in_flight =
+      std::max(summary.peak_in_flight, events.peak_in_flight);
+  summary.event_count += events.events;
   // Exact-size reserve, then append shards in block order: contiguous
   // blocks concatenate back into the enumeration order, so the merged
   // summary is byte-identical for every thread count.
@@ -169,7 +193,7 @@ void Ipv4Scanner::probe_batch(const std::vector<net::Ipv4>& targets,
 Ipv4ScanSummary Ipv4Scanner::scan(const std::vector<net::Cidr>& universe) {
   Ipv4ScanSummary summary;
   UniversePermutation permutation(
-      universe, static_cast<std::uint32_t>(rng_.next()));
+      universe, static_cast<std::uint32_t>(rng_.next()), config_.order);
   const std::uint64_t salt = rng_.next();
   const std::uint64_t total = permutation.size();
   // Clock advancement cadence: chunked so churn unfolds across the scan.

@@ -26,7 +26,9 @@
 #include "dns/name.h"
 #include "net/world.h"
 #include "scan/blacklist.h"
+#include "scan/event_core.h"
 #include "scan/executor.h"
+#include "scan/permute.h"
 #include "scan/retry.h"
 #include "util/rng.h"
 
@@ -49,6 +51,14 @@ struct Ipv4ScanConfig {
   // Worker threads for the sharded scan; 0 = hardware_concurrency. Results
   // are identical for every value.
   unsigned threads = 0;
+  // In-flight window for the virtual-time event core: how many targets may
+  // have an outstanding probe at once. 1 reproduces the old synchronous
+  // accounting (timeouts serialize); the default keeps the pipe full.
+  // Affects only the virtual-time fields of the summary, never outcomes.
+  std::uint32_t max_in_flight = 65536;
+  // Scan-order ablation (DESIGN.md §5): the paper's LFSR or the Sobol
+  // low-discrepancy order. Per-probe fates are order-independent.
+  ScanOrder order = ScanOrder::kLfsr;
 };
 
 struct Ipv4ScanSummary {
@@ -73,6 +83,14 @@ struct Ipv4ScanSummary {
   // probe) so shard sums stay exact under any merge order.
   std::uint64_t retry_wait_ms = 0;
 
+  // Event-core accounting (thread-count invariant: the simulation is
+  // serial over pure per-probe timings). virtual_scan_seconds is the
+  // makespan of the paced, windowed event schedule — with max_in_flight=1
+  // it degenerates to the old serialized sum of waits.
+  double virtual_scan_seconds = 0.0;
+  std::uint32_t peak_in_flight = 0;
+  std::uint64_t event_count = 0;
+
   // Targets that answered NOERROR (the "open resolver" population handed to
   // the follow-up campaigns).
   std::vector<net::Ipv4> noerror_targets;
@@ -93,13 +111,15 @@ class Ipv4Scanner {
 
  private:
   // One probe; `prefix` is a scratch buffer reused across a shard's probes
-  // so the per-probe label costs no allocation once warm.
+  // so the per-probe label costs no allocation once warm. `timing` records
+  // the probe's wire schedule for the event core.
   void probe_one(net::Ipv4 target, std::uint64_t salt, std::string& prefix,
-                 Ipv4ScanSummary& summary);
-  // Sequential sweep of targets[begin, end) into a shard summary.
+                 Ipv4ScanSummary& summary, ProbeTiming& timing);
+  // Sequential sweep of targets[begin, end) into a shard summary; timing
+  // slot i belongs to targets[i] (single writer per slot).
   void probe_block(const std::vector<net::Ipv4>& targets, std::uint64_t begin,
                    std::uint64_t end, std::uint64_t salt, bool check_reserved,
-                   Ipv4ScanSummary& shard);
+                   Ipv4ScanSummary& shard, std::vector<ProbeTiming>& timings);
   // Fans one batch out across the executor and merges shards in block
   // order (= enumeration order, for any thread count).
   void probe_batch(const std::vector<net::Ipv4>& targets, std::uint64_t salt,
@@ -112,6 +132,7 @@ class Ipv4Scanner {
   net::World& world_;
   Ipv4ScanConfig config_;
   Retrier retrier_;  // shared by all workers (atomic counters + locals only)
+  EventScanCore event_core_;  // coordinator-only: serial virtual-time replay
   util::Rng rng_;  // coordinator-only: permutation seed + per-scan salt
 };
 

@@ -95,8 +95,37 @@ bool IndexPermutation::next(std::uint64_t& out) noexcept {
   return false;
 }
 
+SobolPermutation::SobolPermutation(std::uint64_t count, std::uint32_t seed)
+    : count_(count),
+      bits_([count] {
+        unsigned bits = 1;
+        while (bits < 32 && (std::uint64_t{1} << bits) < count) ++bits;
+        return bits;
+      }()),
+      period_(std::uint64_t{1} << bits_),
+      scramble_(static_cast<std::uint32_t>(
+          seed & ((std::uint64_t{1} << bits_) - 1))) {}
+
+bool SobolPermutation::next(std::uint64_t& out) noexcept {
+  while (n_ < period_) {
+    const std::uint64_t candidate = x_ ^ scramble_;
+    // Gray-code update: flip the direction bit v_c = 2^(bits-1-c) where c
+    // is the lowest zero bit of n — each state is visited exactly once
+    // over the 2^bits period, so the scrambled output is a bijection.
+    const unsigned c =
+        static_cast<unsigned>(__builtin_ctzll(~n_));
+    ++n_;
+    if (n_ < period_) x_ ^= 1u << (bits_ - 1 - c);
+    if (candidate < count_) {
+      out = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
 UniversePermutation::UniversePermutation(std::vector<net::Cidr> prefixes,
-                                         std::uint32_t seed)
+                                         std::uint32_t seed, ScanOrder order)
     : prefixes_(std::move(prefixes)),
       offsets_(),
       total_([this] {
@@ -108,11 +137,15 @@ UniversePermutation::UniversePermutation(std::vector<net::Cidr> prefixes,
         }
         return total;
       }()),
-      permutation_(total_, seed) {}
+      order_(order),
+      lfsr_(order == ScanOrder::kLfsr ? total_ : 0, seed),
+      sobol_(order == ScanOrder::kSobol ? total_ : 0, seed) {}
 
 bool UniversePermutation::next(net::Ipv4& out) noexcept {
   std::uint64_t index = 0;
-  if (!permutation_.next(index)) return false;
+  const bool more = order_ == ScanOrder::kSobol ? sobol_.next(index)
+                                                : lfsr_.next(index);
+  if (!more) return false;
   // Binary search the prefix containing this flat index.
   const auto it =
       std::upper_bound(offsets_.begin(), offsets_.end(), index) - 1;

@@ -34,6 +34,14 @@ class GenericLfsr {
   std::uint32_t state_;
 };
 
+// Which low-level sequence a permutation walks (DESIGN.md §5 ablation:
+// the paper's LFSR spreads consecutive probes across unrelated networks;
+// the Sobol/van der Corput order additionally covers the address space
+// uniformly at every prefix of the scan, so partial sweeps see an
+// unbiased sample — the discovery-rate curves in BENCH_micro.json
+// compare the two).
+enum class ScanOrder { kLfsr, kSobol };
+
 // Emits every index in [0, count) exactly once, in LFSR order.
 class IndexPermutation {
  public:
@@ -49,10 +57,30 @@ class IndexPermutation {
   bool done_ = false;
 };
 
+// Emits every index in [0, count) exactly once, in scrambled 1-D Sobol
+// (Gray-code van der Corput) order: a bit-reversed counter over the
+// smallest covering power of two, XOR-digital-shifted by the seed. Every
+// prefix of the sequence is a low-discrepancy sample of the index space.
+class SobolPermutation {
+ public:
+  SobolPermutation(std::uint64_t count, std::uint32_t seed);
+
+  bool next(std::uint64_t& out) noexcept;
+
+ private:
+  std::uint64_t count_;
+  unsigned bits_;            // 2^bits_ >= count_
+  std::uint64_t period_;     // 2^bits_
+  std::uint32_t scramble_;   // XOR digital shift, masked to bits_
+  std::uint32_t x_ = 0;      // current Gray-code Sobol state
+  std::uint64_t n_ = 0;      // sequence position
+};
+
 // Permuted iteration over the union of (non-overlapping) prefixes.
 class UniversePermutation {
  public:
-  UniversePermutation(std::vector<net::Cidr> prefixes, std::uint32_t seed);
+  UniversePermutation(std::vector<net::Cidr> prefixes, std::uint32_t seed,
+                      ScanOrder order = ScanOrder::kLfsr);
 
   bool next(net::Ipv4& out) noexcept;
   std::uint64_t size() const noexcept { return total_; }
@@ -61,7 +89,9 @@ class UniversePermutation {
   std::vector<net::Cidr> prefixes_;
   std::vector<std::uint64_t> offsets_;  // cumulative start index per prefix
   std::uint64_t total_ = 0;
-  IndexPermutation permutation_;
+  ScanOrder order_;
+  IndexPermutation lfsr_;
+  SobolPermutation sobol_;
 };
 
 }  // namespace dnswild::scan

@@ -1,0 +1,328 @@
+// Event-driven virtual-time scan core (DESIGN.md §11).
+//
+// Contracts under test, mirroring the acceptance criteria:
+//   1. Determinism — the drained event trace is identical across runs and
+//      strictly increasing in the event-key order (time, stream, step,
+//      attempt, kind), so replays are byte-for-byte reproducible.
+//   2. Thread invariance — a chaos-profile scan produces byte-identical
+//      masked metrics reports and identical virtual durations for 1/2/8
+//      worker threads (the simulation is serial over pure per-probe
+//      timings).
+//   3. Window safety — the in-flight count never exceeds max_in_flight
+//      for any window, every stream completes, and opening the window
+//      never lengthens the virtual makespan (property test).
+//   4. Retry interleaving — a silent stream's retransmissions overlap
+//      with other streams' fresh sends instead of blocking them.
+//   5. Async payoff — on a lossy world with a three-retransmission
+//      ladder the event-core makespan beats the synchronous sum-of-waits
+//      baseline, and a window of one costs >= 2x the open window.
+#include "scan/event_core.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scan/ipv4scan.h"
+#include "scan/ratelimit.h"
+#include "scan/retry.h"
+#include "util/rng.h"
+#include "worldgen/worldgen.h"
+
+namespace dnswild {
+namespace {
+
+using scan::EventCoreConfig;
+using scan::EventScanCore;
+using scan::EventStats;
+using scan::ProbeTiming;
+using scan::ScanEvent;
+
+// Deterministic synthetic workload mixing the outcome shapes the scanners
+// produce: skipped targets (transmissions == 0), single-shot replies,
+// ladders that recover late, and ladders that exhaust silently.
+std::vector<ProbeTiming> synthetic_timings(std::uint64_t streams,
+                                           std::uint32_t steps,
+                                           std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<ProbeTiming> timings(streams * steps);
+  for (ProbeTiming& timing : timings) {
+    timing.probe_key = rng.next() | 1;
+    const double roll = rng.uniform();
+    if (roll < 0.05) {
+      timing.transmissions = 0;  // reserved/blacklisted: never on the wire
+      timing.responded = false;
+    } else if (roll < 0.70) {
+      timing.transmissions = 1;
+      timing.responded = true;
+      timing.reply_latency_ms = static_cast<std::uint32_t>(rng.below(300));
+    } else if (roll < 0.85) {
+      timing.transmissions = static_cast<std::uint16_t>(2 + rng.below(2));
+      timing.responded = true;  // recovered on the final attempt
+      timing.reply_latency_ms =
+          static_cast<std::uint32_t>(50 + rng.below(400));
+    } else {
+      timing.transmissions = 3;
+      timing.responded = false;  // exhausted the ladder
+    }
+  }
+  return timings;
+}
+
+EventCoreConfig test_config(std::uint32_t window) {
+  EventCoreConfig config;
+  config.max_in_flight = window;
+  config.retry.attempts = 3;
+  config.retry.timeout_ms = 800;
+  config.retry.seed = 7;
+  return config;
+}
+
+TEST(EventKey, StrictTotalOrderRanksFieldsInOrder) {
+  const ScanEvent base{1000, 2, 3, 1, ScanEvent::Kind::kReply};
+  ScanEvent later = base;
+  later.time_us = 1001;
+  EXPECT_TRUE(event_key_less(base, later));
+  EXPECT_FALSE(event_key_less(later, base));
+
+  ScanEvent stream = base;
+  stream.stream = 3;
+  EXPECT_TRUE(event_key_less(base, stream));
+
+  ScanEvent step = base;
+  step.step = 4;
+  EXPECT_TRUE(event_key_less(base, step));
+
+  ScanEvent attempt = base;
+  attempt.attempt = 2;
+  EXPECT_TRUE(event_key_less(base, attempt));
+
+  ScanEvent send = base;
+  send.kind = ScanEvent::Kind::kSend;
+  EXPECT_TRUE(event_key_less(send, base));  // kSend drains before kReply
+
+  EXPECT_FALSE(event_key_less(base, base));  // irreflexive
+}
+
+TEST(EventCore, TraceIsDeterministicAndStrictlyOrdered) {
+  const auto timings = synthetic_timings(64, 3, 11);
+  EventScanCore core(nullptr, test_config(16));
+
+  std::vector<ScanEvent> first;
+  const EventStats stats_a = core.run(timings, 64, 3, &first);
+  std::vector<ScanEvent> second;
+  const EventStats stats_b = core.run(timings, 64, 3, &second);
+
+  ASSERT_FALSE(first.empty());
+  ASSERT_EQ(first.size(), second.size());
+  EXPECT_TRUE(std::equal(first.begin(), first.end(), second.begin()));
+  EXPECT_DOUBLE_EQ(stats_a.virtual_seconds, stats_b.virtual_seconds);
+  EXPECT_EQ(stats_a.events, stats_b.events);
+  EXPECT_EQ(stats_a.events, first.size());
+
+  // Drain order is strictly increasing in the event key: every event the
+  // simulation schedules keys after the event that scheduled it, so the
+  // heap never ties and never goes backwards.
+  for (std::size_t i = 1; i < first.size(); ++i) {
+    EXPECT_TRUE(event_key_less(first[i - 1], first[i]))
+        << "trace not strictly ordered at index " << i;
+  }
+}
+
+TEST(EventCore, WindowIsNeverExceededAndAllStreamsComplete) {
+  const std::uint64_t streams = 48;
+  const std::uint32_t steps = 2;
+  const auto timings = synthetic_timings(streams, steps, 23);
+
+  double previous_makespan = 0.0;
+  bool have_previous = false;
+  for (const std::uint32_t window : {1u, 2u, 7u, 64u}) {
+    EventScanCore core(nullptr, test_config(window));
+    std::vector<ScanEvent> trace;
+    const EventStats stats = core.run(timings, streams, steps, &trace);
+
+    EXPECT_LE(stats.peak_in_flight, window) << "window " << window;
+    EXPECT_EQ(stats.completed_streams, streams) << "window " << window;
+
+    // Reconstruct occupancy from the trace: a stream holds a slot from
+    // its first send (step 0, attempt 0) until its last step's reply.
+    std::uint32_t in_flight = 0;
+    std::uint32_t peak = 0;
+    for (const ScanEvent& event : trace) {
+      if (event.kind == ScanEvent::Kind::kSend && event.step == 0 &&
+          event.attempt == 0) {
+        peak = std::max(peak, ++in_flight);
+      } else if (event.kind == ScanEvent::Kind::kReply &&
+                 event.step == steps - 1) {
+        ASSERT_GT(in_flight, 0u);
+        --in_flight;
+      }
+    }
+    EXPECT_EQ(in_flight, 0u) << "window " << window;
+    EXPECT_LE(peak, window) << "window " << window;
+    EXPECT_EQ(peak, stats.peak_in_flight) << "window " << window;
+
+    // Opening the window can only shorten (or preserve) the makespan.
+    if (have_previous) {
+      EXPECT_LE(stats.virtual_seconds, previous_makespan)
+          << "window " << window;
+    }
+    previous_makespan = stats.virtual_seconds;
+    have_previous = true;
+  }
+}
+
+TEST(EventCore, RetryEventsInterleaveWithFreshSends) {
+  // Stream 0 is silent through a three-send ladder; the rest answer on
+  // the first try. With an open window the retransmissions of stream 0
+  // must not block the other streams' first sends.
+  const std::uint64_t streams = 6;
+  std::vector<ProbeTiming> timings(streams);
+  for (std::uint64_t i = 0; i < streams; ++i) {
+    timings[i].probe_key = 0x9e3779b97f4a7c15ULL * (i + 1) | 1;
+    timings[i].transmissions = i == 0 ? 3 : 1;
+    timings[i].responded = i != 0;
+    timings[i].reply_latency_ms = 20;
+  }
+
+  EventScanCore core(nullptr, test_config(64));
+  std::vector<ScanEvent> trace;
+  const EventStats stats = core.run(timings, streams, 1, &trace);
+  EXPECT_EQ(stats.retry_events, 2u);  // stream 0's attempts 1 and 2
+
+  std::size_t retry_index = trace.size();
+  std::size_t last_fresh_index = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const ScanEvent& event = trace[i];
+    if (event.kind != ScanEvent::Kind::kSend) continue;
+    if (event.stream == 0 && event.attempt == 1) retry_index = i;
+    if (event.attempt == 0 && event.stream != 0) last_fresh_index = i;
+  }
+  ASSERT_LT(retry_index, trace.size());
+  // Every other stream's fresh send drains before stream 0's first
+  // retransmission: the ladder waited virtually while the window kept
+  // admitting work.
+  EXPECT_GT(retry_index, last_fresh_index);
+  EXPECT_EQ(stats.completed_streams, streams);
+}
+
+// --- Full-scan acceptance ------------------------------------------------
+
+worldgen::WorldGenConfig lossy_world_config() {
+  worldgen::WorldGenConfig config;
+  config.seed = 2015;
+  config.resolver_count = 400;
+  config.with_devices = false;
+  config.chaos.enabled = true;
+  config.chaos.network_fraction = 1.0;
+  config.chaos.episode_rate = 1.0;
+  config.chaos.episode_mean_buckets = 8.0;
+  config.chaos.burst_loss = 0.10;
+  config.chaos.base_loss = 0.10;
+  return config;
+}
+
+scan::Ipv4ScanSummary lossy_scan(std::uint32_t window, unsigned threads) {
+  worldgen::GeneratedWorld gen =
+      worldgen::generate_world(lossy_world_config());
+  scan::Ipv4ScanConfig config;
+  config.scanner_ip = gen.scanner_ip;
+  config.zone = gen.scan_zone;
+  config.blacklist = &gen.blacklist;
+  config.seed = 1;
+  config.retry.attempts = 3;
+  config.retry.timeout_ms = 2000;
+  config.threads = threads;
+  config.max_in_flight = window;
+  scan::Ipv4Scanner scanner(*gen.world, config);
+  return scanner.scan(gen.universe);
+}
+
+TEST(EventCoreAcceptance, AsyncWindowBeatsSynchronousBaseline) {
+  const scan::Ipv4ScanSummary open = lossy_scan(65536, 0);
+  ASSERT_GT(open.retry_retransmissions, 0u);
+  ASSERT_GT(open.virtual_scan_seconds, 0.0);
+
+  // The synchronous baseline the event core replaced: every wire send
+  // paced through the campaign bucket, then every retry wait charged
+  // end-to-end (sum-of-waits — what a window of one serializes).
+  scan::TokenBucket pace(25000.0, 128.0);
+  const std::uint64_t sends = open.probed + open.retry_retransmissions;
+  for (std::uint64_t i = 0; i < sends; ++i) pace.acquire();
+  pace.advance(static_cast<double>(open.retry_wait_ms) / 1000.0);
+  const double serial_seconds = pace.virtual_elapsed_seconds();
+
+  EXPECT_LT(open.virtual_scan_seconds, serial_seconds)
+      << "event-core makespan must beat the synchronous sum-of-waits";
+
+  // Acceptance: the open window is at least twice as fast (in virtual
+  // probes per second) as a fully synchronous window of one.
+  const scan::Ipv4ScanSummary closed = lossy_scan(1, 0);
+  EXPECT_EQ(closed.probed, open.probed);       // fates are window-invariant
+  EXPECT_EQ(closed.noerror, open.noerror);
+  EXPECT_LE(closed.peak_in_flight, 1u);
+  EXPECT_GE(closed.virtual_scan_seconds, 2.0 * open.virtual_scan_seconds);
+}
+
+TEST(EventCoreAcceptance, VirtualTimeIsThreadCountInvariant) {
+  const scan::Ipv4ScanSummary one = lossy_scan(4096, 1);
+  const scan::Ipv4ScanSummary two = lossy_scan(4096, 2);
+  const scan::Ipv4ScanSummary eight = lossy_scan(4096, 8);
+  EXPECT_DOUBLE_EQ(one.virtual_scan_seconds, two.virtual_scan_seconds);
+  EXPECT_DOUBLE_EQ(one.virtual_scan_seconds, eight.virtual_scan_seconds);
+  EXPECT_EQ(one.peak_in_flight, two.peak_in_flight);
+  EXPECT_EQ(one.peak_in_flight, eight.peak_in_flight);
+  EXPECT_EQ(one.event_count, two.event_count);
+  EXPECT_EQ(one.event_count, eight.event_count);
+}
+
+// Masked metrics reports — now including every event-core instrument —
+// stay byte-identical across worker counts under a chaos profile (the
+// DESIGN.md §8 contract the event core must not break).
+std::string chaos_masked_report(unsigned threads) {
+  worldgen::WorldGenConfig world_config;
+  world_config.seed = 99;
+  world_config.resolver_count = 400;
+  world_config.loss_rate = 0.01;
+  world_config.chaos.enabled = true;
+  world_config.chaos.network_fraction = 0.6;
+  world_config.chaos.episode_rate = 0.4;
+  world_config.chaos.burst_loss = 0.3;
+  world_config.chaos.base_loss = 0.02;
+  world_config.chaos.bucket_minutes = 30;
+  world_config.chaos.rate_limit_per_minute = 60.0;
+  world_config.chaos.rate_limit_burst = 24.0;
+  world_config.chaos.rate_limit_refused = true;
+  world_config.chaos.truncate_rate = 0.04;
+  world_config.chaos.corrupt_rate = 0.04;
+  world_config.chaos.slow_episode_rate = 0.1;
+  world_config.chaos.unreachable_episode_rate = 0.05;
+  worldgen::GeneratedWorld gen = worldgen::generate_world(world_config);
+
+  scan::Ipv4ScanConfig config;
+  config.scanner_ip = gen.scanner_ip;
+  config.zone = gen.scan_zone;
+  config.blacklist = &gen.blacklist;
+  config.seed = 42;
+  config.spread_over_hours = 48.0;
+  config.retry.attempts = 2;
+  config.retry.timeout_ms = 2000;
+  config.threads = threads;
+  config.max_in_flight = 4096;
+  scan::Ipv4Scanner scanner(*gen.world, config);
+  scanner.scan(gen.universe);
+  return gen.world->metrics().to_json(true);
+}
+
+TEST(EventCoreAcceptance, MaskedReportByteIdenticalAcrossThreads) {
+  const std::string one = chaos_masked_report(1);
+  ASSERT_NE(one.find("scan.ipv4.event.events"), std::string::npos);
+  ASSERT_NE(one.find("scan.inflight"), std::string::npos);
+  EXPECT_EQ(one, chaos_masked_report(2));
+  EXPECT_EQ(one, chaos_masked_report(8));
+}
+
+}  // namespace
+}  // namespace dnswild

@@ -62,6 +62,31 @@ TEST(ObsRegistry, ConcurrentCounterIncrementsAreLossless) {
   EXPECT_EQ(histogram.count(), kThreads * kPerThread);
 }
 
+TEST(ObsRegistry, GaugeTrackMaxKeepsHighWaterMark) {
+  obs::Registry registry;
+  obs::Gauge& gauge = registry.gauge("hot.peak");
+  gauge.track_max(5);
+  gauge.track_max(3);  // lower values never regress the mark
+  EXPECT_EQ(gauge.value(), 5);
+  gauge.track_max(12);
+  EXPECT_EQ(gauge.value(), 12);
+
+  // Concurrent hammering converges on the global maximum (the CAS loop
+  // the event core's in-flight peak relies on).
+  constexpr unsigned kThreads = 8;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&gauge, t] {
+      for (std::int64_t i = 0; i < 20000; ++i) {
+        gauge.track_max(static_cast<std::int64_t>(t) * 20000 + i);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(gauge.value(), 7 * 20000 + 19999);
+}
+
 TEST(ObsHistogram, BucketsAreUpperInclusiveWithOverflow) {
   obs::Registry registry;
   obs::Histogram& histogram = registry.histogram("h", {10, 100});

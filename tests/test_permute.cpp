@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <set>
 
 namespace dnswild::scan {
@@ -65,6 +66,61 @@ TEST(GenericLfsr, TapsTableKnownEntry) {
   // Order 16 uses taps 16,15,13,4 (XAPP052).
   EXPECT_EQ(GenericLfsr::taps_for_order(16),
             (1u << 15) | (1u << 14) | (1u << 12) | (1u << 3));
+}
+
+TEST(SobolPermutation, BijectiveOverNonPowerOfTwoCount) {
+  // 100 needs a 7-bit period (128); the 28 out-of-range candidates must
+  // be skipped, leaving every index in [0, 100) exactly once.
+  SobolPermutation permutation(100, 31);
+  std::set<std::uint64_t> seen;
+  std::uint64_t value;
+  while (permutation.next(value)) {
+    EXPECT_LT(value, 100u);
+    EXPECT_TRUE(seen.insert(value).second) << "duplicate " << value;
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(SobolPermutation, DeterministicPerSeedAndSeedSensitive) {
+  SobolPermutation a(512, 5);
+  SobolPermutation b(512, 5);
+  SobolPermutation c(512, 6);
+  std::uint64_t va, vb, vc;
+  int differs = 0;
+  for (int i = 0; i < 512; ++i) {
+    ASSERT_TRUE(a.next(va));
+    ASSERT_TRUE(b.next(vb));
+    ASSERT_TRUE(c.next(vc));
+    EXPECT_EQ(va, vb);
+    if (va != vc) ++differs;
+  }
+  EXPECT_GT(differs, 256);  // the digital shift rearranges most positions
+}
+
+TEST(SobolPermutation, PrefixesAreStratified) {
+  // The low-discrepancy property the ablation leans on: over a power-of-
+  // two count the first 2^k points land exactly one per 1/2^k interval,
+  // for every k — here the first 64 of 256 hit each quartile 16 times.
+  SobolPermutation permutation(256, 91);
+  std::array<int, 4> quartiles{};
+  std::uint64_t value;
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(permutation.next(value));
+    ++quartiles[value / 64];
+  }
+  for (const int count : quartiles) EXPECT_EQ(count, 16);
+}
+
+TEST(UniversePermutation, SobolOrderCoversTheUniverse) {
+  const std::vector<net::Cidr> universe = {
+      net::Cidr(net::Ipv4(5, 0, 0, 0), 24),
+      net::Cidr(net::Ipv4(6, 0, 0, 0), 26)};
+  UniversePermutation permutation(universe, 17, ScanOrder::kSobol);
+  EXPECT_EQ(permutation.size(), 256u + 64u);
+  std::set<std::uint32_t> seen;
+  net::Ipv4 ip;
+  while (permutation.next(ip)) seen.insert(ip.value());
+  EXPECT_EQ(seen.size(), 256u + 64u);
 }
 
 }  // namespace
