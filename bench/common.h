@@ -180,6 +180,26 @@ struct LshCrossoverEntry {
   double missed_pair_estimate = -1.0;
 };
 
+// One world-scale row (DESIGN.md §12): a calibrated world built at
+// `resolvers` in the given worldgen mode, its resident-set cost per host,
+// and the Internet-wide scan's throughput over it. `bytes_per_host` is the
+// RSS growth across world construction divided by the host population —
+// the memory number the lazy tentpole is judged on.
+struct WorldScaleEntry {
+  std::string mode;                       // "eager" | "lazy"
+  std::uint64_t resolvers = 0;
+  std::uint64_t hosts = 0;                // world host count after build
+  double build_seconds = 0.0;
+  std::uint64_t rss_before_bytes = 0;
+  std::uint64_t rss_after_build_bytes = 0;
+  std::uint64_t peak_rss_bytes = 0;       // process VmHWM after the scan
+  double bytes_per_host = 0.0;
+  std::uint64_t probes = 0;
+  double scan_wall_seconds = 0.0;
+  double probes_per_sec = 0.0;
+  std::uint64_t noerror = 0;
+};
+
 inline double best_speedup(double base, double best) {
   return base > 0.0 ? best / base : 0.0;
 }
@@ -194,7 +214,8 @@ inline bool write_micro_bench_json(
     const std::vector<LossAblationEntry>& loss_ablation = {},
     const std::vector<LshCrossoverEntry>& lsh_crossover = {},
     const std::vector<InflightSweepEntry>& inflight_sweep = {},
-    const std::vector<ScanOrderAblationEntry>& scan_order_ablation = {}) {
+    const std::vector<ScanOrderAblationEntry>& scan_order_ablation = {},
+    const std::vector<WorldScaleEntry>& world_scale = {}) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -320,6 +341,31 @@ inline bool write_micro_bench_json(
                  static_cast<unsigned long long>(entry.discovered),
                  entry.discovered_fraction,
                  i + 1 < scan_order_ablation.size() ? "," : "");
+  }
+  std::fprintf(file, "  ],\n");
+  std::fprintf(file, "  \"world_scale\": [\n");
+  for (std::size_t i = 0; i < world_scale.size(); ++i) {
+    const WorldScaleEntry& entry = world_scale[i];
+    std::fprintf(file,
+                 "    {\"mode\": \"%s\", \"resolvers\": %llu, "
+                 "\"hosts\": %llu, \"build_seconds\": %.3f, "
+                 "\"rss_before_bytes\": %llu, "
+                 "\"rss_after_build_bytes\": %llu, "
+                 "\"peak_rss_bytes\": %llu, \"bytes_per_host\": %.1f, "
+                 "\"probes\": %llu, \"scan_wall_seconds\": %.3f, "
+                 "\"probes_per_sec\": %.1f, \"noerror\": %llu}%s\n",
+                 entry.mode.c_str(),
+                 static_cast<unsigned long long>(entry.resolvers),
+                 static_cast<unsigned long long>(entry.hosts),
+                 entry.build_seconds,
+                 static_cast<unsigned long long>(entry.rss_before_bytes),
+                 static_cast<unsigned long long>(entry.rss_after_build_bytes),
+                 static_cast<unsigned long long>(entry.peak_rss_bytes),
+                 entry.bytes_per_host,
+                 static_cast<unsigned long long>(entry.probes),
+                 entry.scan_wall_seconds, entry.probes_per_sec,
+                 static_cast<unsigned long long>(entry.noerror),
+                 i + 1 < world_scale.size() ? "," : "");
   }
   std::fprintf(file, "  ],\n");
   std::fprintf(file,

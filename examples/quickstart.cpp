@@ -5,6 +5,7 @@
 //   $ ./examples/quickstart [resolver_count] [seed] [--metrics-out FILE]
 //                           [--cluster-mode exact|lsh|auto]
 //                           [--max-in-flight N]
+//                           [--worldgen eager|lazy] [--scan-only]
 //
 // --metrics-out (or DNSWILD_METRICS_OUT) writes the machine-readable run
 // report — every registry counter plus the per-stage spans — as JSON.
@@ -14,6 +15,11 @@
 // --max-in-flight bounds the virtual-time event core's in-flight window
 // (DESIGN.md §11) for the address-space and domain scans; 1 reproduces
 // the synchronous serialized accounting, the default keeps the pipe full.
+// --worldgen lazy derives resolver hosts on first probe instead of
+// eagerly (DESIGN.md §12), so 10M+-resolver worlds fit in memory; both
+// modes produce identical scan results for the same seed.
+// --scan-only stops after the Internet-wide enumeration (step 1) —
+// useful for memory/throughput measurements at large scale.
 
 #include <cstdio>
 #include <cstdlib>
@@ -33,28 +39,49 @@ int main(int argc, char** argv) {
   // Pull the option flags out of argv before the positional arguments.
   std::string metrics_out;
   std::string cluster_mode;
+  std::string worldgen_mode;
+  bool scan_only = false;
   std::uint32_t max_in_flight = 65536;
   if (const char* env = std::getenv("DNSWILD_METRICS_OUT")) metrics_out = env;
-  for (int i = 1; i + 1 < argc;) {
-    if (std::strcmp(argv[i], "--metrics-out") == 0) {
-      metrics_out = argv[i + 1];
-    } else if (std::strcmp(argv[i], "--cluster-mode") == 0) {
-      cluster_mode = argv[i + 1];
-    } else if (std::strcmp(argv[i], "--max-in-flight") == 0) {
-      max_in_flight = static_cast<std::uint32_t>(
-          std::strtoul(argv[i + 1], nullptr, 10));
-      if (max_in_flight == 0) max_in_flight = 1;
-    } else {
+  for (int i = 1; i < argc;) {
+    int consumed = 0;
+    if (std::strcmp(argv[i], "--scan-only") == 0) {
+      scan_only = true;
+      consumed = 1;
+    } else if (i + 1 < argc) {
+      if (std::strcmp(argv[i], "--metrics-out") == 0) {
+        metrics_out = argv[i + 1];
+        consumed = 2;
+      } else if (std::strcmp(argv[i], "--cluster-mode") == 0) {
+        cluster_mode = argv[i + 1];
+        consumed = 2;
+      } else if (std::strcmp(argv[i], "--worldgen") == 0) {
+        worldgen_mode = argv[i + 1];
+        consumed = 2;
+      } else if (std::strcmp(argv[i], "--max-in-flight") == 0) {
+        max_in_flight = static_cast<std::uint32_t>(
+            std::strtoul(argv[i + 1], nullptr, 10));
+        if (max_in_flight == 0) max_in_flight = 1;
+        consumed = 2;
+      }
+    }
+    if (consumed == 0) {
       ++i;
       continue;
     }
-    for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
-    argc -= 2;
+    for (int j = i; j + consumed < argc; ++j) argv[j] = argv[j + consumed];
+    argc -= consumed;
   }
   if (!cluster_mode.empty() && cluster_mode != "exact" &&
       cluster_mode != "lsh" && cluster_mode != "auto") {
     std::fprintf(stderr, "unknown --cluster-mode %s (exact|lsh|auto)\n",
                  cluster_mode.c_str());
+    return 2;
+  }
+  if (!worldgen_mode.empty() && worldgen_mode != "eager" &&
+      worldgen_mode != "lazy") {
+    std::fprintf(stderr, "unknown --worldgen %s (eager|lazy)\n",
+                 worldgen_mode.c_str());
     return 2;
   }
 
@@ -63,10 +90,12 @@ int main(int argc, char** argv) {
                                          std::strtoul(argv[1], nullptr, 10))
                                    : 4000;
   config.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  config.lazy = worldgen_mode == "lazy";
 
-  std::printf("Generating a world with ~%u open resolvers (seed %llu)...\n",
+  std::printf("Generating a world with ~%u open resolvers (seed %llu, %s)...\n",
               config.resolver_count,
-              static_cast<unsigned long long>(config.seed));
+              static_cast<unsigned long long>(config.seed),
+              config.lazy ? "lazy" : "eager");
   auto generated = worldgen::generate_world(config);
 
   // Step 1: Internet-wide scan to enumerate open resolvers.
@@ -92,6 +121,19 @@ int main(int argc, char** argv) {
   std::printf("  virtual scan time: %.1fs (window %u, peak in flight %u)\n",
               summary.virtual_scan_seconds, max_in_flight,
               summary.peak_in_flight);
+  if (config.lazy) {
+    const auto stats = generated.world->lazy_stats();
+    std::printf(
+        "  lazy hosts: %llu materialized, %llu evicted, %zu resident "
+        "(%zu pinned)\n",
+        static_cast<unsigned long long>(stats.materializations),
+        static_cast<unsigned long long>(stats.evictions), stats.resident,
+        stats.pinned);
+  }
+  if (scan_only) {
+    std::printf("\n--scan-only: stopping after enumeration.\n");
+    return 0;
+  }
 
   // Step 2: query the 155-domain study set at every open resolver, then
   // prefilter, acquire, cluster, and label.

@@ -82,6 +82,7 @@ class BannerService : public net::TcpService {
  public:
   explicit BannerService(std::string banner) : banner_(std::move(banner)) {}
   std::string greeting() const override { return banner_; }
+  bool reconstructible() const override { return true; }  // no mutable state
 
  private:
   std::string banner_;

@@ -205,6 +205,21 @@ void FaultPlan::corrupt_payload(std::vector<std::uint8_t>& payload,
   payload[pos] ^= static_cast<std::uint8_t>((word >> 8) | 1);
 }
 
+bool FaultPlan::rate_state_fresh(std::size_t profile_index,
+                                 const FaultRateState& state,
+                                 std::int64_t minute) const noexcept {
+  if (state.sources.empty()) return true;
+  const FaultProfile& profile = profiles_[profile_index];
+  if (profile.rate_limit_per_minute <= 0.0) return true;
+  for (const FaultRateState::PerSource& source : state.sources) {
+    const double refilled =
+        source.tokens + static_cast<double>(minute - source.refilled_minute) *
+                            profile.rate_limit_per_minute;
+    if (refilled < profile.rate_limit_burst) return false;
+  }
+  return true;
+}
+
 UdpReply FaultPlan::make_refused_reply(const UdpPacket& request) {
   UdpReply reply;
   reply.packet.src = request.dst;

@@ -140,6 +140,14 @@ class FaultPlan {
                          std::uint64_t packet_key, std::uint64_t reply_index,
                          Ipv4 dst, std::int64_t minute) const noexcept;
 
+  // True when `state` is observationally equivalent to a freshly
+  // constructed (empty) FaultRateState at `minute`: every per-source
+  // bucket would refill to the full burst before its next admission
+  // decision, so replaying admissions from scratch yields the same
+  // verdicts. Gates lazy-host eviction (net::World service cache).
+  bool rate_state_fresh(std::size_t profile_index, const FaultRateState& state,
+                        std::int64_t minute) const noexcept;
+
   // Deterministic payload mangling, keyed by a hash word.
   static void truncate_payload(std::vector<std::uint8_t>& payload,
                                std::uint64_t key) noexcept;

@@ -1,5 +1,6 @@
 #include "net/rdns.h"
 
+#include "util/hash.h"
 #include "util/strings.h"
 
 namespace dnswild::net {
@@ -8,10 +9,27 @@ void RdnsStore::set(Ipv4 ip, std::string name) {
   records_[ip] = std::move(name);
 }
 
-std::optional<std::string_view> RdnsStore::lookup(Ipv4 ip) const noexcept {
+void RdnsStore::add_rule(PoolRule rule) {
+  rules_.push_back(std::move(rule));
+}
+
+std::optional<std::string> RdnsStore::lookup(Ipv4 ip) const {
   const auto it = records_.find(ip);
-  if (it == records_.end()) return std::nullopt;
-  return std::string_view(it->second);
+  if (it != records_.end()) return it->second;
+  for (const PoolRule& rule : rules_) {
+    if (!rule.pool.contains(ip)) continue;
+    const std::uint64_t word = util::hash_words({rule.seed, ip.value()});
+    const double unit = util::hash_unit(word);
+    if (unit < rule.dynamic_share) {
+      return synth_dynamic_rdns(ip, rule.isp_label,
+                                static_cast<unsigned>(word >> 32) % 4);
+    }
+    if (unit < rule.dynamic_share + rule.static_share) {
+      return synth_static_rdns(ip, rule.isp_label);
+    }
+    return std::nullopt;  // pools never overlap; first match decides
+  }
+  return std::nullopt;
 }
 
 bool looks_dynamic(std::string_view rdns_name) noexcept {

@@ -8,10 +8,12 @@
 // confirmation is answered by the authoritative registry in src/resolver.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "net/ip.h"
 
@@ -19,15 +21,35 @@ namespace dnswild::net {
 
 class RdnsStore {
  public:
-  void set(Ipv4 ip, std::string name);
+  // Rule-based synthesis for consumer address pools: instead of storing one
+  // string per pool address (O(pool) memory — untenable at 10M-resolver
+  // scale), a rule names the whole CIDR range procedurally. A lookup miss
+  // that falls inside a rule's pool synthesizes its PTR name on the fly:
+  // a seeded hash of the address picks, per `dynamic_share` /
+  // `static_share`, a dynamic-pool name, a static-server name, or no record
+  // — so the same address always resolves to the same name without any of
+  // them being resident.
+  struct PoolRule {
+    Cidr pool;
+    std::string isp_label;
+    std::uint64_t seed = 0;
+    double dynamic_share = 0.0;  // fraction with dynamic-style names
+    double static_share = 0.0;   // additional fraction with static names
+  };
 
-  // PTR-style lookup; nullopt when no record exists.
-  std::optional<std::string_view> lookup(Ipv4 ip) const noexcept;
+  void set(Ipv4 ip, std::string name);
+  void add_rule(PoolRule rule);
+
+  // PTR-style lookup; explicit records win, then pool rules; nullopt when
+  // neither names the address.
+  std::optional<std::string> lookup(Ipv4 ip) const;
 
   std::size_t size() const noexcept { return records_.size(); }
+  std::size_t rule_count() const noexcept { return rules_.size(); }
 
  private:
   std::unordered_map<Ipv4, std::string> records_;
+  std::vector<PoolRule> rules_;
 };
 
 // True when the hostname carries a token indicating dynamic consumer

@@ -46,6 +46,17 @@ class UdpService {
   // Handles one inbound datagram; appends zero or more replies.
   virtual void handle(const UdpPacket& request,
                       std::vector<UdpReply>& replies) = 0;
+
+  // True when a freshly constructed instance of this service would answer
+  // every query byte-identically at the given virtual time — i.e. none of
+  // the state accumulated so far is observable on the wire. Lazily
+  // materialized hosts (net::World service cache) may only be evicted and
+  // re-derived while this holds, so eviction never changes behaviour.
+  // Default is the safe answer for stateful services.
+  virtual bool reconstructible(std::int64_t now_seconds) const {
+    (void)now_seconds;
+    return false;
+  }
 };
 
 // X.509-lite certificate model: just the fields the prefilter inspects.
@@ -64,6 +75,11 @@ struct Certificate {
 class TcpService {
  public:
   virtual ~TcpService() = default;
+
+  // Same contract as UdpService::reconstructible, without a time argument:
+  // TCP banner/page services either carry no mutable state (true) or are
+  // conservatively pinned in memory once materialized (false, the default).
+  virtual bool reconstructible() const { return false; }
 
   // Bytes the server sends immediately after accept; empty for protocols
   // where the client speaks first (HTTP).

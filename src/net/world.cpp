@@ -29,7 +29,108 @@ std::uint64_t packet_key(std::uint64_t seed, const UdpPacket& request) {
 constexpr std::uint64_t kForwardLoss = 1;
 constexpr std::uint64_t kReplyLoss = 2;
 
+// Draws the next lease (address + duration) for a dynamic attachment. One
+// shared implementation for eager Host fields and lazy SoA columns, so the
+// two host kinds produce bit-identical lease schedules from the same seed.
+void roll_lease_state(std::uint64_t seed, const Attachment& at,
+                      Ipv4& current_ip, double& lease_end_day,
+                      std::uint32_t& lease_index) {
+  // Exponential lease duration via inverse CDF over a deterministic
+  // per-(host, lease) uniform, so schedules do not depend on call order.
+  std::uint64_t word = util::mix64(seed ^ (0x9e37u + lease_index));
+  const double u =
+      (static_cast<double>(word >> 11) + 0.5) * 0x1.0p-53;  // (0, 1)
+  const double duration = -at.mean_lease_days * std::log(u);
+  // Leases run back-to-back from the activation day, so a host's address
+  // at any instant is a pure function of (seed, time), independent of how
+  // the caller stepped the clock.
+  lease_end_day += duration;
+  const std::uint64_t slot =
+      util::mix64(seed ^ (0xbeefu + lease_index)) % at.pool.size();
+  current_ip = at.pool.at(slot);
+  ++lease_index;
+}
+
 }  // namespace
+
+// --- BindingIndex ------------------------------------------------------
+
+BindingIndex::Range* BindingIndex::find(Ipv4 ip) noexcept {
+  const std::uint32_t value = ip.value();
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), value,
+      [](std::uint32_t v, const Range& range) { return v < range.base; });
+  if (it == ranges_.begin()) return nullptr;
+  --it;
+  if (static_cast<std::uint64_t>(value) - it->base < it->size) return &*it;
+  return nullptr;
+}
+
+const BindingIndex::Range* BindingIndex::find(Ipv4 ip) const noexcept {
+  return const_cast<BindingIndex*>(this)->find(ip);
+}
+
+void BindingIndex::register_range(Cidr range) {
+  const std::uint32_t base = range.base().value();
+  const std::uint64_t size = range.size();
+  if (size == 0) return;
+  // Reject overlaps with any existing range (worldgen prefixes never
+  // overlap; a duplicate registration is a no-op).
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), base,
+      [](std::uint32_t v, const Range& r) { return v < r.base; });
+  if (it != ranges_.begin()) {
+    const Range& prev = *(it - 1);
+    if (static_cast<std::uint64_t>(base) - prev.base < prev.size) return;
+  }
+  if (it != ranges_.end() &&
+      static_cast<std::uint64_t>(it->base) - base < size) {
+    return;
+  }
+  Range fresh;
+  fresh.base = base;
+  fresh.size = size;
+  fresh.slots.assign(static_cast<std::size_t>(size), kNoHost);
+  slot_bytes_ += static_cast<std::size_t>(size) * sizeof(HostId);
+  Range& inserted = *ranges_.insert(it, std::move(fresh));
+  // Migrate overflow entries the new range now covers.
+  for (auto entry = overflow_.begin(); entry != overflow_.end();) {
+    const std::uint64_t offset =
+        static_cast<std::uint64_t>(entry->first.value()) - inserted.base;
+    if (offset < inserted.size) {
+      inserted.slots[static_cast<std::size_t>(offset)] = entry->second;
+      entry = overflow_.erase(entry);
+    } else {
+      ++entry;
+    }
+  }
+}
+
+void BindingIndex::set(Ipv4 ip, HostId id) {
+  if (Range* range = find(ip)) {
+    range->slots[static_cast<std::size_t>(ip.value() - range->base)] = id;
+    return;
+  }
+  overflow_[ip] = id;
+}
+
+void BindingIndex::erase(Ipv4 ip) {
+  if (Range* range = find(ip)) {
+    range->slots[static_cast<std::size_t>(ip.value() - range->base)] = kNoHost;
+    return;
+  }
+  overflow_.erase(ip);
+}
+
+HostId BindingIndex::get(Ipv4 ip) const noexcept {
+  if (const Range* range = find(ip)) {
+    return range->slots[static_cast<std::size_t>(ip.value() - range->base)];
+  }
+  const auto it = overflow_.find(ip);
+  return it == overflow_.end() ? kNoHost : it->second;
+}
+
+// --- World -------------------------------------------------------------
 
 World::World(std::uint64_t seed, obs::Registry* metrics)
     : seed_(seed), rng_(seed) {
@@ -66,32 +167,142 @@ void World::require_mutation_phase(const char* what) const {
   }
 }
 
+World::LazyBlock& World::block_of(HostId id) noexcept {
+  // A handful of blocks at most; linear scan beats binary search here.
+  for (LazyBlock& block : blocks_) {
+    if (id >= block.first && id - block.first < block.count) return block;
+  }
+  return blocks_.back();  // unreachable for valid ids
+}
+
+const World::LazyBlock& World::block_of(HostId id) const noexcept {
+  return const_cast<World*>(this)->block_of(id);
+}
+
+bool World::host_bound(HostId id) const noexcept {
+  if (!is_lazy(id)) return hosts_[id].bound;
+  const LazyBlock& block = block_of(id);
+  return (block.flags[id - block.first] & kLazyBound) != 0;
+}
+
+Ipv4 World::host_ip(HostId id) const noexcept {
+  if (!is_lazy(id)) return hosts_[id].current_ip;
+  const LazyBlock& block = block_of(id);
+  return block.current_ip[id - block.first];
+}
+
+void World::set_bound(HostId id, Ipv4 ip) noexcept {
+  if (!is_lazy(id)) {
+    hosts_[id].current_ip = ip;
+    hosts_[id].bound = true;
+    return;
+  }
+  LazyBlock& block = block_of(id);
+  block.current_ip[id - block.first] = ip;
+  block.flags[id - block.first] |= kLazyBound;
+}
+
+void World::clear_bound(HostId id) noexcept {
+  if (!is_lazy(id)) {
+    hosts_[id].bound = false;
+    return;
+  }
+  LazyBlock& block = block_of(id);
+  block.flags[id - block.first] &= static_cast<std::uint8_t>(~kLazyBound);
+}
+
 HostId World::add_host(const HostConfig& config) {
   require_mutation_phase("add_host");
+  if (lazy_count_ > 0) {
+    throw std::logic_error(
+        "add_host after add_host_block would interleave id ranges; "
+        "register eager hosts first");
+  }
   const HostId id = static_cast<HostId>(hosts_.size());
   Host host;
   host.config = config;
-  host.seed = rng_.next();
+  host.seed = config.seed ? *config.seed : rng_.next();
   hosts_.push_back(std::move(host));
 
   Host& stored = hosts_.back();
   if (config.attachment.dynamic) {
     dynamic_hosts_.push_back(id);
     stored.lease_end_day = config.active_from_day;
-    if (host_active(stored)) {
+    if (host_active(stored.config)) {
       while (stored.lease_end_day <= day()) roll_lease(stored);
       bind(id, stored.current_ip);
     }
-  } else if (host_active(stored)) {
+  } else if (host_active(stored.config)) {
     stored.current_ip = config.attachment.ip;
     bind(id, stored.current_ip);
   }
   return id;
 }
 
+HostId World::add_host_block(std::shared_ptr<const HostSource> source,
+                             std::uint64_t count) {
+  require_mutation_phase("add_host_block");
+  if (source == nullptr || count == 0) {
+    throw std::logic_error("add_host_block needs a source and a count");
+  }
+  const HostId first = static_cast<HostId>(host_count());
+  if (host_count() + count >= kNoHost) {
+    throw std::logic_error("host id space exhausted");
+  }
+  LazyBlock block;
+  block.first = first;
+  block.count = count;
+  block.source = std::move(source);
+  block.current_ip.assign(count, Ipv4{});
+  block.lease_end_day.assign(count, 0.0);
+  block.lease_index.assign(count, 0);
+  block.flags.assign(count, 0);
+  blocks_.push_back(std::move(block));
+  lazy_count_ += count;
+  LazyBlock& stored = blocks_.back();
+
+  // One cheap derivation pass mirrors add_host's binding semantics exactly
+  // (same index order, same lease arithmetic), so an eager and a lazy
+  // world built from the same derivations start bit-identical.
+  const double now = day();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const HostId id = first + static_cast<HostId>(i);
+    const HostConfig config = stored.source->derive_config(i);
+    const std::uint64_t seed =
+        config.seed ? *config.seed
+                    : util::hash_words({seed_, stored.first, i});
+    if (config.attachment.dynamic) {
+      stored.flags[i] |= kLazyDynamic;
+      stored.any_churn = true;
+      stored.lease_end_day[i] = config.active_from_day;
+      if (host_active(config)) {
+        while (stored.lease_end_day[i] <= now) {
+          roll_lease_state(seed, config.attachment, stored.current_ip[i],
+                           stored.lease_end_day[i], stored.lease_index[i]);
+        }
+        bind(id, stored.current_ip[i]);
+      }
+    } else {
+      if (config.active_from_day != 0.0 ||
+          config.active_until_day !=
+              std::numeric_limits<double>::infinity()) {
+        stored.flags[i] |= kLazyWindowed;
+        stored.any_churn = true;
+      }
+      if (host_active(config)) {
+        bind(id, config.attachment.ip);
+      }
+    }
+  }
+  return first;
+}
+
 void World::set_udp_service(HostId host, std::uint16_t port,
                             std::unique_ptr<UdpService> service) {
   require_mutation_phase("set_udp_service");
+  if (is_lazy(host)) {
+    throw std::logic_error("lazy hosts derive services from their source");
+  }
   auto& slots = hosts_.at(host).udp;
   for (auto& slot : slots) {
     if (slot.first == port) {
@@ -105,6 +316,9 @@ void World::set_udp_service(HostId host, std::uint16_t port,
 void World::set_tcp_service(HostId host, std::uint16_t port,
                             std::unique_ptr<TcpService> service) {
   require_mutation_phase("set_tcp_service");
+  if (is_lazy(host)) {
+    throw std::logic_error("lazy hosts derive services from their source");
+  }
   auto& slots = hosts_.at(host).tcp;
   for (auto& slot : slots) {
     if (slot.first == port) {
@@ -116,14 +330,15 @@ void World::set_tcp_service(HostId host, std::uint16_t port,
 }
 
 std::optional<Ipv4> World::address_of(HostId host) const noexcept {
-  const Host& record = hosts_[host];
-  if (!record.bound) return std::nullopt;
-  return record.current_ip;
+  if (!host_bound(host)) return std::nullopt;
+  return host_ip(host);
 }
 
-HostId World::host_at(Ipv4 ip) const noexcept {
-  const auto it = bindings_.find(ip);
-  return it == bindings_.end() ? kNoHost : it->second;
+HostId World::host_at(Ipv4 ip) const noexcept { return bindings_.get(ip); }
+
+void World::register_address_range(Cidr range) {
+  require_mutation_phase("register_address_range");
+  bindings_.register_range(range);
 }
 
 void World::add_ingress_filter(IngressFilter filter) {
@@ -148,6 +363,29 @@ void World::add_fault_profile(FaultProfile profile) {
   // destination is never charged against a profile that no longer governs
   // it.
   for (Host& host : hosts_) host.fault_rate.sources.clear();
+  for (CacheShard& shard : cache_shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [id, entry] : shard.entries) entry.fault_rate.sources.clear();
+  }
+}
+
+void World::set_service_cache_capacity(std::size_t capacity) {
+  require_mutation_phase("set_service_cache_capacity");
+  cache_capacity_ = std::max<std::size_t>(capacity, kCacheShards);
+}
+
+World::LazyStats World::lazy_stats() const {
+  LazyStats stats;
+  stats.materializations = materializations_.load();
+  stats.evictions = evictions_.load();
+  for (const CacheShard& shard : cache_shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    stats.resident += shard.entries.size();
+    for (const auto& [id, entry] : shard.entries) {
+      if (entry.pinned) ++stats.pinned;
+    }
+  }
+  return stats;
 }
 
 void World::set_time_minutes(std::int64_t minutes) {
@@ -164,56 +402,68 @@ void World::advance_days(double days) {
                    static_cast<std::int64_t>(std::llround(days * 1440.0)));
 }
 
-bool World::host_active(const Host& host) const noexcept {
+bool World::host_active(const HostConfig& config) const noexcept {
   const double now = day();
-  return now >= host.config.active_from_day &&
-         now < host.config.active_until_day;
+  return now >= config.active_from_day && now < config.active_until_day;
 }
 
 void World::roll_lease(Host& host) {
-  const Attachment& at = host.config.attachment;
-  // Exponential lease duration via inverse CDF over a deterministic
-  // per-(host, lease) uniform, so schedules do not depend on call order.
-  std::uint64_t word = util::mix64(host.seed ^ (0x9e37u + host.lease_index));
-  const double u =
-      (static_cast<double>(word >> 11) + 0.5) * 0x1.0p-53;  // (0, 1)
-  const double duration = -at.mean_lease_days * std::log(u);
-  // Leases run back-to-back from the activation day, so a host's address
-  // at any instant is a pure function of (seed, time), independent of how
-  // the caller stepped the clock.
-  host.lease_end_day += duration;
-  const std::uint64_t slot =
-      util::mix64(host.seed ^ (0xbeefu + host.lease_index)) % at.pool.size();
-  host.current_ip = at.pool.at(slot);
-  ++host.lease_index;
+  roll_lease_state(host.seed, host.config.attachment, host.current_ip,
+                   host.lease_end_day, host.lease_index);
 }
 
 void World::bind(HostId id, Ipv4 ip) {
   // Pool collisions: the most recent lease wins; the displaced host becomes
   // unreachable until its next lease roll, as with real DHCP races.
-  const auto it = bindings_.find(ip);
-  if (it != bindings_.end() && it->second != id) {
-    hosts_[it->second].bound = false;
-  }
-  bindings_[ip] = id;
-  Host& host = hosts_[id];
-  host.current_ip = ip;
-  host.bound = true;
+  const HostId previous = bindings_.get(ip);
+  if (previous != kNoHost && previous != id) clear_bound(previous);
+  bindings_.set(ip, id);
+  set_bound(id, ip);
 }
 
 void World::unbind(HostId id) {
-  Host& host = hosts_[id];
-  if (!host.bound) return;
-  const auto it = bindings_.find(host.current_ip);
-  if (it != bindings_.end() && it->second == id) bindings_.erase(it);
-  host.bound = false;
+  if (!host_bound(id)) return;
+  const Ipv4 ip = host_ip(id);
+  if (bindings_.get(ip) == id) bindings_.erase(ip);
+  clear_bound(id);
+}
+
+void World::rebind_lazy_host(LazyBlock& block, std::uint64_t i, double now) {
+  const HostId id = block.first + static_cast<HostId>(i);
+  const HostConfig config = block.source->derive_config(i);
+  const std::uint64_t seed =
+      config.seed ? *config.seed : util::hash_words({seed_, block.first, i});
+  const bool active = now >= config.active_from_day &&
+                      now < config.active_until_day;
+  if (config.attachment.dynamic) {
+    if (!active) {
+      unbind(id);
+      return;
+    }
+    if ((block.flags[i] & kLazyBound) != 0 && block.lease_end_day[i] > now) {
+      return;
+    }
+    unbind(id);
+    while (block.lease_end_day[i] <= now) {
+      roll_lease_state(seed, config.attachment, block.current_ip[i],
+                       block.lease_end_day[i], block.lease_index[i]);
+    }
+    bind(id, block.current_ip[i]);
+    return;
+  }
+  const bool bound = (block.flags[i] & kLazyBound) != 0;
+  if (active && !bound) {
+    bind(id, config.attachment.ip);
+  } else if (!active && bound) {
+    unbind(id);
+  }
 }
 
 void World::rebind_expired() {
   const double now = day();
   for (const HostId id : dynamic_hosts_) {
     Host& host = hosts_[id];
-    if (!host_active(host)) {
+    if (!host_active(host.config)) {
       unbind(id);
       continue;
     }
@@ -226,12 +476,35 @@ void World::rebind_expired() {
   for (HostId id = 0; id < hosts_.size(); ++id) {
     Host& host = hosts_[id];
     if (host.config.attachment.dynamic) continue;
-    const bool active = host_active(host);
+    const bool active = host_active(host.config);
     if (active && !host.bound) {
       host.current_ip = host.config.attachment.ip;
       bind(id, host.current_ip);
     } else if (!active && host.bound) {
       unbind(id);
+    }
+  }
+  // Lazy blocks, in the same two-pass order as the eager loops above —
+  // dynamics roll before statics re-assert — so pool collisions resolve
+  // identically however the hosts were built. Statics need the
+  // re-derivation when their activity window moved them OR when a dynamic
+  // lease displaced them from their slot (bound flag cleared): eager
+  // statics re-bind in that case too.
+  for (LazyBlock& block : blocks_) {
+    if (!block.any_churn) continue;
+    for (std::uint64_t i = 0; i < block.count; ++i) {
+      if ((block.flags[i] & kLazyDynamic) == 0) continue;
+      rebind_lazy_host(block, i, now);
+    }
+  }
+  for (LazyBlock& block : blocks_) {
+    for (std::uint64_t i = 0; i < block.count; ++i) {
+      if ((block.flags[i] & kLazyDynamic) != 0) continue;
+      if ((block.flags[i] & kLazyBound) != 0 &&
+          (block.flags[i] & kLazyWindowed) == 0) {
+        continue;  // bound plain static: nothing can have changed
+      }
+      rebind_lazy_host(block, i, now);
     }
   }
 }
@@ -246,6 +519,111 @@ bool World::filtered(const UdpPacket& request) const noexcept {
     return true;
   }
   return false;
+}
+
+World::CacheEntry& World::touch_locked(CacheShard& shard, HostId id) {
+  auto it = shard.entries.find(id);
+  if (it == shard.entries.end()) {
+    const LazyBlock& block = block_of(id);
+    CacheEntry entry;
+    entry.services = block.source->materialize(id - block.first);
+    materializations_.fetch_add(1, std::memory_order_relaxed);
+    it = shard.entries.emplace(id, std::move(entry)).first;
+  }
+  it->second.last_touch =
+      touch_clock_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void World::maybe_evict_locked(CacheShard& shard, HostId keep) {
+  const std::size_t per_shard =
+      std::max<std::size_t>(1, cache_capacity_ / kCacheShards);
+  if (shard.entries.size() <= per_shard) return;
+  const std::int64_t now_minutes = clock_.minutes();
+  const std::int64_t now_seconds = now_minutes * 60;
+
+  // Batch eviction: one pass collects every evictable entry, then the
+  // coldest go until the shard is at 3/4 budget — amortizing the scan over
+  // the next per_shard/4 materializations.
+  std::vector<std::pair<std::uint64_t, HostId>> evictable;
+  evictable.reserve(shard.entries.size());
+  for (const auto& [id, entry] : shard.entries) {
+    if (id == keep || entry.pinned) continue;
+    bool clean = true;
+    for (const auto& slot : entry.services.udp) {
+      if (slot.second && !slot.second->reconstructible(now_seconds)) {
+        clean = false;
+        break;
+      }
+    }
+    if (clean) {
+      for (const auto& slot : entry.services.tcp) {
+        if (slot.second && !slot.second->reconstructible()) {
+          clean = false;
+          break;
+        }
+      }
+    }
+    if (clean && !entry.fault_rate.sources.empty()) {
+      std::size_t fault_index = 0;
+      const Ipv4 ip = host_ip(id);
+      if (faults_.match(ip, &fault_index) == nullptr ||
+          !faults_.rate_state_fresh(fault_index, entry.fault_rate,
+                                    now_minutes)) {
+        clean = false;
+      }
+    }
+    if (clean) evictable.emplace_back(entry.last_touch, id);
+  }
+  if (evictable.empty()) return;
+  std::sort(evictable.begin(), evictable.end());
+  const std::size_t floor = per_shard - per_shard / 4;
+  for (const auto& [touch, id] : evictable) {
+    if (shard.entries.size() <= floor) break;
+    shard.entries.erase(id);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void World::deliver_udp(
+    const UdpPacket& request,
+    std::vector<std::pair<std::uint16_t, std::unique_ptr<UdpService>>>& udp,
+    FaultRateState& fault_rate, const FaultProfile* fault,
+    std::size_t fault_index, std::int64_t now_minutes,
+    std::vector<UdpReply>& replies) {
+  // Admission control at the destination network's edge. The per-source
+  // token state mutates under the per-destination single-writer contract
+  // documented on send_udp.
+  const ForwardFault admission =
+      fault != nullptr
+          ? faults_.admit(fault_index, request, now_minutes, fault_rate)
+          : ForwardFault::kNone;
+  if (admission == ForwardFault::kRateDropped) {
+    fault_rate_dropped_->add();
+    return;
+  }
+  if (admission == ForwardFault::kRateRefused) {
+    fault_rate_refused_->add();
+    replies.push_back(FaultPlan::make_refused_reply(request));
+    return;
+  }
+  for (auto& slot : udp) {
+    if (slot.first != request.dst_port || !slot.second) continue;
+    udp_delivered_->add();
+    std::vector<UdpReply> produced;
+    slot.second->handle(request, produced);
+    for (UdpReply& reply : produced) {
+      UdpPacket& pkt = reply.packet;
+      // Default-fill the reply 4-tuple; services override src to model
+      // multi-homed forwarders answering from another interface.
+      if (pkt.src == Ipv4{}) pkt.src = request.dst;
+      if (pkt.src_port == 0) pkt.src_port = request.dst_port;
+      if (pkt.dst == Ipv4{}) pkt.dst = request.src;
+      if (pkt.dst_port == 0) pkt.dst_port = request.src_port;
+      replies.push_back(std::move(reply));
+    }
+    break;
+  }
 }
 
 std::vector<UdpReply> World::send_udp(const UdpPacket& request) {
@@ -291,38 +669,19 @@ std::vector<UdpReply> World::send_udp(const UdpPacket& request) {
   const HostId id = host_at(request.dst);
   const std::size_t host_reply_begin = replies.size();
   if (id != kNoHost) {
-    Host& host = hosts_[id];
-    // Admission control at the destination network's edge. The per-source
-    // token state mutates under the per-destination single-writer contract
-    // documented on send_udp.
-    const ForwardFault admission =
-        fault != nullptr
-            ? faults_.admit(fault_index, request, now_minutes,
-                            host.fault_rate)
-            : ForwardFault::kNone;
-    if (admission == ForwardFault::kRateDropped) {
-      fault_rate_dropped_->add();
-    } else if (admission == ForwardFault::kRateRefused) {
-      fault_rate_refused_->add();
-      replies.push_back(FaultPlan::make_refused_reply(request));
+    if (!is_lazy(id)) {
+      Host& host = hosts_[id];
+      deliver_udp(request, host.udp, host.fault_rate, fault, fault_index,
+                  now_minutes, replies);
     } else {
-      for (auto& slot : host.udp) {
-        if (slot.first != request.dst_port || !slot.second) continue;
-        udp_delivered_->add();
-        std::vector<UdpReply> produced;
-        slot.second->handle(request, produced);
-        for (UdpReply& reply : produced) {
-          UdpPacket& pkt = reply.packet;
-          // Default-fill the reply 4-tuple; services override src to model
-          // multi-homed forwarders answering from another interface.
-          if (pkt.src == Ipv4{}) pkt.src = request.dst;
-          if (pkt.src_port == 0) pkt.src_port = request.dst_port;
-          if (pkt.dst == Ipv4{}) pkt.dst = request.src;
-          if (pkt.dst_port == 0) pkt.dst_port = request.src_port;
-          replies.push_back(std::move(reply));
-        }
-        break;
-      }
+      // Materialize-on-touch under the shard lock; the same lock covers
+      // delivery and eviction, so an in-flight service can never be freed.
+      CacheShard& shard = shard_for(id);
+      const std::lock_guard<std::mutex> lock(shard.mu);
+      CacheEntry& entry = touch_locked(shard, id);
+      deliver_udp(request, entry.services.udp, entry.fault_rate, fault,
+                  fault_index, now_minutes, replies);
+      maybe_evict_locked(shard, id);
     }
   }
 
@@ -426,10 +785,26 @@ TcpService* World::connect_tcp(Ipv4 src, Ipv4 dst, std::uint16_t port,
   }
   const HostId id = host_at(dst);
   if (id == kNoHost) return nullptr;
-  Host& host = hosts_[id];
-  for (auto& slot : host.tcp) {
-    if (slot.first == port && slot.second) return slot.second.get();
+  if (!is_lazy(id)) {
+    Host& host = hosts_[id];
+    for (auto& slot : host.tcp) {
+      if (slot.first == port && slot.second) return slot.second.get();
+    }
+    return nullptr;
   }
+  CacheShard& shard = shard_for(id);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  CacheEntry& entry = touch_locked(shard, id);
+  for (auto& slot : entry.services.tcp) {
+    if (slot.first == port && slot.second) {
+      // The raw pointer escapes with an unknowable lifetime: pin the entry
+      // so eviction can never free it. Banner-scan targets are a small,
+      // classified subset, so pins stay bounded.
+      entry.pinned = true;
+      return slot.second.get();
+    }
+  }
+  maybe_evict_locked(shard, id);
   return nullptr;
 }
 

@@ -10,6 +10,15 @@
 // HTTP live in the endpoints. All behaviour is deterministic under the
 // construction seed, and time only moves forward via set_time_minutes().
 //
+// Hosts come in two flavours (DESIGN.md §12). *Eager* hosts (add_host /
+// set_udp_service) own their services for the world's lifetime. *Lazy*
+// hosts (add_host_block) are defined by a HostSource: their immutable
+// attributes and services are pure functions of the host index, derived on
+// first touch and cached in a bounded service cache; only the hot mutable
+// state — current address, lease schedule, activity flags — lives in
+// compact SoA tables, so a 10M-host world costs tens of bytes per host
+// instead of hundreds.
+//
 // Concurrency model (DESIGN.md "Concurrency model"): a World alternates
 // between a single-threaded *mutation phase* (population edits, clock
 // advancement, lease churn) and a *traffic phase* in which any number of
@@ -27,6 +36,7 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -63,6 +73,37 @@ struct HostConfig {
   // the window are unbound (used for decommissioned resolver populations).
   double active_from_day = 0.0;
   double active_until_day = std::numeric_limits<double>::infinity();
+  // Per-host randomness seed driving the lease schedule. Unset: add_host
+  // draws one from the world's mutation-phase stream (the historical
+  // behaviour). Lazy hosts always carry a derived seed so their schedules
+  // are independent of registration order.
+  std::optional<std::uint64_t> seed;
+};
+
+// The services a lazily materialized host exposes, produced in one shot by
+// its HostSource (unlike eager hosts, a lazy host's services are installed
+// atomically, never edited piecemeal).
+struct HostServices {
+  std::vector<std::pair<std::uint16_t, std::unique_ptr<UdpService>>> udp;
+  std::vector<std::pair<std::uint16_t, std::unique_ptr<TcpService>>> tcp;
+};
+
+// Pure derivation backend for a block of lazy hosts. Both methods MUST be
+// pure functions of (source state, index): they are called at arbitrary
+// times, from arbitrary threads (under the service-cache shard lock), and
+// repeatedly for the same index after evictions — every call must agree.
+class HostSource {
+ public:
+  virtual ~HostSource() = default;
+
+  // Cheap: attachment + activity window + lease seed. Called once per host
+  // at registration (to seed the SoA tables) and again on clock movement
+  // for churning hosts.
+  virtual HostConfig derive_config(std::uint64_t index) const = 0;
+
+  // Expensive: constructs the host's service objects. Called on first
+  // touch and after eviction.
+  virtual HostServices materialize(std::uint64_t index) const = 0;
 };
 
 // Drops inbound UDP datagrams to `network` on `dst_port`, optionally only
@@ -82,6 +123,44 @@ struct IngressFilter {
 using Injector = std::function<void(const UdpPacket& request,
                                     std::vector<UdpReply>& injected)>;
 
+// ip -> HostId binding table that exploits worldgen's CIDR layout: for
+// registered address ranges (consumer pools, service nets) the binding is
+// a 4-byte slot in a dense per-range array — O(log ranges) lookup, no
+// per-entry hashing or node allocation; addresses outside every registered
+// range fall back to a hash map. Replaces the former
+// std::unordered_map<Ipv4, HostId> whose ~50 B/entry nodes dominated
+// memory at 10M-host scale.
+class BindingIndex {
+ public:
+  // Registers a range for dense storage. Ranges must not overlap (worldgen
+  // prefixes never do; an overlapping registration is ignored). Existing
+  // overflow entries inside the range migrate into it.
+  void register_range(Cidr range);
+
+  void set(Ipv4 ip, HostId id);
+  void erase(Ipv4 ip);
+  HostId get(Ipv4 ip) const noexcept;
+
+  std::size_t range_count() const noexcept { return ranges_.size(); }
+  std::size_t overflow_size() const noexcept { return overflow_.size(); }
+  // Bytes held in dense slot arrays (the dominant cost at scale).
+  std::size_t slot_bytes() const noexcept { return slot_bytes_; }
+
+ private:
+  struct Range {
+    std::uint32_t base = 0;
+    std::uint64_t size = 0;  // address count; may be 2^32 in the extreme
+    std::vector<HostId> slots;
+  };
+
+  Range* find(Ipv4 ip) noexcept;
+  const Range* find(Ipv4 ip) const noexcept;
+
+  std::vector<Range> ranges_;  // sorted by base, non-overlapping
+  std::unordered_map<Ipv4, HostId> overflow_;
+  std::size_t slot_bytes_ = 0;
+};
+
 class World {
  public:
   // `metrics`, when given, is the registry the world's traffic counters
@@ -94,9 +173,21 @@ class World {
 
   // --- population ------------------------------------------------------
   HostId add_host(const HostConfig& config);
-  std::size_t host_count() const noexcept { return hosts_.size(); }
+
+  // Registers `count` lazy hosts backed by `source` (indices 0..count-1).
+  // Returns the first HostId of the contiguous block. Must come after all
+  // add_host calls: eager ids stay dense in [0, eager_count). One cheap
+  // derive_config pass seeds the SoA lease tables and initial bindings;
+  // services materialize on first touch.
+  HostId add_host_block(std::shared_ptr<const HostSource> source,
+                        std::uint64_t count);
+
+  std::size_t host_count() const noexcept {
+    return hosts_.size() + lazy_count_;
+  }
 
   // Service registration; replaces any previous service on the port.
+  // Eager hosts only — lazy hosts derive their services (logic_error).
   void set_udp_service(HostId host, std::uint16_t port,
                        std::unique_ptr<UdpService> service);
   void set_tcp_service(HostId host, std::uint16_t port,
@@ -118,6 +209,11 @@ class World {
   const AsDb& asdb() const noexcept { return asdb_; }
   RdnsStore& rdns() noexcept { return rdns_; }
   const RdnsStore& rdns() const noexcept { return rdns_; }
+
+  // Declares a CIDR range for dense binding storage (see BindingIndex).
+  // Worldgen calls this for every allocated prefix; unregistered addresses
+  // still work through the overflow map.
+  void register_address_range(Cidr range);
 
   void add_ingress_filter(IngressFilter filter);
   void add_injector(Injector injector);
@@ -144,17 +240,41 @@ class World {
   // replies — indistinguishable to the sender, as on the real Internet.
   //
   // Thread-safe against concurrent send_udp/connect_tcp calls. Delivery to
-  // a host's service is NOT internally serialized here; callers that probe
-  // concurrently must partition destinations so each bound address is
+  // an eager host's service is NOT internally serialized here; callers that
+  // probe concurrently must partition destinations so each bound address is
   // driven by one thread (which scan::ParallelExecutor shards guarantee).
+  // Lazy hosts are additionally serialized per service-cache shard, which
+  // keeps materialization and eviction safe under that same contract.
   std::vector<UdpReply> send_udp(const UdpPacket& request);
 
   // Opens a TCP connection; returns the service speaking on that port or
   // nullptr when the address is unbound / the port closed / the SYN lost.
   // `seq` numbers repeated connects to the same 3-tuple so retries face
-  // independent SYN loss (see UdpPacket::seq).
+  // independent SYN loss (see UdpPacket::seq). A lazy host whose TCP
+  // service is handed out is pinned in the service cache (never evicted):
+  // the caller holds a raw pointer of unknowable lifetime.
   TcpService* connect_tcp(Ipv4 src, Ipv4 dst, std::uint16_t port,
                           std::uint32_t seq = 0);
+
+  // --- lazy-host memory -------------------------------------------------
+  // Bounds the number of materialized lazy hosts resident at once (split
+  // across the cache's shards). Cold entries whose services report
+  // reconstructible() — i.e. a re-derived instance would answer
+  // byte-identically — are evicted LRU-style back to their derivable
+  // defaults; entries with observable state (snoop counters, live cache
+  // lines, spent rate-limit tokens, handed-out TCP services) stay resident,
+  // so eviction never changes wire behaviour. Mutation-phase only.
+  void set_service_cache_capacity(std::size_t capacity);
+
+  struct LazyStats {
+    std::uint64_t materializations = 0;  // includes re-materializations
+    std::uint64_t evictions = 0;
+    std::uint64_t resident = 0;          // entries currently cached
+    std::uint64_t pinned = 0;            // held by handed-out TCP services
+  };
+  // Deliberately an accessor, not registry counters: lazy-vs-eager worlds
+  // must produce byte-identical masked metrics reports (DESIGN.md §12).
+  LazyStats lazy_stats() const;
 
   // --- phases -----------------------------------------------------------
   // Marks the world as being in a concurrent traffic phase. While at least
@@ -212,7 +332,45 @@ class World {
     FaultRateState fault_rate;
   };
 
-  bool host_active(const Host& host) const noexcept;
+  // Per-host SoA flags for lazy blocks.
+  static constexpr std::uint8_t kLazyDynamic = 1;
+  static constexpr std::uint8_t kLazyBound = 2;
+  // Static host whose activity window is not [0, inf): needs a re-derive
+  // on clock movement. Plain always-active static hosts skip churn work.
+  static constexpr std::uint8_t kLazyWindowed = 4;
+
+  // One add_host_block registration: the derivation source plus compact
+  // SoA tables holding ONLY the mutable per-host state (17 bytes/host).
+  // Everything immutable — attachment, services, behaviour — is re-derived
+  // from the source on demand.
+  struct LazyBlock {
+    HostId first = 0;
+    std::uint64_t count = 0;
+    std::shared_ptr<const HostSource> source;
+    std::vector<Ipv4> current_ip;
+    std::vector<double> lease_end_day;
+    std::vector<std::uint32_t> lease_index;
+    std::vector<std::uint8_t> flags;
+    bool any_churn = false;  // any dynamic or windowed host in the block
+  };
+
+  // Bounded cache of materialized lazy-host services, sharded to keep the
+  // traffic phase concurrent. The shard mutex is held across delivery into
+  // a cached service, so eviction (same lock) can never free an in-use
+  // service.
+  struct CacheEntry {
+    HostServices services;
+    FaultRateState fault_rate;
+    std::uint64_t last_touch = 0;
+    bool pinned = false;  // TCP service handed out; never evict
+  };
+  struct CacheShard {
+    mutable std::mutex mu;
+    std::unordered_map<HostId, CacheEntry> entries;
+  };
+  static constexpr std::size_t kCacheShards = 64;
+
+  bool host_active(const HostConfig& config) const noexcept;
   void rebind_expired();
   void bind(HostId id, Ipv4 ip);
   void unbind(HostId id);
@@ -221,14 +379,53 @@ class World {
   bool filtered(const UdpPacket& request) const noexcept;
   void require_mutation_phase(const char* what) const;
 
+  bool is_lazy(HostId id) const noexcept {
+    return id != kNoHost && id >= hosts_.size();
+  }
+  LazyBlock& block_of(HostId id) noexcept;
+  const LazyBlock& block_of(HostId id) const noexcept;
+  // Binding-state accessors spanning both host kinds.
+  bool host_bound(HostId id) const noexcept;
+  Ipv4 host_ip(HostId id) const noexcept;
+  void set_bound(HostId id, Ipv4 ip) noexcept;
+  void clear_bound(HostId id) noexcept;
+  void rebind_lazy_host(LazyBlock& block, std::uint64_t i, double now);
+
+  CacheShard& shard_for(HostId id) noexcept {
+    return cache_shards_[id % kCacheShards];
+  }
+  // Finds or materializes the cache entry for a lazy host. Caller must
+  // hold the shard lock.
+  CacheEntry& touch_locked(CacheShard& shard, HostId id);
+  // Evicts cold reconstructible entries while the shard is over budget.
+  // Caller must hold the shard lock; `keep` is never evicted.
+  void maybe_evict_locked(CacheShard& shard, HostId keep);
+
+  // Shared delivery tail of send_udp for both host kinds: admission
+  // control, dispatch into the port's service, reply 4-tuple defaults.
+  void deliver_udp(
+      const UdpPacket& request,
+      std::vector<std::pair<std::uint16_t, std::unique_ptr<UdpService>>>& udp,
+      FaultRateState& fault_rate, const FaultProfile* fault,
+      std::size_t fault_index, std::int64_t now_minutes,
+      std::vector<UdpReply>& replies);
+
   SimClock clock_;
   std::uint64_t seed_;  // salts the per-packet fate hashes
   util::Rng rng_;       // mutation-phase draws only (host seeds)
   double loss_rate_ = 0.0;
 
   std::vector<Host> hosts_;
-  std::unordered_map<Ipv4, HostId> bindings_;
+  std::vector<LazyBlock> blocks_;
+  std::uint64_t lazy_count_ = 0;
+  BindingIndex bindings_;
   std::vector<HostId> dynamic_hosts_;
+
+  std::vector<CacheShard> cache_shards_{kCacheShards};
+  std::size_t cache_capacity_ = 65536;
+  std::atomic<std::uint64_t> touch_clock_{0};
+  std::atomic<std::uint64_t> materializations_{0};
+  std::atomic<std::uint64_t> evictions_{0};
 
   AsDb asdb_;
   RdnsStore rdns_;

@@ -1,5 +1,7 @@
 #include "resolver/cache.h"
 
+#include <algorithm>
+
 namespace dnswild::resolver {
 
 void DnsCache::touch(const std::string& key, Slot& slot) {
@@ -12,6 +14,15 @@ void DnsCache::put(const std::string& key, Entry entry,
                    std::int64_t now_seconds) {
   const std::int64_t expires_at =
       now_seconds + static_cast<std::int64_t>(entry.original_ttl);
+  if (!any_put_ || latest_expiry_ <= now_seconds) {
+    // Every prior entry has expired (or none existed): restart the
+    // invisibility window at this insertion.
+    any_put_ = true;
+    earliest_insert_ = now_seconds;
+    latest_expiry_ = expires_at;
+  } else {
+    latest_expiry_ = std::max(latest_expiry_, expires_at);
+  }
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
     it->second.entry = std::move(entry);

@@ -27,6 +27,11 @@ class DnsCache {
     std::vector<net::Ipv4> ips;
     std::uint32_t original_ttl = 0;
     bool dnssec = false;
+    // CNAME chain of the cached resolution, (owner, target) pairs in
+    // resolution order. Stored so a cache hit can rebuild the byte-exact
+    // response the fresh resolution produced (CDN answers include the
+    // chain records before the terminal A records).
+    std::vector<std::pair<std::string, std::string>> cname_chain;
   };
 
   struct Hit {
@@ -44,6 +49,19 @@ class DnsCache {
 
   // Drops every expired entry (hits do this lazily per key).
   void purge_expired(std::int64_t now_seconds);
+
+  // True when the cache cannot influence any response differently from a
+  // freshly constructed (empty) cache at virtual time `now_seconds`: either
+  // nothing was ever inserted, every insertion happened at `now_seconds`
+  // itself (a hit then returns remaining_ttl == original_ttl, and the
+  // rebuilt response is byte-identical to a fresh resolution), or every
+  // entry has already expired. The summary is conservative — LRU evictions
+  // do not relax it — so `true` is always safe. This is the cache half of
+  // OpenResolverService::reconstructible (DESIGN.md §12).
+  bool invisible(std::int64_t now_seconds) const noexcept {
+    return !any_put_ || earliest_insert_ == now_seconds ||
+           latest_expiry_ <= now_seconds;
+  }
 
   std::size_t size() const noexcept { return entries_.size(); }
   std::size_t capacity() const noexcept { return capacity_; }
@@ -66,6 +84,12 @@ class DnsCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  // Invisibility summary (see invisible()). Reset when a put finds every
+  // prior entry expired, so a host re-scanned weeks later becomes evictable
+  // again once its old lines age out.
+  bool any_put_ = false;
+  std::int64_t earliest_insert_ = 0;
+  std::int64_t latest_expiry_ = 0;
 };
 
 }  // namespace dnswild::resolver

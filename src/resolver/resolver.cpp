@@ -1,14 +1,45 @@
 #include "resolver/resolver.h"
 
 #include "dns/chaos.h"
+#include "util/hash.h"
 #include "util/strings.h"
 
 namespace dnswild::resolver {
 
+namespace {
+
+// Decision-stream tags hashed with the per-request key; distinct tags give
+// independent draws from one key.
+constexpr std::uint64_t kDiceDrop = 0xd70bULL;
+constexpr std::uint64_t kDiceLatency = 0x1a7eULL;
+constexpr std::uint64_t kDiceBogusIp = 0xb065ULL;
+
+// Identity of one request as seen by this resolver: every octet of the
+// datagram plus the sender-side retransmission counter, mixed with the
+// resolver's own seed. All per-query randomness hangs off this key, so a
+// byte-identical retransmission (seq bumped) re-rolls its dice while the
+// same request always gets the same fate on every thread.
+std::uint64_t request_key(std::uint64_t seed, const net::UdpPacket& request) {
+  return util::hash_words(
+      {seed,
+       (static_cast<std::uint64_t>(request.src.value()) << 32) |
+           request.dst.value(),
+       (static_cast<std::uint64_t>(request.src_port) << 48) |
+           (static_cast<std::uint64_t>(request.dst_port) << 32) | request.seq,
+       util::digest_bytes(request.payload)});
+}
+
+}  // namespace
+
 OpenResolverService::OpenResolverService(ResolverConfig config)
     : config_(std::move(config)),
-      rng_(config_.seed),
       cache_(config_.cache_capacity == 0 ? 1 : config_.cache_capacity) {}
+
+bool OpenResolverService::reconstructible(std::int64_t now_seconds) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return snoop_counts_.empty() &&
+         (config_.cache_capacity == 0 || cache_.invisible(now_seconds));
+}
 
 const Override* OpenResolverService::match_override(
     const std::string& lower_name) const {
@@ -51,7 +82,8 @@ void OpenResolverService::emit(const dns::Message& response,
 }
 
 std::optional<dns::Message> OpenResolverService::answer_a_query(
-    const dns::Message& query, const net::UdpPacket& packet) {
+    const dns::Message& query, const net::UdpPacket& packet,
+    std::uint64_t request_key) {
   const dns::Question& question = query.questions.front();
   const std::string lower_name = question.name.lower();
   const Behavior& behavior = config_.behavior;
@@ -66,6 +98,36 @@ std::optional<dns::Message> OpenResolverService::answer_a_query(
     return response;
   };
 
+  // NOERROR answer with an optional CNAME chain ahead of the A records —
+  // shared by the fresh-resolution and cache-hit paths so a hit rebuilds
+  // the exact bytes a fresh resolution produced.
+  const auto resolved = [&](const std::vector<net::Ipv4>& ips,
+                            std::uint32_t ttl, bool dnssec,
+                            const std::vector<std::pair<std::string,
+                                                        std::string>>& chain) {
+    dns::Message response =
+        dns::Message::make_response(query, dns::RCode::kNoError);
+    for (const auto& [owner, target] : chain) {
+      const auto owner_name = dns::Name::parse(owner);
+      const auto target_name = dns::Name::parse(target);
+      if (owner_name && target_name) {
+        response.answers.push_back(
+            dns::ResourceRecord::cname(*owner_name, *target_name, ttl));
+      }
+    }
+    dns::Name a_owner = question.name;
+    if (!chain.empty()) {
+      if (auto tail = dns::Name::parse(chain.back().second)) {
+        a_owner = *std::move(tail);
+      }
+    }
+    for (const net::Ipv4 ip : ips) {
+      response.answers.push_back(dns::ResourceRecord::a(a_owner, ip, ttl));
+    }
+    response.header.ad = dnssec && config_.validates_dnssec;
+    return response;
+  };
+
   // Overrides take precedence over the base policy: a censoring resolver is
   // honest for everything outside its blocklist.
   if (const Override* override = match_override(lower_name)) {
@@ -74,11 +136,15 @@ std::optional<dns::Message> OpenResolverService::answer_a_query(
         return forged(override->ips, override->forged_ttl);
       case OverrideAction::kForgeRandomIp: {
         // GFW-style: a fresh bogus address per query, outside reserved
-        // space so it looks superficially plausible.
+        // space so it looks superficially plausible. Hashed from the
+        // request identity, not a stream: the same query forges the same
+        // address regardless of delivery order.
         net::Ipv4 bogus;
-        do {
-          bogus = net::Ipv4(static_cast<std::uint32_t>(rng_.next()));
-        } while (net::is_reserved(bogus));
+        for (std::uint64_t k = 0;; ++k) {
+          bogus = net::Ipv4(static_cast<std::uint32_t>(
+              util::hash_words({request_key, kDiceBogusIp, k})));
+          if (!net::is_reserved(bogus)) break;
+        }
         return forged({bogus}, override->forged_ttl);
       }
       case OverrideAction::kSelfIp:
@@ -125,10 +191,8 @@ std::optional<dns::Message> OpenResolverService::answer_a_query(
       const std::int64_t now_seconds = config_.clock->minutes() * 60;
       if (config_.cache_capacity > 0) {
         if (auto hit = cache_.get(lower_name, now_seconds)) {
-          dns::Message response = forged(hit->entry.ips, hit->remaining_ttl);
-          response.header.ad =
-              hit->entry.dnssec && config_.validates_dnssec;
-          return response;
+          return resolved(hit->entry.ips, hit->remaining_ttl,
+                          hit->entry.dnssec, hit->entry.cname_chain);
         }
       }
       const AuthAnswer answer =
@@ -138,33 +202,12 @@ std::optional<dns::Message> OpenResolverService::answer_a_query(
       }
       if (config_.cache_capacity > 0 && answer.ttl > 0) {
         cache_.put(lower_name,
-                   DnsCache::Entry{answer.ips, answer.ttl, answer.dnssec},
+                   DnsCache::Entry{answer.ips, answer.ttl, answer.dnssec,
+                                   answer.cname_chain},
                    now_seconds);
       }
-      dns::Message response =
-          dns::Message::make_response(query, dns::RCode::kNoError);
-      // CNAME chain first (CDN-style answers), then the A records owned by
-      // the chain's tail.
-      for (const auto& [owner, target] : answer.cname_chain) {
-        const auto owner_name = dns::Name::parse(owner);
-        const auto target_name = dns::Name::parse(target);
-        if (owner_name && target_name) {
-          response.answers.push_back(dns::ResourceRecord::cname(
-              *owner_name, *target_name, answer.ttl));
-        }
-      }
-      dns::Name a_owner = question.name;
-      if (!answer.cname_chain.empty()) {
-        if (auto tail = dns::Name::parse(answer.cname_chain.back().second)) {
-          a_owner = *std::move(tail);
-        }
-      }
-      for (const net::Ipv4 ip : answer.ips) {
-        response.answers.push_back(
-            dns::ResourceRecord::a(a_owner, ip, answer.ttl));
-      }
-      response.header.ad = answer.dnssec && config_.validates_dnssec;
-      return response;
+      return resolved(answer.ips, answer.ttl, answer.dnssec,
+                      answer.cname_chain);
     }
   }
   return std::nullopt;
@@ -227,9 +270,11 @@ void OpenResolverService::handle(const net::UdpPacket& request,
                                  std::vector<net::UdpReply>& replies) {
   const auto query = dns::Message::decode(request.payload);
   if (!query || query->header.qr || query->questions.empty()) return;
+  const std::uint64_t key = request_key(config_.seed, request);
   const std::lock_guard<std::mutex> lock(mutex_);
   if (config_.behavior.drop_rate > 0.0 &&
-      rng_.chance(config_.behavior.drop_rate)) {
+      util::hash_unit(util::hash_words({key, kDiceDrop})) <
+          config_.behavior.drop_rate) {
     return;
   }
 
@@ -243,14 +288,15 @@ void OpenResolverService::handle(const net::UdpPacket& request,
     response = answer_ns_snoop(*query);
   } else if (question.qclass == dns::RClass::kIN &&
              question.qtype == dns::RType::kA) {
-    response = answer_a_query(*query, request);
+    response = answer_a_query(*query, request, key);
   } else {
     response = dns::Message::make_response(*query, dns::RCode::kNotImp);
   }
   if (!response) return;
 
   const int latency =
-      config_.base_latency_ms + static_cast<int>(rng_.below(25));
+      config_.base_latency_ms +
+      static_cast<int>(util::hash_words({key, kDiceLatency}) % 25);
   emit(*response, request, replies, latency);
 }
 

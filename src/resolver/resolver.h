@@ -69,11 +69,17 @@ class OpenResolverService : public net::UdpService {
   void handle(const net::UdpPacket& request,
               std::vector<net::UdpReply>& replies) override;
 
+  // True when a freshly derived instance would answer byte-identically at
+  // `now_seconds`: no snoop counters accumulated and the answer cache is
+  // wire-invisible. Gates lazy-host eviction (DESIGN.md §12).
+  bool reconstructible(std::int64_t now_seconds) const override;
+
   const ResolverConfig& config() const noexcept { return config_; }
 
  private:
   std::optional<dns::Message> answer_a_query(const dns::Message& query,
-                                             const net::UdpPacket& packet);
+                                             const net::UdpPacket& packet,
+                                             std::uint64_t request_key);
   std::optional<dns::Message> answer_chaos(const dns::Message& query);
   std::optional<dns::Message> answer_ns_snoop(const dns::Message& query);
 
@@ -84,14 +90,15 @@ class OpenResolverService : public net::UdpService {
             std::vector<net::UdpReply>& replies, int latency_ms);
 
   ResolverConfig config_;
-  // Serializes handle(): the cache, snoop counters, and RNG stream are
-  // per-resolver mutable state. Scanners shard targets so each bound
-  // address is driven by one thread (making the request order — and hence
-  // the RNG stream — deterministic); the lock covers the remaining path to
-  // a shared instance, a ForwarderService backend reached from several
-  // shards, where safety is guaranteed but request order is not.
-  std::mutex mutex_;
-  util::Rng rng_;
+  // Serializes handle(): the cache and snoop counters are per-resolver
+  // mutable state. All per-query randomness (drop dice, latency jitter,
+  // forged-random addresses) is hashed from (config seed, packet identity)
+  // instead of drawn from a stream, so a reply's bytes and timing depend
+  // only on what the request is — never on which thread delivered it, in
+  // what order, or whether the service was evicted and re-derived in
+  // between. The lock covers the genuinely stateful remainder (cache,
+  // snoop counters) for shared instances such as ForwarderService backends.
+  mutable std::mutex mutex_;
   DnsCache cache_;
   std::unordered_map<std::string, int> snoop_counts_;  // per-TLD queries seen
 };

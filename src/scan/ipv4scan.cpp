@@ -198,8 +198,17 @@ Ipv4ScanSummary Ipv4Scanner::scan(const std::vector<net::Cidr>& universe) {
   const std::uint64_t total = permutation.size();
   // Clock advancement cadence: chunked so churn unfolds across the scan.
   // Each chunk is one traffic phase; the clock only moves at the barriers.
-  const std::uint64_t chunk =
+  // Capped at 4M addresses so the per-chunk target/timing buffers stay
+  // bounded when sweeping 10M+-resolver universes; below the cap the
+  // chunking (and thus every result) is unchanged.
+  const std::uint64_t natural_chunk =
       (config_.spread_over_hours > 0.0 && total > 1000) ? total / 64 : total;
+  const std::uint64_t chunk =
+      std::min(natural_chunk, std::uint64_t{1} << 22);
+  // Spread the configured wall-clock window evenly over however many
+  // barriers the chunking actually produces (64 when the cap is idle).
+  const std::uint64_t barriers =
+      chunk < natural_chunk && chunk > 0 ? (total + chunk - 1) / chunk : 64;
 
   ParallelExecutor executor(config_.threads);
   executor.attach_metrics(&world_.metrics(), "scan.ipv4");
@@ -216,7 +225,8 @@ Ipv4ScanSummary Ipv4Scanner::scan(const std::vector<net::Cidr>& universe) {
     }
     probe_batch(targets, salt, /*check_reserved=*/true, executor, summary);
     if (more && config_.spread_over_hours > 0.0) {
-      world_.advance_days(config_.spread_over_hours / 24.0 / 64.0);
+      world_.advance_days(config_.spread_over_hours / 24.0 /
+                          static_cast<double>(barriers));
     }
   }
   record_summary(summary);

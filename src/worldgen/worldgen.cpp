@@ -103,6 +103,10 @@ class AnyHostServer : public net::TcpService {
     return cert_ ? &*cert_ : nullptr;
   }
 
+  // Stateless: responses are a pure function of the request, so a
+  // re-materialized copy answers identically (DESIGN.md §12).
+  bool reconstructible() const override { return true; }
+
  private:
   Generator generator_;
   std::optional<net::Certificate> cert_;
@@ -328,6 +332,437 @@ const std::vector<ManipPlanEntry>& manip_plan() {
   return kPlan;
 }
 
+// ---------------------------------------------------------------------------
+// Resolver population derivation (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+// Namespaced per-host hash streams: every per-host random decision draws
+// from an Rng seeded by a hash of (world seed, host index) — never from a
+// generator shared across hosts — so host i's full identity is a pure
+// function of the plan, computable at first touch, in any order, from any
+// thread, and identical between eager and lazy construction.
+constexpr std::uint64_t kHostTag = 0x507aULL;
+constexpr std::uint64_t kNsAttach = 0xa77acULL;
+constexpr std::uint64_t kNsService = 0x5e7f1ULL;
+
+struct ResolvedCensorRule {
+  double compliance = 1.0;
+  std::vector<std::string> domains;
+  std::vector<Ipv4> landing_ips;
+};
+
+// The whole resolver population (NOERROR + REFUSED + SERVFAIL) as one
+// net::HostSource: segments record the per-country sampling plan; the two
+// derivation entry points turn (plan, index) into a host. Eager worlds
+// iterate derive/materialize up front; lazy worlds hand the plan to
+// World::add_host_block and hosts materialize on first probe.
+class ResolverPlan final : public net::HostSource {
+ public:
+  enum class Kind : std::uint8_t { kNoError, kRefused, kServFail };
+
+  struct PoolRef {
+    Cidr pool;
+    double weight = 0.0;
+  };
+
+  struct Segment {
+    std::uint64_t first = 0;
+    std::uint64_t count = 0;
+    Kind kind = Kind::kNoError;
+    std::string country;
+    std::vector<PoolRef> ases;
+    std::vector<double> as_weights;  // cached for Rng::weighted
+    std::uint64_t base_count = 0;    // hosts minus later-activating extras
+    double decline = 0.0;
+    bool collapse_as0 = false;
+    bool gfw_suppressed = false;  // CN: honest answers rarely escape
+    std::vector<ResolvedCensorRule> censor;
+    Cidr net;  // REFUSED / SERVFAIL static range
+  };
+
+  // Everything derive_full produces besides the service objects.
+  struct Derived {
+    net::HostConfig config;
+    resolver::ResolverConfig resolver;
+    int device_index = -1;  // >= 0: resolver::device_catalog() entry
+    std::uint32_t censor_overrides = 0;
+  };
+
+  std::uint64_t total() const noexcept {
+    if (segments.empty()) return 0;
+    return segments.back().first + segments.back().count;
+  }
+
+  const Segment& segment_of(std::uint64_t index) const noexcept {
+    auto it = std::upper_bound(
+        segments.begin(), segments.end(), index,
+        [](std::uint64_t v, const Segment& s) { return v < s.first; });
+    return *(it - 1);
+  }
+
+  Derived derive_full(std::uint64_t index) const;
+
+  net::HostConfig derive_config(std::uint64_t index) const override {
+    const Segment& seg = segment_of(index);
+    const std::uint64_t h = util::hash_words({seed, kHostTag, index});
+    net::HostConfig config;
+    config.seed = h;
+    derive_attachment(seg, index - seg.first, h, config);
+    return config;
+  }
+
+  net::HostServices materialize(std::uint64_t index) const override {
+    Derived derived = derive_full(index);
+    net::HostServices services;
+    services.udp.emplace_back(
+        53,
+        std::make_unique<resolver::OpenResolverService>(derived.resolver));
+    if (derived.device_index >= 0) {
+      const resolver::DeviceProfile& device =
+          resolver::device_catalog()[static_cast<std::size_t>(
+              derived.device_index)];
+      for (const auto& [port, banner] : device.banners) {
+        if (port == 80) {
+          services.tcp.emplace_back(
+              80, std::make_unique<AnyHostServer>(
+                      [body = banner](const HttpRequest&) {
+                        return HttpResponse::ok(body);
+                      }));
+        } else {
+          services.tcp.emplace_back(
+              port, std::make_unique<http::BannerService>(banner));
+        }
+      }
+    }
+    return services;
+  }
+
+  std::uint64_t seed = 0;
+  resolver::AuthRegistry* registry = nullptr;
+  const net::SimClock* clock = nullptr;
+  bool with_devices = true;
+  std::vector<Segment> segments;
+  std::vector<std::uint8_t> manip_queue;  // shuffled Manip values
+  resolver::ChaosPopulationMix chaos_mix{};
+  std::vector<double> software_weights;
+  std::vector<resolver::SnoopProfile> snoop_profiles;
+  std::vector<double> snoop_weights;
+  std::vector<double> device_weights;
+  std::vector<std::string> gfw_domains;
+
+  // Manipulation target tables (addresses of the eager infrastructure).
+  std::vector<Ipv4> error_targets, login_targets, portal_targets,
+      parking_targets, search_targets, misc_targets, blocking_targets,
+      ad_tamper_targets, ad_blank_targets, search_ads_targets,
+      malware_targets, paypal_targets, bank_targets, proxy_http_targets,
+      proxy_tls_targets, mail_intercept_targets;
+
+  // Study-domain name lists by category (snapshot of core::DomainSet).
+  std::vector<std::string> tracking_names, ads_names, mail_names,
+      malware_names, adult_names;
+
+ private:
+  void derive_attachment(const Segment& seg, std::uint64_t rel,
+                         std::uint64_t h, net::HostConfig& config) const {
+    if (seg.kind != Kind::kNoError) {
+      config.attachment.ip = seg.net.at(4 + rel);
+      return;
+    }
+    Rng attach(h ^ kNsAttach);
+    const std::size_t as_index = attach.weighted(seg.as_weights);
+    const PoolRef& as_entry = seg.ases[as_index];
+    // Churn class mixture (Fig. 2 calibration; see DESIGN.md §5).
+    const std::size_t churn_class =
+        attach.weighted({0.45, 0.436, 0.094, 0.02});
+    if (churn_class == 3) {
+      config.attachment.ip =
+          as_entry.pool.at(attach.below(as_entry.pool.size() - 8) + 4);
+    } else {
+      config.attachment.dynamic = true;
+      config.attachment.pool = as_entry.pool;
+      config.attachment.mean_lease_days =
+          churn_class == 0 ? 0.4 : churn_class == 1 ? 40.0 : 300.0;
+    }
+    if (rel >= seg.base_count) {
+      config.active_from_day = 5.0 + attach.uniform() * 370.0;
+    }
+    const bool decommissioned = seg.collapse_as0 && as_index == 0
+                                    ? attach.chance(0.978)
+                                    : attach.chance(seg.decline);
+    if (decommissioned) {
+      config.active_until_day = 5.0 + attach.uniform() * 370.0;
+    }
+  }
+
+};
+
+ResolverPlan::Derived ResolverPlan::derive_full(std::uint64_t index) const {
+  const Segment& seg = segment_of(index);
+  const std::uint64_t rel = index - seg.first;
+  const std::uint64_t h = util::hash_words({seed, kHostTag, index});
+  Derived out;
+  out.config.seed = h;
+  derive_attachment(seg, rel, h, out.config);
+
+  Rng svc(h ^ kNsService);
+  resolver::ResolverConfig& rc = out.resolver;
+  rc.registry = registry;
+  rc.clock = clock;
+  rc.seed = svc.next();
+
+  if (seg.kind == Kind::kRefused) {
+    rc.behavior.base = resolver::BasePolicy::kRefuseAll;
+    return out;
+  }
+  if (seg.kind == Kind::kServFail) {
+    rc.behavior.base = resolver::BasePolicy::kServFailAll;
+    // High drop rate makes the SERVFAIL line fluctuate week to week.
+    rc.behavior.drop_rate = 0.35;
+    return out;
+  }
+
+  // Re-derive the AS pick so reply_src draws from the same pool the host
+  // attaches to (the attach stream is consumed independently above).
+  Rng as_pick(h ^ kNsAttach);
+  const PoolRef& as_entry = seg.ases[as_pick.weighted(seg.as_weights)];
+
+  rc.region = seg.country;
+  rc.behavior.drop_rate = 0.01;
+
+  // CHAOS surface (Table 3 mix).
+  {
+    const auto& catalog = resolver::software_catalog();
+    const double draw = svc.uniform();
+    if (draw < chaos_mix.refused_or_servfail) {
+      rc.chaos = svc.chance(0.5) ? resolver::ChaosBehavior::kRefused
+                                 : resolver::ChaosBehavior::kServFail;
+    } else if (draw < chaos_mix.refused_or_servfail + chaos_mix.noerror_empty) {
+      rc.chaos = resolver::ChaosBehavior::kNoErrorEmpty;
+    } else if (draw < chaos_mix.refused_or_servfail + chaos_mix.noerror_empty +
+                          chaos_mix.hidden_string) {
+      rc.chaos = resolver::ChaosBehavior::kHiddenString;
+      rc.version_banner = svc.pick(resolver::hidden_version_strings());
+    } else {
+      rc.chaos = resolver::ChaosBehavior::kRevealVersion;
+      const std::size_t software = svc.weighted(software_weights);
+      rc.version_banner = software < catalog.size()
+                              ? catalog[software].banner()
+                              : catalog.front().banner();
+    }
+  }
+
+  // Snoop profile (§2.6).
+  {
+    const std::size_t pick = svc.weighted(snoop_weights);
+    rc.snoop.profile = snoop_profiles[pick < snoop_profiles.size() ? pick : 0];
+    rc.snoop.tld_ttl = 21600;
+  }
+
+  // Multi-homed forwarders & port manglers (§2.2, §3.3).
+  if (svc.chance(0.028)) {
+    rc.reply_src = as_entry.pool.at(svc.below(as_entry.pool.size() - 8) + 4);
+  }
+  if (svc.chance(0.015)) rc.mangle_reply_port = true;
+
+  // Country censorship (§4.2).
+  for (const ResolvedCensorRule& rule : seg.censor) {
+    if (!svc.chance(rule.compliance)) continue;
+    resolver::Override censor;
+    // Each resolver enforces its own subset of the blocklist (real
+    // deployments lag updates), diversifying per-domain coverage.
+    for (const auto& name : rule.domains) {
+      if (svc.chance(0.85)) censor.domains.push_back(name);
+    }
+    if (censor.domains.empty()) censor.domains = {rule.domains[0]};
+    censor.action = resolver::OverrideAction::kForgeIps;
+    censor.ips = {rule.landing_ips[svc.below(rule.landing_ips.size())]};
+    censor.forged_ttl = 300;
+    rc.behavior.overrides.push_back(std::move(censor));
+    ++out.censor_overrides;
+  }
+  // GFW suppression: most Chinese resolvers never get their honest answer
+  // out for censored names; ~2.4% do (the dual-response group, §4.2).
+  if (seg.gfw_suppressed && !svc.chance(0.024)) {
+    resolver::Override suppress;
+    suppress.match_suffixes = gfw_domains;
+    suppress.action = resolver::OverrideAction::kIgnore;
+    rc.behavior.overrides.push_back(std::move(suppress));
+  }
+
+  // Generic manipulation (§4.1, §4.3). NOERROR hosts occupy the low
+  // indices, so the global index doubles as the manip-queue ordinal.
+  const Manip manip =
+      static_cast<Manip>(manip_queue[index % manip_queue.size()]);
+  const auto pick_ip = [&svc](const std::vector<Ipv4>& ips) {
+    return std::vector<Ipv4>{ips[svc.below(ips.size())]};
+  };
+  const auto add_match_all = [&](resolver::OverrideAction action,
+                                 std::vector<Ipv4> ips) {
+    resolver::Override override;
+    override.match_all = true;
+    override.action = action;
+    override.ips = std::move(ips);
+    rc.behavior.overrides.push_back(std::move(override));
+  };
+  const auto add_nx = [&](std::vector<Ipv4> ips) {
+    resolver::Override override;
+    override.match_nonexistent = true;
+    override.action = resolver::OverrideAction::kForgeIps;
+    override.ips = std::move(ips);
+    rc.behavior.overrides.push_back(std::move(override));
+  };
+  const auto add_domains = [&](std::vector<std::string> names,
+                               std::vector<Ipv4> ips) {
+    resolver::Override override;
+    override.domains = std::move(names);
+    override.action = resolver::OverrideAction::kForgeIps;
+    override.ips = std::move(ips);
+    rc.behavior.overrides.push_back(std::move(override));
+  };
+
+  bool force_router_device = false;
+  switch (manip) {
+    case Manip::kNone: break;
+    case Manip::kStaticError:
+      add_match_all(resolver::OverrideAction::kForgeIps,
+                    pick_ip(error_targets));
+      break;
+    case Manip::kStaticLogin:
+      add_match_all(resolver::OverrideAction::kForgeIps,
+                    pick_ip(login_targets));
+      break;
+    case Manip::kStaticParking:
+      add_match_all(resolver::OverrideAction::kForgeIps,
+                    pick_ip(parking_targets));
+      break;
+    case Manip::kStaticMisc:
+      add_match_all(resolver::OverrideAction::kForgeIps,
+                    pick_ip(misc_targets));
+      break;
+    case Manip::kSelfIpAll:
+      add_match_all(resolver::OverrideAction::kSelfIp, {});
+      force_router_device = true;
+      break;
+    case Manip::kSelfIpSome: {
+      resolver::Override override;
+      override.domains = tracking_names;
+      override.action = resolver::OverrideAction::kSelfIp;
+      rc.behavior.overrides.push_back(std::move(override));
+      force_router_device = true;
+      break;
+    }
+    case Manip::kLanForge:
+      add_match_all(resolver::OverrideAction::kForgeIps,
+                    {Ipv4(192, 168, 1, 1)});
+      break;
+    case Manip::kNsOnly:
+      rc.behavior.base = resolver::BasePolicy::kNsOnlyAll;
+      break;
+    case Manip::kNxSearch: add_nx(pick_ip(search_targets)); break;
+    case Manip::kNxParking: add_nx(pick_ip(parking_targets)); break;
+    case Manip::kNxError: add_nx(pick_ip(error_targets)); break;
+    case Manip::kNxLogin: add_nx(pick_ip(portal_targets)); break;
+    case Manip::kNxMisc: add_nx(pick_ip(misc_targets)); break;
+    case Manip::kProxyHttp:
+      add_match_all(resolver::OverrideAction::kForgeIps,
+                    pick_ip(proxy_http_targets));
+      break;
+    case Manip::kProxyTls:
+      add_match_all(resolver::OverrideAction::kForgeIps,
+                    pick_ip(proxy_tls_targets));
+      break;
+    case Manip::kAdTamper:
+      add_domains(ads_names, pick_ip(ad_tamper_targets));
+      break;
+    case Manip::kAdBlank:
+      add_domains(ads_names, pick_ip(ad_blank_targets));
+      break;
+    case Manip::kSearchAds:
+      add_nx(pick_ip(search_ads_targets));
+      break;
+    case Manip::kPhishPaypal:
+      add_domains({"paypal.com"}, pick_ip(paypal_targets));
+      break;
+    case Manip::kPhishBank:
+      add_domains({"intesasanpaolo.it", "unicredit.it"},
+                  pick_ip(bank_targets));
+      break;
+    case Manip::kMalwareUpdate:
+      add_domains({"update.adobe.com", "get.adobe.com",
+                   "download.oracle.com"},
+                  pick_ip(malware_targets));
+      break;
+    case Manip::kMailIntercept:
+      add_domains(mail_names, pick_ip(mail_intercept_targets));
+      break;
+    case Manip::kEmptyAnswers:
+      add_match_all(resolver::OverrideAction::kEmptyAnswer, {});
+      break;
+    case Manip::kMalwareEmpty: {
+      resolver::Override override;
+      override.domains = malware_names;
+      override.action = svc.chance(0.5)
+                            ? resolver::OverrideAction::kNxDomain
+                            : resolver::OverrideAction::kEmptyAnswer;
+      rc.behavior.overrides.push_back(std::move(override));
+      break;
+    }
+    case Manip::kMalwareSearch: {
+      // "six out of 13 malware domains" redirect to search (§4.2).
+      auto malware = malware_names;
+      malware.resize(6);
+      add_domains(std::move(malware), pick_ip(search_targets));
+      break;
+    }
+    case Manip::kMalwareError: {
+      std::vector<std::string> subset;
+      for (const auto& name : malware_names) {
+        if (svc.chance(0.6)) subset.push_back(name);
+      }
+      if (subset.empty()) subset.push_back(malware_names.front());
+      add_domains(std::move(subset), pick_ip(error_targets));
+      break;
+    }
+    case Manip::kMalwareBlocking: {
+      // Every blocker covers irc.zief.pl; the rest of the list varies
+      // (drives the 21.4% max vs 9.0% avg split in Table 5).
+      std::vector<std::string> blocked = {"irc.zief.pl"};
+      for (const auto& name : malware_names) {
+        if (name != "irc.zief.pl" && svc.chance(0.35)) {
+          blocked.push_back(name);
+        }
+      }
+      add_domains(std::move(blocked), pick_ip(blocking_targets));
+      break;
+    }
+    case Manip::kParentalBlocking: {
+      std::vector<std::string> blocked = {"okcupid.com"};
+      for (const auto& name : adult_names) {
+        if (svc.chance(0.5)) blocked.push_back(name);
+      }
+      add_domains(std::move(blocked), pick_ip(blocking_targets));
+      break;
+    }
+    case Manip::kMalwareParking: {
+      // Re-registered blacklisted domains + torproject (§4.2 Parking).
+      std::vector<std::string> parked = {"ytrewq.cn", "qwerty-update.cn"};
+      if (svc.chance(0.3)) parked.push_back("torproject.org");
+      add_domains(std::move(parked), pick_ip(parking_targets));
+      break;
+    }
+  }
+
+  // Device TCP surface (Table 4): 26.3% expose a scannable service.
+  if (with_devices &&
+      (force_router_device || svc.chance(resolver::kTcpResponsiveShare))) {
+    const std::size_t device_index =
+        force_router_device ? 0 : svc.weighted(device_weights);
+    out.device_index = static_cast<int>(
+        device_index < device_weights.size() ? device_index : 0);
+  }
+  return out;
+}
+
 }  // namespace
 
 const std::vector<CountryPlan>& default_country_plan() {
@@ -357,6 +792,9 @@ GeneratedWorld generate_world(const WorldGenConfig& config) {
                                     kind});
     const Cidr prefix = allocator.allocate(size);
     world.asdb().add_prefix(prefix, asn);
+    // Dense binding slots for every routed prefix: address lookups during
+    // scans become one binary search + an array index (DESIGN.md §12).
+    world.register_address_range(prefix);
     out.universe.push_back(prefix);
     return prefix;
   };
@@ -794,6 +1232,12 @@ GeneratedWorld generate_world(const WorldGenConfig& config) {
     return scaled;
   };
 
+  auto source = std::make_shared<ResolverPlan>();
+  source->seed = config.seed;
+  source->registry = &registry;
+  source->clock = &world.clock();
+  source->with_devices = config.with_devices;
+
   // Build the weighted manipulator lottery (count-based).
   std::vector<std::pair<Manip, std::uint32_t>> manip_counts;
   std::uint64_t manip_total = 0;
@@ -806,26 +1250,23 @@ GeneratedWorld generate_world(const WorldGenConfig& config) {
   out.planned_generic_manipulators = static_cast<std::uint32_t>(manip_total);
 
   // Flattened assignment queue, shuffled across the whole population.
-  std::vector<Manip> manip_queue;
+  std::vector<std::uint8_t>& manip_queue = source->manip_queue;
   manip_queue.reserve(config.resolver_count);
   for (const auto& [kind, count] : manip_counts) {
     for (std::uint32_t i = 0; i < count && manip_queue.size() <
              config.resolver_count; ++i) {
-      manip_queue.push_back(kind);
+      manip_queue.push_back(static_cast<std::uint8_t>(kind));
     }
   }
   while (manip_queue.size() < config.resolver_count) {
-    manip_queue.push_back(Manip::kNone);
+    manip_queue.push_back(static_cast<std::uint8_t>(Manip::kNone));
   }
   rng.shuffle(manip_queue);
 
   // Software / chaos assignment weights.
-  const resolver::ChaosPopulationMix chaos_mix =
-      resolver::chaos_population_mix();
-  const auto& catalog = resolver::software_catalog();
-  std::vector<double> software_weights;
-  for (const auto& profile : catalog) {
-    software_weights.push_back(profile.reveal_share);
+  source->chaos_mix = resolver::chaos_population_mix();
+  for (const auto& profile : resolver::software_catalog()) {
+    source->software_weights.push_back(profile.reveal_share);
   }
 
   // Snoop profile mix (§2.6).
@@ -839,21 +1280,47 @@ GeneratedWorld generate_world(const WorldGenConfig& config) {
       {resolver::SnoopProfile::kActiveLongTtl, 0.040},
       {resolver::SnoopProfile::kTtlReset, 0.196},
   };
-  std::vector<double> snoop_weights;
   for (const auto& [profile, weight] : snoop_mix) {
-    snoop_weights.push_back(weight);
+    source->snoop_profiles.push_back(profile);
+    source->snoop_weights.push_back(weight);
   }
 
   // Device mix (Table 4) applied to the TCP-responsive fraction.
-  const auto& devices = resolver::device_catalog();
-  std::vector<double> device_weights;
-  for (const auto& device : devices) device_weights.push_back(device.share);
+  for (const auto& device : resolver::device_catalog()) {
+    source->device_weights.push_back(device.share);
+  }
 
-  const auto plan_censor = censor_plan();
   const std::vector<std::string> gfw_domains = {
       "facebook.com", "twitter.com", "youtube.com", "wikileaks.org"};
+  source->gfw_domains = gfw_domains;
 
-  std::uint32_t resolver_index = 0;
+  // Manipulation target tables and study-domain category snapshots.
+  source->error_targets = error_targets;
+  source->login_targets = login_targets;
+  source->portal_targets = portal_targets;
+  source->parking_targets = parking_targets;
+  source->search_targets = search_targets;
+  source->misc_targets = misc_targets;
+  source->blocking_targets = blocking_targets;
+  source->ad_tamper_targets = ad_tamper_targets;
+  source->ad_blank_targets = ad_blank_targets;
+  source->search_ads_targets = search_ads_targets;
+  source->malware_targets = malware_targets;
+  source->paypal_targets = paypal_targets;
+  source->bank_targets = bank_phish_targets;
+  source->proxy_http_targets = proxy_http_targets;
+  source->proxy_tls_targets = proxy_tls_targets;
+  source->mail_intercept_targets = mail_intercept_targets;
+  source->tracking_names =
+      out.domains.names_in_category(SiteCategory::kTracking);
+  source->ads_names = out.domains.names_in_category(SiteCategory::kAds);
+  source->mail_names = out.domains.names_in_category(SiteCategory::kMail);
+  source->malware_names =
+      out.domains.names_in_category(SiteCategory::kMalware);
+  source->adult_names = out.domains.names_in_category(SiteCategory::kAdult);
+
+  const auto plan_censor = censor_plan();
+  std::uint64_t next_index = 0;
   std::uint32_t filters_installed = 0;
 
   for (const CountryPlan& country : plan) {
@@ -861,13 +1328,13 @@ GeneratedWorld generate_world(const WorldGenConfig& config) {
         config.resolver_count * country.start_share / share_total));
     if (country_count == 0) continue;
 
+    ResolverPlan::Segment seg;
+    seg.kind = ResolverPlan::Kind::kNoError;
+    seg.country = country.code;
+    seg.gfw_suppressed = country.code == "CN";
+
     // ASes: one dominant broadband ISP + smaller networks (§2.3: at least
     // 20 of the Top 25 networks are broadband providers).
-    struct CountryAs {
-      Cidr pool;
-      double weight;
-    };
-    std::vector<CountryAs> country_ases;
     const int as_count = country_count > 200 ? 4 : 2;
     for (int a = 0; a < as_count; ++a) {
       const double weight = a == 0 ? 0.55 : 0.45 / (as_count - 1);
@@ -878,8 +1345,16 @@ GeneratedWorld generate_world(const WorldGenConfig& config) {
           country.code,
           a == 0 ? net::AsKind::kBroadbandIsp : net::AsKind::kEnterprise,
           pool_size);
-      country_ases.push_back(CountryAs{pool, weight});
+      seg.ases.push_back(ResolverPlan::PoolRef{pool, weight});
+      seg.as_weights.push_back(weight);
       if (country.code == "CN") cn_prefixes.push_back(pool);
+      // Consumer pools carry procedurally named PTR records (§2.5): ~75%
+      // dynamic-style, ~10% static-style, hash-gated per address — a rule
+      // per pool instead of a string per address.
+      world.rdns().add_rule(net::RdnsStore::PoolRule{
+          pool, util::lower(country.code) + "-isp",
+          util::hash_words({config.seed, 0x7d45ULL, pool.base().value()}),
+          0.75, 0.10});
     }
 
     // Growth countries add later-activating hosts; declining countries
@@ -907,8 +1382,8 @@ GeneratedWorld generate_world(const WorldGenConfig& config) {
       // < 1% of the population, so the blocked ranges must be small).
       net::IngressFilter filter;
       filter.network = net::Cidr(
-          country_ases[0].pool.base(),
-          std::min(32, country_ases[0].pool.prefix_len() + 3));
+          seg.ases[0].pool.base(),
+          std::min(32, seg.ases[0].pool.prefix_len() + 3));
       filter.only_src = out.scanner_ip;
       filter.active_from_day = 60.0 + 40.0 * (filters_installed % 5);
       world.add_ingress_filter(filter);
@@ -923,338 +1398,26 @@ GeneratedWorld generate_world(const WorldGenConfig& config) {
                           (country.end_factor - 0.55 * 0.022) / 0.45, 0.0,
                           1.0);
     }
+    seg.decline = decline;
+    seg.collapse_as0 = collapse_as0;
 
-    const auto rules_it = plan_censor.find(country.code);
-
-    for (std::uint32_t k = 0; k < country_count + extra; ++k) {
-      const bool is_extra = k >= country_count;
-      // Pick the AS.
-      std::vector<double> as_weights;
-      for (const auto& as_entry : country_ases) {
-        as_weights.push_back(as_entry.weight);
+    if (const auto rules_it = plan_censor.find(country.code);
+        rules_it != plan_censor.end()) {
+      for (const CensorRule& rule : rules_it->second) {
+        ResolvedCensorRule resolved;
+        resolved.compliance = rule.compliance;
+        resolved.domains = rule.domains;
+        resolved.landing_ips = landing_ips[rule.landing_country];
+        seg.censor.push_back(std::move(resolved));
       }
-      const std::size_t as_index = rng.weighted(as_weights);
-      const CountryAs& as_entry = country_ases[as_index];
-
-      net::HostConfig host_config;
-      // Churn class mixture (Fig. 2 calibration; see DESIGN.md §5).
-      const std::size_t churn_class =
-          rng.weighted({0.45, 0.436, 0.094, 0.02});
-      if (churn_class == 3) {
-        host_config.attachment.ip =
-            as_entry.pool.at(rng.below(as_entry.pool.size() - 8) + 4);
-      } else {
-        host_config.attachment.dynamic = true;
-        host_config.attachment.pool = as_entry.pool;
-        host_config.attachment.mean_lease_days =
-            churn_class == 0 ? 0.4 : churn_class == 1 ? 40.0 : 300.0;
-      }
-      if (is_extra) {
-        host_config.active_from_day = 5.0 + rng.uniform() * 370.0;
-      }
-      const bool decommissioned =
-          collapse_as0 && as_index == 0 ? rng.chance(0.978)
-                                        : rng.chance(decline);
-      if (decommissioned) {
-        host_config.active_until_day = 5.0 + rng.uniform() * 370.0;
-      }
-
-      const net::HostId host_id = world.add_host(host_config);
-
-      // rDNS for the initially-bound address (churn analysis, §2.5).
-      if (const auto address = world.address_of(host_id)) {
-        if (host_config.attachment.dynamic &&
-            host_config.attachment.mean_lease_days < 2.0) {
-          const double draw = rng.uniform();
-          if (draw < 0.75) {
-            world.rdns().set(*address,
-                             net::synth_dynamic_rdns(
-                                 *address, util::lower(country.code) + "-isp",
-                                 static_cast<unsigned>(rng.next() % 4)));
-          } else if (draw < 0.85) {
-            world.rdns().set(*address,
-                             net::synth_static_rdns(
-                                 *address, util::lower(country.code) + "-isp"));
-          }
-        }
-      }
-
-      // --- resolver service -------------------------------------------
-      resolver::ResolverConfig resolver_config;
-      resolver_config.registry = &registry;
-      resolver_config.clock = &world.clock();
-      resolver_config.seed = rng.next();
-      resolver_config.region = country.code;
-      resolver_config.behavior.drop_rate = 0.01;
-
-      // CHAOS surface (Table 3 mix).
-      {
-        const double draw = rng.uniform();
-        if (draw < chaos_mix.refused_or_servfail) {
-          resolver_config.chaos = rng.chance(0.5)
-                                      ? resolver::ChaosBehavior::kRefused
-                                      : resolver::ChaosBehavior::kServFail;
-        } else if (draw <
-                   chaos_mix.refused_or_servfail + chaos_mix.noerror_empty) {
-          resolver_config.chaos = resolver::ChaosBehavior::kNoErrorEmpty;
-        } else if (draw < chaos_mix.refused_or_servfail +
-                              chaos_mix.noerror_empty +
-                              chaos_mix.hidden_string) {
-          resolver_config.chaos = resolver::ChaosBehavior::kHiddenString;
-          resolver_config.version_banner =
-              rng.pick(resolver::hidden_version_strings());
-        } else {
-          resolver_config.chaos = resolver::ChaosBehavior::kRevealVersion;
-          const std::size_t software = rng.weighted(software_weights);
-          resolver_config.version_banner =
-              software < catalog.size() ? catalog[software].banner()
-                                        : catalog.front().banner();
-        }
-      }
-
-      // Snoop profile (§2.6).
-      {
-        const std::size_t pick = rng.weighted(snoop_weights);
-        resolver_config.snoop.profile =
-            snoop_mix[pick < snoop_mix.size() ? pick : 0].first;
-        resolver_config.snoop.tld_ttl = 21600;
-      }
-
-      // Multi-homed forwarders & port manglers (§2.2, §3.3).
-      if (rng.chance(0.028)) {
-        resolver_config.reply_src =
-            as_entry.pool.at(rng.below(as_entry.pool.size() - 8) + 4);
-      }
-      if (rng.chance(0.015)) resolver_config.mangle_reply_port = true;
-
-      // Country censorship (§4.2).
-      if (rules_it != plan_censor.end()) {
-        for (const CensorRule& rule : rules_it->second) {
-          if (!rng.chance(rule.compliance)) continue;
-          resolver::Override censor;
-          // Each resolver enforces its own subset of the blocklist (real
-          // deployments lag updates), diversifying per-domain coverage.
-          for (const auto& name : rule.domains) {
-            if (rng.chance(0.85)) censor.domains.push_back(name);
-          }
-          if (censor.domains.empty()) censor.domains = {rule.domains[0]};
-          censor.action = resolver::OverrideAction::kForgeIps;
-          const auto& ips = landing_ips[rule.landing_country];
-          censor.ips = {ips[rng.below(ips.size())]};
-          censor.forged_ttl = 300;
-          resolver_config.behavior.overrides.push_back(std::move(censor));
-          ++out.planned_censors;
-        }
-      }
-      // GFW suppression: most Chinese resolvers never get their honest
-      // answer out for censored names; ~2.4% do (the dual-response group,
-      // §4.2).
-      if (country.code == "CN" && !rng.chance(0.024)) {
-        resolver::Override suppress;
-        suppress.match_suffixes = gfw_domains;
-        suppress.action = resolver::OverrideAction::kIgnore;
-        resolver_config.behavior.overrides.push_back(std::move(suppress));
-      }
-
-      // Generic manipulation (§4.1, §4.3).
-      const Manip manip = manip_queue[resolver_index % manip_queue.size()];
-      ++resolver_index;
-      const auto pick_ip = [&rng](const std::vector<Ipv4>& ips) {
-        return std::vector<Ipv4>{ips[rng.below(ips.size())]};
-      };
-      const auto add_match_all = [&](resolver::OverrideAction action,
-                                     std::vector<Ipv4> ips) {
-        resolver::Override override;
-        override.match_all = true;
-        override.action = action;
-        override.ips = std::move(ips);
-        resolver_config.behavior.overrides.push_back(std::move(override));
-      };
-      const auto add_nx = [&](std::vector<Ipv4> ips) {
-        resolver::Override override;
-        override.match_nonexistent = true;
-        override.action = resolver::OverrideAction::kForgeIps;
-        override.ips = std::move(ips);
-        resolver_config.behavior.overrides.push_back(std::move(override));
-      };
-      const auto add_domains = [&](std::vector<std::string> names,
-                                   std::vector<Ipv4> ips) {
-        resolver::Override override;
-        override.domains = std::move(names);
-        override.action = resolver::OverrideAction::kForgeIps;
-        override.ips = std::move(ips);
-        resolver_config.behavior.overrides.push_back(std::move(override));
-      };
-
-      bool force_router_device = false;
-      switch (manip) {
-        case Manip::kNone: break;
-        case Manip::kStaticError:
-          add_match_all(resolver::OverrideAction::kForgeIps,
-                        pick_ip(error_targets));
-          break;
-        case Manip::kStaticLogin:
-          add_match_all(resolver::OverrideAction::kForgeIps,
-                        pick_ip(login_targets));
-          break;
-        case Manip::kStaticParking:
-          add_match_all(resolver::OverrideAction::kForgeIps,
-                        pick_ip(parking_targets));
-          break;
-        case Manip::kStaticMisc:
-          add_match_all(resolver::OverrideAction::kForgeIps,
-                        pick_ip(misc_targets));
-          break;
-        case Manip::kSelfIpAll:
-          add_match_all(resolver::OverrideAction::kSelfIp, {});
-          force_router_device = true;
-          break;
-        case Manip::kSelfIpSome: {
-          resolver::Override override;
-          override.domains =
-              out.domains.names_in_category(SiteCategory::kTracking);
-          override.action = resolver::OverrideAction::kSelfIp;
-          resolver_config.behavior.overrides.push_back(std::move(override));
-          force_router_device = true;
-          break;
-        }
-        case Manip::kLanForge:
-          add_match_all(resolver::OverrideAction::kForgeIps,
-                        {Ipv4(192, 168, 1, 1)});
-          break;
-        case Manip::kNsOnly:
-          resolver_config.behavior.base = resolver::BasePolicy::kNsOnlyAll;
-          break;
-        case Manip::kNxSearch: add_nx(pick_ip(search_targets)); break;
-        case Manip::kNxParking: add_nx(pick_ip(parking_targets)); break;
-        case Manip::kNxError: add_nx(pick_ip(error_targets)); break;
-        case Manip::kNxLogin: add_nx(pick_ip(portal_targets)); break;
-        case Manip::kNxMisc: add_nx(pick_ip(misc_targets)); break;
-        case Manip::kProxyHttp:
-          add_match_all(resolver::OverrideAction::kForgeIps,
-                        pick_ip(proxy_http_targets));
-          break;
-        case Manip::kProxyTls:
-          add_match_all(resolver::OverrideAction::kForgeIps,
-                        pick_ip(proxy_tls_targets));
-          break;
-        case Manip::kAdTamper:
-          add_domains(out.domains.names_in_category(SiteCategory::kAds),
-                      pick_ip(ad_tamper_targets));
-          break;
-        case Manip::kAdBlank:
-          add_domains(out.domains.names_in_category(SiteCategory::kAds),
-                      pick_ip(ad_blank_targets));
-          break;
-        case Manip::kSearchAds:
-          add_nx(pick_ip(search_ads_targets));
-          break;
-        case Manip::kPhishPaypal:
-          add_domains({"paypal.com"}, pick_ip(paypal_targets));
-          break;
-        case Manip::kPhishBank:
-          add_domains({"intesasanpaolo.it", "unicredit.it"},
-                      pick_ip(bank_phish_targets));
-          break;
-        case Manip::kMalwareUpdate:
-          add_domains({"update.adobe.com", "get.adobe.com",
-                       "download.oracle.com"},
-                      pick_ip(malware_targets));
-          break;
-        case Manip::kMailIntercept:
-          add_domains(out.domains.names_in_category(SiteCategory::kMail),
-                      pick_ip(mail_intercept_targets));
-          break;
-        case Manip::kEmptyAnswers:
-          add_match_all(resolver::OverrideAction::kEmptyAnswer, {});
-          break;
-        case Manip::kMalwareEmpty: {
-          resolver::Override override;
-          override.domains =
-              out.domains.names_in_category(SiteCategory::kMalware);
-          override.action = rng.chance(0.5)
-                                ? resolver::OverrideAction::kNxDomain
-                                : resolver::OverrideAction::kEmptyAnswer;
-          resolver_config.behavior.overrides.push_back(std::move(override));
-          break;
-        }
-        case Manip::kMalwareSearch: {
-          // "six out of 13 malware domains" redirect to search (§4.2).
-          auto malware = out.domains.names_in_category(SiteCategory::kMalware);
-          malware.resize(6);
-          add_domains(std::move(malware), pick_ip(search_targets));
-          break;
-        }
-        case Manip::kMalwareError: {
-          auto malware = out.domains.names_in_category(SiteCategory::kMalware);
-          std::vector<std::string> subset;
-          for (const auto& name : malware) {
-            if (rng.chance(0.6)) subset.push_back(name);
-          }
-          if (subset.empty()) subset.push_back(malware.front());
-          add_domains(std::move(subset), pick_ip(error_targets));
-          break;
-        }
-        case Manip::kMalwareBlocking: {
-          auto malware = out.domains.names_in_category(SiteCategory::kMalware);
-          // Every blocker covers irc.zief.pl; the rest of the list varies
-          // (drives the 21.4% max vs 9.0% avg split in Table 5).
-          std::vector<std::string> blocked = {"irc.zief.pl"};
-          for (const auto& name : malware) {
-            if (name != "irc.zief.pl" && rng.chance(0.35)) {
-              blocked.push_back(name);
-            }
-          }
-          add_domains(std::move(blocked), pick_ip(blocking_targets));
-          break;
-        }
-        case Manip::kParentalBlocking: {
-          std::vector<std::string> blocked = {"okcupid.com"};
-          for (const auto& name :
-               out.domains.names_in_category(SiteCategory::kAdult)) {
-            if (rng.chance(0.5)) blocked.push_back(name);
-          }
-          add_domains(std::move(blocked), pick_ip(blocking_targets));
-          break;
-        }
-        case Manip::kMalwareParking: {
-          // Re-registered blacklisted domains + torproject (§4.2 Parking).
-          std::vector<std::string> parked = {"ytrewq.cn", "qwerty-update.cn"};
-          if (rng.chance(0.3)) parked.push_back("torproject.org");
-          add_domains(std::move(parked), pick_ip(parking_targets));
-          break;
-        }
-      }
-
-      world.set_udp_service(
-          host_id, 53,
-          std::make_unique<resolver::OpenResolverService>(resolver_config));
-
-      // Device TCP surface (Table 4): 26.3% expose a scannable service.
-      if (config.with_devices &&
-          (force_router_device || rng.chance(resolver::kTcpResponsiveShare))) {
-        const std::size_t device_index =
-            force_router_device ? 0 : rng.weighted(device_weights);
-        const resolver::DeviceProfile& device =
-            devices[device_index < devices.size() ? device_index : 0];
-        for (const auto& [port, banner] : device.banners) {
-          if (port == 80) {
-            world.set_tcp_service(
-                host_id, 80,
-                std::make_unique<AnyHostServer>(
-                    [body = banner](const HttpRequest&) {
-                      return HttpResponse::ok(body);
-                    }));
-          } else {
-            world.set_tcp_service(host_id, port,
-                                  std::make_unique<http::BannerService>(
-                                      banner));
-          }
-        }
-      }
-
-      ++out.planned_noerror;
     }
+
+    seg.first = next_index;
+    seg.count = static_cast<std::uint64_t>(country_count) + extra;
+    seg.base_count = country_count;
+    next_index += seg.count;
+    out.planned_noerror += static_cast<std::uint32_t>(seg.count);
+    source->segments.push_back(std::move(seg));
   }
 
   // REFUSED / SERVFAIL populations (stable / fluctuating lines in Fig. 1).
@@ -1269,33 +1432,50 @@ GeneratedWorld generate_world(const WorldGenConfig& config) {
     const Cidr servfail_net = new_as("BrokenResolvers", "RU",
                                      net::AsKind::kEnterprise,
                                      std::max<std::uint64_t>(64, servfail_count * 2));
-    for (std::uint32_t i = 0; i < refused_count; ++i) {
-      net::HostConfig host_config;
-      host_config.attachment.ip = refused_net.at(4 + i);
-      const net::HostId id = world.add_host(host_config);
-      resolver::ResolverConfig rc;
-      rc.registry = &registry;
-      rc.clock = &world.clock();
-      rc.seed = rng.next();
-      rc.behavior.base = resolver::BasePolicy::kRefuseAll;
-      world.set_udp_service(
-          id, 53, std::make_unique<resolver::OpenResolverService>(rc));
-      ++out.planned_refused;
+    if (refused_count > 0) {
+      ResolverPlan::Segment seg;
+      seg.kind = ResolverPlan::Kind::kRefused;
+      seg.net = refused_net;
+      seg.first = next_index;
+      seg.count = refused_count;
+      next_index += seg.count;
+      source->segments.push_back(std::move(seg));
     }
-    for (std::uint32_t i = 0; i < servfail_count; ++i) {
-      net::HostConfig host_config;
-      host_config.attachment.ip = servfail_net.at(4 + i);
-      const net::HostId id = world.add_host(host_config);
-      resolver::ResolverConfig rc;
-      rc.registry = &registry;
-      rc.clock = &world.clock();
-      rc.seed = rng.next();
-      rc.behavior.base = resolver::BasePolicy::kServFailAll;
-      // High drop rate makes the SERVFAIL line fluctuate week to week.
-      rc.behavior.drop_rate = 0.35;
-      world.set_udp_service(
-          id, 53, std::make_unique<resolver::OpenResolverService>(rc));
-      ++out.planned_servfail;
+    if (servfail_count > 0) {
+      ResolverPlan::Segment seg;
+      seg.kind = ResolverPlan::Kind::kServFail;
+      seg.net = servfail_net;
+      seg.first = next_index;
+      seg.count = servfail_count;
+      next_index += seg.count;
+      source->segments.push_back(std::move(seg));
+    }
+    out.planned_refused = refused_count;
+    out.planned_servfail = servfail_count;
+  }
+
+  // --- host registration: one derivation, two construction modes ----------
+  out.resolver_source = source;
+  out.resolver_host_count = next_index;
+  if (next_index > 0) {
+    if (config.lazy) {
+      // Hosts materialize on first probe; only the compact SoA churn state
+      // is built now. planned_censors stays 0 (see WorldGenConfig::lazy).
+      out.resolver_first_host = world.add_host_block(source, next_index);
+    } else {
+      for (std::uint64_t i = 0; i < next_index; ++i) {
+        ResolverPlan::Derived derived = source->derive_full(i);
+        const net::HostId id = world.add_host(derived.config);
+        if (i == 0) out.resolver_first_host = id;
+        net::HostServices services = source->materialize(i);
+        for (auto& [port, service] : services.udp) {
+          world.set_udp_service(id, port, std::move(service));
+        }
+        for (auto& [port, service] : services.tcp) {
+          world.set_tcp_service(id, port, std::move(service));
+        }
+        out.planned_censors += derived.censor_overrides;
+      }
     }
   }
 

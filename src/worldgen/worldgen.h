@@ -80,12 +80,27 @@ struct WorldGenConfig {
   ChaosProfileConfig chaos;
   // Build TCP device services (Table 4) — skippable for DNS-only tests.
   bool with_devices = true;
+  // Lazy host materialization: resolver hosts register as one
+  // net::World::add_host_block over a pure derivation source instead of
+  // eagerly constructed service objects, so memory stays bounded at 10M+
+  // resolvers (DESIGN.md §12). Both modes share the same per-host
+  // derivation, so a lazy and an eager world built from one seed produce
+  // byte-identical scan reports. Lazy mode leaves `planned_censors` at 0
+  // (the tally requires deriving every host up front, defeating laziness).
+  bool lazy = false;
 };
 
 struct GeneratedWorld {
   std::unique_ptr<net::World> world;
   std::unique_ptr<resolver::AuthRegistry> registry;
   std::shared_ptr<resolver::GfwInjector> gfw;
+
+  // The resolver population's derivation source (both modes build one);
+  // index i is the i-th resolver host. Exposed so tests can pin the
+  // derivation golden values and check touch-order independence.
+  std::shared_ptr<const net::HostSource> resolver_source;
+  net::HostId resolver_first_host = 0;  // world id of resolver index 0
+  std::uint64_t resolver_host_count = 0;
 
   core::DomainSet domains;
   std::vector<net::Cidr> universe;  // routed prefixes the scanner sweeps

@@ -511,6 +511,52 @@ TEST(FaultAcceptance, RetryRecoversBurstLossResponders) {
   EXPECT_GE(with_retry, bar);
 }
 
+// Pins the loss-ablation normalization (bench_micro): the recovered
+// fraction must divide by the zero-loss scan under the SAME retry ladder.
+// Retransmissions also recover the resolvers' intrinsic query drops, so a
+// retried lossy cell can find MORE responders than the no-retry zero-loss
+// scan — the old denominator pushed recovered_fraction past 1.0.
+TEST(FaultAcceptance, LossRecoveryBaselineUsesSameRetryLadder) {
+  const auto population_scan = [](double loss, int attempts) {
+    worldgen::WorldGenConfig world_config;
+    world_config.seed = 2015;
+    world_config.resolver_count = 600;
+    world_config.with_devices = false;
+    if (loss > 0.0) {
+      world_config.chaos.enabled = true;
+      world_config.chaos.network_fraction = 1.0;
+      world_config.chaos.episode_rate = 1.0;
+      world_config.chaos.episode_mean_buckets = 8.0;
+      world_config.chaos.burst_loss = loss;
+      world_config.chaos.base_loss = loss;
+    }
+    worldgen::GeneratedWorld gen = worldgen::generate_world(world_config);
+    scan::Ipv4ScanConfig config;
+    config.scanner_ip = gen.scanner_ip;
+    config.zone = gen.scan_zone;
+    config.blacklist = &gen.blacklist;
+    config.seed = 1;
+    config.retry.attempts = attempts;
+    config.retry.timeout_ms = 2000;
+    scan::Ipv4Scanner scanner(*gen.world, config);
+    return scanner.scan(gen.universe).noerror;
+  };
+
+  const std::uint64_t zero_loss_no_retry = population_scan(0.0, 0);
+  const std::uint64_t zero_loss_retried = population_scan(0.0, 3);
+  const std::uint64_t lossy_retried = population_scan(0.2, 3);
+
+  // The ladder recovers intrinsic drops even with no network loss at all,
+  // so the two candidate denominators genuinely differ...
+  EXPECT_GT(zero_loss_retried, zero_loss_no_retry);
+  // ...and the retried lossy scan beats the MISMATCHED baseline (the
+  // recovered_fraction > 1.0 symptom this test pins)...
+  EXPECT_GT(lossy_retried, zero_loss_no_retry);
+  // ...while the same-ladder baseline bounds it at 1.0 by construction:
+  // network loss can only remove responders from that population.
+  EXPECT_LE(lossy_retried, zero_loss_retried);
+}
+
 // --- Acceptance 3: error budgets degrade gracefully ----------------------
 
 TEST(FaultAcceptance, ExceededErrorBudgetRecordsDegradation) {

@@ -29,14 +29,18 @@ class ResolverServiceTest : public ::testing::Test {
     return config;
   }
 
-  // Sends one query, returns the parsed replies.
+  // Sends one query, returns the parsed replies. `seq` distinguishes
+  // otherwise-identical transmissions (randomness is a pure function of
+  // the packet identity, as with real probes whose seq always advances).
   static std::vector<dns::Message> ask(OpenResolverService& service,
-                                       const dns::Message& query) {
+                                       const dns::Message& query,
+                                       std::uint32_t seq = 0) {
     net::UdpPacket packet;
     packet.src = net::Ipv4(9, 9, 9, 9);
     packet.src_port = 4000;
     packet.dst = net::Ipv4(1, 2, 3, 4);
     packet.dst_port = 53;
+    packet.seq = seq;
     packet.payload = query.encode();
     std::vector<net::UdpReply> replies;
     service.handle(packet, replies);
@@ -226,7 +230,8 @@ TEST_F(ResolverServiceTest, RandomIpOverrideAvoidsReservedSpace) {
   OpenResolverService service(config);
   std::set<std::uint32_t> seen;
   for (int i = 0; i < 50; ++i) {
-    const auto replies = ask(service, a_query("good.example"));
+    const auto replies =
+        ask(service, a_query("good.example"), static_cast<std::uint32_t>(i));
     ASSERT_EQ(replies.size(), 1u);
     const auto ips = replies[0].answer_ips();
     ASSERT_EQ(ips.size(), 1u);
@@ -304,7 +309,10 @@ TEST_F(ResolverServiceTest, DropRateSilencesSomeQueries) {
   OpenResolverService service(config);
   int answered = 0;
   for (int i = 0; i < 1000; ++i) {
-    if (!ask(service, a_query("good.example")).empty()) ++answered;
+    if (!ask(service, a_query("good.example"), static_cast<std::uint32_t>(i))
+             .empty()) {
+      ++answered;
+    }
   }
   EXPECT_NEAR(answered / 1000.0, 0.5, 0.07);
 }
