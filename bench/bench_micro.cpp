@@ -792,6 +792,63 @@ bench::LshCrossoverEntry measure_lsh_crossover(std::size_t pages,
   return entry;
 }
 
+// Telemetry-overhead pair (DESIGN.md §13): the same address-space scan
+// with the per-prefix aggregator and the flight recorder switched off vs
+// on. Fresh world per run so both modes start from identical state. The
+// off and on runs interleave (order alternating between reps) so machine
+// load drift samples both modes alike, and each mode reports its median
+// wall over all reps — single noisy scans cannot move the gate. CI gates
+// "on" throughput at >= 95% of "off".
+std::vector<bench::TelemetryOverheadEntry> measure_telemetry_overhead(
+    std::uint32_t resolver_count) {
+  constexpr int kReps = 9;
+  std::vector<double> walls[2];
+  std::uint64_t probes = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (int half = 0; half < 2; ++half) {
+      const bool telemetry_on = ((rep % 2) == 1) == (half == 0);
+      worldgen::WorldGenConfig world_config;
+      world_config.seed = 2015;
+      world_config.resolver_count = resolver_count;
+      world_config.with_devices = false;
+      worldgen::GeneratedWorld gen = worldgen::generate_world(world_config);
+      gen.world->prefix_telemetry().set_enabled(telemetry_on);
+      gen.world->trace().set_enabled(telemetry_on);
+
+      scan::Ipv4ScanConfig config;
+      config.scanner_ip = gen.scanner_ip;
+      config.zone = gen.scan_zone;
+      config.blacklist = &gen.blacklist;
+      config.seed = 1;
+      // One worker: the pair compares per-probe cost, and a serial scan
+      // strips the executor's scheduling jitter out of the measurement.
+      config.threads = 1;
+      scan::Ipv4Scanner scanner(*gen.world, config);
+
+      const auto start = std::chrono::steady_clock::now();
+      const scan::Ipv4ScanSummary summary = scanner.scan(gen.universe);
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      probes = summary.probed;
+      walls[telemetry_on ? 1 : 0].push_back(elapsed.count());
+    }
+  }
+  std::vector<bench::TelemetryOverheadEntry> entries(2);
+  entries[0].mode = "off";
+  entries[1].mode = "on";
+  for (int mode = 0; mode < 2; ++mode) {
+    std::sort(walls[mode].begin(), walls[mode].end());
+    bench::TelemetryOverheadEntry& entry = entries[mode];
+    entry.probes = probes;
+    entry.wall_seconds = walls[mode][walls[mode].size() / 2];
+    entry.probes_per_sec =
+        entry.wall_seconds > 0.0
+            ? static_cast<double>(entry.probes) / entry.wall_seconds
+            : 0.0;
+  }
+  return entries;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -968,10 +1025,26 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Telemetry-overhead pair (DESIGN.md §13). Runs on --quick too — CI
+  // gates the observability plane's cost at <= 5% scan throughput.
+  std::vector<dnswild::bench::TelemetryOverheadEntry> telemetry_entries;
+  {
+    const std::uint32_t telemetry_resolvers =
+        quick ? 20000u : std::min(resolver_count, 20000u);
+    telemetry_entries = measure_telemetry_overhead(telemetry_resolvers);
+    for (const auto& entry : telemetry_entries) {
+      std::printf("telemetry mode=%s probes=%llu wall=%.3fs rate=%.0f/s\n",
+                  entry.mode.c_str(),
+                  static_cast<unsigned long long>(entry.probes),
+                  entry.wall_seconds, entry.probes_per_sec);
+    }
+  }
+
   dnswild::bench::write_micro_bench_json(
       json_path, "bench_micro", hardware, entries, cluster_entries,
       condensed_bytes, square_bytes, loss_entries, lsh_entries,
-      inflight_entries, order_entries, world_scale_entries);
+      inflight_entries, order_entries, world_scale_entries,
+      telemetry_entries);
   if (quick) return 0;
 
   benchmark::Initialize(&argc, argv);

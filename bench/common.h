@@ -200,6 +200,17 @@ struct WorldScaleEntry {
   std::uint64_t noerror = 0;
 };
 
+// One telemetry-overhead measurement (DESIGN.md §13): the same scan with
+// the per-prefix aggregator + flight recorder switched off vs on, so the
+// cost of the observability plane is visible. CI gates the "on" row at
+// >= 95% of the "off" throughput.
+struct TelemetryOverheadEntry {
+  std::string mode;  // "off" | "on"
+  std::uint64_t probes = 0;
+  double wall_seconds = 0.0;
+  double probes_per_sec = 0.0;
+};
+
 inline double best_speedup(double base, double best) {
   return base > 0.0 ? best / base : 0.0;
 }
@@ -215,7 +226,8 @@ inline bool write_micro_bench_json(
     const std::vector<LshCrossoverEntry>& lsh_crossover = {},
     const std::vector<InflightSweepEntry>& inflight_sweep = {},
     const std::vector<ScanOrderAblationEntry>& scan_order_ablation = {},
-    const std::vector<WorldScaleEntry>& world_scale = {}) {
+    const std::vector<WorldScaleEntry>& world_scale = {},
+    const std::vector<TelemetryOverheadEntry>& telemetry_overhead = {}) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -366,6 +378,18 @@ inline bool write_micro_bench_json(
                  entry.scan_wall_seconds, entry.probes_per_sec,
                  static_cast<unsigned long long>(entry.noerror),
                  i + 1 < world_scale.size() ? "," : "");
+  }
+  std::fprintf(file, "  ],\n");
+  std::fprintf(file, "  \"telemetry_overhead\": [\n");
+  for (std::size_t i = 0; i < telemetry_overhead.size(); ++i) {
+    const TelemetryOverheadEntry& entry = telemetry_overhead[i];
+    std::fprintf(file,
+                 "    {\"mode\": \"%s\", \"probes\": %llu, "
+                 "\"wall_seconds\": %.6f, \"probes_per_sec\": %.1f}%s\n",
+                 entry.mode.c_str(),
+                 static_cast<unsigned long long>(entry.probes),
+                 entry.wall_seconds, entry.probes_per_sec,
+                 i + 1 < telemetry_overhead.size() ? "," : "");
   }
   std::fprintf(file, "  ],\n");
   std::fprintf(file,

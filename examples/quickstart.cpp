@@ -3,12 +3,18 @@
 // study over them — the same flow as the paper's Fig. 3 processing chain.
 //
 //   $ ./examples/quickstart [resolver_count] [seed] [--metrics-out FILE]
+//                           [--trace-out FILE] [--prefixes-out FILE]
 //                           [--cluster-mode exact|lsh|auto]
 //                           [--max-in-flight N]
 //                           [--worldgen eager|lazy] [--scan-only]
 //
 // --metrics-out (or DNSWILD_METRICS_OUT) writes the machine-readable run
 // report — every registry counter plus the per-stage spans — as JSON.
+// --trace-out writes the virtual-time flight recorder as Chrome
+// trace-event JSON — load it at https://ui.perfetto.dev (DESIGN.md §13).
+// --prefixes-out writes the per-/20 telemetry table
+// ("dnswild.prefixes.v1"): probes, rcode mix, fault hits, rate limiting
+// and rebind churn per prefix.
 // --cluster-mode selects the coarse clustering engine (DESIGN.md §10):
 // the exact O(n²) HAC (default), the sub-quadratic MinHash/LSH path, or
 // the size-based auto crossover.
@@ -38,6 +44,8 @@ int main(int argc, char** argv) {
 
   // Pull the option flags out of argv before the positional arguments.
   std::string metrics_out;
+  std::string trace_out;
+  std::string prefixes_out;
   std::string cluster_mode;
   std::string worldgen_mode;
   bool scan_only = false;
@@ -51,6 +59,12 @@ int main(int argc, char** argv) {
     } else if (i + 1 < argc) {
       if (std::strcmp(argv[i], "--metrics-out") == 0) {
         metrics_out = argv[i + 1];
+        consumed = 2;
+      } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+        trace_out = argv[i + 1];
+        consumed = 2;
+      } else if (std::strcmp(argv[i], "--prefixes-out") == 0) {
+        prefixes_out = argv[i + 1];
         consumed = 2;
       } else if (std::strcmp(argv[i], "--cluster-mode") == 0) {
         cluster_mode = argv[i + 1];
@@ -132,6 +146,14 @@ int main(int argc, char** argv) {
   }
   if (scan_only) {
     std::printf("\n--scan-only: stopping after enumeration.\n");
+    if (!trace_out.empty()) {
+      generated.world->trace().dump_chrome_json(trace_out);
+      std::printf("Perfetto trace written to %s\n", trace_out.c_str());
+    }
+    if (!prefixes_out.empty()) {
+      generated.world->prefix_telemetry().snapshot().dump_json(prefixes_out);
+      std::printf("Prefix telemetry written to %s\n", prefixes_out.c_str());
+    }
     return 0;
   }
 
@@ -177,11 +199,34 @@ int main(int argc, char** argv) {
   std::printf("Pipeline stages (items in/out, wall time):\n%s\n",
               core::render_stage_summary(report).c_str());
 
+  const std::string hot = core::render_hot_prefixes(report);
+  if (!hot.empty()) {
+    std::printf("Hot prefixes (faults + rate limiting + timeouts):\n%s\n",
+                hot.c_str());
+  }
+
   if (!metrics_out.empty()) {
     if (report.metrics.dump_json(metrics_out)) {
       std::printf("Run report written to %s\n", metrics_out.c_str());
     } else {
       std::fprintf(stderr, "failed to write %s\n", metrics_out.c_str());
+      return 1;
+    }
+  }
+  if (!trace_out.empty()) {
+    if (generated.world->trace().dump_chrome_json(trace_out,
+                                                  &report.metrics)) {
+      std::printf("Perfetto trace written to %s\n", trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", trace_out.c_str());
+      return 1;
+    }
+  }
+  if (!prefixes_out.empty()) {
+    if (report.prefixes.dump_json(prefixes_out)) {
+      std::printf("Prefix telemetry written to %s\n", prefixes_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", prefixes_out.c_str());
       return 1;
     }
   }

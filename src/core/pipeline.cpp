@@ -45,6 +45,7 @@ StudyReport Pipeline::run(const std::vector<net::Ipv4>& resolvers,
   const auto degrade = [&](std::string stage, std::string cause,
                            std::uint64_t affected) {
     metrics.counter("pipeline.degradations").add();
+    world_.trace().instant("degraded:" + stage);
     report.degradations.push_back(
         StageDegradation{std::move(stage), std::move(cause), affected});
   };
@@ -231,6 +232,7 @@ StudyReport Pipeline::run(const std::vector<net::Ipv4>& resolvers,
   run_span.items_out(report.classification.tuples.size());
   run_span.close();
   report.metrics = metrics.snapshot();
+  report.prefixes = world_.prefix_telemetry().snapshot();
   return report;
 }
 

@@ -132,6 +132,12 @@ struct StudyReport {
   // byte-identical across thread counts (DESIGN.md §8).
   obs::Snapshot metrics;
 
+  // Snapshot of the world's per-/20 telemetry plane at the same instant:
+  // where probes, timeouts, fault hits, rate limiting, and rebind churn
+  // landed (DESIGN.md §13). Serialize with prefixes.to_json(); feed two
+  // rounds to obs::changed_prefixes for a delta-rescan target list.
+  obs::PrefixTable prefixes;
+
   StudyData view() const;
 };
 

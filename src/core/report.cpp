@@ -1,5 +1,6 @@
 #include "core/report.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "util/table.h"
@@ -91,6 +92,28 @@ std::string render_stage_summary(const StudyReport& report) {
                    wall});
   }
   std::string out = table.render();
+  // Latency percentiles from the event cores' virtual-time histograms
+  // (plus the shared retry-wait histogram). Virtual milliseconds, so the
+  // table is deterministic — unlike the wall column above.
+  Table latency({"Latency (virtual ms)", "Count", "p50", "p90", "p99"},
+                {util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+                 util::Align::kRight, util::Align::kRight});
+  bool any_latency = false;
+  for (const auto& histogram : report.metrics.histograms) {
+    const bool is_latency =
+        histogram.name.size() > 11 &&
+        histogram.name.rfind(".latency_ms") == histogram.name.size() - 11;
+    if (!is_latency && histogram.name != "retry.wait_ms") continue;
+    if (histogram.count == 0) continue;
+    any_latency = true;
+    char p50[32], p90[32], p99[32];
+    std::snprintf(p50, sizeof p50, "%.1f", histogram.percentile(0.50));
+    std::snprintf(p90, sizeof p90, "%.1f", histogram.percentile(0.90));
+    std::snprintf(p99, sizeof p99, "%.1f", histogram.percentile(0.99));
+    latency.add_row({histogram.name, util::with_commas(histogram.count),
+                     p50, p90, p99});
+  }
+  if (any_latency) out += "\n" + latency.render();
   if (!report.degradations.empty()) {
     Table degraded({"Degraded stage", "Cause", "Affected"},
                    {util::Align::kLeft, util::Align::kLeft,
@@ -102,6 +125,46 @@ std::string render_stage_summary(const StudyReport& report) {
     out += "\n" + degraded.render();
   }
   return out;
+}
+
+std::string render_hot_prefixes(const StudyReport& report,
+                                std::size_t limit) {
+  // Rank by "trouble": faults + rate limiting + timeouts. Prefixes that
+  // answered everything cleanly never make the table.
+  std::vector<const obs::PrefixRow*> hot;
+  for (const obs::PrefixRow& row : report.prefixes.rows) {
+    const std::uint64_t trouble = row.stats.fault_hits +
+                                  row.stats.rate_limited + row.stats.timeouts;
+    if (trouble > 0) hot.push_back(&row);
+  }
+  if (hot.empty()) return {};
+  std::stable_sort(hot.begin(), hot.end(),
+                   [](const obs::PrefixRow* a, const obs::PrefixRow* b) {
+                     const std::uint64_t ta = a->stats.fault_hits +
+                                              a->stats.rate_limited +
+                                              a->stats.timeouts;
+                     const std::uint64_t tb = b->stats.fault_hits +
+                                              b->stats.rate_limited +
+                                              b->stats.timeouts;
+                     if (ta != tb) return ta > tb;
+                     return a->key < b->key;  // deterministic tie-break
+                   });
+  if (hot.size() > limit) hot.resize(limit);
+  Table table({"Prefix", "Probes", "Resp %", "Timeouts", "Faults",
+               "Rate-ltd", "Rebinds"},
+              {util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+               util::Align::kRight, util::Align::kRight, util::Align::kRight,
+               util::Align::kRight});
+  for (const obs::PrefixRow* row : hot) {
+    table.add_row({obs::prefix_cidr(row->key),
+                   util::with_commas(row->stats.probes),
+                   util::pct1(100.0 * row->stats.response_rate()),
+                   util::with_commas(row->stats.timeouts),
+                   util::with_commas(row->stats.fault_hits),
+                   util::with_commas(row->stats.rate_limited),
+                   util::with_commas(row->stats.rebinds)});
+  }
+  return table.render();
 }
 
 namespace {

@@ -24,6 +24,13 @@ std::string render_classification(const StudyReport& report);
 // are the only nondeterministic column.
 std::string render_stage_summary(const StudyReport& report);
 
+// Hot-prefix table from the per-/20 telemetry plane (DESIGN.md §13):
+// the `limit` prefixes with the most trouble (fault hits + rate limiting
+// + timeouts), with their probe counts and response rates. Empty string
+// when no prefix saw any trouble.
+std::string render_hot_prefixes(const StudyReport& report,
+                                std::size_t limit = 12);
+
 // Fig. 4-style country distribution for the social-network domains.
 std::string render_social_geo(const StudyReport& report);
 

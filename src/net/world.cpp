@@ -157,6 +157,8 @@ World::World(std::uint64_t seed, obs::Registry* metrics)
   fault_corrupted_ = &metrics_->counter("fault.corrupted_replies");
   fault_slowed_ = &metrics_->counter("fault.slowed_replies");
   fault_tcp_lost_ = &metrics_->counter("fault.tcp_syn_lost");
+  trace_ = std::make_unique<obs::TraceRecorder>(*metrics_);
+  metrics_->attach_trace(trace_.get());
 }
 
 void World::require_mutation_phase(const char* what) const {
@@ -419,6 +421,10 @@ void World::bind(HostId id, Ipv4 ip) {
   if (previous != kNoHost && previous != id) clear_bound(previous);
   bindings_.set(ip, id);
   set_bound(id, ip);
+  // Churn telemetry: binds during lease expiry / activity-window movement
+  // count against the prefix the host lands in; initial registration
+  // binds do not (they are population construction, not churn).
+  if (in_rebind_) telemetry_.record_rebind(ip.value());
 }
 
 void World::unbind(HostId id) {
@@ -461,6 +467,7 @@ void World::rebind_lazy_host(LazyBlock& block, std::uint64_t i, double now) {
 
 void World::rebind_expired() {
   const double now = day();
+  in_rebind_ = true;
   for (const HostId id : dynamic_hosts_) {
     Host& host = hosts_[id];
     if (!host_active(host.config)) {
@@ -507,6 +514,7 @@ void World::rebind_expired() {
       rebind_lazy_host(block, i, now);
     }
   }
+  in_rebind_ = false;
 }
 
 bool World::filtered(const UdpPacket& request) const noexcept {
@@ -600,10 +608,12 @@ void World::deliver_udp(
           : ForwardFault::kNone;
   if (admission == ForwardFault::kRateDropped) {
     fault_rate_dropped_->add();
+    telemetry_.record_rate_limited(request.dst.value());
     return;
   }
   if (admission == ForwardFault::kRateRefused) {
     fault_rate_refused_->add();
+    telemetry_.record_rate_limited(request.dst.value());
     replies.push_back(FaultPlan::make_refused_reply(request));
     return;
   }
@@ -653,9 +663,11 @@ std::vector<UdpReply> World::send_udp(const UdpPacket& request) {
                                   now_minutes)) {
       case ForwardFault::kUnreachable:
         fault_unreachable_->add();
+        telemetry_.record_fault_hit(request.dst.value());
         return replies;
       case ForwardFault::kLost:
         fault_forward_lost_->add();
+        telemetry_.record_fault_hit(request.dst.value());
         return replies;
       default:
         break;
@@ -698,6 +710,7 @@ std::vector<UdpReply> World::send_udp(const UdpPacket& request) {
           fault_index, seed_, key, index, request.dst, now_minutes);
       if (verdict.lost) {
         ++lost;
+        telemetry_.record_fault_hit(request.dst.value());
         continue;
       }
       UdpReply& reply = replies[read];
@@ -705,14 +718,17 @@ std::vector<UdpReply> World::send_udp(const UdpPacket& request) {
         FaultPlan::truncate_payload(reply.packet.payload,
                                     util::hash_words({key, index}));
         fault_truncated_->add();
+        telemetry_.record_fault_hit(request.dst.value());
       } else if (verdict.corrupted) {
         FaultPlan::corrupt_payload(reply.packet.payload,
                                    util::hash_words({key, index}));
         fault_corrupted_->add();
+        telemetry_.record_fault_hit(request.dst.value());
       }
       if (verdict.extra_latency_ms > 0) {
         reply.latency_ms += verdict.extra_latency_ms;
         fault_slowed_->add();
+        telemetry_.record_fault_hit(request.dst.value());
       }
       if (write != read) replies[write] = std::move(replies[read]);
       ++write;
@@ -765,6 +781,7 @@ TcpService* World::connect_tcp(Ipv4 src, Ipv4 dst, std::uint16_t port,
                                fault->unreachable_episode_rate, dst,
                                now_minutes)) {
       fault_tcp_lost_->add();
+      telemetry_.record_fault_hit(dst.value());
       return nullptr;
     }
     const double loss =
@@ -779,6 +796,7 @@ TcpService* World::connect_tcp(Ipv4 src, Ipv4 dst, std::uint16_t port,
            (static_cast<std::uint64_t>(port) << 32) | seq});
       if (util::hash_unit(syn_key) < loss) {
         fault_tcp_lost_->add();
+        telemetry_.record_fault_hit(dst.value());
         return nullptr;
       }
     }

@@ -49,6 +49,8 @@
 #include "net/rdns.h"
 #include "net/services.h"
 #include "obs/metrics.h"
+#include "obs/prefix_telemetry.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace dnswild::net {
@@ -204,6 +206,20 @@ class World {
   // this world record into (DESIGN.md §8).
   obs::Registry& metrics() noexcept { return *metrics_; }
   const obs::Registry& metrics() const noexcept { return *metrics_; }
+
+  // The per-/20 telemetry plane (DESIGN.md §13). The fault plane records
+  // verdicts and rate-limit admissions here; scanners record probe
+  // outcomes; rebind churn lands here too. Campaign code snapshots it into
+  // StudyReport::prefixes.
+  obs::PrefixTelemetry& prefix_telemetry() noexcept { return telemetry_; }
+  const obs::PrefixTelemetry& prefix_telemetry() const noexcept {
+    return telemetry_;
+  }
+
+  // The world's flight recorder, attached to metrics() so spans mirror
+  // into it; the event cores stamp probe events with its virtual clock.
+  obs::TraceRecorder& trace() noexcept { return *trace_; }
+  const obs::TraceRecorder& trace() const noexcept { return *trace_; }
 
   AsDb& asdb() noexcept { return asdb_; }
   const AsDb& asdb() const noexcept { return asdb_; }
@@ -437,6 +453,11 @@ class World {
   // caller did not supply one.
   std::unique_ptr<obs::Registry> own_metrics_;
   obs::Registry* metrics_ = nullptr;
+  obs::PrefixTelemetry telemetry_;
+  std::unique_ptr<obs::TraceRecorder> trace_;
+  // True only inside rebind_expired(): bind() counts churn into the
+  // prefix telemetry then, but not for initial registration binds.
+  bool in_rebind_ = false;
   obs::Counter* udp_sent_ = nullptr;
   obs::Counter* udp_delivered_ = nullptr;
   obs::Counter* udp_dropped_filtered_ = nullptr;

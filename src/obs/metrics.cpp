@@ -23,6 +23,51 @@ void Histogram::observe(std::uint64_t v) noexcept {
   sum_.fetch_add(v, std::memory_order_relaxed);
 }
 
+namespace {
+
+// Shared quantile math for live histograms and snapshot values: find the
+// bucket holding rank q*count, interpolate linearly between its edges.
+// The overflow bucket has no upper edge, so ranks landing there report
+// the last finite bound.
+double percentile_from(const std::vector<std::uint64_t>& bounds,
+                       const std::vector<std::uint64_t>& buckets,
+                       std::uint64_t count, double q) {
+  if (count == 0 || buckets.empty() || bounds.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < target) continue;
+    if (i >= bounds.size()) return static_cast<double>(bounds.back());
+    const double lower = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+    const double upper = static_cast<double>(bounds[i]);
+    const double fraction =
+        (target - before) / static_cast<double>(in_bucket);
+    return lower + (upper - lower) * fraction;
+  }
+  return static_cast<double>(bounds.back());
+}
+
+}  // namespace
+
+double Histogram::percentile(double q) const noexcept {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts.push_back(bucket(i));
+  }
+  return percentile_from(bounds_, counts, count(), q);
+}
+
+double Snapshot::HistogramValue::percentile(double q) const noexcept {
+  return percentile_from(bounds, buckets, count, q);
+}
+
 Counter& Registry::counter(std::string_view name, Tag tag) {
   const std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);
@@ -57,6 +102,21 @@ Histogram& Registry::histogram(std::string_view name,
   return *it->second;
 }
 
+Series& Registry::series(std::string_view name,
+                         std::uint64_t bucket_width_us,
+                         std::size_t max_buckets, SeriesMode mode, Tag tag) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    OwnedSeries owned;
+    owned.series = std::unique_ptr<Series>(
+        new Series(bucket_width_us, max_buckets, mode));
+    owned.tag = tag;
+    it = series_.emplace(std::string(name), std::move(owned)).first;
+  }
+  return *it->second.series;
+}
+
 void Registry::record_span(SpanRecord record) {
   const std::lock_guard<std::mutex> lock(mutex_);
   spans_.push_back(std::move(record));
@@ -89,16 +149,53 @@ Snapshot Registry::snapshot() const {
     value.nondeterministic = histogram->tag_ == Tag::kNondeterministic;
     snap.histograms.push_back(std::move(value));
   }
+  snap.series.reserve(series_.size());
+  for (const auto& [name, owned] : series_) {
+    SeriesValue value;
+    value.name = name;
+    value.bucket_width_us = owned.series->bucket_width_us();
+    value.mode = owned.series->mode();
+    value.nondeterministic = owned.tag == Tag::kNondeterministic;
+    std::size_t used = 0;  // trim trailing all-zero buckets
+    for (std::size_t i = 0; i < owned.series->max_buckets(); ++i) {
+      if (owned.series->bucket(i) != 0) used = i + 1;
+    }
+    value.buckets.reserve(used);
+    for (std::size_t i = 0; i < used; ++i) {
+      value.buckets.push_back(owned.series->bucket(i));
+    }
+    snap.series.push_back(std::move(value));
+  }
   snap.spans = spans_;
   std::stable_sort(snap.spans.begin(), snap.spans.end(),
                    [](const SpanRecord& a, const SpanRecord& b) {
                      return a.seq < b.seq;
                    });
+  snap.span_index.resize(snap.spans.size());
+  for (std::uint32_t i = 0; i < snap.span_index.size(); ++i) {
+    snap.span_index[i] = i;
+  }
+  // stable over the seq-sorted spans, so the first index under each name
+  // is the earliest-opened span — the same record the old linear scan
+  // returned.
+  std::stable_sort(snap.span_index.begin(), snap.span_index.end(),
+                   [&snap](std::uint32_t a, std::uint32_t b) {
+                     return snap.spans[a].name < snap.spans[b].name;
+                   });
   return snap;
 }
 
 const SpanRecord* Snapshot::find_span(std::string_view name) const noexcept {
-  for (const SpanRecord& span : spans) {
+  if (span_index.size() == spans.size() && !spans.empty()) {
+    const auto it = std::lower_bound(
+        span_index.begin(), span_index.end(), name,
+        [this](std::uint32_t i, std::string_view n) {
+          return spans[i].name < n;
+        });
+    if (it == span_index.end() || spans[*it].name != name) return nullptr;
+    return &spans[*it];
+  }
+  for (const SpanRecord& span : spans) {  // hand-built snapshot fallback
     if (span.name == name) return &span;
   }
   return nullptr;
@@ -161,7 +258,7 @@ void append_ms(std::string& out, double ms) {
 std::string Snapshot::to_json(bool mask_nondeterministic) const {
   std::string out;
   out.reserve(4096);
-  out += "{\n  \"schema\": \"dnswild.metrics.v1\",\n";
+  out += "{\n  \"schema\": \"dnswild.metrics.v2\",\n";
   out += "  \"masked\": ";
   out += mask_nondeterministic ? "true" : "false";
   out += ",\n  \"counters\": [";
@@ -222,6 +319,29 @@ std::string Snapshot::to_json(bool mask_nondeterministic) const {
     out += "]}";
   }
   out += histograms.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"series\": [";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const SeriesValue& value = series[i];
+    const bool mask = mask_nondeterministic && value.nondeterministic;
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    append_escaped(out, value.name);
+    if (value.nondeterministic) out += ", \"nondeterministic\": true";
+    out += ", \"bucket_width_us\": ";
+    append_u64(out, value.bucket_width_us);
+    out += ", \"mode\": ";
+    out += value.mode == SeriesMode::kSum ? "\"sum\"" : "\"max\"";
+    out += ", \"buckets\": [";
+    if (!mask) {
+      for (std::size_t b = 0; b < value.buckets.size(); ++b) {
+        if (b > 0) out += ", ";
+        append_u64(out, value.buckets[b]);
+      }
+    }
+    out += "]}";
+  }
+  out += series.empty() ? "],\n" : "\n  ],\n";
 
   out += "  \"spans\": [";
   for (std::size_t i = 0; i < spans.size(); ++i) {

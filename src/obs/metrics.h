@@ -24,7 +24,11 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/timeseries.h"
+
 namespace dnswild::obs {
+
+class TraceRecorder;
 
 // Whether a metric's value is a pure function of the run's seed and inputs
 // (kStable) or depends on scheduling, wall clock, or worker count
@@ -79,6 +83,12 @@ class Gauge {
 class Histogram {
  public:
   void observe(std::uint64_t v) noexcept;
+
+  // Quantile estimate (q in [0, 1]) by linear interpolation inside the
+  // owning bucket; observations in the overflow bucket are attributed to
+  // the last finite bound, so p99 of a saturated histogram reports that
+  // bound rather than inventing a value. Returns 0 when empty.
+  double percentile(double q) const noexcept;
 
   std::uint64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
@@ -140,18 +150,27 @@ struct Snapshot {
     std::uint64_t count = 0;
     std::uint64_t sum = 0;
     bool nondeterministic = false;
+
+    // Same interpolation contract as Histogram::percentile.
+    double percentile(double q) const noexcept;
   };
 
   std::vector<CounterValue> counters;      // sorted by name
   std::vector<GaugeValue> gauges;          // sorted by name
   std::vector<HistogramValue> histograms;  // sorted by name
+  std::vector<SeriesValue> series;         // sorted by name
   std::vector<SpanRecord> spans;           // sorted by seq
+  // Positions into `spans`, sorted by span name; built by
+  // Registry::snapshot() so find_span can binary-search (first-seq span
+  // wins for duplicate names). Hand-built snapshots may leave it empty —
+  // find_span then falls back to the linear scan.
+  std::vector<std::uint32_t> span_index;
 
   // Lookup helpers (nullptr / 0 when absent).
   const SpanRecord* find_span(std::string_view name) const noexcept;
   std::uint64_t counter_value(std::string_view name) const noexcept;
 
-  // Deterministic JSON document (schema "dnswild.metrics.v1"). With
+  // Deterministic JSON document (schema "dnswild.metrics.v2"). With
   // mask_nondeterministic, every kNondeterministic value and every span
   // wall_ms is written as 0, so two reports from the same seed compare
   // byte-identical regardless of thread count.
@@ -174,6 +193,20 @@ class Registry {
   Histogram& histogram(std::string_view name,
                        std::vector<std::uint64_t> bounds,
                        Tag tag = Tag::kStable);
+  Series& series(std::string_view name, std::uint64_t bucket_width_us,
+                 std::size_t max_buckets, SeriesMode mode,
+                 Tag tag = Tag::kStable);
+
+  // Optional flight recorder: once attached, every Span open/close also
+  // emits a stage begin/end trace event, which is how CPU-side stages
+  // (clustering, labeling) reach the Perfetto timeline without any wiring
+  // of their own. The recorder must outlive the registry's spans.
+  void attach_trace(TraceRecorder* trace) noexcept {
+    trace_.store(trace, std::memory_order_release);
+  }
+  TraceRecorder* trace() const noexcept {
+    return trace_.load(std::memory_order_acquire);
+  }
 
   Snapshot snapshot() const;
   std::string to_json(bool mask_nondeterministic = false) const {
@@ -191,12 +224,19 @@ class Registry {
   }
   void record_span(SpanRecord record);
 
+  struct OwnedSeries {
+    std::unique_ptr<Series> series;
+    Tag tag = Tag::kStable;
+  };
+
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, OwnedSeries, std::less<>> series_;
   std::vector<SpanRecord> spans_;  // completed spans, completion order
   std::atomic<std::uint64_t> span_seq_{0};
+  std::atomic<TraceRecorder*> trace_{nullptr};
 };
 
 // Process-wide default registry, for tools that have no natural owner.

@@ -1,0 +1,258 @@
+#include "obs/prefix_telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dnswild::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "%llu",
+                static_cast<unsigned long long>(v));
+  out += buffer;
+}
+
+}  // namespace
+
+std::string prefix_cidr(std::uint32_t key) {
+  const std::uint32_t base = key << 12;
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "%u.%u.%u.%u/20", (base >> 24) & 0xff,
+                (base >> 16) & 0xff, (base >> 8) & 0xff, base & 0xff);
+  return buffer;
+}
+
+const PrefixStats* PrefixTable::find(std::uint32_t key) const noexcept {
+  const auto it = std::lower_bound(
+      rows.begin(), rows.end(), key,
+      [](const PrefixRow& row, std::uint32_t k) { return row.key < k; });
+  if (it == rows.end() || it->key != key) return nullptr;
+  return &it->stats;
+}
+
+std::string PrefixTable::to_json() const {
+  std::string out;
+  out.reserve(128 + rows.size() * 256);
+  out += "{\n  \"schema\": \"dnswild.prefixes.v1\",\n  \"prefixes\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const PrefixRow& row = rows[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"prefix\": \"";
+    out += prefix_cidr(row.key);
+    out += "\", \"probes\": ";
+    append_u64(out, row.stats.probes);
+    out += ", \"responses\": ";
+    append_u64(out, row.stats.responses);
+    out += ", \"timeouts\": ";
+    append_u64(out, row.stats.timeouts);
+    out += ", \"retries\": ";
+    append_u64(out, row.stats.retries);
+    out += ", \"rcodes\": {\"noerror\": ";
+    append_u64(out, row.stats.noerror);
+    out += ", \"refused\": ";
+    append_u64(out, row.stats.refused);
+    out += ", \"servfail\": ";
+    append_u64(out, row.stats.servfail);
+    out += ", \"nxdomain\": ";
+    append_u64(out, row.stats.nxdomain);
+    out += ", \"other\": ";
+    append_u64(out, row.stats.other_rcode);
+    out += "}, \"fault_hits\": ";
+    append_u64(out, row.stats.fault_hits);
+    out += ", \"rate_limited\": ";
+    append_u64(out, row.stats.rate_limited);
+    out += ", \"rebinds\": ";
+    append_u64(out, row.stats.rebinds);
+    out += "}";
+  }
+  out += rows.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+bool PrefixTable::dump_json(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string json = to_json();
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), file) == json.size();
+  std::fclose(file);
+  return ok;
+}
+
+namespace {
+
+std::uint64_t abs_delta(std::uint64_t a, std::uint64_t b) noexcept {
+  return a > b ? a - b : b - a;
+}
+
+bool changed(const PrefixStats& prev, const PrefixStats& cur,
+             const ChangeThresholds& thresholds) {
+  if (abs_delta(prev.fault_hits + prev.rate_limited,
+                cur.fault_hits + cur.rate_limited) >=
+      thresholds.fault_hit_delta) {
+    return true;
+  }
+  if (abs_delta(prev.rebinds, cur.rebinds) >= thresholds.rebind_delta) {
+    return true;
+  }
+  if (std::max(prev.probes, cur.probes) >= thresholds.min_probes &&
+      std::fabs(cur.response_rate() - prev.response_rate()) >=
+          thresholds.response_rate_delta) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> changed_prefixes(
+    const PrefixTable& prev, const PrefixTable& cur,
+    const ChangeThresholds& thresholds) {
+  std::vector<std::uint32_t> out;
+  const PrefixStats zero;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < prev.rows.size() || j < cur.rows.size()) {
+    std::uint32_t key = 0;
+    const PrefixStats* a = &zero;
+    const PrefixStats* b = &zero;
+    if (j >= cur.rows.size() ||
+        (i < prev.rows.size() && prev.rows[i].key < cur.rows[j].key)) {
+      key = prev.rows[i].key;
+      a = &prev.rows[i].stats;
+      ++i;
+    } else if (i >= prev.rows.size() || cur.rows[j].key < prev.rows[i].key) {
+      key = cur.rows[j].key;
+      b = &cur.rows[j].stats;
+      ++j;
+    } else {
+      key = prev.rows[i].key;
+      a = &prev.rows[i].stats;
+      b = &cur.rows[j].stats;
+      ++i;
+      ++j;
+    }
+    if (changed(*a, *b, thresholds)) out.push_back(key);
+  }
+  return out;
+}
+
+void PrefixTelemetry::record_probe(std::uint32_t address, bool responded,
+                                   RcodeClass rcode, std::uint32_t retries) {
+  if (!enabled()) return;
+  const std::uint32_t key = key_of(address);
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  PrefixStats& stats = shard.stats[key];
+  stats.probes += 1;
+  stats.retries += retries;
+  if (!responded) {
+    stats.timeouts += 1;
+    return;
+  }
+  stats.responses += 1;
+  switch (rcode) {
+    case RcodeClass::kNoError: stats.noerror += 1; break;
+    case RcodeClass::kRefused: stats.refused += 1; break;
+    case RcodeClass::kServFail: stats.servfail += 1; break;
+    case RcodeClass::kNxDomain: stats.nxdomain += 1; break;
+    case RcodeClass::kOther: stats.other_rcode += 1; break;
+  }
+}
+
+void PrefixTelemetry::record_fault_hit(std::uint32_t address) {
+  if (!enabled()) return;
+  const std::uint32_t key = key_of(address);
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.stats[key].fault_hits += 1;
+}
+
+void PrefixTelemetry::record_rate_limited(std::uint32_t address) {
+  if (!enabled()) return;
+  const std::uint32_t key = key_of(address);
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.stats[key].rate_limited += 1;
+}
+
+void PrefixTelemetry::merge(std::uint32_t key, const PrefixStats& delta) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  PrefixStats& stats = shard.stats[key];
+  stats.probes += delta.probes;
+  stats.responses += delta.responses;
+  stats.timeouts += delta.timeouts;
+  stats.retries += delta.retries;
+  stats.noerror += delta.noerror;
+  stats.refused += delta.refused;
+  stats.servfail += delta.servfail;
+  stats.nxdomain += delta.nxdomain;
+  stats.other_rcode += delta.other_rcode;
+  stats.fault_hits += delta.fault_hits;
+  stats.rate_limited += delta.rate_limited;
+  stats.rebinds += delta.rebinds;
+}
+
+PrefixStats& PrefixBatch::slot(std::uint32_t key) {
+  // Fibonacci-hashed linear probing. Occupancy is capped at 3/4 (a full
+  // table flushes and restarts), so the probe always terminates at either
+  // the key or a free slot.
+  std::size_t index = (key * 2654435761u) & (kSlots - 1);
+  while (true) {
+    Slot& entry = slots_[index];
+    if (entry.used && entry.key == key) return entry.stats;
+    if (!entry.used) {
+      if (used_ >= (kSlots / 4) * 3) {
+        flush();
+        index = (key * 2654435761u) & (kSlots - 1);
+        continue;
+      }
+      entry.used = true;
+      entry.key = key;
+      ++used_;
+      return entry.stats;
+    }
+    index = (index + 1) & (kSlots - 1);
+  }
+}
+
+void PrefixBatch::flush() {
+  if (used_ == 0) return;
+  for (Slot& slot : slots_) {
+    if (!slot.used) continue;
+    sink_.merge(slot.key, slot.stats);
+    slot = Slot{};
+  }
+  used_ = 0;
+}
+
+void PrefixTelemetry::record_rebind(std::uint32_t address) {
+  if (!enabled()) return;
+  const std::uint32_t key = key_of(address);
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.stats[key].rebinds += 1;
+}
+
+PrefixTable PrefixTelemetry::snapshot() const {
+  PrefixTable table;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    table.rows.reserve(table.rows.size() + shard.stats.size());
+    for (const auto& [key, stats] : shard.stats) {
+      table.rows.push_back({key, stats});
+    }
+  }
+  std::sort(table.rows.begin(), table.rows.end(),
+            [](const PrefixRow& a, const PrefixRow& b) {
+              return a.key < b.key;
+            });
+  return table;
+}
+
+}  // namespace dnswild::obs

@@ -1,0 +1,199 @@
+// Per-prefix telemetry plane (DESIGN.md §13).
+//
+// The paper's §2 landscape findings — weekly counts, churn, fluctuation —
+// are per-prefix stories, so the campaign needs to know not just *how
+// much* loss, rate-limiting, and churn it saw but *where*. PrefixTelemetry
+// aggregates every probe outcome, fault-plane hit, and rebind event into
+// per-/20 rows (key = address >> 12), sharded under short mutexes so all
+// four scanners and the World traffic plane can feed it concurrently.
+//
+// Every field is additive, so the aggregate is independent of thread
+// interleaving; snapshot() merges shards in prefix order, which makes the
+// exported `dnswild.prefixes.v1` table byte-identical across thread
+// counts with no masking. `changed_prefixes` diffs two tables and is the
+// delta-rescan hook for the longitudinal campaign engine (ROADMAP).
+//
+// This header is net-free on purpose: obs sits below net in the library
+// stack, so prefixes are raw host-order uint32 addresses here.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dnswild::obs {
+
+// Coarse rcode classes — enough for the paper's Table 2 style mix without
+// coupling obs to the DNS message types in net.
+enum class RcodeClass : std::uint8_t {
+  kNoError = 0,
+  kRefused = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kOther = 4,
+};
+
+struct PrefixStats {
+  std::uint64_t probes = 0;     // probe transactions aimed at the prefix
+  std::uint64_t responses = 0;  // transactions that got any reply
+  std::uint64_t timeouts = 0;   // transactions that exhausted retries
+  std::uint64_t retries = 0;    // extra transmissions beyond the first
+  std::uint64_t noerror = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t servfail = 0;
+  std::uint64_t nxdomain = 0;
+  std::uint64_t other_rcode = 0;
+  std::uint64_t fault_hits = 0;    // fault-plane verdicts (loss, episodes…)
+  std::uint64_t rate_limited = 0;  // token-bucket drops/REFUSED
+  std::uint64_t rebinds = 0;       // dynamic hosts re-binding into prefix
+
+  double response_rate() const noexcept {
+    return probes == 0 ? 0.0
+                       : static_cast<double>(responses) /
+                             static_cast<double>(probes);
+  }
+};
+
+struct PrefixRow {
+  std::uint32_t key = 0;  // /20 key: address >> 12
+  PrefixStats stats;
+};
+
+// Renders a /20 key as dotted-quad CIDR text ("203.0.16.0/20").
+std::string prefix_cidr(std::uint32_t key);
+
+// Plain-data table snapshot, rows sorted by key. The machine-readable
+// per-prefix run report.
+struct PrefixTable {
+  std::vector<PrefixRow> rows;
+
+  const PrefixStats* find(std::uint32_t key) const noexcept;
+
+  // Deterministic JSON document (schema "dnswild.prefixes.v1").
+  std::string to_json() const;
+  bool dump_json(const std::string& path) const;
+};
+
+// What counts as "changed" between two campaign rounds. A prefix is
+// flagged when any criterion fires; prefixes absent from a table are
+// treated as all-zero rows, so newly probed space shows up too.
+struct ChangeThresholds {
+  // Response-rate movement only counts when at least one side probed the
+  // prefix this many times (tiny samples churn their rate by nature).
+  std::uint64_t min_probes = 16;
+  double response_rate_delta = 0.2;
+  std::uint64_t fault_hit_delta = 1;  // fault_hits + rate_limited movement
+  std::uint64_t rebind_delta = 1;
+};
+
+// Keys (sorted) whose telemetry moved past the thresholds between `prev`
+// and `cur` — the prefixes a delta rescan should revisit.
+std::vector<std::uint32_t> changed_prefixes(
+    const PrefixTable& prev, const PrefixTable& cur,
+    const ChangeThresholds& thresholds = {});
+
+class PrefixTelemetry {
+ public:
+  PrefixTelemetry() = default;
+  PrefixTelemetry(const PrefixTelemetry&) = delete;
+  PrefixTelemetry& operator=(const PrefixTelemetry&) = delete;
+
+  static constexpr std::uint32_t key_of(std::uint32_t address) noexcept {
+    return address >> 12;
+  }
+
+  // Accumulation can be switched off wholesale (the bench overhead
+  // baseline); recording calls become a single relaxed load.
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  // One finished probe transaction against `address`: every transmission
+  // ladder ends in either a classified reply or a timeout. `retries` is
+  // transmissions beyond the first.
+  void record_probe(std::uint32_t address, bool responded, RcodeClass rcode,
+                    std::uint32_t retries);
+  void record_fault_hit(std::uint32_t address);
+  void record_rate_limited(std::uint32_t address);
+  void record_rebind(std::uint32_t address);
+
+  // Adds `delta` field-wise into the row for `key` under its shard mutex —
+  // the merge target for PrefixBatch accumulators.
+  void merge(std::uint32_t key, const PrefixStats& delta);
+
+  PrefixTable snapshot() const;
+
+ private:
+  static constexpr std::size_t kShards = 64;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint32_t, PrefixStats> stats;
+  };
+
+  Shard& shard_for(std::uint32_t key) noexcept {
+    return shards_[key % kShards];  // adjacent /20s spread across shards
+  }
+
+  std::atomic<bool> enabled_{true};
+  std::array<Shard, kShards> shards_;
+};
+
+// Worker-local accumulator for the probe hot path: a scanner block records
+// into a small open-addressed table (no locks, no hashing allocations) and
+// merges into the shared telemetry once per block. All fields are additive,
+// so batching never changes the aggregate — only how often the shard
+// mutexes are touched. Flushes itself when full and on destruction.
+class PrefixBatch {
+ public:
+  explicit PrefixBatch(PrefixTelemetry& sink) : sink_(sink) {}
+  ~PrefixBatch() { flush(); }
+  PrefixBatch(const PrefixBatch&) = delete;
+  PrefixBatch& operator=(const PrefixBatch&) = delete;
+
+  void record_probe(std::uint32_t address, bool responded, RcodeClass rcode,
+                    std::uint32_t retries) {
+    if (!sink_.enabled()) return;
+    PrefixStats& stats = slot(PrefixTelemetry::key_of(address));
+    ++stats.probes;
+    stats.retries += retries;
+    if (!responded) {
+      ++stats.timeouts;
+      return;
+    }
+    ++stats.responses;
+    switch (rcode) {
+      case RcodeClass::kNoError: ++stats.noerror; break;
+      case RcodeClass::kRefused: ++stats.refused; break;
+      case RcodeClass::kServFail: ++stats.servfail; break;
+      case RcodeClass::kNxDomain: ++stats.nxdomain; break;
+      case RcodeClass::kOther: ++stats.other_rcode; break;
+    }
+  }
+
+  void flush();
+
+ private:
+  // Plenty for the distinct /20s one block touches; collisions past ~3/4
+  // occupancy trigger an early flush instead of growing.
+  static constexpr std::size_t kSlots = 128;
+  struct Slot {
+    std::uint32_t key = 0;
+    bool used = false;
+    PrefixStats stats;
+  };
+
+  PrefixStats& slot(std::uint32_t key);
+
+  PrefixTelemetry& sink_;
+  std::size_t used_ = 0;
+  std::array<Slot, kSlots> slots_;
+};
+
+}  // namespace dnswild::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace dnswild::obs {
 
 namespace {
@@ -32,6 +34,9 @@ Span::Span(Registry& registry, std::string name)
     if (open.registry == registry_) ++record_.depth;
   }
   open_spans.push_back({registry_, record_.seq});
+  if (TraceRecorder* trace = registry.trace()) {
+    trace->stage_begin(record_.name);
+  }
 }
 
 void Span::close() noexcept {
@@ -45,6 +50,9 @@ void Span::close() noexcept {
         return open.registry == registry_ && open.seq == record_.seq;
       });
   if (it != open_spans.rend()) open_spans.erase(std::next(it).base());
+  if (TraceRecorder* trace = registry_->trace()) {
+    trace->stage_end(record_.name);
+  }
   registry_->record_span(std::move(record_));
 }
 

@@ -1,0 +1,30 @@
+#include "obs/timeseries.h"
+
+namespace dnswild::obs {
+
+Series::Series(std::uint64_t bucket_width_us, std::size_t max_buckets,
+               SeriesMode mode)
+    : bucket_width_us_(bucket_width_us == 0 ? 1 : bucket_width_us),
+      max_buckets_(max_buckets == 0 ? 1 : max_buckets),
+      mode_(mode),
+      buckets_(std::make_unique<std::atomic<std::uint64_t>[]>(
+          max_buckets == 0 ? 1 : max_buckets)) {
+  for (std::size_t i = 0; i < max_buckets_; ++i) buckets_[i].store(0);
+}
+
+void Series::record(std::uint64_t t_us, std::uint64_t v) noexcept {
+  std::size_t index = static_cast<std::size_t>(t_us / bucket_width_us_);
+  if (index >= max_buckets_) index = max_buckets_ - 1;
+  std::atomic<std::uint64_t>& bucket = buckets_[index];
+  if (mode_ == SeriesMode::kSum) {
+    bucket.fetch_add(v, std::memory_order_relaxed);
+    return;
+  }
+  std::uint64_t current = bucket.load(std::memory_order_relaxed);
+  while (v > current &&
+         !bucket.compare_exchange_weak(current, v,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace dnswild::obs

@@ -1,0 +1,69 @@
+// Virtual-time bucket series (DESIGN.md §13).
+//
+// A Series is a fixed grid of buckets over the campaign's virtual clock:
+// bucket i covers [i * width, (i + 1) * width) microseconds of virtual
+// time. The event core records sends/retries/timeouts/replies and the
+// in-flight occupancy into shared series while it drains its event heap,
+// which turns the per-probe event stream into probes-per-window curves
+// without retaining the events themselves.
+//
+// Updates are single relaxed atomics (fetch_add for kSum, a CAS raise for
+// kMax), so series are safe from any number of threads and as cheap as
+// the counters in metrics.h. Because bucket indices derive from virtual
+// time — a pure function of the run — series contents are thread-count
+// invariant and are serialized unmasked in dnswild.metrics.v2 reports.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dnswild::obs {
+
+class Registry;
+
+// How bucket updates combine: kSum accumulates event counts per window
+// (probes/sec style), kMax keeps the per-window high-water mark (in-flight
+// occupancy style).
+enum class SeriesMode { kSum, kMax };
+
+class Series {
+ public:
+  // Records `v` into the bucket containing virtual time `t_us`. Times at
+  // or past the grid's end clamp into the last bucket, so a series never
+  // loses events — late activity just piles up in the final window.
+  void record(std::uint64_t t_us, std::uint64_t v) noexcept;
+
+  std::uint64_t bucket_width_us() const noexcept { return bucket_width_us_; }
+  std::size_t max_buckets() const noexcept { return max_buckets_; }
+  SeriesMode mode() const noexcept { return mode_; }
+  std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  Series(std::uint64_t bucket_width_us, std::size_t max_buckets,
+         SeriesMode mode);
+
+  std::uint64_t bucket_width_us_;
+  std::size_t max_buckets_;
+  SeriesMode mode_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+};
+
+// Plain-data copy of a Series inside a Snapshot. Trailing all-zero buckets
+// are trimmed at snapshot time so the serialized length reflects the span
+// of virtual time actually exercised, not the registration capacity.
+struct SeriesValue {
+  std::string name;
+  std::uint64_t bucket_width_us = 0;
+  SeriesMode mode = SeriesMode::kSum;
+  std::vector<std::uint64_t> buckets;
+  bool nondeterministic = false;
+};
+
+}  // namespace dnswild::obs

@@ -1,0 +1,271 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace dnswild::obs {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "%llu",
+                static_cast<unsigned long long>(v));
+  out += buffer;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(Registry& registry,
+                             std::size_t capacity_per_shard)
+    : capacity_(capacity_per_shard == 0 ? 1 : capacity_per_shard),
+      dropped_(&registry.counter("trace.dropped")) {}
+
+std::uint32_t TraceRecorder::intern(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(names_mutex_);
+  const auto it = name_ids_.find(name);
+  if (it != name_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  name_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+void TraceRecorder::record(std::size_t shard_index, const TraceEvent& event) {
+  Shard& shard = shards_[shard_index];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  record_locked(shard, event);
+}
+
+void TraceRecorder::record_locked(Shard& shard, const TraceEvent& event) {
+  if (shard.ring.size() < capacity_) {
+    if (shard.ring.empty()) shard.ring.reserve(capacity_);
+    shard.ring.push_back(event);
+    return;
+  }
+  shard.full = true;
+  shard.ring[shard.head] = event;
+  if (++shard.head == capacity_) shard.head = 0;
+  dropped_->add();
+}
+
+TraceRecorder::ProbeSession::ProbeSession(TraceRecorder& recorder)
+    : recorder_(recorder),
+      seq_base_(recorder.seq_.load(std::memory_order_relaxed)) {
+  for (Shard& shard : recorder_.shards_) shard.mutex.lock();
+}
+
+TraceRecorder::ProbeSession::~ProbeSession() {
+  recorder_.seq_.store(seq_base_ + recorded_, std::memory_order_relaxed);
+  if (dropped_ > 0) recorder_.dropped_->add(dropped_);
+  for (Shard& shard : recorder_.shards_) shard.mutex.unlock();
+}
+
+void TraceRecorder::ProbeSession::probe(TraceKind kind, std::uint32_t name_id,
+                                        std::uint64_t ts_us,
+                                        std::uint32_t stream,
+                                        std::uint16_t step,
+                                        std::uint16_t attempt) {
+  TraceEvent event;
+  event.ts_us = ts_us;
+  event.seq = seq_base_ + recorded_;
+  ++recorded_;
+  event.name_id = name_id;
+  event.stream = stream;
+  event.step = step;
+  event.attempt = attempt;
+  event.kind = kind;
+  Shard& shard = recorder_.shards_[stream % kShards];
+  if (shard.ring.size() < recorder_.capacity_) {
+    if (shard.ring.empty()) shard.ring.reserve(recorder_.capacity_);
+    shard.ring.push_back(event);
+    return;
+  }
+  shard.full = true;
+  shard.ring[shard.head] = event;
+  if (++shard.head == recorder_.capacity_) shard.head = 0;
+  ++dropped_;
+}
+
+void TraceRecorder::probe(TraceKind kind, std::uint32_t name_id,
+                          std::uint64_t ts_us, std::uint32_t stream,
+                          std::uint16_t step, std::uint16_t attempt) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.ts_us = ts_us;
+  event.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  event.name_id = name_id;
+  event.stream = stream;
+  event.step = step;
+  event.attempt = attempt;
+  event.kind = kind;
+  record(stream % kShards, event);
+}
+
+void TraceRecorder::stage_event(TraceKind kind, std::string_view name) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.ts_us = now_us();
+  event.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  event.name_id = intern(name);
+  event.kind = kind;
+  record(0, event);
+}
+
+void TraceRecorder::stage_begin(std::string_view name) {
+  stage_event(TraceKind::kStageBegin, name);
+}
+
+void TraceRecorder::stage_end(std::string_view name) {
+  stage_event(TraceKind::kStageEnd, name);
+}
+
+void TraceRecorder::instant(std::string_view name) {
+  stage_event(TraceKind::kDegradation, name);
+}
+
+std::uint64_t TraceRecorder::dropped() const noexcept {
+  return dropped_ == nullptr ? 0 : dropped_->value();
+}
+
+std::string TraceRecorder::to_chrome_json(const Snapshot* metrics) const {
+  // Collect every shard in chronological ring order (oldest surviving
+  // entry first), then restore the global record order by (ts, seq).
+  std::vector<std::pair<TraceEvent, std::size_t>> events;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    const Shard& shard = shards_[s];
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const std::size_t size = shard.ring.size();
+    const std::size_t start = shard.full ? shard.head : 0;
+    for (std::size_t i = 0; i < size; ++i) {
+      events.emplace_back(shard.ring[(start + i) % size], s);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first.ts_us != b.first.ts_us) {
+                return a.first.ts_us < b.first.ts_us;
+              }
+              return a.first.seq < b.first.seq;
+            });
+
+  std::vector<std::string> names;
+  {
+    const std::lock_guard<std::mutex> lock(names_mutex_);
+    names = names_;
+  }
+  const auto name_of = [&names](std::uint32_t id) -> std::string_view {
+    return id < names.size() ? std::string_view(names[id])
+                             : std::string_view("?");
+  };
+
+  std::string out;
+  out.reserve(4096 + events.size() * 96);
+  out += "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  out += "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": "
+         "\"process_name\", \"args\": {\"name\": \"dnswild\"}},\n";
+  out += "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": "
+         "\"thread_name\", \"args\": {\"name\": \"stages\"}}";
+  for (std::size_t s = 0; s < kShards; ++s) {
+    out += ",\n{\"ph\": \"M\", \"pid\": 1, \"tid\": ";
+    append_u64(out, s + 1);
+    out += ", \"name\": \"thread_name\", \"args\": {\"name\": \"probes.";
+    append_u64(out, s);
+    out += "\"}}";
+  }
+
+  for (const auto& [event, shard] : events) {
+    out += ",\n{\"ph\": ";
+    switch (event.kind) {
+      case TraceKind::kStageBegin:
+        out += "\"B\", \"pid\": 1, \"tid\": 0, \"ts\": ";
+        append_u64(out, event.ts_us);
+        out += ", \"name\": ";
+        append_escaped(out, name_of(event.name_id));
+        break;
+      case TraceKind::kStageEnd:
+        out += "\"E\", \"pid\": 1, \"tid\": 0, \"ts\": ";
+        append_u64(out, event.ts_us);
+        out += ", \"name\": ";
+        append_escaped(out, name_of(event.name_id));
+        break;
+      case TraceKind::kDegradation:
+        out += "\"i\", \"pid\": 1, \"tid\": 0, \"ts\": ";
+        append_u64(out, event.ts_us);
+        out += ", \"name\": ";
+        append_escaped(out, name_of(event.name_id));
+        out += ", \"s\": \"p\"";
+        break;
+      default:
+        out += "\"i\", \"pid\": 1, \"tid\": ";
+        append_u64(out, shard + 1);
+        out += ", \"ts\": ";
+        append_u64(out, event.ts_us);
+        out += ", \"name\": ";
+        append_escaped(out, name_of(event.name_id));
+        out += ", \"s\": \"t\", \"args\": {\"stream\": ";
+        append_u64(out, event.stream);
+        out += ", \"step\": ";
+        append_u64(out, event.step);
+        out += ", \"attempt\": ";
+        append_u64(out, event.attempt);
+        out += "}";
+        break;
+    }
+    out += "}";
+  }
+
+  if (metrics != nullptr) {
+    for (const SeriesValue& series : metrics->series) {
+      for (std::size_t i = 0; i < series.buckets.size(); ++i) {
+        out += ",\n{\"ph\": \"C\", \"pid\": 1, \"tid\": 0, \"ts\": ";
+        append_u64(out, i * series.bucket_width_us);
+        out += ", \"name\": ";
+        append_escaped(out, series.name);
+        out += ", \"args\": {\"value\": ";
+        append_u64(out, series.buckets[i]);
+        out += "}}";
+      }
+    }
+  }
+
+  out += "\n]\n}\n";
+  return out;
+}
+
+bool TraceRecorder::dump_chrome_json(const std::string& path,
+                                     const Snapshot* metrics) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string json = to_chrome_json(metrics);
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), file) == json.size();
+  std::fclose(file);
+  return ok;
+}
+
+}  // namespace dnswild::obs

@@ -1,0 +1,171 @@
+// Virtual-time flight recorder (DESIGN.md §13).
+//
+// A TraceRecorder keeps a bounded ring of structured trace events — probe
+// send/retry/timeout/reply, stage begin/end, degradations — stamped with
+// the campaign's cumulative virtual clock. The event core advances that
+// clock by each run's virtual makespan, so successive scan stages lay out
+// end to end on one timeline even though each core simulation starts at
+// its own zero.
+//
+// Events land in 8 shards (probe events by stream id, stage events on
+// shard 0); each shard is a fixed-capacity ring that overwrites its oldest
+// entry on overflow and counts the loss in the registry's `trace.dropped`
+// counter — memory stays bounded no matter how long the campaign runs,
+// and the recorder degrades into exactly what a flight recorder should
+// be: the most recent window of activity.
+//
+// Determinism: every event is recorded on the coordinator thread in drain
+// order, timestamps are virtual, and name ids are interned in first-use
+// order — so the exported trace is byte-identical for any worker thread
+// count, with no masking step (tests/test_telemetry.cpp pins this).
+// Export is Chrome trace-event JSON ("traceEvents"), loadable directly in
+// Perfetto (EXPERIMENTS.md shows the workflow).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnswild::obs {
+
+class Counter;
+class Registry;
+struct Snapshot;
+
+enum class TraceKind : std::uint8_t {
+  kStageBegin = 0,
+  kStageEnd = 1,
+  kProbeSend = 2,
+  kProbeRetry = 3,
+  kProbeTimeout = 4,
+  kProbeReply = 5,
+  kDegradation = 6,
+};
+
+// One recorded event, fixed-size, no heap. `name_id` indexes the
+// recorder's interned name table; `seq` is the global record order, which
+// keeps same-timestamp events (nested stage begin/ends in zero virtual
+// time) in their recorded LIFO nesting when the export sorts by time.
+struct TraceEvent {
+  std::uint64_t ts_us = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t name_id = 0;
+  std::uint32_t stream = 0;
+  std::uint16_t step = 0;
+  std::uint16_t attempt = 0;
+  TraceKind kind = TraceKind::kProbeSend;
+};
+
+class TraceRecorder {
+ public:
+  // `capacity_per_shard` bounds memory at 8 * capacity * sizeof(TraceEvent);
+  // rings allocate lazily on first record, so a recorder that never fires
+  // costs only the shard headers.
+  explicit TraceRecorder(Registry& registry,
+                         std::size_t capacity_per_shard = 8192);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Recording can be switched off (the bench overhead baseline); the
+  // virtual clock keeps advancing either way so re-enabling mid-campaign
+  // stays on the shared timeline.
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  // Cumulative virtual clock, microseconds. The event core calls
+  // advance(makespan) after each drain; stage and degradation events are
+  // stamped with now_us() at record time.
+  std::uint64_t now_us() const noexcept {
+    return clock_us_.load(std::memory_order_relaxed);
+  }
+  void advance(std::uint64_t us) noexcept {
+    clock_us_.fetch_add(us, std::memory_order_relaxed);
+  }
+
+  // Interns `name`, returning a stable id for probe-event recording. Ids
+  // are assigned in first-call order (deterministic on the coordinator).
+  std::uint32_t intern(std::string_view name);
+
+  // Probe-plane events, stamped by the caller with absolute virtual time
+  // (clock base + in-run event time). Sharded by stream id.
+  void probe(TraceKind kind, std::uint32_t name_id, std::uint64_t ts_us,
+             std::uint32_t stream, std::uint16_t step, std::uint16_t attempt);
+
+  // Bulk probe recording for the event core's drain loop: holds every
+  // shard mutex for the session's lifetime so each event skips the
+  // per-record lock, and batches the seq counter and drop tally into one
+  // atomic touch each at session end. Recording is coordinator-only by
+  // contract — no other event may be recorded while a session is open —
+  // and a concurrent export simply waits for the drain to finish.
+  class ProbeSession {
+   public:
+    explicit ProbeSession(TraceRecorder& recorder);
+    ~ProbeSession();
+    ProbeSession(const ProbeSession&) = delete;
+    ProbeSession& operator=(const ProbeSession&) = delete;
+
+    void probe(TraceKind kind, std::uint32_t name_id, std::uint64_t ts_us,
+               std::uint32_t stream, std::uint16_t step,
+               std::uint16_t attempt);
+
+   private:
+    TraceRecorder& recorder_;
+    std::uint64_t seq_base_ = 0;
+    std::uint64_t recorded_ = 0;
+    std::uint64_t dropped_ = 0;
+  };
+
+  // Stage-plane events at the current clock; `name` is interned on the
+  // spot. Stage begin/end pair into Perfetto duration slices.
+  void stage_begin(std::string_view name);
+  void stage_end(std::string_view name);
+  void instant(std::string_view name);  // degradations and one-off marks
+
+  std::uint64_t dropped() const noexcept;
+  std::size_t capacity_per_shard() const noexcept { return capacity_; }
+
+  // Merges all shards into one (ts, seq)-ordered Chrome trace-event JSON
+  // document. When `metrics` is given, its series are emitted as Perfetto
+  // counter tracks alongside the events.
+  std::string to_chrome_json(const Snapshot* metrics = nullptr) const;
+  bool dump_chrome_json(const std::string& path,
+                        const Snapshot* metrics = nullptr) const;
+
+  static constexpr std::size_t kShards = 8;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> ring;  // lazily sized to capacity_
+    std::size_t head = 0;          // next write position once full
+    bool full = false;
+  };
+
+  void record(std::size_t shard_index, const TraceEvent& event);
+  void record_locked(Shard& shard, const TraceEvent& event);
+  void stage_event(TraceKind kind, std::string_view name);
+
+  std::size_t capacity_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::uint64_t> clock_us_{0};
+  std::atomic<std::uint64_t> seq_{0};
+  Counter* dropped_ = nullptr;
+
+  mutable std::mutex names_mutex_;
+  std::map<std::string, std::uint32_t, std::less<>> name_ids_;
+  std::vector<std::string> names_;
+
+  Shard shards_[kShards];
+};
+
+}  // namespace dnswild::obs

@@ -26,6 +26,9 @@ BannerResult BannerScanner::probe(net::Ipv4 resolver, ProbeTiming* timings) {
       timings[i].responded = payload.has_value();
       timings[i].reply_latency_ms = kTcpBannerRttMs;
     }
+    // TCP banners have no rcode; a responsive port classes as kOther.
+    world_.prefix_telemetry().record_probe(
+        resolver.value(), payload.has_value(), obs::RcodeClass::kOther, 0);
     if (!payload) continue;
     result.any_tcp_payload = true;
     result.combined += *payload;

@@ -38,7 +38,8 @@ class BannerScanner {
         threads_(threads),
         event_core_(&world.metrics(),
                     EventCoreConfig{max_in_flight, 25000.0, 128.0, retry,
-                                    "scan.banner.event"}) {}
+                                    "scan.banner.event"},
+                    &world.trace()) {}
 
   // `timings`, when given, receives one entry per banner port in port
   // order (TCP connects are modeled at a nominal handshake RTT).

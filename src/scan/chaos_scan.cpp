@@ -41,6 +41,8 @@ ChaosResult ChaosScanner::probe(net::Ipv4 resolver, ProbeTiming* timings) {
                      static_cast<std::uint32_t>(reply.latency_ms));
       }
     }
+    obs::RcodeClass rclass = obs::RcodeClass::kOther;
+    bool matched = false;
     for (const net::UdpReply& reply : outcome.replies) {
       const auto response = dns::Message::decode(reply.packet.payload);
       if (!response || !response->header.qr ||
@@ -48,10 +50,27 @@ ChaosResult ChaosScanner::probe(net::Ipv4 resolver, ProbeTiming* timings) {
         continue;
       }
       result.responded = true;
+      matched = true;
       rcode_out = response->header.rcode;
       version_out = dns::extract_version(*response);
-      return;
+      break;
     }
+    if (matched) {
+      switch (rcode_out) {
+        case dns::RCode::kNoError: rclass = obs::RcodeClass::kNoError; break;
+        case dns::RCode::kRefused: rclass = obs::RcodeClass::kRefused; break;
+        case dns::RCode::kServFail:
+          rclass = obs::RcodeClass::kServFail;
+          break;
+        case dns::RCode::kNxDomain:
+          rclass = obs::RcodeClass::kNxDomain;
+          break;
+        default: break;
+      }
+    }
+    world_.prefix_telemetry().record_probe(
+        resolver.value(), !outcome.replies.empty(), rclass,
+        static_cast<std::uint32_t>(outcome.transmissions - 1));
   };
 
   ask(dns::version_bind_name(), 0, result.version_bind, result.rcode_bind);

@@ -46,7 +46,8 @@ class ChaosScanner {
         retrier_(world, retry.seeded(seed ^ 0xc4a05ULL)),
         event_core_(&world.metrics(),
                     EventCoreConfig{max_in_flight, 25000.0, 128.0,
-                                    retrier_.policy(), "scan.chaos.event"}) {}
+                                    retrier_.policy(), "scan.chaos.event"},
+                    &world.trace()) {}
 
   // `timings`, when given, receives the two probes' wire schedules
   // (timings[0] = version.bind, timings[1] = version.server).

@@ -11,7 +11,8 @@ TupleRecord DomainScanner::probe(net::Ipv4 resolver,
                                  std::uint32_t resolver_id,
                                  const std::string& domain,
                                  std::uint16_t domain_index,
-                                 ProbeTiming* timing) {
+                                 ProbeTiming* timing,
+                                 obs::PrefixBatch* prefixes) {
   TupleRecord record;
   record.resolver_id = resolver_id;
   record.domain_index = domain_index;
@@ -72,6 +73,24 @@ TupleRecord DomainScanner::probe(net::Ipv4 resolver,
       }
     }
   }
+  obs::RcodeClass rclass = obs::RcodeClass::kOther;
+  if (record.responded) {
+    switch (record.rcode) {
+      case dns::RCode::kNoError: rclass = obs::RcodeClass::kNoError; break;
+      case dns::RCode::kRefused: rclass = obs::RcodeClass::kRefused; break;
+      case dns::RCode::kServFail: rclass = obs::RcodeClass::kServFail; break;
+      case dns::RCode::kNxDomain: rclass = obs::RcodeClass::kNxDomain; break;
+      default: break;
+    }
+  }
+  if (prefixes != nullptr) {
+    prefixes->record_probe(resolver.value(), !outcome.replies.empty(), rclass,
+                           static_cast<std::uint32_t>(outcome.transmissions - 1));
+  } else {
+    world_.prefix_telemetry().record_probe(
+        resolver.value(), !outcome.replies.empty(), rclass,
+        static_cast<std::uint32_t>(outcome.transmissions - 1));
+  }
   return record;
 }
 
@@ -121,12 +140,14 @@ std::vector<TupleRecord> DomainScanner::scan(
             // Each worker owns a resolver block and walks it domain-major,
             // so every resolver sees domains in ascending order regardless
             // of the thread count.
+            obs::PrefixBatch prefixes(world_.prefix_telemetry());
             for (std::uint64_t r = begin; r < end; ++r) {
               for (std::uint16_t d = d_begin; d < d_end; ++d) {
                 records[static_cast<std::size_t>(d) * resolver_count + r] =
                     probe(resolvers[r], static_cast<std::uint32_t>(r),
                           domains[d], d,
-                          &timings[r * epoch_domains + (d - d_begin)]);
+                          &timings[r * epoch_domains + (d - d_begin)],
+                          &prefixes);
               }
             }
           });

@@ -23,6 +23,7 @@
 
 #include "dns/types.h"
 #include "net/world.h"
+#include "obs/prefix_telemetry.h"
 #include "scan/encoding.h"
 #include "scan/event_core.h"
 #include "scan/executor.h"
@@ -76,7 +77,8 @@ class DomainScanner {
         retrier_(world, config.retry.seeded(config.seed ^ 0xd03a1ULL)),
         event_core_(&world.metrics(),
                     EventCoreConfig{config.max_in_flight, 25000.0, 128.0,
-                                    retrier_.policy(), "scan.domain.event"}),
+                                    retrier_.policy(), "scan.domain.event"},
+                    &world.trace()),
         rng_(config.seed) {}
 
   // One record per (resolver, domain) probe, in probe order. resolvers[i]
@@ -85,10 +87,12 @@ class DomainScanner {
                                 const std::vector<std::string>& domains);
 
   // Single probe, exposed for tests. `timing`, when given, receives the
-  // probe's wire schedule for the event core.
+  // probe's wire schedule for the event core; `prefixes`, when given, takes
+  // the prefix-telemetry update instead of the shared (mutexed) table.
   TupleRecord probe(net::Ipv4 resolver, std::uint32_t resolver_id,
                     const std::string& domain, std::uint16_t domain_index,
-                    ProbeTiming* timing = nullptr);
+                    ProbeTiming* timing = nullptr,
+                    obs::PrefixBatch* prefixes = nullptr);
 
  private:
   net::World& world_;

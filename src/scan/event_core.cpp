@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <queue>
 
+#include "obs/trace.h"
 #include "scan/ratelimit.h"
 
 namespace dnswild::scan {
@@ -35,8 +37,24 @@ bool event_key_less(const ScanEvent& a, const ScanEvent& b) noexcept {
   return key_rank(a.kind) < key_rank(b.kind);
 }
 
-EventScanCore::EventScanCore(obs::Registry* registry, EventCoreConfig config)
-    : config_(std::move(config)) {
+namespace {
+
+// Virtual-time series grid shared by every campaign: 250 ms windows over
+// up to ~4.3 virtual minutes; later activity clamps into the last bucket.
+constexpr std::uint64_t kSeriesWidthUs = 250'000;
+constexpr std::size_t kSeriesBuckets = 1024;
+
+}  // namespace
+
+EventScanCore::EventScanCore(obs::Registry* registry, EventCoreConfig config,
+                             obs::TraceRecorder* flight)
+    : config_(std::move(config)), flight_(flight) {
+  if (flight_ != nullptr) {
+    trace_send_id_ = flight_->intern(config_.label + ".send");
+    trace_retry_id_ = flight_->intern(config_.label + ".retry");
+    trace_timeout_id_ = flight_->intern(config_.label + ".timeout");
+    trace_reply_id_ = flight_->intern(config_.label + ".reply");
+  }
   if (registry == nullptr) return;
   events_ = &registry->counter(config_.label + ".events");
   wire_sends_ = &registry->counter(config_.label + ".wire_sends");
@@ -48,6 +66,20 @@ EventScanCore::EventScanCore(obs::Registry* registry, EventCoreConfig config)
   inflight_peak_ = &registry->gauge("scan.inflight.peak");
   inflight_ = &registry->histogram(
       "scan.inflight", {1, 64, 256, 1024, 4096, 16384, 65536});
+  latency_ms_ = &registry->histogram(
+      config_.label + ".latency_ms",
+      {1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000});
+  // The per-window series are shared too, on the same cumulative clock.
+  sends_series_ = &registry->series("scan.series.sends", kSeriesWidthUs,
+                                    kSeriesBuckets, obs::SeriesMode::kSum);
+  retries_series_ = &registry->series("scan.series.retries", kSeriesWidthUs,
+                                      kSeriesBuckets, obs::SeriesMode::kSum);
+  timeouts_series_ = &registry->series("scan.series.timeouts", kSeriesWidthUs,
+                                       kSeriesBuckets, obs::SeriesMode::kSum);
+  replies_series_ = &registry->series("scan.series.replies", kSeriesWidthUs,
+                                      kSeriesBuckets, obs::SeriesMode::kSum);
+  inflight_series_ = &registry->series("scan.series.inflight", kSeriesWidthUs,
+                                       kSeriesBuckets, obs::SeriesMode::kMax);
 }
 
 EventStats EventScanCore::run(const std::vector<ProbeTiming>& timings,
@@ -56,6 +88,14 @@ EventStats EventScanCore::run(const std::vector<ProbeTiming>& timings,
                               std::vector<ScanEvent>* trace) {
   EventStats stats;
   if (streams == 0 || steps_per_stream == 0) return stats;
+
+  // Base of this run on the campaign's cumulative virtual timeline; the
+  // in-run simulation always starts at zero.
+  const std::uint64_t base_us = flight_ != nullptr ? flight_->now_us() : 0;
+  const bool record_flight = flight_ != nullptr && flight_->enabled();
+  // One lock acquisition for the whole drain instead of one per event.
+  std::optional<obs::TraceRecorder::ProbeSession> flight_session;
+  if (record_flight) flight_session.emplace(*flight_);
 
   const std::uint32_t window = std::max<std::uint32_t>(1, config_.max_in_flight);
   const std::uint64_t timeout_us =
@@ -116,6 +156,20 @@ EventStats EventScanCore::run(const std::vector<ProbeTiming>& timings,
         ++stats.wire_sends;
         if (event.attempt > 0) ++stats.retry_events;
         if (inflight_ != nullptr) inflight_->observe(in_flight);
+        if (sends_series_ != nullptr) {
+          (event.attempt == 0 ? sends_series_ : retries_series_)
+              ->record(base_us + wire_us, 1);
+          inflight_series_->record(base_us + wire_us, in_flight);
+        }
+        if (record_flight) {
+          flight_session->probe(event.attempt == 0 ? obs::TraceKind::kProbeSend
+                                            : obs::TraceKind::kProbeRetry,
+                         event.attempt == 0 ? trace_send_id_ : trace_retry_id_,
+                         base_us + wire_us,
+                         static_cast<std::uint32_t>(event.stream),
+                         static_cast<std::uint16_t>(event.step),
+                         event.attempt);
+        }
         if (event.attempt + 1 < timing.transmissions) {
           // This attempt stays silent: the client sits out the timeout and
           // the per-attempt backoff, then retransmits — as a future event,
@@ -125,6 +179,16 @@ EventStats EventScanCore::run(const std::vector<ProbeTiming>& timings,
               config_.retry.backoff_seconds(timing.probe_key,
                                             event.attempt + 1) *
               1e6));
+          if (timeouts_series_ != nullptr) {
+            timeouts_series_->record(base_us + wire_us + timeout_us, 1);
+          }
+          if (record_flight) {
+            flight_session->probe(obs::TraceKind::kProbeTimeout, trace_timeout_id_,
+                           base_us + wire_us + timeout_us,
+                           static_cast<std::uint32_t>(event.stream),
+                           static_cast<std::uint16_t>(event.step),
+                           event.attempt);
+          }
           queue.push(ScanEvent{wire_us + timeout_us + backoff_us,
                                event.stream, event.step,
                                static_cast<std::uint16_t>(event.attempt + 1),
@@ -142,6 +206,31 @@ EventStats EventScanCore::run(const std::vector<ProbeTiming>& timings,
         break;
       }
       case ScanEvent::Kind::kReply: {
+        if (timing.transmissions > 0) {
+          // This step's ladder just finished: either the surviving reply
+          // arrived or the final attempt's receive window closed.
+          const std::uint64_t ts = base_us + event.time_us;
+          if (timing.responded) {
+            if (replies_series_ != nullptr) replies_series_->record(ts, 1);
+            if (latency_ms_ != nullptr) {
+              latency_ms_->observe(timing.reply_latency_ms);
+            }
+            if (record_flight) {
+              flight_session->probe(obs::TraceKind::kProbeReply, trace_reply_id_, ts,
+                             static_cast<std::uint32_t>(event.stream),
+                             static_cast<std::uint16_t>(event.step),
+                             event.attempt);
+            }
+          } else {
+            if (timeouts_series_ != nullptr) timeouts_series_->record(ts, 1);
+            if (record_flight) {
+              flight_session->probe(obs::TraceKind::kProbeTimeout, trace_timeout_id_,
+                             ts, static_cast<std::uint32_t>(event.stream),
+                             static_cast<std::uint16_t>(event.step),
+                             event.attempt);
+            }
+          }
+        }
         makespan_us = std::max(makespan_us, event.time_us);
         if (event.step + 1 < steps_per_stream) {
           // Next probe of this stream: per-destination order preserved.
@@ -158,6 +247,7 @@ EventStats EventScanCore::run(const std::vector<ProbeTiming>& timings,
   }
 
   stats.virtual_seconds = static_cast<double>(makespan_us) / 1e6;
+  if (flight_ != nullptr) flight_->advance(makespan_us);
   if (events_ != nullptr) {
     events_->add(stats.events);
     wire_sends_->add(stats.wire_sends);

@@ -95,7 +95,12 @@ struct EventStats {
 class EventScanCore {
  public:
   // `registry` may be null (no instruments published — bench/test use).
-  EventScanCore(obs::Registry* registry, EventCoreConfig config);
+  // `flight`, when given, receives probe send/retry/timeout/reply trace
+  // events stamped with the recorder's cumulative virtual clock, and the
+  // clock advances by each run's makespan — successive stages lay out end
+  // to end on the shared timeline (DESIGN.md §13).
+  EventScanCore(obs::Registry* registry, EventCoreConfig config,
+                obs::TraceRecorder* flight = nullptr);
 
   // Replays `streams` streams of `steps_per_stream` probes each; timings
   // are stream-major (slot = stream * steps_per_stream + step). `trace`,
@@ -120,6 +125,21 @@ class EventScanCore {
   obs::Gauge* inflight_peak_ = nullptr;
   obs::Gauge* queue_peak_ = nullptr;
   obs::Histogram* inflight_ = nullptr;
+  // Reply latency distribution per campaign label — the source of the
+  // report's per-stage p50/p90/p99 table.
+  obs::Histogram* latency_ms_ = nullptr;
+  // Shared virtual-time series (dnswild.metrics.v2), fed in drain order.
+  obs::Series* sends_series_ = nullptr;
+  obs::Series* retries_series_ = nullptr;
+  obs::Series* timeouts_series_ = nullptr;
+  obs::Series* replies_series_ = nullptr;
+  obs::Series* inflight_series_ = nullptr;
+  // Flight recorder + pre-interned event names (null/0 when absent).
+  obs::TraceRecorder* flight_ = nullptr;
+  std::uint32_t trace_send_id_ = 0;
+  std::uint32_t trace_retry_id_ = 0;
+  std::uint32_t trace_timeout_id_ = 0;
+  std::uint32_t trace_reply_id_ = 0;
 };
 
 }  // namespace dnswild::scan

@@ -16,7 +16,8 @@ Ipv4Scanner::Ipv4Scanner(net::World& world, Ipv4ScanConfig config)
       retrier_(world, config_.retry.seeded(config_.seed ^ 0x52e7ULL)),
       event_core_(&world.metrics(),
                   EventCoreConfig{config_.max_in_flight, 25000.0, 128.0,
-                                  retrier_.policy(), "scan.ipv4.event"}),
+                                  retrier_.policy(), "scan.ipv4.event"},
+                  &world.trace()),
       rng_(config_.seed) {}
 
 void Ipv4Scanner::record_summary(const Ipv4ScanSummary& summary) {
@@ -40,7 +41,8 @@ void Ipv4Scanner::record_summary(const Ipv4ScanSummary& summary) {
 
 void Ipv4Scanner::probe_one(net::Ipv4 target, std::uint64_t salt,
                             std::string& prefix, Ipv4ScanSummary& summary,
-                            ProbeTiming& timing) {
+                            ProbeTiming& timing,
+                            obs::PrefixBatch& prefixes) {
   ++summary.probed;
 
   // Random label prefix defeats caching along the path (§2.2). Prefix and
@@ -79,6 +81,7 @@ void Ipv4Scanner::probe_one(net::Ipv4 target, std::uint64_t salt,
   } else if (outcome.transmissions > 1) {
     ++summary.retry_recovered;
   }
+  obs::RcodeClass rclass = obs::RcodeClass::kOther;
   for (const net::UdpReply& reply : outcome.replies) {
     const auto response = dns::Message::decode(reply.packet.payload);
     if (!response || !response->header.qr) continue;
@@ -98,14 +101,26 @@ void Ipv4Scanner::probe_one(net::Ipv4 target, std::uint64_t salt,
       case dns::RCode::kNoError:
         ++summary.noerror;
         summary.noerror_targets.push_back(target);
+        rclass = obs::RcodeClass::kNoError;
         break;
-      case dns::RCode::kRefused: ++summary.refused; break;
-      case dns::RCode::kServFail: ++summary.servfail; break;
-      case dns::RCode::kNxDomain: ++summary.nxdomain; break;
+      case dns::RCode::kRefused:
+        ++summary.refused;
+        rclass = obs::RcodeClass::kRefused;
+        break;
+      case dns::RCode::kServFail:
+        ++summary.servfail;
+        rclass = obs::RcodeClass::kServFail;
+        break;
+      case dns::RCode::kNxDomain:
+        ++summary.nxdomain;
+        rclass = obs::RcodeClass::kNxDomain;
+        break;
       default: ++summary.other_rcode; break;
     }
     break;  // first matching response decides the status for this target
   }
+  prefixes.record_probe(target.value(), timing.responded, rclass,
+                        static_cast<std::uint32_t>(outcome.transmissions - 1));
 }
 
 void Ipv4Scanner::probe_block(const std::vector<net::Ipv4>& targets,
@@ -115,6 +130,7 @@ void Ipv4Scanner::probe_block(const std::vector<net::Ipv4>& targets,
                               std::vector<ProbeTiming>& timings) {
   std::string prefix;
   prefix.reserve(16);
+  obs::PrefixBatch prefixes(world_.prefix_telemetry());
   for (std::uint64_t i = begin; i < end; ++i) {
     const net::Ipv4 target = targets[i];
     if (check_reserved && net::is_reserved(target)) {
@@ -127,7 +143,7 @@ void Ipv4Scanner::probe_block(const std::vector<net::Ipv4>& targets,
       timings[i].transmissions = 0;
       continue;
     }
-    probe_one(target, salt, prefix, shard, timings[i]);
+    probe_one(target, salt, prefix, shard, timings[i], prefixes);
   }
 }
 

@@ -25,6 +25,7 @@
 #include "dns/message.h"
 #include "dns/name.h"
 #include "net/world.h"
+#include "obs/prefix_telemetry.h"
 #include "scan/blacklist.h"
 #include "scan/event_core.h"
 #include "scan/executor.h"
@@ -112,9 +113,11 @@ class Ipv4Scanner {
  private:
   // One probe; `prefix` is a scratch buffer reused across a shard's probes
   // so the per-probe label costs no allocation once warm. `timing` records
-  // the probe's wire schedule for the event core.
+  // the probe's wire schedule for the event core; `prefixes` is the block's
+  // local telemetry accumulator.
   void probe_one(net::Ipv4 target, std::uint64_t salt, std::string& prefix,
-                 Ipv4ScanSummary& summary, ProbeTiming& timing);
+                 Ipv4ScanSummary& summary, ProbeTiming& timing,
+                 obs::PrefixBatch& prefixes);
   // Sequential sweep of targets[begin, end) into a shard summary; timing
   // slot i belongs to targets[i] (single writer per slot).
   void probe_block(const std::vector<net::Ipv4>& targets, std::uint64_t begin,

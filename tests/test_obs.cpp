@@ -252,7 +252,7 @@ TEST(ObsSnapshot, DumpJsonWritesTheReport) {
   std::fclose(file);
   buffer[read] = '\0';
   const std::string contents(buffer);
-  EXPECT_NE(contents.find("\"schema\": \"dnswild.metrics.v1\""),
+  EXPECT_NE(contents.find("\"schema\": \"dnswild.metrics.v2\""),
             std::string::npos);
   EXPECT_NE(contents.find("\"name\": \"c\", \"value\": 1"),
             std::string::npos);

@@ -1,0 +1,408 @@
+// The second observability tier (DESIGN.md §13): virtual-time series,
+// histogram percentiles, the find_span index, the flight recorder's ring
+// + Chrome trace export, the per-/20 prefix telemetry plane, and the
+// acceptance contracts — trace and prefix exports byte-identical across
+// thread counts under a lossy chaos world, and changed_prefixes flagging
+// exactly the chaos-profile prefixes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/prefix_telemetry.h"
+#include "obs/span.h"
+#include "obs/trace.h"
+#include "scan/ipv4scan.h"
+#include "worldgen/worldgen.h"
+
+namespace dnswild {
+namespace {
+
+// --- virtual-time series --------------------------------------------------
+
+TEST(ObsSeries, SumModeBucketizesAndClampsOverflow) {
+  obs::Registry registry;
+  obs::Series& series =
+      registry.series("s.sum", /*bucket_width_us=*/100, /*max_buckets=*/4,
+                      obs::SeriesMode::kSum);
+  series.record(0, 2);
+  series.record(99, 3);    // still bucket 0 (width 100)
+  series.record(100, 5);   // bucket 1
+  series.record(10000, 7); // past the end: clamps into the last bucket
+  EXPECT_EQ(series.bucket(0), 5u);
+  EXPECT_EQ(series.bucket(1), 5u);
+  EXPECT_EQ(series.bucket(2), 0u);
+  EXPECT_EQ(series.bucket(3), 7u);
+
+  // The snapshot carries width/mode and every bucket up to the last
+  // nonzero one (trailing zeros are trimmed, interior ones kept).
+  const obs::Snapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.series.size(), 1u);
+  EXPECT_EQ(snapshot.series[0].name, "s.sum");
+  EXPECT_EQ(snapshot.series[0].bucket_width_us, 100u);
+  EXPECT_EQ(snapshot.series[0].mode, obs::SeriesMode::kSum);
+  ASSERT_EQ(snapshot.series[0].buckets.size(), 4u);
+  EXPECT_EQ(snapshot.series[0].buckets[2], 0u);
+}
+
+TEST(ObsSeries, MaxModeKeepsHighWaterMarkPerBucket) {
+  obs::Registry registry;
+  obs::Series& series = registry.series("s.max", 100, 4,
+                                        obs::SeriesMode::kMax);
+  series.record(50, 7);
+  series.record(60, 3);  // lower value never regresses the bucket
+  series.record(70, 9);
+  EXPECT_EQ(series.bucket(0), 9u);
+
+  const obs::Snapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.series.size(), 1u);
+  EXPECT_EQ(snapshot.series[0].buckets.size(), 1u);  // trailing zeros gone
+  EXPECT_EQ(snapshot.series[0].buckets[0], 9u);
+}
+
+TEST(ObsSeries, JsonReportIsV2AndCarriesSeries) {
+  obs::Registry registry;
+  registry.series("scan.series.sends", 250000, 8, obs::SeriesMode::kSum)
+      .record(0, 4);
+  const std::string json = registry.to_json(true);
+  EXPECT_NE(json.find("\"schema\": \"dnswild.metrics.v2\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"scan.series.sends\""), std::string::npos);
+  EXPECT_NE(json.find("\"mode\": \"sum\""), std::string::npos);
+  EXPECT_NE(json.find("\"bucket_width_us\": 250000"), std::string::npos);
+}
+
+// --- percentiles ----------------------------------------------------------
+
+TEST(ObsHistogram, PercentilesInterpolateWithinBuckets) {
+  obs::Registry registry;
+  obs::Histogram& histogram = registry.histogram("lat", {10, 100});
+  for (std::uint64_t v = 1; v <= 8; ++v) histogram.observe(v);  // le=10: 8
+  histogram.observe(50);                                        // le=100: 2
+  histogram.observe(60);
+  // p50: rank 5 of 10 falls in [0, 10] at fraction 5/8.
+  EXPECT_DOUBLE_EQ(histogram.percentile(0.50), 6.25);
+  // p90: rank 9 falls in (10, 100] at fraction (9-8)/2.
+  EXPECT_DOUBLE_EQ(histogram.percentile(0.90), 55.0);
+  EXPECT_DOUBLE_EQ(histogram.percentile(0.0), 0.0);
+
+  // The snapshot copy computes the same quantiles.
+  const obs::Snapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.histograms[0].percentile(0.50), 6.25);
+  EXPECT_DOUBLE_EQ(snapshot.histograms[0].percentile(0.90), 55.0);
+}
+
+TEST(ObsHistogram, PercentileOverflowReportsLastFiniteBound) {
+  obs::Registry registry;
+  obs::Histogram& histogram = registry.histogram("lat", {10, 100});
+  histogram.observe(5000);  // overflow bucket only
+  EXPECT_DOUBLE_EQ(histogram.percentile(0.99), 100.0);
+  obs::Registry empty;
+  EXPECT_DOUBLE_EQ(empty.histogram("e", {10}).percentile(0.5), 0.0);
+}
+
+// --- find_span index ------------------------------------------------------
+
+TEST(ObsSnapshot, FindSpanBinarySearchesAndKeepsFirstSeqForDuplicates) {
+  obs::Registry registry;
+  { obs::Span z(registry, "zeta"); }
+  { obs::Span a(registry, "alpha"); }
+  {
+    obs::Span first(registry, "dup");
+    first.items_in(1);
+  }
+  {
+    obs::Span second(registry, "dup");
+    second.items_in(2);
+  }
+  const obs::Snapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.span_index.size(), snapshot.spans.size());
+  ASSERT_NE(snapshot.find_span("zeta"), nullptr);
+  ASSERT_NE(snapshot.find_span("alpha"), nullptr);
+  EXPECT_EQ(snapshot.find_span("missing"), nullptr);
+  // Duplicate names resolve to the earliest-opened span, matching the old
+  // linear scan's behavior.
+  const obs::SpanRecord* dup = snapshot.find_span("dup");
+  ASSERT_NE(dup, nullptr);
+  EXPECT_EQ(dup->items_in, 1);
+}
+
+TEST(ObsSnapshot, FindSpanFallsBackToLinearScanWithoutIndex) {
+  obs::Snapshot snapshot;  // hand-built: no span_index
+  obs::SpanRecord record;
+  record.name = "handmade";
+  record.seq = 1;
+  snapshot.spans.push_back(record);
+  ASSERT_NE(snapshot.find_span("handmade"), nullptr);
+  EXPECT_EQ(snapshot.find_span("other"), nullptr);
+}
+
+// --- flight recorder ------------------------------------------------------
+
+TEST(ObsTrace, RingOverflowDropsOldestAndCountsInRegistry) {
+  obs::Registry registry;
+  obs::TraceRecorder trace(registry, /*capacity_per_shard=*/4);
+  for (int i = 0; i < 6; ++i) {
+    trace.instant("e" + std::to_string(i));  // stage plane: all shard 0
+  }
+  EXPECT_EQ(trace.dropped(), 2u);
+  EXPECT_EQ(registry.counter("trace.dropped").value(), 2u);
+  const std::string json = trace.to_chrome_json();
+  // The two oldest events were overwritten; the newest four survive.
+  EXPECT_EQ(json.find("\"name\": \"e0\""), std::string::npos);
+  EXPECT_EQ(json.find("\"name\": \"e1\""), std::string::npos);
+  for (const char* name : {"\"name\": \"e2\"", "\"name\": \"e3\"",
+                           "\"name\": \"e4\"", "\"name\": \"e5\""}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(ObsTrace, DisabledRecorderRecordsNothing) {
+  obs::Registry registry;
+  obs::TraceRecorder trace(registry);
+  trace.set_enabled(false);
+  trace.instant("ghost");
+  trace.probe(obs::TraceKind::kProbeSend, trace.intern("x.send"), 10, 1, 0,
+              0);
+  EXPECT_EQ(trace.dropped(), 0u);
+  EXPECT_EQ(trace.to_chrome_json().find("ghost"), std::string::npos);
+  // The clock still advances while disabled (shared campaign timeline).
+  trace.advance(500);
+  EXPECT_EQ(trace.now_us(), 500u);
+}
+
+TEST(ObsTrace, ChromeJsonHasStageProbeAndCounterEvents) {
+  obs::Registry registry;
+  registry.series("scan.series.sends", 250000, 4, obs::SeriesMode::kSum)
+      .record(0, 3);
+  obs::TraceRecorder trace(registry);
+  trace.stage_begin("stage.scan");
+  const std::uint32_t send_id = trace.intern("scan.ipv4.event.send");
+  trace.probe(obs::TraceKind::kProbeSend, send_id, /*ts_us=*/500,
+              /*stream=*/3, /*step=*/0, /*attempt=*/0);
+  trace.advance(1000);
+  trace.stage_end("stage.scan");
+
+  const obs::Snapshot snapshot = registry.snapshot();
+  const std::string json = trace.to_chrome_json(&snapshot);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"dnswild\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"E\""), std::string::npos);
+  // Probe instants land on the stream's shard thread (stream 3 -> tid 4).
+  EXPECT_NE(json.find("\"ph\": \"i\", \"pid\": 1, \"tid\": 4"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"scan.ipv4.event.send\""),
+            std::string::npos);
+  // Metrics series become Perfetto counter tracks.
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"scan.series.sends\""), std::string::npos);
+}
+
+TEST(ObsTrace, SpanBridgeEmitsStageEventsWhenAttached) {
+  obs::Registry registry;
+  obs::TraceRecorder trace(registry);
+  registry.attach_trace(&trace);
+  { obs::Span span(registry, "stage.bridge"); }
+  const std::string json = trace.to_chrome_json();
+  EXPECT_NE(json.find("\"ph\": \"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"stage.bridge\""), std::string::npos);
+}
+
+// --- changed_prefixes semantics ------------------------------------------
+
+obs::PrefixTable table_of(std::vector<obs::PrefixRow> rows) {
+  obs::PrefixTable table;
+  table.rows = std::move(rows);
+  return table;
+}
+
+TEST(PrefixTelemetry, ChangedPrefixesThresholdSemantics) {
+  obs::PrefixRow busy;
+  busy.key = 10;
+  busy.stats.probes = 100;
+  busy.stats.responses = 90;
+
+  // Response-rate collapse on a well-probed prefix flags it.
+  obs::PrefixRow collapsed = busy;
+  collapsed.stats.responses = 10;
+  EXPECT_EQ(obs::changed_prefixes(table_of({busy}), table_of({collapsed})),
+            (std::vector<std::uint32_t>{10}));
+
+  // The same rate movement under min_probes stays quiet.
+  obs::PrefixRow tiny;
+  tiny.key = 11;
+  tiny.stats.probes = 4;
+  tiny.stats.responses = 4;
+  obs::PrefixRow tiny_dark = tiny;
+  tiny_dark.stats.responses = 0;
+  EXPECT_TRUE(obs::changed_prefixes(table_of({tiny}), table_of({tiny_dark}))
+                  .empty());
+
+  // Fault and rebind movement flag at delta 1, probes notwithstanding.
+  obs::PrefixRow faulted = busy;
+  faulted.stats.fault_hits = 1;
+  EXPECT_EQ(obs::changed_prefixes(table_of({busy}), table_of({faulted})),
+            (std::vector<std::uint32_t>{10}));
+  obs::PrefixRow rebound = busy;
+  rebound.stats.rebinds = 1;
+  EXPECT_EQ(obs::changed_prefixes(table_of({busy}), table_of({rebound})),
+            (std::vector<std::uint32_t>{10}));
+
+  // Prefixes absent from one side diff against an all-zero row.
+  EXPECT_EQ(obs::changed_prefixes(table_of({}), table_of({faulted})),
+            (std::vector<std::uint32_t>{10}));
+
+  // Identity diff is empty.
+  EXPECT_TRUE(
+      obs::changed_prefixes(table_of({busy}), table_of({busy})).empty());
+}
+
+TEST(PrefixTelemetry, TableRendersCidrAndFindsKeys) {
+  obs::PrefixTelemetry telemetry;
+  // 203.0.16.1 -> /20 key for 203.0.16.0/20.
+  const std::uint32_t address = (203u << 24) | (0u << 16) | (16u << 8) | 1u;
+  telemetry.record_probe(address, true, obs::RcodeClass::kNoError, 0);
+  telemetry.record_probe(address, false, obs::RcodeClass::kOther, 2);
+  const obs::PrefixTable table = telemetry.snapshot();
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(obs::prefix_cidr(table.rows[0].key), "203.0.16.0/20");
+  const obs::PrefixStats* stats = table.find(table.rows[0].key);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->probes, 2u);
+  EXPECT_EQ(stats->responses, 1u);
+  EXPECT_EQ(stats->timeouts, 1u);
+  EXPECT_EQ(stats->retries, 2u);
+  EXPECT_EQ(stats->noerror, 1u);
+  EXPECT_EQ(table.find(table.rows[0].key + 1), nullptr);
+  EXPECT_NE(table.to_json().find("\"schema\": \"dnswild.prefixes.v1\""),
+            std::string::npos);
+}
+
+// --- acceptance: thread-invariant exports under a lossy chaos world ------
+
+struct ChaosExports {
+  std::string trace;
+  std::string prefixes;
+  std::string metrics;
+};
+
+ChaosExports chaos_pipeline_exports_at(unsigned threads) {
+  worldgen::WorldGenConfig config;
+  config.seed = 91;
+  config.resolver_count = 300;
+  config.chaos.enabled = true;
+  config.chaos.network_fraction = 0.5;
+  config.chaos.burst_loss = 0.2;
+  config.chaos.base_loss = 0.2;
+  worldgen::GeneratedWorld gen = worldgen::generate_world(config);
+
+  scan::Ipv4ScanConfig scan_config;
+  scan_config.scanner_ip = gen.scanner_ip;
+  scan_config.zone = gen.scan_zone;
+  scan_config.blacklist = &gen.blacklist;
+  scan_config.seed = 3;
+  scan_config.threads = threads;
+  scan::Ipv4Scanner scanner(*gen.world, scan_config);
+  const auto summary = scanner.scan(gen.universe);
+
+  core::PipelineConfig pipeline_config;
+  pipeline_config.scanner_ip = gen.scanner_ip;
+  pipeline_config.vantage_ip = gen.vantage_ip;
+  pipeline_config.seed = 5;
+  pipeline_config.scan_threads = threads;
+  pipeline_config.classifier.threads = threads;
+  core::Pipeline pipeline(*gen.world, *gen.registry, pipeline_config);
+  const core::StudyReport report =
+      pipeline.run(summary.noerror_targets, gen.domains);
+
+  ChaosExports exports;
+  exports.trace = gen.world->trace().to_chrome_json(&report.metrics);
+  exports.prefixes = report.prefixes.to_json();
+  exports.metrics = report.metrics.to_json(true);
+  return exports;
+}
+
+TEST(TelemetryPipeline, ExportsAreThreadCountInvariantUnderChaos) {
+  const ChaosExports at1 = chaos_pipeline_exports_at(1);
+  const ChaosExports at2 = chaos_pipeline_exports_at(2);
+  const ChaosExports at8 = chaos_pipeline_exports_at(8);
+
+  // The flight recorder needs no masking: probe fates are pure hashes and
+  // every event is recorded serially on the coordinator.
+  EXPECT_EQ(at1.trace, at2.trace);
+  EXPECT_EQ(at1.trace, at8.trace);
+  // The prefix plane is all-additive, so neither does it.
+  EXPECT_EQ(at1.prefixes, at2.prefixes);
+  EXPECT_EQ(at1.prefixes, at8.prefixes);
+  // And the v2 metrics document keeps the §8 masked-invariance contract.
+  EXPECT_EQ(at1.metrics, at2.metrics);
+  EXPECT_EQ(at1.metrics, at8.metrics);
+
+  // The lossy world actually exercised the planes under test.
+  EXPECT_NE(at1.prefixes.find("\"fault_hits\": "), std::string::npos);
+  EXPECT_NE(at1.trace.find("timeout"), std::string::npos);
+}
+
+// --- acceptance: changed_prefixes flags exactly the chaos prefixes -------
+
+TEST(PrefixTelemetry, ChangedPrefixesFlagsExactlyTheChaosProfilePrefixes) {
+  // Two identical worlds modulo the fault plane: chaos profiles are
+  // hash-gated onto routed prefixes after generation, so populations and
+  // probe outcomes outside the profiled networks match exactly.
+  worldgen::WorldGenConfig clean_config;
+  clean_config.seed = 77;
+  clean_config.resolver_count = 200;
+  clean_config.with_devices = false;
+  worldgen::WorldGenConfig chaos_config = clean_config;
+  chaos_config.chaos.enabled = true;
+  chaos_config.chaos.network_fraction = 0.5;
+  chaos_config.chaos.episode_rate = 1.0;  // always in-episode...
+  chaos_config.chaos.burst_loss = 1.0;    // ...and every packet lost
+  chaos_config.chaos.base_loss = 1.0;
+
+  const auto scan_table = [](worldgen::GeneratedWorld& gen) {
+    scan::Ipv4ScanConfig config;
+    config.scanner_ip = gen.scanner_ip;
+    config.zone = gen.scan_zone;
+    config.seed = 3;  // no blacklist: both runs probe the full universe
+    config.threads = 2;
+    scan::Ipv4Scanner scanner(*gen.world, config);
+    scanner.scan(gen.universe);
+    return gen.world->prefix_telemetry().snapshot();
+  };
+
+  worldgen::GeneratedWorld clean = worldgen::generate_world(clean_config);
+  worldgen::GeneratedWorld chaos = worldgen::generate_world(chaos_config);
+  const obs::PrefixTable before = scan_table(clean);
+  const obs::PrefixTable after = scan_table(chaos);
+
+  // Expected: exactly the probed /20s that intersect a fault-profile
+  // network (total loss guarantees every such prefix records hits).
+  const auto& profiles = chaos.world->fault_plan().profiles();
+  ASSERT_FALSE(profiles.empty());
+  std::vector<std::uint32_t> expected;
+  for (const obs::PrefixRow& row : after.rows) {
+    const std::uint64_t lo = std::uint64_t{row.key} << 12;
+    const std::uint64_t hi = lo + (1u << 12) - 1;
+    for (const net::FaultProfile& profile : profiles) {
+      const std::uint64_t p_lo = profile.network.base().value();
+      const std::uint64_t p_hi = p_lo + profile.network.size() - 1;
+      if (lo <= p_hi && p_lo <= hi) {
+        expected.push_back(row.key);
+        break;
+      }
+    }
+  }
+  ASSERT_FALSE(expected.empty());
+
+  EXPECT_EQ(obs::changed_prefixes(before, after), expected);
+  EXPECT_TRUE(obs::changed_prefixes(before, before).empty());
+}
+
+}  // namespace
+}  // namespace dnswild
