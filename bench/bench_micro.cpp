@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <thread>
 #include <unordered_set>
@@ -21,6 +22,7 @@
 #endif
 
 #include "common.h"
+#include "campaign/campaign.h"
 #include "cluster/condensed.h"
 #include "cluster/distance.h"
 #include "cluster/hac.h"
@@ -849,6 +851,54 @@ std::vector<bench::TelemetryOverheadEntry> measure_telemetry_overhead(
   return entries;
 }
 
+// Delta-scan economy (DESIGN.md §14): a 3-epoch campaign — one full sweep
+// then two delta epochs — on a frozen-clock (unchanged) world. The delta
+// epochs should flag nothing and re-probe (almost) nothing; CI gates each
+// delta row at <= 10% of the full row's probes. Virtual seconds come from
+// the event core, so the rows are deterministic.
+std::vector<dnswild::bench::DeltaScanEntry> measure_delta_scan(
+    std::uint32_t resolver_count) {
+  const std::filesystem::path store_dir =
+      std::filesystem::current_path() / "bench_delta_store";
+  std::filesystem::remove_all(store_dir);
+
+  worldgen::WorldGenConfig world_config;
+  world_config.seed = 2015;
+  world_config.resolver_count = resolver_count;
+  world_config.with_devices = false;
+  worldgen::GeneratedWorld gen = worldgen::generate_world(world_config);
+
+  campaign::CampaignTargets targets;
+  targets.scanner_ip = gen.scanner_ip;
+  targets.zone = gen.scan_zone;
+  targets.blacklist = &gen.blacklist;
+  targets.universe = gen.universe;
+  campaign::CampaignConfig config;
+  config.store_dir = store_dir.string();
+  config.epochs = 3;
+  config.interval_minutes = 0;  // unchanged world between epochs
+  config.seed = 7;
+  config.delta = true;
+  config.full_every = 0;
+  campaign::CampaignEngine engine(*gen.world, targets, config);
+  const campaign::CampaignResult result = engine.run(false);
+  std::filesystem::remove_all(store_dir);
+
+  std::vector<dnswild::bench::DeltaScanEntry> entries;
+  for (const campaign::EpochRecord& epoch : result.epochs) {
+    dnswild::bench::DeltaScanEntry entry;
+    entry.kind =
+        epoch.kind == campaign::EpochKind::kDelta ? "delta" : "full";
+    entry.epoch = epoch.index;
+    entry.probes = epoch.probed;
+    entry.virtual_seconds = epoch.virtual_scan_seconds;
+    entry.flagged_prefixes = epoch.flagged_prefixes;
+    entry.population = epoch.population.size();
+    entries.push_back(entry);
+  }
+  return entries;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1040,11 +1090,25 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Delta-scan economy rows (DESIGN.md §14). Runs on --quick too — CI
+  // gates delta-epoch probes at <= 10% of the full sweep's.
+  std::vector<dnswild::bench::DeltaScanEntry> delta_entries =
+      measure_delta_scan(quick ? 2000u : std::min(resolver_count, 4000u));
+  for (const auto& entry : delta_entries) {
+    std::printf(
+        "delta_scan epoch=%u kind=%s probes=%llu virtual=%.1fs "
+        "flagged=%llu population=%llu\n",
+        entry.epoch, entry.kind.c_str(),
+        static_cast<unsigned long long>(entry.probes), entry.virtual_seconds,
+        static_cast<unsigned long long>(entry.flagged_prefixes),
+        static_cast<unsigned long long>(entry.population));
+  }
+
   dnswild::bench::write_micro_bench_json(
       json_path, "bench_micro", hardware, entries, cluster_entries,
       condensed_bytes, square_bytes, loss_entries, lsh_entries,
       inflight_entries, order_entries, world_scale_entries,
-      telemetry_entries);
+      telemetry_entries, delta_entries);
   if (quick) return 0;
 
   benchmark::Initialize(&argc, argv);

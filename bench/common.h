@@ -211,6 +211,18 @@ struct TelemetryOverheadEntry {
   double probes_per_sec = 0.0;
 };
 
+// One campaign epoch from the delta-scan economy measurement (DESIGN.md
+// §14): a full sweep followed by delta epochs on a frozen-clock (unchanged)
+// world. CI gates every delta row at <= 10% of the full row's probes.
+struct DeltaScanEntry {
+  std::string kind;  // "full" | "delta"
+  std::uint32_t epoch = 0;
+  std::uint64_t probes = 0;
+  double virtual_seconds = 0.0;
+  std::uint64_t flagged_prefixes = 0;
+  std::uint64_t population = 0;
+};
+
 inline double best_speedup(double base, double best) {
   return base > 0.0 ? best / base : 0.0;
 }
@@ -227,7 +239,8 @@ inline bool write_micro_bench_json(
     const std::vector<InflightSweepEntry>& inflight_sweep = {},
     const std::vector<ScanOrderAblationEntry>& scan_order_ablation = {},
     const std::vector<WorldScaleEntry>& world_scale = {},
-    const std::vector<TelemetryOverheadEntry>& telemetry_overhead = {}) {
+    const std::vector<TelemetryOverheadEntry>& telemetry_overhead = {},
+    const std::vector<DeltaScanEntry>& delta_scan = {}) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -390,6 +403,21 @@ inline bool write_micro_bench_json(
                  static_cast<unsigned long long>(entry.probes),
                  entry.wall_seconds, entry.probes_per_sec,
                  i + 1 < telemetry_overhead.size() ? "," : "");
+  }
+  std::fprintf(file, "  ],\n");
+  std::fprintf(file, "  \"delta_scan\": [\n");
+  for (std::size_t i = 0; i < delta_scan.size(); ++i) {
+    const DeltaScanEntry& entry = delta_scan[i];
+    std::fprintf(file,
+                 "    {\"kind\": \"%s\", \"epoch\": %u, \"probes\": %llu, "
+                 "\"virtual_seconds\": %.3f, \"flagged_prefixes\": %llu, "
+                 "\"population\": %llu}%s\n",
+                 entry.kind.c_str(), entry.epoch,
+                 static_cast<unsigned long long>(entry.probes),
+                 entry.virtual_seconds,
+                 static_cast<unsigned long long>(entry.flagged_prefixes),
+                 static_cast<unsigned long long>(entry.population),
+                 i + 1 < delta_scan.size() ? "," : "");
   }
   std::fprintf(file, "  ],\n");
   std::fprintf(file,

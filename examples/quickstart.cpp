@@ -7,6 +7,11 @@
 //                           [--cluster-mode exact|lsh|auto]
 //                           [--max-in-flight N]
 //                           [--worldgen eager|lazy] [--scan-only]
+//                           [--campaign N --store DIR [--resume] [--delta]
+//                            [--epoch-interval-days D] [--full-every N]
+//                            [--campaign-report FILE]
+//                            [--kill-during-epoch K]]
+//                           [--list-epochs --store DIR]
 //
 // --metrics-out (or DNSWILD_METRICS_OUT) writes the machine-readable run
 // report — every registry counter plus the per-stage spans — as JSON.
@@ -26,13 +31,26 @@
 // modes produce identical scan results for the same seed.
 // --scan-only stops after the Internet-wide enumeration (step 1) —
 // useful for memory/throughput measurements at large scale.
+// --campaign N runs the longitudinal campaign engine (DESIGN.md §14):
+// N weekly enumeration epochs persisted to --store DIR. --resume picks an
+// interrupted campaign back up from the last good stored epoch; --delta
+// re-probes only changed /20 prefixes after the first full sweep, with a
+// full-sweep backstop every --full-every epochs. --campaign-report writes
+// the masked campaign JSON ("dnswild.campaign.v1"). --kill-during-epoch K
+// raises SIGKILL after epoch K's scan but before it is persisted — the
+// crash drill the resume path is tested against.
+// --list-epochs prints what the store holds (per-epoch tallies plus any
+// corrupt files quarantined during validation) without scanning.
 
+#include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "analysis/fluctuation.h"
+#include "campaign/campaign.h"
 #include "core/pipeline.h"
 #include "core/report.h"
 #include "scan/ipv4scan.h"
@@ -50,11 +68,29 @@ int main(int argc, char** argv) {
   std::string worldgen_mode;
   bool scan_only = false;
   std::uint32_t max_in_flight = 65536;
+  std::uint32_t campaign_epochs = 0;
+  std::string store_dir;
+  std::string campaign_report;
+  bool resume = false;
+  bool delta = false;
+  bool list_epochs = false;
+  double epoch_interval_days = 7.0;  // fractional ok; 0 freezes the clock
+  std::uint32_t full_every = 4;
+  int kill_during_epoch = -1;
   if (const char* env = std::getenv("DNSWILD_METRICS_OUT")) metrics_out = env;
   for (int i = 1; i < argc;) {
     int consumed = 0;
     if (std::strcmp(argv[i], "--scan-only") == 0) {
       scan_only = true;
+      consumed = 1;
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+      consumed = 1;
+    } else if (std::strcmp(argv[i], "--delta") == 0) {
+      delta = true;
+      consumed = 1;
+    } else if (std::strcmp(argv[i], "--list-epochs") == 0) {
+      list_epochs = true;
       consumed = 1;
     } else if (i + 1 < argc) {
       if (std::strcmp(argv[i], "--metrics-out") == 0) {
@@ -76,6 +112,28 @@ int main(int argc, char** argv) {
         max_in_flight = static_cast<std::uint32_t>(
             std::strtoul(argv[i + 1], nullptr, 10));
         if (max_in_flight == 0) max_in_flight = 1;
+        consumed = 2;
+      } else if (std::strcmp(argv[i], "--campaign") == 0) {
+        campaign_epochs = static_cast<std::uint32_t>(
+            std::strtoul(argv[i + 1], nullptr, 10));
+        consumed = 2;
+      } else if (std::strcmp(argv[i], "--store") == 0) {
+        store_dir = argv[i + 1];
+        consumed = 2;
+      } else if (std::strcmp(argv[i], "--campaign-report") == 0) {
+        campaign_report = argv[i + 1];
+        consumed = 2;
+      } else if (std::strcmp(argv[i], "--epoch-interval-days") == 0) {
+        epoch_interval_days = std::strtod(argv[i + 1], nullptr);
+        if (epoch_interval_days < 0) epoch_interval_days = 0;
+        consumed = 2;
+      } else if (std::strcmp(argv[i], "--full-every") == 0) {
+        full_every = static_cast<std::uint32_t>(
+            std::strtoul(argv[i + 1], nullptr, 10));
+        consumed = 2;
+      } else if (std::strcmp(argv[i], "--kill-during-epoch") == 0) {
+        kill_during_epoch =
+            static_cast<int>(std::strtol(argv[i + 1], nullptr, 10));
         consumed = 2;
       }
     }
@@ -111,6 +169,106 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(config.seed),
               config.lazy ? "lazy" : "eager");
   auto generated = worldgen::generate_world(config);
+
+  // Longitudinal campaign modes (DESIGN.md §14) replace the one-shot
+  // Fig. 3 pipeline below.
+  if (campaign_epochs > 0 || list_epochs) {
+    if (store_dir.empty()) {
+      std::fprintf(stderr, "--campaign/--list-epochs require --store DIR\n");
+      return 2;
+    }
+    campaign::CampaignTargets targets;
+    targets.scanner_ip = generated.scanner_ip;
+    targets.zone = generated.scan_zone;
+    targets.blacklist = &generated.blacklist;
+    targets.universe = generated.universe;
+    campaign::CampaignConfig campaign_config;
+    campaign_config.store_dir = store_dir;
+    campaign_config.epochs = campaign_epochs > 0 ? campaign_epochs : 1;
+    campaign_config.interval_minutes = static_cast<std::uint64_t>(
+        std::llround(epoch_interval_days * 1440.0));
+    campaign_config.seed = config.seed;
+    campaign_config.delta = delta;
+    campaign_config.full_every = full_every;
+    campaign_config.max_in_flight = max_in_flight;
+    campaign::CampaignEngine engine(*generated.world, targets,
+                                    campaign_config);
+
+    if (list_epochs) {
+      campaign::EpochStore store(store_dir, engine.config_hash());
+      const auto scan_result = store.load_all();
+      std::printf("Campaign store %s: %zu good epoch(s)\n", store_dir.c_str(),
+                  scan_result.epochs.size());
+      for (const auto& epoch : scan_result.epochs) {
+        std::printf(
+            "  epoch %u  %-5s  start_minute %llu  probed %s  "
+            "population %s  degradations %zu\n",
+            epoch.index,
+            epoch.kind == campaign::EpochKind::kDelta ? "delta" : "full",
+            static_cast<unsigned long long>(epoch.start_minute),
+            util::with_commas(epoch.probed).c_str(),
+            util::with_commas(epoch.population.size()).c_str(),
+            epoch.degradations.size());
+      }
+      for (const auto& issue : scan_result.issues) {
+        std::printf("  REJECTED %s: %s\n", issue.file.c_str(),
+                    issue.cause.c_str());
+      }
+      return 0;
+    }
+
+    if (kill_during_epoch >= 0) {
+      engine.set_mid_epoch_hook([kill_during_epoch](std::uint32_t index) {
+        if (static_cast<int>(index) == kill_during_epoch) {
+          std::raise(SIGKILL);
+        }
+      });
+    }
+    campaign::CampaignResult result;
+    try {
+      result = engine.run(resume);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "campaign failed: %s\n", error.what());
+      return 1;
+    }
+    std::printf("\nCampaign: %zu epoch(s), resumed from epoch %u\n",
+                result.epochs.size(), result.resumed_from);
+    for (const auto& issue : result.store_issues) {
+      std::printf("  store issue: %s (%s)\n", issue.file.c_str(),
+                  issue.cause.c_str());
+    }
+    for (const auto& epoch : result.epochs) {
+      std::printf(
+          "  epoch %u  %-5s  probed %s  population %s  carried %s\n",
+          epoch.index,
+          epoch.kind == campaign::EpochKind::kDelta ? "delta" : "full",
+          util::with_commas(epoch.probed).c_str(),
+          util::with_commas(epoch.population.size()).c_str(),
+          util::with_commas(epoch.carried_forward).c_str());
+    }
+    if (result.summary.delta_epochs > 0) {
+      std::printf(
+          "  delta economy: %.1f%% of a full sweep's probes per delta "
+          "epoch\n",
+          result.summary.delta_probe_fraction * 100.0);
+    }
+    if (!result.summary.churn.empty()) {
+      const auto& last = result.summary.churn.back();
+      std::printf("  churn: %.1f%% of epoch-0 responders alive after %.0f "
+                  "days\n",
+                  last.alive_fraction * 100.0, last.age_days);
+    }
+    if (!campaign_report.empty()) {
+      if (result.dump_json(campaign_report, /*mask=*/true)) {
+        std::printf("Campaign report written to %s\n",
+                    campaign_report.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write %s\n", campaign_report.c_str());
+        return 1;
+      }
+    }
+    return 0;
+  }
 
   // Step 1: Internet-wide scan to enumerate open resolvers.
   scan::Ipv4ScanConfig scan_config;

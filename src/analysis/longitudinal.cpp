@@ -1,0 +1,62 @@
+#include "analysis/longitudinal.h"
+
+#include <algorithm>
+
+namespace dnswild::analysis {
+
+std::uint64_t surviving_count(const std::vector<std::uint32_t>& initial,
+                              const std::vector<std::uint32_t>& current) {
+  std::uint64_t alive = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < initial.size() && j < current.size()) {
+    if (initial[i] < current[j]) {
+      ++i;
+    } else if (current[j] < initial[i]) {
+      ++j;
+    } else {
+      ++alive;
+      ++i;
+      ++j;
+    }
+  }
+  return alive;
+}
+
+CampaignSummary summarize_campaign(
+    const std::vector<EpochObservation>& epochs) {
+  CampaignSummary summary;
+  if (epochs.empty()) return summary;
+
+  std::vector<double> probe_days;
+  std::vector<std::uint64_t> alive;
+  const std::uint64_t base_minute = epochs.front().start_minute;
+  for (const EpochObservation& epoch : epochs) {
+    summary.weekly.push_back(CampaignWeeklyRow{
+        epoch.index, epoch.start_minute, epoch.delta, epoch.noerror,
+        epoch.refused, epoch.servfail});
+    probe_days.push_back(
+        static_cast<double>(epoch.start_minute - base_minute) / 1440.0);
+    alive.push_back(
+        surviving_count(epochs.front().population, epoch.population));
+    if (epoch.delta) {
+      summary.delta_probes += epoch.probed;
+      ++summary.delta_epochs;
+    } else {
+      summary.full_probes += epoch.probed;
+      ++summary.full_epochs;
+    }
+  }
+  summary.churn = churn_curve(epochs.front().population.size(), probe_days,
+                              alive);
+  if (summary.full_epochs > 0 && summary.delta_epochs > 0) {
+    const double full_avg = static_cast<double>(summary.full_probes) /
+                            static_cast<double>(summary.full_epochs);
+    const double delta_avg = static_cast<double>(summary.delta_probes) /
+                             static_cast<double>(summary.delta_epochs);
+    if (full_avg > 0.0) summary.delta_probe_fraction = delta_avg / full_avg;
+  }
+  return summary;
+}
+
+}  // namespace dnswild::analysis

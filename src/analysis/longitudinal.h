@@ -1,0 +1,70 @@
+// Cross-epoch aggregation for longitudinal campaigns (§2, Fig. 1–2).
+//
+// The campaign engine persists one record per scan epoch; this module
+// turns a replayed sequence of those records into the paper's landscape
+// curves: the weekly per-status population series (Fig. 1), the survival
+// curve of the first epoch's resolver population (Fig. 2), and the
+// full-vs-delta probe-economy tallies the delta-scan policy is judged on.
+//
+// Inputs are plain structs (sorted address vectors + counters) rather than
+// campaign types so analysis stays below the campaign layer in the
+// library stack and tests can feed hand-built epochs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/churn.h"
+
+namespace dnswild::analysis {
+
+// One scan epoch as the aggregator sees it: identity, status tallies, and
+// the epoch's NOERROR population (sorted ascending, host-order addresses).
+// Delta epochs carry their carried-forward population, so the series stays
+// continuous even when only flagged prefixes were re-probed.
+struct EpochObservation {
+  std::uint32_t index = 0;
+  std::uint64_t start_minute = 0;
+  bool delta = false;            // delta epoch (partial re-probe)
+  std::uint64_t probed = 0;      // probes actually issued this epoch
+  std::uint64_t noerror = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t servfail = 0;
+  std::vector<std::uint32_t> population;  // sorted NOERROR addresses
+};
+
+// Fig. 1-style row: one epoch's population counts on the campaign's
+// virtual calendar.
+struct CampaignWeeklyRow {
+  std::uint32_t index = 0;
+  std::uint64_t start_minute = 0;
+  bool delta = false;
+  std::uint64_t noerror = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t servfail = 0;
+};
+
+struct CampaignSummary {
+  std::vector<CampaignWeeklyRow> weekly;  // Fig. 1 series
+  // Fig. 2 curve: how much of epoch 0's population still answers NOERROR
+  // at the same address in each later epoch.
+  std::vector<ChurnPoint> churn;
+  // Probe economy of the delta policy.
+  std::uint64_t full_probes = 0;    // sum over full-sweep epochs
+  std::uint64_t delta_probes = 0;   // sum over delta epochs
+  std::uint64_t full_epochs = 0;
+  std::uint64_t delta_epochs = 0;
+  // delta probes per delta epoch / full probes per full epoch; 0 when the
+  // campaign ran no delta epochs.
+  double delta_probe_fraction = 0.0;
+};
+
+// Number of addresses present in both sorted vectors (survivors).
+std::uint64_t surviving_count(const std::vector<std::uint32_t>& initial,
+                              const std::vector<std::uint32_t>& current);
+
+// Aggregates a campaign's epochs (ascending index order expected).
+CampaignSummary summarize_campaign(
+    const std::vector<EpochObservation>& epochs);
+
+}  // namespace dnswild::analysis

@@ -1,0 +1,385 @@
+#include "campaign/campaign.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "net/ip.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace dnswild::campaign {
+namespace {
+
+// Per-prefix observation history rebuilt from epoch records: the latest
+// fresh scan observation and the one before it. Only rows that actually
+// probed the prefix count (a rebind-only diff row is churn telemetry, not
+// a scan observation).
+struct ObservationHistory {
+  std::unordered_map<std::uint32_t, obs::PrefixStats> last;
+  std::unordered_map<std::uint32_t, obs::PrefixStats> prev;
+
+  void fold(const EpochRecord& record) {
+    for (const obs::PrefixRow& row : record.prefixes.rows) {
+      if (row.stats.probes == 0) continue;
+      auto it = last.find(row.key);
+      if (it != last.end()) prev[row.key] = it->second;
+      last[row.key] = row.stats;
+    }
+  }
+
+  // Aligned (previous, latest) observation tables for every prefix seen
+  // at least twice, ready for obs::changed_prefixes. Rebinds are zeroed:
+  // stored rows embed inter-epoch lease churn, and comparing it across
+  // observations would re-flag a prefix every epoch after a single rebind
+  // (the live snapshot diff across the clock advance owns rebind
+  // detection).
+  void aligned_tables(obs::PrefixTable* a, obs::PrefixTable* b) const {
+    std::vector<std::uint32_t> keys;
+    keys.reserve(prev.size());
+    for (const auto& [key, stats] : prev) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    for (std::uint32_t key : keys) {
+      obs::PrefixRow prev_row{key, prev.at(key)};
+      obs::PrefixRow last_row{key, last.at(key)};
+      prev_row.stats.rebinds = 0;
+      last_row.stats.rebinds = 0;
+      a->rows.push_back(prev_row);
+      b->rows.push_back(last_row);
+    }
+  }
+};
+
+// /20 keys whose rebind count moved by at least `threshold` between two
+// cumulative snapshots (the inter-epoch clock advance).
+std::vector<std::uint32_t> rebind_flags(const obs::PrefixTable& before,
+                                        const obs::PrefixTable& after,
+                                        std::uint64_t threshold) {
+  std::vector<std::uint32_t> out;
+  std::size_t i = 0;
+  for (const obs::PrefixRow& row : after.rows) {
+    while (i < before.rows.size() && before.rows[i].key < row.key) ++i;
+    std::uint64_t base = 0;
+    if (i < before.rows.size() && before.rows[i].key == row.key) {
+      base = before.rows[i].stats.rebinds;
+    }
+    if (row.stats.rebinds - base >= threshold) out.push_back(row.key);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> sorted_union(std::vector<std::uint32_t> a,
+                                        std::vector<std::uint32_t> b) {
+  a.insert(a.end(), b.begin(), b.end());
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  return a;
+}
+
+std::vector<std::uint32_t> sorted_population(
+    const std::vector<net::Ipv4>& targets) {
+  std::vector<std::uint32_t> out;
+  out.reserve(targets.size());
+  for (net::Ipv4 ip : targets) out.push_back(ip.value());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+analysis::EpochObservation to_observation(const EpochRecord& record) {
+  analysis::EpochObservation obs;
+  obs.index = record.index;
+  obs.start_minute = record.start_minute;
+  obs.delta = record.kind == EpochKind::kDelta;
+  obs.probed = record.probed;
+  // Weekly NOERROR is the epoch's effective population (carry-forward
+  // included) so the Fig. 1 series stays continuous across delta epochs;
+  // REFUSED/SERVFAIL are probed-only tallies.
+  obs.noerror = record.population.size();
+  obs.refused = record.refused;
+  obs.servfail = record.servfail;
+  obs.population = record.population;
+  return obs;
+}
+
+void append(std::string& out, const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, format, copy);
+  va_end(copy);
+  if (needed > 0) {
+    const std::size_t base = out.size();
+    out.resize(base + static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(out.data() + base, static_cast<std::size_t>(needed) + 1,
+                   format, args);
+    out.resize(base + static_cast<std::size_t>(needed));
+  }
+  va_end(args);
+}
+
+}  // namespace
+
+CampaignEngine::CampaignEngine(net::World& world, CampaignTargets targets,
+                               CampaignConfig config)
+    : world_(world), targets_(std::move(targets)), config_(std::move(config)) {
+  std::uint64_t h = util::hash_words(
+      {config_.seed, config_.interval_minutes,
+       static_cast<std::uint64_t>(config_.delta), config_.full_every,
+       config_.max_in_flight, config_.thresholds.min_probes,
+       static_cast<std::uint64_t>(
+           std::llround(config_.thresholds.response_rate_delta * 1e6)),
+       config_.thresholds.fault_hit_delta, config_.thresholds.rebind_delta});
+  const std::string zone = targets_.zone.to_string();
+  h = util::hash_words(
+      {h, targets_.scanner_ip.value(),
+       util::digest_bytes(std::vector<std::uint8_t>(zone.begin(), zone.end())),
+       static_cast<std::uint64_t>(world_.host_count())});
+  for (const net::Cidr& cidr : targets_.universe) {
+    h = util::hash_words({h, cidr.base().value(),
+                          static_cast<std::uint64_t>(cidr.prefix_len())});
+  }
+  config_hash_ = h;
+}
+
+std::vector<net::Ipv4> CampaignEngine::delta_targets(
+    const std::vector<std::uint32_t>& flags) const {
+  std::vector<net::Ipv4> targets;
+  for (const net::Cidr& cidr : targets_.universe) {
+    const std::uint64_t size = cidr.size();
+    for (std::uint64_t offset = 0; offset < size;) {
+      const net::Ipv4 first = cidr.at(offset);
+      // Addresses left in this /20 (flag granularity) within the prefix.
+      const std::uint64_t span = 4096 - (first.value() & 0xFFFu);
+      const std::uint64_t end = std::min(size, offset + span);
+      const std::uint32_t key =
+          obs::PrefixTelemetry::key_of(first.value());
+      if (std::binary_search(flags.begin(), flags.end(), key)) {
+        for (std::uint64_t i = offset; i < end; ++i) {
+          const net::Ipv4 address = cidr.at(i);
+          if (!net::is_reserved(address)) targets.push_back(address);
+        }
+      }
+      offset = end;
+    }
+  }
+  return targets;
+}
+
+CampaignResult CampaignEngine::run(bool resume) {
+  EpochStore store(config_.store_dir, config_hash_);
+  CampaignResult result;
+  std::vector<EpochRecord> epochs;
+  if (resume) {
+    EpochStore::ScanResult loaded = store.load_all();
+    epochs = std::move(loaded.epochs);
+    result.store_issues = std::move(loaded.issues);
+    if (epochs.size() > config_.epochs) epochs.resize(config_.epochs);
+  }
+  const std::uint32_t first_live = static_cast<std::uint32_t>(epochs.size());
+  result.resumed_from = first_live;
+
+  const std::int64_t base_minute = world_.clock().minutes();
+  if (!epochs.empty() &&
+      epochs.front().start_minute !=
+          static_cast<std::uint64_t>(base_minute)) {
+    throw std::runtime_error(
+        "campaign store schedule does not match the world clock");
+  }
+
+  // Flush leases that were already expired at construction time before
+  // anything observes the world: without this, the first inter-epoch
+  // clock advance would flush them *as if* they were that interval's
+  // churn and flag their prefixes even on a frozen clock.
+  world_.set_time_minutes(base_minute);
+
+  // Replay the clock schedule of the completed epochs: the same one
+  // set_time_minutes call per boundary the live loop makes, so lease
+  // state AND per-advance rebind telemetry land exactly where the
+  // uninterrupted run put them (addresses are pure functions of (seed,
+  // time); rebind *counts* depend on the advance boundaries, which is why
+  // the schedule is replayed instead of jumping straight to the end).
+  // interval 0 ("frozen clock") skips the call entirely — rebind_expired
+  // re-asserts collision-displaced hosts on every invocation, so even a
+  // zero-length advance is not a no-op, and the resumed process must make
+  // exactly the calls the uninterrupted one made.
+  for (std::uint32_t i = 1; i < first_live; ++i) {
+    if (config_.interval_minutes == 0) break;
+    world_.set_time_minutes(base_minute +
+                            static_cast<std::int64_t>(i) *
+                                static_cast<std::int64_t>(
+                                    config_.interval_minutes));
+  }
+
+  ObservationHistory history;
+  for (const EpochRecord& record : epochs) history.fold(record);
+
+  for (std::uint32_t i = first_live; i < config_.epochs; ++i) {
+    const obs::PrefixTable before = world_.prefix_telemetry().snapshot();
+    if (i > 0 && config_.interval_minutes > 0) {
+      world_.set_time_minutes(base_minute +
+                              static_cast<std::int64_t>(i) *
+                                  static_cast<std::int64_t>(
+                                      config_.interval_minutes));
+    }
+    const obs::PrefixTable after_advance =
+        world_.prefix_telemetry().snapshot();
+    // Epoch purity: spent rate-limit buckets from earlier epochs (absent
+    // in a resumed process) must not shape this epoch's admissions.
+    world_.reset_transient_state();
+
+    const bool full = !config_.delta || i == 0 ||
+                      (config_.full_every > 0 && i % config_.full_every == 0);
+
+    scan::Ipv4ScanConfig scan_config;
+    scan_config.scanner_ip = targets_.scanner_ip;
+    scan_config.zone = targets_.zone;
+    scan_config.blacklist = targets_.blacklist;
+    // Per-epoch seed: probe identities (labels, TXIDs, loss fates) are
+    // fresh each epoch, process-history independent.
+    scan_config.seed = util::hash_words({config_.seed, i, 0x65706F6368ULL});
+    scan_config.threads = config_.threads;
+    scan_config.max_in_flight = config_.max_in_flight;
+    scan::Ipv4Scanner scanner(world_, scan_config);
+
+    EpochRecord record;
+    record.index = i;
+    record.start_minute = static_cast<std::uint64_t>(world_.clock().minutes());
+    scan::Ipv4ScanSummary summary;
+    if (full) {
+      record.kind = EpochKind::kFull;
+      summary = scanner.scan(targets_.universe);
+      record.population = sorted_population(summary.noerror_targets);
+    } else {
+      record.kind = EpochKind::kDelta;
+      obs::PrefixTable prev_table;
+      obs::PrefixTable last_table;
+      history.aligned_tables(&prev_table, &last_table);
+      const std::vector<std::uint32_t> flags = sorted_union(
+          rebind_flags(before, after_advance, config_.thresholds.rebind_delta),
+          obs::changed_prefixes(prev_table, last_table, config_.thresholds));
+      record.flagged_prefixes = flags.size();
+      summary = scanner.probe_targets(delta_targets(flags));
+      // Carry forward responders in un-flagged prefixes: those prefixes
+      // saw no rebind churn and no telemetry movement, so the previous
+      // epoch's answer stands until the next full sweep re-verifies it.
+      std::vector<std::uint32_t> population;
+      for (std::uint32_t address : epochs.back().population) {
+        if (!std::binary_search(flags.begin(), flags.end(),
+                                obs::PrefixTelemetry::key_of(address))) {
+          population.push_back(address);
+        }
+      }
+      record.carried_forward = population.size();
+      std::vector<std::uint32_t> fresh =
+          sorted_population(summary.noerror_targets);
+      population.insert(population.end(), fresh.begin(), fresh.end());
+      std::sort(population.begin(), population.end());
+      record.population = std::move(population);
+    }
+    record.probed = summary.probed;
+    record.skipped_reserved = summary.skipped_reserved;
+    record.skipped_blacklist = summary.skipped_blacklist;
+    record.responses = summary.responses;
+    record.noerror = summary.noerror;
+    record.refused = summary.refused;
+    record.servfail = summary.servfail;
+    record.nxdomain = summary.nxdomain;
+    record.other_rcode = summary.other_rcode;
+    record.retry_retransmissions = summary.retry_retransmissions;
+    record.retry_exhausted = summary.retry_exhausted;
+    record.virtual_scan_seconds = summary.virtual_scan_seconds;
+    record.prefixes =
+        obs::subtract_tables(world_.prefix_telemetry().snapshot(), before);
+
+    if (mid_epoch_hook_) mid_epoch_hook_(i);
+
+    std::string error;
+    if (!store.save(record, &error)) {
+      throw std::runtime_error("campaign store: " + error);
+    }
+    history.fold(record);
+    epochs.push_back(std::move(record));
+  }
+
+  result.epochs = std::move(epochs);
+  std::vector<analysis::EpochObservation> observations;
+  observations.reserve(result.epochs.size());
+  for (const EpochRecord& record : result.epochs) {
+    observations.push_back(to_observation(record));
+  }
+  result.summary = analysis::summarize_campaign(observations);
+  return result;
+}
+
+std::string CampaignResult::to_json(bool mask) const {
+  std::string out;
+  out += "{\n  \"schema\": \"dnswild.campaign.v1\",\n";
+  append(out, "  \"epoch_count\": %zu,\n", epochs.size());
+  out += "  \"epochs\": [\n";
+  for (std::size_t i = 0; i < epochs.size(); ++i) {
+    const EpochRecord& e = epochs[i];
+    append(out,
+           "    {\"index\": %" PRIu32 ", \"kind\": \"%s\", "
+           "\"start_minute\": %" PRIu64 ", \"probed\": %" PRIu64 ", "
+           "\"responses\": %" PRIu64 ", \"noerror\": %" PRIu64 ", "
+           "\"refused\": %" PRIu64 ", \"servfail\": %" PRIu64 ", "
+           "\"population\": %zu, \"flagged_prefixes\": %" PRIu64 ", "
+           "\"carried_forward\": %" PRIu64 ", "
+           "\"virtual_scan_seconds\": %.3f, \"degradations\": %zu}%s\n",
+           e.index, e.kind == EpochKind::kDelta ? "delta" : "full",
+           e.start_minute, e.probed, e.responses, e.noerror, e.refused,
+           e.servfail, e.population.size(), e.flagged_prefixes,
+           e.carried_forward, e.virtual_scan_seconds, e.degradations.size(),
+           i + 1 < epochs.size() ? "," : "");
+  }
+  out += "  ],\n  \"churn\": [\n";
+  for (std::size_t i = 0; i < summary.churn.size(); ++i) {
+    const analysis::ChurnPoint& point = summary.churn[i];
+    append(out,
+           "    {\"age_days\": %.2f, \"alive\": %" PRIu64 ", "
+           "\"alive_fraction\": %.4f}%s\n",
+           point.age_days, point.alive, point.alive_fraction,
+           i + 1 < summary.churn.size() ? "," : "");
+  }
+  out += "  ],\n";
+  append(out,
+         "  \"delta\": {\"full_probes\": %" PRIu64 ", \"delta_probes\": %"
+         PRIu64 ", \"full_epochs\": %" PRIu64 ", \"delta_epochs\": %" PRIu64
+         ", \"delta_probe_fraction\": %.4f},\n",
+         summary.full_probes, summary.delta_probes, summary.full_epochs,
+         summary.delta_epochs, summary.delta_probe_fraction);
+  // Resume provenance is execution-shape, not world truth: an interrupted
+  // run resumed mid-campaign reports different values here than the
+  // uninterrupted run, so masking zeroes them (DESIGN.md §8).
+  if (mask) {
+    out += "  \"resume\": {\"resumed_from\": 0, \"store_issues\": []}\n";
+  } else {
+    append(out, "  \"resume\": {\"resumed_from\": %" PRIu32
+                ", \"store_issues\": [",
+           resumed_from);
+    for (std::size_t i = 0; i < store_issues.size(); ++i) {
+      append(out, "%s{\"file\": \"%s\", \"cause\": \"%s\"}",
+             i == 0 ? "" : ", ", store_issues[i].file.c_str(),
+             store_issues[i].cause.c_str());
+    }
+    out += "]}\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+bool CampaignResult::dump_json(const std::string& path, bool mask) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string json = to_json(mask);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), file) ==
+                  json.size();
+  return std::fclose(file) == 0 && ok;
+}
+
+}  // namespace dnswild::campaign

@@ -1,0 +1,121 @@
+// Longitudinal campaign engine (DESIGN.md §14).
+//
+// Runs the paper's §2 schedule — one Internet-wide enumeration scan per
+// virtual week — as a restartable service instead of a batch job. Every
+// finished epoch is persisted to an EpochStore before the next one
+// starts; a killed campaign resumes from the last good epoch by loading
+// the store and replaying only the world's clock schedule (leases are
+// path-independent functions of (seed, time), so the re-created world
+// reaches the exact state the uninterrupted run would have had). The
+// final CampaignResult is built purely from the persisted records, which
+// is what makes the masked report byte-identical across crash/resume and
+// across thread counts.
+//
+// Delta scanning: instead of sweeping the whole universe every epoch, a
+// delta epoch re-probes only /20 prefixes that (a) saw DHCP rebind churn
+// since the previous epoch (live telemetry diff across the inter-epoch
+// clock advance) or (b) moved past obs::ChangeThresholds between their
+// two most recent fresh scan observations (from the store). Responders in
+// un-flagged prefixes are carried forward. Scheduled full sweeps
+// (`full_every`) bound how long any prefix can coast on carry-forward.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/longitudinal.h"
+#include "campaign/store.h"
+#include "dns/name.h"
+#include "net/world.h"
+#include "obs/prefix_telemetry.h"
+#include "scan/blacklist.h"
+#include "scan/ipv4scan.h"
+
+namespace dnswild::campaign {
+
+// What the campaign scans: the same inputs worldgen hands the one-shot
+// quickstart flow.
+struct CampaignTargets {
+  net::Ipv4 scanner_ip{};
+  dns::Name zone;
+  const scan::Blacklist* blacklist = nullptr;  // optional; must outlive runs
+  std::vector<net::Cidr> universe;             // non-overlapping prefixes
+};
+
+struct CampaignConfig {
+  std::string store_dir;
+  std::uint32_t epochs = 3;
+  // Virtual time between epoch starts (the paper's weekly cadence). The
+  // world clock only moves at epoch boundaries; the scan itself runs with
+  // the clock frozen so an epoch is replayable in one piece.
+  std::uint64_t interval_minutes = 7 * 1440;
+  std::uint64_t seed = 0;
+  // Delta scanning on; epoch 0 is always a full sweep.
+  bool delta = false;
+  // Every Nth epoch is a full sweep regardless of flags (0 disables the
+  // backstop; epoch 0 stays full either way).
+  std::uint32_t full_every = 4;
+  obs::ChangeThresholds thresholds;
+  // Execution shape: results are byte-identical for every value of both,
+  // so neither participates in the config hash... except max_in_flight,
+  // which changes the stored virtual-time accounting and therefore does.
+  unsigned threads = 0;
+  std::uint32_t max_in_flight = 65536;
+};
+
+struct CampaignResult {
+  std::vector<EpochRecord> epochs;
+  // First epoch executed by THIS process (0 on a fresh run). Differs
+  // between an interrupted and an uninterrupted run, so it is masked.
+  std::uint32_t resumed_from = 0;
+  // Corrupt/rejected store files found while resuming (masked likewise).
+  std::vector<StoreIssue> store_issues;
+  analysis::CampaignSummary summary;
+
+  // Deterministic JSON (schema "dnswild.campaign.v1"). With mask=true the
+  // resume-provenance section is zeroed, so reports are byte-identical
+  // across crash/resume and across thread counts (DESIGN.md §8 idiom).
+  std::string to_json(bool mask) const;
+  bool dump_json(const std::string& path, bool mask) const;
+};
+
+class CampaignEngine {
+ public:
+  CampaignEngine(net::World& world, CampaignTargets targets,
+                 CampaignConfig config);
+
+  // Fingerprint of everything that changes stored bytes: campaign
+  // parameters, thresholds, scan shape, and the scanned world (scanner
+  // address, zone, universe, host count).
+  std::uint64_t config_hash() const noexcept { return config_hash_; }
+
+  // Crash-drill hook, invoked after an epoch's scan completes but before
+  // the epoch is persisted (the widest mid-epoch window). The integration
+  // test and `quickstart --kill-during-epoch` raise SIGKILL here.
+  void set_mid_epoch_hook(std::function<void(std::uint32_t)> hook) {
+    mid_epoch_hook_ = std::move(hook);
+  }
+
+  // Runs the campaign to `config.epochs` epochs. With resume=true,
+  // previously persisted epochs are loaded (corrupt tails quarantined and
+  // re-run) and only the remainder executes; the world must be freshly
+  // constructed either way. Throws std::runtime_error on store I/O
+  // failure or on a store whose schedule contradicts the world clock.
+  CampaignResult run(bool resume);
+
+ private:
+  // Targets of a delta epoch: universe addresses inside flagged /20s,
+  // reserved space skipped (probe_targets does not re-check it).
+  std::vector<net::Ipv4> delta_targets(
+      const std::vector<std::uint32_t>& flags) const;
+
+  net::World& world_;
+  CampaignTargets targets_;
+  CampaignConfig config_;
+  std::uint64_t config_hash_ = 0;
+  std::function<void(std::uint32_t)> mid_epoch_hook_;
+};
+
+}  // namespace dnswild::campaign

@@ -1,0 +1,380 @@
+#include "campaign/store.h"
+
+#include <unistd.h>
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "util/checksum.h"
+
+namespace dnswild::campaign {
+namespace {
+
+constexpr char kMagic[8] = {'D', 'N', 'S', 'W', 'E', 'P', 'O', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kTrailerMagic = 0xE0F17A1Du;
+constexpr std::size_t kHeaderBytes = 24;   // magic + version + index + hash
+constexpr std::size_t kTrailerBytes = 8;   // trailer magic + file CRC
+
+enum Section : std::uint32_t {
+  kTallies = 1,
+  kPopulation = 2,
+  kPrefixes = 3,
+  kDegradations = 4,
+};
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+// Bounds-checked little-endian reader over a byte span.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool ok() const noexcept { return ok_; }
+  std::size_t offset() const noexcept { return offset_; }
+  std::size_t remaining() const noexcept { return size_ - offset_; }
+
+  std::uint32_t u32() noexcept {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= std::uint32_t{data_[offset_ - 4 + i]} << (8 * i);
+    }
+    return v;
+  }
+
+  std::uint64_t u64() noexcept {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= std::uint64_t{data_[offset_ - 8 + i]} << (8 * i);
+    }
+    return v;
+  }
+
+  std::string string() {
+    const std::uint32_t len = u32();
+    if (!take(len)) return {};
+    return std::string(reinterpret_cast<const char*>(data_ + offset_ - len),
+                       len);
+  }
+
+ private:
+  bool take(std::size_t n) noexcept {
+    if (!ok_ || size_ - offset_ < n) {
+      ok_ = false;
+      return false;
+    }
+    offset_ += n;
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+  bool ok_ = true;
+};
+
+void append_section(std::vector<std::uint8_t>& out, std::uint32_t id,
+                    const std::vector<std::uint8_t>& payload) {
+  put_u32(out, id);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  put_u32(out, util::crc32(payload.data(), payload.size()));
+}
+
+bool fail(std::string* cause, const char* why) {
+  if (cause != nullptr) *cause = why;
+  return false;
+}
+
+}  // namespace
+
+EpochStore::EpochStore(std::string dir, std::uint64_t config_hash)
+    : dir_(std::move(dir)), config_hash_(config_hash) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+}
+
+std::string EpochStore::epoch_filename(std::uint32_t index) {
+  char name[32];
+  std::snprintf(name, sizeof name, "epoch_%05u.dnsw", index);
+  return name;
+}
+
+std::string EpochStore::epoch_path(std::uint32_t index) const {
+  return dir_ + "/" + epoch_filename(index);
+}
+
+std::vector<std::uint8_t> EpochStore::encode(
+    const EpochRecord& record) const {
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), kMagic, kMagic + sizeof kMagic);
+  put_u32(out, kVersion);
+  put_u32(out, record.index);
+  put_u64(out, config_hash_);
+
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, record.start_minute);
+  payload.push_back(static_cast<std::uint8_t>(record.kind));
+  put_u64(payload, record.probed);
+  put_u64(payload, record.skipped_reserved);
+  put_u64(payload, record.skipped_blacklist);
+  put_u64(payload, record.responses);
+  put_u64(payload, record.noerror);
+  put_u64(payload, record.refused);
+  put_u64(payload, record.servfail);
+  put_u64(payload, record.nxdomain);
+  put_u64(payload, record.other_rcode);
+  put_u64(payload, record.retry_retransmissions);
+  put_u64(payload, record.retry_exhausted);
+  put_u64(payload, std::bit_cast<std::uint64_t>(record.virtual_scan_seconds));
+  put_u64(payload, record.flagged_prefixes);
+  put_u64(payload, record.carried_forward);
+  append_section(out, kTallies, payload);
+
+  payload.clear();
+  put_u64(payload, record.population.size());
+  for (std::uint32_t address : record.population) put_u32(payload, address);
+  append_section(out, kPopulation, payload);
+
+  payload.clear();
+  put_u64(payload, record.prefixes.rows.size());
+  for (const obs::PrefixRow& row : record.prefixes.rows) {
+    put_u32(payload, row.key);
+    const obs::PrefixStats& s = row.stats;
+    for (std::uint64_t field :
+         {s.probes, s.responses, s.timeouts, s.retries, s.noerror, s.refused,
+          s.servfail, s.nxdomain, s.other_rcode, s.fault_hits, s.rate_limited,
+          s.rebinds}) {
+      put_u64(payload, field);
+    }
+  }
+  append_section(out, kPrefixes, payload);
+
+  payload.clear();
+  put_u64(payload, record.degradations.size());
+  for (const core::StageDegradation& d : record.degradations) {
+    put_string(payload, d.stage);
+    put_string(payload, d.cause);
+    put_u64(payload, d.affected);
+  }
+  append_section(out, kDegradations, payload);
+
+  // Trailer: magic + CRC over everything before it. Truncation loses the
+  // trailer; a flip anywhere (header included) breaks this CRC even when
+  // it dodges the per-section ones.
+  put_u32(out, kTrailerMagic);
+  put_u32(out, util::crc32(out.data(), out.size()));
+  return out;
+}
+
+bool EpochStore::save(const EpochRecord& record, std::string* error) const {
+  const std::vector<std::uint8_t> bytes = encode(record);
+  const std::string final_path = epoch_path(record.index);
+  const std::string tmp_path = final_path + ".tmp";
+
+  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
+  if (file == nullptr) {
+    if (error != nullptr) *error = "cannot open " + tmp_path;
+    return false;
+  }
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), file) == bytes.size();
+  const bool flushed = std::fflush(file) == 0;
+  // Push bytes to stable storage before publishing the name: rename is
+  // atomic, but only an fsynced tmp file makes the epoch crash-durable.
+  const bool synced = fsync(fileno(file)) == 0;
+  const bool closed = std::fclose(file) == 0;
+  if (!wrote || !flushed || !synced || !closed) {
+    if (error != nullptr) *error = "short write to " + tmp_path;
+    std::remove(tmp_path.c_str());
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "rename to " + final_path + ": " + ec.message();
+    }
+    std::remove(tmp_path.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool EpochStore::load(std::uint32_t index, EpochRecord* record,
+                      std::string* cause) const {
+  const std::string path = epoch_path(index);
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return fail(cause, "missing");
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[65536];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof chunk, file)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+  std::fclose(file);
+
+  if (bytes.size() < kHeaderBytes + kTrailerBytes) {
+    return fail(cause, "truncated");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0) {
+    return fail(cause, "bad magic");
+  }
+  Reader header(bytes.data() + sizeof kMagic, kHeaderBytes - sizeof kMagic);
+  if (header.u32() != kVersion) return fail(cause, "unsupported version");
+  if (header.u32() != index) return fail(cause, "epoch index mismatch");
+  if (header.u64() != config_hash_) {
+    return fail(cause, "campaign config mismatch");
+  }
+
+  Reader trailer(bytes.data() + bytes.size() - kTrailerBytes, kTrailerBytes);
+  if (trailer.u32() != kTrailerMagic) return fail(cause, "truncated");
+  const std::uint32_t stored_crc = trailer.u32();
+  const std::uint32_t actual_crc =
+      util::crc32(bytes.data(), bytes.size() - 4);
+  if (stored_crc != actual_crc) return fail(cause, "bad file checksum");
+
+  EpochRecord out;
+  out.index = index;
+  const std::uint8_t* sections = bytes.data() + kHeaderBytes;
+  const std::size_t section_bytes =
+      bytes.size() - kHeaderBytes - kTrailerBytes;
+  std::size_t offset = 0;
+  std::uint32_t seen = 0;
+  while (offset < section_bytes) {
+    Reader frame(sections + offset, section_bytes - offset);
+    const std::uint32_t id = frame.u32();
+    const std::uint32_t len = frame.u32();
+    if (!frame.ok() || frame.remaining() < std::size_t{len} + 4) {
+      return fail(cause, "truncated section");
+    }
+    const std::uint8_t* payload = sections + offset + 8;
+    Reader tail(payload + len, 4);
+    if (tail.u32() != util::crc32(payload, len)) {
+      return fail(cause, "bad section checksum");
+    }
+    if (id == kTallies) {
+      if (len < 9) return fail(cause, "short tallies section");
+      Reader t(payload, 8);
+      out.start_minute = t.u64();
+      out.kind = static_cast<EpochKind>(payload[8]);
+      Reader rest(payload + 9, len - 9);
+      out.probed = rest.u64();
+      out.skipped_reserved = rest.u64();
+      out.skipped_blacklist = rest.u64();
+      out.responses = rest.u64();
+      out.noerror = rest.u64();
+      out.refused = rest.u64();
+      out.servfail = rest.u64();
+      out.nxdomain = rest.u64();
+      out.other_rcode = rest.u64();
+      out.retry_retransmissions = rest.u64();
+      out.retry_exhausted = rest.u64();
+      out.virtual_scan_seconds = std::bit_cast<double>(rest.u64());
+      out.flagged_prefixes = rest.u64();
+      out.carried_forward = rest.u64();
+      if (!rest.ok()) return fail(cause, "short tallies section");
+      seen |= 1u << 0;
+    } else if (id == kPopulation) {
+      Reader p(payload, len);
+      const std::uint64_t count = p.u64();
+      if (len < 8 || count != (len - 8) / 4 || count * 4 != len - 8) {
+        return fail(cause, "bad population length");
+      }
+      out.population.reserve(count);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        out.population.push_back(p.u32());
+      }
+      if (!p.ok()) return fail(cause, "short population section");
+      seen |= 1u << 1;
+    } else if (id == kPrefixes) {
+      Reader p(payload, len);
+      const std::uint64_t count = p.u64();
+      constexpr std::uint64_t kRowBytes = 4 + 12 * 8;
+      if (len < 8 || count != (len - 8) / kRowBytes ||
+          count * kRowBytes != len - 8) {
+        return fail(cause, "bad prefix length");
+      }
+      out.prefixes.rows.reserve(count);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        obs::PrefixRow row;
+        row.key = p.u32();
+        obs::PrefixStats& s = row.stats;
+        for (std::uint64_t* field :
+             {&s.probes, &s.responses, &s.timeouts, &s.retries, &s.noerror,
+              &s.refused, &s.servfail, &s.nxdomain, &s.other_rcode,
+              &s.fault_hits, &s.rate_limited, &s.rebinds}) {
+          *field = p.u64();
+        }
+        out.prefixes.rows.push_back(std::move(row));
+      }
+      if (!p.ok()) return fail(cause, "short prefix section");
+      seen |= 1u << 2;
+    } else if (id == kDegradations) {
+      Reader p(payload, len);
+      const std::uint64_t count = p.u64();
+      for (std::uint64_t i = 0; i < count && p.ok(); ++i) {
+        core::StageDegradation d;
+        d.stage = p.string();
+        d.cause = p.string();
+        d.affected = p.u64();
+        out.degradations.push_back(std::move(d));
+      }
+      if (!p.ok()) return fail(cause, "short degradation section");
+      seen |= 1u << 3;
+    }
+    // Unknown section ids are skipped (forward compatibility); their CRC
+    // was still verified above.
+    offset += 8 + std::size_t{len} + 4;
+  }
+  if (seen != 0xF) return fail(cause, "missing section");
+  if (record != nullptr) *record = std::move(out);
+  return true;
+}
+
+EpochStore::ScanResult EpochStore::load_all() const {
+  ScanResult result;
+  for (std::uint32_t index = 0;; ++index) {
+    const std::string path = epoch_path(index);
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) break;
+    EpochRecord record;
+    std::string cause;
+    if (load(index, &record, &cause)) {
+      result.epochs.push_back(std::move(record));
+      continue;
+    }
+    // Corrupt epoch: quarantine the file and stop — epochs after this one
+    // depended on its population, so the campaign re-runs from here.
+    // (Any stale later files are harmless: every epoch's bytes are a pure
+    // function of the campaign config, so a re-run rewrites them with
+    // identical content.)
+    result.issues.push_back(StoreIssue{epoch_filename(index), cause});
+    std::filesystem::rename(path, path + ".corrupt", ec);
+    break;
+  }
+  return result;
+}
+
+}  // namespace dnswild::campaign

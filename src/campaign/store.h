@@ -1,0 +1,127 @@
+// Crash-safe on-disk store for campaign scan epochs (DESIGN.md §14).
+//
+// One file per epoch (`epoch_NNNNN.dnsw`) holds everything the campaign
+// needs to rebuild its final report and to plan the next epoch without
+// re-running history: the scan tallies, the (carried-forward) NOERROR
+// population, the epoch's fresh per-/20 telemetry rows, and any
+// degradation records. Files are written deterministically (fixed-width
+// little-endian fields, no timestamps, no floats except bit-cast doubles)
+// to a `.tmp` sibling and published by rename, so a crash never leaves a
+// half-written epoch under the real name.
+//
+// Every section payload carries a CRC-32 and the file ends in a trailer
+// whose CRC covers all preceding bytes: truncation loses the trailer,
+// a bit flip anywhere breaks a checksum, and either way load_all()
+// quarantines the file (renamed `.corrupt`), records the issue, and
+// returns only the contiguous good prefix of epochs — the campaign
+// resumes from the previous good epoch instead of aborting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/degradation.h"
+#include "obs/prefix_telemetry.h"
+
+namespace dnswild::campaign {
+
+enum class EpochKind : std::uint8_t {
+  kFull = 0,   // whole-universe sweep
+  kDelta = 1,  // flagged-prefix re-probe with carry-forward
+};
+
+// One persisted scan epoch. All fields are deterministic for a given
+// (campaign seed, epoch index, world seed) — virtual seconds included,
+// since the event core is a serial replay — so stored bytes are
+// byte-identical across thread counts and across crash/resume.
+struct EpochRecord {
+  std::uint32_t index = 0;
+  std::uint64_t start_minute = 0;  // virtual clock at epoch start
+  EpochKind kind = EpochKind::kFull;
+
+  // Scan tallies (Ipv4ScanSummary subset; all thread-count invariant).
+  std::uint64_t probed = 0;
+  std::uint64_t skipped_reserved = 0;
+  std::uint64_t skipped_blacklist = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t noerror = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t servfail = 0;
+  std::uint64_t nxdomain = 0;
+  std::uint64_t other_rcode = 0;
+  std::uint64_t retry_retransmissions = 0;
+  std::uint64_t retry_exhausted = 0;
+  double virtual_scan_seconds = 0.0;
+
+  // Delta planning provenance: how many /20s the epoch re-probed (0 for a
+  // full sweep = "all of them") and how many responders were carried
+  // forward from the previous epoch without a fresh probe.
+  std::uint64_t flagged_prefixes = 0;
+  std::uint64_t carried_forward = 0;
+
+  // The epoch's NOERROR population, sorted ascending (host-order
+  // addresses). For delta epochs this includes the carry-forward.
+  std::vector<std::uint32_t> population;
+
+  // Fresh per-/20 observations: telemetry snapshot at epoch end minus the
+  // snapshot at epoch start (includes the inter-epoch rebind churn).
+  obs::PrefixTable prefixes;
+
+  // Degradations recorded while the epoch ran (deterministic ones only).
+  std::vector<core::StageDegradation> degradations;
+};
+
+// One problem load_all() encountered: a corrupt/truncated/mismatched file
+// and why it was rejected. Surfaced as campaign degradation records.
+struct StoreIssue {
+  std::string file;
+  std::string cause;  // "truncated", "bad section checksum", ...
+};
+
+class EpochStore {
+ public:
+  // `config_hash` fingerprints every campaign parameter that changes
+  // stored bytes; load_all() rejects files written under a different
+  // configuration so a resumed campaign can never splice incompatible
+  // epochs together.
+  EpochStore(std::string dir, std::uint64_t config_hash);
+
+  const std::string& dir() const noexcept { return dir_; }
+  std::uint64_t config_hash() const noexcept { return config_hash_; }
+
+  static std::string epoch_filename(std::uint32_t index);
+  std::string epoch_path(std::uint32_t index) const;
+
+  // Serializes `record` to `<dir>/epoch_NNNNN.dnsw.tmp`, fsyncs, and
+  // renames over the final name. Returns false (with `error` filled) on
+  // any I/O failure; a failed save never leaves a partial final file.
+  bool save(const EpochRecord& record, std::string* error = nullptr) const;
+
+  // Parses one epoch file. Returns false with `cause` set on any
+  // validation failure (bad magic/version/config hash, index mismatch,
+  // framing overrun, checksum mismatch, missing trailer).
+  bool load(std::uint32_t index, EpochRecord* record,
+            std::string* cause) const;
+
+  struct ScanResult {
+    // Contiguous good epochs 0..n-1. A corrupt or missing epoch k drops
+    // it and everything after it (later epochs depend on k's population).
+    std::vector<EpochRecord> epochs;
+    std::vector<StoreIssue> issues;
+  };
+
+  // Validates the store and returns the longest usable prefix. Corrupt
+  // files are renamed `<name>.corrupt` (kept for post-mortems, out of the
+  // way of the re-run that will overwrite the epoch).
+  ScanResult load_all() const;
+
+  // Deterministic serialized bytes for `record` (exposed for tests).
+  std::vector<std::uint8_t> encode(const EpochRecord& record) const;
+
+ private:
+  std::string dir_;
+  std::uint64_t config_hash_ = 0;
+};
+
+}  // namespace dnswild::campaign

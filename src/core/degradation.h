@@ -1,0 +1,33 @@
+// Graceful-degradation records (DESIGN.md §9).
+//
+// Extracted from pipeline.h so the lightweight consumers — the campaign
+// engine's epoch store persists degradation entries and feeds them into
+// resume decisions — can share the exact types without pulling in the
+// whole Fig. 3 pipeline surface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dnswild::core {
+
+// Per-stage error budgets: the maximum failure fraction a stage tolerates
+// before the run is marked degraded (DESIGN.md §9). 1.0 disables a budget
+// — the default, so healthy worlds never trip. A breached budget does NOT
+// abort the run; it records a StudyReport::degradations entry so partial
+// populations are visible instead of silently shrinking.
+struct StageErrorBudget {
+  double domain_scan_unresponsive = 1.0;  // tuples without any response
+  double acquisition_no_content = 1.0;    // unknown tuples without a body
+  double ground_truth_missing = 1.0;      // GT domains without content
+};
+
+// One graceful-degradation event: which stage, why, and how many items
+// the failure affected.
+struct StageDegradation {
+  std::string stage;
+  std::string cause;
+  std::uint64_t affected = 0;
+};
+
+}  // namespace dnswild::core

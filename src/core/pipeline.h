@@ -16,6 +16,7 @@
 #include "core/acquisition.h"
 #include "core/casestudies.h"
 #include "core/classify.h"
+#include "core/degradation.h"
 #include "core/domains.h"
 #include "core/modifications.h"
 #include "core/prefilter.h"
@@ -25,25 +26,6 @@
 #include "scan/retry.h"
 
 namespace dnswild::core {
-
-// Per-stage error budgets: the maximum failure fraction a stage tolerates
-// before the run is marked degraded (DESIGN.md §9). 1.0 disables a budget
-// — the default, so healthy worlds never trip. A breached budget does NOT
-// abort the run; it records a StudyReport::degradations entry so partial
-// populations are visible instead of silently shrinking.
-struct StageErrorBudget {
-  double domain_scan_unresponsive = 1.0;  // tuples without any response
-  double acquisition_no_content = 1.0;    // unknown tuples without a body
-  double ground_truth_missing = 1.0;      // GT domains without content
-};
-
-// One graceful-degradation event: which stage, why, and how many items
-// the failure affected.
-struct StageDegradation {
-  std::string stage;
-  std::string cause;
-  std::uint64_t affected = 0;
-};
 
 struct PipelineConfig {
   net::Ipv4 scanner_ip;                      // domain-scan source

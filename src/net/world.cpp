@@ -371,6 +371,17 @@ void World::add_fault_profile(FaultProfile profile) {
   }
 }
 
+void World::reset_transient_state() {
+  require_mutation_phase("reset_transient_state");
+  // Same clearing sweep as add_fault_profile: eager hosts own their rate
+  // state inline, materialized lazy hosts carry it in their cache entry.
+  for (Host& host : hosts_) host.fault_rate.sources.clear();
+  for (CacheShard& shard : cache_shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [id, entry] : shard.entries) entry.fault_rate.sources.clear();
+  }
+}
+
 void World::set_service_cache_capacity(std::size_t capacity) {
   require_mutation_phase("set_service_cache_capacity");
   cache_capacity_ = std::max<std::size_t>(capacity, kCacheShards);

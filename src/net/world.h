@@ -241,6 +241,15 @@ class World {
   void add_fault_profile(FaultProfile profile);
   const FaultPlan& fault_plan() const noexcept { return faults_; }
 
+  // Clears accumulated soft state — spent rate-limit token buckets on
+  // eager hosts and cached lazy entries — without touching bindings,
+  // leases, or the clock. The campaign engine calls this at every epoch
+  // boundary so an epoch's outcomes are a pure function of (seed, epoch
+  // start time, targets) regardless of what earlier epochs sent: a
+  // resumed process that replayed only the clock advances observes the
+  // same wire behaviour as the uninterrupted run. Mutation-phase only.
+  void reset_transient_state();
+
   // --- time -------------------------------------------------------------
   const SimClock& clock() const noexcept { return clock_; }
   double day() const noexcept { return clock_.days(); }

@@ -141,6 +141,38 @@ std::vector<std::uint32_t> changed_prefixes(
   return out;
 }
 
+PrefixTable subtract_tables(const PrefixTable& cur, const PrefixTable& base) {
+  PrefixTable out;
+  std::size_t j = 0;
+  for (const PrefixRow& row : cur.rows) {
+    while (j < base.rows.size() && base.rows[j].key < row.key) ++j;
+    PrefixStats diff = row.stats;
+    if (j < base.rows.size() && base.rows[j].key == row.key) {
+      const PrefixStats& b = base.rows[j].stats;
+      diff.probes -= b.probes;
+      diff.responses -= b.responses;
+      diff.timeouts -= b.timeouts;
+      diff.retries -= b.retries;
+      diff.noerror -= b.noerror;
+      diff.refused -= b.refused;
+      diff.servfail -= b.servfail;
+      diff.nxdomain -= b.nxdomain;
+      diff.other_rcode -= b.other_rcode;
+      diff.fault_hits -= b.fault_hits;
+      diff.rate_limited -= b.rate_limited;
+      diff.rebinds -= b.rebinds;
+    }
+    const bool all_zero = diff.probes == 0 && diff.responses == 0 &&
+                          diff.timeouts == 0 && diff.retries == 0 &&
+                          diff.noerror == 0 && diff.refused == 0 &&
+                          diff.servfail == 0 && diff.nxdomain == 0 &&
+                          diff.other_rcode == 0 && diff.fault_hits == 0 &&
+                          diff.rate_limited == 0 && diff.rebinds == 0;
+    if (!all_zero) out.rows.push_back(PrefixRow{row.key, diff});
+  }
+  return out;
+}
+
 void PrefixTelemetry::record_probe(std::uint32_t address, bool responded,
                                    RcodeClass rcode, std::uint32_t retries) {
   if (!enabled()) return;

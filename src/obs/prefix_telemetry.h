@@ -96,6 +96,15 @@ std::vector<std::uint32_t> changed_prefixes(
     const PrefixTable& prev, const PrefixTable& cur,
     const ChangeThresholds& thresholds = {});
 
+// Field-wise `cur − base` with all-zero rows dropped. Because every stat
+// is additive and the telemetry plane is cumulative, subtracting the
+// snapshot taken at an epoch boundary from the one taken at the next
+// boundary yields exactly that epoch's fresh observations — the rows the
+// campaign engine persists per epoch and compares across epochs. `base`
+// must be an earlier snapshot of the same telemetry (every field ≤ cur's);
+// rows absent from `base` are treated as zero.
+PrefixTable subtract_tables(const PrefixTable& cur, const PrefixTable& base);
+
 class PrefixTelemetry {
  public:
   PrefixTelemetry() = default;

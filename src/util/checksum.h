@@ -1,0 +1,22 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for on-disk record integrity.
+//
+// The campaign epoch store frames every section of an epoch file with a
+// CRC so truncated or bit-flipped records are detected at load time and
+// the campaign falls back one epoch instead of trusting corrupt bytes.
+// FNV (util::digest_bytes) stays the in-memory content digest; CRC-32 is
+// the wire/disk convention, matching what zlib/png/ethernet readers
+// expect, and its errors-detected guarantees are well characterized.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dnswild::util {
+
+// CRC-32 of `size` bytes starting at `data`. `seed` chains incremental
+// computations: pass the previous call's return value to continue a
+// running checksum (the default starts a fresh one).
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0) noexcept;
+
+}  // namespace dnswild::util

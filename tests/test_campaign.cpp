@@ -1,0 +1,244 @@
+// Longitudinal campaign engine: crash-safe resume and delta scanning
+// (DESIGN.md §14).
+//
+// The headline contract: a campaign that is SIGKILLed mid-epoch and then
+// resumed produces a masked final report byte-identical to the
+// uninterrupted run, at every thread count. The crash drill forks a child
+// that installs the engine's mid-epoch hook and raises SIGKILL after
+// epoch 1's scan but before it persists — the widest window a real crash
+// can hit. The fork happens while this process is single-threaded (every
+// scan joins its worker pool before returning), so the drill is safe
+// under TSan.
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "worldgen/worldgen.h"
+
+namespace dnswild {
+namespace {
+
+namespace fs = std::filesystem;
+
+worldgen::WorldGenConfig world_config() {
+  worldgen::WorldGenConfig config;
+  config.seed = 3;
+  config.resolver_count = 400;
+  return config;
+}
+
+campaign::CampaignConfig campaign_config(const std::string& store_dir,
+                                         unsigned threads) {
+  campaign::CampaignConfig config;
+  config.store_dir = store_dir;
+  config.epochs = 3;
+  config.interval_minutes = 7 * 1440;
+  config.seed = 42;
+  config.threads = threads;
+  return config;
+}
+
+// Builds a fresh world and runs (or resumes) the campaign in it. Every
+// call constructs its own world from the same seed, exactly like a fresh
+// process would after a crash.
+campaign::CampaignResult run_campaign(const std::string& store_dir,
+                                      unsigned threads, bool resume,
+                                      int kill_at_epoch = -1) {
+  worldgen::GeneratedWorld gen = worldgen::generate_world(world_config());
+  campaign::CampaignTargets targets;
+  targets.scanner_ip = gen.scanner_ip;
+  targets.zone = gen.scan_zone;
+  targets.blacklist = &gen.blacklist;
+  targets.universe = gen.universe;
+  campaign::CampaignEngine engine(*gen.world, targets,
+                                  campaign_config(store_dir, threads));
+  if (kill_at_epoch >= 0) {
+    engine.set_mid_epoch_hook([kill_at_epoch](std::uint32_t index) {
+      if (static_cast<int>(index) == kill_at_epoch) std::raise(SIGKILL);
+    });
+  }
+  return engine.run(resume);
+}
+
+struct ScratchDir {
+  explicit ScratchDir(const std::string& name)
+      : path(fs::current_path() / name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() { fs::remove_all(path); }
+  fs::path path;
+};
+
+TEST(Campaign, CrashResumeIsByteIdenticalAcrossThreadCounts) {
+  std::string reference;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    const std::string suffix = std::to_string(threads);
+    ScratchDir uninterrupted("campaign_uninterrupted_" + suffix);
+    ScratchDir crashed("campaign_crashed_" + suffix);
+
+    // Uninterrupted baseline at this thread count.
+    const campaign::CampaignResult baseline =
+        run_campaign(uninterrupted.path.string(), threads, false);
+    const std::string masked = baseline.to_json(/*mask=*/true);
+    ASSERT_EQ(baseline.epochs.size(), 3u);
+    if (reference.empty()) {
+      reference = masked;
+    } else {
+      EXPECT_EQ(masked, reference)
+          << "uninterrupted report differs at threads=" << threads;
+    }
+
+    // Crash drill: the child dies by SIGKILL after epoch 1's scan, before
+    // epoch 1 persists. Only epoch 0 survives in the store.
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      run_campaign(crashed.path.string(), threads, false, /*kill_at=*/1);
+      _exit(1);  // unreachable: the hook raised SIGKILL
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    ASSERT_EQ(WTERMSIG(status), SIGKILL);
+    EXPECT_TRUE(fs::exists(crashed.path / "epoch_00000.dnsw"));
+    EXPECT_FALSE(fs::exists(crashed.path / "epoch_00001.dnsw"));
+
+    // Resume in a fresh "process" (fresh world, same seed): epoch 0 loads
+    // from the store, epochs 1-2 re-run, and the masked report matches
+    // the uninterrupted run byte for byte.
+    const campaign::CampaignResult resumed =
+        run_campaign(crashed.path.string(), threads, true);
+    EXPECT_EQ(resumed.resumed_from, 1u);
+    EXPECT_EQ(resumed.to_json(/*mask=*/true), masked);
+    // Unmasked, the resume provenance is visible.
+    EXPECT_NE(resumed.to_json(/*mask=*/false),
+              baseline.to_json(/*mask=*/false));
+  }
+}
+
+TEST(Campaign, ResumeOfCompleteCampaignRebuildsReportWithoutScanning) {
+  ScratchDir dir("campaign_complete_resume");
+  const campaign::CampaignResult first =
+      run_campaign(dir.path.string(), 2, false);
+  const campaign::CampaignResult again =
+      run_campaign(dir.path.string(), 2, true);
+  // Every epoch came from the store; nothing was re-scanned.
+  EXPECT_EQ(again.resumed_from, 3u);
+  EXPECT_EQ(again.to_json(true), first.to_json(true));
+}
+
+TEST(Campaign, DeltaEpochOnUnchangedWorldIsNearlyFree) {
+  ScratchDir dir("campaign_delta_frozen");
+  worldgen::GeneratedWorld gen = worldgen::generate_world(world_config());
+  campaign::CampaignTargets targets;
+  targets.scanner_ip = gen.scanner_ip;
+  targets.zone = gen.scan_zone;
+  targets.blacklist = &gen.blacklist;
+  targets.universe = gen.universe;
+  campaign::CampaignConfig config = campaign_config(dir.path.string(), 2);
+  config.interval_minutes = 0;  // frozen clock: the world never changes
+  config.delta = true;
+  config.full_every = 0;
+  campaign::CampaignEngine engine(*gen.world, targets, config);
+  const campaign::CampaignResult result = engine.run(false);
+
+  ASSERT_EQ(result.epochs.size(), 3u);
+  EXPECT_EQ(result.epochs[0].kind, campaign::EpochKind::kFull);
+  const std::uint64_t full_probes = result.epochs[0].probed;
+  ASSERT_GT(full_probes, 0u);
+  for (std::size_t i = 1; i < result.epochs.size(); ++i) {
+    const campaign::EpochRecord& epoch = result.epochs[i];
+    EXPECT_EQ(epoch.kind, campaign::EpochKind::kDelta);
+    // The acceptance gate: a delta epoch on an unchanged world issues at
+    // most 10% of a full sweep's probes (here: none at all — no prefix
+    // was flagged, the whole population carried forward).
+    EXPECT_LE(epoch.probed * 10, full_probes);
+    EXPECT_EQ(epoch.population, result.epochs[0].population);
+    EXPECT_EQ(epoch.carried_forward, result.epochs[0].population.size());
+  }
+  EXPECT_LE(result.summary.delta_probe_fraction, 0.10);
+}
+
+TEST(Campaign, FullSweepBackstopOverridesDelta) {
+  ScratchDir dir("campaign_backstop");
+  worldgen::GeneratedWorld gen = worldgen::generate_world(world_config());
+  campaign::CampaignTargets targets;
+  targets.scanner_ip = gen.scanner_ip;
+  targets.zone = gen.scan_zone;
+  targets.blacklist = &gen.blacklist;
+  targets.universe = gen.universe;
+  campaign::CampaignConfig config = campaign_config(dir.path.string(), 2);
+  config.epochs = 4;
+  config.interval_minutes = 0;
+  config.delta = true;
+  config.full_every = 2;  // epochs 0 and 2 sweep fully
+  campaign::CampaignEngine engine(*gen.world, targets, config);
+  const campaign::CampaignResult result = engine.run(false);
+
+  ASSERT_EQ(result.epochs.size(), 4u);
+  EXPECT_EQ(result.epochs[0].kind, campaign::EpochKind::kFull);
+  EXPECT_EQ(result.epochs[1].kind, campaign::EpochKind::kDelta);
+  EXPECT_EQ(result.epochs[2].kind, campaign::EpochKind::kFull);
+  EXPECT_EQ(result.epochs[3].kind, campaign::EpochKind::kDelta);
+  EXPECT_EQ(result.epochs[2].probed, result.epochs[0].probed);
+}
+
+TEST(Campaign, CorruptTailFallsBackOneEpochAndStillMatches) {
+  ScratchDir dir("campaign_corrupt_fallback");
+  const campaign::CampaignResult baseline =
+      run_campaign(dir.path.string(), 2, false);
+  const std::string masked = baseline.to_json(true);
+
+  // Truncate the last epoch's file: resume must detect it, quarantine it,
+  // fall back to epoch 1, re-run epoch 2, and still match byte-for-byte.
+  const fs::path last = dir.path / "epoch_00002.dnsw";
+  ASSERT_TRUE(fs::exists(last));
+  fs::resize_file(last, fs::file_size(last) / 2);
+
+  const campaign::CampaignResult resumed =
+      run_campaign(dir.path.string(), 2, true);
+  EXPECT_EQ(resumed.resumed_from, 2u);
+  ASSERT_EQ(resumed.store_issues.size(), 1u);
+  EXPECT_EQ(resumed.store_issues[0].file, "epoch_00002.dnsw");
+  EXPECT_EQ(resumed.to_json(true), masked);
+  EXPECT_TRUE(fs::exists(dir.path / "epoch_00002.dnsw.corrupt"));
+}
+
+TEST(Campaign, ConfigHashCoversCampaignShape) {
+  worldgen::GeneratedWorld gen = worldgen::generate_world(world_config());
+  campaign::CampaignTargets targets;
+  targets.scanner_ip = gen.scanner_ip;
+  targets.zone = gen.scan_zone;
+  targets.blacklist = &gen.blacklist;
+  targets.universe = gen.universe;
+  campaign::CampaignConfig config = campaign_config("unused", 2);
+  const std::uint64_t base =
+      campaign::CampaignEngine(*gen.world, targets, config).config_hash();
+
+  campaign::CampaignConfig changed = config;
+  changed.interval_minutes += 1440;
+  EXPECT_NE(campaign::CampaignEngine(*gen.world, targets, changed)
+                .config_hash(),
+            base);
+
+  // Thread count is execution shape, not campaign identity: a resumed
+  // campaign may run with a different thread count.
+  campaign::CampaignConfig threads = config;
+  threads.threads = 8;
+  EXPECT_EQ(campaign::CampaignEngine(*gen.world, targets, threads)
+                .config_hash(),
+            base);
+}
+
+}  // namespace
+}  // namespace dnswild

@@ -1,0 +1,221 @@
+// EpochStore robustness: deterministic serialization, atomic publish, and
+// checksum-backed detection of truncation and bit flips (DESIGN.md §14).
+//
+// The store's contract is that load_all() never returns a lie: any file
+// that is not byte-for-byte what save() wrote — chopped tail, flipped
+// bit, wrong campaign configuration — is quarantined with a cause, and
+// only the contiguous good prefix of epochs survives. The campaign layer
+// then falls back one epoch instead of aborting.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "campaign/store.h"
+
+namespace dnswild {
+namespace {
+
+namespace fs = std::filesystem;
+
+campaign::EpochRecord sample_record(std::uint32_t index) {
+  campaign::EpochRecord record;
+  record.index = index;
+  record.start_minute = 10080ull * index;
+  record.kind = index % 2 == 0 ? campaign::EpochKind::kFull
+                               : campaign::EpochKind::kDelta;
+  record.probed = 14784 + index;
+  record.skipped_reserved = 96;
+  record.skipped_blacklist = 32;
+  record.responses = 425;
+  record.noerror = 381;
+  record.refused = 34;
+  record.servfail = 10;
+  record.nxdomain = 3;
+  record.other_rcode = 1;
+  record.retry_retransmissions = 7;
+  record.retry_exhausted = 2;
+  record.virtual_scan_seconds = 123.456;
+  record.flagged_prefixes = 5 + index;
+  record.carried_forward = 17;
+  record.population = {0x0a000001u + index, 0x0a000002u, 0xc0a80101u};
+  obs::PrefixRow row;
+  row.key = 0x0a000001u >> 12;
+  row.stats.probes = 4096;
+  row.stats.responses = 120;
+  row.stats.timeouts = 8;
+  row.stats.noerror = 100;
+  row.stats.rebinds = 3;
+  record.prefixes.rows.push_back(row);
+  row.key += 1;
+  row.stats.fault_hits = 2;
+  record.prefixes.rows.push_back(row);
+  record.degradations.push_back(
+      core::StageDegradation{"scan", "probe budget", 12});
+  return record;
+}
+
+// Fresh scratch directory per test, removed on destruction.
+struct ScratchDir {
+  explicit ScratchDir(const std::string& name)
+      : path(fs::current_path() / name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() { fs::remove_all(path); }
+  fs::path path;
+};
+
+void expect_equal(const campaign::EpochRecord& a,
+                  const campaign::EpochRecord& b) {
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(a.start_minute, b.start_minute);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.probed, b.probed);
+  EXPECT_EQ(a.skipped_reserved, b.skipped_reserved);
+  EXPECT_EQ(a.skipped_blacklist, b.skipped_blacklist);
+  EXPECT_EQ(a.responses, b.responses);
+  EXPECT_EQ(a.noerror, b.noerror);
+  EXPECT_EQ(a.refused, b.refused);
+  EXPECT_EQ(a.servfail, b.servfail);
+  EXPECT_EQ(a.nxdomain, b.nxdomain);
+  EXPECT_EQ(a.other_rcode, b.other_rcode);
+  EXPECT_EQ(a.retry_retransmissions, b.retry_retransmissions);
+  EXPECT_EQ(a.retry_exhausted, b.retry_exhausted);
+  EXPECT_DOUBLE_EQ(a.virtual_scan_seconds, b.virtual_scan_seconds);
+  EXPECT_EQ(a.flagged_prefixes, b.flagged_prefixes);
+  EXPECT_EQ(a.carried_forward, b.carried_forward);
+  EXPECT_EQ(a.population, b.population);
+  ASSERT_EQ(a.prefixes.rows.size(), b.prefixes.rows.size());
+  for (std::size_t i = 0; i < a.prefixes.rows.size(); ++i) {
+    EXPECT_EQ(a.prefixes.rows[i].key, b.prefixes.rows[i].key);
+    EXPECT_EQ(a.prefixes.rows[i].stats.probes,
+              b.prefixes.rows[i].stats.probes);
+    EXPECT_EQ(a.prefixes.rows[i].stats.rebinds,
+              b.prefixes.rows[i].stats.rebinds);
+    EXPECT_EQ(a.prefixes.rows[i].stats.fault_hits,
+              b.prefixes.rows[i].stats.fault_hits);
+  }
+  ASSERT_EQ(a.degradations.size(), b.degradations.size());
+  for (std::size_t i = 0; i < a.degradations.size(); ++i) {
+    EXPECT_EQ(a.degradations[i].stage, b.degradations[i].stage);
+    EXPECT_EQ(a.degradations[i].cause, b.degradations[i].cause);
+    EXPECT_EQ(a.degradations[i].affected, b.degradations[i].affected);
+  }
+}
+
+TEST(EpochStore, RoundTripPreservesEveryField) {
+  ScratchDir dir("campaign_store_roundtrip");
+  campaign::EpochStore store(dir.path.string(), 0xfeedfaceull);
+  const campaign::EpochRecord record = sample_record(0);
+  std::string error;
+  ASSERT_TRUE(store.save(record, &error)) << error;
+  EXPECT_FALSE(fs::exists(store.epoch_path(0) + ".tmp"));
+
+  campaign::EpochRecord loaded;
+  std::string cause;
+  ASSERT_TRUE(store.load(0, &loaded, &cause)) << cause;
+  expect_equal(record, loaded);
+}
+
+TEST(EpochStore, EncodeIsDeterministic) {
+  ScratchDir dir("campaign_store_encode");
+  campaign::EpochStore store(dir.path.string(), 1);
+  const campaign::EpochRecord record = sample_record(3);
+  EXPECT_EQ(store.encode(record), store.encode(record));
+  EXPECT_NE(store.encode(record), store.encode(sample_record(4)));
+}
+
+TEST(EpochStore, DetectsTruncation) {
+  ScratchDir dir("campaign_store_truncate");
+  campaign::EpochStore store(dir.path.string(), 2);
+  ASSERT_TRUE(store.save(sample_record(0)));
+
+  const fs::path path = store.epoch_path(0);
+  fs::resize_file(path, fs::file_size(path) - 5);
+
+  campaign::EpochRecord loaded;
+  std::string cause;
+  EXPECT_FALSE(store.load(0, &loaded, &cause));
+  EXPECT_EQ(cause, "truncated");
+}
+
+TEST(EpochStore, DetectsBitFlip) {
+  ScratchDir dir("campaign_store_bitflip");
+  campaign::EpochStore store(dir.path.string(), 3);
+  const campaign::EpochRecord record = sample_record(0);
+  ASSERT_TRUE(store.save(record));
+
+  // Flip one bit in every byte position in turn: no single-bit error
+  // anywhere in the file may slip through. (The file is a few hundred
+  // bytes, so the exhaustive sweep is cheap.)
+  const fs::path path = store.epoch_path(0);
+  std::vector<char> bytes(fs::file_size(path));
+  std::ifstream(path, std::ios::binary).read(bytes.data(), bytes.size());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::vector<char> mutated = bytes;
+    mutated[i] ^= 0x10;
+    std::ofstream(path, std::ios::binary | std::ios::trunc)
+        .write(mutated.data(), mutated.size());
+    campaign::EpochRecord loaded;
+    std::string cause;
+    EXPECT_FALSE(store.load(0, &loaded, &cause))
+        << "bit flip at byte " << i << " went undetected";
+  }
+}
+
+TEST(EpochStore, RejectsForeignConfigHash) {
+  ScratchDir dir("campaign_store_confhash");
+  campaign::EpochStore writer(dir.path.string(), 10);
+  ASSERT_TRUE(writer.save(sample_record(0)));
+
+  campaign::EpochStore reader(dir.path.string(), 11);
+  campaign::EpochRecord loaded;
+  std::string cause;
+  EXPECT_FALSE(reader.load(0, &loaded, &cause));
+  EXPECT_EQ(cause, "campaign config mismatch");
+}
+
+TEST(EpochStore, LoadAllQuarantinesCorruptTailAndKeepsGoodPrefix) {
+  ScratchDir dir("campaign_store_loadall");
+  campaign::EpochStore store(dir.path.string(), 7);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(store.save(sample_record(i)));
+  }
+
+  // Corrupt the middle epoch: epochs 0 stays usable, epoch 1 is
+  // quarantined, and epoch 2 — though intact — is dropped because it
+  // depends on epoch 1's population.
+  const fs::path path = store.epoch_path(1);
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(60);
+  file.put(static_cast<char>(0x5a));
+  file.close();
+
+  const campaign::EpochStore::ScanResult result = store.load_all();
+  ASSERT_EQ(result.epochs.size(), 1u);
+  EXPECT_EQ(result.epochs[0].index, 0u);
+  ASSERT_EQ(result.issues.size(), 1u);
+  EXPECT_EQ(result.issues[0].file, campaign::EpochStore::epoch_filename(1));
+  EXPECT_FALSE(result.issues[0].cause.empty());
+
+  // The bad file moved out of the way of the re-run; the stale epoch 2
+  // file is left in place (the re-run rewrites it byte-identically).
+  EXPECT_FALSE(fs::exists(store.epoch_path(1)));
+  EXPECT_TRUE(fs::exists(store.epoch_path(1) + ".corrupt"));
+  EXPECT_TRUE(fs::exists(store.epoch_path(2)));
+}
+
+TEST(EpochStore, LoadAllOnEmptyDirIsEmpty) {
+  ScratchDir dir("campaign_store_empty");
+  campaign::EpochStore store(dir.path.string(), 9);
+  const campaign::EpochStore::ScanResult result = store.load_all();
+  EXPECT_TRUE(result.epochs.empty());
+  EXPECT_TRUE(result.issues.empty());
+}
+
+}  // namespace
+}  // namespace dnswild

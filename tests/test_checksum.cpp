@@ -1,0 +1,46 @@
+// CRC-32 (reflected IEEE 802.3 polynomial) — the checksum guarding the
+// campaign epoch store's sections and file trailer.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "util/checksum.h"
+
+namespace dnswild {
+namespace {
+
+TEST(Crc32, MatchesKnownAnswers) {
+  // The classic check value for this polynomial/reflection convention.
+  const char* check = "123456789";
+  EXPECT_EQ(util::crc32(check, std::strlen(check)), 0xCBF43926u);
+  EXPECT_EQ(util::crc32("", 0), 0x00000000u);
+  const char* a = "a";
+  EXPECT_EQ(util::crc32(a, 1), 0xE8B7BE43u);
+}
+
+TEST(Crc32, SeedChainingEqualsOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole = util::crc32(data.data(), data.size());
+  for (std::size_t split : {std::size_t{1}, std::size_t{9}, data.size() - 1}) {
+    const std::uint32_t first = util::crc32(data.data(), split);
+    const std::uint32_t chained =
+        util::crc32(data.data() + split, data.size() - split, first);
+    EXPECT_EQ(chained, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  std::string data = "epoch store payload bytes";
+  const std::uint32_t clean = util::crc32(data.data(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[i] ^= static_cast<char>(1 << bit);
+      EXPECT_NE(util::crc32(data.data(), data.size()), clean);
+      data[i] ^= static_cast<char>(1 << bit);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dnswild
